@@ -1,0 +1,84 @@
+// Ablation A10: the Section-4 transformation under time-correlated fading.
+//
+// The 4x repetition of each randomized ALOHA step buys diversity only while
+// the channel decorrelates between repeats. Sweeping the coherence time
+// (coherence 1 = the paper's i.i.d.-per-slot model) shows the latency of
+// the transformed protocol degrading once coherence exceeds the repetition
+// window — quantifying how much the reduction leans on the independence
+// assumption, and motivating the paper's closing question about richer
+// propagation models.
+#include <iostream>
+
+#include "raysched.hpp"
+
+using namespace raysched;
+
+int main(int argc, char** argv) {
+  util::Flags flags;
+  flags.add_int("networks", 8, "number of random networks");
+  flags.add_int("links", 30, "links per network");
+  flags.add_int("runs", 3, "ALOHA runs per (network, coherence)");
+  flags.add_double("beta", 2.5, "SINR threshold");
+  // Noise chosen so a typical link (length ~30, uniform power 2, alpha 2.2)
+  // succeeds alone with probability ~0.5 per Rayleigh slot:
+  // exp(-beta*nu/S̄) ~ 0.5 at nu ~ S̄ ln2 / beta ~ 3e-4. In this regime the
+  // 4x repetition is load-bearing and coherence matters; with negligible
+  // noise the repeats rarely rescue anything and the sweep is flat.
+  flags.add_double("noise", 3e-4, "ambient noise nu");
+  flags.add_int("seed", 12, "master seed");
+  try {
+    flags.parse(argc, argv);
+  } catch (const error& e) {
+    std::cerr << e.what() << "\n" << flags.usage(argv[0]);
+    return 1;
+  }
+  if (flags.help_requested()) {
+    std::cout << flags.usage(argv[0]);
+    return 0;
+  }
+
+  const auto networks = static_cast<std::size_t>(flags.get_int("networks"));
+  const auto runs = static_cast<std::size_t>(flags.get_int("runs"));
+  const double beta = flags.get_double("beta");
+  const sim::RngStream master(static_cast<std::uint64_t>(flags.get_int("seed")));
+  model::RandomPlaneParams params;
+  params.num_links = static_cast<std::size_t>(flags.get_int("links"));
+
+  std::cout << "# Ablation A10: ALOHA latency (4x-repeat transformation) vs "
+               "channel coherence time\n"
+            << "# coherence 1 slot = the paper's i.i.d. model; the 4 repeats "
+               "span exactly one randomized step\n";
+  util::Table table({"coherence_slots", "mean_latency", "stddev",
+                     "vs_coherence_1"});
+
+  double base = 0.0;
+  for (std::size_t coherence : {1ul, 2ul, 4ul, 8ul, 16ul, 32ul}) {
+    sim::Accumulator latency;
+    for (std::size_t net_idx = 0; net_idx < networks; ++net_idx) {
+      sim::RngStream net_rng = master.derive(net_idx, 0xA);
+      auto links = model::random_plane_links(params, net_rng);
+      const model::Network net(std::move(links),
+                               model::PowerAssignment::uniform(2.0), 2.2,
+                               flags.get_double("noise"));
+      for (std::size_t run = 0; run < runs; ++run) {
+        model::BlockFadingChannel channel(
+            net, coherence, 1.0,
+            master.derive(net_idx, 0xB).derive(coherence, run));
+        sim::RngStream rng = master.derive(net_idx, 0xC).derive(coherence, run);
+        const auto result = algorithms::aloha_schedule_block_fading(
+            net, beta, channel, rng, {}, 500000);
+        if (result.completed) latency.add(static_cast<double>(result.slots));
+      }
+    }
+    if (coherence == 1) base = latency.mean();
+    table.add_row({static_cast<long long>(coherence), latency.mean(),
+                   latency.stddev(), latency.mean() / base});
+  }
+  table.print_text(std::cout);
+  std::cout << "\nexpected: latency grows with coherence — already at "
+               "coherence 2 the repeats partially share a realization, and "
+               "past the 4-slot repetition window the diversity boost is "
+               "gone entirely, so the protocol waits out bad channel states "
+               "(several-fold latency at coherence 32).\n";
+  return 0;
+}

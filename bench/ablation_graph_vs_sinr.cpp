@@ -1,0 +1,94 @@
+// Ablation A13: graph-based (protocol) interference vs SINR vs Rayleigh.
+//
+// The paper's introduction motivates SINR models by the inadequacy of
+// graph-based interference. This ablation quantifies the gap on the
+// Figure-1 instance family: for protocol-model slots (independent sets at a
+// given interference-range factor) we measure how many of their links
+// actually meet the SINR threshold — in the non-fading model and in
+// expectation under Rayleigh fading — and conversely how often the graph
+// model forbids sets the SINR model supports.
+#include <iostream>
+
+#include "raysched.hpp"
+
+using namespace raysched;
+
+int main(int argc, char** argv) {
+  util::Flags flags;
+  flags.add_int("networks", 10, "number of random networks");
+  flags.add_int("links", 60, "links per network");
+  flags.add_double("beta", 2.5, "SINR threshold");
+  flags.add_int("seed", 14, "master seed");
+  try {
+    flags.parse(argc, argv);
+  } catch (const error& e) {
+    std::cerr << e.what() << "\n" << flags.usage(argv[0]);
+    return 1;
+  }
+  if (flags.help_requested()) {
+    std::cout << flags.usage(argv[0]);
+    return 0;
+  }
+
+  const auto networks = static_cast<std::size_t>(flags.get_int("networks"));
+  const double beta = flags.get_double("beta");
+  const sim::RngStream master(static_cast<std::uint64_t>(flags.get_int("seed")));
+  model::RandomPlaneParams params;
+  params.num_links = static_cast<std::size_t>(flags.get_int("links"));
+
+  std::cout << "# Ablation A13: protocol-model slots evaluated under SINR "
+               "and Rayleigh (beta=" << beta << ")\n";
+  util::Table table({"range_factor", "graph_slot_size", "sinr_ok_fraction",
+                     "rayleigh_E_fraction", "sinr_set_blocked_by_graph"});
+
+  for (double factor : {1.0, 1.5, 2.0, 3.0, 4.0}) {
+    sim::Accumulator slot_size, sinr_ok, rayleigh_frac, blocked;
+    for (std::size_t net_idx = 0; net_idx < networks; ++net_idx) {
+      sim::RngStream net_rng = master.derive(net_idx, 0xA);
+      auto links = model::random_plane_links(params, net_rng);
+      const model::Network net(std::move(links),
+                               model::PowerAssignment::uniform(2.0), 2.2,
+                               4e-7);
+      const model::InterferenceGraph graph(net, factor);
+
+      // Graph model's slot, judged by the SINR models.
+      const model::LinkSet slot = graph.greedy_independent_set();
+      if (!slot.empty()) {
+        slot_size.add(static_cast<double>(slot.size()));
+        sinr_ok.add(static_cast<double>(model::count_successes_nonfading(
+                        net, slot, beta)) /
+                    static_cast<double>(slot.size()));
+        rayleigh_frac.add(
+            model::expected_successes_rayleigh(net, slot, beta) /
+            static_cast<double>(slot.size()));
+      }
+
+      // SINR model's slot, judged by the graph model: fraction of
+      // greedy-feasible links the graph would have forbidden.
+      const model::LinkSet sinr_set =
+          algorithms::greedy_capacity(net, beta).selected;
+      if (!sinr_set.empty()) {
+        std::size_t conflicts = 0;
+        for (std::size_t a = 0; a < sinr_set.size(); ++a) {
+          for (std::size_t b = a + 1; b < sinr_set.size(); ++b) {
+            if (graph.conflicts(sinr_set[a], sinr_set[b])) {
+              ++conflicts;
+              break;
+            }
+          }
+        }
+        blocked.add(static_cast<double>(conflicts) /
+                    static_cast<double>(sinr_set.size()));
+      }
+    }
+    table.add_row({factor, slot_size.mean(), sinr_ok.mean(),
+                   rayleigh_frac.mean(), blocked.mean()});
+  }
+  table.print_text(std::cout);
+  std::cout << "\nexpected: small range factors produce big graph slots "
+               "whose links often FAIL the SINR test (aggregate far "
+               "interference is invisible to the graph); large factors "
+               "overblock sets SINR supports. No single factor fixes both — "
+               "the paper's motivation for SINR-based analysis.\n";
+  return 0;
+}

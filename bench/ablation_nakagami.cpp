@@ -1,0 +1,82 @@
+// Ablation A9: beyond Rayleigh — the Nakagami-m sweep.
+//
+// The paper's discussion argues its techniques should extend to richer
+// stochastic propagation models. Nakagami-m interpolates between severe
+// fading (m < 1), Rayleigh (m = 1), and the deterministic non-fading model
+// (m -> infinity). We transfer the non-fading greedy solution (Lemma 2
+// style) for each m and measure the retained fraction of successes —
+// empirically extending the 1/e bound across the fading family.
+#include <iostream>
+
+#include "raysched.hpp"
+
+using namespace raysched;
+
+int main(int argc, char** argv) {
+  util::Flags flags;
+  flags.add_int("networks", 6, "number of random networks");
+  flags.add_int("links", 50, "links per network");
+  flags.add_int("trials", 400, "fading trials per (network, m)");
+  flags.add_double("beta", 2.5, "SINR threshold");
+  flags.add_int("seed", 11, "master seed");
+  try {
+    flags.parse(argc, argv);
+  } catch (const error& e) {
+    std::cerr << e.what() << "\n" << flags.usage(argv[0]);
+    return 1;
+  }
+  if (flags.help_requested()) {
+    std::cout << flags.usage(argv[0]);
+    return 0;
+  }
+
+  const auto networks = static_cast<std::size_t>(flags.get_int("networks"));
+  const auto trials = static_cast<std::size_t>(flags.get_int("trials"));
+  const double beta = flags.get_double("beta");
+  const sim::RngStream master(static_cast<std::uint64_t>(flags.get_int("seed")));
+  model::RandomPlaneParams params;
+  params.num_links = static_cast<std::size_t>(flags.get_int("links"));
+
+  std::cout << "# Ablation A9: transfer ratio under Nakagami-m fading "
+               "(m=1 is Rayleigh; m->inf is non-fading)\n";
+  util::Table table({"m", "mean_ratio", "stddev", "note"});
+
+  const double ms[] = {0.5, 1.0, 2.0, 4.0, 8.0, 32.0};
+  for (double m : ms) {
+    sim::Accumulator ratio_acc;
+    for (std::size_t net_idx = 0; net_idx < networks; ++net_idx) {
+      sim::RngStream net_rng = master.derive(net_idx, 0xA);
+      auto links = model::random_plane_links(params, net_rng);
+      const model::Network net(std::move(links),
+                               model::PowerAssignment::uniform(2.0), 2.2,
+                               4e-7);
+      const auto greedy = algorithms::greedy_capacity(net, beta);
+      if (greedy.selected.empty()) continue;
+      sim::RngStream fading = master.derive(net_idx, 0xB)
+                                  .derive(static_cast<std::uint64_t>(m * 16));
+      const double expected = model::expected_successes_nakagami_mc(
+          net, greedy.selected, beta, m, trials, fading);
+      ratio_acc.add(expected / static_cast<double>(greedy.selected.size()));
+    }
+    std::string note;
+    if (m == 0.5) note = "harsher than Rayleigh";
+    else if (m == 1.0) note = "Rayleigh: Lemma 2 floor 1/e";
+    else if (m == 32.0) note = "approaching non-fading (ratio -> 1)";
+    table.add_row({m, ratio_acc.mean(), ratio_acc.stddev(), note});
+  }
+  table.print_text(std::cout);
+
+  // Calibration corner: exact noise-only curves across m for one link.
+  std::cout << "\n# noise-only success probability (exact incomplete-gamma "
+               "form), S=10, nu=0.5, beta=3\n";
+  util::Table exact({"m", "P[success]"});
+  for (double m : ms) {
+    exact.add_row(
+        {m, model::noise_only_success_probability_nakagami(10.0, 0.5, 3.0, m)});
+  }
+  exact.print_text(std::cout);
+  std::cout << "\nexpected: transfer ratio increases monotonically in m from "
+               "below 1/e (m=0.5) toward 1; the reduction's machinery "
+               "extends across the fading family.\n";
+  return 0;
+}

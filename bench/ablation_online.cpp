@@ -1,0 +1,96 @@
+// Ablation A14: online admission control vs offline capacity.
+//
+// Links arrive and depart in a random churn process; the online controller
+// admits greedily (keeping the active set SINR-feasible at every instant,
+// so every state transfers to Rayleigh via Lemma 2). We compare the
+// time-averaged active-set size against the offline greedy capacity of the
+// instantaneous "wish set" (the links that want to transmit), and report
+// the empirical competitive ratio.
+#include <algorithm>
+#include <iostream>
+
+#include "raysched.hpp"
+
+using namespace raysched;
+
+int main(int argc, char** argv) {
+  util::Flags flags;
+  flags.add_int("networks", 6, "number of random networks");
+  flags.add_int("links", 50, "links per network");
+  flags.add_int("steps", 400, "churn steps per network");
+  flags.add_double("beta", 2.5, "SINR threshold");
+  flags.add_double("arrival-prob", 0.6, "per-step probability of an arrival");
+  flags.add_int("seed", 15, "master seed");
+  try {
+    flags.parse(argc, argv);
+  } catch (const error& e) {
+    std::cerr << e.what() << "\n" << flags.usage(argv[0]);
+    return 1;
+  }
+  if (flags.help_requested()) {
+    std::cout << flags.usage(argv[0]);
+    return 0;
+  }
+
+  const auto networks = static_cast<std::size_t>(flags.get_int("networks"));
+  const auto steps = static_cast<std::size_t>(flags.get_int("steps"));
+  const double beta = flags.get_double("beta");
+  const double arrival_prob = flags.get_double("arrival-prob");
+  const sim::RngStream master(static_cast<std::uint64_t>(flags.get_int("seed")));
+  model::RandomPlaneParams params;
+  params.num_links = static_cast<std::size_t>(flags.get_int("links"));
+
+  sim::Accumulator online_size, offline_size, ratio, rayleigh_value;
+  for (std::size_t net_idx = 0; net_idx < networks; ++net_idx) {
+    sim::RngStream net_rng = master.derive(net_idx, 0xA);
+    auto links = model::random_plane_links(params, net_rng);
+    const model::Network net(std::move(links),
+                             model::PowerAssignment::uniform(2.0), 2.2, 4e-7);
+    algorithms::OnlineScheduler sched(net, beta);
+    sim::RngStream churn = master.derive(net_idx, 0xB);
+
+    std::vector<bool> wants(net.size(), false);
+    for (std::size_t step = 0; step < steps; ++step) {
+      const model::LinkId i = churn.uniform_index(net.size());
+      if (churn.bernoulli(arrival_prob)) {
+        wants[i] = true;
+        sched.arrive(i);
+      } else {
+        wants[i] = false;
+        sched.depart(i);
+      }
+      // Offline comparator: greedy capacity restricted to the wish set.
+      model::LinkSet wish;
+      for (model::LinkId j = 0; j < net.size(); ++j) {
+        if (wants[j]) wish.push_back(j);
+      }
+      const auto offline = algorithms::greedy_capacity(net, beta, wish);
+      online_size.add(static_cast<double>(sched.active().size()));
+      offline_size.add(static_cast<double>(offline.selected.size()));
+      if (!offline.selected.empty()) {
+        ratio.add(static_cast<double>(sched.active().size()) /
+                  static_cast<double>(offline.selected.size()));
+      }
+      rayleigh_value.add(sched.expected_rayleigh_successes());
+    }
+  }
+
+  std::cout << "# Ablation A14: online admission vs offline greedy under "
+               "churn (beta=" << beta << ")\n";
+  util::Table table({"quantity", "mean", "stddev"});
+  table.add_row({std::string("online active set"), online_size.mean(),
+                 online_size.stddev()});
+  table.add_row({std::string("offline greedy on wish set"),
+                 offline_size.mean(), offline_size.stddev()});
+  table.add_row({std::string("online/offline ratio"), ratio.mean(),
+                 ratio.stddev()});
+  table.add_row({std::string("E[rayleigh successes] of online state"),
+                 rayleigh_value.mean(), rayleigh_value.stddev()});
+  table.print_text(std::cout);
+  std::cout << "\nexpected: the online controller tracks the offline greedy "
+               "closely (ratio near or above 1 — it admits by direct "
+               "feasibility, a weaker test than the greedy's affectance "
+               "budget, but suffers from arrival-order lock-in); every "
+               "state keeps the Lemma-2 Rayleigh certificate.\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Ablation A11: the power-control separation on exponential-length chains.
+//
+// The paper notes (Sections 1-2) that its reduction preserves the known
+// structure of power assignments — including the lower bounds showing
+// oblivious schemes (uniform, square-root) cannot match power control on
+// instances with large length ratio Delta ([3],[4]; [6] gives the
+// constant-factor power-control algorithm). The exponential chain makes the
+// separation visible: link lengths grow geometrically, so Delta is huge,
+// oblivious greedy schedules only a few "length classes" per slot while
+// power control packs the whole chain. Under Rayleigh fading the separation
+// persists (Lemma 2 transfers every solution at the same 1/e factor).
+#include <iostream>
+
+#include "raysched.hpp"
+
+using namespace raysched;
+
+int main(int argc, char** argv) {
+  util::Flags flags;
+  flags.add_double("beta", 1.5, "SINR threshold");
+  flags.add_double("growth", 2.0, "length growth factor per link");
+  flags.add_double("alpha", 3.0, "path-loss exponent");
+  try {
+    flags.parse(argc, argv);
+  } catch (const error& e) {
+    std::cerr << e.what() << "\n" << flags.usage(argv[0]);
+    return 1;
+  }
+  if (flags.help_requested()) {
+    std::cout << flags.usage(argv[0]);
+    return 0;
+  }
+
+  const double beta = flags.get_double("beta");
+  const double alpha = flags.get_double("alpha");
+
+  std::cout << "# Ablation A11: uniform vs square-root vs power control on "
+               "exponential chains (beta=" << beta << ", alpha=" << alpha
+            << ")\n";
+  util::Table table({"n", "Delta", "greedy_uniform", "greedy_sqrt",
+                     "power_control", "pc_rayleigh_E"});
+
+  for (std::size_t n : {4ul, 8ul, 12ul, 16ul}) {
+    auto links = model::exponential_chain_links(n, 1.0,
+                                                flags.get_double("growth"));
+    const model::Network uniform_net(
+        links, model::PowerAssignment::uniform(2.0), alpha, 1e-9);
+    const model::Network sqrt_net(
+        links, model::PowerAssignment::square_root(2.0), alpha, 1e-9);
+
+    const auto gu = algorithms::greedy_capacity(uniform_net, beta);
+    const auto gs = algorithms::greedy_capacity(sqrt_net, beta);
+    // A generous admission budget lets the drop-and-retry power solver keep
+    // the whole chain; correctness is certified by the fixed point either way.
+    algorithms::PowerControlOptions pc_opts;
+    pc_opts.admission_budget = 1.0;
+    const auto pc =
+        algorithms::power_control_capacity(uniform_net, beta, pc_opts);
+    double pc_ray = 0.0;
+    if (!pc.selected.empty()) {
+      model::Network powered = uniform_net;
+      powered.set_powers(*pc.powers);
+      pc_ray = model::expected_successes_rayleigh(powered, pc.selected, beta);
+    }
+    table.add_row({static_cast<long long>(n), uniform_net.length_ratio(),
+                   static_cast<long long>(gu.selected.size()),
+                   static_cast<long long>(gs.selected.size()),
+                   static_cast<long long>(pc.selected.size()), pc_ray});
+  }
+  table.print_text(std::cout);
+  std::cout << "\nexpected: uniform power plateaus once Delta is large (its "
+               "guarantee degrades with log Delta [3]); square-root power "
+               "and power control keep the whole chain (their guarantees "
+               "depend on Delta only doubly-logarithmically or not at all "
+               "[4],[6]); the Rayleigh expectation of the power-control set "
+               "stays >= |S|/e (Lemma 2).\n";
+  return 0;
+}

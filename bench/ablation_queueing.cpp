@@ -1,0 +1,86 @@
+// Ablation A16: max-weight queue stability — the throughput view of
+// Lemma 2.
+//
+// Sweeping a uniform per-link arrival rate lambda, max-weight scheduling
+// (queue-weighted capacity) keeps queues stable in the non-fading model up
+// to roughly the per-slot capacity; under Rayleigh fading every service
+// succeeds only with its Lemma-2 probability, so the stability frontier
+// shifts left by about that factor. This turns the paper's single-slot
+// 1/e bound into a sustained-throughput statement.
+#include <iostream>
+
+#include "raysched.hpp"
+
+using namespace raysched;
+
+int main(int argc, char** argv) {
+  util::Flags flags;
+  flags.add_int("networks", 4, "number of random networks");
+  flags.add_int("links", 30, "links per network");
+  flags.add_int("slots", 3000, "simulated slots per run");
+  flags.add_double("beta", 2.5, "SINR threshold");
+  flags.add_int("seed", 17, "master seed");
+  try {
+    flags.parse(argc, argv);
+  } catch (const error& e) {
+    std::cerr << e.what() << "\n" << flags.usage(argv[0]);
+    return 1;
+  }
+  if (flags.help_requested()) {
+    std::cout << flags.usage(argv[0]);
+    return 0;
+  }
+
+  const auto networks = static_cast<std::size_t>(flags.get_int("networks"));
+  const auto slots = static_cast<std::size_t>(flags.get_int("slots"));
+  const double beta = flags.get_double("beta");
+  const sim::RngStream master(static_cast<std::uint64_t>(flags.get_int("seed")));
+  model::RandomPlaneParams params;
+  params.num_links = static_cast<std::size_t>(flags.get_int("links"));
+
+  std::cout << "# Ablation A16: max-weight queueing — stability vs per-link "
+               "arrival rate (beta=" << beta << ", " << slots << " slots)\n";
+  util::Table table({"lambda", "model", "throughput/slot", "avg_backlog",
+                     "stable_runs"});
+
+  for (double lambda : {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7}) {
+    for (auto prop : {algorithms::Propagation::NonFading,
+                      algorithms::Propagation::Rayleigh}) {
+      sim::Accumulator throughput, backlog;
+      long long stable = 0;
+      for (std::size_t net_idx = 0; net_idx < networks; ++net_idx) {
+        sim::RngStream net_rng = master.derive(net_idx, 0xA);
+        auto links = model::random_plane_links(params, net_rng);
+        const model::Network net(std::move(links),
+                                 model::PowerAssignment::uniform(2.0), 2.2,
+                                 4e-7);
+        algorithms::QueueSimOptions opts;
+        opts.slots = slots;
+        opts.beta = beta;
+        opts.propagation = prop;
+        opts.arrival_probs.assign(net.size(), lambda);
+        sim::RngStream run_rng =
+            master.derive(net_idx, 0xB)
+                .derive(static_cast<std::uint64_t>(lambda * 100),
+                        static_cast<std::uint64_t>(prop));
+        const auto result =
+            algorithms::run_max_weight_queueing(net, opts, run_rng);
+        throughput.add(result.served_per_slot);
+        backlog.add(result.average_backlog);
+        stable += result.looks_stable ? 1 : 0;
+      }
+      table.add_row({lambda,
+                     std::string(prop == algorithms::Propagation::Rayleigh
+                                     ? "rayleigh"
+                                     : "non-fading"),
+                     throughput.mean(), backlog.mean(), stable});
+    }
+  }
+  table.print_text(std::cout);
+  std::cout << "\nexpected: both models serve the offered load at small "
+               "lambda (throughput = lambda * n); the non-fading runs stay "
+               "stable to larger lambda, the Rayleigh frontier sits lower "
+               "by roughly the Lemma-2 service-success factor; past the "
+               "frontier backlog explodes and throughput saturates.\n";
+  return 0;
+}

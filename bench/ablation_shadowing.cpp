@@ -1,0 +1,83 @@
+// Ablation A15: robustness of the reduction to unknown shadowing.
+//
+// The reduction plans with the mean gains S̄(j,i); log-normal shadowing
+// perturbs the true means by 10^(N(0, sigma^2)/10) per pair. We plan the
+// non-fading greedy on the nominal network and evaluate the transmitted set
+// on the shadowed network — non-fading feasibility fraction and exact
+// expected Rayleigh successes — as sigma grows. At sigma = 0 this is
+// exactly Lemma 2; growing sigma quantifies how hard the known-means
+// assumption works.
+#include <iostream>
+
+#include "raysched.hpp"
+
+using namespace raysched;
+
+int main(int argc, char** argv) {
+  util::Flags flags;
+  flags.add_int("networks", 10, "number of random networks");
+  flags.add_int("links", 50, "links per network");
+  flags.add_int("shadow-draws", 5, "shadowing realizations per network");
+  flags.add_double("beta", 2.5, "SINR threshold");
+  flags.add_int("seed", 16, "master seed");
+  try {
+    flags.parse(argc, argv);
+  } catch (const error& e) {
+    std::cerr << e.what() << "\n" << flags.usage(argv[0]);
+    return 1;
+  }
+  if (flags.help_requested()) {
+    std::cout << flags.usage(argv[0]);
+    return 0;
+  }
+
+  const auto networks = static_cast<std::size_t>(flags.get_int("networks"));
+  const auto draws = static_cast<std::size_t>(flags.get_int("shadow-draws"));
+  const double beta = flags.get_double("beta");
+  const sim::RngStream master(static_cast<std::uint64_t>(flags.get_int("seed")));
+  model::RandomPlaneParams params;
+  params.num_links = static_cast<std::size_t>(flags.get_int("links"));
+
+  std::cout << "# Ablation A15: planning on nominal means, evaluating under "
+               "log-normal shadowing (beta=" << beta << ")\n";
+  util::Table table({"sigma_dB", "planned_|S|", "nf_still_feasible_frac",
+                     "E[rayleigh]/|S|"});
+
+  for (double sigma : {0.0, 2.0, 4.0, 6.0, 8.0, 12.0}) {
+    sim::Accumulator planned, feasible_frac, rayleigh_frac;
+    for (std::size_t net_idx = 0; net_idx < networks; ++net_idx) {
+      sim::RngStream net_rng = master.derive(net_idx, 0xA);
+      auto links = model::random_plane_links(params, net_rng);
+      const model::Network nominal(std::move(links),
+                                   model::PowerAssignment::uniform(2.0), 2.2,
+                                   4e-7);
+      const auto plan = algorithms::greedy_capacity(nominal, beta);
+      if (plan.selected.empty()) continue;
+      planned.add(static_cast<double>(plan.selected.size()));
+      for (std::size_t d = 0; d < draws; ++d) {
+        sim::RngStream shadow_rng = master.derive(net_idx, 0xB)
+                                        .derive(static_cast<std::uint64_t>(
+                                                    sigma * 10.0),
+                                                d);
+        const model::Network shadowed =
+            model::apply_lognormal_shadowing(nominal, sigma, shadow_rng);
+        feasible_frac.add(
+            static_cast<double>(model::count_successes_nonfading(
+                shadowed, plan.selected, beta)) /
+            static_cast<double>(plan.selected.size()));
+        rayleigh_frac.add(
+            model::expected_successes_rayleigh(shadowed, plan.selected, beta) /
+            static_cast<double>(plan.selected.size()));
+      }
+    }
+    table.add_row({sigma, planned.mean(), feasible_frac.mean(),
+                   rayleigh_frac.mean()});
+  }
+  table.print_text(std::cout);
+  std::cout << "\nexpected: sigma=0 reproduces Lemma 2 (feasible fraction 1, "
+               "Rayleigh fraction >= 1/e); the non-fading plan degrades "
+               "quickly with sigma while the Rayleigh expectation degrades "
+               "more gently — fading averages over the shadowing errors, "
+               "one more face of the paper's smoothing observation.\n";
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Figure 1 companion (Section 7, in-text): "Choosing the optimal set of
+// sending links under uniform powers, we reach on average 49.75 successful
+// transmissions in those networks."
+//
+// We estimate OPT per Figure-1 instance with greedy + local search (a
+// certified-feasible lower bound on OPT) and report the average, alongside
+// the plain greedy and the exact Rayleigh expected successes of the same
+// set (Lemma 2 transfer).
+#include <iostream>
+
+#include "raysched.hpp"
+
+using namespace raysched;
+
+int main(int argc, char** argv) {
+  util::Flags flags;
+  flags.add_int("networks", 40, "number of random networks");
+  flags.add_int("links", 100, "links per network");
+  flags.add_double("beta", 2.5, "SINR threshold");
+  flags.add_double("alpha", 2.2, "path-loss exponent");
+  flags.add_double("noise", 4e-7, "ambient noise nu");
+  flags.add_double("power", 2.0, "uniform power");
+  flags.add_int("restarts", 4, "local-search restarts per network");
+  flags.add_int("seed", 1, "master seed");
+  try {
+    flags.parse(argc, argv);
+  } catch (const error& e) {
+    std::cerr << e.what() << "\n" << flags.usage(argv[0]);
+    return 1;
+  }
+  if (flags.help_requested()) {
+    std::cout << flags.usage(argv[0]);
+    return 0;
+  }
+
+  const auto networks = static_cast<std::size_t>(flags.get_int("networks"));
+  const auto n = static_cast<std::size_t>(flags.get_int("links"));
+  const double beta = flags.get_double("beta");
+  const sim::RngStream master(static_cast<std::uint64_t>(flags.get_int("seed")));
+
+  model::RandomPlaneParams params;
+  params.num_links = n;
+
+  sim::Accumulator greedy_acc, opt_acc, rayleigh_acc, ratio_acc;
+  for (std::size_t net_idx = 0; net_idx < networks; ++net_idx) {
+    sim::RngStream net_rng = master.derive(net_idx, 0xA);
+    auto links = model::random_plane_links(params, net_rng);
+    const model::Network net(std::move(links),
+                             model::PowerAssignment::uniform(
+                                 flags.get_double("power")),
+                             flags.get_double("alpha"),
+                             flags.get_double("noise"));
+
+    const auto greedy = algorithms::greedy_capacity(net, beta);
+    algorithms::LocalSearchOptions ls;
+    ls.restarts = static_cast<int>(flags.get_int("restarts"));
+    ls.seed = net_idx + 42;
+    const auto opt_lb = algorithms::local_search_max_feasible_set(net, beta, ls);
+
+    const double rayleigh =
+        model::expected_successes_rayleigh(net, opt_lb.selected, beta);
+    greedy_acc.add(static_cast<double>(greedy.selected.size()));
+    opt_acc.add(static_cast<double>(opt_lb.selected.size()));
+    rayleigh_acc.add(rayleigh);
+    if (!opt_lb.selected.empty()) {
+      ratio_acc.add(rayleigh / static_cast<double>(opt_lb.selected.size()));
+    }
+  }
+
+  std::cout << "# Figure 1 companion: optimal uniform-power capacity "
+               "(paper reports OPT ~ 49.75)\n";
+  util::Table table({"quantity", "mean", "stddev", "min", "max"});
+  table.add_row({std::string("greedy |S|"), greedy_acc.mean(),
+                 greedy_acc.stddev(), greedy_acc.min(), greedy_acc.max()});
+  table.add_row({std::string("OPT lower bound |S|"), opt_acc.mean(),
+                 opt_acc.stddev(), opt_acc.min(), opt_acc.max()});
+  table.add_row({std::string("E[Rayleigh successes of OPT set]"),
+                 rayleigh_acc.mean(), rayleigh_acc.stddev(), rayleigh_acc.min(),
+                 rayleigh_acc.max()});
+  table.add_row({std::string("Lemma-2 ratio (>= 1/e = 0.3679)"),
+                 ratio_acc.mean(), ratio_acc.stddev(), ratio_acc.min(),
+                 ratio_acc.max()});
+  table.print_text(std::cout);
+  return 0;
+}

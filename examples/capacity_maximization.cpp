@@ -1,0 +1,106 @@
+// Example: capacity maximization across power assignments and utilities.
+//
+// Compares greedy (uniform power), greedy (square-root power), power
+// control, and the flexible-rate sweep for Shannon utility on one instance,
+// reporting non-fading value and the exact expected Rayleigh value of each
+// solution.
+//
+//   $ ./capacity_maximization --links=80 --beta=2.5 --seed=7
+#include <iostream>
+
+#include "raysched.hpp"
+
+using namespace raysched;
+
+int main(int argc, char** argv) {
+  util::Flags flags;
+  flags.add_int("links", 80, "number of links");
+  flags.add_double("beta", 2.5, "SINR threshold for binary capacity");
+  flags.add_int("seed", 7, "instance seed");
+  try {
+    flags.parse(argc, argv);
+  } catch (const error& e) {
+    std::cerr << e.what() << "\n" << flags.usage(argv[0]);
+    return 1;
+  }
+  if (flags.help_requested()) {
+    std::cout << flags.usage(argv[0]);
+    return 0;
+  }
+
+  sim::RngStream rng(static_cast<std::uint64_t>(flags.get_int("seed")));
+  model::RandomPlaneParams params;
+  params.num_links = static_cast<std::size_t>(flags.get_int("links"));
+  const auto links = model::random_plane_links(params, rng);
+  const double beta = flags.get_double("beta");
+
+  const model::Network uniform_net(links, model::PowerAssignment::uniform(2.0),
+                                   2.2, 4e-7);
+  const model::Network sqrt_net(links, model::PowerAssignment::square_root(2.0),
+                                2.2, 4e-7);
+
+  util::Table table({"algorithm", "selected", "nonfading_value",
+                     "E[rayleigh_value]"});
+
+  // Binary capacity with three algorithms.
+  {
+    const auto g = algorithms::greedy_capacity(uniform_net, beta);
+    table.add_row({std::string("greedy uniform"),
+                   static_cast<long long>(g.selected.size()), g.value,
+                   model::expected_successes_rayleigh(uniform_net, g.selected,
+                                                      beta)});
+  }
+  {
+    const auto g = algorithms::greedy_capacity(sqrt_net, beta);
+    table.add_row({std::string("greedy sqrt-power"),
+                   static_cast<long long>(g.selected.size()), g.value,
+                   model::expected_successes_rayleigh(sqrt_net, g.selected,
+                                                      beta)});
+  }
+  {
+    const auto p = algorithms::power_control_capacity(uniform_net, beta);
+    double rayleigh = 0.0;
+    if (!p.selected.empty()) {
+      model::Network powered = uniform_net;
+      powered.set_powers(*p.powers);
+      rayleigh =
+          model::expected_successes_rayleigh(powered, p.selected, beta);
+    }
+    table.add_row({std::string("power control"),
+                   static_cast<long long>(p.selected.size()), p.value,
+                   rayleigh});
+  }
+
+  // Shannon (flexible-rate) capacity: value is total log(1+SINR).
+  {
+    const core::Utility shannon = core::Utility::shannon();
+    const auto f =
+        algorithms::flexible_rate_capacity(uniform_net, shannon, 0.5, 16.0, 10);
+    sim::RngStream mc = rng.derive(0xC0FFEE);
+    const double rayleigh = core::expected_rayleigh_utility_mc(
+        uniform_net, f.selected, shannon, 2000, mc);
+    table.add_row({std::string("flexible-rate (Shannon)"),
+                   static_cast<long long>(f.selected.size()), f.value,
+                   rayleigh});
+  }
+
+  // Per-link rate classes: each selected link carries its own threshold.
+  {
+    const core::Utility shannon = core::Utility::shannon();
+    const auto f = algorithms::flexible_rate_capacity_per_link(
+        uniform_net, shannon, 0.5, 16.0, 10);
+    sim::RngStream mc = rng.derive(0xC0FFEF);
+    const double rayleigh = core::expected_rayleigh_utility_mc(
+        uniform_net, f.selected, shannon, 2000, mc);
+    table.add_row({std::string("per-link rates (Shannon)"),
+                   static_cast<long long>(f.selected.size()), f.value,
+                   rayleigh});
+  }
+
+  std::cout << "capacity maximization on " << flags.get_int("links")
+            << " links, beta=" << beta << "\n\n";
+  table.print_text(std::cout);
+  std::cout << "\nLemma 2: each E[rayleigh_value] is >= nonfading_value / e "
+               "(= x 0.368).\n";
+  return 0;
+}

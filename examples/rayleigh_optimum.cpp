@@ -1,0 +1,91 @@
+// Example: the Rayleigh-fading optimum (Section 5) hands-on.
+//
+// The Rayleigh optimum ranges over transmission-probability assignments
+// q in [0,1]^n. The expected capacity is multilinear in q, so a 0/1 vertex
+// attains the optimum — coordinate ascent finds a 1-opt vertex, gradient
+// ascent explores the interior, and both are compared against the
+// non-fading optimum and its Lemma-2 transfer. Theorem 2's simulation then
+// bounds the Rayleigh optimum by O(log* n) non-fading slots.
+//
+//   $ ./rayleigh_optimum --links=25
+#include <cmath>
+#include <iostream>
+
+#include "raysched.hpp"
+
+using namespace raysched;
+
+int main(int argc, char** argv) {
+  util::Flags flags;
+  flags.add_int("links", 25, "number of links");
+  flags.add_double("beta", 2.5, "SINR threshold");
+  flags.add_int("seed", 17, "instance seed");
+  try {
+    flags.parse(argc, argv);
+  } catch (const error& e) {
+    std::cerr << e.what() << "\n" << flags.usage(argv[0]);
+    return 1;
+  }
+  if (flags.help_requested()) {
+    std::cout << flags.usage(argv[0]);
+    return 0;
+  }
+
+  sim::RngStream rng(static_cast<std::uint64_t>(flags.get_int("seed")));
+  model::RandomPlaneParams params;
+  params.num_links = static_cast<std::size_t>(flags.get_int("links"));
+  auto links = model::random_plane_links(params, rng);
+  const model::Network net(std::move(links),
+                           model::PowerAssignment::uniform(2.0), 2.2, 4e-7);
+  const double beta = flags.get_double("beta");
+
+  // Non-fading optimum (certified lower bound) and its Lemma-2 transfer.
+  algorithms::LocalSearchOptions ls;
+  ls.restarts = 4;
+  const auto nf_opt = algorithms::local_search_max_feasible_set(net, beta, ls);
+  const double transferred =
+      model::expected_successes_rayleigh(net, nf_opt.selected, beta);
+
+  // Rayleigh optimum by coordinate ascent over vertices.
+  algorithms::CoordinateAscentOptions ca;
+  ca.restarts = 4;
+  const auto vertex = algorithms::maximize_capacity_coordinate_ascent(
+      net, beta, ca);
+  std::size_t vertex_links = 0;
+  for (double v : vertex.q) vertex_links += v > 0.5 ? 1 : 0;
+
+  // Interior search from the uniform point, for comparison.
+  const auto interior = algorithms::maximize_capacity_gradient_ascent(
+      net, beta, std::vector<double>(net.size(), 0.5));
+
+  util::Table table({"quantity", "value"});
+  table.add_row({std::string("non-fading OPT (LS lower bound)"),
+                 static_cast<double>(nf_opt.selected.size())});
+  table.add_row({std::string("its E[Rayleigh successes] (Lemma 2)"),
+                 transferred});
+  table.add_row({std::string("Rayleigh OPT, coordinate ascent (vertex)"),
+                 vertex.value});
+  table.add_row({std::string("  links transmitting in that vertex"),
+                 static_cast<double>(vertex_links)});
+  table.add_row({std::string("Rayleigh value, gradient ascent (interior)"),
+                 interior.value});
+  table.add_row({std::string("ratio Rayleigh-OPT / non-fading-OPT"),
+                 vertex.value / static_cast<double>(nf_opt.selected.size())});
+  table.print_text(std::cout);
+
+  // Theorem 2: simulate the Rayleigh-optimal q with non-fading slots.
+  const auto schedule = core::build_simulation_schedule(net, vertex.q);
+  sim::RngStream sim_rng = rng.derive(1);
+  const double best_slot_utility = core::simulation_expected_best_utility_mc(
+      net, schedule, core::Utility::binary(beta), 400, sim_rng);
+  std::cout << "\nTheorem 2 simulation of the Rayleigh-optimal q: "
+            << schedule.levels.size() << " levels x 19 = "
+            << schedule.total_slots() << " non-fading slots;\n"
+            << "E[best-slot utility] = " << best_slot_utility
+            << " (>= Rayleigh OPT / 8 = " << vertex.value / 8.0
+            << " per the proof)\n";
+  std::cout << "\ntakeaway: the Rayleigh optimum sits close to (here: below) "
+               "the non-fading optimum, exactly as Theorem 2 predicts "
+               "within O(log* n).\n";
+  return 0;
+}

@@ -1,0 +1,16 @@
+# Gnuplot script for Figure 1. Generate the data first:
+#   build/bench/fig1_success_vs_probability --csv=fig1.csv
+# then:
+#   gnuplot -e "csv='fig1.csv'" scripts/plot_fig1.gp
+if (!exists("csv")) csv = "fig1.csv"
+set datafile separator ","
+set terminal pngcairo size 900,600
+set output "fig1.png"
+set key top right
+set xlabel "transmission probability q"
+set ylabel "successful transmissions"
+set title "Figure 1: success vs transmission probability (paper setup)"
+plot csv using 1:2 skip 1 with linespoints title "non-fading, uniform p", \
+     csv using 1:3 skip 1 with linespoints title "Rayleigh, uniform p", \
+     csv using 1:4 skip 1 with linespoints title "non-fading, sqrt p", \
+     csv using 1:5 skip 1 with linespoints title "Rayleigh, sqrt p"

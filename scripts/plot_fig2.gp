@@ -1,0 +1,15 @@
+# Gnuplot script for Figure 2. Generate the data first:
+#   build/bench/fig2_regret_learning --csv=fig2.csv
+# then:
+#   gnuplot -e "csv='fig2.csv'" scripts/plot_fig2.gp
+if (!exists("csv")) csv = "fig2.csv"
+set datafile separator ","
+set terminal pngcairo size 900,600
+set output "fig2.png"
+set key bottom right
+set xlabel "round"
+set ylabel "successful transmissions"
+set title "Figure 2: no-regret learning (RWM), paper setup"
+plot csv using 1:2 skip 1 with lines title "non-fading", \
+     csv using 1:3 skip 1 with lines title "Rayleigh", \
+     csv using 1:4 skip 1 with lines dashtype 2 title "non-fading OPT (lower bound)"

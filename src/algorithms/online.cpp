@@ -1,0 +1,94 @@
+#include "algorithms/online.hpp"
+
+#include <algorithm>
+
+#include "model/rayleigh.hpp"
+#include "model/sinr.hpp"
+#include "util/error.hpp"
+
+namespace raysched::algorithms {
+
+using model::LinkId;
+using model::LinkSet;
+
+OnlineScheduler::OnlineScheduler(const model::Network& net, double beta,
+                                 const OnlineOptions& options)
+    : net_(&net), beta_(beta), options_(options),
+      incoming_(net.size(), net.noise()) {
+  require(beta > 0.0, "OnlineScheduler: beta must be positive");
+}
+
+bool OnlineScheduler::can_admit(LinkId i) const {
+  // i's own constraint against the current active set.
+  if (net_->signal(i) < beta_ * incoming_[i]) return false;
+  // Every active link must tolerate i's addition.
+  for (LinkId j : active_) {
+    if (net_->signal(j) < beta_ * (incoming_[j] + net_->mean_gain(i, j))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void OnlineScheduler::admit(LinkId i) {
+  for (LinkId j = 0; j < net_->size(); ++j) {
+    if (j != i) incoming_[j] += net_->mean_gain(i, j);
+  }
+  active_.insert(std::lower_bound(active_.begin(), active_.end(), i), i);
+}
+
+bool OnlineScheduler::arrive(LinkId i) {
+  require(i < net_->size(), "OnlineScheduler::arrive: id out of range");
+  if (std::binary_search(active_.begin(), active_.end(), i)) return true;
+  if (can_admit(i)) {
+    admit(i);
+    // If it was waiting from an earlier rejection, it no longer waits.
+    waiting_.erase(std::remove(waiting_.begin(), waiting_.end(), i),
+                   waiting_.end());
+    return true;
+  }
+  if (std::find(waiting_.begin(), waiting_.end(), i) == waiting_.end()) {
+    waiting_.push_back(i);
+  }
+  return false;
+}
+
+LinkSet OnlineScheduler::depart(LinkId i) {
+  require(i < net_->size(), "OnlineScheduler::depart: id out of range");
+  // Departing also withdraws a waiting request.
+  waiting_.erase(std::remove(waiting_.begin(), waiting_.end(), i),
+                 waiting_.end());
+  const auto it = std::lower_bound(active_.begin(), active_.end(), i);
+  if (it == active_.end() || *it != i) return {};
+  active_.erase(it);
+  for (LinkId j = 0; j < net_->size(); ++j) {
+    if (j != i) incoming_[j] -= net_->mean_gain(i, j);
+  }
+
+  LinkSet readmitted;
+  if (options_.readmit_on_departure) {
+    // Scan waiting links in arrival order; each admission may block later
+    // candidates, exactly like fresh arrivals.
+    LinkSet still_waiting;
+    for (LinkId w : waiting_) {
+      if (can_admit(w)) {
+        admit(w);
+        readmitted.push_back(w);
+      } else {
+        still_waiting.push_back(w);
+      }
+    }
+    waiting_ = std::move(still_waiting);
+  }
+  return readmitted;
+}
+
+double OnlineScheduler::expected_rayleigh_successes() const {
+  return model::expected_successes_rayleigh(*net_, active_, beta_);
+}
+
+bool OnlineScheduler::invariant_holds() const {
+  return model::is_feasible(*net_, active_, beta_);
+}
+
+}  // namespace raysched::algorithms

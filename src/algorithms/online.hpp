@@ -1,0 +1,68 @@
+// raysched: online admission control — links arrive and depart over time.
+//
+// The paper's problems are one-shot, but a deployed scheduler faces a
+// stream of requests. OnlineScheduler maintains an active transmitting set
+// over a fixed universe of links: an arriving link is admitted iff adding
+// it keeps the whole active set SINR-feasible in the non-fading model
+// (greedy online admission — the natural online analogue of the Section-4
+// algorithms, and every intermediate state transfers to Rayleigh fading via
+// Lemma 2 with the same 1/e certificate). Departures free capacity;
+// optionally, a departure triggers re-admission scans over previously
+// rejected links.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "model/network.hpp"
+
+namespace raysched::algorithms {
+
+struct OnlineOptions {
+  /// Re-scan rejected links for admission after each departure.
+  bool readmit_on_departure = true;
+};
+
+/// Online admission controller over the links of a fixed network.
+class OnlineScheduler {
+ public:
+  OnlineScheduler(const model::Network& net, double beta,
+                  const OnlineOptions& options = {});
+
+  /// A link requests to transmit. Returns true iff admitted (the active set
+  /// stays feasible). Admitting an already-active link returns true without
+  /// change; a link rejected earlier may retry.
+  bool arrive(model::LinkId i);
+
+  /// A link stops transmitting. No-op if it was not active. May trigger
+  /// re-admission of waiting links (in arrival order) when enabled.
+  /// Returns the links newly admitted by the re-scan.
+  model::LinkSet depart(model::LinkId i);
+
+  /// Current transmitting set (sorted).
+  [[nodiscard]] const model::LinkSet& active() const { return active_; }
+
+  /// Links that requested admission, were rejected, and have not departed.
+  [[nodiscard]] const model::LinkSet& waiting() const { return waiting_; }
+
+  /// Exact expected number of Rayleigh-successful transmissions of the
+  /// current active set (Lemma 2's left-hand side for the online state).
+  [[nodiscard]] double expected_rayleigh_successes() const;
+
+  /// Whether the current active set is feasible (class invariant; exposed
+  /// for tests).
+  [[nodiscard]] bool invariant_holds() const;
+
+ private:
+  [[nodiscard]] bool can_admit(model::LinkId i) const;
+  void admit(model::LinkId i);
+
+  const model::Network* net_;
+  double beta_;
+  OnlineOptions options_;
+  model::LinkSet active_;   // sorted
+  model::LinkSet waiting_;  // arrival order
+  std::vector<double> incoming_;  // interference + noise per link
+};
+
+}  // namespace raysched::algorithms

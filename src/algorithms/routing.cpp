@@ -1,0 +1,124 @@
+#include "algorithms/routing.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace raysched::algorithms {
+
+using model::Point;
+
+std::optional<std::vector<std::size_t>> min_hop_path(
+    const std::vector<Point>& relays, double range, std::size_t from,
+    std::size_t to) {
+  require(range > 0.0, "min_hop_path: range must be positive");
+  require(from < relays.size() && to < relays.size(),
+          "min_hop_path: relay index out of range");
+  if (from == to) return std::vector<std::size_t>{from};
+  const double range_sq = range * range;
+  std::vector<std::size_t> parent(relays.size(), relays.size());
+  std::queue<std::size_t> frontier;
+  parent[from] = from;
+  frontier.push(from);
+  while (!frontier.empty()) {
+    const std::size_t u = frontier.front();
+    frontier.pop();
+    for (std::size_t v = 0; v < relays.size(); ++v) {
+      if (parent[v] != relays.size() || v == u) continue;
+      if (model::distance_sq(relays[u], relays[v]) <= range_sq) {
+        parent[v] = u;
+        if (v == to) {
+          std::vector<std::size_t> path;
+          for (std::size_t cur = to; cur != from; cur = parent[cur]) {
+            path.push_back(cur);
+          }
+          path.push_back(from);
+          std::reverse(path.begin(), path.end());
+          return path;
+        }
+        frontier.push(v);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+/// Materializes the directed relay edge (u, v) as a link, pulled in from
+/// both endpoints and shifted laterally so that links sharing a relay node
+/// (and the reverse edge) do not place a sender exactly on a receiver —
+/// coincident points would make the gain matrix singular.
+model::Link edge_to_link(const Point& u, const Point& v) {
+  const double dx = v.x - u.x;
+  const double dy = v.y - u.y;
+  const double len = std::sqrt(dx * dx + dy * dy);
+  // Unit direction and left normal.
+  const double ux = dx / len, uy = dy / len;
+  const double nx = -uy, ny = ux;
+  const double inset = 0.02 * len;
+  const double lateral = 0.01 * len;
+  return model::Link{
+      Point{u.x + inset * ux + lateral * nx, u.y + inset * uy + lateral * ny},
+      Point{v.x - inset * ux + lateral * nx, v.y - inset * uy + lateral * ny}};
+}
+
+}  // namespace
+
+RoutedInstance route_requests(const std::vector<Point>& relays, double range,
+                              const std::vector<RouteRequest>& requests,
+                              const model::PowerAssignment& power, double alpha,
+                              double noise) {
+  require(!relays.empty(), "route_requests: need at least one relay");
+  require(!requests.empty(), "route_requests: need at least one request");
+  for (std::size_t a = 0; a < relays.size(); ++a) {
+    for (std::size_t b = a + 1; b < relays.size(); ++b) {
+      require(!(relays[a] == relays[b]),
+              "route_requests: relay positions must be pairwise distinct");
+    }
+  }
+
+  // Route every request, collecting the set of distinct directed edges.
+  std::map<std::pair<std::size_t, std::size_t>, model::LinkId> edge_ids;
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  std::vector<std::vector<model::LinkId>> hop_lists;
+  hop_lists.reserve(requests.size());
+  for (const RouteRequest& req : requests) {
+    require(req.source != req.destination,
+            "route_requests: self-loop request");
+    const auto path = min_hop_path(relays, range, req.source, req.destination);
+    require(path.has_value(),
+            "route_requests: request endpoints are disconnected at this range");
+    std::vector<model::LinkId> hops;
+    for (std::size_t k = 0; k + 1 < path->size(); ++k) {
+      const auto key = std::make_pair((*path)[k], (*path)[k + 1]);
+      auto it = edge_ids.find(key);
+      if (it == edge_ids.end()) {
+        it = edge_ids.emplace(key, edges.size()).first;
+        edges.push_back(key);
+      }
+      hops.push_back(it->second);
+    }
+    hop_lists.push_back(std::move(hops));
+  }
+
+  std::vector<model::Link> links;
+  links.reserve(edges.size());
+  for (const auto& [u, v] : edges) {
+    links.push_back(edge_to_link(relays[u], relays[v]));
+  }
+
+  RoutedInstance out{
+      model::Network(std::move(links), power, alpha, noise),
+      {},
+      std::move(edges)};
+  out.requests.reserve(hop_lists.size());
+  for (auto& hops : hop_lists) {
+    out.requests.push_back(MultihopRequest{std::move(hops)});
+  }
+  return out;
+}
+
+}  // namespace raysched::algorithms

@@ -1,0 +1,53 @@
+// raysched: relay routing — turning end-to-end requests into multi-hop link
+// paths (the substrate in front of schedule_multihop, Section 4's multi-hop
+// setting).
+//
+// Nodes are relay positions; two relays are connected when their distance
+// is at most the communication range. Routes are minimum-hop paths (BFS on
+// the unit-disk graph). route_requests materializes each path's hops as
+// links of a Network built over all relay-to-relay edges actually used, so
+// the output plugs directly into schedule_multihop.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "algorithms/multihop.hpp"
+#include "model/geometry.hpp"
+#include "model/network.hpp"
+#include "model/power.hpp"
+
+namespace raysched::algorithms {
+
+/// An end-to-end request between two relay indices.
+struct RouteRequest {
+  std::size_t source = 0;
+  std::size_t destination = 0;
+};
+
+/// The routed problem: a Network whose links are the distinct directed
+/// relay-to-relay edges used by at least one route, plus per-request hop
+/// sequences into that link set.
+struct RoutedInstance {
+  model::Network network;
+  std::vector<MultihopRequest> requests;
+  /// For each link of `network`, the (from, to) relay indices it connects.
+  std::vector<std::pair<std::size_t, std::size_t>> link_endpoints;
+};
+
+/// Minimum-hop path between two relays on the unit-disk graph with the
+/// given range; nullopt when disconnected. Exposed for tests.
+[[nodiscard]] std::optional<std::vector<std::size_t>> min_hop_path(
+    const std::vector<model::Point>& relays, double range, std::size_t from,
+    std::size_t to);
+
+/// Routes all requests and builds the induced link network. Throws
+/// raysched::error if any request is disconnected or a request is a
+/// self-loop. Relay positions must be pairwise distinct.
+[[nodiscard]] RoutedInstance route_requests(
+    const std::vector<model::Point>& relays, double range,
+    const std::vector<RouteRequest>& requests,
+    const model::PowerAssignment& power, double alpha, double noise);
+
+}  // namespace raysched::algorithms

@@ -1,0 +1,44 @@
+// raysched: link-weighted capacity maximization.
+//
+// The paper's second canonical utility (Section 2) weights each successful
+// link by w_i >= 0; the objective is the total weight of the feasible
+// transmitting set. This module provides a weight-aware greedy (certified
+// feasible), a weighted branch-and-bound oracle for small n, and weighted
+// local search. Solutions transfer to Rayleigh fading through Lemma 2 with
+// the weighted threshold utility exactly like the unweighted case.
+#pragma once
+
+#include <vector>
+
+#include "algorithms/capacity.hpp"
+#include "model/network.hpp"
+
+namespace raysched::algorithms {
+
+/// Result of weighted capacity maximization; `value` is the total weight.
+struct WeightedCapacityResult {
+  model::LinkSet selected;
+  double value = 0.0;
+  std::string algorithm;
+};
+
+/// Weight-aware greedy: candidates ordered by decreasing weight (ties by
+/// increasing length), admitted under the same uncapped-affectance budget as
+/// greedy_capacity, so the output is SINR-feasible at beta.
+[[nodiscard]] WeightedCapacityResult weighted_greedy_capacity(
+    const model::Network& net, double beta, const std::vector<double>& weights,
+    const GreedyOptions& options = {});
+
+/// Exact maximum-weight feasible set by branch and bound (remaining-weight
+/// pruning). Throws if net.size() > max_n.
+[[nodiscard]] WeightedCapacityResult exact_max_weight_feasible_set(
+    const model::Network& net, double beta, const std::vector<double>& weights,
+    std::size_t max_n = 22);
+
+/// Weighted local search: greedy seed, then add moves and 1-out swap moves
+/// accepted when they increase total weight while staying feasible.
+[[nodiscard]] WeightedCapacityResult weighted_local_search(
+    const model::Network& net, double beta, const std::vector<double>& weights,
+    int max_passes = 16);
+
+}  // namespace raysched::algorithms

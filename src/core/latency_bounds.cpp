@@ -1,0 +1,93 @@
+#include "core/latency_bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/latency_transform.hpp"
+#include "core/success_probability.hpp"
+#include "util/error.hpp"
+
+namespace raysched::core {
+
+using model::LinkId;
+using model::Network;
+
+std::vector<double> aloha_slot_success_probabilities(const Network& net,
+                                                     double q, double beta) {
+  require(q > 0.0 && q <= 1.0,
+          "aloha_slot_success_probabilities: q must be in (0,1]");
+  require(beta > 0.0, "aloha_slot_success_probabilities: beta must be > 0");
+  std::vector<double> probs(net.size(), q);
+  std::vector<double> out(net.size());
+  for (LinkId i = 0; i < net.size(); ++i) {
+    out[i] = rayleigh_success_probability(net, probs, i, beta);
+  }
+  return out;
+}
+
+std::vector<double> aloha_solo_success_probabilities(const Network& net,
+                                                     double q, double beta) {
+  require(q > 0.0 && q <= 1.0,
+          "aloha_solo_success_probabilities: q must be in (0,1]");
+  require(beta > 0.0, "aloha_solo_success_probabilities: beta must be > 0");
+  std::vector<double> out(net.size());
+  for (LinkId i = 0; i < net.size(); ++i) {
+    out[i] = q * std::exp(-beta * net.noise() / net.signal(i));
+  }
+  return out;
+}
+
+double expected_cover_time(const std::vector<double>& p) {
+  require(!p.empty(), "expected_cover_time: need at least one probability");
+  for (double v : p) {
+    require(v > 0.0 && v <= 1.0,
+            "expected_cover_time: probabilities must be in (0,1]");
+  }
+  // E[T] = sum_{t >= 0} P[T > t] with
+  // P[T > t] = 1 - prod_i (1 - (1 - p_i)^t). Direct summation converges
+  // geometrically at rate max_i (1 - p_i); truncate when the tail term is
+  // negligible relative to the accumulated sum.
+  double expectation = 0.0;
+  std::vector<double> fail_pow(p.size(), 1.0);  // (1 - p_i)^t
+  for (long t = 0; t < 100000000L; ++t) {
+    double all_done = 1.0;
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      all_done *= 1.0 - fail_pow[i];
+    }
+    const double tail = 1.0 - all_done;
+    expectation += tail;
+    if (tail < 1e-12 * (1.0 + expectation)) break;
+    for (std::size_t i = 0; i < p.size(); ++i) fail_pow[i] *= 1.0 - p[i];
+  }
+  return expectation;
+}
+
+std::vector<double> step_success_probabilities(const std::vector<double>& p_slot,
+                                               double q) {
+  require(q > 0.0 && q <= 1.0,
+          "step_success_probabilities: q must be in (0,1]");
+  std::vector<double> out(p_slot.size());
+  for (std::size_t i = 0; i < p_slot.size(); ++i) {
+    require(p_slot[i] >= 0.0 && p_slot[i] <= q * (1.0 + 1e-12),
+            "step_success_probabilities: p_slot must be in [0, q]");
+    const double conditional = std::min(1.0, p_slot[i] / q);
+    double fail = 1.0;
+    for (int r = 0; r < kLatencyRepeats; ++r) fail *= 1.0 - conditional;
+    out[i] = q * (1.0 - fail);
+  }
+  return out;
+}
+
+double aloha_latency_upper_estimate(const Network& net, double q, double beta) {
+  const auto steps = step_success_probabilities(
+      aloha_slot_success_probabilities(net, q, beta), q);
+  return static_cast<double>(kLatencyRepeats) * expected_cover_time(steps);
+}
+
+double aloha_latency_lower_estimate(const Network& net, double q, double beta) {
+  const auto steps = step_success_probabilities(
+      aloha_solo_success_probabilities(net, q, beta), q);
+  return static_cast<double>(kLatencyRepeats) * expected_cover_time(steps);
+}
+
+}  // namespace raysched::core

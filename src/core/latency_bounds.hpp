@@ -1,0 +1,65 @@
+// raysched: analytic latency estimates for ALOHA-style protocols.
+//
+// For a fixed-probability ALOHA step, every remaining link i succeeds in a
+// given slot with probability at least its Theorem-1 value against the
+// *worst case* that all other remaining links contend. Treating slots as
+// independent geometric trials gives a closed-form upper estimate of the
+// expected latency (coupon-collector style over heterogeneous links):
+//
+//   E[latency] <= max over orderings ~ sum-free bound: for independent
+//   per-slot success probabilities p_i, the expected time until every link
+//   has succeeded at least once is E[max_i G_i] for geometrics G_i, which
+//   we bound by the standard inclusion-exclusion formula (exact when the
+//   per-slot successes are independent across links) and by the simple
+//   union bound estimate.
+//
+// These estimators are pessimistic for the real protocol (as links leave,
+// contention drops and probabilities rise) — tests check that simulation
+// beats the pessimistic bound and is beaten by the optimistic one.
+#pragma once
+
+#include <vector>
+
+#include "model/network.hpp"
+
+namespace raysched::core {
+
+/// Per-slot success probability of each link in a fixed-q ALOHA step of the
+/// Rayleigh model, pessimistically assuming every other link still
+/// contends: Q_i(q, beta) via Theorem 1 with q_j = q for all j.
+[[nodiscard]] std::vector<double> aloha_slot_success_probabilities(
+    const model::Network& net, double q, double beta);
+
+/// Per-slot success probabilities in the optimistic extreme: only link i
+/// itself contends (everyone else already left): q * exp(-beta nu / S(i,i)).
+[[nodiscard]] std::vector<double> aloha_solo_success_probabilities(
+    const model::Network& net, double q, double beta);
+
+/// Expected time until every link succeeded at least once, for independent
+/// per-slot success probabilities p (exact for independent links), by
+/// inclusion-exclusion over subsets when n <= 20, and by numerically
+/// summing P[T > t] otherwise:
+///   E[T] = sum_{t>=0} (1 - prod_i (1 - (1-p_i)^t)).
+[[nodiscard]] double expected_cover_time(const std::vector<double>& p);
+
+/// Converts per-slot conditional success probabilities into per-macro-step
+/// success probabilities of the Section-4 protocol: a link transmits with
+/// probability q per step and then gets kLatencyRepeats fresh fading trials,
+/// so step success = q * (1 - (1 - p_slot/q)^kLatencyRepeats). `p_slot` must
+/// be the *unconditional* per-slot probability (q already folded in).
+[[nodiscard]] std::vector<double> step_success_probabilities(
+    const std::vector<double>& p_slot, double q);
+
+/// Pessimistic analytic latency estimate in elementary slots: cover time of
+/// the full-contention per-step probabilities, times the 4 slots per step.
+/// "Pessimistic" refers to contention (links never leave); the repeat boost
+/// is modeled, so this is an estimate rather than a strict bound.
+[[nodiscard]] double aloha_latency_upper_estimate(const model::Network& net,
+                                                  double q, double beta);
+
+/// Optimistic analytic latency estimate in elementary slots: cover time of
+/// the solo (no-contention) per-step probabilities, times 4.
+[[nodiscard]] double aloha_latency_lower_estimate(const model::Network& net,
+                                                  double q, double beta);
+
+}  // namespace raysched::core

@@ -1,0 +1,44 @@
+// raysched: exact expected ALOHA latency for small n.
+//
+// The fixed-probability ALOHA process is a Markov chain over the set R of
+// not-yet-served links. Its transition law is exactly computable:
+//
+//   * the transmit set A ⊆ R is drawn with probability
+//     Π_{i∈A} q_i · Π_{i∈R\A} (1−q_i);
+//   * given A, success events are INDEPENDENT across links — each receiver
+//     draws its own copies of all gains — with per-macro-step probability
+//       non-fading:  s_i(A) = [γ_i^nf(A) ≥ β]   (deterministic),
+//       Rayleigh:    s_i(A) = 1 − (1 − p_i(A))^repeats, where p_i(A) is the
+//                    Theorem-1 slot form and `repeats` the Section-4
+//                    repetition (the 4 repeats share A, draw fresh fading).
+//
+// Conditioning on A and summing over subsets yields P(R → R'); expected
+// absorption times follow by the standard one-step recursion, solved in
+// increasing-subset order:
+//   E[R] = (1 + Σ_{R' ⊊ R} P(R→R') E[R']) / (1 − P(R→R)).
+//
+// Cost is Σ_{R⊆[n]} 2^{|R|} poly = O(3^n poly); guarded at n ≤ 12. This is
+// ground truth for the latency simulators (aloha_schedule counts exactly
+// `repeats` elementary slots per macro step).
+#pragma once
+
+#include "algorithms/latency.hpp"
+#include "model/network.hpp"
+
+namespace raysched::core {
+
+/// Exact expected number of *macro steps* until every link succeeded once,
+/// for fixed per-link transmission probability `q` per step. Throws if
+/// net.size() > max_n (exponential cost) or q outside (0, 1].
+[[nodiscard]] double exact_aloha_expected_macro_steps(
+    const model::Network& net, double q, double beta,
+    algorithms::Propagation propagation, std::size_t max_n = 12);
+
+/// Exact expected number of *elementary slots* of the simulator
+/// aloha_schedule (non-adaptive options): macro steps times the per-step
+/// slot count (1 non-fading, kLatencyRepeats Rayleigh).
+[[nodiscard]] double exact_aloha_expected_slots(
+    const model::Network& net, double q, double beta,
+    algorithms::Propagation propagation, std::size_t max_n = 12);
+
+}  // namespace raysched::core

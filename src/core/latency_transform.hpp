@@ -1,0 +1,40 @@
+// raysched: Section 4 — transferring latency-minimization protocols.
+//
+// ALOHA-style protocols assign each link a (small, <= 1/2) transmission
+// probability per slot. To run such a protocol under Rayleigh fading, each
+// randomized step is executed kLatencyRepeats = 4 times. If the non-fading
+// success probability of a step is p <= 1/2, the Rayleigh success
+// probability per attempt is at least p/e (Lemma 1), so the 4 repeats
+// succeed at least once with probability 1 - (1 - p/e)^4 >= p — i.e. the
+// transformed protocol is at least as fast per (4-slot) macro step, costing
+// only a constant factor in latency.
+#pragma once
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace raysched::core {
+
+/// Number of repetitions of each randomized step in the Rayleigh model.
+inline constexpr int kLatencyRepeats = 4;
+
+/// Probability that at least one of kLatencyRepeats independent Rayleigh
+/// attempts succeeds, given that each attempt succeeds with probability at
+/// least p/e (p = non-fading step success probability).
+[[nodiscard]] inline double boosted_success_probability(double p) {
+  require(p >= 0.0 && p <= 1.0,
+          "boosted_success_probability: p must be in [0,1]");
+  const double per_attempt = p / std::exp(1.0);
+  double fail = 1.0;
+  for (int r = 0; r < kLatencyRepeats; ++r) fail *= 1.0 - per_attempt;
+  return 1.0 - fail;
+}
+
+/// The Section 4 claim: for p <= 1/2, the boosted Rayleigh success
+/// probability dominates the non-fading step probability.
+[[nodiscard]] inline bool boost_dominates(double p) {
+  return boosted_success_probability(p) >= p;
+}
+
+}  // namespace raysched::core

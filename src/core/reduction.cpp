@@ -1,0 +1,81 @@
+#include "core/reduction.hpp"
+
+#include "algorithms/capacity.hpp"
+#include "algorithms/exact.hpp"
+#include "model/sinr.hpp"
+#include "util/error.hpp"
+
+namespace raysched::core {
+
+using model::LinkSet;
+using model::Network;
+
+RayleighScheduleDecision schedule_capacity_rayleigh(
+    const Network& net, const Utility& u, const ReductionOptions& options,
+    sim::RngStream& rng) {
+  RayleighScheduleDecision decision;
+
+  LinkSet selected;
+  std::optional<std::vector<double>> powers;
+  if (u.is_threshold()) {
+    const double beta = u.beta();
+    switch (options.algorithm) {
+      case NonFadingAlgorithm::Greedy: {
+        auto r = algorithms::greedy_capacity(net, beta);
+        selected = std::move(r.selected);
+        decision.algorithm = std::move(r.algorithm);
+        break;
+      }
+      case NonFadingAlgorithm::PowerControl: {
+        auto r = algorithms::power_control_capacity(net, beta);
+        selected = std::move(r.selected);
+        powers = std::move(r.powers);
+        decision.algorithm = std::move(r.algorithm);
+        break;
+      }
+      case NonFadingAlgorithm::LocalSearch: {
+        algorithms::LocalSearchOptions ls;
+        ls.restarts = 4;
+        ls.use_swap_moves = net.size() <= 120;
+        auto r = algorithms::local_search_max_feasible_set(net, beta, ls);
+        selected = std::move(r.selected);
+        decision.algorithm = std::move(r.algorithm);
+        break;
+      }
+      case NonFadingAlgorithm::FlexibleRate: {
+        auto r = algorithms::flexible_rate_capacity_per_link(
+            net, u, options.beta_min, options.beta_max, options.rate_classes);
+        selected = std::move(r.selected);
+        decision.algorithm = std::move(r.algorithm);
+        break;
+      }
+    }
+  } else {
+    require(options.algorithm == NonFadingAlgorithm::FlexibleRate,
+            "schedule_capacity_rayleigh: non-threshold utilities require "
+            "NonFadingAlgorithm::FlexibleRate (the [22] regime)");
+    auto r = algorithms::flexible_rate_capacity_per_link(
+        net, u, options.beta_min, options.beta_max, options.rate_classes);
+    selected = std::move(r.selected);
+    decision.algorithm = std::move(r.algorithm);
+  }
+
+  // Transfer: evaluate on the (possibly re-powered) network.
+  const Network* eval_net = &net;
+  Network powered = net;  // only used when powers were chosen
+  if (powers.has_value()) {
+    powered.set_powers(*powers);
+    eval_net = &powered;
+  }
+  const TransferResult transfer = transfer_capacity_solution(
+      *eval_net, selected, u, options.mc_trials, rng);
+
+  decision.transmit_set = std::move(selected);
+  decision.powers = std::move(powers);
+  decision.nonfading_value = transfer.nonfading_value;
+  decision.expected_rayleigh_value = transfer.rayleigh_value;
+  decision.lemma2_ratio = transfer.ratio();
+  return decision;
+}
+
+}  // namespace raysched::core

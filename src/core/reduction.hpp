@@ -1,0 +1,61 @@
+// raysched: the black-box reduction, packaged (Sections 4-5 end to end).
+//
+// One call runs a non-fading capacity algorithm, transfers its solution to
+// the Rayleigh model (same senders, same powers — Lemma 2), and returns the
+// decision together with its certificates: the non-fading value, the exact
+// expected Rayleigh value, and the Lemma-2 ratio (guaranteed >= 1/e for
+// threshold utilities). This is the paper's headline usage: "apply existing
+// algorithms for the non-fading model in the Rayleigh-fading scenario".
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/transfer.hpp"
+#include "core/utility.hpp"
+#include "model/link.hpp"
+#include "model/network.hpp"
+#include "sim/rng.hpp"
+
+namespace raysched::core {
+
+/// Which non-fading algorithm the reduction wraps.
+enum class NonFadingAlgorithm {
+  Greedy,        ///< affectance-bounded greedy on the network's powers
+  PowerControl,  ///< Kesselheim-style admission + fixed-point powers
+  LocalSearch,   ///< local-search OPT lower bound (slower, better sets)
+  FlexibleRate,  ///< per-link rate classes for non-threshold utilities
+};
+
+/// The reduction's output: what to transmit and what it is worth.
+struct RayleighScheduleDecision {
+  model::LinkSet transmit_set;  ///< sorted; transmit exactly these senders
+  /// Per-link powers when the algorithm chose them (PowerControl), else
+  /// nullopt (keep the network's current powers).
+  std::optional<std::vector<double>> powers;
+  double nonfading_value = 0.0;       ///< utility in the non-fading model
+  double expected_rayleigh_value = 0.0;  ///< exact (threshold) or MC estimate
+  /// expected_rayleigh_value / nonfading_value; Lemma 2 certifies >= 1/e.
+  double lemma2_ratio = 0.0;
+  std::string algorithm;  ///< name of the wrapped algorithm
+};
+
+struct ReductionOptions {
+  NonFadingAlgorithm algorithm = NonFadingAlgorithm::Greedy;
+  /// Monte-Carlo trials for non-threshold utilities (threshold utilities
+  /// are evaluated exactly).
+  std::size_t mc_trials = 2000;
+  /// Threshold grid for FlexibleRate (ignored otherwise).
+  double beta_min = 0.25;
+  double beta_max = 16.0;
+  int rate_classes = 8;
+};
+
+/// Runs the reduction. For threshold utilities the wrapped algorithm runs
+/// at u.beta(); for other utilities FlexibleRate is required (the paper's
+/// [22] regime). `rng` is only consumed for Monte-Carlo evaluation.
+[[nodiscard]] RayleighScheduleDecision schedule_capacity_rayleigh(
+    const model::Network& net, const Utility& u, const ReductionOptions& options,
+    sim::RngStream& rng);
+
+}  // namespace raysched::core

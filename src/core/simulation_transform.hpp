@@ -1,0 +1,73 @@
+// raysched: Algorithm 1 / Theorem 2 — simulating one Rayleigh-fading slot by
+// O(log* n) non-fading slots.
+//
+// Given transmission probabilities q_1..q_n, the simulation runs, for every
+// k >= 0 with b_k < n (where b_0 = 1/4, b_{k+1} = exp(b_k/2)), 19
+// independent attempts in which sender i transmits with probability
+// q_i / (4 b_k). Theorem 2 shows the expected utility collected by the best
+// of these O(log* n) non-fading steps is at least Omega(1/log* n) times the
+// expected Rayleigh utility of the original q — which is exactly how
+// Rayleigh-fading optima are related back to non-fading optima.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/utility.hpp"
+#include "model/network.hpp"
+#include "sim/rng.hpp"
+
+namespace raysched::core {
+
+/// Number of independent repetitions per probability level in Algorithm 1.
+inline constexpr int kSimulationRepeatsPerLevel = 19;
+
+/// One probability level of the simulation: all senders use probabilities
+/// q_i / (4 b_k) for `repeats` independent slots.
+struct SimulationLevel {
+  double b_k = 0.0;                   ///< the b_k value of this level
+  std::vector<double> probabilities;  ///< q_i / (4 b_k), clamped to [0,1]
+  int repeats = kSimulationRepeatsPerLevel;
+};
+
+/// The full simulation schedule for a probability vector q.
+struct SimulationSchedule {
+  std::vector<SimulationLevel> levels;
+
+  /// Total non-fading slots the simulation uses (levels x 19); this is the
+  /// O(log* n) quantity of Theorem 2.
+  [[nodiscard]] std::size_t total_slots() const {
+    std::size_t total = 0;
+    for (const auto& l : levels) total += static_cast<std::size_t>(l.repeats);
+    return total;
+  }
+};
+
+/// Builds the Algorithm 1 schedule for `q` on a network of size net.size().
+[[nodiscard]] SimulationSchedule build_simulation_schedule(
+    const model::Network& net, const std::vector<double>& q);
+
+/// Monte-Carlo estimate of Pr[max_t gamma_i^{nf,t} >= beta]: the probability
+/// that link i succeeds in the non-fading model in at least one slot of the
+/// simulation. Lemma 3 guarantees this is >= Q_i(q, beta) whenever
+/// beta <= S̄(i,i)/(2 nu).
+[[nodiscard]] double simulation_success_probability_mc(
+    const model::Network& net, const SimulationSchedule& schedule,
+    model::LinkId i, double beta, std::size_t trials, sim::RngStream& rng);
+
+/// Monte-Carlo estimate of E[sum_i u(max_t gamma_i^{nf,t})]: the expected
+/// utility when every link keeps the best SINR it saw across all simulation
+/// slots. Theorem 2's left-hand side (up to picking the single best step).
+[[nodiscard]] double simulation_expected_best_utility_mc(
+    const model::Network& net, const SimulationSchedule& schedule,
+    const Utility& u, std::size_t trials, sim::RngStream& rng);
+
+/// Monte-Carlo estimate of the expected utility of each individual slot of
+/// the schedule (E[sum_i u(gamma_i^nf)] per slot, in slot order). The
+/// maximum entry is the "best single step" that witnesses Theorem 2's
+/// probability assignment q'.
+[[nodiscard]] std::vector<double> simulation_per_slot_utility_mc(
+    const model::Network& net, const SimulationSchedule& schedule,
+    const Utility& u, std::size_t trials, sim::RngStream& rng);
+
+}  // namespace raysched::core

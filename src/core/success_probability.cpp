@@ -1,0 +1,176 @@
+#include "core/success_probability.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "model/sinr.hpp"
+#include "util/error.hpp"
+
+namespace raysched::core {
+
+using model::LinkId;
+using model::Network;
+
+void validate_probabilities(const Network& net, const std::vector<double>& q) {
+  require(q.size() == net.size(),
+          "probability vector size must equal network size");
+  for (double p : q) {
+    require(p >= 0.0 && p <= 1.0, "transmission probabilities must be in [0,1]");
+  }
+}
+
+double rayleigh_success_probability(const Network& net,
+                                    const std::vector<double>& q, LinkId i,
+                                    double beta) {
+  validate_probabilities(net, q);
+  require(i < net.size(), "rayleigh_success_probability: id out of range");
+  require(beta > 0.0, "rayleigh_success_probability: beta must be positive");
+  const double sii = net.signal(i);
+  double p = q[i] * std::exp(-beta * net.noise() / sii);
+  for (LinkId j = 0; j < net.size(); ++j) {
+    if (j == i || q[j] == 0.0) continue;
+    // beta / (beta + S(i,i)/S(j,i)) rewritten division-safely as
+    // beta*S(j,i) / (beta*S(j,i) + S(i,i)); correct also when S(j,i) == 0.
+    const double sji = net.mean_gain(j, i);
+    p *= 1.0 - beta * sji * q[j] / (beta * sji + sii);
+  }
+  return p;
+}
+
+double rayleigh_success_lower_bound(const Network& net,
+                                    const std::vector<double>& q, LinkId i,
+                                    double beta) {
+  validate_probabilities(net, q);
+  require(i < net.size(), "rayleigh_success_lower_bound: id out of range");
+  require(beta > 0.0, "rayleigh_success_lower_bound: beta must be positive");
+  const double sii = net.signal(i);
+  double mass = net.noise();
+  for (LinkId j = 0; j < net.size(); ++j) {
+    if (j != i) mass += net.mean_gain(j, i) * q[j];
+  }
+  return q[i] * std::exp(-beta * mass / sii);
+}
+
+double rayleigh_success_upper_bound(const Network& net,
+                                    const std::vector<double>& q, LinkId i,
+                                    double beta) {
+  validate_probabilities(net, q);
+  require(i < net.size(), "rayleigh_success_upper_bound: id out of range");
+  require(beta > 0.0, "rayleigh_success_upper_bound: beta must be positive");
+  const double sii = net.signal(i);
+  double exponent = -beta * net.noise() / sii;
+  for (LinkId j = 0; j < net.size(); ++j) {
+    if (j == i) continue;
+    exponent -= std::min(0.5, beta * net.mean_gain(j, i) / (2.0 * sii)) * q[j];
+  }
+  return q[i] * std::exp(exponent);
+}
+
+double interference_weight(const Network& net, const std::vector<double>& q,
+                           LinkId i, double beta) {
+  validate_probabilities(net, q);
+  require(i < net.size(), "interference_weight: id out of range");
+  require(beta > 0.0, "interference_weight: beta must be positive");
+  const double sii = net.signal(i);
+  double a = 0.0;
+  for (LinkId j = 0; j < net.size(); ++j) {
+    if (j == i) continue;
+    a += std::min(1.0, beta * net.mean_gain(j, i) / sii) * q[j];
+  }
+  return a;
+}
+
+double expected_rayleigh_successes(const Network& net,
+                                   const std::vector<double>& q, double beta) {
+  double total = 0.0;
+  for (LinkId i = 0; i < net.size(); ++i) {
+    if (q[i] > 0.0) total += rayleigh_success_probability(net, q, i, beta);
+  }
+  return total;
+}
+
+double nonfading_success_probability_exact(const Network& net,
+                                           const std::vector<double>& q,
+                                           LinkId i, double beta,
+                                           std::size_t max_free) {
+  validate_probabilities(net, q);
+  require(i < net.size(), "nonfading_success_probability_exact: id range");
+  require(beta > 0.0, "nonfading_success_probability_exact: beta > 0 required");
+  if (q[i] == 0.0) return 0.0;
+
+  // Links with q == 1 always interfere; links with fractional q are "free";
+  // links with q == 0 never interfere.
+  double fixed_interference = net.noise();
+  std::vector<LinkId> free;
+  for (LinkId j = 0; j < net.size(); ++j) {
+    if (j == i) continue;
+    if (q[j] >= 1.0) fixed_interference += net.mean_gain(j, i);
+    else if (q[j] > 0.0) free.push_back(j);
+  }
+  require(free.size() <= max_free,
+          "nonfading_success_probability_exact: too many fractional links; "
+          "use the Monte-Carlo estimator");
+
+  const double budget = net.signal(i) / beta;  // need interference <= budget
+  const std::size_t m = free.size();
+  double success = 0.0;
+  for (std::size_t mask = 0; mask < (std::size_t{1} << m); ++mask) {
+    double interference = fixed_interference;
+    double prob = 1.0;
+    for (std::size_t b = 0; b < m; ++b) {
+      if (mask & (std::size_t{1} << b)) {
+        interference += net.mean_gain(free[b], i);
+        prob *= q[free[b]];
+      } else {
+        prob *= 1.0 - q[free[b]];
+      }
+    }
+    if (interference <= budget) success += prob;
+  }
+  return q[i] * success;
+}
+
+double nonfading_success_probability_mc(const Network& net,
+                                        const std::vector<double>& q, LinkId i,
+                                        double beta, std::size_t trials,
+                                        sim::RngStream& rng) {
+  validate_probabilities(net, q);
+  require(i < net.size(), "nonfading_success_probability_mc: id range");
+  require(beta > 0.0, "nonfading_success_probability_mc: beta > 0 required");
+  require(trials > 0, "nonfading_success_probability_mc: trials > 0 required");
+  if (q[i] == 0.0) return 0.0;
+  const double budget = net.signal(i) / beta;
+  std::size_t hits = 0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    if (!rng.bernoulli(q[i])) continue;  // i itself must transmit
+    double interference = net.noise();
+    for (LinkId j = 0; j < net.size(); ++j) {
+      if (j == i || q[j] == 0.0) continue;
+      if (rng.bernoulli(q[j])) interference += net.mean_gain(j, i);
+    }
+    if (interference <= budget) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(trials);
+}
+
+double expected_nonfading_successes_mc(const Network& net,
+                                       const std::vector<double>& q,
+                                       double beta, std::size_t trials,
+                                       sim::RngStream& rng) {
+  validate_probabilities(net, q);
+  require(beta > 0.0, "expected_nonfading_successes_mc: beta > 0 required");
+  require(trials > 0, "expected_nonfading_successes_mc: trials > 0 required");
+  double total = 0.0;
+  model::LinkSet active;
+  for (std::size_t t = 0; t < trials; ++t) {
+    active.clear();
+    for (LinkId j = 0; j < net.size(); ++j) {
+      if (q[j] > 0.0 && rng.bernoulli(q[j])) active.push_back(j);
+    }
+    total += static_cast<double>(
+        model::count_successes_nonfading(net, active, beta));
+  }
+  return total / static_cast<double>(trials);
+}
+
+}  // namespace raysched::core

@@ -1,0 +1,81 @@
+// raysched: success probabilities under probabilistic spectrum access.
+//
+// Each sender transmits independently with probability q_i. In the Rayleigh
+// model the probability that link i transmits AND reaches SINR >= beta has
+// the closed form of Theorem 1:
+//
+//   Q_i(q, beta) = q_i * exp(-beta nu / S̄(i,i))
+//                      * prod_{j != i} (1 - beta q_j / (beta + S̄(i,i)/S̄(j,i)))
+//
+// Lemma 1 sandwiches this between two exponentials; those bounds drive both
+// the Lemma 2 transfer (1/e factor) and the Theorem 2 simulation argument.
+//
+// In the non-fading model the same quantity has no product form; we provide
+// exact evaluation by subset enumeration (n <= ~25) and Monte-Carlo
+// estimation for larger n.
+#pragma once
+
+#include <vector>
+
+#include "model/network.hpp"
+#include "sim/rng.hpp"
+
+namespace raysched::core {
+
+/// Validates a transmission-probability vector: size n, entries in [0,1].
+void validate_probabilities(const model::Network& net,
+                            const std::vector<double>& q);
+
+/// Theorem 1: exact Rayleigh success probability of link i under independent
+/// transmission probabilities q (includes the factor q_i for i transmitting).
+[[nodiscard]] double rayleigh_success_probability(const model::Network& net,
+                                                  const std::vector<double>& q,
+                                                  model::LinkId i, double beta);
+
+/// Lemma 1 lower bound:
+///   Q_i >= q_i * exp(-(beta/S̄(i,i)) * (nu + sum_{j!=i} S̄(j,i) q_j)).
+[[nodiscard]] double rayleigh_success_lower_bound(const model::Network& net,
+                                                  const std::vector<double>& q,
+                                                  model::LinkId i, double beta);
+
+/// Lemma 1 upper bound:
+///   Q_i <= q_i * exp(-beta nu/S̄(i,i)
+///                    - sum_{j!=i} min{1/2, beta S̄(j,i)/(2 S̄(i,i))} q_j).
+[[nodiscard]] double rayleigh_success_upper_bound(const model::Network& net,
+                                                  const std::vector<double>& q,
+                                                  model::LinkId i, double beta);
+
+/// The interference weight A_i = sum_{j != i} min{1, beta S̄(j,i)/S̄(i,i)} q_j
+/// from the proof of Theorem 2 (Lemma 3).
+[[nodiscard]] double interference_weight(const model::Network& net,
+                                         const std::vector<double>& q,
+                                         model::LinkId i, double beta);
+
+/// Expected number of Rayleigh-successful transmissions per slot under q
+/// (sum of Theorem-1 probabilities). Exact.
+[[nodiscard]] double expected_rayleigh_successes(const model::Network& net,
+                                                 const std::vector<double>& q,
+                                                 double beta);
+
+/// Exact non-fading success probability of link i under q, by enumerating
+/// all 2^m subsets of interferers with q_j in (0,1) (links with q_j == 0 or
+/// 1 are folded in). Throws raysched::error if more than `max_free` links
+/// have fractional probabilities (default 25).
+[[nodiscard]] double nonfading_success_probability_exact(
+    const model::Network& net, const std::vector<double>& q, model::LinkId i,
+    double beta, std::size_t max_free = 25);
+
+/// Monte-Carlo estimate of the non-fading success probability of link i
+/// under q, using `trials` independent transmit-set draws.
+[[nodiscard]] double nonfading_success_probability_mc(
+    const model::Network& net, const std::vector<double>& q, model::LinkId i,
+    double beta, std::size_t trials, sim::RngStream& rng);
+
+/// Expected non-fading successes per slot under q, Monte-Carlo.
+[[nodiscard]] double expected_nonfading_successes_mc(const model::Network& net,
+                                                     const std::vector<double>& q,
+                                                     double beta,
+                                                     std::size_t trials,
+                                                     sim::RngStream& rng);
+
+}  // namespace raysched::core

@@ -1,0 +1,65 @@
+// raysched: Lemma 2 — transferring non-fading capacity solutions to the
+// Rayleigh-fading model.
+//
+// Take any solution of capacity maximization computed in the non-fading
+// model (a set of transmitting links, powers unchanged) and let exactly the
+// same senders transmit under Rayleigh fading. Lemma 2: the expected utility
+// is at least a 1/e fraction of the non-fading utility, for every valid
+// utility function. The key step is that the Rayleigh success probability at
+// threshold gamma_i^nf is exactly
+//   exp(-gamma_i^nf (nu + I_i) / S̄(i,i)) = exp(-1) = 1/e
+// by the Lemma 1 lower bound, since gamma_i^nf = S̄(i,i) / (I_i + nu).
+#pragma once
+
+#include "core/utility.hpp"
+#include "model/link.hpp"
+#include "model/network.hpp"
+#include "sim/rng.hpp"
+
+namespace raysched::core {
+
+/// Result of transferring one non-fading solution to the Rayleigh model.
+struct TransferResult {
+  double nonfading_value = 0.0;  ///< sum_i u(gamma_i^nf) over the solution
+  double rayleigh_value = 0.0;   ///< E[sum_i u(gamma_i^R)], same senders
+  /// rayleigh_value / nonfading_value; Lemma 2 guarantees >= 1/e whenever
+  /// nonfading_value > 0 and u is a threshold utility at the achieved SINRs
+  /// (for general valid utilities the guarantee also holds; the estimate for
+  /// non-threshold utilities is Monte-Carlo).
+  [[nodiscard]] double ratio() const {
+    return nonfading_value > 0.0 ? rayleigh_value / nonfading_value : 0.0;
+  }
+};
+
+/// Exact expected Rayleigh utility of transmitting exactly `solution`, for
+/// *threshold* utilities (binary/weighted): sum of w * Pr[gamma_i^R >= beta]
+/// via the closed form. Throws for non-threshold utilities.
+[[nodiscard]] double expected_rayleigh_utility_exact(
+    const model::Network& net, const model::LinkSet& solution,
+    const Utility& u);
+
+/// Monte-Carlo expected Rayleigh utility of transmitting exactly `solution`
+/// for an arbitrary utility: averages sum_i u(gamma_i^R) over `trials`
+/// independent fading realizations.
+[[nodiscard]] double expected_rayleigh_utility_mc(const model::Network& net,
+                                                  const model::LinkSet& solution,
+                                                  const Utility& u,
+                                                  std::size_t trials,
+                                                  sim::RngStream& rng);
+
+/// Applies Lemma 2 to a non-fading solution: evaluates both sides. Uses the
+/// exact closed form for threshold utilities and Monte-Carlo (with `trials`
+/// and `rng`) otherwise.
+[[nodiscard]] TransferResult transfer_capacity_solution(
+    const model::Network& net, const model::LinkSet& solution, const Utility& u,
+    std::size_t trials, sim::RngStream& rng);
+
+/// The Lemma 2 per-link guarantee: Rayleigh success probability of link i at
+/// its own non-fading SINR when exactly `solution` transmits. Lemma 2 proves
+/// this is always >= 1/e (when noise+interference > 0). Exposed for tests
+/// and the A2 ablation bench.
+[[nodiscard]] double per_link_transfer_probability(const model::Network& net,
+                                                   const model::LinkSet& solution,
+                                                   model::LinkId i);
+
+}  // namespace raysched::core

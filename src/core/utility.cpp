@@ -1,0 +1,105 @@
+#include "core/utility.hpp"
+
+#include <limits>
+
+namespace raysched::core {
+
+Utility Utility::binary(double beta) {
+  require(beta > 0.0, "Utility::binary: beta must be positive");
+  Utility u;
+  u.kind_ = Kind::Binary;
+  u.beta_ = beta;
+  u.weight_ = 1.0;
+  u.concave_from_ = beta;
+  u.name_ = "binary(beta=" + std::to_string(beta) + ")";
+  return u;
+}
+
+Utility Utility::weighted(double beta, double weight) {
+  require(beta > 0.0, "Utility::weighted: beta must be positive");
+  require(weight >= 0.0, "Utility::weighted: weight must be >= 0");
+  Utility u;
+  u.kind_ = Kind::Weighted;
+  u.beta_ = beta;
+  u.weight_ = weight;
+  u.concave_from_ = beta;
+  u.name_ = "weighted(beta=" + std::to_string(beta) +
+            ",w=" + std::to_string(weight) + ")";
+  return u;
+}
+
+Utility Utility::shannon() {
+  Utility u;
+  u.kind_ = Kind::Shannon;
+  u.concave_from_ = 0.0;
+  u.name_ = "shannon";
+  return u;
+}
+
+Utility Utility::custom(std::function<double(double)> f, double concave_from,
+                        std::string name) {
+  require(static_cast<bool>(f), "Utility::custom: callable must be non-empty");
+  require(concave_from >= 0.0, "Utility::custom: concave_from must be >= 0");
+  Utility u;
+  u.kind_ = Kind::Custom;
+  u.f_ = std::move(f);
+  u.concave_from_ = concave_from;
+  u.name_ = std::move(name);
+  return u;
+}
+
+double Utility::value(double gamma) const {
+  require(gamma >= 0.0, "Utility::value: SINR must be >= 0");
+  switch (kind_) {
+    case Kind::Binary:
+      return gamma >= beta_ ? 1.0 : 0.0;
+    case Kind::Weighted:
+      return gamma >= beta_ ? weight_ : 0.0;
+    case Kind::Shannon:
+      return std::log1p(gamma);
+    case Kind::Custom: {
+      const double v = f_(gamma);
+      require(v >= 0.0, "Utility::value: custom utility returned < 0");
+      return v;
+    }
+  }
+  return 0.0;  // unreachable
+}
+
+double Utility::beta() const {
+  require(is_threshold(), "Utility::beta: not a threshold utility");
+  return beta_;
+}
+
+double Utility::weight() const {
+  require(is_threshold(), "Utility::weight: not a threshold utility");
+  return weight_;
+}
+
+double Utility::concave_from() const { return concave_from_; }
+
+bool Utility::is_valid_for(const model::Network& net, model::LinkId i,
+                           double c) const {
+  require(c > 1.0, "Utility::is_valid_for: c must be > 1");
+  require(i < net.size(), "Utility::is_valid_for: link id out of range");
+  if (net.noise() == 0.0) return true;  // interval is (0, inf)
+  return concave_from_ <= net.signal(i) / (c * net.noise());
+}
+
+double Utility::max_valid_c(const model::Network& net, model::LinkId i) const {
+  require(i < net.size(), "Utility::max_valid_c: link id out of range");
+  if (net.noise() == 0.0 || concave_from_ == 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  // Need concave_from <= S(i,i)/(c nu), i.e. c <= S(i,i)/(concave_from nu).
+  const double c = net.signal(i) / (concave_from_ * net.noise());
+  return c > 1.0 ? c : 0.0;
+}
+
+double total_utility(const Utility& u, const std::vector<double>& sinrs) {
+  double total = 0.0;
+  for (double g : sinrs) total += u.value(g);
+  return total;
+}
+
+}  // namespace raysched::core

@@ -1,0 +1,98 @@
+// raysched: valid utility functions (Definition 1) and the three canonical
+// instances the paper discusses.
+//
+// A utility u_i : R>=0 -> R>=0 is *valid* for link i if there is a constant
+// c_i > 1 such that u_i is non-decreasing and concave on
+// [S̄(i,i)/(c_i * nu), infinity). Validity is exactly the
+// "interference-dominated / reasonable noise" condition that makes the
+// Rayleigh-vs-non-fading comparison meaningful.
+//
+// Instances:
+//   * binary(beta):       u(x) = 1 if x >= beta else 0  — standard capacity.
+//   * weighted(beta, w):  u(x) = w if x >= beta else 0  — weighted capacity.
+//   * shannon():          u(x) = log(1 + x)             — Shannon capacity.
+//   * custom(f):          arbitrary callable, validity declared by caller.
+#pragma once
+
+#include <cmath>
+#include <functional>
+#include <string>
+
+#include "model/network.hpp"
+#include "util/error.hpp"
+
+namespace raysched::core {
+
+/// A single link's utility function. Value type.
+class Utility {
+ public:
+  /// Binary threshold utility: 1 iff SINR >= beta.
+  [[nodiscard]] static Utility binary(double beta);
+
+  /// Weighted threshold utility: weight iff SINR >= beta.
+  [[nodiscard]] static Utility weighted(double beta, double weight);
+
+  /// Shannon utility log(1 + SINR): non-decreasing and concave on all of
+  /// [0, infinity), hence valid for every link and any noise.
+  [[nodiscard]] static Utility shannon();
+
+  /// Arbitrary utility. `concave_from` declares the left end of the interval
+  /// on which the caller guarantees f is non-decreasing and concave; validity
+  /// checks compare this against S̄(i,i)/(c*nu).
+  [[nodiscard]] static Utility custom(std::function<double(double)> f,
+                                      double concave_from,
+                                      std::string name = "custom");
+
+  /// Evaluates the utility at SINR `gamma` (gamma >= 0).
+  [[nodiscard]] double value(double gamma) const;
+
+  /// True if this is a {0,1} threshold utility.
+  [[nodiscard]] bool is_binary() const { return kind_ == Kind::Binary; }
+  /// True if this is a threshold utility (binary or weighted).
+  [[nodiscard]] bool is_threshold() const {
+    return kind_ == Kind::Binary || kind_ == Kind::Weighted;
+  }
+
+  /// Threshold beta for threshold utilities; throws otherwise.
+  [[nodiscard]] double beta() const;
+  /// Weight for threshold utilities (1 for binary); throws otherwise.
+  [[nodiscard]] double weight() const;
+
+  /// Left end of the interval on which this utility is non-decreasing and
+  /// concave: beta for threshold utilities, 0 for Shannon, declared value
+  /// for custom.
+  [[nodiscard]] double concave_from() const;
+
+  /// Definition 1 check: does constant c > 1 witness validity of this
+  /// utility for link i of `net`? True iff concave_from() <=
+  /// S̄(i,i)/(c*nu). With nu == 0 the interval is all of (0, inf) and every
+  /// utility here is valid.
+  [[nodiscard]] bool is_valid_for(const model::Network& net, model::LinkId i,
+                                  double c) const;
+
+  /// Largest c > 1 (if any) witnessing validity for link i; returns 0 if no
+  /// c > 1 works, +infinity if any c works (e.g. Shannon, or nu == 0).
+  [[nodiscard]] double max_valid_c(const model::Network& net,
+                                   model::LinkId i) const;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  enum class Kind { Binary, Weighted, Shannon, Custom };
+  Utility() = default;
+
+  Kind kind_ = Kind::Binary;
+  double beta_ = 1.0;
+  double weight_ = 1.0;
+  double concave_from_ = 0.0;
+  std::function<double(double)> f_;
+  std::string name_;
+};
+
+/// Sum of utilities of the links in `active` at the given SINRs (same order
+/// as `active`). The per-link utility is `u` for all links (the common case
+/// in the paper's experiments).
+[[nodiscard]] double total_utility(const Utility& u,
+                                   const std::vector<double>& sinrs);
+
+}  // namespace raysched::core

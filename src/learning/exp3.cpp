@@ -1,0 +1,53 @@
+#include "learning/exp3.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace raysched::learning {
+
+Exp3Learner::Exp3Learner(const Exp3Options& options)
+    : gamma_(options.initial_gamma), options_(options) {
+  require(gamma_ > 0.0 && gamma_ <= 1.0,
+          "Exp3Learner: initial_gamma must be in (0, 1]");
+  require(options.min_gamma > 0.0 && options.min_gamma <= gamma_,
+          "Exp3Learner: 0 < min_gamma <= initial_gamma required");
+}
+
+double Exp3Learner::probability_of(Action a) const {
+  // Softmax over log-weights with gamma-uniform mixing.
+  const double mx = std::max(log_weight_stay_, log_weight_send_);
+  const double ws = std::exp(log_weight_stay_ - mx);
+  const double we = std::exp(log_weight_send_ - mx);
+  const double base = (a == Action::Send ? we : ws) / (ws + we);
+  return (1.0 - gamma_) * base + gamma_ / 2.0;
+}
+
+double Exp3Learner::send_probability() const {
+  return probability_of(Action::Send);
+}
+
+void Exp3Learner::update_bandit(Action played, double loss) {
+  require(loss >= 0.0 && loss <= 1.0,
+          "Exp3Learner::update_bandit: loss must be in [0,1]");
+  // EXP3 works with rewards in [0,1]; importance-weight the played action.
+  const double reward = 1.0 - loss;
+  const double p = probability_of(played);
+  const double estimate = reward / p;
+  const double bump = gamma_ / 2.0 * estimate;
+  if (played == Action::Send) log_weight_send_ += bump;
+  else log_weight_stay_ += bump;
+  // Keep log-weights centered so they never overflow.
+  const double shift = std::min(log_weight_stay_, log_weight_send_);
+  log_weight_stay_ -= shift;
+  log_weight_send_ -= shift;
+
+  ++rounds_;
+  if (options_.decay_gamma) {
+    gamma_ = std::max(options_.min_gamma,
+                      options_.initial_gamma /
+                          std::cbrt(static_cast<double>(rounds_)));
+  }
+}
+
+}  // namespace raysched::learning

@@ -1,0 +1,52 @@
+// raysched: EXP3 (Auer, Cesa-Bianchi, Freund, Schapire [23]) over
+// {Stay, Send} with bandit feedback.
+//
+// The paper's regret-learning framework (Section 6) only requires *some*
+// algorithm with the no-regret property; the references include the
+// non-stochastic bandit algorithms of [23], and the Dinitz protocol [11]
+// operates with exactly this one-bit feedback. EXP3 maintains exponential
+// weights over the two actions, mixes in gamma-uniform exploration, and
+// feeds importance-weighted reward estimates x_hat = x / p(played) to the
+// played action only.
+#pragma once
+
+#include <cmath>
+
+#include "learning/no_regret.hpp"
+
+namespace raysched::learning {
+
+/// EXP3 options. gamma is the exploration rate; the default schedule decays
+/// gamma ~ t^{-1/3}, which gives the standard O(T^{2/3}) anytime regret for
+/// two actions without horizon knowledge (a doubling-free variant).
+struct Exp3Options {
+  double initial_gamma = 0.3;
+  double min_gamma = 0.01;
+  /// If true, gamma_t = max(min_gamma, initial_gamma / cbrt(t)); if false,
+  /// gamma stays at initial_gamma.
+  bool decay_gamma = true;
+};
+
+/// EXP3 over {Stay, Send}; consumes bandit feedback.
+class Exp3Learner final : public Learner {
+ public:
+  explicit Exp3Learner(const Exp3Options& options = {});
+
+  [[nodiscard]] double send_probability() const override;
+  [[nodiscard]] Feedback feedback() const override { return Feedback::Bandit; }
+  void update_bandit(Action played, double loss) override;
+
+  [[nodiscard]] double gamma() const { return gamma_; }
+  [[nodiscard]] std::size_t rounds_seen() const { return rounds_; }
+
+ private:
+  [[nodiscard]] double probability_of(Action a) const;
+
+  double log_weight_stay_ = 0.0;  ///< log-space weights for stability
+  double log_weight_send_ = 0.0;
+  double gamma_;
+  Exp3Options options_;
+  std::size_t rounds_ = 0;
+};
+
+}  // namespace raysched::learning

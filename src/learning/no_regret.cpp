@@ -1,0 +1,17 @@
+#include "learning/no_regret.hpp"
+
+namespace raysched::learning {
+
+void Learner::update(const LossPair& /*losses*/) {
+  throw error(
+      "Learner::update: this learner does not consume full-information "
+      "feedback; check feedback() before dispatching");
+}
+
+void Learner::update_bandit(Action /*played*/, double /*loss*/) {
+  throw error(
+      "Learner::update_bandit: this learner does not consume bandit "
+      "feedback; check feedback() before dispatching");
+}
+
+}  // namespace raysched::learning

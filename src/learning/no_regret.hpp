@@ -1,0 +1,106 @@
+// raysched: no-regret learning interface and external-regret accounting.
+//
+// Each link is a user with two actions per round: send (1) or stay quiet
+// (0). Learning is full-information: after each round the learner observes
+// the loss of BOTH actions (the counterfactual "had I sent, would I have
+// succeeded?" is evaluated by the game engine). Losses follow Section 7:
+//   loss(send)  = 1 if the (actual or counterfactual) transmission fails,
+//                 0 if it succeeds;
+//   loss(stay)  = 0.5 always.
+// These are the affine image of the Section 6 rewards h_i in {+1,-1,0}
+// under l = (1 - h)/2, so external regret transfers verbatim.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "util/error.hpp"
+
+namespace raysched::learning {
+
+/// The two actions of the capacity game.
+enum class Action : int { Stay = 0, Send = 1 };
+
+/// Per-round full-information feedback: loss of each action.
+struct LossPair {
+  double stay = 0.5;
+  double send = 0.0;
+
+  [[nodiscard]] double of(Action a) const {
+    return a == Action::Send ? send : stay;
+  }
+};
+
+/// Feedback model a learner consumes. Full-information learners (RWM) see
+/// the loss of both actions each round (the game engine evaluates the
+/// counterfactual); bandit learners (EXP3) only observe the loss of the
+/// action they actually played — the realistic distributed setting, where a
+/// link that stayed quiet learns nothing about whether sending would have
+/// succeeded.
+enum class Feedback { Full, Bandit };
+
+/// Abstract no-regret learner over {Stay, Send}.
+class Learner {
+ public:
+  virtual ~Learner() = default;
+
+  /// Current probability of playing Send.
+  [[nodiscard]] virtual double send_probability() const = 0;
+
+  /// Samples an action from the current distribution.
+  [[nodiscard]] Action sample(sim::RngStream& rng) {
+    return rng.bernoulli(send_probability()) ? Action::Send : Action::Stay;
+  }
+
+  /// Which feedback this learner consumes; the game engine dispatches on it.
+  [[nodiscard]] virtual Feedback feedback() const { return Feedback::Full; }
+
+  /// Full-information update with both actions' losses for the round.
+  /// Required for Feedback::Full learners.
+  virtual void update(const LossPair& losses);
+
+  /// Bandit update with only the played action's loss. Required for
+  /// Feedback::Bandit learners.
+  virtual void update_bandit(Action played, double loss);
+};
+
+/// External-regret bookkeeping (Definition 2, in loss form): regret =
+/// (cumulative loss of the played sequence) - (cumulative loss of the best
+/// fixed action in hindsight). Rewards h relate to losses by h = 1 - 2l, so
+/// loss-regret equals half the reward-regret; report_reward_regret converts.
+class RegretTracker {
+ public:
+  void record(Action played, const LossPair& losses) {
+    played_loss_ += losses.of(played);
+    total_stay_ += losses.stay;
+    total_send_ += losses.send;
+    ++rounds_;
+  }
+
+  [[nodiscard]] std::size_t rounds() const { return rounds_; }
+
+  /// Cumulative loss-regret vs. the best fixed action.
+  [[nodiscard]] double loss_regret() const {
+    const double best = total_stay_ < total_send_ ? total_stay_ : total_send_;
+    return played_loss_ - best;
+  }
+
+  /// Regret in the paper's reward scale (h in {+1,-1,0}); equals
+  /// 2 * loss_regret.
+  [[nodiscard]] double reward_regret() const { return 2.0 * loss_regret(); }
+
+  /// Average loss-regret per round (the no-regret property drives this to 0).
+  [[nodiscard]] double average_loss_regret() const {
+    require(rounds_ > 0, "RegretTracker: no rounds recorded");
+    return loss_regret() / static_cast<double>(rounds_);
+  }
+
+ private:
+  double played_loss_ = 0.0;
+  double total_stay_ = 0.0;
+  double total_send_ = 0.0;
+  std::size_t rounds_ = 0;
+};
+
+}  // namespace raysched::learning

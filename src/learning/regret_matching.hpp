@@ -1,0 +1,53 @@
+// raysched: regret matching (Hart & Mas-Colell) over {Stay, Send}.
+//
+// A third no-regret family, converging to the set of correlated equilibria:
+// the probability of switching to an action is proportional to the positive
+// part of the cumulative regret for not having played it. Full-information
+// feedback (like RWM), but with a very different update geometry — useful
+// as an independent check that the Section-6 conclusions do not hinge on
+// the multiplicative-weights family.
+#pragma once
+
+#include <algorithm>
+
+#include "learning/no_regret.hpp"
+
+namespace raysched::learning {
+
+/// Regret matching over two actions with full-information feedback.
+class RegretMatchingLearner final : public Learner {
+ public:
+  RegretMatchingLearner() = default;
+
+  [[nodiscard]] double send_probability() const override {
+    // Play proportional to positive regrets; uniform when both are <= 0.
+    const double rs = std::max(0.0, regret_send_);
+    const double rt = std::max(0.0, regret_stay_);
+    if (rs + rt <= 0.0) return 0.5;
+    return rs / (rs + rt);
+  }
+
+  void update(const LossPair& losses) override {
+    require(losses.stay >= 0.0 && losses.stay <= 1.0 && losses.send >= 0.0 &&
+                losses.send <= 1.0,
+            "RegretMatchingLearner::update: losses must be in [0,1]");
+    // Expected loss of the current mixed action; regret accumulates the
+    // advantage of each pure action over the mixture.
+    const double p = send_probability();
+    const double mixture_loss = p * losses.send + (1.0 - p) * losses.stay;
+    regret_send_ += mixture_loss - losses.send;
+    regret_stay_ += mixture_loss - losses.stay;
+    ++rounds_;
+  }
+
+  [[nodiscard]] std::size_t rounds_seen() const { return rounds_; }
+  [[nodiscard]] double cumulative_regret_send() const { return regret_send_; }
+  [[nodiscard]] double cumulative_regret_stay() const { return regret_stay_; }
+
+ private:
+  double regret_send_ = 0.0;
+  double regret_stay_ = 0.0;
+  std::size_t rounds_ = 0;
+};
+
+}  // namespace raysched::learning

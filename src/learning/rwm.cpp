@@ -1,0 +1,42 @@
+#include "learning/rwm.hpp"
+
+#include "util/error.hpp"
+
+namespace raysched::learning {
+
+RwmLearner::RwmLearner(const RwmOptions& options)
+    : eta_(options.initial_eta),
+      eta_decay_(options.eta_decay),
+      min_eta_(options.min_eta) {
+  require(eta_ > 0.0 && eta_ < 1.0, "RwmLearner: initial_eta must be in (0,1)");
+  require(eta_decay_ > 0.0 && eta_decay_ <= 1.0,
+          "RwmLearner: eta_decay must be in (0,1]");
+  require(min_eta_ > 0.0 && min_eta_ <= eta_,
+          "RwmLearner: 0 < min_eta <= initial_eta required");
+}
+
+double RwmLearner::send_probability() const {
+  return weight_send_ / (weight_send_ + weight_stay_);
+}
+
+void RwmLearner::update(const LossPair& losses) {
+  require(losses.stay >= 0.0 && losses.stay <= 1.0 && losses.send >= 0.0 &&
+              losses.send <= 1.0,
+          "RwmLearner::update: losses must be in [0,1]");
+  weight_stay_ *= std::pow(1.0 - eta_, losses.stay);
+  weight_send_ *= std::pow(1.0 - eta_, losses.send);
+  // Rescale so weights stay in a sane floating-point range over long runs;
+  // the distribution only depends on the ratio.
+  const double total = weight_stay_ + weight_send_;
+  if (total < 1e-100) {
+    weight_stay_ /= total;
+    weight_send_ /= total;
+  }
+  ++rounds_;
+  if (rounds_ >= next_power_) {
+    eta_ = std::max(min_eta_, eta_ * eta_decay_);
+    next_power_ *= 2;
+  }
+}
+
+}  // namespace raysched::learning

@@ -1,0 +1,47 @@
+// raysched: Randomized Weighted Majority (Littlestone-Warmuth) exactly as
+// parameterized in Section 7.
+//
+// Both actions start with weight 1. After each round, weight(a) is
+// multiplied by (1 - eta)^{loss(a)}. eta starts at sqrt(0.5) and is
+// multiplied by sqrt(0.5) every time the round count crosses the next power
+// of two (a standard doubling schedule yielding the no-regret property
+// without knowing the horizon).
+#pragma once
+
+#include <cmath>
+
+#include "learning/no_regret.hpp"
+
+namespace raysched::learning {
+
+/// RWM options. Defaults reproduce the paper's Section-7 simulation.
+struct RwmOptions {
+  double initial_eta = std::sqrt(0.5);
+  double eta_decay = std::sqrt(0.5);  ///< multiplier at each power of two
+  /// Floor for eta so weights keep moving under long horizons.
+  double min_eta = 1e-6;
+};
+
+/// Randomized Weighted Majority over {Stay, Send}.
+class RwmLearner final : public Learner {
+ public:
+  explicit RwmLearner(const RwmOptions& options = {});
+
+  [[nodiscard]] double send_probability() const override;
+  void update(const LossPair& losses) override;
+
+  /// Current learning rate (exposed for tests of the doubling schedule).
+  [[nodiscard]] double eta() const { return eta_; }
+  [[nodiscard]] std::size_t rounds_seen() const { return rounds_; }
+
+ private:
+  double weight_stay_ = 1.0;
+  double weight_send_ = 1.0;
+  double eta_;
+  double eta_decay_;
+  double min_eta_;
+  std::size_t rounds_ = 0;
+  std::size_t next_power_ = 2;  ///< next round count triggering eta decay
+};
+
+}  // namespace raysched::learning

@@ -1,0 +1,100 @@
+#include "model/affectance.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace raysched::model {
+
+double affectance_raw(const Network& net, LinkId j, LinkId i, double beta) {
+  require(beta > 0.0, "affectance_raw: beta must be positive");
+  require(j < net.size() && i < net.size(),
+          "affectance_raw: link id out of range");
+  if (j == i) return 0.0;
+  const double budget = net.signal(i) / beta - net.noise();
+  if (budget <= 0.0) return std::numeric_limits<double>::infinity();
+  return net.mean_gain(j, i) / budget;
+}
+
+double affectance(const Network& net, LinkId j, LinkId i, double beta) {
+  return std::min(1.0, affectance_raw(net, j, i, beta));
+}
+
+double total_affectance_on(const Network& net, const LinkSet& active, LinkId i,
+                           double beta) {
+  double sum = 0.0;
+  for (LinkId j : active) {
+    if (j != i) sum += affectance(net, j, i, beta);
+  }
+  return sum;
+}
+
+double total_affectance_from(const Network& net, LinkId j,
+                             const LinkSet& targets, double beta) {
+  double sum = 0.0;
+  for (LinkId i : targets) {
+    if (i != j) sum += affectance(net, j, i, beta);
+  }
+  return sum;
+}
+
+double total_affectance_on_raw(const Network& net, const LinkSet& active,
+                               LinkId i, double beta) {
+  double sum = 0.0;
+  for (LinkId j : active) {
+    if (j != i) sum += affectance_raw(net, j, i, beta);
+  }
+  return sum;
+}
+
+LinkSet low_out_affectance_subset(const Network& net, const LinkSet& L,
+                                  double beta, double budget) {
+  require(budget > 0.0, "low_out_affectance_subset: budget must be positive");
+  LinkSet out;
+  for (LinkId u : L) {
+    if (total_affectance_from(net, u, L, beta) <= budget) out.push_back(u);
+  }
+  return out;
+}
+
+double max_out_affectance(const Network& net, const LinkSet& sources,
+                          const LinkSet& targets, double beta) {
+  double worst = 0.0;
+  for (LinkId u : sources) {
+    worst = std::max(worst, total_affectance_from(net, u, targets, beta));
+  }
+  return worst;
+}
+
+double affectance_raw_per_link(const Network& net, LinkId j, LinkId i,
+                               const std::vector<double>& betas) {
+  require(betas.size() == net.size(),
+          "affectance_raw_per_link: betas size must equal network size");
+  require(i < net.size() && j < net.size(),
+          "affectance_raw_per_link: link id out of range");
+  require(betas[i] > 0.0, "affectance_raw_per_link: betas must be positive");
+  if (j == i) return 0.0;
+  const double budget = net.signal(i) / betas[i] - net.noise();
+  if (budget <= 0.0) return std::numeric_limits<double>::infinity();
+  return net.mean_gain(j, i) / budget;
+}
+
+bool is_feasible_per_link(const Network& net, const LinkSet& active,
+                          const std::vector<double>& betas) {
+  require(betas.size() == net.size(),
+          "is_feasible_per_link: betas size must equal network size");
+  for (LinkId i : active) {
+    require(betas[i] > 0.0, "is_feasible_per_link: betas must be positive");
+    double interference = net.noise();
+    for (LinkId j : active) {
+      if (j != i) interference += net.mean_gain(j, i);
+    }
+    if (interference > 0.0 && net.signal(i) / interference < betas[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace raysched::model

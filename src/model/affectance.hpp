@@ -1,0 +1,85 @@
+// raysched: affectance, the normalized interference measure of
+// Halldorsson-Wattenhofer used throughout Section 6 (Lemma 6-8).
+//
+// For mean gains, the (uncapped) affectance of sender j on link i is the
+// interference j causes at receiver i divided by link i's remaining
+// interference budget at threshold beta:
+//
+//   a_raw(j,i) = S̄(j,i) / (S̄(i,i)/beta - nu).
+//
+// With the geometric uniform-power instantiation S̄(j,i) = p / d(s_j,r_i)^α
+// this reduces (after multiplying numerator and denominator by β d_i^α / p)
+// to the paper's expression
+//
+//   a(j,i) = min{ 1, [β d_i^α / d(s_j,r_i)^α] / (1 - β ν d_i^α / p) }.
+//
+// The SINR constraint of link i holds iff the *uncapped* sum over active
+// interferers is <= 1. The capped version min{1, a_raw} is what the
+// regret-learning analysis (and [24]'s Lemmas 8/11) uses.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "model/link.hpp"
+#include "model/network.hpp"
+
+namespace raysched::model {
+
+/// Uncapped affectance a_raw(j,i) at threshold beta. Returns +infinity when
+/// link i cannot tolerate any interference (S̄(i,i)/beta <= nu). j == i
+/// yields 0 by convention.
+[[nodiscard]] double affectance_raw(const Network& net, LinkId j, LinkId i,
+                                    double beta);
+
+/// Capped affectance min{1, a_raw(j,i)} as in the paper's Lemma 6.
+[[nodiscard]] double affectance(const Network& net, LinkId j, LinkId i,
+                                double beta);
+
+/// Sum of capped affectance from every link of `active` on link i
+/// (a^{(t)}(i) in the paper). Skips i itself.
+[[nodiscard]] double total_affectance_on(const Network& net,
+                                         const LinkSet& active, LinkId i,
+                                         double beta);
+
+/// Sum of capped affectance *caused by* link j on every link of `targets`
+/// (used by the out-degree bounds, Lemma 8 / [24] Lemma 11).
+[[nodiscard]] double total_affectance_from(const Network& net, LinkId j,
+                                           const LinkSet& targets, double beta);
+
+/// Uncapped variant of total_affectance_on: the feasibility predicate.
+/// Link i meets the SINR constraint among `active` iff this is <= 1.
+[[nodiscard]] double total_affectance_on_raw(const Network& net,
+                                             const LinkSet& active, LinkId i,
+                                             double beta);
+
+/// The paper's Lemma 7 ([24] Lemma 8) construction: the subset
+/// L' = { u in L : sum_{v in L} a(u, v) <= budget } of links whose total
+/// *outgoing* capped affectance onto L is at most `budget` (the paper uses
+/// budget = 2). For feasible L, |L'| >= |L|/2 — verified as a property test,
+/// not assumed.
+[[nodiscard]] LinkSet low_out_affectance_subset(const Network& net,
+                                                const LinkSet& L, double beta,
+                                                double budget = 2.0);
+
+/// Maximum over u in `sources` of the total capped affectance from u onto
+/// `targets` (the quantity Lemma 8 / [24] Lemma 11 bounds by O(1) when
+/// `targets` is a feasible set with pairwise out-affectance <= 2).
+[[nodiscard]] double max_out_affectance(const Network& net,
+                                        const LinkSet& sources,
+                                        const LinkSet& targets, double beta);
+
+/// Per-link-threshold affectance: like affectance_raw but each receiver has
+/// its own SINR target beta_i (flexible data rates [22]); the budget of
+/// link i is S̄(i,i)/beta_i - nu. betas must have size net.size().
+[[nodiscard]] double affectance_raw_per_link(const Network& net, LinkId j,
+                                             LinkId i,
+                                             const std::vector<double>& betas);
+
+/// True iff every link of `active` meets its own threshold betas[i] when
+/// exactly `active` transmits.
+[[nodiscard]] bool is_feasible_per_link(const Network& net,
+                                        const LinkSet& active,
+                                        const std::vector<double>& betas);
+
+}  // namespace raysched::model

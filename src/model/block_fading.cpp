@@ -1,0 +1,72 @@
+#include "model/block_fading.hpp"
+
+#include <limits>
+
+#include "model/nakagami.hpp"
+#include "util/error.hpp"
+
+namespace raysched::model {
+
+BlockFadingChannel::BlockFadingChannel(const Network& net,
+                                       std::size_t coherence_slots, double m,
+                                       sim::RngStream rng)
+    : net_(&net), coherence_(coherence_slots), m_(m), rng_(rng) {
+  require(coherence_ >= 1, "BlockFadingChannel: coherence_slots must be >= 1");
+  require(m_ > 0.0, "BlockFadingChannel: m must be positive");
+  realized_.resize(net.size() * net.size());
+  resample();
+}
+
+void BlockFadingChannel::resample() {
+  const std::size_t n = net_->size();
+  for (LinkId j = 0; j < n; ++j) {
+    for (LinkId i = 0; i < n; ++i) {
+      realized_[j * n + i] =
+          sample_gain_nakagami(net_->mean_gain(j, i), m_, rng_);
+    }
+  }
+}
+
+void BlockFadingChannel::advance_slot() {
+  ++slot_;
+  if (slot_ % coherence_ == 0) resample();
+}
+
+double BlockFadingChannel::gain(LinkId j, LinkId i) const {
+  require(j < net_->size() && i < net_->size(),
+          "BlockFadingChannel::gain: id out of range");
+  return realized_[j * net_->size() + i];
+}
+
+std::vector<double> BlockFadingChannel::sinr_all(const LinkSet& active) const {
+  std::vector<double> out(active.size(), 0.0);
+  for (std::size_t a = 0; a < active.size(); ++a) {
+    const LinkId i = active[a];
+    require(i < net_->size(), "BlockFadingChannel::sinr_all: id out of range");
+    double interference = net_->noise();
+    double own = 0.0;
+    for (const LinkId j : active) {
+      if (j == i) own = gain(j, i);
+      else interference += gain(j, i);
+    }
+    if (interference == 0.0) {
+      out[a] = own > 0.0 ? std::numeric_limits<double>::infinity() : 0.0;
+    } else {
+      out[a] = own / interference;
+    }
+  }
+  return out;
+}
+
+std::size_t BlockFadingChannel::count_successes(const LinkSet& active,
+                                                double beta) const {
+  require(beta > 0.0, "BlockFadingChannel::count_successes: beta must be > 0");
+  const auto sinrs = sinr_all(active);
+  std::size_t wins = 0;
+  for (double g : sinrs) {
+    if (g >= beta) ++wins;
+  }
+  return wins;
+}
+
+}  // namespace raysched::model

@@ -1,0 +1,61 @@
+// raysched: block (time-correlated) fading.
+//
+// The paper's Rayleigh model draws gains independently per slot ("We assume
+// this stochastic process to be independent for different (j,i) and
+// different time slots"). Real channels have a coherence time: gains stay
+// (nearly) constant for several slots before decorrelating. BlockFadingChannel
+// makes that assumption adjustable — gains are resampled every
+// `coherence_slots` slots (coherence 1 is exactly the paper's model) — so
+// the Section-4 latency transformation can be stress-tested: its 4x
+// repetition relies on fresh randomness per repeat, and its benefit should
+// degrade as coherence grows past the repetition window.
+//
+// Gains follow Nakagami-m per block (m = 1: Rayleigh).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "model/link.hpp"
+#include "model/network.hpp"
+#include "sim/rng.hpp"
+
+namespace raysched::model {
+
+class BlockFadingChannel {
+ public:
+  /// coherence_slots >= 1: number of consecutive slots sharing one gain
+  /// realization. m > 0 is the Nakagami shape (1 = Rayleigh).
+  BlockFadingChannel(const Network& net, std::size_t coherence_slots, double m,
+                     sim::RngStream rng);
+
+  /// Advances to the next slot, resampling the realization at block
+  /// boundaries.
+  void advance_slot();
+
+  [[nodiscard]] std::size_t current_slot() const { return slot_; }
+  [[nodiscard]] std::size_t coherence_slots() const { return coherence_; }
+
+  /// Realized gain from sender j at receiver i in the current slot.
+  [[nodiscard]] double gain(LinkId j, LinkId i) const;
+
+  /// SINRs of the members of `active` in the current slot (order matches
+  /// `active`), using the current realization.
+  [[nodiscard]] std::vector<double> sinr_all(const LinkSet& active) const;
+
+  /// Successes of `active` at threshold beta in the current slot.
+  [[nodiscard]] std::size_t count_successes(const LinkSet& active,
+                                            double beta) const;
+
+ private:
+  void resample();
+
+  const Network* net_;
+  std::size_t coherence_;
+  double m_;
+  sim::RngStream rng_;
+  std::size_t slot_ = 0;
+  std::vector<double> realized_;  // row-major [j*n + i]
+};
+
+}  // namespace raysched::model

@@ -1,0 +1,109 @@
+#include "model/feasibility.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace raysched::model {
+
+namespace {
+
+/// Builds M[a][b] = beta * g(set_b -> set_a) / g(set_a -> set_a) with
+/// unit-power gains g(j, i) = S̄(j,i) / p_j; diagonal zero.
+std::vector<double> interference_matrix(const Network& net, const LinkSet& set,
+                                        double beta) {
+  const std::size_t m = set.size();
+  std::vector<double> M(m * m, 0.0);
+  for (std::size_t a = 0; a < m; ++a) {
+    const double gaa = net.mean_gain(set[a], set[a]) / net.power(set[a]);
+    for (std::size_t b = 0; b < m; ++b) {
+      if (a == b) continue;
+      const double gba = net.mean_gain(set[b], set[a]) / net.power(set[b]);
+      M[a * m + b] = beta * gba / gaa;
+    }
+  }
+  return M;
+}
+
+}  // namespace
+
+double interference_spectral_radius(const Network& net, const LinkSet& set,
+                                    double beta, int iterations) {
+  require(beta > 0.0, "interference_spectral_radius: beta must be positive");
+  require(iterations > 0,
+          "interference_spectral_radius: iterations must be > 0");
+  for (LinkId i : set) {
+    require(i < net.size(), "interference_spectral_radius: id out of range");
+  }
+  const std::size_t m = set.size();
+  if (m <= 1) return 0.0;
+  const std::vector<double> M = interference_matrix(net, set, beta);
+
+  // Power iteration from the all-ones vector. M is nonnegative and (for
+  // geometric instances) irreducible, so the iteration converges to the
+  // Perron root.
+  std::vector<double> v(m, 1.0), w(m, 0.0);
+  double rho = 0.0;
+  for (int it = 0; it < iterations; ++it) {
+    double norm = 0.0;
+    for (std::size_t a = 0; a < m; ++a) {
+      double s = 0.0;
+      for (std::size_t b = 0; b < m; ++b) s += M[a * m + b] * v[b];
+      w[a] = s;
+      norm = std::max(norm, s);
+    }
+    if (norm == 0.0) return 0.0;  // no interference at all
+    rho = norm;
+    for (std::size_t a = 0; a < m; ++a) v[a] = w[a] / norm;
+  }
+  return rho;
+}
+
+bool power_controlled_feasible(const Network& net, const LinkSet& set,
+                               double beta, double margin) {
+  if (set.size() <= 1) {
+    // A singleton is feasible with power control iff noise can be beaten at
+    // *some* power — always true for positive gains (power is unbounded in
+    // this model), and trivially true for the empty set.
+    return true;
+  }
+  return interference_spectral_radius(net, set, beta) < 1.0 - margin;
+}
+
+std::optional<std::vector<double>> minimal_feasible_powers(const Network& net,
+                                                           const LinkSet& set,
+                                                           double beta,
+                                                           int max_iterations) {
+  require(beta > 0.0, "minimal_feasible_powers: beta must be positive");
+  require(net.noise() > 0.0,
+          "minimal_feasible_powers: requires positive noise (with nu = 0 "
+          "scale any Perron vector instead)");
+  const std::size_t m = set.size();
+  if (m == 0) return std::vector<double>{};
+  if (!power_controlled_feasible(net, set, beta)) return std::nullopt;
+
+  const std::vector<double> M = interference_matrix(net, set, beta);
+  std::vector<double> eta(m);
+  for (std::size_t a = 0; a < m; ++a) {
+    const double gaa = net.mean_gain(set[a], set[a]) / net.power(set[a]);
+    eta[a] = beta * net.noise() / gaa;
+  }
+  // p_{t+1} = M p_t + eta converges monotonically from p_0 = eta to the
+  // minimal solution when rho(M) < 1.
+  std::vector<double> p = eta, next(m);
+  for (int it = 0; it < max_iterations; ++it) {
+    double delta = 0.0;
+    for (std::size_t a = 0; a < m; ++a) {
+      double s = eta[a];
+      for (std::size_t b = 0; b < m; ++b) s += M[a * m + b] * p[b];
+      next[a] = s;
+      delta = std::max(delta, std::abs(s - p[a]) / s);
+    }
+    p.swap(next);
+    if (delta < 1e-13) break;
+  }
+  return p;
+}
+
+}  // namespace raysched::model

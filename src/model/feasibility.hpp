@@ -1,0 +1,45 @@
+// raysched: power-controlled feasibility via Perron-Frobenius theory.
+//
+// For a set L and threshold beta, the SINR constraints with free powers are
+//   p_a >= beta ( sum_{b != a} p_b g(b,a) + nu ) / g(a,a),
+// a linear system p >= M p + eta with the nonnegative matrix
+//   M[a][b] = beta g(b,a) / g(a,a) (b != a),   eta_a = beta nu / g(a,a),
+// where g are *unit-power* gains. Classic result: feasible powers exist iff
+// the spectral radius rho(M) < 1, and then the componentwise-minimal
+// solution is p* = (I - M)^{-1} eta (for nu > 0), computable by the
+// convergent fixed-point iteration. These tools certify and explain the
+// behavior of power_control_capacity.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "model/link.hpp"
+#include "model/network.hpp"
+
+namespace raysched::model {
+
+/// Estimates the spectral radius of the interference matrix M of `set` at
+/// threshold `beta` by power iteration. Requires a geometric network (the
+/// matrix is built from unit-power gains). Returns 0 for sets of size <= 1.
+[[nodiscard]] double interference_spectral_radius(const Network& net,
+                                                  const LinkSet& set,
+                                                  double beta,
+                                                  int iterations = 200);
+
+/// True iff some power assignment makes every link of `set` reach SINR >=
+/// beta simultaneously (rho(M) < 1, with a small safety margin for the
+/// power-iteration estimate).
+[[nodiscard]] bool power_controlled_feasible(const Network& net,
+                                             const LinkSet& set, double beta,
+                                             double margin = 1e-9);
+
+/// Componentwise-minimal feasible powers for `set` at threshold beta
+/// (positive noise required — with nu == 0 the minimal solution is the zero
+/// vector in the limit; use any Perron vector scaling instead). Returns
+/// std::nullopt when the set is infeasible under power control.
+[[nodiscard]] std::optional<std::vector<double>> minimal_feasible_powers(
+    const Network& net, const LinkSet& set, double beta,
+    int max_iterations = 1000);
+
+}  // namespace raysched::model

@@ -1,0 +1,107 @@
+#include "model/generator.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace raysched::model {
+
+std::vector<Link> random_plane_links(const RandomPlaneParams& p,
+                                     sim::RngStream& rng) {
+  require(p.num_links > 0, "random_plane_links: num_links must be positive");
+  require(p.plane_size > 0.0, "random_plane_links: plane_size must be positive");
+  require(p.min_length > 0.0 && p.min_length <= p.max_length,
+          "random_plane_links: need 0 < min_length <= max_length");
+  std::vector<Link> links;
+  links.reserve(p.num_links);
+  for (std::size_t i = 0; i < p.num_links; ++i) {
+    const Point receiver{rng.uniform(0.0, p.plane_size),
+                         rng.uniform(0.0, p.plane_size)};
+    const double angle = rng.uniform(0.0, 2.0 * std::numbers::pi);
+    const double len = rng.uniform(p.min_length, p.max_length);
+    links.push_back(Link{offset(receiver, angle, len), receiver});
+  }
+  return links;
+}
+
+std::vector<Link> grid_links(std::size_t rows, std::size_t cols, double spacing,
+                             double length) {
+  require(rows > 0 && cols > 0, "grid_links: grid must be non-empty");
+  require(spacing > 0.0 && length > 0.0,
+          "grid_links: spacing and length must be positive");
+  std::vector<Link> links;
+  links.reserve(rows * cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const Point receiver{static_cast<double>(c) * spacing,
+                           static_cast<double>(r) * spacing};
+      links.push_back(Link{Point{receiver.x + length, receiver.y}, receiver});
+    }
+  }
+  return links;
+}
+
+std::vector<Link> two_cluster_links(std::size_t per_cluster,
+                                    double cluster_radius, double separation,
+                                    double link_length, sim::RngStream& rng) {
+  require(per_cluster > 0, "two_cluster_links: per_cluster must be positive");
+  require(cluster_radius > 0.0 && separation > 0.0 && link_length > 0.0,
+          "two_cluster_links: geometric parameters must be positive");
+  std::vector<Link> links;
+  links.reserve(2 * per_cluster);
+  const Point centers[2] = {Point{0.0, 0.0}, Point{separation, 0.0}};
+  for (const Point& center : centers) {
+    for (std::size_t i = 0; i < per_cluster; ++i) {
+      const double a = rng.uniform(0.0, 2.0 * std::numbers::pi);
+      const double r = rng.uniform(0.0, cluster_radius);
+      const Point receiver{center.x + r * std::cos(a),
+                           center.y + r * std::sin(a)};
+      const double la = rng.uniform(0.0, 2.0 * std::numbers::pi);
+      links.push_back(Link{offset(receiver, la, link_length), receiver});
+    }
+  }
+  return links;
+}
+
+std::vector<Link> chain_links(std::size_t hops, double hop_length,
+                              double relay_gap) {
+  require(hops > 0, "chain_links: hops must be positive");
+  require(hop_length > 0.0, "chain_links: hop_length must be positive");
+  if (relay_gap < 0.0) relay_gap = 0.05 * hop_length;
+  require(relay_gap > 0.0, "chain_links: relay_gap must be positive");
+  std::vector<Link> links;
+  links.reserve(hops);
+  const double stride = hop_length + relay_gap;
+  for (std::size_t k = 0; k < hops; ++k) {
+    const Point s{static_cast<double>(k) * stride, 0.0};
+    const Point r{static_cast<double>(k) * stride + hop_length, 0.0};
+    links.push_back(Link{s, r});
+  }
+  return links;
+}
+
+std::vector<Link> exponential_chain_links(std::size_t num_links,
+                                          double base_length, double growth,
+                                          double spacing_factor) {
+  require(num_links > 0, "exponential_chain_links: num_links must be > 0");
+  require(base_length > 0.0,
+          "exponential_chain_links: base_length must be positive");
+  require(growth > 1.0, "exponential_chain_links: growth must be > 1");
+  require(spacing_factor > 1.0,
+          "exponential_chain_links: spacing_factor must be > 1");
+  std::vector<Link> links;
+  links.reserve(num_links);
+  double x = 0.0;
+  double length = base_length;
+  for (std::size_t k = 0; k < num_links; ++k) {
+    links.push_back(Link{Point{x, 0.0}, Point{x + length, 0.0}});
+    // Next link starts a multiple of this link's length further out, so
+    // shorter links sit deep inside the interference range of longer ones.
+    x += spacing_factor * length;
+    length *= growth;
+  }
+  return links;
+}
+
+}  // namespace raysched::model

@@ -1,0 +1,65 @@
+// raysched: network instance generators.
+//
+// random_plane_links reproduces the paper's Section-7 setup: receivers
+// uniform on a square plane, each sender placed at a uniform angle and a
+// uniform distance in [min_length, max_length] from its receiver. Grid and
+// two-cluster generators provide structured instances for tests and
+// ablations.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "model/link.hpp"
+#include "sim/rng.hpp"
+
+namespace raysched::model {
+
+/// Parameters of the paper's random-plane instance family.
+struct RandomPlaneParams {
+  std::size_t num_links = 100;
+  double plane_size = 1000.0;   // side of the square
+  double min_length = 20.0;     // minimal sender-receiver distance
+  double max_length = 40.0;     // maximal sender-receiver distance
+};
+
+/// Draws links per the paper: receiver uniform in [0,plane]^2, sender at
+/// uniform angle and uniform length from the receiver (sender may fall
+/// outside the square, as in the paper, which does not clip).
+[[nodiscard]] std::vector<Link> random_plane_links(const RandomPlaneParams& p,
+                                                   sim::RngStream& rng);
+
+/// Regular grid of links: receivers on a rows x cols grid with the given
+/// spacing, each sender at distance `length` to the east of its receiver.
+[[nodiscard]] std::vector<Link> grid_links(std::size_t rows, std::size_t cols,
+                                           double spacing, double length);
+
+/// Two distant clusters of co-located short links; links within a cluster
+/// interfere strongly, links across clusters barely. Useful for exercising
+/// crossover behavior in tests.
+[[nodiscard]] std::vector<Link> two_cluster_links(std::size_t per_cluster,
+                                                  double cluster_radius,
+                                                  double separation,
+                                                  double link_length,
+                                                  sim::RngStream& rng);
+
+/// A single chain of links laid along the x-axis (multi-hop path
+/// substrate). Consecutive hops are separated by `relay_gap` (default 5% of
+/// the hop length) so that a relay's transmit and receive positions do not
+/// coincide — a sender placed exactly on a receiver would make the gain
+/// matrix singular.
+[[nodiscard]] std::vector<Link> chain_links(std::size_t hops, double hop_length,
+                                            double relay_gap = -1.0);
+
+/// Exponential-length chain: link k has length base_length * growth^k, laid
+/// along the x-axis with spacing proportional to its length. This is the
+/// classic separation topology from the oblivious-power lower bounds the
+/// paper cites ([3], [4]): with power control the whole chain can be
+/// feasible simultaneously, while any fixed oblivious scheme (uniform,
+/// square-root) schedules only a few length classes at once. growth > 1.
+[[nodiscard]] std::vector<Link> exponential_chain_links(std::size_t num_links,
+                                                        double base_length,
+                                                        double growth,
+                                                        double spacing_factor = 4.0);
+
+}  // namespace raysched::model

@@ -1,0 +1,41 @@
+// raysched: planar geometry primitives.
+//
+// The paper's experiments place links on a 1000x1000 plane with Euclidean
+// distances; the reduction itself is geometry-free (arbitrary gain matrices),
+// so geometry only feeds the gain-matrix construction in network.hpp.
+#pragma once
+
+#include <cmath>
+
+namespace raysched::model {
+
+/// A point in the Euclidean plane.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr bool operator==(const Point&, const Point&) = default;
+};
+
+/// Euclidean distance.
+[[nodiscard]] inline double distance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// Squared Euclidean distance (avoids the sqrt when only comparing).
+[[nodiscard]] inline double distance_sq(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// Point at `dist` from `origin` in direction `angle_rad`.
+[[nodiscard]] inline Point offset(const Point& origin, double angle_rad,
+                                  double dist) {
+  return Point{origin.x + dist * std::cos(angle_rad),
+               origin.y + dist * std::sin(angle_rad)};
+}
+
+}  // namespace raysched::model

@@ -1,0 +1,108 @@
+#include "model/interference_graph.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace raysched::model {
+
+InterferenceGraph::InterferenceGraph(const Network& net, double factor)
+    : n_(net.size()), factor_(factor) {
+  require(net.has_geometry(),
+          "InterferenceGraph: requires a geometric network");
+  require(factor >= 1.0, "InterferenceGraph: factor must be >= 1");
+  adj_.assign(n_ * n_, 0);
+  for (LinkId i = 0; i < n_; ++i) {
+    const double range_i = factor_ * net.link(i).length();
+    for (LinkId j = 0; j < n_; ++j) {
+      if (i == j) continue;
+      // Sender j too close to receiver i: j blocks i.
+      if (distance(net.link(j).sender, net.link(i).receiver) <= range_i) {
+        adj_[i * n_ + j] = 1;
+        adj_[j * n_ + i] = 1;
+      }
+    }
+  }
+}
+
+bool InterferenceGraph::conflicts(LinkId a, LinkId b) const {
+  require(a < n_ && b < n_, "InterferenceGraph::conflicts: id out of range");
+  return adj_[a * n_ + b] != 0;
+}
+
+std::size_t InterferenceGraph::degree(LinkId i) const {
+  require(i < n_, "InterferenceGraph::degree: id out of range");
+  std::size_t d = 0;
+  for (LinkId j = 0; j < n_; ++j) d += adj_[i * n_ + j];
+  return d;
+}
+
+bool InterferenceGraph::is_independent(const LinkSet& set) const {
+  for (std::size_t a = 0; a < set.size(); ++a) {
+    require(set[a] < n_, "InterferenceGraph::is_independent: id out of range");
+    for (std::size_t b = a + 1; b < set.size(); ++b) {
+      if (adj_[set[a] * n_ + set[b]] != 0) return false;
+    }
+  }
+  return true;
+}
+
+LinkSet InterferenceGraph::greedy_independent_set() const {
+  std::vector<char> removed(n_, 0);
+  std::vector<std::size_t> live_degree(n_);
+  for (LinkId i = 0; i < n_; ++i) live_degree[i] = degree(i);
+  LinkSet out;
+  for (;;) {
+    // Pick the live vertex of minimum live degree.
+    LinkId best = n_;
+    std::size_t best_degree = std::numeric_limits<std::size_t>::max();
+    for (LinkId i = 0; i < n_; ++i) {
+      if (!removed[i] && live_degree[i] < best_degree) {
+        best = i;
+        best_degree = live_degree[i];
+      }
+    }
+    if (best == n_) break;
+    out.push_back(best);
+    removed[best] = 1;
+    for (LinkId j = 0; j < n_; ++j) {
+      if (!removed[j] && adj_[best * n_ + j]) {
+        removed[j] = 1;
+        for (LinkId k = 0; k < n_; ++k) {
+          if (!removed[k] && adj_[j * n_ + k] && live_degree[k] > 0) {
+            --live_degree[k];
+          }
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::size_t> InterferenceGraph::greedy_coloring() const {
+  // Welsh-Powell: color vertices in decreasing degree order with the
+  // smallest color unused among neighbors.
+  std::vector<LinkId> order(n_);
+  std::iota(order.begin(), order.end(), LinkId{0});
+  std::stable_sort(order.begin(), order.end(), [&](LinkId a, LinkId b) {
+    return degree(a) > degree(b);
+  });
+  constexpr std::size_t kUncolored = std::numeric_limits<std::size_t>::max();
+  std::vector<std::size_t> color(n_, kUncolored);
+  std::vector<char> used;
+  for (LinkId v : order) {
+    used.assign(n_ + 1, 0);
+    for (LinkId j = 0; j < n_; ++j) {
+      if (adj_[v * n_ + j] && color[j] != kUncolored) used[color[j]] = 1;
+    }
+    std::size_t c = 0;
+    while (used[c]) ++c;
+    color[v] = c;
+  }
+  return color;
+}
+
+}  // namespace raysched::model

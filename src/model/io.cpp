@@ -1,0 +1,125 @@
+#include "model/io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace raysched::model {
+
+namespace {
+
+constexpr int kVersion = 1;
+
+void expect_token(std::istream& is, const std::string& expected) {
+  std::string token;
+  is >> token;
+  require(static_cast<bool>(is) && token == expected,
+          "read_network: expected token '" + expected + "', got '" + token +
+              "'");
+}
+
+double read_double(std::istream& is, const char* what) {
+  double v = 0.0;
+  is >> v;
+  require(static_cast<bool>(is), std::string("read_network: bad ") + what);
+  return v;
+}
+
+}  // namespace
+
+void write_network(std::ostream& os, const Network& net) {
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  os << "raysched-network " << kVersion << "\n";
+  if (net.has_geometry()) {
+    os << "kind geometric\n";
+    os << "n " << net.size() << " noise " << net.noise() << " alpha "
+       << net.alpha() << "\n";
+    for (LinkId i = 0; i < net.size(); ++i) {
+      const Link& l = net.link(i);
+      os << "link " << l.sender.x << " " << l.sender.y << " " << l.receiver.x
+         << " " << l.receiver.y << " " << net.power(i) << "\n";
+    }
+  } else {
+    os << "kind matrix\n";
+    os << "n " << net.size() << " noise " << net.noise() << "\n";
+    for (LinkId j = 0; j < net.size(); ++j) {
+      os << "gains";
+      for (LinkId i = 0; i < net.size(); ++i) {
+        os << " " << net.mean_gain(j, i);
+      }
+      os << "\n";
+    }
+  }
+  require(static_cast<bool>(os), "write_network: stream write failed");
+}
+
+Network read_network(std::istream& is) {
+  expect_token(is, "raysched-network");
+  int version = 0;
+  is >> version;
+  require(static_cast<bool>(is) && version == kVersion,
+          "read_network: unsupported version");
+  expect_token(is, "kind");
+  std::string kind;
+  is >> kind;
+  require(kind == "geometric" || kind == "matrix",
+          "read_network: unknown kind '" + kind + "'");
+  expect_token(is, "n");
+  std::size_t n = 0;
+  is >> n;
+  require(static_cast<bool>(is) && n > 0, "read_network: bad link count");
+  expect_token(is, "noise");
+  const double noise = read_double(is, "noise");
+
+  if (kind == "geometric") {
+    expect_token(is, "alpha");
+    const double alpha = read_double(is, "alpha");
+    std::vector<Link> links;
+    std::vector<double> powers;
+    links.reserve(n);
+    powers.reserve(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      expect_token(is, "link");
+      Link l;
+      l.sender.x = read_double(is, "sender x");
+      l.sender.y = read_double(is, "sender y");
+      l.receiver.x = read_double(is, "receiver x");
+      l.receiver.y = read_double(is, "receiver y");
+      powers.push_back(read_double(is, "power"));
+      links.push_back(l);
+    }
+    Network net(std::move(links), PowerAssignment::explicit_powers(powers),
+                alpha, noise);
+    return net;
+  }
+
+  std::vector<double> gains(n * n);
+  for (std::size_t j = 0; j < n; ++j) {
+    expect_token(is, "gains");
+    for (std::size_t i = 0; i < n; ++i) {
+      gains[j * n + i] = read_double(is, "gain entry");
+    }
+  }
+  return Network(n, std::move(gains), noise);
+}
+
+void save_network(const std::string& path, const Network& net) {
+  std::ofstream f(path);
+  require(f.good(), "save_network: cannot open " + path);
+  write_network(f, net);
+  require(f.good(), "save_network: write failed for " + path);
+}
+
+Network load_network(const std::string& path) {
+  std::ifstream f(path);
+  require(f.good(), "load_network: cannot open " + path);
+  return read_network(f);
+}
+
+}  // namespace raysched::model

@@ -1,0 +1,34 @@
+// raysched: plain-text (de)serialization of networks.
+//
+// Lets instances be pinned to disk and shared between runs/tools. Geometric
+// networks store links + per-link powers + alpha + noise (gains are always
+// derivable as p_j / d^alpha); matrix networks store the raw gain matrix.
+// The format is line-oriented, versioned, and locale-independent
+// (max-precision doubles).
+//
+//   raysched-network 1
+//   kind geometric|matrix
+//   n <count>  noise <nu>  [alpha <a>]
+//   link <sx> <sy> <rx> <ry> <power>      (geometric, n lines)
+//   gains <n*n row-major doubles>          (matrix, n lines of n)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "model/network.hpp"
+
+namespace raysched::model {
+
+/// Writes `net` to the stream. Throws raysched::error on I/O failure.
+void write_network(std::ostream& os, const Network& net);
+
+/// Reads a network written by write_network. Throws raysched::error on
+/// malformed input.
+[[nodiscard]] Network read_network(std::istream& is);
+
+/// File convenience wrappers.
+void save_network(const std::string& path, const Network& net);
+[[nodiscard]] Network load_network(const std::string& path);
+
+}  // namespace raysched::model

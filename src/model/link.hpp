@@ -1,0 +1,27 @@
+// raysched: communication links (sender/receiver pairs).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "model/geometry.hpp"
+
+namespace raysched::model {
+
+/// Index of a link within a network; links are identified positionally.
+using LinkId = std::size_t;
+
+/// A sender-receiver pair in the plane.
+struct Link {
+  Point sender;
+  Point receiver;
+
+  /// Sender-to-receiver distance d(s_i, r_i) ("length" of the link).
+  [[nodiscard]] double length() const { return distance(sender, receiver); }
+};
+
+/// A set of link indices (a candidate transmission set). Kept sorted and
+/// duplicate-free by the helpers in sinr.hpp / algorithms.
+using LinkSet = std::vector<LinkId>;
+
+}  // namespace raysched::model

@@ -1,0 +1,153 @@
+#include "model/nakagami.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace raysched::model {
+
+namespace {
+
+/// Regularized lower incomplete gamma P(a,x) by its power series; valid and
+/// fast for x < a + 1.
+double gamma_p_series(double a, double x) {
+  double ap = a;
+  double sum = 1.0 / a;
+  double del = sum;
+  for (int n = 0; n < 500; ++n) {
+    ap += 1.0;
+    del *= x / ap;
+    sum += del;
+    if (std::abs(del) < std::abs(sum) * 1e-15) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+/// Regularized upper incomplete gamma Q(a,x) by Lentz continued fraction;
+/// valid and fast for x >= a + 1.
+double gamma_q_cf(double a, double x) {
+  const double tiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / tiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < tiny) d = tiny;
+    c = b + an / c;
+    if (std::abs(c) < tiny) c = tiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::abs(del - 1.0) < 1e-15) break;
+  }
+  return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+}  // namespace
+
+double regularized_gamma_q(double a, double x) {
+  require(a > 0.0, "regularized_gamma_q: a must be positive");
+  require(x >= 0.0, "regularized_gamma_q: x must be >= 0");
+  if (x == 0.0) return 1.0;
+  if (x < a + 1.0) return 1.0 - gamma_p_series(a, x);
+  return gamma_q_cf(a, x);
+}
+
+double sample_gain_nakagami(double mean, double m, sim::RngStream& rng) {
+  require(mean >= 0.0, "sample_gain_nakagami: mean must be >= 0");
+  require(m > 0.0, "sample_gain_nakagami: m must be positive");
+  if (mean == 0.0) return 0.0;
+  // Gamma(shape=m, scale=mean/m) = gamma(m) * mean / m.
+  return rng.gamma(m) * mean / m;
+}
+
+std::vector<double> sinr_nakagami_all(const Network& net, const LinkSet& active,
+                                      double m, sim::RngStream& rng) {
+  require(m > 0.0, "sinr_nakagami_all: m must be positive");
+  const std::size_t count = active.size();
+  std::vector<double> out(count, 0.0);
+  for (std::size_t a = 0; a < count; ++a) {
+    const LinkId i = active[a];
+    require(i < net.size(), "sinr_nakagami_all: active id out of range");
+    double interference = net.noise();
+    double own = 0.0;
+    for (std::size_t b = 0; b < count; ++b) {
+      const LinkId j = active[b];
+      const double s = sample_gain_nakagami(net.mean_gain(j, i), m, rng);
+      if (j == i) own = s;
+      else interference += s;
+    }
+    if (interference == 0.0) {
+      out[a] = own > 0.0 ? std::numeric_limits<double>::infinity() : 0.0;
+    } else {
+      out[a] = own / interference;
+    }
+  }
+  return out;
+}
+
+std::size_t count_successes_nakagami(const Network& net, const LinkSet& active,
+                                     double beta, double m,
+                                     sim::RngStream& rng) {
+  require(beta > 0.0, "count_successes_nakagami: beta must be positive");
+  const auto sinrs = sinr_nakagami_all(net, active, m, rng);
+  std::size_t wins = 0;
+  for (double g : sinrs) {
+    if (g >= beta) ++wins;
+  }
+  return wins;
+}
+
+double success_probability_nakagami_mc(const Network& net, const LinkSet& active,
+                                       LinkId i, double beta, double m,
+                                       std::size_t trials,
+                                       sim::RngStream& rng) {
+  require(trials > 0, "success_probability_nakagami_mc: trials must be > 0");
+  require(i < net.size(), "success_probability_nakagami_mc: id out of range");
+  bool member = false;
+  for (LinkId j : active) {
+    if (j == i) member = true;
+  }
+  require(member,
+          "success_probability_nakagami_mc: link i must be in the active set");
+  std::size_t hits = 0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    double interference = net.noise();
+    for (LinkId j : active) {
+      if (j != i) {
+        interference += sample_gain_nakagami(net.mean_gain(j, i), m, rng);
+      }
+    }
+    const double own = sample_gain_nakagami(net.signal(i), m, rng);
+    if (interference == 0.0 ? own > 0.0 : own / interference >= beta) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(trials);
+}
+
+double expected_successes_nakagami_mc(const Network& net, const LinkSet& active,
+                                      double beta, double m, std::size_t trials,
+                                      sim::RngStream& rng) {
+  require(trials > 0, "expected_successes_nakagami_mc: trials must be > 0");
+  double total = 0.0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    total += static_cast<double>(
+        count_successes_nakagami(net, active, beta, m, rng));
+  }
+  return total / static_cast<double>(trials);
+}
+
+double noise_only_success_probability_nakagami(double mean_gain, double noise,
+                                               double beta, double m) {
+  require(mean_gain > 0.0,
+          "noise_only_success_probability_nakagami: mean gain must be > 0");
+  require(noise >= 0.0 && beta > 0.0 && m > 0.0,
+          "noise_only_success_probability_nakagami: bad parameters");
+  if (noise == 0.0) return 1.0;
+  return regularized_gamma_q(m, m * beta * noise / mean_gain);
+}
+
+}  // namespace raysched::model

@@ -1,0 +1,94 @@
+#include "model/network.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace raysched::model {
+
+Network::Network(std::vector<Link> links, const PowerAssignment& powers,
+                 double alpha, double noise)
+    : n_(links.size()), links_(std::move(links)), alpha_(alpha), noise_(noise) {
+  require(n_ > 0, "Network: need at least one link");
+  require(alpha > 0.0, "Network: alpha must be positive");
+  require(noise >= 0.0, "Network: noise must be non-negative");
+  gains_.resize(n_ * n_);
+  powers_.resize(n_);
+  for (LinkId j = 0; j < n_; ++j) {
+    powers_[j] = powers.power(j, links_[j], alpha_);
+    require(powers_[j] > 0.0, "Network: computed power must be positive");
+  }
+  for (LinkId j = 0; j < n_; ++j) {
+    for (LinkId i = 0; i < n_; ++i) {
+      const double d = distance(links_[j].sender, links_[i].receiver);
+      require(d > 0.0,
+              "Network: sender of one link coincides with a receiver; "
+              "gains would be infinite");
+      gains_[j * n_ + i] = powers_[j] / std::pow(d, alpha_);
+    }
+  }
+}
+
+Network::Network(std::vector<Link> links, const PowerAssignment& powers,
+                 const PathLoss& loss, double noise)
+    : n_(links.size()), links_(std::move(links)),
+      alpha_(loss.nominal_alpha()), noise_(noise) {
+  require(n_ > 0, "Network: need at least one link");
+  require(noise >= 0.0, "Network: noise must be non-negative");
+  gains_.resize(n_ * n_);
+  powers_.resize(n_);
+  for (LinkId j = 0; j < n_; ++j) {
+    powers_[j] = powers.power(j, links_[j], alpha_);
+    require(powers_[j] > 0.0, "Network: computed power must be positive");
+  }
+  for (LinkId j = 0; j < n_; ++j) {
+    for (LinkId i = 0; i < n_; ++i) {
+      const double d = distance(links_[j].sender, links_[i].receiver);
+      require(d > 0.0,
+              "Network: sender of one link coincides with a receiver; "
+              "gains would be infinite");
+      gains_[j * n_ + i] = powers_[j] * loss.gain_factor(d);
+    }
+  }
+}
+
+Network::Network(std::size_t n, std::vector<double> mean_gains, double noise)
+    : n_(n), gains_(std::move(mean_gains)), noise_(noise) {
+  require(n_ > 0, "Network: need at least one link");
+  require(gains_.size() == n_ * n_, "Network: gain matrix must be n x n");
+  require(noise >= 0.0, "Network: noise must be non-negative");
+  for (LinkId j = 0; j < n_; ++j) {
+    for (LinkId i = 0; i < n_; ++i) {
+      require(gains_[j * n_ + i] >= 0.0, "Network: gains must be >= 0");
+    }
+    require(gains_[j * n_ + j] > 0.0,
+            "Network: diagonal gains S(i,i) must be positive");
+  }
+}
+
+void Network::set_powers(const std::vector<double>& new_powers) {
+  require(has_geometry(),
+          "Network::set_powers: only geometric networks carry powers");
+  require(new_powers.size() == n_, "Network::set_powers: size mismatch");
+  for (LinkId j = 0; j < n_; ++j) {
+    require(new_powers[j] > 0.0, "Network::set_powers: powers must be > 0");
+    const double scale = new_powers[j] / powers_[j];
+    for (LinkId i = 0; i < n_; ++i) gains_[j * n_ + i] *= scale;
+    powers_[j] = new_powers[j];
+  }
+}
+
+double Network::length_ratio() const {
+  require(has_geometry(), "Network::length_ratio: requires geometry");
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = 0.0;
+  for (const Link& l : links_) {
+    const double len = l.length();
+    lo = std::min(lo, len);
+    hi = std::max(hi, len);
+  }
+  require(lo > 0.0, "Network::length_ratio: zero-length link");
+  return hi / lo;
+}
+
+}  // namespace raysched::model

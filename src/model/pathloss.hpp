@@ -1,0 +1,92 @@
+// raysched: path-loss laws beyond the pure power law.
+//
+// The paper (and its cited literature) uses S̄(j,i) = p_j / d^alpha. Real
+// link budgets often follow richer laws: log-distance with a reference
+// distance, or dual-slope models with a breakpoint. PathLoss abstracts the
+// distance -> attenuation mapping; Network gains are then
+// p_j * gain_factor(d). The pure power law reproduces the paper exactly.
+//
+// All laws return a positive, non-increasing gain factor; tests pin both
+// properties.
+#pragma once
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace raysched::model {
+
+/// Distance-dependent gain factor (the 1/attenuation multiplier applied to
+/// transmit power). Value type.
+class PathLoss {
+ public:
+  /// The paper's law: gain = d^-alpha.
+  [[nodiscard]] static PathLoss power_law(double alpha) {
+    require(alpha > 0.0, "PathLoss::power_law: alpha must be positive");
+    PathLoss p;
+    p.kind_ = Kind::PowerLaw;
+    p.alpha_ = alpha;
+    return p;
+  }
+
+  /// Log-distance law with a reference distance d0: for d >= d0 the gain is
+  /// (d/d0)^-alpha; for d < d0 it saturates at 1 (near-field clamp). This is
+  /// the standard empirical model; the clamp keeps gains finite for
+  /// unexpectedly close pairs.
+  [[nodiscard]] static PathLoss log_distance(double alpha, double d0) {
+    require(alpha > 0.0, "PathLoss::log_distance: alpha must be positive");
+    require(d0 > 0.0, "PathLoss::log_distance: d0 must be positive");
+    PathLoss p;
+    p.kind_ = Kind::LogDistance;
+    p.alpha_ = alpha;
+    p.d0_ = d0;
+    return p;
+  }
+
+  /// Dual-slope law: exponent alpha_near up to the breakpoint distance,
+  /// alpha_far beyond it, continuous at the breakpoint:
+  ///   d <= b: d^-alpha_near
+  ///   d >  b: b^-alpha_near * (d/b)^-alpha_far.
+  [[nodiscard]] static PathLoss dual_slope(double alpha_near, double alpha_far,
+                                           double breakpoint) {
+    require(alpha_near > 0.0 && alpha_far > 0.0,
+            "PathLoss::dual_slope: exponents must be positive");
+    require(breakpoint > 0.0,
+            "PathLoss::dual_slope: breakpoint must be positive");
+    PathLoss p;
+    p.kind_ = Kind::DualSlope;
+    p.alpha_ = alpha_near;
+    p.alpha_far_ = alpha_far;
+    p.d0_ = breakpoint;
+    return p;
+  }
+
+  /// Gain factor at distance d > 0 (multiplies the transmit power).
+  [[nodiscard]] double gain_factor(double d) const {
+    require(d > 0.0, "PathLoss::gain_factor: distance must be positive");
+    switch (kind_) {
+      case Kind::PowerLaw:
+        return std::pow(d, -alpha_);
+      case Kind::LogDistance:
+        return d <= d0_ ? 1.0 : std::pow(d / d0_, -alpha_);
+      case Kind::DualSlope:
+        if (d <= d0_) return std::pow(d, -alpha_);
+        return std::pow(d0_, -alpha_) * std::pow(d / d0_, -alpha_far_);
+    }
+    return 0.0;  // unreachable
+  }
+
+  /// Nominal (near-field) exponent, used as the Network's alpha() report.
+  [[nodiscard]] double nominal_alpha() const { return alpha_; }
+
+ private:
+  enum class Kind { PowerLaw, LogDistance, DualSlope };
+  PathLoss() = default;
+
+  Kind kind_ = Kind::PowerLaw;
+  double alpha_ = 2.0;
+  double alpha_far_ = 4.0;
+  double d0_ = 1.0;
+};
+
+}  // namespace raysched::model

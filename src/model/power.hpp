@@ -1,0 +1,110 @@
+// raysched: transmission power assignments.
+//
+// The paper's experiments use uniform power (p_i = 2) and square-root power
+// (p_i = 2 * sqrt(d_i^alpha)); the transferred algorithms additionally use
+// linear (d^alpha) and arbitrary per-link powers (power control). A
+// PowerAssignment maps a link to its transmission power given the path-loss
+// exponent alpha.
+#pragma once
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "model/link.hpp"
+#include "util/error.hpp"
+
+namespace raysched::model {
+
+/// Power assignment for a set of links. Value type; cheap to copy for the
+/// standard schemes, O(n) for explicit per-link powers.
+class PowerAssignment {
+ public:
+  /// Uniform power: p_i = base for every link.
+  [[nodiscard]] static PowerAssignment uniform(double base) {
+    require(base > 0.0, "PowerAssignment::uniform: base must be positive");
+    PowerAssignment p;
+    p.kind_ = Kind::Uniform;
+    p.base_ = base;
+    return p;
+  }
+
+  /// Square-root power: p_i = base * sqrt(d_i^alpha) — the oblivious scheme
+  /// of Fanghaenel et al. / Halldorsson used in Figure 1.
+  [[nodiscard]] static PowerAssignment square_root(double base) {
+    require(base > 0.0, "PowerAssignment::square_root: base must be positive");
+    PowerAssignment p;
+    p.kind_ = Kind::SquareRoot;
+    p.base_ = base;
+    return p;
+  }
+
+  /// Linear power: p_i = base * d_i^alpha (received signal strength is then
+  /// independent of link length).
+  [[nodiscard]] static PowerAssignment linear(double base) {
+    require(base > 0.0, "PowerAssignment::linear: base must be positive");
+    PowerAssignment p;
+    p.kind_ = Kind::Linear;
+    p.base_ = base;
+    return p;
+  }
+
+  /// Explicit per-link powers (output of power-control algorithms).
+  [[nodiscard]] static PowerAssignment explicit_powers(std::vector<double> p) {
+    require(!p.empty(), "PowerAssignment::explicit_powers: empty vector");
+    for (double v : p) {
+      require(v > 0.0, "PowerAssignment::explicit_powers: powers must be > 0");
+    }
+    PowerAssignment out;
+    out.kind_ = Kind::Explicit;
+    out.explicit_ = std::move(p);
+    return out;
+  }
+
+  /// Power of link `id` with length `length` under path-loss exponent alpha.
+  [[nodiscard]] double power(LinkId id, double length, double alpha) const {
+    switch (kind_) {
+      case Kind::Uniform:
+        return base_;
+      case Kind::SquareRoot:
+        return base_ * std::sqrt(std::pow(length, alpha));
+      case Kind::Linear:
+        return base_ * std::pow(length, alpha);
+      case Kind::Explicit:
+        require(id < explicit_.size(),
+                "PowerAssignment::power: link id out of range");
+        return explicit_[id];
+    }
+    return base_;  // unreachable
+  }
+
+  /// Convenience overload taking the link itself.
+  [[nodiscard]] double power(LinkId id, const Link& link, double alpha) const {
+    return power(id, link.length(), alpha);
+  }
+
+  /// True if the scheme depends only on the link's own length (oblivious);
+  /// explicit assignments are non-oblivious.
+  [[nodiscard]] bool is_oblivious() const { return kind_ != Kind::Explicit; }
+
+  /// Human-readable scheme name for tables and logs.
+  [[nodiscard]] std::string name() const {
+    switch (kind_) {
+      case Kind::Uniform: return "uniform";
+      case Kind::SquareRoot: return "square-root";
+      case Kind::Linear: return "linear";
+      case Kind::Explicit: return "explicit";
+    }
+    return "?";
+  }
+
+ private:
+  enum class Kind { Uniform, SquareRoot, Linear, Explicit };
+  PowerAssignment() = default;
+
+  Kind kind_ = Kind::Uniform;
+  double base_ = 1.0;
+  std::vector<double> explicit_;
+};
+
+}  // namespace raysched::model

@@ -1,0 +1,100 @@
+#include "model/rayleigh.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace raysched::model {
+
+double sinr_rayleigh(const Network& net, const LinkSet& active, LinkId i,
+                     sim::RngStream& rng) {
+  require(i < net.size(), "sinr_rayleigh: link id out of range");
+  double interference = net.noise();
+  double own = 0.0;
+  bool transmits = false;
+  for (LinkId j : active) {
+    require(j < net.size(), "sinr_rayleigh: active id out of range");
+    const double s = rng.exponential_mean(net.mean_gain(j, i));
+    if (j == i) {
+      own = s;
+      transmits = true;
+    } else {
+      interference += s;
+    }
+  }
+  require(transmits, "sinr_rayleigh: link i must be in the active set");
+  if (interference == 0.0) {
+    return own > 0.0 ? std::numeric_limits<double>::infinity() : 0.0;
+  }
+  return own / interference;
+}
+
+std::vector<double> sinr_rayleigh_all(const Network& net, const LinkSet& active,
+                                      sim::RngStream& rng) {
+  // Sample the full |active| x |active| realization: gains are independent
+  // per (sender, receiver) pair, so each receiver draws its own copy of every
+  // sender's signal.
+  const std::size_t m = active.size();
+  std::vector<double> out(m, 0.0);
+  for (std::size_t a = 0; a < m; ++a) {
+    const LinkId i = active[a];
+    require(i < net.size(), "sinr_rayleigh_all: active id out of range");
+    double interference = net.noise();
+    double own = 0.0;
+    for (std::size_t b = 0; b < m; ++b) {
+      const LinkId j = active[b];
+      const double s = rng.exponential_mean(net.mean_gain(j, i));
+      if (j == i) own = s;
+      else interference += s;
+    }
+    if (interference == 0.0) {
+      out[a] = own > 0.0 ? std::numeric_limits<double>::infinity() : 0.0;
+    } else {
+      out[a] = own / interference;
+    }
+  }
+  return out;
+}
+
+std::size_t count_successes_rayleigh(const Network& net, const LinkSet& active,
+                                     double beta, sim::RngStream& rng) {
+  require(beta > 0.0, "count_successes_rayleigh: beta must be positive");
+  const std::vector<double> sinrs = sinr_rayleigh_all(net, active, rng);
+  std::size_t count = 0;
+  for (double g : sinrs) {
+    if (g >= beta) ++count;
+  }
+  return count;
+}
+
+double success_probability_rayleigh(const Network& net, const LinkSet& active,
+                                    LinkId i, double beta) {
+  require(beta > 0.0, "success_probability_rayleigh: beta must be positive");
+  require(i < net.size(), "success_probability_rayleigh: id out of range");
+  const double sii = net.signal(i);
+  double p = std::exp(-beta * net.noise() / sii);
+  bool transmits = false;
+  for (LinkId j : active) {
+    require(j < net.size(), "success_probability_rayleigh: id out of range");
+    if (j == i) {
+      transmits = true;
+      continue;
+    }
+    p /= 1.0 + beta * net.mean_gain(j, i) / sii;
+  }
+  require(transmits,
+          "success_probability_rayleigh: link i must be in the active set");
+  return p;
+}
+
+double expected_successes_rayleigh(const Network& net, const LinkSet& active,
+                                   double beta) {
+  double total = 0.0;
+  for (LinkId i : active) {
+    total += success_probability_rayleigh(net, active, i, beta);
+  }
+  return total;
+}
+
+}  // namespace raysched::model

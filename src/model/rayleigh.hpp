@@ -1,0 +1,57 @@
+// raysched: the Rayleigh-fading channel.
+//
+// Under Rayleigh fading the received strength S(j,i) is an exponentially
+// distributed random variable with mean S̄(j,i), independent across pairs and
+// slots. This header provides slot realizations (sampling) and the exact
+// per-slot success probability for a *fixed* transmitting set, which is
+// Theorem 1 specialized to q in {0,1}:
+//
+//   Pr[gamma_i^R >= beta | active set A, i in A]
+//     = exp(-beta nu / S̄(i,i)) * prod_{j in A, j != i} 1/(1 + beta S̄(j,i)/S̄(i,i)).
+//
+// The probabilistic-access version (arbitrary q vectors) lives in
+// core/success_probability.hpp.
+#pragma once
+
+#include <vector>
+
+#include "model/link.hpp"
+#include "model/network.hpp"
+#include "sim/rng.hpp"
+
+namespace raysched::model {
+
+/// One fading realization of link i's SINR when the links in `active`
+/// transmit: samples S(j,i) ~ Exp(mean S̄(j,i)) for every j in `active`
+/// (including i's own signal) and evaluates the SINR.
+[[nodiscard]] double sinr_rayleigh(const Network& net, const LinkSet& active,
+                                   LinkId i, sim::RngStream& rng);
+
+/// One fading realization of the SINR of every link in `active`
+/// simultaneously; entry order matches `active`. Gains are sampled
+/// independently per (sender, receiver) pair, exactly as in the model.
+[[nodiscard]] std::vector<double> sinr_rayleigh_all(const Network& net,
+                                                    const LinkSet& active,
+                                                    sim::RngStream& rng);
+
+/// Number of links of `active` whose realized SINR is >= beta in one slot.
+[[nodiscard]] std::size_t count_successes_rayleigh(const Network& net,
+                                                   const LinkSet& active,
+                                                   double beta,
+                                                   sim::RngStream& rng);
+
+/// Exact probability that link i (a member of `active`) reaches SINR >= beta
+/// in the Rayleigh model when exactly `active` transmits. Closed form; no
+/// sampling.
+[[nodiscard]] double success_probability_rayleigh(const Network& net,
+                                                  const LinkSet& active,
+                                                  LinkId i, double beta);
+
+/// Exact expected number of successful transmissions in one slot when
+/// exactly `active` transmits: sum over i in active of
+/// success_probability_rayleigh. Closed form; no sampling.
+[[nodiscard]] double expected_successes_rayleigh(const Network& net,
+                                                 const LinkSet& active,
+                                                 double beta);
+
+}  // namespace raysched::model

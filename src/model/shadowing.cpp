@@ -1,0 +1,39 @@
+#include "model/shadowing.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace raysched::model {
+
+namespace {
+// ln(10)/10: converts a dB-scale normal to the natural-log scale.
+constexpr double kDbToNat = 0.23025850929940457;
+}  // namespace
+
+Network apply_lognormal_shadowing(const Network& net, double sigma_db,
+                                  sim::RngStream& rng) {
+  require(sigma_db >= 0.0,
+          "apply_lognormal_shadowing: sigma_db must be >= 0");
+  const std::size_t n = net.size();
+  std::vector<double> gains(n * n);
+  for (LinkId j = 0; j < n; ++j) {
+    for (LinkId i = 0; i < n; ++i) {
+      const double factor =
+          sigma_db == 0.0
+              ? 1.0
+              : std::exp(kDbToNat * sigma_db * rng.normal());
+      gains[j * n + i] = net.mean_gain(j, i) * factor;
+    }
+  }
+  return Network(n, std::move(gains), net.noise());
+}
+
+double lognormal_shadowing_mean(double sigma_db) {
+  require(sigma_db >= 0.0, "lognormal_shadowing_mean: sigma_db must be >= 0");
+  const double s = kDbToNat * sigma_db;
+  return std::exp(s * s / 2.0);
+}
+
+}  // namespace raysched::model

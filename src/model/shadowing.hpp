@@ -1,0 +1,35 @@
+// raysched: log-normal shadowing — slow, per-pair random attenuation.
+//
+// The standard wireless channel stacks three effects: deterministic path
+// loss, slow log-normal shadowing (obstacles; static over the scheduling
+// horizon), and fast fading (the paper's Rayleigh layer, fresh per slot).
+// The paper's reduction assumes the *means* S̄(j,i) are known; shadowing
+// breaks that: the true means are S̄(j,i) * 10^(X/10) with X ~ N(0, sigma^2)
+// per pair, while a scheduler typically plans on the unshadowed values.
+//
+// apply_lognormal_shadowing materializes a shadowed copy of a network (a
+// matrix network with perturbed means). The A15 ablation plans on the
+// nominal network and evaluates on the shadowed one, measuring how the
+// Lemma-2 pipeline degrades with sigma.
+#pragma once
+
+#include "model/network.hpp"
+#include "sim/rng.hpp"
+
+namespace raysched::model {
+
+/// Returns a (geometry-free) copy of `net` whose mean gains are multiplied
+/// by independent log-normal factors 10^(X/10), X ~ N(0, sigma_db^2), one
+/// per (sender, receiver) pair. sigma_db = 0 returns an exact copy.
+/// Shadowing is reciprocal per pair only in reality for the same physical
+/// path; here each ordered (j, i) pair draws independently, matching the
+/// common simulation practice for link-level studies.
+[[nodiscard]] Network apply_lognormal_shadowing(const Network& net,
+                                                double sigma_db,
+                                                sim::RngStream& rng);
+
+/// Mean of the log-normal factor 10^(X/10): exp((ln(10)/10)^2 sigma^2 / 2).
+/// Useful to de-bias expectations in tests.
+[[nodiscard]] double lognormal_shadowing_mean(double sigma_db);
+
+}  // namespace raysched::model

@@ -1,0 +1,71 @@
+#include "model/sinr.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace raysched::model {
+
+double interference_plus_noise(const Network& net, const LinkSet& active,
+                               LinkId i) {
+  require(i < net.size(), "interference_plus_noise: link id out of range");
+  double denom = net.noise();
+  for (LinkId j : active) {
+    require(j < net.size(), "interference_plus_noise: active id out of range");
+    if (j != i) denom += net.mean_gain(j, i);
+  }
+  return denom;
+}
+
+double sinr_nonfading(const Network& net, const LinkSet& active, LinkId i) {
+  const double denom = interference_plus_noise(net, active, i);
+  if (denom == 0.0) return std::numeric_limits<double>::infinity();
+  return net.signal(i) / denom;
+}
+
+std::vector<double> sinr_nonfading_all(const Network& net,
+                                       const LinkSet& active) {
+  std::vector<double> out;
+  out.reserve(active.size());
+  for (LinkId i : active) out.push_back(sinr_nonfading(net, active, i));
+  return out;
+}
+
+bool is_feasible(const Network& net, const LinkSet& active, double beta) {
+  require(beta > 0.0, "is_feasible: beta must be positive");
+  for (LinkId i : active) {
+    if (sinr_nonfading(net, active, i) < beta) return false;
+  }
+  return true;
+}
+
+std::size_t count_successes_nonfading(const Network& net, const LinkSet& active,
+                                      double beta) {
+  require(beta > 0.0, "count_successes_nonfading: beta must be positive");
+  std::size_t count = 0;
+  for (LinkId i : active) {
+    if (sinr_nonfading(net, active, i) >= beta) ++count;
+  }
+  return count;
+}
+
+LinkSet successful_links_nonfading(const Network& net, const LinkSet& active,
+                                   double beta) {
+  require(beta > 0.0, "successful_links_nonfading: beta must be positive");
+  LinkSet out;
+  for (LinkId i : active) {
+    if (sinr_nonfading(net, active, i) >= beta) out.push_back(i);
+  }
+  return out;
+}
+
+void normalize_link_set(const Network& net, LinkSet& set) {
+  for (LinkId i : set) {
+    require(i < net.size(), "normalize_link_set: link id out of range");
+  }
+  std::sort(set.begin(), set.end());
+  set.erase(std::unique(set.begin(), set.end()), set.end());
+}
+
+}  // namespace raysched::model

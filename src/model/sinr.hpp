@@ -1,0 +1,50 @@
+// raysched: deterministic (non-fading) SINR computations.
+//
+// gamma_i^nf = S̄(i,i) / (sum_{j in active, j != i} S̄(j,i) + nu).
+// Provides per-link SINR for an active set, feasibility checks against a
+// threshold beta, and the count/value of successful links.
+#pragma once
+
+#include <vector>
+
+#include "model/link.hpp"
+#include "model/network.hpp"
+
+namespace raysched::model {
+
+/// Non-fading SINR of link i when exactly the links in `active` transmit
+/// (i itself must be in `active` to transmit; if it is not, its SINR is the
+/// SINR it *would* get while the others transmit — callers that need
+/// "transmit + succeed" semantics should check membership).
+[[nodiscard]] double sinr_nonfading(const Network& net, const LinkSet& active,
+                                    LinkId i);
+
+/// Non-fading SINRs for every link in `active`, in the same order as
+/// `active`. O(|active|^2).
+[[nodiscard]] std::vector<double> sinr_nonfading_all(const Network& net,
+                                                     const LinkSet& active);
+
+/// True iff every link in `active` reaches SINR >= beta when all of `active`
+/// transmit simultaneously (a "feasible set" in the paper's sense).
+[[nodiscard]] bool is_feasible(const Network& net, const LinkSet& active,
+                               double beta);
+
+/// Number of links in `active` with SINR >= beta when all of `active`
+/// transmit (non-fading successful transmissions in one slot).
+[[nodiscard]] std::size_t count_successes_nonfading(const Network& net,
+                                                    const LinkSet& active,
+                                                    double beta);
+
+/// The links of `active` that meet SINR >= beta (in `active` order).
+[[nodiscard]] LinkSet successful_links_nonfading(const Network& net,
+                                                 const LinkSet& active,
+                                                 double beta);
+
+/// Normalizes a link set: sorts, deduplicates, validates indices.
+void normalize_link_set(const Network& net, LinkSet& set);
+
+/// Interference mass sum_{j in active, j != i} S̄(j,i) + nu at receiver i.
+[[nodiscard]] double interference_plus_noise(const Network& net,
+                                             const LinkSet& active, LinkId i);
+
+}  // namespace raysched::model

@@ -1,0 +1,65 @@
+#include "sim/engine.hpp"
+
+#include <mutex>
+
+#include "util/error.hpp"
+
+namespace raysched::sim {
+
+ExperimentResult run_experiment(const ExperimentConfig& config,
+                                const std::vector<std::string>& metric_names,
+                                const InstanceFactory& make_instance,
+                                const TrialFunction& run_trial) {
+  require(config.num_networks > 0, "run_experiment: num_networks must be > 0");
+  require(config.trials_per_network > 0,
+          "run_experiment: trials_per_network must be > 0");
+  require(!metric_names.empty(), "run_experiment: need at least one metric");
+  require(static_cast<bool>(make_instance) && static_cast<bool>(run_trial),
+          "run_experiment: factory and trial function must be non-empty");
+
+  const std::size_t m = metric_names.size();
+  ExperimentResult result;
+  result.metric_names = metric_names;
+  result.per_trial.resize(m);
+  result.per_network.resize(m);
+
+  const RngStream master(config.master_seed);
+  std::mutex merge_mutex;
+
+  auto run_network_range = [&](std::size_t begin, std::size_t end) {
+    std::vector<Accumulator> local_trial(m), local_network(m);
+    for (std::size_t net_idx = begin; net_idx < end; ++net_idx) {
+      RngStream instance_rng = master.derive(net_idx, 0xA);
+      const model::Network net = make_instance(instance_rng);
+      std::vector<Accumulator> network_acc(m);
+      for (std::size_t t = 0; t < config.trials_per_network; ++t) {
+        RngStream trial_rng = master.derive(net_idx, 0xB).derive(t);
+        const std::vector<double> row = run_trial(net, trial_rng);
+        require(row.size() == m,
+                "run_experiment: trial returned wrong metric count");
+        for (std::size_t k = 0; k < m; ++k) {
+          local_trial[k].add(row[k]);
+          network_acc[k].add(row[k]);
+        }
+      }
+      for (std::size_t k = 0; k < m; ++k) {
+        local_network[k].add(network_acc[k].mean());
+      }
+    }
+    std::lock_guard<std::mutex> lock(merge_mutex);
+    for (std::size_t k = 0; k < m; ++k) {
+      result.per_trial[k].merge(local_trial[k]);
+      result.per_network[k].merge(local_network[k]);
+    }
+  };
+
+  if (config.num_threads <= 1) {
+    run_network_range(0, config.num_networks);
+  } else {
+    ThreadPool pool(config.num_threads);
+    parallel_for(pool, config.num_networks, run_network_range);
+  }
+  return result;
+}
+
+}  // namespace raysched::sim

@@ -1,0 +1,57 @@
+// raysched: the Monte-Carlo experiment engine.
+//
+// The paper's experiments nest three seed dimensions: network seeds x
+// transmit seeds x fading seeds. Experiment captures that pattern once:
+// an instance factory draws a network per network-seed, a trial function
+// evaluates one (network, trial) cell and returns one or more metric rows,
+// and the engine aggregates per-metric statistics — optionally in parallel
+// across networks, with fully deterministic stream derivation so that the
+// thread count never changes results.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "model/network.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+#include "sim/thread_pool.hpp"
+
+namespace raysched::sim {
+
+/// Configuration of a nested Monte-Carlo sweep.
+struct ExperimentConfig {
+  std::size_t num_networks = 10;   ///< outer dimension (instances)
+  std::size_t trials_per_network = 25;  ///< inner dimension (e.g. transmit seeds)
+  std::uint64_t master_seed = 1;
+  std::size_t num_threads = 1;  ///< networks are distributed across threads
+};
+
+/// Builds one problem instance from its dedicated stream.
+using InstanceFactory = std::function<model::Network(RngStream&)>;
+
+/// Evaluates one trial of one instance; returns one value per metric.
+/// Metric count must be constant across calls.
+using TrialFunction = std::function<std::vector<double>(
+    const model::Network&, RngStream&)>;
+
+/// Aggregated result: per-metric statistics over all (network, trial) cells,
+/// plus per-network means (for between-network variance).
+struct ExperimentResult {
+  std::vector<std::string> metric_names;
+  std::vector<Accumulator> per_trial;    ///< pooled over all cells
+  std::vector<Accumulator> per_network;  ///< of per-network trial means
+
+  [[nodiscard]] std::size_t num_metrics() const { return metric_names.size(); }
+};
+
+/// Runs the sweep. Streams are derived as
+///   master.derive(network_index, 0xA)  -> instance generation
+///   master.derive(network_index, 0xB).derive(trial_index) -> trial
+/// so results are independent of scheduling and thread count.
+[[nodiscard]] ExperimentResult run_experiment(
+    const ExperimentConfig& config, const std::vector<std::string>& metric_names,
+    const InstanceFactory& make_instance, const TrialFunction& run_trial);
+
+}  // namespace raysched::sim

@@ -1,0 +1,182 @@
+// raysched: streaming statistics accumulators for Monte-Carlo experiments.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace raysched::sim {
+
+/// Welford streaming accumulator: mean / variance / extrema in one pass,
+/// numerically stable for long trial sequences.
+class Accumulator {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+    sum_ += x;
+  }
+
+  /// Merges another accumulator (parallel reduction), Chan et al. update.
+  void merge(const Accumulator& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double nt = na + nb;
+    mean_ += delta * nb / nt;
+    m2_ += other.m2_ + delta * delta * na * nb / nt;
+    n_ += other.n_;
+    sum_ += other.sum_;
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+  [[nodiscard]] double mean() const {
+    require(n_ > 0, "Accumulator::mean: no samples");
+    return mean_;
+  }
+
+  /// Sample variance (n-1 denominator). Zero for a single sample.
+  [[nodiscard]] double variance() const {
+    require(n_ > 0, "Accumulator::variance: no samples");
+    if (n_ == 1) return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+  }
+
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+
+  /// Standard error of the mean.
+  [[nodiscard]] double sem() const {
+    return stddev() / std::sqrt(static_cast<double>(count()));
+  }
+
+  /// Half-width of an approximate 95% confidence interval (1.96 sigma).
+  [[nodiscard]] double ci95_halfwidth() const { return 1.96 * sem(); }
+
+  [[nodiscard]] double min() const {
+    require(n_ > 0, "Accumulator::min: no samples");
+    return min_;
+  }
+
+  [[nodiscard]] double max() const {
+    require(n_ > 0, "Accumulator::max: no samples");
+    return max_;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Sample container with exact quantiles (keeps all samples; meant for
+/// latency-distribution experiments with up to ~10^6 samples, not for
+/// unbounded streams).
+class SampleSet {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+
+  [[nodiscard]] double mean() const {
+    require(!samples_.empty(), "SampleSet::mean: no samples");
+    double sum = 0.0;
+    for (double x : samples_) sum += x;
+    return sum / static_cast<double>(samples_.size());
+  }
+
+  /// Exact empirical quantile, q in [0,1]; nearest-rank with linear
+  /// interpolation between order statistics.
+  [[nodiscard]] double quantile(double q) const {
+    require(!samples_.empty(), "SampleSet::quantile: no samples");
+    require(q >= 0.0 && q <= 1.0, "SampleSet::quantile: q must be in [0,1]");
+    ensure_sorted();
+    if (samples_.size() == 1) return samples_[0];
+    const double pos = q * static_cast<double>(samples_.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const double frac = pos - static_cast<double>(lo);
+    if (lo + 1 >= samples_.size()) return samples_.back();
+    return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+  }
+
+  [[nodiscard]] double median() const { return quantile(0.5); }
+  [[nodiscard]] double min() const { return quantile(0.0); }
+  [[nodiscard]] double max() const { return quantile(1.0); }
+
+ private:
+  void ensure_sorted() const {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+/// Fixed-width vector of accumulators, e.g. one per round of a learning run
+/// or one per sweep point of a figure.
+class SeriesAccumulator {
+ public:
+  explicit SeriesAccumulator(std::size_t width) : acc_(width) {
+    require(width > 0, "SeriesAccumulator: width must be positive");
+  }
+
+  void add(std::size_t index, double x) {
+    require(index < acc_.size(), "SeriesAccumulator::add: index out of range");
+    acc_[index].add(x);
+  }
+
+  /// Adds a full row of samples; the row width must match.
+  void add_row(const std::vector<double>& row) {
+    require(row.size() == acc_.size(),
+            "SeriesAccumulator::add_row: width mismatch");
+    for (std::size_t i = 0; i < row.size(); ++i) acc_[i].add(row[i]);
+  }
+
+  void merge(const SeriesAccumulator& other) {
+    require(other.acc_.size() == acc_.size(),
+            "SeriesAccumulator::merge: width mismatch");
+    for (std::size_t i = 0; i < acc_.size(); ++i) acc_[i].merge(other.acc_[i]);
+  }
+
+  [[nodiscard]] std::size_t width() const { return acc_.size(); }
+  [[nodiscard]] const Accumulator& at(std::size_t i) const {
+    require(i < acc_.size(), "SeriesAccumulator::at: index out of range");
+    return acc_[i];
+  }
+
+  [[nodiscard]] std::vector<double> means() const {
+    std::vector<double> out(acc_.size());
+    for (std::size_t i = 0; i < acc_.size(); ++i) out[i] = acc_[i].mean();
+    return out;
+  }
+
+ private:
+  std::vector<Accumulator> acc_;
+};
+
+}  // namespace raysched::sim

@@ -1,0 +1,107 @@
+#include "sim/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace raysched::sim {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  if (num_threads == 1) return;  // inline mode: no workers
+  threads_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::record_exception() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!first_exception_) first_exception_ = std::current_exception();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  if (threads_.empty()) {
+    // Inline mode: run now, capture exceptions like a worker would.
+    try {
+      task();
+    } catch (...) {
+      record_exception();
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push(std::move(task));
+    ++in_flight_;
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_done_.wait(lock, [this] { return in_flight_ == 0 && queue_.empty(); });
+  if (first_exception_) {
+    auto ex = first_exception_;
+    first_exception_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(ex);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    try {
+      task();
+    } catch (...) {
+      record_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+    }
+    cv_done_.notify_all();
+  }
+}
+
+void parallel_for(ThreadPool& pool, std::size_t count,
+                  const std::function<void(std::size_t, std::size_t)>& body,
+                  std::size_t min_chunk) {
+  if (count == 0) return;
+  min_chunk = std::max<std::size_t>(1, min_chunk);
+  const std::size_t workers = std::max<std::size_t>(1, pool.num_threads());
+  // Aim for ~4 chunks per worker so uneven trial costs balance out.
+  std::size_t chunk = std::max(min_chunk, count / (4 * workers) + 1);
+  for (std::size_t begin = 0; begin < count; begin += chunk) {
+    const std::size_t end = std::min(count, begin + chunk);
+    pool.submit([&body, begin, end] { body(begin, end); });
+  }
+  pool.wait();
+}
+
+ThreadPool& default_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace raysched::sim

@@ -1,0 +1,67 @@
+// raysched: portable fixed-size thread pool with a parallel_for helper.
+//
+// Monte-Carlo sweeps (networks x transmit seeds x fading seeds) are
+// embarrassingly parallel across trials. Each trial owns a derived RngStream,
+// so parallel execution is deterministic regardless of scheduling. On a
+// single-core host the pool degrades to sequential execution with no
+// thread-creation overhead (num_threads == 1 runs inline).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace raysched::sim {
+
+/// Fixed-size worker pool. Tasks are std::function<void()>; wait() blocks
+/// until all submitted tasks completed. Exceptions thrown by tasks are
+/// captured and rethrown from wait() (first one wins).
+class ThreadPool {
+ public:
+  /// num_threads == 0 selects hardware_concurrency() (at least 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t num_threads() const { return threads_.size(); }
+
+  /// Enqueues a task. If the pool was built with one thread, runs inline.
+  void submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks finished; rethrows the first captured
+  /// task exception, if any.
+  void wait();
+
+ private:
+  void worker_loop();
+  void record_exception();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_done_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+  std::exception_ptr first_exception_;
+};
+
+/// Splits [0, count) into contiguous chunks and runs body(begin, end) on the
+/// pool, blocking until all chunks complete. body must be thread-safe across
+/// disjoint ranges. With a 1-thread pool this is a plain loop.
+void parallel_for(ThreadPool& pool, std::size_t count,
+                  const std::function<void(std::size_t, std::size_t)>& body,
+                  std::size_t min_chunk = 1);
+
+/// Shared default pool sized to the host (constructed on first use).
+ThreadPool& default_pool();
+
+}  // namespace raysched::sim

@@ -1,0 +1,24 @@
+// raysched: error type used at public API boundaries.
+//
+// Library functions throw raysched::error when a documented precondition is
+// violated by the caller (bad sizes, probabilities outside [0,1], empty
+// networks, ...). Internal invariants use assert().
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace raysched {
+
+/// Exception thrown on violated preconditions at public API boundaries.
+class error : public std::runtime_error {
+ public:
+  explicit error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Throws raysched::error with `message` unless `condition` holds.
+inline void require(bool condition, const std::string& message) {
+  if (!condition) throw error(message);
+}
+
+}  // namespace raysched

@@ -1,0 +1,151 @@
+#include "util/flags.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace raysched::util {
+
+void Flags::add_int(const std::string& name, long long def,
+                    const std::string& help) {
+  Entry e;
+  e.kind = Kind::Int;
+  e.help = help;
+  e.i = def;
+  require(entries_.emplace(name, std::move(e)).second,
+          "Flags: duplicate flag --" + name);
+  order_.push_back(name);
+}
+
+void Flags::add_double(const std::string& name, double def,
+                       const std::string& help) {
+  Entry e;
+  e.kind = Kind::Double;
+  e.help = help;
+  e.d = def;
+  require(entries_.emplace(name, std::move(e)).second,
+          "Flags: duplicate flag --" + name);
+  order_.push_back(name);
+}
+
+void Flags::add_string(const std::string& name, const std::string& def,
+                       const std::string& help) {
+  Entry e;
+  e.kind = Kind::String;
+  e.help = help;
+  e.s = def;
+  require(entries_.emplace(name, std::move(e)).second,
+          "Flags: duplicate flag --" + name);
+  order_.push_back(name);
+}
+
+void Flags::add_bool(const std::string& name, bool def,
+                     const std::string& help) {
+  Entry e;
+  e.kind = Kind::Bool;
+  e.help = help;
+  e.b = def;
+  require(entries_.emplace(name, std::move(e)).second,
+          "Flags: duplicate flag --" + name);
+  order_.push_back(name);
+}
+
+void Flags::set_value(const std::string& name, const std::string& value) {
+  auto it = entries_.find(name);
+  require(it != entries_.end(), "Flags: unknown flag --" + name);
+  Entry& e = it->second;
+  char* end = nullptr;
+  switch (e.kind) {
+    case Kind::Int: {
+      e.i = std::strtoll(value.c_str(), &end, 10);
+      require(end != value.c_str() && *end == '\0',
+              "Flags: --" + name + " expects an integer, got '" + value + "'");
+      break;
+    }
+    case Kind::Double: {
+      e.d = std::strtod(value.c_str(), &end);
+      require(end != value.c_str() && *end == '\0',
+              "Flags: --" + name + " expects a number, got '" + value + "'");
+      break;
+    }
+    case Kind::String:
+      e.s = value;
+      break;
+    case Kind::Bool: {
+      if (value == "true" || value == "1") e.b = true;
+      else if (value == "false" || value == "0") e.b = false;
+      else
+        throw error("Flags: --" + name + " expects true/false, got '" + value +
+                    "'");
+      break;
+    }
+  }
+}
+
+void Flags::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    require(arg.rfind("--", 0) == 0, "Flags: expected --flag, got '" + arg + "'");
+    arg = arg.substr(2);
+    auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      set_value(arg.substr(0, eq), arg.substr(eq + 1));
+      continue;
+    }
+    auto it = entries_.find(arg);
+    require(it != entries_.end(), "Flags: unknown flag --" + arg);
+    if (it->second.kind == Kind::Bool) {
+      it->second.b = true;
+      continue;
+    }
+    require(i + 1 < argc, "Flags: --" + arg + " requires a value");
+    set_value(arg, argv[++i]);
+  }
+}
+
+const Flags::Entry& Flags::lookup(const std::string& name, Kind kind) const {
+  auto it = entries_.find(name);
+  require(it != entries_.end(), "Flags: flag --" + name + " was not registered");
+  require(it->second.kind == kind, "Flags: --" + name + " accessed as wrong type");
+  return it->second;
+}
+
+long long Flags::get_int(const std::string& name) const {
+  return lookup(name, Kind::Int).i;
+}
+
+double Flags::get_double(const std::string& name) const {
+  return lookup(name, Kind::Double).d;
+}
+
+const std::string& Flags::get_string(const std::string& name) const {
+  return lookup(name, Kind::String).s;
+}
+
+bool Flags::get_bool(const std::string& name) const {
+  return lookup(name, Kind::Bool).b;
+}
+
+std::string Flags::usage(const std::string& program) const {
+  std::ostringstream ss;
+  ss << "usage: " << program << " [flags]\n";
+  for (const auto& name : order_) {
+    const Entry& e = entries_.at(name);
+    ss << "  --" << name;
+    switch (e.kind) {
+      case Kind::Int: ss << "=<int> (default " << e.i << ")"; break;
+      case Kind::Double: ss << "=<num> (default " << e.d << ")"; break;
+      case Kind::String: ss << "=<str> (default '" << e.s << "')"; break;
+      case Kind::Bool: ss << " (default " << (e.b ? "true" : "false") << ")"; break;
+    }
+    ss << "\n      " << e.help << '\n';
+  }
+  return ss.str();
+}
+
+}  // namespace raysched::util

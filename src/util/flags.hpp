@@ -1,0 +1,59 @@
+// raysched: minimal command-line flag parser for examples and benches.
+//
+// Supports --name=value and --name value forms plus boolean --name switches.
+// Unknown flags raise raysched::error so typos surface immediately.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace raysched::util {
+
+/// Declarative flag set. Register flags with defaults, then parse argv.
+class Flags {
+ public:
+  /// Registers an integer flag with its default and help text.
+  void add_int(const std::string& name, long long def, const std::string& help);
+  /// Registers a floating-point flag.
+  void add_double(const std::string& name, double def, const std::string& help);
+  /// Registers a string flag.
+  void add_string(const std::string& name, const std::string& def,
+                  const std::string& help);
+  /// Registers a boolean switch (default false; presence sets true, or
+  /// --name=false/true explicitly).
+  void add_bool(const std::string& name, bool def, const std::string& help);
+
+  /// Parses argv (excluding argv[0]). Throws raysched::error on unknown flag
+  /// or malformed value. Recognizes --help and sets help_requested().
+  void parse(int argc, const char* const* argv);
+
+  [[nodiscard]] long long get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] const std::string& get_string(const std::string& name) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+
+  [[nodiscard]] bool help_requested() const { return help_requested_; }
+  /// Renders usage text listing all registered flags.
+  [[nodiscard]] std::string usage(const std::string& program) const;
+
+ private:
+  enum class Kind { Int, Double, String, Bool };
+  struct Entry {
+    Kind kind;
+    std::string help;
+    long long i = 0;
+    double d = 0.0;
+    std::string s;
+    bool b = false;
+  };
+  void set_value(const std::string& name, const std::string& value);
+  const Entry& lookup(const std::string& name, Kind kind) const;
+
+  std::map<std::string, Entry> entries_;
+  std::vector<std::string> order_;
+  bool help_requested_ = false;
+};
+
+}  // namespace raysched::util

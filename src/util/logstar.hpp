@@ -1,0 +1,73 @@
+// raysched: iterated logarithm and the b_k sequence of Theorem 2.
+//
+// The paper's simulation transform (Algorithm 1) iterates the sequence
+// b_0 = 1/4, b_{k+1} = exp(b_k / 2) until b_k >= n; the number of iterations
+// is Theta(log* n). This header provides both the classical iterated
+// logarithm (base 2 and base e) and the paper's sequence.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace raysched::util {
+
+/// Iterated logarithm base 2: the number of times log2 must be applied to n
+/// before the result is <= 1. log_star_2(1) == 0, log_star_2(2) == 1,
+/// log_star_2(16) == 3, log_star_2(65536) == 4.
+[[nodiscard]] inline int log_star_2(double n) {
+  require(n > 0.0, "log_star_2: n must be positive");
+  int k = 0;
+  while (n > 1.0) {
+    n = std::log2(n);
+    ++k;
+  }
+  return k;
+}
+
+/// Iterated natural logarithm: number of times ln must be applied before the
+/// result is <= 1.
+[[nodiscard]] inline int log_star_e(double n) {
+  require(n > 0.0, "log_star_e: n must be positive");
+  int k = 0;
+  while (n > 1.0) {
+    n = std::log(n);
+    ++k;
+  }
+  return k;
+}
+
+/// The paper's iterated-exponential sequence from the proof of Theorem 2:
+/// b_0 = 1/4, b_{k+1} = exp(b_k / 2). Returns all terms b_0, ..., b_K where
+/// K is the first index with b_K >= n. The length of this vector is the
+/// number of "while" iterations Algorithm 1 performs plus one.
+[[nodiscard]] inline std::vector<double> theorem2_b_sequence(double n) {
+  require(n > 0.0, "theorem2_b_sequence: n must be positive");
+  std::vector<double> b;
+  b.push_back(0.25);
+  // The sequence grows as an iterated exponential, so the loop terminates in
+  // O(log* n) iterations; cap defensively at 64 which is unreachable for any
+  // representable double.
+  while (b.back() < n && b.size() < 64) {
+    b.push_back(std::exp(b.back() / 2.0));
+  }
+  return b;
+}
+
+/// Number of distinct probability levels Algorithm 1 uses for n links, i.e.
+/// the number of k with b_k < n. Each level is repeated 19 times.
+[[nodiscard]] inline int theorem2_num_levels(std::size_t n) {
+  require(n > 0, "theorem2_num_levels: n must be positive");
+  int levels = 0;
+  double b = 0.25;
+  while (b < static_cast<double>(n)) {
+    ++levels;
+    b = std::exp(b / 2.0);
+    if (levels >= 64) break;
+  }
+  return levels;
+}
+
+}  // namespace raysched::util

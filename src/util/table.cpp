@@ -1,0 +1,104 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace raysched::util {
+
+namespace {
+
+std::string cell_to_string(const Cell& c, int precision) {
+  if (std::holds_alternative<std::string>(c)) return std::get<std::string>(c);
+  if (std::holds_alternative<long long>(c)) {
+    return std::to_string(std::get<long long>(c));
+  }
+  return format_double(std::get<double>(c), precision);
+}
+
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string format_double(double v, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << v;
+  return ss.str();
+}
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  require(!header_.empty(), "Table: header must be non-empty");
+}
+
+void Table::add_row(std::vector<Cell> row) {
+  require(row.size() == header_.size(),
+          "Table::add_row: row width does not match header");
+  rows_.push_back(std::move(row));
+}
+
+void Table::print_text(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    std::vector<std::string> line;
+    line.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line.push_back(cell_to_string(row[c], 4));
+      widths[c] = std::max(widths[c], line.back().size());
+    }
+    rendered.push_back(std::move(line));
+  }
+  auto print_line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << std::setw(static_cast<int>(widths[c])) << cells[c];
+      if (c + 1 < cells.size()) os << "  ";
+    }
+    os << '\n';
+  };
+  print_line(header_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& line : rendered) print_line(line);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << csv_escape(header_[c]);
+    if (c + 1 < header_.size()) os << ',';
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << csv_escape(cell_to_string(row[c], 6));
+      if (c + 1 < row.size()) os << ',';
+    }
+    os << '\n';
+  }
+}
+
+void Table::write_csv(const std::string& path) const {
+  std::ofstream f(path);
+  require(f.good(), "Table::write_csv: cannot open " + path);
+  print_csv(f);
+  require(f.good(), "Table::write_csv: write failed for " + path);
+}
+
+}  // namespace raysched::util

@@ -1,0 +1,13 @@
+// raysched: library version.
+#pragma once
+
+namespace raysched {
+
+inline constexpr int kVersionMajor = 1;
+inline constexpr int kVersionMinor = 0;
+inline constexpr int kVersionPatch = 0;
+
+/// "major.minor.patch" string.
+inline constexpr const char* kVersionString = "1.0.0";
+
+}  // namespace raysched

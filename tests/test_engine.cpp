@@ -1,0 +1,136 @@
+// Tests for the Monte-Carlo experiment engine.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "test_helpers.hpp"
+
+namespace raysched::sim {
+namespace {
+
+model::Network tiny_instance(RngStream& rng) {
+  model::RandomPlaneParams params;
+  params.num_links = 5;
+  auto links = model::random_plane_links(params, rng);
+  return model::Network(std::move(links), model::PowerAssignment::uniform(2.0),
+                        2.2, 4e-7);
+}
+
+TEST(Engine, RunsAllCells) {
+  ExperimentConfig config;
+  config.num_networks = 4;
+  config.trials_per_network = 6;
+  std::atomic<int> calls{0};
+  const auto result = run_experiment(
+      config, {"one"}, tiny_instance,
+      [&](const model::Network&, RngStream&) {
+        calls.fetch_add(1);
+        return std::vector<double>{1.0};
+      });
+  EXPECT_EQ(calls.load(), 24);
+  EXPECT_EQ(result.per_trial[0].count(), 24u);
+  EXPECT_EQ(result.per_network[0].count(), 4u);
+  EXPECT_DOUBLE_EQ(result.per_trial[0].mean(), 1.0);
+}
+
+TEST(Engine, MetricsAreSeparated) {
+  ExperimentConfig config;
+  config.num_networks = 2;
+  config.trials_per_network = 3;
+  const auto result = run_experiment(
+      config, {"a", "b"}, tiny_instance,
+      [](const model::Network&, RngStream&) {
+        return std::vector<double>{2.0, 5.0};
+      });
+  EXPECT_EQ(result.num_metrics(), 2u);
+  EXPECT_DOUBLE_EQ(result.per_trial[0].mean(), 2.0);
+  EXPECT_DOUBLE_EQ(result.per_trial[1].mean(), 5.0);
+}
+
+TEST(Engine, DeterministicAcrossThreadCounts) {
+  // The per-cell streams are derived from (network, trial), so thread count
+  // must not change any statistic.
+  auto trial = [](const model::Network& net, RngStream& rng) {
+    model::LinkSet active;
+    for (model::LinkId i = 0; i < net.size(); ++i) {
+      if (rng.bernoulli(0.5)) active.push_back(i);
+    }
+    return std::vector<double>{
+        static_cast<double>(model::count_successes_nonfading(net, active, 2.5))};
+  };
+  ExperimentConfig seq;
+  seq.num_networks = 6;
+  seq.trials_per_network = 10;
+  seq.num_threads = 1;
+  ExperimentConfig par = seq;
+  par.num_threads = 4;
+  const auto a = run_experiment(seq, {"s"}, tiny_instance, trial);
+  const auto b = run_experiment(par, {"s"}, tiny_instance, trial);
+  EXPECT_DOUBLE_EQ(a.per_trial[0].mean(), b.per_trial[0].mean());
+  EXPECT_DOUBLE_EQ(a.per_trial[0].variance(), b.per_trial[0].variance());
+  EXPECT_DOUBLE_EQ(a.per_network[0].mean(), b.per_network[0].mean());
+}
+
+TEST(Engine, DifferentSeedsGiveDifferentInstances) {
+  auto trial = [](const model::Network& net, RngStream&) {
+    return std::vector<double>{net.link(0).receiver.x};
+  };
+  ExperimentConfig c1;
+  c1.num_networks = 3;
+  c1.trials_per_network = 1;
+  c1.master_seed = 1;
+  ExperimentConfig c2 = c1;
+  c2.master_seed = 2;
+  const auto a = run_experiment(c1, {"x"}, tiny_instance, trial);
+  const auto b = run_experiment(c2, {"x"}, tiny_instance, trial);
+  EXPECT_NE(a.per_trial[0].mean(), b.per_trial[0].mean());
+}
+
+TEST(Engine, PerNetworkAveragesTrialMeans) {
+  // Each network contributes the mean of its trials, regardless of trial
+  // count weighting.
+  int network_counter = 0;
+  auto factory = [&](RngStream& rng) {
+    ++network_counter;
+    return tiny_instance(rng);
+  };
+  int call = 0;
+  ExperimentConfig config;
+  config.num_networks = 2;
+  config.trials_per_network = 2;
+  const auto result = run_experiment(
+      config, {"v"}, factory, [&](const model::Network&, RngStream&) {
+        // Network 0 trials: 0, 2 (mean 1); network 1 trials: 10, 30 (mean 20).
+        const double values[] = {0.0, 2.0, 10.0, 30.0};
+        return std::vector<double>{values[call++]};
+      });
+  EXPECT_DOUBLE_EQ(result.per_network[0].mean(), 10.5);  // (1 + 20) / 2
+  EXPECT_DOUBLE_EQ(result.per_trial[0].mean(), 10.5);    // same here (equal k)
+  EXPECT_NEAR(result.per_network[0].variance(), (1.0 - 10.5) * (1.0 - 10.5) +
+                                                    (20.0 - 10.5) * (20.0 - 10.5),
+              1e-9);
+}
+
+TEST(Engine, ValidatesConfiguration) {
+  ExperimentConfig bad;
+  bad.num_networks = 0;
+  EXPECT_THROW(run_experiment(bad, {"m"}, tiny_instance,
+                              [](const model::Network&, RngStream&) {
+                                return std::vector<double>{0.0};
+                              }),
+               raysched::error);
+  ExperimentConfig ok;
+  EXPECT_THROW(run_experiment(ok, {}, tiny_instance,
+                              [](const model::Network&, RngStream&) {
+                                return std::vector<double>{};
+                              }),
+               raysched::error);
+  EXPECT_THROW(run_experiment(ok, {"m"}, tiny_instance,
+                              [](const model::Network&, RngStream&) {
+                                return std::vector<double>{1.0, 2.0};  // wrong width
+                              }),
+               raysched::error);
+}
+
+}  // namespace
+}  // namespace raysched::sim

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "util/flags.hpp"
+#include "util/error.hpp"
+
+namespace raysched::util {
+namespace {
+
+Flags make_flags() {
+  Flags f;
+  f.add_int("links", 100, "number of links");
+  f.add_double("beta", 2.5, "SINR threshold");
+  f.add_string("power", "uniform", "power scheme");
+  f.add_bool("verbose", false, "chatty output");
+  return f;
+}
+
+TEST(Flags, DefaultsApply) {
+  Flags f = make_flags();
+  const char* argv[] = {"prog"};
+  f.parse(1, argv);
+  EXPECT_EQ(f.get_int("links"), 100);
+  EXPECT_DOUBLE_EQ(f.get_double("beta"), 2.5);
+  EXPECT_EQ(f.get_string("power"), "uniform");
+  EXPECT_FALSE(f.get_bool("verbose"));
+}
+
+TEST(Flags, EqualsSyntax) {
+  Flags f = make_flags();
+  const char* argv[] = {"prog", "--links=7", "--beta=0.5", "--power=sqrt",
+                        "--verbose=true"};
+  f.parse(5, argv);
+  EXPECT_EQ(f.get_int("links"), 7);
+  EXPECT_DOUBLE_EQ(f.get_double("beta"), 0.5);
+  EXPECT_EQ(f.get_string("power"), "sqrt");
+  EXPECT_TRUE(f.get_bool("verbose"));
+}
+
+TEST(Flags, SpaceSyntaxAndBareBool) {
+  Flags f = make_flags();
+  const char* argv[] = {"prog", "--links", "42", "--verbose"};
+  f.parse(4, argv);
+  EXPECT_EQ(f.get_int("links"), 42);
+  EXPECT_TRUE(f.get_bool("verbose"));
+}
+
+TEST(Flags, UnknownFlagThrows) {
+  Flags f = make_flags();
+  const char* argv[] = {"prog", "--nope=1"};
+  EXPECT_THROW(f.parse(2, argv), raysched::error);
+}
+
+TEST(Flags, MalformedValueThrows) {
+  Flags f = make_flags();
+  const char* argv[] = {"prog", "--links=abc"};
+  EXPECT_THROW(f.parse(2, argv), raysched::error);
+  Flags g = make_flags();
+  const char* argv2[] = {"prog", "--beta=1.5x"};
+  EXPECT_THROW(g.parse(2, argv2), raysched::error);
+}
+
+TEST(Flags, MissingValueThrows) {
+  Flags f = make_flags();
+  const char* argv[] = {"prog", "--links"};
+  EXPECT_THROW(f.parse(2, argv), raysched::error);
+}
+
+TEST(Flags, HelpRequested) {
+  Flags f = make_flags();
+  const char* argv[] = {"prog", "--help"};
+  f.parse(2, argv);
+  EXPECT_TRUE(f.help_requested());
+  const std::string usage = f.usage("prog");
+  EXPECT_NE(usage.find("--links"), std::string::npos);
+  EXPECT_NE(usage.find("number of links"), std::string::npos);
+}
+
+TEST(Flags, DuplicateRegistrationThrows) {
+  Flags f;
+  f.add_int("x", 1, "");
+  EXPECT_THROW(f.add_double("x", 2.0, ""), raysched::error);
+}
+
+TEST(Flags, WrongTypeAccessThrows) {
+  Flags f = make_flags();
+  EXPECT_THROW(f.get_double("links"), raysched::error);
+  EXPECT_THROW(f.get_int("unregistered"), raysched::error);
+}
+
+}  // namespace
+}  // namespace raysched::util

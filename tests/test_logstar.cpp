@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "util/logstar.hpp"
+
+namespace raysched::util {
+namespace {
+
+TEST(LogStar, Base2KnownValues) {
+  EXPECT_EQ(log_star_2(1.0), 0);
+  EXPECT_EQ(log_star_2(2.0), 1);
+  EXPECT_EQ(log_star_2(4.0), 2);
+  EXPECT_EQ(log_star_2(16.0), 3);
+  EXPECT_EQ(log_star_2(65536.0), 4);
+  EXPECT_EQ(log_star_2(65537.0), 5);
+}
+
+TEST(LogStar, BaseEKnownValues) {
+  EXPECT_EQ(log_star_e(1.0), 0);
+  EXPECT_EQ(log_star_e(2.0), 1);          // ln 2 < 1
+  EXPECT_EQ(log_star_e(15.0), 2);         // ln 15 ~ 2.7, ln 2.7 < 1
+  EXPECT_EQ(log_star_e(3814279.0), 3);    // just below e^e^e ~ 3814279.1
+  EXPECT_EQ(log_star_e(4000000.0), 4);    // just above e^e^e
+}
+
+TEST(LogStar, MonotoneNondecreasing) {
+  int prev = 0;
+  for (double n = 1.0; n < 1e12; n *= 3.0) {
+    const int v = log_star_2(n);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(LogStar, RejectsNonPositive) {
+  EXPECT_THROW(log_star_2(0.0), raysched::error);
+  EXPECT_THROW(log_star_e(-1.0), raysched::error);
+}
+
+TEST(Theorem2Sequence, StartsAtQuarterAndIterates) {
+  const auto b = theorem2_b_sequence(100.0);
+  ASSERT_GE(b.size(), 2u);
+  EXPECT_DOUBLE_EQ(b[0], 0.25);
+  for (std::size_t k = 0; k + 1 < b.size(); ++k) {
+    EXPECT_DOUBLE_EQ(b[k + 1], std::exp(b[k] / 2.0));
+  }
+  EXPECT_GE(b.back(), 100.0);
+  EXPECT_LT(b[b.size() - 2], 100.0);
+}
+
+TEST(Theorem2Sequence, LevelsMatchSequenceLength) {
+  for (std::size_t n : {1ul, 2ul, 10ul, 100ul, 1000ul, 1000000ul}) {
+    const auto b = theorem2_b_sequence(static_cast<double>(n));
+    // Number of levels = number of k with b_k < n = sequence length - 1
+    // (the last term is the first >= n). Except when b_0 >= n already.
+    const int expected =
+        b[0] >= static_cast<double>(n) ? 0 : static_cast<int>(b.size()) - 1;
+    EXPECT_EQ(theorem2_num_levels(n), expected) << "n=" << n;
+  }
+}
+
+TEST(Theorem2Sequence, GrowthIsIteratedExponential) {
+  // For n = 10^9 the schedule must still be tiny — that is the whole point
+  // of the O(log* n) bound.
+  EXPECT_LE(theorem2_num_levels(1000000000ul), 8);
+  // And it grows extremely slowly.
+  EXPECT_EQ(theorem2_num_levels(100ul), theorem2_num_levels(1000ul));
+}
+
+}  // namespace
+}  // namespace raysched::util

@@ -1,0 +1,153 @@
+// Tests for the Nakagami-m fading extension and the incomplete gamma
+// implementation behind it.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_helpers.hpp"
+
+namespace raysched::model {
+namespace {
+
+using raysched::testing::hand_matrix_network;
+
+TEST(RegularizedGammaQ, KnownValues) {
+  // Q(1, x) = e^-x.
+  for (double x : {0.1, 1.0, 3.0, 10.0}) {
+    EXPECT_NEAR(regularized_gamma_q(1.0, x), std::exp(-x), 1e-12) << x;
+  }
+  // Q(a, 0) = 1.
+  EXPECT_DOUBLE_EQ(regularized_gamma_q(2.5, 0.0), 1.0);
+  // Q(2, x) = e^-x (1 + x).
+  EXPECT_NEAR(regularized_gamma_q(2.0, 1.5), std::exp(-1.5) * 2.5, 1e-12);
+  // Q(3, x) = e^-x (1 + x + x^2/2).
+  EXPECT_NEAR(regularized_gamma_q(3.0, 2.0), std::exp(-2.0) * 5.0, 1e-12);
+  // Q(1/2, x) = erfc(sqrt(x)).
+  EXPECT_NEAR(regularized_gamma_q(0.5, 2.0), std::erfc(std::sqrt(2.0)),
+              1e-12);
+}
+
+TEST(RegularizedGammaQ, MonotoneAndBounded) {
+  double prev = 1.0;
+  for (double x = 0.0; x < 20.0; x += 0.5) {
+    const double q = regularized_gamma_q(3.0, x);
+    EXPECT_LE(q, prev + 1e-15);
+    EXPECT_GE(q, 0.0);
+    EXPECT_LE(q, 1.0);
+    prev = q;
+  }
+  EXPECT_THROW(regularized_gamma_q(0.0, 1.0), raysched::error);
+  EXPECT_THROW(regularized_gamma_q(1.0, -1.0), raysched::error);
+}
+
+TEST(GammaSampling, MomentsMatch) {
+  sim::RngStream rng(1);
+  for (double shape : {0.5, 1.0, 2.0, 5.0}) {
+    sim::Accumulator acc;
+    for (int i = 0; i < 40000; ++i) acc.add(rng.gamma(shape));
+    EXPECT_NEAR(acc.mean(), shape, 0.05 * std::max(1.0, shape)) << shape;
+    EXPECT_NEAR(acc.variance(), shape, 0.1 * std::max(1.0, shape)) << shape;
+  }
+  EXPECT_THROW(rng.gamma(0.0), raysched::error);
+}
+
+TEST(Nakagami, GainMomentsMatch) {
+  // Gain ~ Gamma(m, mean/m): E = mean, Var = mean^2 / m.
+  sim::RngStream rng(2);
+  const double mean = 3.0, m = 4.0;
+  sim::Accumulator acc;
+  for (int i = 0; i < 40000; ++i) {
+    acc.add(sample_gain_nakagami(mean, m, rng));
+  }
+  EXPECT_NEAR(acc.mean(), mean, 0.05);
+  EXPECT_NEAR(acc.variance(), mean * mean / m, 0.15);
+}
+
+TEST(Nakagami, MEqualsOneIsRayleigh) {
+  // Same success probabilities as the Rayleigh closed form, statistically.
+  auto net = hand_matrix_network(0.2);
+  const LinkSet active = {0, 1, 2};
+  const double beta = 1.5;
+  const double rayleigh_exact =
+      success_probability_rayleigh(net, active, 0, beta);
+  sim::RngStream rng(3);
+  const double nakagami_mc = success_probability_nakagami_mc(
+      net, active, 0, beta, 1.0, 40000, rng);
+  EXPECT_NEAR(nakagami_mc, rayleigh_exact, 0.012);
+}
+
+TEST(Nakagami, LargeMApproachesNonFading) {
+  // m -> infinity concentrates gains at their means; the success indicator
+  // converges to the deterministic SINR test.
+  auto net = hand_matrix_network(0.1);
+  const LinkSet active = {0, 1, 2};
+  // Non-fading SINR of link 0 is ~3.85: success at beta=3 (deterministically
+  // yes) and failure at beta=5 (deterministically no).
+  sim::RngStream rng(4);
+  const double p_yes = success_probability_nakagami_mc(
+      net, active, 0, 3.0, 200.0, 4000, rng);
+  const double p_no = success_probability_nakagami_mc(
+      net, active, 0, 5.0, 200.0, 4000, rng);
+  EXPECT_GT(p_yes, 0.95);
+  EXPECT_LT(p_no, 0.05);
+}
+
+TEST(Nakagami, SmallMFadesHarderThanRayleigh) {
+  // m < 1 has heavier fluctuation: success probability of a comfortably
+  // feasible link drops below the Rayleigh value.
+  auto net = hand_matrix_network(0.1);
+  const LinkSet active = {0};
+  const double beta = 2.0;  // alone, non-fading SINR = 100 >> beta
+  sim::RngStream rng(5);
+  const double rayleigh = success_probability_rayleigh(net, active, 0, beta);
+  const double hard = success_probability_nakagami_mc(net, active, 0, beta,
+                                                      0.5, 40000, rng);
+  EXPECT_LT(hard, rayleigh);
+}
+
+TEST(Nakagami, NoiseOnlyClosedFormMatchesMc) {
+  const double mean = 10.0, noise = 0.5, beta = 3.0;
+  for (double m : {1.0, 2.0, 4.0}) {
+    const double exact =
+        noise_only_success_probability_nakagami(mean, noise, beta, m);
+    sim::RngStream rng(static_cast<std::uint64_t>(m * 100));
+    int hits = 0;
+    const int trials = 40000;
+    for (int t = 0; t < trials; ++t) {
+      if (sample_gain_nakagami(mean, m, rng) >= beta * noise) ++hits;
+    }
+    EXPECT_NEAR(hits / static_cast<double>(trials), exact, 0.012) << "m=" << m;
+  }
+}
+
+TEST(Nakagami, NoiseOnlyMatchesRayleighAtMOne) {
+  EXPECT_NEAR(noise_only_success_probability_nakagami(10.0, 0.5, 3.0, 1.0),
+              std::exp(-3.0 * 0.5 / 10.0), 1e-12);
+}
+
+TEST(Nakagami, SlotApiShapes) {
+  auto net = hand_matrix_network(0.1);
+  sim::RngStream rng(6);
+  const auto sinrs = sinr_nakagami_all(net, {0, 2}, 2.0, rng);
+  ASSERT_EQ(sinrs.size(), 2u);
+  for (double g : sinrs) EXPECT_GE(g, 0.0);
+  const auto wins = count_successes_nakagami(net, {0, 1, 2}, 1.0, 2.0, rng);
+  EXPECT_LE(wins, 3u);
+  const double expected =
+      expected_successes_nakagami_mc(net, {0, 1, 2}, 1.0, 2.0, 500, rng);
+  EXPECT_GE(expected, 0.0);
+  EXPECT_LE(expected, 3.0);
+}
+
+TEST(Nakagami, ValidatesInput) {
+  auto net = hand_matrix_network();
+  sim::RngStream rng(1);
+  EXPECT_THROW(sample_gain_nakagami(1.0, 0.0, rng), raysched::error);
+  EXPECT_THROW(sinr_nakagami_all(net, {0}, -1.0, rng), raysched::error);
+  EXPECT_THROW(
+      success_probability_nakagami_mc(net, {1}, 0, 1.0, 1.0, 100, rng),
+      raysched::error);
+}
+
+}  // namespace
+}  // namespace raysched::model

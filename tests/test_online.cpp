@@ -1,0 +1,121 @@
+// Tests for online admission control.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "test_helpers.hpp"
+
+namespace raysched::algorithms {
+namespace {
+
+using model::LinkId;
+using model::LinkSet;
+using raysched::testing::paper_network;
+using raysched::testing::two_close_links;
+using raysched::testing::two_far_links;
+
+TEST(Online, AdmitsCompatibleRejectsConflicting) {
+  auto net = two_close_links(1e-6);
+  OnlineScheduler sched(net, 2.0);
+  EXPECT_TRUE(sched.arrive(0));
+  EXPECT_FALSE(sched.arrive(1));  // conflicts with 0
+  EXPECT_EQ(sched.active(), (LinkSet{0}));
+  EXPECT_EQ(sched.waiting(), (LinkSet{1}));
+}
+
+TEST(Online, DepartureTriggersReadmission) {
+  auto net = two_close_links(1e-6);
+  OnlineScheduler sched(net, 2.0);
+  ASSERT_TRUE(sched.arrive(0));
+  ASSERT_FALSE(sched.arrive(1));
+  const LinkSet readmitted = sched.depart(0);
+  EXPECT_EQ(readmitted, (LinkSet{1}));
+  EXPECT_EQ(sched.active(), (LinkSet{1}));
+  EXPECT_TRUE(sched.waiting().empty());
+}
+
+TEST(Online, ReadmissionCanBeDisabled) {
+  auto net = two_close_links(1e-6);
+  OnlineOptions opts;
+  opts.readmit_on_departure = false;
+  OnlineScheduler sched(net, 2.0, opts);
+  ASSERT_TRUE(sched.arrive(0));
+  ASSERT_FALSE(sched.arrive(1));
+  EXPECT_TRUE(sched.depart(0).empty());
+  EXPECT_TRUE(sched.active().empty());
+  EXPECT_EQ(sched.waiting(), (LinkSet{1}));
+  // But a fresh arrival retry succeeds now.
+  EXPECT_TRUE(sched.arrive(1));
+}
+
+TEST(Online, IdempotentArrivalsAndDepartures) {
+  auto net = two_far_links(1e-6);
+  OnlineScheduler sched(net, 2.0);
+  EXPECT_TRUE(sched.arrive(0));
+  EXPECT_TRUE(sched.arrive(0));  // already active
+  EXPECT_EQ(sched.active().size(), 1u);
+  EXPECT_TRUE(sched.depart(1).empty());  // never arrived: no-op
+  EXPECT_TRUE(sched.depart(0).empty());
+  EXPECT_TRUE(sched.depart(0).empty());  // double departure: no-op
+}
+
+TEST(Online, InvariantUnderRandomChurn) {
+  auto net = paper_network(30, 11);
+  OnlineScheduler sched(net, 2.5);
+  sim::RngStream rng(11);
+  for (int step = 0; step < 600; ++step) {
+    const LinkId i = rng.uniform_index(net.size());
+    if (rng.bernoulli(0.6)) {
+      sched.arrive(i);
+    } else {
+      sched.depart(i);
+    }
+    ASSERT_TRUE(sched.invariant_holds()) << "step " << step;
+  }
+  // No link is both active and waiting.
+  for (LinkId w : sched.waiting()) {
+    EXPECT_FALSE(std::binary_search(sched.active().begin(),
+                                    sched.active().end(), w));
+  }
+}
+
+TEST(Online, ExpectedRayleighTracksLemma2) {
+  auto net = paper_network(25, 12);
+  OnlineScheduler sched(net, 2.5);
+  for (LinkId i = 0; i < net.size(); ++i) sched.arrive(i);
+  ASSERT_FALSE(sched.active().empty());
+  const double expected = sched.expected_rayleigh_successes();
+  EXPECT_GE(expected, static_cast<double>(sched.active().size()) /
+                          std::exp(1.0) - 1e-9);
+  EXPECT_LE(expected, static_cast<double>(sched.active().size()));
+}
+
+TEST(Online, OnlineMatchesGreedyWhenArrivalOrderMatchesSortOrder) {
+  // Feeding links in the greedy's processing order makes the online
+  // controller a strict superset admission rule of the affectance greedy
+  // (direct feasibility checks admit at least as much as the tau-budget).
+  auto net = paper_network(30, 13);
+  std::vector<LinkId> order(net.size());
+  std::iota(order.begin(), order.end(), LinkId{0});
+  std::stable_sort(order.begin(), order.end(), [&](LinkId a, LinkId b) {
+    return net.link(a).length() < net.link(b).length();
+  });
+  OnlineScheduler sched(net, 2.5);
+  for (LinkId i : order) sched.arrive(i);
+  const auto greedy = greedy_capacity(net, 2.5);
+  EXPECT_GE(sched.active().size(), greedy.selected.size());
+  EXPECT_TRUE(sched.invariant_holds());
+}
+
+TEST(Online, Validation) {
+  auto net = paper_network(5, 14);
+  EXPECT_THROW(OnlineScheduler(net, 0.0), raysched::error);
+  OnlineScheduler sched(net, 2.5);
+  EXPECT_THROW(sched.arrive(9), raysched::error);
+  EXPECT_THROW(sched.depart(9), raysched::error);
+}
+
+}  // namespace
+}  // namespace raysched::algorithms

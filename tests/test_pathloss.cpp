@@ -1,0 +1,112 @@
+// Tests for the path-loss abstraction and its Network integration.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_helpers.hpp"
+
+namespace raysched::model {
+namespace {
+
+TEST(PathLoss, PowerLawMatchesPaper) {
+  const auto law = PathLoss::power_law(2.2);
+  EXPECT_NEAR(law.gain_factor(10.0), std::pow(10.0, -2.2), 1e-15);
+  EXPECT_DOUBLE_EQ(law.nominal_alpha(), 2.2);
+}
+
+TEST(PathLoss, LogDistanceClampsNearField) {
+  const auto law = PathLoss::log_distance(3.0, 5.0);
+  EXPECT_DOUBLE_EQ(law.gain_factor(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(law.gain_factor(5.0), 1.0);
+  EXPECT_NEAR(law.gain_factor(10.0), std::pow(2.0, -3.0), 1e-15);
+}
+
+TEST(PathLoss, DualSlopeContinuousAtBreakpoint) {
+  const auto law = PathLoss::dual_slope(2.0, 4.0, 50.0);
+  const double just_below = law.gain_factor(50.0 - 1e-9);
+  const double just_above = law.gain_factor(50.0 + 1e-9);
+  EXPECT_NEAR(just_below, just_above, 1e-9 * just_below);
+  // Far slope is steeper: doubling the distance past the breakpoint loses
+  // 2^4, before it 2^2.
+  EXPECT_NEAR(law.gain_factor(100.0) / law.gain_factor(50.0),
+              std::pow(2.0, -4.0), 1e-12);
+  EXPECT_NEAR(law.gain_factor(50.0) / law.gain_factor(25.0),
+              std::pow(2.0, -2.0), 1e-12);
+}
+
+TEST(PathLoss, AllLawsPositiveAndNonIncreasing) {
+  const PathLoss laws[] = {PathLoss::power_law(2.5),
+                           PathLoss::log_distance(3.0, 10.0),
+                           PathLoss::dual_slope(2.0, 4.0, 30.0)};
+  for (const auto& law : laws) {
+    double prev = law.gain_factor(0.5);
+    for (double d = 1.0; d < 200.0; d *= 1.4) {
+      const double g = law.gain_factor(d);
+      EXPECT_GT(g, 0.0);
+      EXPECT_LE(g, prev * (1.0 + 1e-12));
+      prev = g;
+    }
+  }
+}
+
+TEST(PathLoss, Validation) {
+  EXPECT_THROW(PathLoss::power_law(0.0), raysched::error);
+  EXPECT_THROW(PathLoss::log_distance(2.0, 0.0), raysched::error);
+  EXPECT_THROW(PathLoss::dual_slope(2.0, 0.0, 1.0), raysched::error);
+  EXPECT_THROW(PathLoss::power_law(2.0).gain_factor(0.0), raysched::error);
+}
+
+TEST(PathLossNetwork, PowerLawConstructorsAgree) {
+  sim::RngStream rng(4);
+  RandomPlaneParams params;
+  params.num_links = 10;
+  const auto links = random_plane_links(params, rng);
+  const Network classic(links, PowerAssignment::uniform(2.0), 2.2, 4e-7);
+  const Network via_law(links, PowerAssignment::uniform(2.0),
+                        PathLoss::power_law(2.2), 4e-7);
+  for (LinkId j = 0; j < classic.size(); ++j) {
+    for (LinkId i = 0; i < classic.size(); ++i) {
+      EXPECT_NEAR(classic.mean_gain(j, i), via_law.mean_gain(j, i),
+                  1e-12 * classic.mean_gain(j, i));
+    }
+  }
+  EXPECT_DOUBLE_EQ(via_law.alpha(), 2.2);
+}
+
+TEST(PathLossNetwork, DualSlopeChangesSchedulingOutcomes) {
+  // A steeper far slope suppresses distant interference, so capacity can
+  // only grow (weakly) when far interference is attenuated harder.
+  sim::RngStream rng(5);
+  RandomPlaneParams params;
+  params.num_links = 40;
+  const auto links = random_plane_links(params, rng);
+  const Network single(links, PowerAssignment::uniform(2.0),
+                       PathLoss::power_law(2.2), 4e-7);
+  const Network dual(links, PowerAssignment::uniform(2.0),
+                     PathLoss::dual_slope(2.2, 4.0, 100.0), 4e-7);
+  const auto a = algorithms::greedy_capacity(single, 2.5);
+  const auto b = algorithms::greedy_capacity(dual, 2.5);
+  EXPECT_GE(b.selected.size(), a.selected.size());
+  EXPECT_TRUE(is_feasible(dual, b.selected, 2.5));
+}
+
+TEST(PathLossNetwork, WholePipelineRunsOnLogDistance) {
+  // Full reduction pipeline on a non-power-law network: the paper's
+  // geometry-free claim in action.
+  sim::RngStream rng(6);
+  RandomPlaneParams params;
+  params.num_links = 20;
+  auto links = random_plane_links(params, rng);
+  const Network net(std::move(links), PowerAssignment::uniform(2.0),
+                    PathLoss::log_distance(2.8, 25.0), 4e-7);
+  sim::RngStream rng2(6);
+  core::ReductionOptions opts;
+  const auto decision = core::schedule_capacity_rayleigh(
+      net, core::Utility::binary(2.0), opts, rng2);
+  if (!decision.transmit_set.empty()) {
+    EXPECT_GE(decision.lemma2_ratio, 1.0 / std::exp(1.0) - 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace raysched::model

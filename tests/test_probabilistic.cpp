@@ -1,0 +1,167 @@
+// Tests for the Rayleigh-optimal probability search (Section 5's optimum
+// over transmission probability assignments).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_helpers.hpp"
+
+namespace raysched::algorithms {
+namespace {
+
+using model::LinkId;
+using raysched::testing::hand_matrix_network;
+using raysched::testing::paper_network;
+
+TEST(Gradient, MatchesFiniteDifferences) {
+  auto net = hand_matrix_network(0.1);
+  const double beta = 1.5;
+  const std::vector<double> q = {0.6, 0.3, 0.8};
+  const auto grad = expected_capacity_gradient(net, q, beta);
+  const double h = 1e-6;
+  for (LinkId k = 0; k < 3; ++k) {
+    std::vector<double> up = q, dn = q;
+    up[k] += h;
+    dn[k] -= h;
+    const double fd = (core::expected_rayleigh_successes(net, up, beta) -
+                       core::expected_rayleigh_successes(net, dn, beta)) /
+                      (2.0 * h);
+    EXPECT_NEAR(grad[k], fd, 1e-5) << "coordinate " << k;
+  }
+}
+
+TEST(Gradient, FiniteDifferencesOnRandomInstance) {
+  auto net = paper_network(10, 77);
+  sim::RngStream rng(5);
+  std::vector<double> q(net.size());
+  for (auto& v : q) v = 0.1 + 0.8 * rng.uniform();
+  const double beta = 2.5;
+  const auto grad = expected_capacity_gradient(net, q, beta);
+  const double h = 1e-6;
+  for (LinkId k = 0; k < net.size(); k += 3) {
+    std::vector<double> up = q, dn = q;
+    up[k] += h;
+    dn[k] -= h;
+    const double fd = (core::expected_rayleigh_successes(net, up, beta) -
+                       core::expected_rayleigh_successes(net, dn, beta)) /
+                      (2.0 * h);
+    EXPECT_NEAR(grad[k], fd, 1e-4) << "coordinate " << k;
+  }
+}
+
+TEST(Gradient, ZeroProbabilityCoordinateHasOwnTermOnly) {
+  // With q_k = 0 the cross terms vanish from Q_k but dE/dq_k must still be
+  // the marginal value of starting to transmit.
+  auto net = hand_matrix_network(0.0);
+  const std::vector<double> q = {0.0, 1.0, 0.0};
+  const auto grad = expected_capacity_gradient(net, q, 1.0);
+  // dE/dq_0 = core_0 - Q_1 * c(0,1) / (1 - c(0,1) * q_0) with q_0 = 0.
+  // core_0 has only interferer 1 active: 1/(1 + beta S(1,0)/S(0,0)) = 5/6.
+  // Q_1 = q_1 * core_1 = 1 (links 0 and 2 have q = 0, noise 0).
+  const double core0 = 1.0 / (1.0 + 1.0 * 2.0 / 10.0);
+  const double c01 = 1.0 * 1.0 / (1.0 * 1.0 + 10.0);  // S(0,1) = 1
+  EXPECT_NEAR(grad[0], core0 - 1.0 * c01, 1e-12);
+}
+
+TEST(GradientAscent, ImprovesObjectiveAndStaysInBox) {
+  auto net = paper_network(20, 4);
+  const double beta = 2.5;
+  std::vector<double> start(net.size(), 0.5);
+  const double start_value =
+      core::expected_rayleigh_successes(net, start, beta);
+  const auto result =
+      maximize_capacity_gradient_ascent(net, beta, start);
+  EXPECT_GE(result.value, start_value);
+  for (double v : result.q) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+  EXPECT_NEAR(result.value,
+              core::expected_rayleigh_successes(net, result.q, beta), 1e-9);
+}
+
+TEST(CoordinateAscent, ReturnsVertexProfile) {
+  auto net = paper_network(15, 8);
+  const auto result = maximize_capacity_coordinate_ascent(net, 2.5);
+  for (double v : result.q) {
+    EXPECT_TRUE(v == 0.0 || v == 1.0) << v;
+  }
+  EXPECT_TRUE(result.converged);
+}
+
+TEST(CoordinateAscent, OneFlipLocalOptimality) {
+  auto net = paper_network(12, 3);
+  const double beta = 2.5;
+  const auto result = maximize_capacity_coordinate_ascent(net, beta);
+  // No single flip improves the objective (multilinearity makes this the
+  // exact local-optimality certificate).
+  for (LinkId k = 0; k < net.size(); ++k) {
+    std::vector<double> flipped = result.q;
+    flipped[k] = flipped[k] == 0.0 ? 1.0 : 0.0;
+    EXPECT_LE(core::expected_rayleigh_successes(net, flipped, beta),
+              result.value + 1e-9)
+        << "flip " << k;
+  }
+}
+
+TEST(CoordinateAscent, BeatsOrMatchesGradientAscentFromUniformStart) {
+  // Multilinearity: some vertex is globally optimal, so the vertex search
+  // should do at least as well as one interior gradient run (not a theorem
+  // for local optima, but holds on these instances and guards regressions).
+  auto net = paper_network(15, 21);
+  const double beta = 2.5;
+  const auto vertex = maximize_capacity_coordinate_ascent(net, beta);
+  const auto interior = maximize_capacity_gradient_ascent(
+      net, beta, std::vector<double>(net.size(), 0.5));
+  EXPECT_GE(vertex.value + 1e-6, interior.value);
+}
+
+TEST(CoordinateAscent, MatchesExhaustiveOnTinyInstance) {
+  // n = 8: enumerate all 2^8 vertices; by multilinearity the best vertex is
+  // the global optimum over [0,1]^8.
+  auto net = paper_network(8, 13);
+  const double beta = 2.5;
+  double best = 0.0;
+  for (unsigned mask = 0; mask < 256u; ++mask) {
+    std::vector<double> q(8, 0.0);
+    for (int b = 0; b < 8; ++b) {
+      if (mask & (1u << b)) q[b] = 1.0;
+    }
+    best = std::max(best, core::expected_rayleigh_successes(net, q, beta));
+  }
+  CoordinateAscentOptions opts;
+  opts.restarts = 6;
+  const auto result = maximize_capacity_coordinate_ascent(net, beta, opts);
+  EXPECT_NEAR(result.value, best, 1e-9);
+}
+
+TEST(CoordinateAscent, RayleighOptimumAtLeastNonFadingTransfer) {
+  // The Rayleigh optimum over q dominates the value of transmitting the
+  // non-fading greedy set (that set is one feasible q).
+  auto net = paper_network(20, 30);
+  const double beta = 2.5;
+  const auto greedy = greedy_capacity(net, beta);
+  std::vector<double> q(net.size(), 0.0);
+  for (LinkId i : greedy.selected) q[i] = 1.0;
+  const double transferred =
+      core::expected_rayleigh_successes(net, q, beta);
+  CoordinateAscentOptions opts;
+  opts.restarts = 4;
+  const auto opt = maximize_capacity_coordinate_ascent(net, beta, opts);
+  EXPECT_GE(opt.value + 1e-9, transferred);
+}
+
+TEST(Probabilistic, ValidatesInput) {
+  auto net = hand_matrix_network();
+  EXPECT_THROW(expected_capacity_gradient(net, {0.5}, 1.0), raysched::error);
+  EXPECT_THROW(expected_capacity_gradient(net, {0.5, 0.5, 0.5}, 0.0),
+               raysched::error);
+  GradientAscentOptions bad;
+  bad.step = 0.0;
+  EXPECT_THROW(maximize_capacity_gradient_ascent(
+                   net, 1.0, {0.5, 0.5, 0.5}, bad),
+               raysched::error);
+}
+
+}  // namespace
+}  // namespace raysched::algorithms

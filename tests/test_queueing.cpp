@@ -1,0 +1,120 @@
+// Tests for max-weight queue scheduling.
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace raysched::algorithms {
+namespace {
+
+using raysched::testing::paper_network;
+using raysched::testing::two_far_links;
+
+QueueSimOptions base_options(const model::Network& net, double lambda,
+                             Propagation prop = Propagation::NonFading) {
+  QueueSimOptions opts;
+  opts.slots = 1500;
+  opts.beta = 2.5;
+  opts.propagation = prop;
+  opts.arrival_probs.assign(net.size(), lambda);
+  return opts;
+}
+
+TEST(Queueing, NoArrivalsNoActivity) {
+  auto net = paper_network(10, 1);
+  sim::RngStream rng(1);
+  const auto result =
+      run_max_weight_queueing(net, base_options(net, 0.0), rng);
+  EXPECT_DOUBLE_EQ(result.served_per_slot, 0.0);
+  EXPECT_DOUBLE_EQ(result.average_backlog, 0.0);
+  EXPECT_TRUE(result.looks_stable);
+  for (std::size_t q : result.final_queue) EXPECT_EQ(q, 0u);
+}
+
+TEST(Queueing, ConservationArrivalsEqualServedPlusBacklogPlusDrops) {
+  auto net = paper_network(15, 2);
+  sim::RngStream rng(2);
+  auto opts = base_options(net, 0.3);
+  const auto result = run_max_weight_queueing(net, opts, rng);
+  std::size_t backlog = 0;
+  for (std::size_t q : result.final_queue) backlog += q;
+  const double arrivals = result.arrivals_per_slot * opts.slots;
+  const double served = result.served_per_slot * opts.slots;
+  EXPECT_NEAR(arrivals, served + static_cast<double>(backlog), 0.5);
+}
+
+TEST(Queueing, LightLoadIsStableAndServesEverything) {
+  auto net = paper_network(20, 3);
+  sim::RngStream rng(3);
+  const auto result =
+      run_max_weight_queueing(net, base_options(net, 0.05), rng);
+  EXPECT_TRUE(result.looks_stable);
+  // Throughput ~ offered load.
+  EXPECT_NEAR(result.served_per_slot, result.arrivals_per_slot, 0.1);
+  EXPECT_EQ(result.dropped, 0u);
+}
+
+TEST(Queueing, OverloadIsDetectedAsUnstable) {
+  // Two co-located links can serve at most ~1 packet/slot combined;
+  // lambda = 0.9 each is far beyond capacity.
+  auto net = raysched::testing::two_close_links(1e-6);
+  sim::RngStream rng(4);
+  auto opts = base_options(net, 0.9);
+  opts.beta = 2.0;
+  const auto result = run_max_weight_queueing(net, opts, rng);
+  EXPECT_FALSE(result.looks_stable);
+  // Combined service bounded by 1/slot.
+  EXPECT_LE(result.served_per_slot, 1.05);
+}
+
+TEST(Queueing, RayleighThroughputBelowNonFadingUnderLoad) {
+  auto net = paper_network(20, 5);
+  sim::RngStream r1(5), r2(5);
+  const auto nf = run_max_weight_queueing(
+      net, base_options(net, 0.6, Propagation::NonFading), r1);
+  const auto rl = run_max_weight_queueing(
+      net, base_options(net, 0.6, Propagation::Rayleigh), r2);
+  // At saturating load, Rayleigh serves less per slot (Lemma-2 tax).
+  EXPECT_LT(rl.served_per_slot, nf.served_per_slot);
+  // But not less than ~1/e of it (every scheduled link clears beta with
+  // probability >= 1/e; slack for scheduling interactions).
+  EXPECT_GT(rl.served_per_slot, nf.served_per_slot / std::exp(1.0) * 0.8);
+}
+
+TEST(Queueing, IndependentLinksSustainHighLoad) {
+  auto net = two_far_links(1e-6);
+  sim::RngStream rng(6);
+  auto opts = base_options(net, 0.8);
+  opts.beta = 2.0;
+  const auto result = run_max_weight_queueing(net, opts, rng);
+  EXPECT_TRUE(result.looks_stable);
+  EXPECT_NEAR(result.served_per_slot, result.arrivals_per_slot, 0.1);
+}
+
+TEST(Queueing, QueueCapCountsDrops) {
+  auto net = raysched::testing::two_close_links(1e-6);
+  sim::RngStream rng(7);
+  auto opts = base_options(net, 1.0);
+  opts.beta = 2.0;
+  opts.queue_cap = 5;
+  opts.slots = 500;
+  const auto result = run_max_weight_queueing(net, opts, rng);
+  EXPECT_GT(result.dropped, 0u);
+  for (std::size_t q : result.final_queue) EXPECT_LE(q, 5u);
+}
+
+TEST(Queueing, Validation) {
+  auto net = paper_network(5, 8);
+  sim::RngStream rng(1);
+  QueueSimOptions bad;
+  bad.arrival_probs.assign(3, 0.5);  // wrong size
+  EXPECT_THROW(run_max_weight_queueing(net, bad, rng), raysched::error);
+  QueueSimOptions bad2 = base_options(net, 0.5);
+  bad2.arrival_probs[0] = 1.5;
+  EXPECT_THROW(run_max_weight_queueing(net, bad2, rng), raysched::error);
+  QueueSimOptions bad3 = base_options(net, 0.5);
+  bad3.slots = 0;
+  EXPECT_THROW(run_max_weight_queueing(net, bad3, rng), raysched::error);
+}
+
+}  // namespace
+}  // namespace raysched::algorithms

@@ -1,0 +1,128 @@
+// Tests for the Rayleigh-fading channel: sampling and closed-form slot
+// success probabilities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_helpers.hpp"
+
+namespace raysched::model {
+namespace {
+
+using raysched::testing::hand_matrix_network;
+using raysched::testing::two_far_links;
+
+TEST(Rayleigh, ClosedFormMatchesHandComputation) {
+  // One interferer, no noise: P = 1 / (1 + beta S(j,i)/S(i,i)).
+  auto net = hand_matrix_network(0.0);
+  const double beta = 2.0;
+  // Link 0 with interferer 1: S(1,0) = 2, S(0,0) = 10.
+  EXPECT_NEAR(success_probability_rayleigh(net, {0, 1}, 0, beta),
+              1.0 / (1.0 + 2.0 * 2.0 / 10.0), 1e-12);
+  // Two interferers: product form.
+  EXPECT_NEAR(success_probability_rayleigh(net, {0, 1, 2}, 0, beta),
+              1.0 / ((1.0 + 2.0 * 2.0 / 10.0) * (1.0 + 2.0 * 0.5 / 10.0)),
+              1e-12);
+}
+
+TEST(Rayleigh, NoiseOnlyTermIsExponential) {
+  auto net = hand_matrix_network(0.5);
+  const double beta = 3.0;
+  // Alone: P = exp(-beta nu / S(i,i)).
+  EXPECT_NEAR(success_probability_rayleigh(net, {1}, 1, beta),
+              std::exp(-3.0 * 0.5 / 10.0), 1e-12);
+}
+
+TEST(Rayleigh, SuccessAlwaysPossible) {
+  // Even when the non-fading model gives 0 successes (huge noise), Rayleigh
+  // success probability stays positive — the paper's motivating asymmetry.
+  auto net = hand_matrix_network(100.0);
+  EXPECT_LT(sinr_nonfading(net, {0}, 0), 1.0);
+  EXPECT_GT(success_probability_rayleigh(net, {0}, 0, 1.0), 0.0);
+}
+
+TEST(Rayleigh, ClosedFormMatchesMonteCarlo) {
+  auto net = hand_matrix_network(0.2);
+  const double beta = 1.5;
+  const LinkSet active = {0, 1, 2};
+  const double exact = success_probability_rayleigh(net, active, 0, beta);
+  sim::RngStream rng(99);
+  const int trials = 40000;
+  int hits = 0;
+  for (int t = 0; t < trials; ++t) {
+    if (sinr_rayleigh(net, active, 0, rng) >= beta) ++hits;
+  }
+  EXPECT_NEAR(hits / static_cast<double>(trials), exact,
+              4.0 * std::sqrt(exact * (1 - exact) / trials) + 1e-3);
+}
+
+TEST(Rayleigh, ExpectedSuccessesIsSumOfProbabilities) {
+  auto net = hand_matrix_network(0.1);
+  const LinkSet active = {0, 2};
+  const double beta = 2.0;
+  EXPECT_NEAR(expected_successes_rayleigh(net, active, beta),
+              success_probability_rayleigh(net, active, 0, beta) +
+                  success_probability_rayleigh(net, active, 2, beta),
+              1e-12);
+}
+
+TEST(Rayleigh, AllRealizationMatchesPerLinkDistribution) {
+  // sinr_rayleigh_all must give each link the same marginal success rate as
+  // the closed form.
+  auto net = two_far_links(0.01);
+  const double beta = 5.0;
+  const LinkSet active = {0, 1};
+  sim::RngStream rng(7);
+  const int trials = 30000;
+  int hits0 = 0, hits1 = 0;
+  for (int t = 0; t < trials; ++t) {
+    const auto sinrs = sinr_rayleigh_all(net, active, rng);
+    if (sinrs[0] >= beta) ++hits0;
+    if (sinrs[1] >= beta) ++hits1;
+  }
+  const double p0 = success_probability_rayleigh(net, active, 0, beta);
+  const double p1 = success_probability_rayleigh(net, active, 1, beta);
+  EXPECT_NEAR(hits0 / static_cast<double>(trials), p0, 0.012);
+  EXPECT_NEAR(hits1 / static_cast<double>(trials), p1, 0.012);
+}
+
+TEST(Rayleigh, CountSuccessesWithinBounds) {
+  auto net = hand_matrix_network(0.1);
+  sim::RngStream rng(3);
+  for (int t = 0; t < 50; ++t) {
+    const auto c = count_successes_rayleigh(net, {0, 1, 2}, 1.0, rng);
+    EXPECT_LE(c, 3u);
+  }
+}
+
+TEST(Rayleigh, RequiresMembership) {
+  auto net = hand_matrix_network();
+  sim::RngStream rng(1);
+  EXPECT_THROW(sinr_rayleigh(net, {1, 2}, 0, rng), raysched::error);
+  EXPECT_THROW(success_probability_rayleigh(net, {1}, 0, 1.0),
+               raysched::error);
+}
+
+TEST(Rayleigh, ProbabilityDecreasesWithBeta) {
+  auto net = hand_matrix_network(0.1);
+  const LinkSet active = {0, 1, 2};
+  double prev = 1.0;
+  for (double beta : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    const double p = success_probability_rayleigh(net, active, 0, beta);
+    EXPECT_LT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(Rayleigh, ProbabilityDecreasesWithMoreInterferers) {
+  auto net = hand_matrix_network(0.1);
+  const double beta = 2.0;
+  const double alone = success_probability_rayleigh(net, {0}, 0, beta);
+  const double one = success_probability_rayleigh(net, {0, 1}, 0, beta);
+  const double two = success_probability_rayleigh(net, {0, 1, 2}, 0, beta);
+  EXPECT_GT(alone, one);
+  EXPECT_GT(one, two);
+}
+
+}  // namespace
+}  // namespace raysched::model

@@ -1,0 +1,178 @@
+// Tests for log-normal shadowing and the regret-matching learner.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "test_helpers.hpp"
+
+namespace raysched::model {
+namespace {
+
+using raysched::testing::paper_network;
+
+TEST(Shadowing, ZeroSigmaIsExactCopy) {
+  auto net = paper_network(10, 1);
+  sim::RngStream rng(1);
+  const auto copy = apply_lognormal_shadowing(net, 0.0, rng);
+  ASSERT_EQ(copy.size(), net.size());
+  EXPECT_FALSE(copy.has_geometry());  // shadowed copies are matrix networks
+  for (LinkId j = 0; j < net.size(); ++j) {
+    for (LinkId i = 0; i < net.size(); ++i) {
+      EXPECT_DOUBLE_EQ(copy.mean_gain(j, i), net.mean_gain(j, i));
+    }
+  }
+  EXPECT_DOUBLE_EQ(copy.noise(), net.noise());
+}
+
+TEST(Shadowing, FactorsHaveLogNormalMoments) {
+  // gain' / gain = 10^(X/10); ln of it is N(0, (ln10/10 * sigma)^2).
+  auto net = paper_network(6, 2);
+  const double sigma = 6.0;
+  sim::Accumulator log_factors;
+  for (std::uint64_t s = 0; s < 400; ++s) {
+    sim::RngStream rng(100 + s);
+    const auto shadowed = apply_lognormal_shadowing(net, sigma, rng);
+    for (LinkId j = 0; j < net.size(); ++j) {
+      for (LinkId i = 0; i < net.size(); ++i) {
+        log_factors.add(
+            std::log(shadowed.mean_gain(j, i) / net.mean_gain(j, i)));
+      }
+    }
+  }
+  const double expected_sd = std::log(10.0) / 10.0 * sigma;
+  EXPECT_NEAR(log_factors.mean(), 0.0, 0.01);
+  EXPECT_NEAR(log_factors.stddev(), expected_sd, 0.02);
+}
+
+TEST(Shadowing, MeanFactorMatchesClosedForm) {
+  const double sigma = 8.0;
+  sim::RngStream rng(3);
+  sim::Accumulator factors;
+  auto net = paper_network(4, 3);
+  for (int s = 0; s < 4000; ++s) {
+    const auto shadowed = apply_lognormal_shadowing(net, sigma, rng);
+    factors.add(shadowed.mean_gain(0, 0) / net.mean_gain(0, 0));
+  }
+  EXPECT_NEAR(factors.mean(), lognormal_shadowing_mean(sigma),
+              0.1 * lognormal_shadowing_mean(sigma));
+  EXPECT_DOUBLE_EQ(lognormal_shadowing_mean(0.0), 1.0);
+}
+
+TEST(Shadowing, DeterministicPerStream) {
+  auto net = paper_network(5, 4);
+  sim::RngStream r1(9), r2(9);
+  const auto a = apply_lognormal_shadowing(net, 4.0, r1);
+  const auto b = apply_lognormal_shadowing(net, 4.0, r2);
+  for (LinkId j = 0; j < net.size(); ++j) {
+    for (LinkId i = 0; i < net.size(); ++i) {
+      EXPECT_DOUBLE_EQ(a.mean_gain(j, i), b.mean_gain(j, i));
+    }
+  }
+}
+
+TEST(Shadowing, Validation) {
+  auto net = paper_network(3, 5);
+  sim::RngStream rng(1);
+  EXPECT_THROW(apply_lognormal_shadowing(net, -1.0, rng), raysched::error);
+  EXPECT_THROW(lognormal_shadowing_mean(-0.1), raysched::error);
+}
+
+TEST(Shadowing, PlannedSetDegradesWithSigma) {
+  // The A15 effect in miniature: the nominal plan survives small sigma
+  // mostly intact, large sigma much less.
+  auto net = paper_network(30, 6);
+  const double beta = 2.5;
+  const auto plan = raysched::algorithms::greedy_capacity(net, beta);
+  ASSERT_GT(plan.selected.size(), 4u);
+  auto surviving = [&](double sigma) {
+    double total = 0.0;
+    for (std::uint64_t s = 0; s < 10; ++s) {
+      sim::RngStream rng(200 + s);
+      const auto shadowed = apply_lognormal_shadowing(net, sigma, rng);
+      total += static_cast<double>(
+          count_successes_nonfading(shadowed, plan.selected, beta));
+    }
+    return total / 10.0;
+  };
+  const double mild = surviving(2.0);
+  const double harsh = surviving(12.0);
+  EXPECT_GT(mild, harsh);
+  EXPECT_GT(mild, 0.5 * static_cast<double>(plan.selected.size()));
+}
+
+}  // namespace
+}  // namespace raysched::model
+
+namespace raysched::learning {
+namespace {
+
+TEST(RegretMatching, StartsUniformAndStaysUniformUnderTies) {
+  RegretMatchingLearner l;
+  EXPECT_DOUBLE_EQ(l.send_probability(), 0.5);
+  for (int t = 0; t < 10; ++t) l.update(LossPair{0.5, 0.5});
+  EXPECT_DOUBLE_EQ(l.send_probability(), 0.5);
+}
+
+TEST(RegretMatching, LearnsDominantAction) {
+  RegretMatchingLearner win, lose;
+  for (int t = 0; t < 200; ++t) {
+    win.update(LossPair{/*stay=*/0.5, /*send=*/0.0});
+    lose.update(LossPair{/*stay=*/0.5, /*send=*/1.0});
+  }
+  EXPECT_GT(win.send_probability(), 0.95);
+  EXPECT_LT(lose.send_probability(), 0.05);
+}
+
+TEST(RegretMatching, NoRegretOnAlternatingLosses) {
+  RegretMatchingLearner l;
+  RegretTracker tracker;
+  sim::RngStream rng(7);
+  for (int t = 0; t < 4000; ++t) {
+    const LossPair losses =
+        (t % 2 == 0) ? LossPair{0.0, 1.0} : LossPair{1.0, 0.0};
+    const Action a = l.sample(rng);
+    tracker.record(a, losses);
+    l.update(losses);
+  }
+  EXPECT_LT(tracker.average_loss_regret(), 0.05);
+}
+
+TEST(RegretMatching, WorksInsideCapacityGame) {
+  auto net = raysched::testing::paper_network(12, 7);
+  GameOptions opts;
+  opts.rounds = 600;
+  opts.beta = 2.5;
+  sim::RngStream rng(7);
+  const auto result = run_capacity_game(
+      net, opts, [] { return std::make_unique<RegretMatchingLearner>(); },
+      rng);
+  double late = 0.0;
+  for (std::size_t t = 450; t < 600; ++t) late += result.successes_per_round[t];
+  EXPECT_GT(late / 150.0, 0.5);
+  for (double r : result.regret_per_link) {
+    EXPECT_LT(r / 600.0, 0.1);
+  }
+}
+
+TEST(RegretMatching, RejectsOutOfRangeLosses) {
+  RegretMatchingLearner l;
+  EXPECT_THROW(l.update(LossPair{1.5, 0.0}), raysched::error);
+}
+
+TEST(RegretMatching, CumulativeRegretAccessors) {
+  RegretMatchingLearner l;
+  EXPECT_DOUBLE_EQ(l.cumulative_regret_send(), 0.0);
+  EXPECT_DOUBLE_EQ(l.cumulative_regret_stay(), 0.0);
+  // From the uniform start, losses {stay 0.5, send 0}: mixture loss 0.25;
+  // regret(send) += 0.25 - 0 = 0.25; regret(stay) += 0.25 - 0.5 = -0.25.
+  l.update(LossPair{0.5, 0.0});
+  EXPECT_DOUBLE_EQ(l.cumulative_regret_send(), 0.25);
+  EXPECT_DOUBLE_EQ(l.cumulative_regret_stay(), -0.25);
+  EXPECT_EQ(l.rounds_seen(), 1u);
+  // Now only send has positive regret: probability snaps to 1.
+  EXPECT_DOUBLE_EQ(l.send_probability(), 1.0);
+}
+
+}  // namespace
+}  // namespace raysched::learning

@@ -1,0 +1,138 @@
+// Tests for Algorithm 1 / Theorem 2: the O(log* n) simulation of a Rayleigh
+// slot by non-fading slots.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_helpers.hpp"
+
+namespace raysched::core {
+namespace {
+
+using model::LinkId;
+using raysched::testing::paper_network;
+
+TEST(SimulationSchedule, StructureMatchesAlgorithm1) {
+  auto net = paper_network(100, 1);
+  std::vector<double> q(net.size(), 0.8);
+  const auto schedule = build_simulation_schedule(net, q);
+
+  // Levels must be exactly the k with b_k < n.
+  EXPECT_EQ(static_cast<int>(schedule.levels.size()),
+            util::theorem2_num_levels(net.size()));
+
+  // b_k recursion and per-level probabilities q_i / (4 b_k).
+  double b = 0.25;
+  for (const auto& level : schedule.levels) {
+    EXPECT_DOUBLE_EQ(level.b_k, b);
+    EXPECT_EQ(level.repeats, kSimulationRepeatsPerLevel);
+    for (std::size_t i = 0; i < q.size(); ++i) {
+      EXPECT_DOUBLE_EQ(level.probabilities[i],
+                       std::min(1.0, q[i] / (4.0 * b)));
+    }
+    b = std::exp(b / 2.0);
+  }
+  EXPECT_EQ(schedule.total_slots(),
+            schedule.levels.size() *
+                static_cast<std::size_t>(kSimulationRepeatsPerLevel));
+}
+
+TEST(SimulationSchedule, FirstLevelPreservesQ) {
+  // b_0 = 1/4, so level 0 uses q_i / 1 = q_i.
+  auto net = paper_network(10, 2);
+  std::vector<double> q(net.size());
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    q[i] = static_cast<double>(i) / 10.0;
+  }
+  const auto schedule = build_simulation_schedule(net, q);
+  ASSERT_FALSE(schedule.levels.empty());
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    EXPECT_DOUBLE_EQ(schedule.levels[0].probabilities[i], q[i]);
+  }
+}
+
+TEST(SimulationSchedule, SlotCountIsLogStar) {
+  // The whole point: even a million links need only a handful of levels.
+  for (std::size_t n : {10ul, 100ul, 1000ul}) {
+    auto net = paper_network(std::min<std::size_t>(n, 100), 3);
+    // For large-n schedules, use a synthetic gain matrix network of size n
+    // to avoid the O(n^2) geometric construction in this structural test.
+    if (n > 100) {
+      std::vector<double> gains(n * n, 0.0);
+      for (std::size_t i = 0; i < n; ++i) gains[i * n + i] = 1.0;
+      model::Network big(n, std::move(gains), 0.0);
+      std::vector<double> q(n, 1.0);
+      EXPECT_LE(build_simulation_schedule(big, q).levels.size(), 8u);
+    } else {
+      std::vector<double> q(net.size(), 1.0);
+      EXPECT_LE(build_simulation_schedule(net, q).levels.size(), 8u);
+    }
+  }
+}
+
+TEST(SimulationSchedule, ValidatesProbabilities) {
+  auto net = paper_network(5, 4);
+  EXPECT_THROW(build_simulation_schedule(net, {0.5, 0.5}), raysched::error);
+  EXPECT_THROW(build_simulation_schedule(net, {0.5, 0.5, 0.5, 0.5, 1.5}),
+               raysched::error);
+}
+
+TEST(Lemma3, SimulationDominatesRayleighSuccess) {
+  // Pr[max_t gamma^{nf,t} >= beta] >= Q_i(q, beta) for beta <= S(i,i)/(2 nu).
+  // Statistical check on small random instances, for several links.
+  for (std::uint64_t seed : {10, 20, 30}) {
+    auto net = paper_network(15, seed);
+    sim::RngStream qrng(seed ^ 0xF00);
+    std::vector<double> q(net.size());
+    for (auto& v : q) v = qrng.uniform();
+    const double beta = 2.5;
+    const auto schedule = build_simulation_schedule(net, q);
+    sim::RngStream rng(seed);
+    for (LinkId i = 0; i < 3; ++i) {
+      // Condition of Lemma 3: beta <= S(i,i) / (2 nu). Holds easily with
+      // noise 4e-7 in the paper geometry.
+      ASSERT_LE(beta, net.signal(i) / (2.0 * net.noise()));
+      const double rayleigh =
+          rayleigh_success_probability(net, q, i, beta);
+      const double sim_prob = simulation_success_probability_mc(
+          net, schedule, i, beta, 4000, rng);
+      // Allow 3-sigma MC slack.
+      const double sigma = std::sqrt(0.25 / 4000.0);
+      EXPECT_GE(sim_prob + 3.0 * sigma, rayleigh)
+          << "seed " << seed << " link " << i;
+    }
+  }
+}
+
+TEST(Theorem2, BestUtilityWithinLogStarFactor) {
+  // E[sum u(max_t gamma^{nf,t})] >= (1/8) E[sum u(gamma^R)] per the proof;
+  // check the weaker statistical statement that the simulated utility is a
+  // substantial fraction of the Rayleigh expected utility.
+  auto net = paper_network(20, 42);
+  std::vector<double> q(net.size(), 1.0);
+  const double beta = 2.5;
+  const Utility u = Utility::binary(beta);
+  const auto schedule = build_simulation_schedule(net, q);
+  sim::RngStream rng(7);
+  const double simulated =
+      simulation_expected_best_utility_mc(net, schedule, u, 300, rng);
+  const double rayleigh = expected_rayleigh_successes(net, q, beta);
+  EXPECT_GE(simulated * 8.0 * 1.1, rayleigh);  // 8x from the proof + slack
+}
+
+TEST(Theorem2, PerSlotUtilitiesExposeBestStep) {
+  auto net = paper_network(12, 5);
+  std::vector<double> q(net.size(), 1.0);
+  const auto schedule = build_simulation_schedule(net, q);
+  sim::RngStream rng(3);
+  const auto per_slot = simulation_per_slot_utility_mc(
+      net, schedule, Utility::binary(2.5), 200, rng);
+  EXPECT_EQ(per_slot.size(), schedule.total_slots());
+  for (double v : per_slot) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, static_cast<double>(net.size()));
+  }
+}
+
+}  // namespace
+}  // namespace raysched::core

@@ -1,0 +1,205 @@
+// Tests for non-fading SINR, feasibility, and affectance.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "test_helpers.hpp"
+
+namespace raysched::model {
+namespace {
+
+using raysched::testing::hand_matrix_network;
+using raysched::testing::two_close_links;
+using raysched::testing::two_far_links;
+
+TEST(Sinr, HandComputedValues) {
+  // hand_matrix_network: S(0,0)=10, S(1,0)=2, S(2,0)=0.5, noise 0.1.
+  auto net = hand_matrix_network(0.1);
+  const LinkSet all = {0, 1, 2};
+  EXPECT_NEAR(sinr_nonfading(net, all, 0), 10.0 / (2.0 + 0.5 + 0.1), 1e-12);
+  // Receiver 1 hears sender 0 at 1.0, sender 2 at 0.5.
+  EXPECT_NEAR(sinr_nonfading(net, all, 1), 10.0 / (1.0 + 0.5 + 0.1), 1e-12);
+  // Receiver 2 hears 0.5 and 0.25.
+  EXPECT_NEAR(sinr_nonfading(net, all, 2), 10.0 / (0.5 + 0.25 + 0.1), 1e-12);
+}
+
+TEST(Sinr, InterferencePlusNoiseDecomposition) {
+  auto net = hand_matrix_network(0.1);
+  const LinkSet all = {0, 1, 2};
+  // SINR = signal / interference_plus_noise by definition.
+  for (LinkId i : all) {
+    EXPECT_NEAR(sinr_nonfading(net, all, i),
+                net.signal(i) / interference_plus_noise(net, all, i), 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(interference_plus_noise(net, {0}, 0), 0.1);  // noise only
+  EXPECT_THROW(interference_plus_noise(net, all, 9), raysched::error);
+}
+
+TEST(Sinr, AloneAgainstNoise) {
+  auto net = hand_matrix_network(0.5);
+  EXPECT_NEAR(sinr_nonfading(net, {0}, 0), 20.0, 1e-12);
+}
+
+TEST(Sinr, InfiniteWithoutNoiseOrInterference) {
+  auto net = hand_matrix_network(0.0);
+  EXPECT_TRUE(std::isinf(sinr_nonfading(net, {0}, 0)));
+}
+
+TEST(Sinr, AllMatchesIndividual) {
+  auto net = hand_matrix_network();
+  const LinkSet active = {0, 2};
+  const auto all = sinr_nonfading_all(net, active);
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_DOUBLE_EQ(all[0], sinr_nonfading(net, active, 0));
+  EXPECT_DOUBLE_EQ(all[1], sinr_nonfading(net, active, 2));
+}
+
+TEST(Sinr, FeasibilityFarVsClose) {
+  auto far = two_far_links();
+  auto close = two_close_links();
+  EXPECT_TRUE(is_feasible(far, {0, 1}, 2.0));
+  // Co-located links at beta >= 1 cannot both succeed: interferer distance
+  // ~ own distance, so SINR ~ 1 for both.
+  EXPECT_FALSE(is_feasible(close, {0, 1}, 2.0));
+  EXPECT_TRUE(is_feasible(close, {0}, 2.0));
+  EXPECT_TRUE(is_feasible(close, {}, 2.0));
+}
+
+TEST(Sinr, CountAndListSuccesses) {
+  auto net = hand_matrix_network(0.1);
+  // With all transmitting, SINRs are ~3.85, ~6.25, ~11.76.
+  EXPECT_EQ(count_successes_nonfading(net, {0, 1, 2}, 5.0), 2u);
+  const LinkSet winners = successful_links_nonfading(net, {0, 1, 2}, 5.0);
+  EXPECT_EQ(winners, (LinkSet{1, 2}));
+  EXPECT_EQ(count_successes_nonfading(net, {0, 1, 2}, 100.0), 0u);
+  EXPECT_EQ(count_successes_nonfading(net, {0, 1, 2}, 1.0), 3u);
+}
+
+TEST(Sinr, ThresholdBoundaryIsInclusive) {
+  auto net = hand_matrix_network(0.1);
+  const double gamma = sinr_nonfading(net, {0, 1, 2}, 0);
+  EXPECT_EQ(count_successes_nonfading(net, {0, 1, 2}, gamma), 3u);
+}
+
+TEST(Sinr, NormalizeLinkSet) {
+  auto net = hand_matrix_network();
+  LinkSet s = {2, 0, 2, 1, 0};
+  normalize_link_set(net, s);
+  EXPECT_EQ(s, (LinkSet{0, 1, 2}));
+  LinkSet bad = {0, 7};
+  EXPECT_THROW(normalize_link_set(net, bad), raysched::error);
+}
+
+TEST(Affectance, FeasibilityCorrespondence) {
+  // Uncapped total affectance <= 1 iff SINR >= beta: check on many random
+  // instances and active sets.
+  sim::RngStream rng(2024);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto net = raysched::testing::paper_network(12, 1000 + trial);
+    const double beta = 2.5;
+    LinkSet active;
+    for (LinkId i = 0; i < net.size(); ++i) {
+      if (rng.bernoulli(0.5)) active.push_back(i);
+    }
+    for (LinkId i : active) {
+      const double a = total_affectance_on_raw(net, active, i, beta);
+      const double g = sinr_nonfading(net, active, i);
+      EXPECT_EQ(a <= 1.0, g >= beta - 1e-9)
+          << "trial " << trial << " link " << i << " a=" << a << " g=" << g;
+    }
+  }
+}
+
+TEST(Affectance, CapAtOne) {
+  auto net = two_close_links();
+  // Interference between co-located links is enormous at beta = 10.
+  EXPECT_GT(affectance_raw(net, 0, 1, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(affectance(net, 0, 1, 10.0), 1.0);
+}
+
+TEST(Affectance, SelfAffectanceIsZero) {
+  auto net = hand_matrix_network();
+  EXPECT_DOUBLE_EQ(affectance_raw(net, 1, 1, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(affectance(net, 1, 1, 2.0), 0.0);
+}
+
+TEST(Affectance, InfiniteWhenNoiseDominates) {
+  // Budget S(i,i)/beta - nu <= 0: link can never meet beta.
+  auto net = hand_matrix_network(10.0);  // noise 10, signal 10, beta 2
+  EXPECT_TRUE(std::isinf(affectance_raw(net, 1, 0, 2.0)));
+  EXPECT_DOUBLE_EQ(affectance(net, 1, 0, 2.0), 1.0);
+}
+
+TEST(Affectance, MatchesPaperUniformPowerFormula) {
+  // For uniform power p and geometric gains, a(j,i) =
+  // min{1, [beta d_i^a / d(s_j,r_i)^a] / (1 - beta nu d_i^a / p)}.
+  std::vector<Link> links = {{Point{0, 0}, Point{2, 0}},
+                             {Point{9, 0}, Point{7, 0}}};
+  const double p = 2.0, alpha = 2.2, nu = 1e-3, beta = 1.5;
+  Network net(links, PowerAssignment::uniform(p), alpha, nu);
+  const double d_i = 2.0;                      // link 1 length
+  const double d_ji = distance(links[0].sender, links[1].receiver);  // 7
+  const double expected =
+      (beta * std::pow(d_i, alpha) / std::pow(d_ji, alpha)) /
+      (1.0 - beta * nu * std::pow(d_i, alpha) / p);
+  EXPECT_NEAR(affectance_raw(net, 0, 1, beta), expected, 1e-12);
+}
+
+TEST(Affectance, Lemma7HalfOfFeasibleSetHasLowOutAffectance) {
+  // [24] Lemma 8 / the paper's Lemma 7: for a feasible set L, at least half
+  // its members have total outgoing capped affectance <= 2 onto L.
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    auto net = raysched::testing::paper_network(40, 1200 + seed);
+    const double beta = 2.5;
+    const LinkSet L =
+        raysched::algorithms::greedy_capacity(net, beta).selected;
+    if (L.size() < 2) continue;
+    const LinkSet Lp = low_out_affectance_subset(net, L, beta, 2.0);
+    EXPECT_GE(2 * Lp.size(), L.size()) << "seed " << seed;
+    // Members of L' really satisfy the defining inequality.
+    for (LinkId u : Lp) {
+      EXPECT_LE(total_affectance_from(net, u, L, beta), 2.0 + 1e-12);
+    }
+  }
+}
+
+TEST(Affectance, Lemma8BoundedOutAffectanceOntoLowOutSets) {
+  // [24] Lemma 11 / the paper's Lemma 8: onto a feasible set R whose
+  // members have pairwise out-affectance <= 2, ANY link's total affectance
+  // is O(1). The constant is geometry-dependent; assert a generous fixed
+  // bound that would still catch a broken normalization.
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    auto net = raysched::testing::paper_network(40, 1300 + seed);
+    const double beta = 2.5;
+    const LinkSet L =
+        raysched::algorithms::greedy_capacity(net, beta).selected;
+    if (L.size() < 4) continue;
+    const LinkSet R = low_out_affectance_subset(net, L, beta, 2.0);
+    LinkSet everyone;
+    for (LinkId u = 0; u < net.size(); ++u) everyone.push_back(u);
+    EXPECT_LT(max_out_affectance(net, everyone, R, beta), 25.0)
+        << "seed " << seed;
+  }
+}
+
+TEST(Affectance, LowOutSubsetValidation) {
+  auto net = hand_matrix_network();
+  EXPECT_THROW(low_out_affectance_subset(net, {0, 1}, 1.0, 0.0),
+               raysched::error);
+  EXPECT_DOUBLE_EQ(max_out_affectance(net, {}, {0}, 1.0), 0.0);
+}
+
+TEST(Affectance, TotalsSumOverMembers) {
+  auto net = hand_matrix_network(0.1);
+  const double beta = 2.0;
+  const double total = total_affectance_on(net, {0, 1, 2}, 0, beta);
+  EXPECT_NEAR(total,
+              affectance(net, 1, 0, beta) + affectance(net, 2, 0, beta), 1e-12);
+  const double from = total_affectance_from(net, 0, {1, 2}, beta);
+  EXPECT_NEAR(from,
+              affectance(net, 0, 1, beta) + affectance(net, 0, 2, beta), 1e-12);
+}
+
+}  // namespace
+}  // namespace raysched::model

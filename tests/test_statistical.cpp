@@ -1,0 +1,228 @@
+// Statistical quality tests for the random substrate: distribution shapes,
+// independence of derived streams, and agreement of samplers with their
+// target laws at multiple quantiles. These guard the Monte-Carlo engine's
+// validity, which every experiment in the repo rests on.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "test_helpers.hpp"
+
+namespace raysched::sim {
+namespace {
+
+// Chi-squared critical value for 15 dof at alpha = 0.001 is 37.7; tests use
+// fixed seeds so there is no flake risk — the thresholds just document how
+// strong the checks are.
+
+TEST(Statistical, Uniform64BitChiSquared16Bins) {
+  RngStream rng(12345);
+  std::array<int, 16> counts{};
+  const int trials = 160000;
+  for (int i = 0; i < trials; ++i) {
+    counts[rng.next_u64() >> 60]++;  // top 4 bits
+  }
+  const double expected = trials / 16.0;
+  double chi2 = 0.0;
+  for (int c : counts) {
+    const double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 37.7);
+}
+
+TEST(Statistical, LowBitsAreAlsoUniform) {
+  RngStream rng(999);
+  std::array<int, 16> counts{};
+  const int trials = 160000;
+  for (int i = 0; i < trials; ++i) {
+    counts[rng.next_u64() & 0xF]++;  // bottom 4 bits
+  }
+  const double expected = trials / 16.0;
+  double chi2 = 0.0;
+  for (int c : counts) {
+    const double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 37.7);
+}
+
+TEST(Statistical, DerivedStreamsUncorrelated) {
+  // Pearson correlation of uniforms from sibling streams must be ~0.
+  RngStream base(7);
+  RngStream a = base.derive(1);
+  RngStream b = base.derive(2);
+  const int trials = 50000;
+  double sa = 0, sb = 0, sab = 0, saa = 0, sbb = 0;
+  for (int i = 0; i < trials; ++i) {
+    const double x = a.uniform();
+    const double y = b.uniform();
+    sa += x;
+    sb += y;
+    sab += x * y;
+    saa += x * x;
+    sbb += y * y;
+  }
+  const double n = trials;
+  const double cov = sab / n - (sa / n) * (sb / n);
+  const double var_a = saa / n - (sa / n) * (sa / n);
+  const double var_b = sbb / n - (sb / n) * (sb / n);
+  const double corr = cov / std::sqrt(var_a * var_b);
+  EXPECT_LT(std::abs(corr), 0.02);
+}
+
+TEST(Statistical, SequentialOutputsUncorrelated) {
+  // Lag-1 autocorrelation of a single stream.
+  RngStream rng(31);
+  const int trials = 50000;
+  double prev = rng.uniform();
+  double s = prev, ss = prev * prev, slag = 0.0;
+  for (int i = 1; i < trials; ++i) {
+    const double x = rng.uniform();
+    slag += prev * x;
+    s += x;
+    ss += x * x;
+    prev = x;
+  }
+  const double n = trials;
+  const double mean = s / n;
+  const double var = ss / n - mean * mean;
+  const double lag = slag / (n - 1) - mean * mean;
+  EXPECT_LT(std::abs(lag / var), 0.02);
+}
+
+TEST(Statistical, ExponentialQuantilesMatch) {
+  // Empirical quantiles vs the exponential CDF at several points.
+  RngStream rng(55);
+  SampleSet samples;
+  const double mean = 3.0;
+  for (int i = 0; i < 100000; ++i) samples.add(rng.exponential_mean(mean));
+  for (double p : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const double theoretical = -mean * std::log(1.0 - p);
+    EXPECT_NEAR(samples.quantile(p), theoretical, 0.05 * theoretical + 0.02)
+        << "p=" << p;
+  }
+}
+
+TEST(Statistical, GammaQuantilesMatchAtShapeTwo) {
+  // Gamma(2,1) CDF: 1 - e^-x (1+x); check median ~ 1.6783.
+  RngStream rng(77);
+  SampleSet samples;
+  for (int i = 0; i < 100000; ++i) samples.add(rng.gamma(2.0));
+  EXPECT_NEAR(samples.median(), 1.6783, 0.03);
+  EXPECT_NEAR(samples.quantile(0.9), 3.8897, 0.08);
+}
+
+TEST(Statistical, GammaMatchesSumOfExponentialsAtIntegerShape) {
+  // Gamma(3,1) = sum of three Exp(1): compare empirical means/variances of
+  // the two constructions.
+  RngStream r1(88), r2(89);
+  Accumulator direct, summed;
+  for (int i = 0; i < 60000; ++i) {
+    direct.add(r1.gamma(3.0));
+    summed.add(r2.exponential_mean(1.0) + r2.exponential_mean(1.0) +
+               r2.exponential_mean(1.0));
+  }
+  EXPECT_NEAR(direct.mean(), summed.mean(), 0.05);
+  EXPECT_NEAR(direct.variance(), summed.variance(), 0.15);
+}
+
+TEST(Statistical, RayleighSinrDistributionNoInterference) {
+  // Alone with noise: SINR = S / nu with S ~ Exp(mean S̄); the SINR CDF is
+  // exponential with mean S̄/nu. Verify at several quantiles against the
+  // sampled slot API.
+  auto net = raysched::testing::hand_matrix_network(0.5);  // S̄ = 10, nu = .5
+  RngStream rng(11);
+  SampleSet samples;
+  for (int i = 0; i < 60000; ++i) {
+    samples.add(model::sinr_rayleigh(net, {1}, 1, rng));
+  }
+  const double mean_sinr = 10.0 / 0.5;
+  for (double p : {0.25, 0.5, 0.9}) {
+    const double theoretical = -mean_sinr * std::log(1.0 - p);
+    EXPECT_NEAR(samples.quantile(p), theoretical, 0.05 * theoretical)
+        << "p=" << p;
+  }
+}
+
+TEST(Statistical, BernoulliSequenceIsExchangeable) {
+  // Runs test (coarse): the number of sign runs in a fair Bernoulli
+  // sequence of length n is ~ n/2 +- O(sqrt n).
+  RngStream rng(21);
+  const int n = 40000;
+  int runs = 1;
+  bool prev = rng.bernoulli(0.5);
+  for (int i = 1; i < n; ++i) {
+    const bool cur = rng.bernoulli(0.5);
+    if (cur != prev) ++runs;
+    prev = cur;
+  }
+  EXPECT_NEAR(static_cast<double>(runs), n / 2.0, 5.0 * std::sqrt(n));
+}
+
+TEST(Statistical, SlotSuccessIndicatorsIndependentForFarLinks) {
+  // The model draws gains independently per (sender, receiver) pair, so the
+  // success indicators of two far-apart links (negligible mutual
+  // interference) must be statistically independent:
+  // P[both] ~ P[first] * P[second].
+  auto net = raysched::testing::two_far_links(0.05);
+  const double beta = 8.0;  // noise-limited: each succeeds w.p. ~ e^{-0.4}
+  RngStream rng(44);
+  const int trials = 60000;
+  int a = 0, b = 0, both = 0;
+  for (int t = 0; t < trials; ++t) {
+    const auto sinrs = model::sinr_rayleigh_all(net, {0, 1}, rng);
+    const bool oka = sinrs[0] >= beta;
+    const bool okb = sinrs[1] >= beta;
+    a += oka;
+    b += okb;
+    both += oka && okb;
+  }
+  const double pa = a / static_cast<double>(trials);
+  const double pb = b / static_cast<double>(trials);
+  const double pboth = both / static_cast<double>(trials);
+  EXPECT_NEAR(pboth, pa * pb, 0.01);
+}
+
+TEST(Statistical, BlockFadingCorrelationWithinBlocks) {
+  // Within a coherence block the success indicator is perfectly repeated;
+  // across blocks it decorrelates. Check both directly.
+  auto net = raysched::testing::two_far_links(0.05);
+  const double beta = 8.0;
+  model::BlockFadingChannel chan(net, /*coherence=*/2, 1.0, RngStream(45));
+  int same_within = 0, total_within = 0;
+  int same_across = 0, total_across = 0;
+  bool prev = chan.count_successes({0}, beta) > 0;
+  for (int s = 1; s < 20000; ++s) {
+    chan.advance_slot();
+    const bool cur = chan.count_successes({0}, beta) > 0;
+    if (chan.current_slot() % 2 == 1) {  // same block as previous slot
+      ++total_within;
+      same_within += cur == prev;
+    } else {
+      ++total_across;
+      same_across += cur == prev;
+    }
+    prev = cur;
+  }
+  EXPECT_EQ(same_within, total_within);  // identical realization
+  // Across blocks: agreement = p^2 + (1-p)^2 < 1 for p in (0,1).
+  EXPECT_LT(same_across, total_across);
+}
+
+TEST(Statistical, NormalTailsMatch) {
+  RngStream rng(33);
+  int beyond_2 = 0, beyond_3 = 0;
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i) {
+    const double x = std::abs(rng.normal());
+    if (x > 2.0) ++beyond_2;
+    if (x > 3.0) ++beyond_3;
+  }
+  EXPECT_NEAR(beyond_2 / static_cast<double>(trials), 0.0455, 0.003);
+  EXPECT_NEAR(beyond_3 / static_cast<double>(trials), 0.0027, 0.0007);
+}
+
+}  // namespace
+}  // namespace raysched::sim

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/stats.hpp"
+
+namespace raysched::sim {
+namespace {
+
+TEST(Accumulator, BasicMoments) {
+  Accumulator acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+  // Population variance is 4; sample variance = 32/7.
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+}
+
+TEST(Accumulator, SingleSampleHasZeroVariance) {
+  Accumulator acc;
+  acc.add(3.5);
+  EXPECT_DOUBLE_EQ(acc.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+}
+
+TEST(Accumulator, EmptyThrows) {
+  Accumulator acc;
+  EXPECT_THROW(acc.mean(), raysched::error);
+  EXPECT_THROW(acc.variance(), raysched::error);
+  EXPECT_THROW(acc.min(), raysched::error);
+  EXPECT_THROW(acc.max(), raysched::error);
+}
+
+TEST(Accumulator, MergeMatchesSequential) {
+  Accumulator a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(static_cast<double>(i)) * 10.0;
+    (i % 2 == 0 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Accumulator, MergeWithEmptyIsIdentity) {
+  Accumulator a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  Accumulator c;
+  c.merge(a);
+  EXPECT_DOUBLE_EQ(c.mean(), mean);
+}
+
+TEST(Accumulator, CiShrinksWithSamples) {
+  Accumulator small, large;
+  for (int i = 0; i < 10; ++i) small.add(i % 2 == 0 ? 1.0 : -1.0);
+  for (int i = 0; i < 1000; ++i) large.add(i % 2 == 0 ? 1.0 : -1.0);
+  EXPECT_GT(small.ci95_halfwidth(), large.ci95_halfwidth());
+}
+
+TEST(SeriesAccumulator, PerIndexIndependence) {
+  SeriesAccumulator series(3);
+  series.add_row({1.0, 10.0, 100.0});
+  series.add_row({3.0, 30.0, 300.0});
+  EXPECT_DOUBLE_EQ(series.at(0).mean(), 2.0);
+  EXPECT_DOUBLE_EQ(series.at(1).mean(), 20.0);
+  EXPECT_DOUBLE_EQ(series.at(2).mean(), 200.0);
+  const auto means = series.means();
+  ASSERT_EQ(means.size(), 3u);
+  EXPECT_DOUBLE_EQ(means[1], 20.0);
+}
+
+TEST(SeriesAccumulator, RejectsMismatchedRow) {
+  SeriesAccumulator series(2);
+  EXPECT_THROW(series.add_row({1.0}), raysched::error);
+  EXPECT_THROW(series.add(5, 1.0), raysched::error);
+}
+
+TEST(SeriesAccumulator, MergeCombines) {
+  SeriesAccumulator a(2), b(2);
+  a.add_row({1.0, 2.0});
+  b.add_row({3.0, 4.0});
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.at(0).mean(), 2.0);
+  EXPECT_DOUBLE_EQ(a.at(1).mean(), 3.0);
+  SeriesAccumulator c(3);
+  EXPECT_THROW(a.merge(c), raysched::error);
+}
+
+TEST(SeriesAccumulator, ZeroWidthRejected) {
+  EXPECT_THROW(SeriesAccumulator(0), raysched::error);
+}
+
+}  // namespace
+}  // namespace raysched::sim

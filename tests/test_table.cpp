@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/table.hpp"
+#include "util/error.hpp"
+
+namespace raysched::util {
+namespace {
+
+TEST(Table, TextRenderingAligns) {
+  Table t({"name", "value"});
+  t.add_row({std::string("alpha"), 2.2});
+  t.add_row({std::string("links"), static_cast<long long>(100)});
+  std::ostringstream ss;
+  t.print_text(ss);
+  const std::string out = ss.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("2.2000"), std::string::npos);
+  EXPECT_NE(out.find("100"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, CsvRendering) {
+  Table t({"a", "b"});
+  t.add_row({static_cast<long long>(1), 0.5});
+  std::ostringstream ss;
+  t.print_csv(ss);
+  EXPECT_EQ(ss.str(), "a,b\n1,0.500000\n");
+}
+
+TEST(Table, CsvEscapesCommasAndQuotes) {
+  Table t({"text"});
+  t.add_row({std::string("hello, \"world\"")});
+  std::ostringstream ss;
+  t.print_csv(ss);
+  EXPECT_EQ(ss.str(), "text\n\"hello, \"\"world\"\"\"\n");
+}
+
+TEST(Table, RowWidthEnforced) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({static_cast<long long>(1)}), raysched::error);
+  EXPECT_THROW(Table({}), raysched::error);
+}
+
+TEST(Table, CountsRowsAndCols) {
+  Table t({"x", "y", "z"});
+  EXPECT_EQ(t.num_cols(), 3u);
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.add_row({1.0, 2.0, 3.0});
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(Table, WriteCsvRoundTrip) {
+  Table t({"k", "v"});
+  t.add_row({static_cast<long long>(7), 1.25});
+  const std::string path = "test_table_roundtrip.csv";
+  t.write_csv(path);
+  std::ifstream f(path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  EXPECT_EQ(ss.str(), "k,v\n7,1.250000\n");
+  std::remove(path.c_str());
+}
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(format_double(1.0 / 3.0, 2), "0.33");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace raysched::util

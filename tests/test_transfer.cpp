@@ -1,0 +1,128 @@
+// Tests for the Lemma 2 solution transfer: non-fading solutions keep at
+// least a 1/e fraction of their utility under Rayleigh fading.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_helpers.hpp"
+
+namespace raysched::core {
+namespace {
+
+using model::LinkId;
+using model::LinkSet;
+using raysched::testing::hand_matrix_network;
+using raysched::testing::paper_network;
+
+constexpr double kInvE = 0.36787944117144233;
+
+TEST(Lemma2, PerLinkProbabilityAtLeastInvE) {
+  // The heart of Lemma 2: success probability at the link's own non-fading
+  // SINR is exactly exp(-1) when evaluated via the Lemma 1 lower bound, and
+  // the exact probability dominates it.
+  auto net = hand_matrix_network(0.1);
+  const LinkSet sol = {0, 1, 2};
+  for (LinkId i : sol) {
+    const double p = per_link_transfer_probability(net, sol, i);
+    EXPECT_GE(p, kInvE - 1e-12) << "link " << i;
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+class Lemma2Property : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Lemma2Property, PerLinkBoundOnRandomInstances) {
+  auto net = paper_network(25, GetParam());
+  // Any active set works — Lemma 2 does not need feasibility for the
+  // per-link probability bound; it needs it only for nonzero utility.
+  sim::RngStream rng(GetParam() ^ 0x5555);
+  LinkSet active;
+  for (LinkId i = 0; i < net.size(); ++i) {
+    if (rng.bernoulli(0.4)) active.push_back(i);
+  }
+  if (active.empty()) active.push_back(0);
+  for (LinkId i : active) {
+    EXPECT_GE(per_link_transfer_probability(net, active, i), kInvE - 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Lemma2Property,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+TEST(Lemma2, TransferRatioForGreedySolutions) {
+  // End-to-end: greedy non-fading solution, evaluated exactly in Rayleigh.
+  for (std::uint64_t seed : {101, 202, 303}) {
+    auto net = paper_network(40, seed);
+    const double beta = 2.5;
+    const auto greedy = algorithms::greedy_capacity(net, beta);
+    ASSERT_FALSE(greedy.selected.empty());
+    sim::RngStream rng(seed);
+    const auto result = transfer_capacity_solution(
+        net, greedy.selected, Utility::binary(beta), 1, rng);
+    EXPECT_DOUBLE_EQ(result.nonfading_value,
+                     static_cast<double>(greedy.selected.size()));
+    EXPECT_GE(result.ratio(), kInvE - 1e-12) << "seed " << seed;
+    EXPECT_LE(result.ratio(), 1.0);
+  }
+}
+
+TEST(Lemma2, ExactThresholdEvaluationMatchesClosedForm) {
+  auto net = hand_matrix_network(0.1);
+  const LinkSet sol = {0, 1};
+  const Utility u = Utility::weighted(1.5, 2.0);
+  const double expected =
+      2.0 * (model::success_probability_rayleigh(net, sol, 0, 1.5) +
+             model::success_probability_rayleigh(net, sol, 1, 1.5));
+  EXPECT_NEAR(expected_rayleigh_utility_exact(net, sol, u), expected, 1e-12);
+}
+
+TEST(Lemma2, ExactRejectsNonThreshold) {
+  auto net = hand_matrix_network();
+  EXPECT_THROW(
+      expected_rayleigh_utility_exact(net, {0}, Utility::shannon()),
+      raysched::error);
+}
+
+TEST(Lemma2, MonteCarloShannonTransfer) {
+  // Shannon utility: the Lemma 2 guarantee holds for all valid utilities;
+  // verify the MC estimate is at least 1/e of the non-fading value (with
+  // slack for sampling noise).
+  auto net = paper_network(20, 404, /*alpha=*/2.2, /*noise=*/0.0);
+  const auto greedy = algorithms::greedy_capacity(net, 1.0);
+  ASSERT_GE(greedy.selected.size(), 2u);
+  sim::RngStream rng(9);
+  const auto result = transfer_capacity_solution(
+      net, greedy.selected, Utility::shannon(), 4000, rng);
+  EXPECT_GT(result.nonfading_value, 0.0);
+  EXPECT_GE(result.ratio(), kInvE * 0.9);
+}
+
+TEST(Lemma2, McUtilityConvergesToExactForThresholds) {
+  auto net = hand_matrix_network(0.1);
+  const LinkSet sol = {0, 1, 2};
+  const Utility u = Utility::binary(1.0);
+  sim::RngStream rng(31);
+  const double mc = expected_rayleigh_utility_mc(net, sol, u, 30000, rng);
+  const double exact = expected_rayleigh_utility_exact(net, sol, u);
+  EXPECT_NEAR(mc, exact, 0.03);
+}
+
+TEST(Lemma2, EmptySolutionHasZeroValue) {
+  auto net = hand_matrix_network();
+  sim::RngStream rng(1);
+  const auto result =
+      transfer_capacity_solution(net, {}, Utility::binary(1.0), 10, rng);
+  EXPECT_DOUBLE_EQ(result.nonfading_value, 0.0);
+  EXPECT_DOUBLE_EQ(result.rayleigh_value, 0.0);
+  EXPECT_DOUBLE_EQ(result.ratio(), 0.0);
+}
+
+TEST(Lemma2, InfiniteSinrRejected) {
+  // Single link, no noise: non-fading SINR is infinite and the transfer
+  // probability is ill-defined.
+  auto net = hand_matrix_network(0.0);
+  EXPECT_THROW(per_link_transfer_probability(net, {0}, 0), raysched::error);
+}
+
+}  // namespace
+}  // namespace raysched::core

@@ -1,0 +1,243 @@
+// raysched_cli: command-line driver for the library.
+//
+// Subcommands:
+//   generate  — draw a random instance and write it to a file
+//   inspect   — print summary statistics of a stored instance
+//   schedule  — run a capacity algorithm + Lemma-2 transfer on an instance
+//   latency   — run a latency scheduler on an instance
+//   simulate  — estimate expected successes under uniform transmission
+//               probability (both models)
+//
+// Examples:
+//   raysched_cli generate --links=100 --seed=7 --out=inst.net
+//   raysched_cli schedule --in=inst.net --beta=2.5 --algorithm=greedy
+//   raysched_cli latency --in=inst.net --beta=2.5 --scheduler=aloha
+//       --model=rayleigh
+//   raysched_cli simulate --in=inst.net --beta=2.5 --q=0.5
+#include <iostream>
+#include <string>
+
+#include "raysched.hpp"
+
+using namespace raysched;
+
+namespace {
+
+int cmd_generate(int argc, char** argv) {
+  util::Flags flags;
+  flags.add_int("links", 100, "number of links");
+  flags.add_double("plane", 1000.0, "plane side length");
+  flags.add_double("min-length", 20.0, "minimal link length");
+  flags.add_double("max-length", 40.0, "maximal link length");
+  flags.add_double("alpha", 2.2, "path-loss exponent");
+  flags.add_double("noise", 4e-7, "ambient noise");
+  flags.add_double("power", 2.0, "power base");
+  flags.add_string("power-scheme", "uniform", "uniform|sqrt|linear");
+  flags.add_int("seed", 1, "instance seed");
+  flags.add_string("out", "instance.net", "output path");
+  flags.parse(argc, argv);
+  if (flags.help_requested()) {
+    std::cout << flags.usage("raysched_cli generate");
+    return 0;
+  }
+  sim::RngStream rng(static_cast<std::uint64_t>(flags.get_int("seed")));
+  model::RandomPlaneParams params;
+  params.num_links = static_cast<std::size_t>(flags.get_int("links"));
+  params.plane_size = flags.get_double("plane");
+  params.min_length = flags.get_double("min-length");
+  params.max_length = flags.get_double("max-length");
+  auto links = model::random_plane_links(params, rng);
+  const std::string scheme = flags.get_string("power-scheme");
+  const double base = flags.get_double("power");
+  model::PowerAssignment power =
+      scheme == "sqrt" ? model::PowerAssignment::square_root(base)
+      : scheme == "linear" ? model::PowerAssignment::linear(base)
+                           : model::PowerAssignment::uniform(base);
+  require(scheme == "uniform" || scheme == "sqrt" || scheme == "linear",
+          "generate: unknown --power-scheme " + scheme);
+  const model::Network net(std::move(links), power, flags.get_double("alpha"),
+                           flags.get_double("noise"));
+  model::save_network(flags.get_string("out"), net);
+  std::cout << "wrote " << net.size() << "-link instance to "
+            << flags.get_string("out") << "\n";
+  return 0;
+}
+
+int cmd_inspect(int argc, char** argv) {
+  util::Flags flags;
+  flags.add_string("in", "instance.net", "instance path");
+  flags.add_double("beta", 2.5, "threshold for derived statistics");
+  flags.parse(argc, argv);
+  if (flags.help_requested()) {
+    std::cout << flags.usage("raysched_cli inspect");
+    return 0;
+  }
+  const auto net = model::load_network(flags.get_string("in"));
+  const double beta = flags.get_double("beta");
+  util::Table table({"property", "value"});
+  table.add_row({std::string("links"), static_cast<long long>(net.size())});
+  table.add_row({std::string("noise"), net.noise()});
+  table.add_row({std::string("geometric"),
+                 std::string(net.has_geometry() ? "yes" : "no")});
+  if (net.has_geometry()) {
+    table.add_row({std::string("alpha"), net.alpha()});
+    table.add_row({std::string("length ratio Delta"), net.length_ratio()});
+  }
+  sim::Accumulator alone;
+  for (model::LinkId i = 0; i < net.size(); ++i) {
+    alone.add(net.noise() > 0.0
+                  ? net.signal(i) / net.noise()
+                  : std::numeric_limits<double>::infinity());
+  }
+  if (net.noise() > 0.0) {
+    table.add_row({std::string("min alone-SNR"), alone.min()});
+    table.add_row({std::string("median-ish alone-SNR (mean)"), alone.mean()});
+  }
+  const auto greedy = algorithms::greedy_capacity(net, beta);
+  table.add_row({std::string("greedy capacity at beta"),
+                 static_cast<long long>(greedy.selected.size())});
+  table.print_text(std::cout);
+  return 0;
+}
+
+int cmd_schedule(int argc, char** argv) {
+  util::Flags flags;
+  flags.add_string("in", "instance.net", "instance path");
+  flags.add_double("beta", 2.5, "SINR threshold");
+  flags.add_string("algorithm", "greedy",
+                   "greedy|power-control|local-search|flexible");
+  flags.add_int("seed", 1, "rng seed (MC evaluation only)");
+  flags.add_bool("print-set", false, "print the selected link ids");
+  flags.parse(argc, argv);
+  if (flags.help_requested()) {
+    std::cout << flags.usage("raysched_cli schedule");
+    return 0;
+  }
+  const auto net = model::load_network(flags.get_string("in"));
+  const std::string algo = flags.get_string("algorithm");
+  core::ReductionOptions opts;
+  if (algo == "greedy") opts.algorithm = core::NonFadingAlgorithm::Greedy;
+  else if (algo == "power-control")
+    opts.algorithm = core::NonFadingAlgorithm::PowerControl;
+  else if (algo == "local-search")
+    opts.algorithm = core::NonFadingAlgorithm::LocalSearch;
+  else if (algo == "flexible")
+    opts.algorithm = core::NonFadingAlgorithm::FlexibleRate;
+  else
+    throw error("schedule: unknown --algorithm " + algo);
+  sim::RngStream rng(static_cast<std::uint64_t>(flags.get_int("seed")));
+  const auto decision = core::schedule_capacity_rayleigh(
+      net, core::Utility::binary(flags.get_double("beta")), opts, rng);
+  util::Table table({"quantity", "value"});
+  table.add_row({std::string("algorithm"), decision.algorithm});
+  table.add_row({std::string("selected links"),
+                 static_cast<long long>(decision.transmit_set.size())});
+  table.add_row({std::string("non-fading value"), decision.nonfading_value});
+  table.add_row({std::string("E[rayleigh value]"),
+                 decision.expected_rayleigh_value});
+  table.add_row({std::string("Lemma-2 ratio (>= 0.3679)"),
+                 decision.lemma2_ratio});
+  table.print_text(std::cout);
+  if (flags.get_bool("print-set")) {
+    std::cout << "set:";
+    for (model::LinkId i : decision.transmit_set) std::cout << " " << i;
+    std::cout << "\n";
+  }
+  return 0;
+}
+
+int cmd_latency(int argc, char** argv) {
+  util::Flags flags;
+  flags.add_string("in", "instance.net", "instance path");
+  flags.add_double("beta", 2.5, "SINR threshold");
+  flags.add_string("scheduler", "aloha", "aloha|repeated");
+  flags.add_string("model", "rayleigh", "rayleigh|nonfading");
+  flags.add_int("seed", 1, "rng seed");
+  flags.parse(argc, argv);
+  if (flags.help_requested()) {
+    std::cout << flags.usage("raysched_cli latency");
+    return 0;
+  }
+  const auto net = model::load_network(flags.get_string("in"));
+  const auto prop = flags.get_string("model") == "nonfading"
+                        ? algorithms::Propagation::NonFading
+                        : algorithms::Propagation::Rayleigh;
+  require(flags.get_string("model") == "nonfading" ||
+              flags.get_string("model") == "rayleigh",
+          "latency: unknown --model " + flags.get_string("model"));
+  sim::RngStream rng(static_cast<std::uint64_t>(flags.get_int("seed")));
+  algorithms::LatencyResult result;
+  if (flags.get_string("scheduler") == "aloha") {
+    result = algorithms::aloha_schedule(net, flags.get_double("beta"), prop,
+                                        rng);
+  } else if (flags.get_string("scheduler") == "repeated") {
+    result = algorithms::repeated_capacity_schedule(
+        net, flags.get_double("beta"), prop, rng);
+  } else {
+    throw error("latency: unknown --scheduler " +
+                flags.get_string("scheduler"));
+  }
+  std::cout << "latency: " << result.slots << " slots, completed="
+            << (result.completed ? "yes" : "no") << "\n";
+  return 0;
+}
+
+int cmd_simulate(int argc, char** argv) {
+  util::Flags flags;
+  flags.add_string("in", "instance.net", "instance path");
+  flags.add_double("beta", 2.5, "SINR threshold");
+  flags.add_double("q", 0.5, "uniform transmission probability");
+  flags.add_int("trials", 2000, "non-fading Monte-Carlo trials");
+  flags.add_int("seed", 1, "rng seed");
+  flags.parse(argc, argv);
+  if (flags.help_requested()) {
+    std::cout << flags.usage("raysched_cli simulate");
+    return 0;
+  }
+  const auto net = model::load_network(flags.get_string("in"));
+  std::vector<double> q(net.size(), flags.get_double("q"));
+  sim::RngStream rng(static_cast<std::uint64_t>(flags.get_int("seed")));
+  const double rayleigh =
+      core::expected_rayleigh_successes(net, q, flags.get_double("beta"));
+  const double nonfading = core::expected_nonfading_successes_mc(
+      net, q, flags.get_double("beta"),
+      static_cast<std::size_t>(flags.get_int("trials")), rng);
+  std::cout << "expected successes at q=" << flags.get_double("q")
+            << ": non-fading(MC)=" << nonfading
+            << " rayleigh(exact)=" << rayleigh << "\n";
+  return 0;
+}
+
+void print_usage() {
+  std::cout
+      << "usage: raysched_cli <command> [flags]\n"
+         "commands: generate, inspect, schedule, latency, simulate\n"
+         "run 'raysched_cli <command> --help' for per-command flags\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    print_usage();
+    return 1;
+  }
+  const std::string command = argv[1];
+  try {
+    if (command == "generate") return cmd_generate(argc - 1, argv + 1);
+    if (command == "inspect") return cmd_inspect(argc - 1, argv + 1);
+    if (command == "schedule") return cmd_schedule(argc - 1, argv + 1);
+    if (command == "latency") return cmd_latency(argc - 1, argv + 1);
+    if (command == "simulate") return cmd_simulate(argc - 1, argv + 1);
+    if (command == "--help" || command == "-h") {
+      print_usage();
+      return 0;
+    }
+    std::cerr << "unknown command '" << command << "'\n";
+    print_usage();
+    return 1;
+  } catch (const error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
