@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_block_fading"
+  "../bench/ablation_block_fading.pdb"
+  "CMakeFiles/ablation_block_fading.dir/ablation_block_fading.cpp.o"
+  "CMakeFiles/ablation_block_fading.dir/ablation_block_fading.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_block_fading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

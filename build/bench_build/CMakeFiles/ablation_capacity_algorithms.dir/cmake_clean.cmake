@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_capacity_algorithms"
+  "../bench/ablation_capacity_algorithms.pdb"
+  "CMakeFiles/ablation_capacity_algorithms.dir/ablation_capacity_algorithms.cpp.o"
+  "CMakeFiles/ablation_capacity_algorithms.dir/ablation_capacity_algorithms.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_capacity_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_graph_vs_sinr"
+  "../bench/ablation_graph_vs_sinr.pdb"
+  "CMakeFiles/ablation_graph_vs_sinr.dir/ablation_graph_vs_sinr.cpp.o"
+  "CMakeFiles/ablation_graph_vs_sinr.dir/ablation_graph_vs_sinr.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_graph_vs_sinr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_learning_dynamics"
+  "../bench/ablation_learning_dynamics.pdb"
+  "CMakeFiles/ablation_learning_dynamics.dir/ablation_learning_dynamics.cpp.o"
+  "CMakeFiles/ablation_learning_dynamics.dir/ablation_learning_dynamics.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_learning_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

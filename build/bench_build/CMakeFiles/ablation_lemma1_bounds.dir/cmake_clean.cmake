@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_lemma1_bounds"
+  "../bench/ablation_lemma1_bounds.pdb"
+  "CMakeFiles/ablation_lemma1_bounds.dir/ablation_lemma1_bounds.cpp.o"
+  "CMakeFiles/ablation_lemma1_bounds.dir/ablation_lemma1_bounds.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lemma1_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

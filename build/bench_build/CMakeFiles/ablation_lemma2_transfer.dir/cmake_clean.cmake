@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_lemma2_transfer"
+  "../bench/ablation_lemma2_transfer.pdb"
+  "CMakeFiles/ablation_lemma2_transfer.dir/ablation_lemma2_transfer.cpp.o"
+  "CMakeFiles/ablation_lemma2_transfer.dir/ablation_lemma2_transfer.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lemma2_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_nakagami"
+  "../bench/ablation_nakagami.pdb"
+  "CMakeFiles/ablation_nakagami.dir/ablation_nakagami.cpp.o"
+  "CMakeFiles/ablation_nakagami.dir/ablation_nakagami.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_nakagami.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

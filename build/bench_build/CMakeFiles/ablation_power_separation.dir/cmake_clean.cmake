@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_power_separation"
+  "../bench/ablation_power_separation.pdb"
+  "CMakeFiles/ablation_power_separation.dir/ablation_power_separation.cpp.o"
+  "CMakeFiles/ablation_power_separation.dir/ablation_power_separation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_power_separation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_queueing"
+  "../bench/ablation_queueing.pdb"
+  "CMakeFiles/ablation_queueing.dir/ablation_queueing.cpp.o"
+  "CMakeFiles/ablation_queueing.dir/ablation_queueing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_queueing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_rayleigh_optimum"
+  "../bench/ablation_rayleigh_optimum.pdb"
+  "CMakeFiles/ablation_rayleigh_optimum.dir/ablation_rayleigh_optimum.cpp.o"
+  "CMakeFiles/ablation_rayleigh_optimum.dir/ablation_rayleigh_optimum.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rayleigh_optimum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_regret_convergence"
+  "../bench/ablation_regret_convergence.pdb"
+  "CMakeFiles/ablation_regret_convergence.dir/ablation_regret_convergence.cpp.o"
+  "CMakeFiles/ablation_regret_convergence.dir/ablation_regret_convergence.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_regret_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_theorem2_simulation"
+  "../bench/ablation_theorem2_simulation.pdb"
+  "CMakeFiles/ablation_theorem2_simulation.dir/ablation_theorem2_simulation.cpp.o"
+  "CMakeFiles/ablation_theorem2_simulation.dir/ablation_theorem2_simulation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_theorem2_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_optimum_capacity"
+  "../bench/fig1_optimum_capacity.pdb"
+  "CMakeFiles/fig1_optimum_capacity.dir/fig1_optimum_capacity.cpp.o"
+  "CMakeFiles/fig1_optimum_capacity.dir/fig1_optimum_capacity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_optimum_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

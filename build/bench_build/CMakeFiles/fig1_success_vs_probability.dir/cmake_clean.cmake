@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_success_vs_probability"
+  "../bench/fig1_success_vs_probability.pdb"
+  "CMakeFiles/fig1_success_vs_probability.dir/fig1_success_vs_probability.cpp.o"
+  "CMakeFiles/fig1_success_vs_probability.dir/fig1_success_vs_probability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_success_vs_probability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_regret_learning"
+  "../bench/fig2_regret_learning.pdb"
+  "CMakeFiles/fig2_regret_learning.dir/fig2_regret_learning.cpp.o"
+  "CMakeFiles/fig2_regret_learning.dir/fig2_regret_learning.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_regret_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

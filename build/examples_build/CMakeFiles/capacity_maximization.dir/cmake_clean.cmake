@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/capacity_maximization"
+  "../examples/capacity_maximization.pdb"
+  "CMakeFiles/capacity_maximization.dir/capacity_maximization.cpp.o"
+  "CMakeFiles/capacity_maximization.dir/capacity_maximization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capacity_maximization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

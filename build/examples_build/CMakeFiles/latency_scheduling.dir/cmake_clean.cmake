@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/latency_scheduling"
+  "../examples/latency_scheduling.pdb"
+  "CMakeFiles/latency_scheduling.dir/latency_scheduling.cpp.o"
+  "CMakeFiles/latency_scheduling.dir/latency_scheduling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/model_comparison"
+  "../examples/model_comparison.pdb"
+  "CMakeFiles/model_comparison.dir/model_comparison.cpp.o"
+  "CMakeFiles/model_comparison.dir/model_comparison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

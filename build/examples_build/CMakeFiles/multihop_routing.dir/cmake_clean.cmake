@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/multihop_routing"
+  "../examples/multihop_routing.pdb"
+  "CMakeFiles/multihop_routing.dir/multihop_routing.cpp.o"
+  "CMakeFiles/multihop_routing.dir/multihop_routing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multihop_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/online_admission"
+  "../examples/online_admission.pdb"
+  "CMakeFiles/online_admission.dir/online_admission.cpp.o"
+  "CMakeFiles/online_admission.dir/online_admission.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_admission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/rayleigh_optimum"
+  "../examples/rayleigh_optimum.pdb"
+  "CMakeFiles/rayleigh_optimum.dir/rayleigh_optimum.cpp.o"
+  "CMakeFiles/rayleigh_optimum.dir/rayleigh_optimum.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rayleigh_optimum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/regret_learning"
+  "../examples/regret_learning.pdb"
+  "CMakeFiles/regret_learning.dir/regret_learning.cpp.o"
+  "CMakeFiles/regret_learning.dir/regret_learning.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regret_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algorithms/capacity.cpp" "src/CMakeFiles/raysched.dir/algorithms/capacity.cpp.o" "gcc" "src/CMakeFiles/raysched.dir/algorithms/capacity.cpp.o.d"
+  "/root/repo/src/algorithms/exact.cpp" "src/CMakeFiles/raysched.dir/algorithms/exact.cpp.o" "gcc" "src/CMakeFiles/raysched.dir/algorithms/exact.cpp.o.d"
+  "/root/repo/src/algorithms/latency.cpp" "src/CMakeFiles/raysched.dir/algorithms/latency.cpp.o" "gcc" "src/CMakeFiles/raysched.dir/algorithms/latency.cpp.o.d"
+  "/root/repo/src/algorithms/multihop.cpp" "src/CMakeFiles/raysched.dir/algorithms/multihop.cpp.o" "gcc" "src/CMakeFiles/raysched.dir/algorithms/multihop.cpp.o.d"
+  "/root/repo/src/algorithms/online.cpp" "src/CMakeFiles/raysched.dir/algorithms/online.cpp.o" "gcc" "src/CMakeFiles/raysched.dir/algorithms/online.cpp.o.d"
+  "/root/repo/src/algorithms/probabilistic.cpp" "src/CMakeFiles/raysched.dir/algorithms/probabilistic.cpp.o" "gcc" "src/CMakeFiles/raysched.dir/algorithms/probabilistic.cpp.o.d"
+  "/root/repo/src/algorithms/queueing.cpp" "src/CMakeFiles/raysched.dir/algorithms/queueing.cpp.o" "gcc" "src/CMakeFiles/raysched.dir/algorithms/queueing.cpp.o.d"
+  "/root/repo/src/algorithms/routing.cpp" "src/CMakeFiles/raysched.dir/algorithms/routing.cpp.o" "gcc" "src/CMakeFiles/raysched.dir/algorithms/routing.cpp.o.d"
+  "/root/repo/src/algorithms/weighted.cpp" "src/CMakeFiles/raysched.dir/algorithms/weighted.cpp.o" "gcc" "src/CMakeFiles/raysched.dir/algorithms/weighted.cpp.o.d"
+  "/root/repo/src/core/latency_bounds.cpp" "src/CMakeFiles/raysched.dir/core/latency_bounds.cpp.o" "gcc" "src/CMakeFiles/raysched.dir/core/latency_bounds.cpp.o.d"
+  "/root/repo/src/core/latency_exact.cpp" "src/CMakeFiles/raysched.dir/core/latency_exact.cpp.o" "gcc" "src/CMakeFiles/raysched.dir/core/latency_exact.cpp.o.d"
+  "/root/repo/src/core/reduction.cpp" "src/CMakeFiles/raysched.dir/core/reduction.cpp.o" "gcc" "src/CMakeFiles/raysched.dir/core/reduction.cpp.o.d"
+  "/root/repo/src/core/simulation_transform.cpp" "src/CMakeFiles/raysched.dir/core/simulation_transform.cpp.o" "gcc" "src/CMakeFiles/raysched.dir/core/simulation_transform.cpp.o.d"
+  "/root/repo/src/core/success_probability.cpp" "src/CMakeFiles/raysched.dir/core/success_probability.cpp.o" "gcc" "src/CMakeFiles/raysched.dir/core/success_probability.cpp.o.d"
+  "/root/repo/src/core/transfer.cpp" "src/CMakeFiles/raysched.dir/core/transfer.cpp.o" "gcc" "src/CMakeFiles/raysched.dir/core/transfer.cpp.o.d"
+  "/root/repo/src/core/utility.cpp" "src/CMakeFiles/raysched.dir/core/utility.cpp.o" "gcc" "src/CMakeFiles/raysched.dir/core/utility.cpp.o.d"
+  "/root/repo/src/learning/best_response.cpp" "src/CMakeFiles/raysched.dir/learning/best_response.cpp.o" "gcc" "src/CMakeFiles/raysched.dir/learning/best_response.cpp.o.d"
+  "/root/repo/src/learning/capacity_game.cpp" "src/CMakeFiles/raysched.dir/learning/capacity_game.cpp.o" "gcc" "src/CMakeFiles/raysched.dir/learning/capacity_game.cpp.o.d"
+  "/root/repo/src/learning/exp3.cpp" "src/CMakeFiles/raysched.dir/learning/exp3.cpp.o" "gcc" "src/CMakeFiles/raysched.dir/learning/exp3.cpp.o.d"
+  "/root/repo/src/learning/fictitious_play.cpp" "src/CMakeFiles/raysched.dir/learning/fictitious_play.cpp.o" "gcc" "src/CMakeFiles/raysched.dir/learning/fictitious_play.cpp.o.d"
+  "/root/repo/src/learning/no_regret.cpp" "src/CMakeFiles/raysched.dir/learning/no_regret.cpp.o" "gcc" "src/CMakeFiles/raysched.dir/learning/no_regret.cpp.o.d"
+  "/root/repo/src/learning/rwm.cpp" "src/CMakeFiles/raysched.dir/learning/rwm.cpp.o" "gcc" "src/CMakeFiles/raysched.dir/learning/rwm.cpp.o.d"
+  "/root/repo/src/model/affectance.cpp" "src/CMakeFiles/raysched.dir/model/affectance.cpp.o" "gcc" "src/CMakeFiles/raysched.dir/model/affectance.cpp.o.d"
+  "/root/repo/src/model/block_fading.cpp" "src/CMakeFiles/raysched.dir/model/block_fading.cpp.o" "gcc" "src/CMakeFiles/raysched.dir/model/block_fading.cpp.o.d"
+  "/root/repo/src/model/feasibility.cpp" "src/CMakeFiles/raysched.dir/model/feasibility.cpp.o" "gcc" "src/CMakeFiles/raysched.dir/model/feasibility.cpp.o.d"
+  "/root/repo/src/model/generator.cpp" "src/CMakeFiles/raysched.dir/model/generator.cpp.o" "gcc" "src/CMakeFiles/raysched.dir/model/generator.cpp.o.d"
+  "/root/repo/src/model/interference_graph.cpp" "src/CMakeFiles/raysched.dir/model/interference_graph.cpp.o" "gcc" "src/CMakeFiles/raysched.dir/model/interference_graph.cpp.o.d"
+  "/root/repo/src/model/io.cpp" "src/CMakeFiles/raysched.dir/model/io.cpp.o" "gcc" "src/CMakeFiles/raysched.dir/model/io.cpp.o.d"
+  "/root/repo/src/model/nakagami.cpp" "src/CMakeFiles/raysched.dir/model/nakagami.cpp.o" "gcc" "src/CMakeFiles/raysched.dir/model/nakagami.cpp.o.d"
+  "/root/repo/src/model/network.cpp" "src/CMakeFiles/raysched.dir/model/network.cpp.o" "gcc" "src/CMakeFiles/raysched.dir/model/network.cpp.o.d"
+  "/root/repo/src/model/rayleigh.cpp" "src/CMakeFiles/raysched.dir/model/rayleigh.cpp.o" "gcc" "src/CMakeFiles/raysched.dir/model/rayleigh.cpp.o.d"
+  "/root/repo/src/model/shadowing.cpp" "src/CMakeFiles/raysched.dir/model/shadowing.cpp.o" "gcc" "src/CMakeFiles/raysched.dir/model/shadowing.cpp.o.d"
+  "/root/repo/src/model/sinr.cpp" "src/CMakeFiles/raysched.dir/model/sinr.cpp.o" "gcc" "src/CMakeFiles/raysched.dir/model/sinr.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/raysched.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/raysched.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/thread_pool.cpp" "src/CMakeFiles/raysched.dir/sim/thread_pool.cpp.o" "gcc" "src/CMakeFiles/raysched.dir/sim/thread_pool.cpp.o.d"
+  "/root/repo/src/util/flags.cpp" "src/CMakeFiles/raysched.dir/util/flags.cpp.o" "gcc" "src/CMakeFiles/raysched.dir/util/flags.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/raysched.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/raysched.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_block_fading.cpp" "tests/CMakeFiles/raysched_tests.dir/test_block_fading.cpp.o" "gcc" "tests/CMakeFiles/raysched_tests.dir/test_block_fading.cpp.o.d"
+  "/root/repo/tests/test_capacity_algorithms.cpp" "tests/CMakeFiles/raysched_tests.dir/test_capacity_algorithms.cpp.o" "gcc" "tests/CMakeFiles/raysched_tests.dir/test_capacity_algorithms.cpp.o.d"
+  "/root/repo/tests/test_core_deep.cpp" "tests/CMakeFiles/raysched_tests.dir/test_core_deep.cpp.o" "gcc" "tests/CMakeFiles/raysched_tests.dir/test_core_deep.cpp.o.d"
+  "/root/repo/tests/test_dynamics_deep.cpp" "tests/CMakeFiles/raysched_tests.dir/test_dynamics_deep.cpp.o" "gcc" "tests/CMakeFiles/raysched_tests.dir/test_dynamics_deep.cpp.o.d"
+  "/root/repo/tests/test_edge_cases.cpp" "tests/CMakeFiles/raysched_tests.dir/test_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/raysched_tests.dir/test_edge_cases.cpp.o.d"
+  "/root/repo/tests/test_engine.cpp" "tests/CMakeFiles/raysched_tests.dir/test_engine.cpp.o" "gcc" "tests/CMakeFiles/raysched_tests.dir/test_engine.cpp.o.d"
+  "/root/repo/tests/test_feasibility.cpp" "tests/CMakeFiles/raysched_tests.dir/test_feasibility.cpp.o" "gcc" "tests/CMakeFiles/raysched_tests.dir/test_feasibility.cpp.o.d"
+  "/root/repo/tests/test_flags.cpp" "tests/CMakeFiles/raysched_tests.dir/test_flags.cpp.o" "gcc" "tests/CMakeFiles/raysched_tests.dir/test_flags.cpp.o.d"
+  "/root/repo/tests/test_flexible_rates.cpp" "tests/CMakeFiles/raysched_tests.dir/test_flexible_rates.cpp.o" "gcc" "tests/CMakeFiles/raysched_tests.dir/test_flexible_rates.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/raysched_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/raysched_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_interference_graph.cpp" "tests/CMakeFiles/raysched_tests.dir/test_interference_graph.cpp.o" "gcc" "tests/CMakeFiles/raysched_tests.dir/test_interference_graph.cpp.o.d"
+  "/root/repo/tests/test_io.cpp" "tests/CMakeFiles/raysched_tests.dir/test_io.cpp.o" "gcc" "tests/CMakeFiles/raysched_tests.dir/test_io.cpp.o.d"
+  "/root/repo/tests/test_latency.cpp" "tests/CMakeFiles/raysched_tests.dir/test_latency.cpp.o" "gcc" "tests/CMakeFiles/raysched_tests.dir/test_latency.cpp.o.d"
+  "/root/repo/tests/test_latency_exact.cpp" "tests/CMakeFiles/raysched_tests.dir/test_latency_exact.cpp.o" "gcc" "tests/CMakeFiles/raysched_tests.dir/test_latency_exact.cpp.o.d"
+  "/root/repo/tests/test_latency_transform.cpp" "tests/CMakeFiles/raysched_tests.dir/test_latency_transform.cpp.o" "gcc" "tests/CMakeFiles/raysched_tests.dir/test_latency_transform.cpp.o.d"
+  "/root/repo/tests/test_learning.cpp" "tests/CMakeFiles/raysched_tests.dir/test_learning.cpp.o" "gcc" "tests/CMakeFiles/raysched_tests.dir/test_learning.cpp.o.d"
+  "/root/repo/tests/test_learning_extensions.cpp" "tests/CMakeFiles/raysched_tests.dir/test_learning_extensions.cpp.o" "gcc" "tests/CMakeFiles/raysched_tests.dir/test_learning_extensions.cpp.o.d"
+  "/root/repo/tests/test_logstar.cpp" "tests/CMakeFiles/raysched_tests.dir/test_logstar.cpp.o" "gcc" "tests/CMakeFiles/raysched_tests.dir/test_logstar.cpp.o.d"
+  "/root/repo/tests/test_metamorphic.cpp" "tests/CMakeFiles/raysched_tests.dir/test_metamorphic.cpp.o" "gcc" "tests/CMakeFiles/raysched_tests.dir/test_metamorphic.cpp.o.d"
+  "/root/repo/tests/test_model.cpp" "tests/CMakeFiles/raysched_tests.dir/test_model.cpp.o" "gcc" "tests/CMakeFiles/raysched_tests.dir/test_model.cpp.o.d"
+  "/root/repo/tests/test_nakagami.cpp" "tests/CMakeFiles/raysched_tests.dir/test_nakagami.cpp.o" "gcc" "tests/CMakeFiles/raysched_tests.dir/test_nakagami.cpp.o.d"
+  "/root/repo/tests/test_online.cpp" "tests/CMakeFiles/raysched_tests.dir/test_online.cpp.o" "gcc" "tests/CMakeFiles/raysched_tests.dir/test_online.cpp.o.d"
+  "/root/repo/tests/test_pathloss.cpp" "tests/CMakeFiles/raysched_tests.dir/test_pathloss.cpp.o" "gcc" "tests/CMakeFiles/raysched_tests.dir/test_pathloss.cpp.o.d"
+  "/root/repo/tests/test_pipeline_fuzz.cpp" "tests/CMakeFiles/raysched_tests.dir/test_pipeline_fuzz.cpp.o" "gcc" "tests/CMakeFiles/raysched_tests.dir/test_pipeline_fuzz.cpp.o.d"
+  "/root/repo/tests/test_probabilistic.cpp" "tests/CMakeFiles/raysched_tests.dir/test_probabilistic.cpp.o" "gcc" "tests/CMakeFiles/raysched_tests.dir/test_probabilistic.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/raysched_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/raysched_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_queueing.cpp" "tests/CMakeFiles/raysched_tests.dir/test_queueing.cpp.o" "gcc" "tests/CMakeFiles/raysched_tests.dir/test_queueing.cpp.o.d"
+  "/root/repo/tests/test_rayleigh.cpp" "tests/CMakeFiles/raysched_tests.dir/test_rayleigh.cpp.o" "gcc" "tests/CMakeFiles/raysched_tests.dir/test_rayleigh.cpp.o.d"
+  "/root/repo/tests/test_reduction.cpp" "tests/CMakeFiles/raysched_tests.dir/test_reduction.cpp.o" "gcc" "tests/CMakeFiles/raysched_tests.dir/test_reduction.cpp.o.d"
+  "/root/repo/tests/test_regression_pinned.cpp" "tests/CMakeFiles/raysched_tests.dir/test_regression_pinned.cpp.o" "gcc" "tests/CMakeFiles/raysched_tests.dir/test_regression_pinned.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/raysched_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/raysched_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_routing.cpp" "tests/CMakeFiles/raysched_tests.dir/test_routing.cpp.o" "gcc" "tests/CMakeFiles/raysched_tests.dir/test_routing.cpp.o.d"
+  "/root/repo/tests/test_scheduling_deep.cpp" "tests/CMakeFiles/raysched_tests.dir/test_scheduling_deep.cpp.o" "gcc" "tests/CMakeFiles/raysched_tests.dir/test_scheduling_deep.cpp.o.d"
+  "/root/repo/tests/test_shadowing.cpp" "tests/CMakeFiles/raysched_tests.dir/test_shadowing.cpp.o" "gcc" "tests/CMakeFiles/raysched_tests.dir/test_shadowing.cpp.o.d"
+  "/root/repo/tests/test_simulation_transform.cpp" "tests/CMakeFiles/raysched_tests.dir/test_simulation_transform.cpp.o" "gcc" "tests/CMakeFiles/raysched_tests.dir/test_simulation_transform.cpp.o.d"
+  "/root/repo/tests/test_sinr.cpp" "tests/CMakeFiles/raysched_tests.dir/test_sinr.cpp.o" "gcc" "tests/CMakeFiles/raysched_tests.dir/test_sinr.cpp.o.d"
+  "/root/repo/tests/test_statistical.cpp" "tests/CMakeFiles/raysched_tests.dir/test_statistical.cpp.o" "gcc" "tests/CMakeFiles/raysched_tests.dir/test_statistical.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/raysched_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/raysched_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_success_probability.cpp" "tests/CMakeFiles/raysched_tests.dir/test_success_probability.cpp.o" "gcc" "tests/CMakeFiles/raysched_tests.dir/test_success_probability.cpp.o.d"
+  "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/raysched_tests.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/raysched_tests.dir/test_table.cpp.o.d"
+  "/root/repo/tests/test_thread_pool.cpp" "tests/CMakeFiles/raysched_tests.dir/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/raysched_tests.dir/test_thread_pool.cpp.o.d"
+  "/root/repo/tests/test_transfer.cpp" "tests/CMakeFiles/raysched_tests.dir/test_transfer.cpp.o" "gcc" "tests/CMakeFiles/raysched_tests.dir/test_transfer.cpp.o.d"
+  "/root/repo/tests/test_utility.cpp" "tests/CMakeFiles/raysched_tests.dir/test_utility.cpp.o" "gcc" "tests/CMakeFiles/raysched_tests.dir/test_utility.cpp.o.d"
+  "/root/repo/tests/test_weighted.cpp" "tests/CMakeFiles/raysched_tests.dir/test_weighted.cpp.o" "gcc" "tests/CMakeFiles/raysched_tests.dir/test_weighted.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/raysched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

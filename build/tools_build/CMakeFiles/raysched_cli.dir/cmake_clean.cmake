@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/raysched_cli"
+  "../tools/raysched_cli.pdb"
+  "CMakeFiles/raysched_cli.dir/raysched_cli.cpp.o"
+  "CMakeFiles/raysched_cli.dir/raysched_cli.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raysched_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

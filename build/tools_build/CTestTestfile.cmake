@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools_build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_generate "/root/repo/build/tools/raysched_cli" "generate" "--links=20" "--seed=3" "--out=/root/repo/build/tools_build/cli_smoke.net")
+set_tests_properties(cli_generate PROPERTIES  FIXTURES_SETUP "cli_instance" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_inspect "/root/repo/build/tools/raysched_cli" "inspect" "--in=/root/repo/build/tools_build/cli_smoke.net" "--beta=2.5")
+set_tests_properties(cli_inspect PROPERTIES  FIXTURES_REQUIRED "cli_instance" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_schedule "/root/repo/build/tools/raysched_cli" "schedule" "--in=/root/repo/build/tools_build/cli_smoke.net" "--beta=2.5")
+set_tests_properties(cli_schedule PROPERTIES  FIXTURES_REQUIRED "cli_instance" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_simulate "/root/repo/build/tools/raysched_cli" "simulate" "--in=/root/repo/build/tools_build/cli_smoke.net" "--beta=2.5")
+set_tests_properties(cli_simulate PROPERTIES  FIXTURES_REQUIRED "cli_instance" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_latency "/root/repo/build/tools/raysched_cli" "latency" "--in=/root/repo/build/tools_build/cli_smoke.net" "--beta=2.5" "--scheduler=repeated" "--model=nonfading")
+set_tests_properties(cli_latency PROPERTIES  FIXTURES_REQUIRED "cli_instance" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_schedule_power_control "/root/repo/build/tools/raysched_cli" "schedule" "--in=/root/repo/build/tools_build/cli_smoke.net" "--beta=2.5" "--algorithm=power-control" "--print-set")
+set_tests_properties(cli_schedule_power_control PROPERTIES  FIXTURES_REQUIRED "cli_instance" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;21;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_rejects_unknown_command "/root/repo/build/tools/raysched_cli" "frobnicate")
+set_tests_properties(cli_rejects_unknown_command PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;26;add_test;/root/repo/tools/CMakeLists.txt;0;")
