@@ -4,10 +4,18 @@
 // same set under Rayleigh fading, and report the exact ratio
 // E[Rayleigh successes] / |solution|. Lemma 2 guarantees >= 1/e ~ 0.3679;
 // the ablation shows how much headroom real instances leave, across beta.
+//
+// The sweep runs on the fault-isolated Monte-Carlo engine (one trial per
+// network; instances are derived exactly as before, so numbers match the
+// pre-engine version). Degenerate instances where an algorithm selects no
+// links yield NaN ratios, which the engine quarantines and reports instead
+// of poisoning the accumulators. --inject-throw / --inject-nan sabotage
+// chosen cells to demonstrate the containment policies.
 #include <cmath>
 #include <iostream>
 #include <vector>
 
+#include "fault_injection.hpp"
 #include "raysched.hpp"
 
 using namespace raysched;
@@ -17,6 +25,11 @@ int main(int argc, char** argv) {
   flags.add_int("networks", 15, "number of random networks");
   flags.add_int("links", 80, "links per network");
   flags.add_int("seed", 4, "master seed");
+  flags.add_string("fault-policy", "skip", "abort|skip|retry");
+  flags.add_string("inject-throw", "",
+                   "sabotage cells net:trial[,...] with a thrown error");
+  flags.add_string("inject-nan", "",
+                   "sabotage cells net:trial[,...] with a NaN metric");
   try {
     flags.parse(argc, argv);
   } catch (const error& e) {
@@ -28,58 +41,116 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  const auto networks = static_cast<std::size_t>(flags.get_int("networks"));
-  const sim::RngStream master(static_cast<std::uint64_t>(flags.get_int("seed")));
+  sim::ExperimentConfig config;
+  config.num_networks = static_cast<std::size_t>(flags.get_int("networks"));
+  config.trials_per_network = 1;
+  config.master_seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  const std::string policy = flags.get_string("fault-policy");
+  if (policy == "abort") {
+    config.fault_policy = sim::FaultPolicy::Abort;
+  } else if (policy == "skip") {
+    config.fault_policy = sim::FaultPolicy::Skip;
+  } else if (policy == "retry") {
+    config.fault_policy = sim::FaultPolicy::RetryThenSkip;
+  } else {
+    std::cerr << "unknown --fault-policy " << policy << "\n";
+    return 1;
+  }
+
   model::RandomPlaneParams params;
   params.num_links = static_cast<std::size_t>(flags.get_int("links"));
+  sim::InstanceFactory factory = [params](sim::RngStream& rng) {
+    auto links = model::random_plane_links(params, rng);
+    return model::Network(std::move(links),
+                          model::PowerAssignment::uniform(2.0), 2.2, 4e-7);
+  };
+
+  // Sites naming a trial wrap the trial function; 'f' sites wrap the factory.
+  std::vector<raysched::testing::FaultSite> all_sites = raysched::testing::
+      parse_fault_sites(flags.get_string("inject-throw"),
+                        raysched::testing::FaultAction::Throw);
+  const auto nan_sites = raysched::testing::parse_fault_sites(
+      flags.get_string("inject-nan"), raysched::testing::FaultAction::ReturnNan);
+  all_sites.insert(all_sites.end(), nan_sites.begin(), nan_sites.end());
+  std::vector<raysched::testing::FaultSite> sites, factory_sites;
+  for (const auto& site : all_sites) {
+    (site.trial_idx == sim::kNoTrial ? factory_sites : sites).push_back(site);
+  }
+  if (!factory_sites.empty()) {
+    factory = raysched::testing::inject_factory_faults(std::move(factory),
+                                                       factory_sites);
+  }
 
   std::cout << "# Ablation A2: Lemma 2 transfer ratio "
                "(guarantee: >= 1/e = 0.3679)\n";
   util::Table table(
       {"beta", "algorithm", "mean_|S|", "mean_ratio", "min_ratio"});
 
+  std::vector<sim::CellFailure> all_failures;
+  std::size_t total_skipped = 0;
   for (double beta : {0.5, 1.0, 2.5, 5.0}) {
-    sim::Accumulator greedy_size, greedy_ratio, pc_size, pc_ratio;
-    double greedy_min = 1.0, pc_min = 1.0;
-    for (std::size_t net_idx = 0; net_idx < networks; ++net_idx) {
-      sim::RngStream net_rng = master.derive(net_idx, 0xA);
-      auto links = model::random_plane_links(params, net_rng);
-      model::Network net(std::move(links),
-                         model::PowerAssignment::uniform(2.0), 2.2, 4e-7);
-
+    sim::TrialFunction trial = [beta](const model::Network& net,
+                                      sim::RngStream&) {
+      const double nan = std::nan("");
       const auto greedy = algorithms::greedy_capacity(net, beta);
+      double greedy_size = nan, greedy_ratio = nan;
       if (!greedy.selected.empty()) {
-        const double ratio =
+        greedy_size = static_cast<double>(greedy.selected.size());
+        greedy_ratio =
             model::expected_successes_rayleigh(net, greedy.selected, beta) /
-            static_cast<double>(greedy.selected.size());
-        greedy_size.add(static_cast<double>(greedy.selected.size()));
-        greedy_ratio.add(ratio);
-        greedy_min = std::min(greedy_min, ratio);
+            greedy_size;
       }
-
       const auto pc = algorithms::power_control_capacity(net, beta);
+      double pc_size = nan, pc_ratio = nan;
       if (!pc.selected.empty()) {
         model::Network powered = net;
         powered.set_powers(*pc.powers);
-        const double ratio =
+        pc_size = static_cast<double>(pc.selected.size());
+        pc_ratio =
             model::expected_successes_rayleigh(powered, pc.selected, beta) /
-            static_cast<double>(pc.selected.size());
-        pc_size.add(static_cast<double>(pc.selected.size()));
-        pc_ratio.add(ratio);
-        pc_min = std::min(pc_min, ratio);
+            pc_size;
       }
+      return std::vector<double>{greedy_size, greedy_ratio, pc_size, pc_ratio};
+    };
+    if (!sites.empty()) {
+      trial = raysched::testing::inject_faults(std::move(trial), sites);
     }
-    if (greedy_ratio.count() > 0) {
-      table.add_row({beta, std::string("greedy-uniform"), greedy_size.mean(),
-                     greedy_ratio.mean(), greedy_min});
+
+    sim::ExperimentResult result;
+    try {
+      result = sim::run_experiment(
+          config, {"greedy_size", "greedy_ratio", "pc_size", "pc_ratio"},
+          factory, trial);
+    } catch (const error& e) {
+      std::cerr << "sweep aborted at beta=" << beta << ": " << e.what()
+                << "\n";
+      return 1;
     }
-    if (pc_ratio.count() > 0) {
-      table.add_row({beta, std::string("power-control"), pc_size.mean(),
-                     pc_ratio.mean(), pc_min});
+    all_failures.insert(all_failures.end(), result.failures.begin(),
+                        result.failures.end());
+    total_skipped += result.cells_skipped;
+
+    const auto& gs = result.per_trial[0];
+    const auto& gr = result.per_trial[1];
+    const auto& ps = result.per_trial[2];
+    const auto& pr = result.per_trial[3];
+    if (gr.count() > 0) {
+      table.add_row({beta, std::string("greedy-uniform"), gs.mean(),
+                     gr.mean(), gr.min()});
+    }
+    if (pr.count() > 0) {
+      table.add_row({beta, std::string("power-control"), ps.mean(),
+                     pr.mean(), pr.min()});
     }
   }
   table.print_text(std::cout);
   std::cout << "\nexpected: every min_ratio >= 0.3679; ratios rise toward 1 "
                "when solutions have SINR slack above beta.\n";
+  if (!all_failures.empty()) {
+    std::cout << "\ncontained faults across all beta values ("
+              << all_failures.size() << " failures, " << total_skipped
+              << " cells skipped):\n";
+    sim::failure_report(all_failures).print_text(std::cout);
+  }
   return 0;
 }

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Builds the library + tests with AddressSanitizer and UndefinedBehavior-
+# Sanitizer and runs the fault-containment test suites under them. Benches
+# and examples are skipped: the fault paths (exception unwinding through
+# the thread pool, checkpoint I/O, injected NaNs) are what sanitizers are
+# most likely to catch, and a full sanitized build doubles CI time.
+#
+# Usage: scripts/sanitize.sh [build-dir]    (default: build-sanitize)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-sanitize}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSANITIZE=ON \
+  -DRAYSCHED_BUILD_BENCH=OFF \
+  -DRAYSCHED_BUILD_EXAMPLES=OFF
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+# halt_on_error keeps failures loud; detect_leaks needs ptrace, which some
+# CI containers forbid — ASAN_OPTIONS can be overridden from the outside.
+export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
+  -R 'FaultInjection|Engine|ThreadPool|Checkpoint|NetworkIo|cli_sweep'
+echo "sanitize: all selected tests passed"

@@ -1,5 +1,7 @@
 #include "model/io.hpp"
 
+#include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <istream>
@@ -16,6 +18,13 @@ namespace {
 
 constexpr int kVersion = 1;
 
+// Upper bounds on the link count accepted from a file header, checked
+// before any allocation so a hostile or corrupted header cannot trigger a
+// multi-gigabyte (or overflowing) allocation. Matrix networks store n^2
+// gains, hence the much tighter cap.
+constexpr std::size_t kMaxGeometricLinks = 1'000'000;
+constexpr std::size_t kMaxMatrixLinks = 8'192;
+
 void expect_token(std::istream& is, const std::string& expected) {
   std::string token;
   is >> token;
@@ -24,10 +33,31 @@ void expect_token(std::istream& is, const std::string& expected) {
               "'");
 }
 
+// Token-based double parsing: unlike istream's num_get, strtod accepts
+// "nan"/"inf" spellings, which lets the finiteness checks below reject them
+// with a clear message instead of a generic parse error.
 double read_double(std::istream& is, const char* what) {
-  double v = 0.0;
-  is >> v;
-  require(static_cast<bool>(is), std::string("read_network: bad ") + what);
+  std::string token;
+  is >> token;
+  require(static_cast<bool>(is) && !token.empty(),
+          std::string("read_network: bad ") + what);
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  require(end == token.c_str() + token.size(),
+          std::string("read_network: bad ") + what + " '" + token + "'");
+  return v;
+}
+
+double read_finite_double(std::istream& is, const char* what) {
+  const double v = read_double(is, what);
+  require(std::isfinite(v),
+          std::string("read_network: non-finite ") + what);
+  return v;
+}
+
+double read_finite_nonnegative(std::istream& is, const char* what) {
+  const double v = read_finite_double(is, what);
+  require(v >= 0.0, std::string("read_network: negative ") + what);
   return v;
 }
 
@@ -74,12 +104,14 @@ Network read_network(std::istream& is) {
   std::size_t n = 0;
   is >> n;
   require(static_cast<bool>(is) && n > 0, "read_network: bad link count");
+  require(n <= (kind == "matrix" ? kMaxMatrixLinks : kMaxGeometricLinks),
+          "read_network: implausible link count (refusing to allocate)");
   expect_token(is, "noise");
-  const double noise = read_double(is, "noise");
+  const double noise = read_finite_nonnegative(is, "noise");
 
   if (kind == "geometric") {
     expect_token(is, "alpha");
-    const double alpha = read_double(is, "alpha");
+    const double alpha = read_finite_nonnegative(is, "alpha");
     std::vector<Link> links;
     std::vector<double> powers;
     links.reserve(n);
@@ -87,11 +119,11 @@ Network read_network(std::istream& is) {
     for (std::size_t k = 0; k < n; ++k) {
       expect_token(is, "link");
       Link l;
-      l.sender.x = read_double(is, "sender x");
-      l.sender.y = read_double(is, "sender y");
-      l.receiver.x = read_double(is, "receiver x");
-      l.receiver.y = read_double(is, "receiver y");
-      powers.push_back(read_double(is, "power"));
+      l.sender.x = read_finite_double(is, "sender x");
+      l.sender.y = read_finite_double(is, "sender y");
+      l.receiver.x = read_finite_double(is, "receiver x");
+      l.receiver.y = read_finite_double(is, "receiver y");
+      powers.push_back(read_finite_nonnegative(is, "power"));
       links.push_back(l);
     }
     Network net(std::move(links), PowerAssignment::explicit_powers(powers),
@@ -103,7 +135,7 @@ Network read_network(std::istream& is) {
   for (std::size_t j = 0; j < n; ++j) {
     expect_token(is, "gains");
     for (std::size_t i = 0; i < n; ++i) {
-      gains[j * n + i] = read_double(is, "gain entry");
+      gains[j * n + i] = read_finite_nonnegative(is, "gain entry");
     }
   }
   return Network(n, std::move(gains), noise);

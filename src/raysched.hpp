@@ -14,6 +14,8 @@
 #include "sim/rng.hpp"             // splittable xoshiro256++ streams
 #include "sim/stats.hpp"           // Welford accumulators
 #include "sim/thread_pool.hpp"     // parallel_for over Monte-Carlo trials
+#include "sim/failure.hpp"         // CellFailure records & failure reports
+#include "sim/checkpoint.hpp"      // sweep checkpoint persistence
 #include "sim/engine.hpp"          // nested-seed Monte-Carlo experiments
 
 #include "model/geometry.hpp"      // points & distances

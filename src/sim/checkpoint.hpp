@@ -1,0 +1,65 @@
+// raysched: checkpoint persistence for long-running Monte-Carlo sweeps.
+//
+// run_experiment periodically snapshots all fully-processed networks to a
+// versioned plain-text file (same line-oriented, locale-independent idioms
+// as model/io.hpp) and can resume from such a file, skipping completed
+// networks. Accumulator state is stored at max_digits10 so a resumed run is
+// bitwise-identical to an uninterrupted one. Writes go through a temporary
+// file followed by an atomic rename, so a crash mid-write never corrupts an
+// existing checkpoint.
+//
+//   raysched-checkpoint 1
+//   seed <master_seed>
+//   dims <num_networks> <trials_per_network>
+//   metrics <m>
+//   metric <name>                                   (m lines)
+//   network <idx> cells <ok> skipped <s> retries <r> failures <f>
+//   acc <count> <mean> <m2> <sum> <min> <max>       (m lines per network)
+//   failure <trial|factory> <kind> <attempt> <what...>   (f lines)
+//   end
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/failure.hpp"
+#include "sim/stats.hpp"
+
+namespace raysched::sim {
+
+/// Partial results of one fully-processed network.
+struct NetworkCheckpoint {
+  std::size_t net_idx = 0;
+  std::vector<Accumulator> trial_acc;  ///< one per metric, pooled over trials
+  std::size_t cells_completed = 0;
+  std::size_t cells_skipped = 0;
+  std::size_t retries_used = 0;
+  std::vector<CellFailure> failures;
+};
+
+/// A sweep snapshot: experiment fingerprint + every completed network.
+struct Checkpoint {
+  std::uint64_t master_seed = 0;
+  std::size_t num_networks = 0;
+  std::size_t trials_per_network = 0;
+  std::vector<std::string> metric_names;
+  std::vector<NetworkCheckpoint> networks;
+};
+
+/// Writes `ckpt` to the stream. Throws raysched::error on I/O failure.
+void write_checkpoint(std::ostream& os, const Checkpoint& ckpt);
+
+/// Reads a checkpoint written by write_checkpoint. Throws raysched::error on
+/// malformed input.
+[[nodiscard]] Checkpoint read_checkpoint(std::istream& is);
+
+/// Writes to `path + ".tmp"` then renames over `path` (atomic on POSIX), so
+/// readers never observe a torn file. Throws raysched::error on failure.
+void save_checkpoint_atomic(const std::string& path, const Checkpoint& ckpt);
+
+[[nodiscard]] Checkpoint load_checkpoint(const std::string& path);
+
+}  // namespace raysched::sim

@@ -1,10 +1,242 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <mutex>
+#include <optional>
+#include <sstream>
+#include <utility>
 
+#include "sim/checkpoint.hpp"
 #include "util/error.hpp"
 
 namespace raysched::sim {
+
+namespace {
+
+thread_local CellRef t_current_cell;
+
+/// RAII guard publishing the cell coordinates the thread is evaluating, for
+/// current_cell() (fault injection / diagnostics).
+class CellScope {
+ public:
+  CellScope(std::size_t net_idx, std::size_t trial_idx, std::size_t attempt) {
+    t_current_cell = CellRef{net_idx, trial_idx, attempt, true};
+  }
+  ~CellScope() { t_current_cell = CellRef{}; }
+  CellScope(const CellScope&) = delete;
+  CellScope& operator=(const CellScope&) = delete;
+};
+
+/// Polls the cooperative cancellation flag and the wall-clock deadline.
+class SweepClock {
+ public:
+  explicit SweepClock(const ExperimentConfig& config)
+      : cancel_(config.cancel),
+        deadline_(config.deadline),
+        start_(std::chrono::steady_clock::now()) {}
+
+  [[nodiscard]] bool stop_requested() const {
+    if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) {
+      return true;
+    }
+    return deadline_ > 0.0 && elapsed() > deadline_;
+  }
+
+  [[nodiscard]] double elapsed() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  const std::atomic<bool>* cancel_;
+  double deadline_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Partial results of one network; merged into the ExperimentResult in
+/// network-index order so statistics never depend on thread scheduling.
+struct NetworkOutcome {
+  std::vector<Accumulator> trial_acc;  ///< one per metric
+  std::vector<CellFailure> failures;
+  std::size_t cells_completed = 0;
+  std::size_t cells_skipped = 0;
+  std::size_t retries_used = 0;
+  bool done = false;  ///< network fully processed (or resumed)
+};
+
+/// A contained fault of one attempt, before it is promoted to a CellFailure.
+struct AttemptFault {
+  FailureKind kind = FailureKind::Exception;
+  std::string what;
+};
+
+struct RunContext {
+  const ExperimentConfig& config;
+  const RngStream& master;
+  const std::vector<std::string>& metric_names;
+  const InstanceFactory& make_instance;
+  const TrialFunction& run_trial;
+  const SweepClock& clock;
+  const std::atomic<bool>& stopped;
+};
+
+CellFailure make_failure(const RunContext& ctx, std::size_t net_idx,
+                         std::size_t trial_idx, std::size_t attempt,
+                         const AttemptFault& fault) {
+  CellFailure failure;
+  failure.net_idx = net_idx;
+  failure.trial_idx = trial_idx;
+  failure.kind = fault.kind;
+  failure.what = fault.what;
+  failure.seed_coords = SeedCoords{ctx.config.master_seed, net_idx, trial_idx,
+                                   attempt};
+  return failure;
+}
+
+/// Validates a returned metric row; nullopt means the row is acceptable.
+std::optional<AttemptFault> validate_row(const RunContext& ctx,
+                                         const std::vector<double>& row) {
+  if (row.size() != ctx.metric_names.size()) {
+    std::ostringstream os;
+    os << "run_experiment: trial returned wrong metric count (got "
+       << row.size() << ", expected " << ctx.metric_names.size() << ")";
+    return AttemptFault{FailureKind::WrongArity, os.str()};
+  }
+  for (std::size_t k = 0; k < row.size(); ++k) {
+    if (!std::isfinite(row[k])) {
+      std::ostringstream os;
+      os << "run_experiment: non-finite metric '" << ctx.metric_names[k]
+         << "' = " << row[k];
+      return AttemptFault{FailureKind::NonfiniteMetric, os.str()};
+    }
+  }
+  return std::nullopt;
+}
+
+/// Builds the instance for `net_idx`, honoring the fault policy. Returns
+/// nullopt if every attempt failed (a factory CellFailure was recorded).
+std::optional<model::Network> build_instance(const RunContext& ctx,
+                                             std::size_t net_idx,
+                                             NetworkOutcome& outcome) {
+  const FaultPolicy policy = ctx.config.fault_policy;
+  const std::size_t attempts =
+      policy == FaultPolicy::RetryThenSkip ? ctx.config.max_retries + 1 : 1;
+  std::optional<CellFailure> first_failure;
+  for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+    RngStream rng = ctx.master.derive(net_idx, kInstanceStreamTag);
+    if (attempt > 0) rng = rng.derive(kRetryStreamTag + attempt);
+    std::optional<AttemptFault> fault;
+    try {
+      CellScope scope(net_idx, kNoTrial, attempt);
+      return ctx.make_instance(rng);
+    } catch (const std::exception& e) {
+      if (policy == FaultPolicy::Abort) throw;
+      fault = AttemptFault{FailureKind::Exception, e.what()};
+    } catch (...) {
+      if (policy == FaultPolicy::Abort) throw;
+      fault = AttemptFault{FailureKind::Exception, "unknown exception"};
+    }
+    if (!first_failure) {
+      first_failure = make_failure(ctx, net_idx, kNoTrial, attempt, *fault);
+    }
+    if (attempt + 1 < attempts) ++outcome.retries_used;
+  }
+  outcome.failures.push_back(std::move(*first_failure));
+  // None of the network's cells can run; account for them as skipped so the
+  // sweep-level bookkeeping still adds up to networks x trials.
+  outcome.cells_skipped += ctx.config.trials_per_network;
+  return std::nullopt;
+}
+
+/// Evaluates one (network, trial) cell, honoring the fault policy. Returns
+/// nullopt when the cell was abandoned (a CellFailure was recorded).
+std::optional<std::vector<double>> evaluate_cell(const RunContext& ctx,
+                                                 const model::Network& net,
+                                                 std::size_t net_idx,
+                                                 std::size_t trial_idx,
+                                                 NetworkOutcome& outcome) {
+  const FaultPolicy policy = ctx.config.fault_policy;
+  const std::size_t attempts =
+      policy == FaultPolicy::RetryThenSkip ? ctx.config.max_retries + 1 : 1;
+  std::optional<CellFailure> first_failure;
+  for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+    RngStream rng =
+        ctx.master.derive(net_idx, kTrialStreamTag).derive(trial_idx);
+    if (attempt > 0) rng = rng.derive(kRetryStreamTag + attempt);
+    std::optional<AttemptFault> fault;
+    const auto cell_start = std::chrono::steady_clock::now();
+    try {
+      CellScope scope(net_idx, trial_idx, attempt);
+      std::vector<double> row = ctx.run_trial(net, rng);
+      fault = validate_row(ctx, row);
+      if (!fault && ctx.config.cell_time_limit > 0.0) {
+        const double took =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          cell_start)
+                .count();
+        if (took > ctx.config.cell_time_limit) {
+          std::ostringstream os;
+          os << "run_experiment: cell took " << took << "s (limit "
+             << ctx.config.cell_time_limit << "s)";
+          fault = AttemptFault{FailureKind::Timeout, os.str()};
+        }
+      }
+      if (!fault) return row;
+    } catch (const std::exception& e) {
+      if (policy == FaultPolicy::Abort) throw;
+      fault = AttemptFault{FailureKind::Exception, e.what()};
+    } catch (...) {
+      if (policy == FaultPolicy::Abort) throw;
+      fault = AttemptFault{FailureKind::Exception, "unknown exception"};
+    }
+    if (policy == FaultPolicy::Abort) throw error(fault->what);
+    if (!first_failure) {
+      first_failure = make_failure(ctx, net_idx, trial_idx, attempt, *fault);
+    }
+    if (attempt + 1 < attempts) ++outcome.retries_used;
+  }
+  outcome.failures.push_back(std::move(*first_failure));
+  ++outcome.cells_skipped;
+  return std::nullopt;
+}
+
+/// Processes one network end to end. outcome.done stays false if the sweep
+/// was cancelled mid-network (partial cells are then discarded — the
+/// checkpoint granularity is whole networks).
+NetworkOutcome run_one_network(const RunContext& ctx, std::size_t net_idx) {
+  NetworkOutcome outcome;
+  outcome.trial_acc.resize(ctx.metric_names.size());
+
+  const std::optional<model::Network> net =
+      build_instance(ctx, net_idx, outcome);
+  if (!net) {
+    outcome.done = true;
+    return outcome;
+  }
+
+  for (std::size_t t = 0; t < ctx.config.trials_per_network; ++t) {
+    if (ctx.stopped.load(std::memory_order_relaxed) ||
+        ctx.clock.stop_requested()) {
+      return outcome;  // abandoned: done stays false
+    }
+    const std::optional<std::vector<double>> row =
+        evaluate_cell(ctx, *net, net_idx, t, outcome);
+    if (!row) continue;
+    for (std::size_t k = 0; k < row->size(); ++k) {
+      outcome.trial_acc[k].add((*row)[k]);
+    }
+    ++outcome.cells_completed;
+  }
+  outcome.done = true;
+  return outcome;
+}
+
+}  // namespace
+
+CellRef current_cell() { return t_current_cell; }
 
 ExperimentResult run_experiment(const ExperimentConfig& config,
                                 const std::vector<std::string>& metric_names,
@@ -16,6 +248,12 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
   require(!metric_names.empty(), "run_experiment: need at least one metric");
   require(static_cast<bool>(make_instance) && static_cast<bool>(run_trial),
           "run_experiment: factory and trial function must be non-empty");
+  if (!config.checkpoint_path.empty() || !config.resume_from.empty()) {
+    for (const std::string& name : metric_names) {
+      require(!name.empty(),
+              "run_experiment: checkpointing needs non-empty metric names");
+    }
+  }
 
   const std::size_t m = metric_names.size();
   ExperimentResult result;
@@ -24,40 +262,119 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
   result.per_network.resize(m);
 
   const RngStream master(config.master_seed);
-  std::mutex merge_mutex;
 
-  auto run_network_range = [&](std::size_t begin, std::size_t end) {
-    std::vector<Accumulator> local_trial(m), local_network(m);
-    for (std::size_t net_idx = begin; net_idx < end; ++net_idx) {
-      RngStream instance_rng = master.derive(net_idx, 0xA);
-      const model::Network net = make_instance(instance_rng);
-      std::vector<Accumulator> network_acc(m);
-      for (std::size_t t = 0; t < config.trials_per_network; ++t) {
-        RngStream trial_rng = master.derive(net_idx, 0xB).derive(t);
-        const std::vector<double> row = run_trial(net, trial_rng);
-        require(row.size() == m,
-                "run_experiment: trial returned wrong metric count");
-        for (std::size_t k = 0; k < m; ++k) {
-          local_trial[k].add(row[k]);
-          network_acc[k].add(row[k]);
-        }
-      }
-      for (std::size_t k = 0; k < m; ++k) {
-        local_network[k].add(network_acc[k].mean());
-      }
+  // One slot per network; each slot is written by exactly one thread and
+  // only read by others (for checkpointing) after its `completed` flag was
+  // published under state_mutex.
+  std::vector<NetworkOutcome> outcomes(config.num_networks);
+  std::vector<char> completed(config.num_networks, 0);
+  std::mutex state_mutex;
+  std::size_t since_checkpoint = 0;
+
+  if (!config.resume_from.empty()) {
+    const Checkpoint ckpt = load_checkpoint(config.resume_from);
+    require(ckpt.master_seed == config.master_seed &&
+                ckpt.num_networks == config.num_networks &&
+                ckpt.trials_per_network == config.trials_per_network &&
+                ckpt.metric_names == metric_names,
+            "run_experiment: resume_from checkpoint does not match this "
+            "experiment (seed, dimensions, or metric names differ)");
+    for (const NetworkCheckpoint& net : ckpt.networks) {
+      NetworkOutcome& out = outcomes[net.net_idx];
+      out.trial_acc = net.trial_acc;
+      out.failures = net.failures;
+      out.cells_completed = net.cells_completed;
+      out.cells_skipped = net.cells_skipped;
+      out.retries_used = net.retries_used;
+      out.done = true;
+      completed[net.net_idx] = 1;
+      ++result.networks_resumed;
     }
-    std::lock_guard<std::mutex> lock(merge_mutex);
-    for (std::size_t k = 0; k < m; ++k) {
-      result.per_trial[k].merge(local_trial[k]);
-      result.per_network[k].merge(local_network[k]);
+  }
+
+  const SweepClock clock(config);
+  std::atomic<bool> stopped{false};
+  const RunContext ctx{config,    master, metric_names, make_instance,
+                       run_trial, clock,  stopped};
+
+  // Caller must hold state_mutex.
+  auto write_snapshot_locked = [&] {
+    Checkpoint ckpt;
+    ckpt.master_seed = config.master_seed;
+    ckpt.num_networks = config.num_networks;
+    ckpt.trials_per_network = config.trials_per_network;
+    ckpt.metric_names = metric_names;
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      if (!completed[i]) continue;
+      NetworkCheckpoint net;
+      net.net_idx = i;
+      net.trial_acc = outcomes[i].trial_acc;
+      net.cells_completed = outcomes[i].cells_completed;
+      net.cells_skipped = outcomes[i].cells_skipped;
+      net.retries_used = outcomes[i].retries_used;
+      net.failures = outcomes[i].failures;
+      ckpt.networks.push_back(std::move(net));
+    }
+    save_checkpoint_atomic(config.checkpoint_path, ckpt);
+  };
+
+  auto process_range = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t idx = begin; idx < end; ++idx) {
+      if (outcomes[idx].done) continue;  // resumed before threads started
+      if (stopped.load(std::memory_order_relaxed) || clock.stop_requested()) {
+        stopped.store(true, std::memory_order_relaxed);
+        return;
+      }
+      NetworkOutcome out = run_one_network(ctx, idx);
+      if (!out.done) {
+        stopped.store(true, std::memory_order_relaxed);
+        return;
+      }
+      outcomes[idx] = std::move(out);
+      std::lock_guard<std::mutex> lock(state_mutex);
+      completed[idx] = 1;
+      if (config.checkpoint_path.empty()) continue;
+      if (++since_checkpoint >=
+          std::max<std::size_t>(1, config.checkpoint_every)) {
+        since_checkpoint = 0;
+        write_snapshot_locked();
+      }
     }
   };
 
   if (config.num_threads <= 1) {
-    run_network_range(0, config.num_networks);
+    process_range(0, config.num_networks);
   } else {
     ThreadPool pool(config.num_threads);
-    parallel_for(pool, config.num_networks, run_network_range);
+    parallel_for(pool, config.num_networks, process_range);
+  }
+
+  result.interrupted = stopped.load(std::memory_order_relaxed);
+
+  // Deterministic reduction: always merge in network-index order, so the
+  // pooled statistics are bitwise-identical at any thread count and across
+  // checkpoint/resume boundaries.
+  for (std::size_t idx = 0; idx < outcomes.size(); ++idx) {
+    const NetworkOutcome& out = outcomes[idx];
+    if (!out.done) continue;
+    ++result.networks_completed;
+    result.cells_completed += out.cells_completed;
+    result.cells_skipped += out.cells_skipped;
+    result.retries_used += out.retries_used;
+    for (const CellFailure& f : out.failures) result.failures.push_back(f);
+    for (std::size_t k = 0; k < m; ++k) {
+      result.per_trial[k].merge(out.trial_acc[k]);
+    }
+    if (out.trial_acc[0].count() > 0) {
+      for (std::size_t k = 0; k < m; ++k) {
+        result.per_network[k].add(out.trial_acc[k].mean());
+      }
+    }
+  }
+
+  if (!config.checkpoint_path.empty()) {
+    std::lock_guard<std::mutex> lock(state_mutex);
+    write_snapshot_locked();
   }
   return result;
 }

@@ -1,0 +1,71 @@
+#include "sim/failure.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace raysched::sim {
+
+const char* to_string(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::Exception:
+      return "exception";
+    case FailureKind::NonfiniteMetric:
+      return "nonfinite_metric";
+    case FailureKind::WrongArity:
+      return "wrong_arity";
+    case FailureKind::Timeout:
+      return "timeout";
+  }
+  return "unknown";
+}
+
+FailureKind failure_kind_from_string(const std::string& name) {
+  if (name == "exception") return FailureKind::Exception;
+  if (name == "nonfinite_metric") return FailureKind::NonfiniteMetric;
+  if (name == "wrong_arity") return FailureKind::WrongArity;
+  if (name == "timeout") return FailureKind::Timeout;
+  throw error("failure_kind_from_string: unknown kind '" + name + "'");
+}
+
+RngStream rederive_stream(const SeedCoords& coords) {
+  const RngStream master(coords.master_seed);
+  RngStream stream =
+      coords.trial_idx == kNoTrial
+          ? master.derive(coords.net_idx, kInstanceStreamTag)
+          : master.derive(coords.net_idx, kTrialStreamTag)
+                .derive(coords.trial_idx);
+  if (coords.attempt > 0) {
+    stream = stream.derive(kRetryStreamTag + coords.attempt);
+  }
+  return stream;
+}
+
+std::string describe(const CellFailure& failure) {
+  std::ostringstream os;
+  os << to_string(failure.kind) << " at net=" << failure.net_idx;
+  if (failure.trial_idx == kNoTrial) {
+    os << " (instance factory)";
+  } else {
+    os << " trial=" << failure.trial_idx;
+  }
+  os << " seed=" << failure.seed_coords.master_seed
+     << " attempt=" << failure.seed_coords.attempt << ": " << failure.what;
+  return os.str();
+}
+
+util::Table failure_report(const std::vector<CellFailure>& failures) {
+  util::Table table({"net", "trial", "kind", "seed", "attempt", "what"});
+  for (const CellFailure& f : failures) {
+    table.add_row({static_cast<long long>(f.net_idx),
+                   f.trial_idx == kNoTrial
+                       ? util::Cell(std::string("factory"))
+                       : util::Cell(static_cast<long long>(f.trial_idx)),
+                   std::string(to_string(f.kind)),
+                   static_cast<long long>(f.seed_coords.master_seed),
+                   static_cast<long long>(f.seed_coords.attempt), f.what});
+  }
+  return table;
+}
+
+}  // namespace raysched::sim

@@ -1,0 +1,81 @@
+// raysched: fault records for the Monte-Carlo experiment engine.
+//
+// Long sweeps (networks x trials) must survive a single bad cell: a trial
+// function that throws, returns NaN/Inf, returns the wrong number of
+// metrics, or overruns its time budget. Each contained fault is recorded as
+// a CellFailure carrying the exact seed coordinates needed to re-derive the
+// failing RNG substream and reproduce the cell in isolation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "util/table.hpp"
+
+namespace raysched::sim {
+
+/// Sentinel trial index: the failure happened in the InstanceFactory, before
+/// any trial of the network ran.
+inline constexpr std::size_t kNoTrial = static_cast<std::size_t>(-1);
+
+/// Stream-derivation tags used by run_experiment. Public so that failures
+/// can be reproduced outside the engine (see rederive_stream).
+inline constexpr std::uint64_t kInstanceStreamTag = 0xA;
+inline constexpr std::uint64_t kTrialStreamTag = 0xB;
+/// Retry attempt r > 0 re-derives its substream with tag kRetryStreamTag + r
+/// so retries are deterministic and decorrelated from the original attempt.
+inline constexpr std::uint64_t kRetryStreamTag = 0x9E7A11;
+
+/// What went wrong in a (network, trial) cell.
+enum class FailureKind {
+  Exception,        ///< factory or trial function threw
+  NonfiniteMetric,  ///< a returned metric was NaN or +/-Inf
+  WrongArity,       ///< returned row width != metric count
+  Timeout,          ///< cell exceeded ExperimentConfig::cell_time_limit
+};
+
+[[nodiscard]] const char* to_string(FailureKind kind);
+
+/// Parses the strings produced by to_string. Throws raysched::error on an
+/// unknown name (used by checkpoint deserialization).
+[[nodiscard]] FailureKind failure_kind_from_string(const std::string& name);
+
+/// Exact coordinates of the RNG substream a failing attempt consumed.
+/// attempt 0 is the original evaluation; attempts >= 1 are retries.
+struct SeedCoords {
+  std::uint64_t master_seed = 0;
+  std::size_t net_idx = 0;
+  std::size_t trial_idx = kNoTrial;
+  std::size_t attempt = 0;
+};
+
+/// Reconstructs the stream the failing attempt saw, mirroring the engine's
+/// derivation rules:
+///   factory: master.derive(net, kInstanceStreamTag)
+///   trial:   master.derive(net, kTrialStreamTag).derive(trial)
+/// with retries deriving once more by kRetryStreamTag + attempt.
+[[nodiscard]] RngStream rederive_stream(const SeedCoords& coords);
+
+/// One contained fault. Under FaultPolicy::RetryThenSkip, only cells that
+/// exhausted every attempt are recorded; seed_coords then points at the
+/// first failing attempt (later attempts re-derive from it deterministically).
+struct CellFailure {
+  std::size_t net_idx = 0;
+  std::size_t trial_idx = kNoTrial;  ///< kNoTrial: InstanceFactory failure
+  FailureKind kind = FailureKind::Exception;
+  std::string what;  ///< exception message / offending metric description
+  SeedCoords seed_coords;
+};
+
+/// One-line human-readable description with reproduction coordinates.
+[[nodiscard]] std::string describe(const CellFailure& failure);
+
+/// Renders failures as a util::Table (net, trial, kind, seed, attempt, what)
+/// — the failure-report format printed by tools and bench drivers.
+[[nodiscard]] util::Table failure_report(
+    const std::vector<CellFailure>& failures);
+
+}  // namespace raysched::sim

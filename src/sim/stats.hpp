@@ -47,6 +47,30 @@ class Accumulator {
   [[nodiscard]] std::size_t count() const { return n_; }
   [[nodiscard]] double sum() const { return sum_; }
 
+  /// Raw running second central moment (0 when empty). Exposed together with
+  /// from_state so checkpoints can round-trip accumulators exactly.
+  [[nodiscard]] double m2() const { return m2_; }
+
+  /// Reconstructs an accumulator from previously observed state, e.g. a
+  /// checkpoint line. n == 0 yields an empty accumulator regardless of the
+  /// other arguments; resumed statistics are bitwise-identical to the run
+  /// that produced them (doubles serialized at max_digits10 round-trip).
+  [[nodiscard]] static Accumulator from_state(std::size_t n, double mean,
+                                              double m2, double sum,
+                                              double min, double max) {
+    Accumulator acc;
+    if (n == 0) return acc;
+    require(std::isfinite(mean) && std::isfinite(m2) && std::isfinite(sum),
+            "Accumulator::from_state: non-finite moments");
+    acc.n_ = n;
+    acc.mean_ = mean;
+    acc.m2_ = m2;
+    acc.sum_ = sum;
+    acc.min_ = min;
+    acc.max_ = max;
+    return acc;
+  }
+
   [[nodiscard]] double mean() const {
     require(n_ > 0, "Accumulator::mean: no samples");
     return mean_;

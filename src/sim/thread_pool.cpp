@@ -27,11 +27,23 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::record_exception() {
   std::lock_guard<std::mutex> lock(mutex_);
   if (!first_exception_) first_exception_ = std::current_exception();
+  // Fail fast: tasks that have not started yet can never report a result —
+  // wait() will rethrow — so drain them instead of executing them pointlessly.
+  in_flight_ -= queue_.size();
+  std::queue<std::function<void()>> drained;
+  queue_.swap(drained);
+  cv_done_.notify_all();
 }
 
 void ThreadPool::submit(std::function<void()> task) {
   if (threads_.empty()) {
-    // Inline mode: run now, capture exceptions like a worker would.
+    // Inline mode: run now, capture exceptions like a worker would. After a
+    // captured exception the pool is draining until wait() rethrows, so
+    // later submissions are cancelled just like queued tasks.
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (first_exception_) return;
+    }
     try {
       task();
     } catch (...) {
@@ -41,6 +53,7 @@ void ThreadPool::submit(std::function<void()> task) {
   }
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (first_exception_) return;  // draining until wait() rethrows
     queue_.push(std::move(task));
     ++in_flight_;
   }

@@ -21,7 +21,10 @@ namespace raysched::sim {
 
 /// Fixed-size worker pool. Tasks are std::function<void()>; wait() blocks
 /// until all submitted tasks completed. Exceptions thrown by tasks are
-/// captured and rethrown from wait() (first one wins).
+/// captured and rethrown from wait() (first one wins). After the first
+/// captured exception the pool drains: queued tasks that have not started —
+/// and tasks submitted before the next wait() — are cancelled rather than
+/// executed, since their results could never be observed.
 class ThreadPool {
  public:
   /// num_threads == 0 selects hardware_concurrency() (at least 1).

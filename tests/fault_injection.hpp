@@ -1,0 +1,165 @@
+// Fault-injection harness for the Monte-Carlo engine.
+//
+// Wraps any TrialFunction (or InstanceFactory) so that chosen
+// (network, trial) cells deterministically misbehave — throw, return
+// NaN/Inf, return the wrong row width, or stall — using the engine's
+// thread-local current_cell() coordinates. Attempt-aware sites make retry
+// determinism testable: a site with fail_attempts = 2 fails the original
+// attempt and the first retry, then behaves normally.
+//
+// Header-only and dependency-free beyond the library, so bench drivers and
+// the CLI can reuse it to demonstrate the fault policies end to end.
+#pragma once
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "raysched.hpp"
+
+namespace raysched::testing {
+
+/// What an injection site does when it fires.
+enum class FaultAction {
+  Throw,       ///< throw raysched::error
+  ReturnNan,   ///< run the wrapped function, then poison metric 0 with NaN
+  ReturnInf,   ///< same with +Inf
+  WrongArity,  ///< run the wrapped function, then append a spurious metric
+  Delay,       ///< sleep delay_seconds, then run the wrapped function
+};
+
+/// One cell to sabotage. trial_idx == sim::kNoTrial targets the
+/// InstanceFactory call of net_idx.
+struct FaultSite {
+  std::size_t net_idx = 0;
+  std::size_t trial_idx = sim::kNoTrial;
+  FaultAction action = FaultAction::Throw;
+  /// The site fires while current_cell().attempt < fail_attempts, so retries
+  /// past that attempt succeed. Default: every attempt fails.
+  std::size_t fail_attempts = static_cast<std::size_t>(-1);
+  double delay_seconds = 0.0;
+};
+
+namespace detail {
+
+inline const FaultSite* match_site(const std::vector<FaultSite>& sites,
+                                   const sim::CellRef& cell) {
+  if (!cell.active) return nullptr;
+  for (const FaultSite& site : sites) {
+    if (site.net_idx == cell.net_idx && site.trial_idx == cell.trial_idx &&
+        cell.attempt < site.fail_attempts) {
+      return &site;
+    }
+  }
+  return nullptr;
+}
+
+inline std::string injection_message(const sim::CellRef& cell) {
+  std::ostringstream os;
+  os << "injected fault at net=" << cell.net_idx;
+  if (cell.trial_idx == sim::kNoTrial) {
+    os << " (factory)";
+  } else {
+    os << " trial=" << cell.trial_idx;
+  }
+  os << " attempt=" << cell.attempt;
+  return os.str();
+}
+
+}  // namespace detail
+
+/// Wraps a TrialFunction with deterministic fault injection at `sites`.
+inline sim::TrialFunction inject_faults(sim::TrialFunction inner,
+                                        std::vector<FaultSite> sites) {
+  return [inner = std::move(inner), sites = std::move(sites)](
+             const model::Network& net,
+             sim::RngStream& rng) -> std::vector<double> {
+    const sim::CellRef cell = sim::current_cell();
+    const FaultSite* site = detail::match_site(sites, cell);
+    if (site == nullptr) return inner(net, rng);
+    switch (site->action) {
+      case FaultAction::Throw:
+        throw raysched::error(detail::injection_message(cell));
+      case FaultAction::ReturnNan: {
+        std::vector<double> row = inner(net, rng);
+        if (!row.empty()) row[0] = std::numeric_limits<double>::quiet_NaN();
+        return row;
+      }
+      case FaultAction::ReturnInf: {
+        std::vector<double> row = inner(net, rng);
+        if (!row.empty()) row[0] = std::numeric_limits<double>::infinity();
+        return row;
+      }
+      case FaultAction::WrongArity: {
+        std::vector<double> row = inner(net, rng);
+        row.push_back(0.0);
+        return row;
+      }
+      case FaultAction::Delay:
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(site->delay_seconds));
+        return inner(net, rng);
+    }
+    return inner(net, rng);  // unreachable; keeps compilers satisfied
+  };
+}
+
+/// Wraps an InstanceFactory; only Throw and Delay are meaningful here.
+inline sim::InstanceFactory inject_factory_faults(sim::InstanceFactory inner,
+                                                  std::vector<FaultSite> sites) {
+  return [inner = std::move(inner),
+          sites = std::move(sites)](sim::RngStream& rng) -> model::Network {
+    const sim::CellRef cell = sim::current_cell();
+    const FaultSite* site = detail::match_site(sites, cell);
+    if (site != nullptr) {
+      if (site->action == FaultAction::Delay) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(site->delay_seconds));
+      } else {
+        throw raysched::error(detail::injection_message(cell));
+      }
+    }
+    return inner(rng);
+  };
+}
+
+/// Parses "net:trial[,net:trial...]" (trial "f" = the factory call) into
+/// sites with the given action — the syntax the CLI and bench flags use.
+/// Throws raysched::error on malformed input.
+inline std::vector<FaultSite> parse_fault_sites(const std::string& spec,
+                                                FaultAction action) {
+  std::vector<FaultSite> sites;
+  if (spec.empty()) return sites;
+  std::istringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const std::size_t colon = item.find(':');
+    require(colon != std::string::npos && colon > 0 &&
+                colon + 1 < item.size(),
+            "parse_fault_sites: expected net:trial, got '" + item + "'");
+    FaultSite site;
+    site.action = action;
+    std::istringstream net_part(item.substr(0, colon));
+    net_part >> site.net_idx;
+    require(static_cast<bool>(net_part),
+            "parse_fault_sites: bad network index in '" + item + "'");
+    const std::string trial_part = item.substr(colon + 1);
+    if (trial_part == "f") {
+      site.trial_idx = sim::kNoTrial;
+    } else {
+      std::istringstream ts(trial_part);
+      ts >> site.trial_idx;
+      require(static_cast<bool>(ts),
+              "parse_fault_sites: bad trial index in '" + item + "'");
+    }
+    sites.push_back(site);
+  }
+  return sites;
+}
+
+}  // namespace raysched::testing

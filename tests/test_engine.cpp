@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
 
 #include "test_helpers.hpp"
 
@@ -109,6 +110,105 @@ TEST(Engine, PerNetworkAveragesTrialMeans) {
   EXPECT_NEAR(result.per_network[0].variance(), (1.0 - 10.5) * (1.0 - 10.5) +
                                                     (20.0 - 10.5) * (20.0 - 10.5),
               1e-9);
+}
+
+TEST(Engine, SkipPolicyWithoutFaultsMatchesAbortPolicy) {
+  // On a fault-free sweep the policy must be invisible: identical statistics
+  // and empty failure bookkeeping.
+  auto trial = [](const model::Network& net, RngStream& rng) {
+    return std::vector<double>{rng.uniform() * static_cast<double>(net.size())};
+  };
+  ExperimentConfig abort_cfg;
+  abort_cfg.num_networks = 4;
+  abort_cfg.trials_per_network = 5;
+  ExperimentConfig skip_cfg = abort_cfg;
+  skip_cfg.fault_policy = FaultPolicy::Skip;
+  ExperimentConfig retry_cfg = abort_cfg;
+  retry_cfg.fault_policy = FaultPolicy::RetryThenSkip;
+  const auto a = run_experiment(abort_cfg, {"u"}, tiny_instance, trial);
+  const auto s = run_experiment(skip_cfg, {"u"}, tiny_instance, trial);
+  const auto r = run_experiment(retry_cfg, {"u"}, tiny_instance, trial);
+  for (const auto* other : {&s, &r}) {
+    EXPECT_EQ(a.per_trial[0].count(), other->per_trial[0].count());
+    EXPECT_EQ(a.per_trial[0].mean(), other->per_trial[0].mean());
+    EXPECT_EQ(a.per_trial[0].variance(), other->per_trial[0].variance());
+    EXPECT_TRUE(other->failures.empty());
+    EXPECT_EQ(other->cells_skipped, 0u);
+    EXPECT_EQ(other->retries_used, 0u);
+    EXPECT_FALSE(other->interrupted);
+  }
+  EXPECT_EQ(a.cells_completed, 20u);
+  EXPECT_EQ(a.networks_completed, 4u);
+}
+
+TEST(Engine, CurrentCellReportsCoordinatesDuringEvaluation) {
+  ExperimentConfig config;
+  config.num_networks = 2;
+  config.trials_per_network = 3;
+  std::atomic<int> factory_checks{0};
+  std::atomic<int> trial_checks{0};
+  const auto result = run_experiment(
+      config, {"one"},
+      [&](RngStream& rng) {
+        const CellRef cell = current_cell();
+        EXPECT_TRUE(cell.active);
+        EXPECT_EQ(cell.trial_idx, kNoTrial);
+        EXPECT_LT(cell.net_idx, 2u);
+        factory_checks.fetch_add(1);
+        return tiny_instance(rng);
+      },
+      [&](const model::Network&, RngStream&) {
+        const CellRef cell = current_cell();
+        EXPECT_TRUE(cell.active);
+        EXPECT_LT(cell.trial_idx, 3u);
+        EXPECT_EQ(cell.attempt, 0u);
+        trial_checks.fetch_add(1);
+        return std::vector<double>{1.0};
+      });
+  EXPECT_EQ(factory_checks.load(), 2);
+  EXPECT_EQ(trial_checks.load(), 6);
+  EXPECT_EQ(result.cells_completed, 6u);
+  // Outside the engine no cell is active.
+  EXPECT_FALSE(current_cell().active);
+}
+
+TEST(Engine, PeriodicCheckpointIsWrittenAndLoadable) {
+  const std::string path = "test_engine_ckpt.txt";
+  std::remove(path.c_str());
+  ExperimentConfig config;
+  config.num_networks = 5;
+  config.trials_per_network = 2;
+  config.master_seed = 3;
+  config.checkpoint_path = path;
+  config.checkpoint_every = 2;
+  const auto result = run_experiment(
+      config, {"v"}, tiny_instance, [](const model::Network&, RngStream& rng) {
+        return std::vector<double>{rng.uniform()};
+      });
+  EXPECT_EQ(result.networks_completed, 5u);
+  const Checkpoint ckpt = load_checkpoint(path);
+  EXPECT_EQ(ckpt.master_seed, 3u);
+  EXPECT_EQ(ckpt.networks.size(), 5u);  // final snapshot covers everything
+  ASSERT_EQ(ckpt.metric_names.size(), 1u);
+  EXPECT_EQ(ckpt.metric_names[0], "v");
+  std::remove(path.c_str());
+}
+
+TEST(Engine, PreSetCancelFlagStopsImmediately) {
+  ExperimentConfig config;
+  config.num_networks = 3;
+  config.trials_per_network = 3;
+  std::atomic<bool> cancel{true};
+  config.cancel = &cancel;
+  std::atomic<int> calls{0};
+  const auto result = run_experiment(
+      config, {"v"}, tiny_instance, [&](const model::Network&, RngStream&) {
+        calls.fetch_add(1);
+        return std::vector<double>{0.0};
+      });
+  EXPECT_TRUE(result.interrupted);
+  EXPECT_EQ(result.networks_completed, 0u);
+  EXPECT_EQ(calls.load(), 0);
 }
 
 TEST(Engine, ValidatesConfiguration) {

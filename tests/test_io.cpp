@@ -93,6 +93,89 @@ TEST(NetworkIo, RejectsMalformedInput) {
   }
 }
 
+TEST(NetworkIo, RejectsAbsurdLinkCountBeforeAllocating) {
+  {
+    // A hostile geometric header: would be a ~100 GB allocation if trusted.
+    std::stringstream ss(
+        "raysched-network 1\nkind geometric\nn 3000000000 noise 0 alpha 2\n");
+    EXPECT_THROW(read_network(ss), raysched::error);
+  }
+  {
+    // Matrix networks store n^2 gains, so the cap is much tighter.
+    std::stringstream ss("raysched-network 1\nkind matrix\nn 100000 noise 0\n");
+    EXPECT_THROW(read_network(ss), raysched::error);
+  }
+  {
+    // Just over the matrix cap must be rejected with a raysched::error, not
+    // OOM; well under it proceeds to ordinary parsing (and fails later on
+    // truncation, proving the cap check did not fire).
+    std::stringstream ss("raysched-network 1\nkind matrix\nn 8193 noise 0\n");
+    EXPECT_THROW(read_network(ss), raysched::error);
+  }
+}
+
+TEST(NetworkIo, RejectsNonFiniteHeaderValues) {
+  {
+    std::stringstream ss(
+        "raysched-network 1\nkind matrix\nn 1 noise nan\ngains 1\n");
+    EXPECT_THROW(read_network(ss), raysched::error);
+  }
+  {
+    std::stringstream ss(
+        "raysched-network 1\nkind matrix\nn 1 noise inf\ngains 1\n");
+    EXPECT_THROW(read_network(ss), raysched::error);
+  }
+  {
+    std::stringstream ss(
+        "raysched-network 1\nkind geometric\nn 1 noise 0 alpha nan\n"
+        "link 0 0 1 0 1\n");
+    EXPECT_THROW(read_network(ss), raysched::error);
+  }
+  {
+    std::stringstream ss(
+        "raysched-network 1\nkind geometric\nn 1 noise -0.5 alpha 2\n"
+        "link 0 0 1 0 1\n");
+    EXPECT_THROW(read_network(ss), raysched::error);
+  }
+}
+
+TEST(NetworkIo, RejectsNonFiniteAndNegativeBodyValues) {
+  {
+    // NaN gain entry.
+    std::stringstream ss(
+        "raysched-network 1\nkind matrix\nn 2 noise 0\n"
+        "gains 1 nan\ngains 0.5 1\n");
+    EXPECT_THROW(read_network(ss), raysched::error);
+  }
+  {
+    // Negative gain entry.
+    std::stringstream ss(
+        "raysched-network 1\nkind matrix\nn 2 noise 0\n"
+        "gains 1 -0.25\ngains 0.5 1\n");
+    EXPECT_THROW(read_network(ss), raysched::error);
+  }
+  {
+    // Infinite link coordinate.
+    std::stringstream ss(
+        "raysched-network 1\nkind geometric\nn 1 noise 0 alpha 2\n"
+        "link inf 0 1 0 1\n");
+    EXPECT_THROW(read_network(ss), raysched::error);
+  }
+  {
+    // Negative power.
+    std::stringstream ss(
+        "raysched-network 1\nkind geometric\nn 1 noise 0 alpha 2\n"
+        "link 0 0 1 0 -2\n");
+    EXPECT_THROW(read_network(ss), raysched::error);
+  }
+  {
+    // Trailing garbage fused to a number must not silently parse.
+    std::stringstream ss(
+        "raysched-network 1\nkind matrix\nn 1 noise 0\ngains 1x\n");
+    EXPECT_THROW(read_network(ss), raysched::error);
+  }
+}
+
 }  // namespace
 }  // namespace raysched::model
 

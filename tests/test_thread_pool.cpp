@@ -57,6 +57,47 @@ TEST(ThreadPool, InlineExceptionsPropagate) {
   EXPECT_THROW(pool.wait(), raysched::error);
 }
 
+TEST(ThreadPool, InlineModeCancelsTasksAfterException) {
+  // After the first captured exception the pool drains: pending work is
+  // cancelled instead of executed, until wait() rethrows and resets.
+  ThreadPool pool(1);
+  int counter = 0;
+  pool.submit([] { throw raysched::error("boom"); });
+  for (int i = 0; i < 10; ++i) {
+    pool.submit([&] { ++counter; });
+  }
+  EXPECT_THROW(pool.wait(), raysched::error);
+  EXPECT_EQ(counter, 0);
+  // wait() cleared the exception; the pool accepts work again.
+  pool.submit([&] { ++counter; });
+  pool.wait();
+  EXPECT_EQ(counter, 1);
+}
+
+TEST(ThreadPool, QueuedTasksAreDrainedAfterException) {
+  // Block both workers, queue a pile of tasks behind them, then make the
+  // blockers throw: the queued tasks must be cancelled, not executed.
+  ThreadPool pool(2);
+  std::atomic<bool> release{false};
+  std::atomic<int> executed{0};
+  for (int i = 0; i < 2; ++i) {
+    pool.submit([&] {
+      while (!release.load()) std::this_thread::yield();
+      throw raysched::error("deferred boom");
+    });
+  }
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&] { executed.fetch_add(1); });
+  }
+  release.store(true);
+  EXPECT_THROW(pool.wait(), raysched::error);
+  EXPECT_EQ(executed.load(), 0);
+  // The pool remains usable afterwards.
+  pool.submit([&] { executed.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(executed.load(), 1);
+}
+
 TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
   ThreadPool pool(3);
   std::vector<std::atomic<int>> hits(1000);

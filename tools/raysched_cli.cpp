@@ -7,6 +7,8 @@
 //   latency   — run a latency scheduler on an instance
 //   simulate  — estimate expected successes under uniform transmission
 //               probability (both models)
+//   sweep     — fault-isolated Monte-Carlo sweep over random networks with
+//               checkpoint/resume and a failure report
 //
 // Examples:
 //   raysched_cli generate --links=100 --seed=7 --out=inst.net
@@ -14,9 +16,15 @@
 //   raysched_cli latency --in=inst.net --beta=2.5 --scheduler=aloha
 //       --model=rayleigh
 //   raysched_cli simulate --in=inst.net --beta=2.5 --q=0.5
+//   raysched_cli sweep --networks=20 --trials=50 --fault-policy=retry
+//       --checkpoint=sweep.ckpt
+//
+// Exit codes: 0 success; 1 error or bad usage; 3 sweep completed but some
+// cells failed and were skipped; 4 sweep interrupted (deadline).
 #include <iostream>
 #include <string>
 
+#include "fault_injection.hpp"
 #include "raysched.hpp"
 
 using namespace raysched;
@@ -208,11 +216,160 @@ int cmd_simulate(int argc, char** argv) {
   return 0;
 }
 
+// Exit codes of the sweep subcommand (0 and 1 follow the global convention).
+constexpr int kExitSweepHadFailures = 3;
+constexpr int kExitSweepInterrupted = 4;
+
+int cmd_sweep(int argc, char** argv) {
+  util::Flags flags;
+  flags.add_int("networks", 10, "number of random networks");
+  flags.add_int("trials", 25, "trials per network");
+  flags.add_int("links", 50, "links per network");
+  flags.add_int("seed", 1, "master seed");
+  flags.add_double("beta", 2.5, "SINR threshold");
+  flags.add_double("q", 0.5, "uniform transmission probability");
+  flags.add_int("threads", 1, "worker threads (networks in parallel)");
+  flags.add_string("fault-policy", "abort", "abort|skip|retry");
+  flags.add_int("max-retries", 2, "extra attempts per cell (retry policy)");
+  flags.add_double("cell-time-limit", 0.0,
+                   "seconds per cell before a timeout failure (0 = off)");
+  flags.add_string("checkpoint", "", "checkpoint file path (empty = off)");
+  flags.add_int("checkpoint-every", 8, "networks between checkpoint writes");
+  flags.add_string("resume", "", "resume from this checkpoint file");
+  flags.add_double("deadline", 0.0, "wall-clock budget in seconds (0 = off)");
+  flags.add_string("inject-throw", "",
+                   "fault injection: net:trial[,net:trial...]; trial 'f' = "
+                   "instance factory");
+  flags.add_string("inject-nan", "",
+                   "fault injection: poison metric 0 with NaN at "
+                   "net:trial[,...]");
+  flags.parse(argc, argv);
+  if (flags.help_requested()) {
+    std::cout << flags.usage("raysched_cli sweep");
+    return 0;
+  }
+
+  sim::ExperimentConfig config;
+  config.num_networks = static_cast<std::size_t>(flags.get_int("networks"));
+  config.trials_per_network =
+      static_cast<std::size_t>(flags.get_int("trials"));
+  config.master_seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  config.num_threads = static_cast<std::size_t>(flags.get_int("threads"));
+  const std::string policy = flags.get_string("fault-policy");
+  if (policy == "abort") {
+    config.fault_policy = sim::FaultPolicy::Abort;
+  } else if (policy == "skip") {
+    config.fault_policy = sim::FaultPolicy::Skip;
+  } else if (policy == "retry") {
+    config.fault_policy = sim::FaultPolicy::RetryThenSkip;
+  } else {
+    throw error("sweep: unknown --fault-policy " + policy);
+  }
+  config.max_retries = static_cast<std::size_t>(flags.get_int("max-retries"));
+  config.cell_time_limit = flags.get_double("cell-time-limit");
+  config.checkpoint_path = flags.get_string("checkpoint");
+  config.checkpoint_every =
+      static_cast<std::size_t>(flags.get_int("checkpoint-every"));
+  config.resume_from = flags.get_string("resume");
+  config.deadline = flags.get_double("deadline");
+
+  const auto num_links = static_cast<std::size_t>(flags.get_int("links"));
+  const double beta = flags.get_double("beta");
+  const double q = flags.get_double("q");
+  require(q >= 0.0 && q <= 1.0, "sweep: --q must be in [0,1]");
+
+  const sim::InstanceFactory factory = [num_links](sim::RngStream& rng) {
+    model::RandomPlaneParams params;
+    params.num_links = num_links;
+    auto links = model::random_plane_links(params, rng);
+    return model::Network(std::move(links),
+                          model::PowerAssignment::uniform(2.0), 2.2, 4e-7);
+  };
+  sim::TrialFunction trial = [beta, q](const model::Network& net,
+                                       sim::RngStream& rng) {
+    model::LinkSet active;
+    for (model::LinkId i = 0; i < net.size(); ++i) {
+      if (rng.bernoulli(q)) active.push_back(i);
+    }
+    const auto wins = static_cast<double>(
+        model::count_successes_rayleigh(net, active, beta, rng));
+    return std::vector<double>{
+        wins, net.size() > 0 ? wins / static_cast<double>(net.size()) : 0.0};
+  };
+
+  // Optional deterministic sabotage, for demonstrating the fault policies.
+  // Sites naming a trial wrap the trial function; 'f' sites wrap the factory.
+  std::vector<raysched::testing::FaultSite> sites = raysched::testing::
+      parse_fault_sites(flags.get_string("inject-throw"),
+                        raysched::testing::FaultAction::Throw);
+  const auto nan_sites = raysched::testing::parse_fault_sites(
+      flags.get_string("inject-nan"), raysched::testing::FaultAction::ReturnNan);
+  sites.insert(sites.end(), nan_sites.begin(), nan_sites.end());
+  std::vector<raysched::testing::FaultSite> trial_sites, factory_sites;
+  for (const auto& site : sites) {
+    (site.trial_idx == sim::kNoTrial ? factory_sites : trial_sites)
+        .push_back(site);
+  }
+  sim::InstanceFactory wrapped_factory = factory;
+  if (!trial_sites.empty()) {
+    trial = raysched::testing::inject_faults(std::move(trial), trial_sites);
+  }
+  if (!factory_sites.empty()) {
+    wrapped_factory =
+        raysched::testing::inject_factory_faults(factory, factory_sites);
+  }
+
+  const auto result = sim::run_experiment(
+      config, {"successes", "success_rate"}, wrapped_factory, trial);
+
+  util::Table stats({"metric", "cells", "mean", "ci95", "min", "max"});
+  for (std::size_t k = 0; k < result.num_metrics(); ++k) {
+    const sim::Accumulator& acc = result.per_trial[k];
+    if (acc.count() == 0) {
+      stats.add_row({result.metric_names[k], static_cast<long long>(0),
+                     std::string("-"), std::string("-"), std::string("-"),
+                     std::string("-")});
+      continue;
+    }
+    stats.add_row({result.metric_names[k],
+                   static_cast<long long>(acc.count()), acc.mean(),
+                   acc.ci95_halfwidth(), acc.min(), acc.max()});
+  }
+  stats.print_text(std::cout);
+
+  std::cout << "networks: " << result.networks_completed << "/"
+            << config.num_networks << " completed";
+  if (result.networks_resumed > 0) {
+    std::cout << " (" << result.networks_resumed << " resumed)";
+  }
+  std::cout << "; cells: " << result.cells_completed << " ok, "
+            << result.cells_skipped << " skipped; retries: "
+            << result.retries_used << "\n";
+
+  if (!result.failures.empty()) {
+    std::cout << "\nfailure report (" << result.failures.size()
+              << " contained fault"
+              << (result.failures.size() == 1 ? "" : "s") << "):\n";
+    sim::failure_report(result.failures).print_text(std::cout);
+  }
+  if (result.interrupted) {
+    std::cout << "sweep interrupted before completion";
+    if (!config.checkpoint_path.empty()) {
+      std::cout << " — resume with --resume=" << config.checkpoint_path;
+    }
+    std::cout << "\n";
+    return kExitSweepInterrupted;
+  }
+  return result.failures.empty() ? 0 : kExitSweepHadFailures;
+}
+
 void print_usage() {
   std::cout
       << "usage: raysched_cli <command> [flags]\n"
-         "commands: generate, inspect, schedule, latency, simulate\n"
-         "run 'raysched_cli <command> --help' for per-command flags\n";
+         "commands: generate, inspect, schedule, latency, simulate, sweep\n"
+         "run 'raysched_cli <command> --help' for per-command flags\n"
+         "exit codes: 0 ok; 1 error; 3 sweep had contained failures; "
+         "4 sweep interrupted\n";
 }
 
 }  // namespace
@@ -229,6 +386,7 @@ int main(int argc, char** argv) {
     if (command == "schedule") return cmd_schedule(argc - 1, argv + 1);
     if (command == "latency") return cmd_latency(argc - 1, argv + 1);
     if (command == "simulate") return cmd_simulate(argc - 1, argv + 1);
+    if (command == "sweep") return cmd_sweep(argc - 1, argv + 1);
     if (command == "--help" || command == "-h") {
       print_usage();
       return 0;
