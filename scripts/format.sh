@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# clang-format gate. `--check` (the CI mode) fails on any drift from
+# .clang-format via --dry-run -Werror; without it, rewrites files in place.
+#
+# Usage: scripts/format.sh [--check]
+# Env:   CLANG_FORMAT=clang-format-18   to pin a specific binary
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT="${CLANG_FORMAT:-clang-format}"
+
+if ! command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
+  echo "format: $CLANG_FORMAT not found on PATH." >&2
+  echo "format: install clang-format (apt-get install clang-format) or set CLANG_FORMAT." >&2
+  exit 2
+fi
+
+mapfile -t FILES < <(git ls-files '*.cpp' '*.hpp' '*.h')
+
+if [ "${1:-}" = "--check" ]; then
+  "$CLANG_FORMAT" --dry-run -Werror "${FILES[@]}"
+  echo "format: all ${#FILES[@]} files clean"
+else
+  "$CLANG_FORMAT" -i "${FILES[@]}"
+  echo "format: rewrote ${#FILES[@]} files"
+fi

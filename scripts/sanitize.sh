@@ -1,28 +1,60 @@
 #!/usr/bin/env bash
-# Builds the library + tests with AddressSanitizer and UndefinedBehavior-
-# Sanitizer and runs the fault-containment test suites under them. Benches
-# and examples are skipped: the fault paths (exception unwinding through
-# the thread pool, checkpoint I/O, injected NaNs) are what sanitizers are
-# most likely to catch, and a full sanitized build doubles CI time.
+# Sanitizer matrix: builds the library + tests under the selected sanitizer
+# preset and runs the suites most likely to trip it. Benches and examples
+# are skipped: the fault paths (exception unwinding through the thread
+# pool, checkpoint I/O, injected NaNs, the drain-after-first-exception
+# logic) are what sanitizers catch, and a full sanitized build doubles CI
+# time.
 #
-# Usage: scripts/sanitize.sh [build-dir]    (default: build-sanitize)
+# Usage: scripts/sanitize.sh [address|thread|all] [build-dir-prefix]
+#   address  ASan + UBSan (default)    -> <prefix>-address
+#   thread   ThreadSanitizer           -> <prefix>-thread
+#   all      both presets in sequence
+# Default prefix: build-sanitize
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BUILD_DIR="${1:-build-sanitize}"
-
-cmake -B "$BUILD_DIR" -S . \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DSANITIZE=ON \
-  -DRAYSCHED_BUILD_BENCH=OFF \
-  -DRAYSCHED_BUILD_EXAMPLES=OFF
-cmake --build "$BUILD_DIR" -j "$(nproc)"
+MODE="${1:-address}"
+PREFIX="${2:-build-sanitize}"
 
 # halt_on_error keeps failures loud; detect_leaks needs ptrace, which some
-# CI containers forbid — ASAN_OPTIONS can be overridden from the outside.
+# CI containers forbid — all *_OPTIONS can be overridden from the outside.
 export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
 
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
-  -R 'FaultInjection|Engine|ThreadPool|Checkpoint|NetworkIo|cli_sweep'
-echo "sanitize: all selected tests passed"
+run_preset() {
+  local preset="$1"
+  local build_dir="${PREFIX}-${preset}"
+  echo "== sanitize: preset=${preset} dir=${build_dir}"
+  cmake -B "$build_dir" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DSANITIZE="$preset" \
+    -DRAYSCHED_CONTRACTS=ON \
+    -DRAYSCHED_BUILD_BENCH=OFF \
+    -DRAYSCHED_BUILD_EXAMPLES=OFF
+  cmake --build "$build_dir" -j "$(nproc)"
+
+  local filter='FaultInjection|Engine|ThreadPool|Checkpoint|NetworkIo|cli_sweep'
+  if [ "$preset" = "thread" ]; then
+    # TSan cares about the concurrent paths only; add the parallel_for and
+    # stress suites, drop the serial I/O-heavy ones for speed.
+    filter='ThreadPool|ParallelFor|DefaultPool|Engine|Checkpoint|FaultInjection|cli_sweep'
+  fi
+  ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" -R "$filter"
+  echo "sanitize: ${preset}: all selected tests passed"
+}
+
+case "$MODE" in
+  address|thread)
+    run_preset "$MODE"
+    ;;
+  all)
+    run_preset address
+    run_preset thread
+    ;;
+  *)
+    echo "usage: scripts/sanitize.sh [address|thread|all] [build-dir-prefix]" >&2
+    exit 2
+    ;;
+esac

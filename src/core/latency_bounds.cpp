@@ -5,6 +5,7 @@
 
 #include "core/latency_transform.hpp"
 #include "core/success_probability.hpp"
+#include "util/contracts.hpp"
 #include "util/error.hpp"
 
 namespace raysched::core {
@@ -59,6 +60,10 @@ double expected_cover_time(const std::vector<double>& p) {
     if (tail < 1e-12 * (1.0 + expectation)) break;
     for (std::size_t i = 0; i < p.size(); ++i) fail_pow[i] *= 1.0 - p[i];
   }
+  // Covering a non-empty set takes at least one step; the truncated series
+  // must also have stayed finite.
+  RAYSCHED_ENSURE(std::isfinite(expectation) && expectation >= 1.0,
+                  "expected cover time must be finite and >= 1");
   return expectation;
 }
 
@@ -74,6 +79,8 @@ std::vector<double> step_success_probabilities(const std::vector<double>& p_slot
     double fail = 1.0;
     for (int r = 0; r < kLatencyRepeats; ++r) fail *= 1.0 - conditional;
     out[i] = q * (1.0 - fail);
+    RAYSCHED_ENSURE(out[i] >= 0.0 && out[i] <= q,
+                    "macro-step success probability must lie in [0, q]");
   }
   return out;
 }

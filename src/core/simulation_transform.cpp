@@ -5,6 +5,7 @@
 
 #include "core/success_probability.hpp"
 #include "model/sinr.hpp"
+#include "util/contracts.hpp"
 #include "util/error.hpp"
 #include "util/logstar.hpp"
 
@@ -33,6 +34,17 @@ SimulationSchedule build_simulation_schedule(const Network& net,
     b = std::exp(b / 2.0);
     require(schedule.levels.size() < 64,
             "build_simulation_schedule: b_k sequence failed to diverge");
+  }
+  // Theorem 2 rests on the b_k tower growing strictly (b_{k+1} = e^{b_k/2}
+  // past the fixed point) and every per-level probability staying in [0,1].
+  for (std::size_t k = 0; k < schedule.levels.size(); ++k) {
+    RAYSCHED_ENSURE(k == 0 ||
+                        schedule.levels[k].b_k > schedule.levels[k - 1].b_k,
+                    "b_k tower must be strictly increasing");
+    for (double pr : schedule.levels[k].probabilities) {
+      RAYSCHED_ENSURE(pr >= 0.0 && pr <= 1.0,
+                      "simulation level probabilities must lie in [0,1]");
+    }
   }
   return schedule;
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "model/sinr.hpp"
+#include "util/contracts.hpp"
 #include "util/error.hpp"
 
 namespace raysched::core {
@@ -34,6 +35,8 @@ double rayleigh_success_probability(const Network& net,
     const double sji = net.mean_gain(j, i);
     p *= 1.0 - beta * sji * q[j] / (beta * sji + sii);
   }
+  RAYSCHED_ENSURE(std::isfinite(p) && p >= 0.0 && p <= 1.0,
+                  "Theorem-1 product form left [0,1]");
   return p;
 }
 
@@ -48,7 +51,10 @@ double rayleigh_success_lower_bound(const Network& net,
   for (LinkId j = 0; j < net.size(); ++j) {
     if (j != i) mass += net.mean_gain(j, i) * q[j];
   }
-  return q[i] * std::exp(-beta * mass / sii);
+  const double lo = q[i] * std::exp(-beta * mass / sii);
+  RAYSCHED_ENSURE(std::isfinite(lo) && lo >= 0.0 && lo <= 1.0,
+                  "Lemma-1 lower bound left [0,1]");
+  return lo;
 }
 
 double rayleigh_success_upper_bound(const Network& net,
@@ -63,7 +69,10 @@ double rayleigh_success_upper_bound(const Network& net,
     if (j == i) continue;
     exponent -= std::min(0.5, beta * net.mean_gain(j, i) / (2.0 * sii)) * q[j];
   }
-  return q[i] * std::exp(exponent);
+  const double hi = q[i] * std::exp(exponent);
+  RAYSCHED_ENSURE(std::isfinite(hi) && hi >= 0.0 && hi <= 1.0,
+                  "Lemma-1 upper bound left [0,1]");
+  return hi;
 }
 
 double interference_weight(const Network& net, const std::vector<double>& q,
@@ -77,6 +86,8 @@ double interference_weight(const Network& net, const std::vector<double>& q,
     if (j == i) continue;
     a += std::min(1.0, beta * net.mean_gain(j, i) / sii) * q[j];
   }
+  RAYSCHED_ENSURE(std::isfinite(a) && a >= 0.0,
+                  "interference weight A_i must be finite and non-negative");
   return a;
 }
 
@@ -86,6 +97,8 @@ double expected_rayleigh_successes(const Network& net,
   for (LinkId i = 0; i < net.size(); ++i) {
     if (q[i] > 0.0) total += rayleigh_success_probability(net, q, i, beta);
   }
+  RAYSCHED_ENSURE(total <= static_cast<double>(net.size()),
+                  "expected successes cannot exceed the number of links");
   return total;
 }
 

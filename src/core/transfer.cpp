@@ -4,6 +4,7 @@
 
 #include "model/rayleigh.hpp"
 #include "model/sinr.hpp"
+#include "util/contracts.hpp"
 #include "util/error.hpp"
 
 namespace raysched::core {
@@ -20,9 +21,15 @@ double expected_rayleigh_utility_exact(const Network& net,
           "utility; use the Monte-Carlo variant");
   double total = 0.0;
   for (LinkId i : solution) {
+    RAYSCHED_EXPECT(i < net.size(),
+                    "solution contains a link id outside the network");
     total += u.weight() *
              model::success_probability_rayleigh(net, solution, i, u.beta());
   }
+  RAYSCHED_ENSURE(
+      std::isfinite(total) && total >= 0.0 &&
+          total <= u.weight() * static_cast<double>(solution.size()) + 1e-9,
+      "expected utility must lie in [0, weight * |solution|]");
   return total;
 }
 
@@ -63,7 +70,10 @@ double per_link_transfer_probability(const Network& net, const LinkSet& solution
   require(std::isfinite(gamma_nf),
           "per_link_transfer_probability: non-fading SINR is infinite "
           "(no noise and no interference); Lemma 2 is vacuous here");
-  return model::success_probability_rayleigh(net, solution, i, gamma_nf);
+  const double p = model::success_probability_rayleigh(net, solution, i, gamma_nf);
+  RAYSCHED_ENSURE(p >= 0.0 && p <= 1.0,
+                  "transfer probability must be a probability");
+  return p;
 }
 
 }  // namespace raysched::core

@@ -1,6 +1,9 @@
 #include "core/utility.hpp"
 
+#include <cmath>
 #include <limits>
+
+#include "util/contracts.hpp"
 
 namespace raysched::core {
 
@@ -59,6 +62,9 @@ double Utility::value(double gamma) const {
       return std::log1p(gamma);
     case Kind::Custom: {
       const double v = f_(gamma);
+      // The contract fires first in checked builds for the sharper message;
+      // in Release the require still rejects NaN (NaN >= 0 is false).
+      RAYSCHED_ENSURE(!std::isnan(v), "custom utility returned NaN");
       require(v >= 0.0, "Utility::value: custom utility returned < 0");
       return v;
     }
@@ -99,6 +105,7 @@ double Utility::max_valid_c(const model::Network& net, model::LinkId i) const {
 double total_utility(const Utility& u, const std::vector<double>& sinrs) {
   double total = 0.0;
   for (double g : sinrs) total += u.value(g);
+  RAYSCHED_ENSURE(!std::isnan(total), "total utility must not be NaN");
   return total;
 }
 

@@ -1,7 +1,9 @@
 #include "learning/exp3.hpp"
 
 #include <algorithm>
+#include <cmath>
 
+#include "util/contracts.hpp"
 #include "util/error.hpp"
 
 namespace raysched::learning {
@@ -20,7 +22,12 @@ double Exp3Learner::probability_of(Action a) const {
   const double ws = std::exp(log_weight_stay_ - mx);
   const double we = std::exp(log_weight_send_ - mx);
   const double base = (a == Action::Send ? we : ws) / (ws + we);
-  return (1.0 - gamma_) * base + gamma_ / 2.0;
+  const double p = (1.0 - gamma_) * base + gamma_ / 2.0;
+  // gamma-uniform mixing keeps every action's probability bounded away from
+  // zero — the importance weights in update_bandit rely on it.
+  RAYSCHED_ENSURE(p >= gamma_ / 2.0 && p <= 1.0 - gamma_ / 2.0 + 1e-12,
+                  "EXP3 action probability must respect the gamma floor");
+  return p;
 }
 
 double Exp3Learner::send_probability() const {
@@ -48,6 +55,10 @@ void Exp3Learner::update_bandit(Action played, double loss) {
                       options_.initial_gamma /
                           std::cbrt(static_cast<double>(rounds_)));
   }
+  RAYSCHED_ENSURE(std::isfinite(log_weight_stay_) &&
+                      std::isfinite(log_weight_send_) &&
+                      std::min(log_weight_stay_, log_weight_send_) == 0.0,
+                  "EXP3 log-weights must stay finite and re-centered at 0");
 }
 
 }  // namespace raysched::learning

@@ -9,8 +9,10 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 
 #include "learning/no_regret.hpp"
+#include "util/contracts.hpp"
 
 namespace raysched::learning {
 
@@ -24,7 +26,10 @@ class RegretMatchingLearner final : public Learner {
     const double rs = std::max(0.0, regret_send_);
     const double rt = std::max(0.0, regret_stay_);
     if (rs + rt <= 0.0) return 0.5;
-    return rs / (rs + rt);
+    const double p = rs / (rs + rt);
+    RAYSCHED_ENSURE(p >= 0.0 && p <= 1.0,
+                    "regret-matching mixture must be a probability");
+    return p;
   }
 
   void update(const LossPair& losses) override {
@@ -38,6 +43,14 @@ class RegretMatchingLearner final : public Learner {
     regret_send_ += mixture_loss - losses.send;
     regret_stay_ += mixture_loss - losses.stay;
     ++rounds_;
+    // Per-round regret increments are bounded by 1, so cumulative regrets
+    // stay finite and never exceed the number of rounds in magnitude.
+    RAYSCHED_ENSURE(std::isfinite(regret_send_) && std::isfinite(regret_stay_) &&
+                        std::abs(regret_send_) <=
+                            static_cast<double>(rounds_) + 1e-9 &&
+                        std::abs(regret_stay_) <=
+                            static_cast<double>(rounds_) + 1e-9,
+                    "cumulative regret left its [-T, T] envelope");
   }
 
   [[nodiscard]] std::size_t rounds_seen() const { return rounds_; }

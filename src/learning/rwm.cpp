@@ -1,5 +1,8 @@
 #include "learning/rwm.hpp"
 
+#include <cmath>
+
+#include "util/contracts.hpp"
 #include "util/error.hpp"
 
 namespace raysched::learning {
@@ -16,7 +19,10 @@ RwmLearner::RwmLearner(const RwmOptions& options)
 }
 
 double RwmLearner::send_probability() const {
-  return weight_send_ / (weight_send_ + weight_stay_);
+  const double p = weight_send_ / (weight_send_ + weight_stay_);
+  RAYSCHED_ENSURE(std::isfinite(p) && p >= 0.0 && p <= 1.0,
+                  "RWM mixed action must be a normalized distribution");
+  return p;
 }
 
 void RwmLearner::update(const LossPair& losses) {
@@ -37,6 +43,14 @@ void RwmLearner::update(const LossPair& losses) {
     eta_ = std::max(min_eta_, eta_ * eta_decay_);
     next_power_ *= 2;
   }
+  // One weight may underflow to exactly 0 when the loss gap is extreme (the
+  // ratio leaves double range); the distribution is still valid as long as
+  // the total stays positive and nothing went NaN/Inf.
+  RAYSCHED_ENSURE(weight_stay_ >= 0.0 && weight_send_ >= 0.0 &&
+                      std::isfinite(weight_stay_) &&
+                      std::isfinite(weight_send_) &&
+                      weight_stay_ + weight_send_ > 0.0,
+                  "RWM weights must form a normalizable distribution");
 }
 
 }  // namespace raysched::learning

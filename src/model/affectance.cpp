@@ -1,8 +1,10 @@
 #include "model/affectance.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
+#include "util/contracts.hpp"
 #include "util/error.hpp"
 
 namespace raysched::model {
@@ -14,11 +16,19 @@ double affectance_raw(const Network& net, LinkId j, LinkId i, double beta) {
   if (j == i) return 0.0;
   const double budget = net.signal(i) / beta - net.noise();
   if (budget <= 0.0) return std::numeric_limits<double>::infinity();
-  return net.mean_gain(j, i) / budget;
+  const double a = net.mean_gain(j, i) / budget;
+  // Raw affectance is +inf exactly when link i is infeasible even alone
+  // (budget <= 0, handled above); otherwise it must be an ordinary
+  // non-negative number — NaN here means a poisoned gain matrix.
+  RAYSCHED_ENSURE(!std::isnan(a) && a >= 0.0,
+                  "affectance must be non-negative and not NaN");
+  return a;
 }
 
 double affectance(const Network& net, LinkId j, LinkId i, double beta) {
-  return std::min(1.0, affectance_raw(net, j, i, beta));
+  const double a = std::min(1.0, affectance_raw(net, j, i, beta));
+  RAYSCHED_ENSURE(a >= 0.0 && a <= 1.0, "capped affectance must lie in [0,1]");
+  return a;
 }
 
 double total_affectance_on(const Network& net, const LinkSet& active, LinkId i,
@@ -27,6 +37,9 @@ double total_affectance_on(const Network& net, const LinkSet& active, LinkId i,
   for (LinkId j : active) {
     if (j != i) sum += affectance(net, j, i, beta);
   }
+  RAYSCHED_ENSURE(std::isfinite(sum) && sum >= 0.0 &&
+                      sum <= static_cast<double>(active.size()),
+                  "total capped affectance must lie in [0, |active|]");
   return sum;
 }
 

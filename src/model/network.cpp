@@ -4,7 +4,26 @@
 #include <cmath>
 #include <limits>
 
+#include "util/contracts.hpp"
+
 namespace raysched::model {
+
+namespace {
+
+/// Contract shared by every constructor: a gain matrix with a NaN or Inf
+/// entry poisons every closed form downstream (Theorem 1's product, the
+/// affectance sums), so catch it at the boundary where the matrix is built.
+void expect_finite_gains(const std::vector<double>& gains) {
+#if defined(RAYSCHED_CONTRACTS)
+  for (double g : gains) {
+    RAYSCHED_EXPECT(std::isfinite(g), "mean gain matrix entry is not finite");
+  }
+#else
+  (void)gains;
+#endif
+}
+
+}  // namespace
 
 Network::Network(std::vector<Link> links, const PowerAssignment& powers,
                  double alpha, double noise)
@@ -27,6 +46,7 @@ Network::Network(std::vector<Link> links, const PowerAssignment& powers,
       gains_[j * n_ + i] = powers_[j] / std::pow(d, alpha_);
     }
   }
+  expect_finite_gains(gains_);
 }
 
 Network::Network(std::vector<Link> links, const PowerAssignment& powers,
@@ -50,6 +70,7 @@ Network::Network(std::vector<Link> links, const PowerAssignment& powers,
       gains_[j * n_ + i] = powers_[j] * loss.gain_factor(d);
     }
   }
+  expect_finite_gains(gains_);
 }
 
 Network::Network(std::size_t n, std::vector<double> mean_gains, double noise)
@@ -64,6 +85,7 @@ Network::Network(std::size_t n, std::vector<double> mean_gains, double noise)
     require(gains_[j * n_ + j] > 0.0,
             "Network: diagonal gains S(i,i) must be positive");
   }
+  expect_finite_gains(gains_);
 }
 
 void Network::set_powers(const std::vector<double>& new_powers) {

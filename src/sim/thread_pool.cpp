@@ -100,6 +100,9 @@ void ThreadPool::worker_loop() {
 void parallel_for(ThreadPool& pool, std::size_t count,
                   const std::function<void(std::size_t, std::size_t)>& body,
                   std::size_t min_chunk) {
+  // Degenerate inputs are well-defined, not caller errors: an empty range
+  // runs nothing, and min_chunk == 0 behaves like min_chunk == 1 (the
+  // smallest chunk that makes progress). Both are pinned by tests.
   if (count == 0) return;
   min_chunk = std::max<std::size_t>(1, min_chunk);
   const std::size_t workers = std::max<std::size_t>(1, pool.num_threads());

@@ -1,0 +1,70 @@
+// raysched: cheap runtime contracts for the math core.
+//
+// The paper's guarantees lean on invariants no type system sees: success
+// probabilities live in [0,1], beta and alpha are positive, affectances are
+// finite unless a link is infeasible by construction, the simulation
+// schedule's b_k tower is strictly increasing. `require()` (util/error.hpp)
+// guards *public* preconditions unconditionally; the contract macros below
+// add a second, free-when-off layer for internal pre/postconditions that
+// would be too hot to check in Release builds.
+//
+//   RAYSCHED_EXPECT(cond, msg)  -- precondition, checked on entry
+//   RAYSCHED_ENSURE(cond, msg)  -- postcondition, checked on computed results
+//
+// Both throw raysched::contract_violation (a subclass of raysched::error)
+// with file:line and the failed expression when RAYSCHED_CONTRACTS is
+// defined, and compile to nothing otherwise. The condition is NOT evaluated
+// when contracts are off, so contract expressions must be side-effect free.
+//
+// Enable with -DRAYSCHED_CONTRACTS=ON at CMake configure time (Debug builds
+// turn it on automatically); see docs/STATIC_ANALYSIS.md.
+#pragma once
+
+#include <string>
+
+#include "util/error.hpp"
+
+namespace raysched {
+
+/// Exception thrown when a RAYSCHED_EXPECT/RAYSCHED_ENSURE contract fails.
+/// Distinct from plain raysched::error so tests can tell a rejected caller
+/// input (require) from a broken internal invariant (contract).
+class contract_violation : public error {
+ public:
+  explicit contract_violation(const std::string& what) : error(what) {}
+};
+
+namespace detail {
+
+/// Builds the diagnostic and throws. Out-of-line of the macro so the cold
+/// path costs one call in the checked build.
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, long line,
+                                       const char* message) {
+  throw contract_violation(std::string(kind) + " violated at " + file + ":" +
+                           std::to_string(line) + ": (" + expr + ") — " +
+                           message);
+}
+
+}  // namespace detail
+}  // namespace raysched
+
+#if defined(RAYSCHED_CONTRACTS)
+#define RAYSCHED_EXPECT(cond, msg)                                      \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::raysched::detail::contract_fail("precondition", #cond, __FILE__, \
+                                        __LINE__, msg);                 \
+    }                                                                   \
+  } while (false)
+#define RAYSCHED_ENSURE(cond, msg)                                       \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::raysched::detail::contract_fail("postcondition", #cond, __FILE__, \
+                                        __LINE__, msg);                  \
+    }                                                                    \
+  } while (false)
+#else
+#define RAYSCHED_EXPECT(cond, msg) ((void)0)
+#define RAYSCHED_ENSURE(cond, msg) ((void)0)
+#endif

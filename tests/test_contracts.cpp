@@ -1,0 +1,140 @@
+// Tests for the RAYSCHED_EXPECT / RAYSCHED_ENSURE contract layer
+// (util/contracts.hpp). The suite is compiled in both configurations:
+// with RAYSCHED_CONTRACTS the macros must throw contract_violation with a
+// useful diagnostic, without it they must compile to nothing — including
+// not evaluating their condition.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <type_traits>
+
+#include "test_helpers.hpp"
+#include "util/contracts.hpp"
+
+namespace raysched {
+namespace {
+
+using model::LinkId;
+
+static_assert(std::is_base_of_v<error, contract_violation>,
+              "contract_violation must be catchable as raysched::error");
+
+#if defined(RAYSCHED_CONTRACTS)
+
+TEST(Contracts, ExpectThrowsWithLocationAndExpression) {
+  try {
+    RAYSCHED_EXPECT(1 + 1 == 3, "arithmetic is broken");
+    FAIL() << "RAYSCHED_EXPECT(false) must throw";
+  } catch (const contract_violation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("precondition"), std::string::npos) << what;
+    EXPECT_NE(what.find("test_contracts.cpp"), std::string::npos) << what;
+    EXPECT_NE(what.find("1 + 1 == 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("arithmetic is broken"), std::string::npos) << what;
+  }
+}
+
+TEST(Contracts, EnsureThrowsPostconditionViolation) {
+  try {
+    RAYSCHED_ENSURE(false, "result left its range");
+    FAIL() << "RAYSCHED_ENSURE(false) must throw";
+  } catch (const contract_violation& e) {
+    EXPECT_NE(std::string(e.what()).find("postcondition"), std::string::npos);
+  }
+}
+
+TEST(Contracts, PassingContractsAreSilent) {
+  EXPECT_NO_THROW({
+    RAYSCHED_EXPECT(true, "holds");
+    RAYSCHED_ENSURE(2 + 2 == 4, "holds");
+  });
+}
+
+TEST(Contracts, ViolationIsCatchableAsRayschedError) {
+  EXPECT_THROW(RAYSCHED_EXPECT(false, "x"), error);
+}
+
+TEST(Contracts, CustomUtilityReturningNanTripsEnsure) {
+  const auto u = core::Utility::custom(
+      [](double) { return std::numeric_limits<double>::quiet_NaN(); },
+      /*concave_from=*/0.0, "nan-bomb");
+  EXPECT_THROW(u.value(1.0), contract_violation);
+}
+
+TEST(Contracts, InfiniteGainTripsNetworkConstructorContract) {
+  // Inf passes the unconditional sign checks; only the finite-gains
+  // contract can reject it.
+  std::vector<double> gains = {10.0, std::numeric_limits<double>::infinity(),
+                               1.0, 10.0};
+  EXPECT_THROW(model::Network(2, gains, 0.1), contract_violation);
+}
+
+TEST(Contracts, OutOfRangeSolutionIdTripsTransferExpect) {
+  auto net = raysched::testing::hand_matrix_network();
+  const auto u = core::Utility::binary(2.0);
+  EXPECT_THROW(
+      core::expected_rayleigh_utility_exact(net, {0, 17}, u), error);
+}
+
+TEST(Contracts, MathCoreInvariantsHoldOnRealInstances) {
+  // Positive control: with contracts live, the closed forms, the simulation
+  // schedule, and the learners must run a realistic workload untripped.
+  auto net = raysched::testing::paper_network(12, 3);
+  std::vector<double> q(12, 0.3);
+  for (LinkId i = 0; i < net.size(); ++i) {
+    const double p = core::rayleigh_success_probability(net, q, i, 2.5);
+    const double lo = core::rayleigh_success_lower_bound(net, q, i, 2.5);
+    const double hi = core::rayleigh_success_upper_bound(net, q, i, 2.5);
+    EXPECT_LE(lo, p + 1e-12);
+    EXPECT_LE(p, hi + 1e-12);
+    (void)core::interference_weight(net, q, i, 2.5);
+    (void)model::affectance(net, i, (i + 1) % net.size(), 2.5);
+  }
+  const auto schedule = core::build_simulation_schedule(net, q);
+  EXPECT_GT(schedule.levels.size(), 1u);
+
+  learning::RwmLearner rwm;
+  learning::Exp3Learner exp3;
+  learning::RegretMatchingLearner rm;
+  sim::RngStream rng(11);
+  for (int t = 0; t < 2000; ++t) {
+    const learning::LossPair losses{rng.uniform(), rng.uniform()};
+    rwm.update(losses);
+    rm.update(losses);
+    exp3.update_bandit(
+        rng.bernoulli(0.5) ? learning::Action::Send : learning::Action::Stay,
+        rng.uniform());
+    EXPECT_GE(rwm.send_probability(), 0.0);
+    EXPECT_LE(rm.send_probability(), 1.0);
+    EXPECT_LE(exp3.send_probability(), 1.0);
+  }
+}
+
+#else  // !RAYSCHED_CONTRACTS
+
+TEST(Contracts, MacrosDoNotEvaluateConditionsWhenDisabled) {
+  int evaluations = 0;
+  RAYSCHED_EXPECT((++evaluations, false), "must not be evaluated");
+  RAYSCHED_ENSURE((++evaluations, false), "must not be evaluated");
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(Contracts, RequireStillGuardsPublicBoundariesWhenDisabled) {
+  // Contracts off must not weaken the unconditional require() layer: NaN
+  // from a custom utility still fails the >= 0 check.
+  const auto u = core::Utility::custom(
+      [](double) { return std::numeric_limits<double>::quiet_NaN(); },
+      /*concave_from=*/0.0, "nan-bomb");
+  EXPECT_THROW(u.value(1.0), error);
+  std::vector<double> nan_gains = {10.0,
+                                   std::numeric_limits<double>::quiet_NaN(),
+                                   1.0, 10.0};
+  EXPECT_THROW(model::Network(2, nan_gains, 0.1), error);
+}
+
+#endif  // RAYSCHED_CONTRACTS
+
+}  // namespace
+}  // namespace raysched

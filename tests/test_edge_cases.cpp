@@ -229,5 +229,84 @@ TEST(EdgeProbabilities, GradientAtAllOnesPointsInward) {
   EXPECT_TRUE(grad[0] < 0.0 || grad[1] < 0.0);
 }
 
+// ---------------------------------------------------------------------------
+// Rejection paths: every public entry point must throw raysched::error on
+// out-of-range q, non-positive beta, and poisoned (NaN/Inf) gain matrices,
+// rather than propagate garbage into the closed forms.
+// ---------------------------------------------------------------------------
+
+TEST(EdgeRejection, OutOfRangeProbabilityVectors) {
+  auto net = raysched::testing::hand_matrix_network();
+  const std::vector<double> too_short = {0.5, 0.5};
+  const std::vector<double> negative = {0.5, -0.1, 0.5};
+  const std::vector<double> above_one = {0.5, 1.1, 0.5};
+  const std::vector<double> nan_entry = {
+      0.5, std::numeric_limits<double>::quiet_NaN(), 0.5};
+  for (const auto& bad : {too_short, negative, above_one, nan_entry}) {
+    EXPECT_THROW(core::validate_probabilities(net, bad), raysched::error);
+    EXPECT_THROW(core::rayleigh_success_probability(net, bad, 0, 2.0),
+                 raysched::error);
+    EXPECT_THROW(core::rayleigh_success_lower_bound(net, bad, 0, 2.0),
+                 raysched::error);
+    EXPECT_THROW(core::rayleigh_success_upper_bound(net, bad, 0, 2.0),
+                 raysched::error);
+    EXPECT_THROW(core::interference_weight(net, bad, 0, 2.0), raysched::error);
+    EXPECT_THROW(core::build_simulation_schedule(net, bad), raysched::error);
+    EXPECT_THROW(core::nonfading_success_probability_exact(net, bad, 0, 2.0),
+                 raysched::error);
+  }
+}
+
+TEST(EdgeRejection, NonPositiveBetaAcrossEntryPoints) {
+  auto net = raysched::testing::hand_matrix_network();
+  const std::vector<double> q(3, 0.5);
+  sim::RngStream rng(7);
+  for (double beta : {0.0, -2.5}) {
+    EXPECT_THROW(core::rayleigh_success_probability(net, q, 0, beta),
+                 raysched::error);
+    EXPECT_THROW(core::rayleigh_success_lower_bound(net, q, 0, beta),
+                 raysched::error);
+    EXPECT_THROW(core::rayleigh_success_upper_bound(net, q, 0, beta),
+                 raysched::error);
+    EXPECT_THROW(core::interference_weight(net, q, 0, beta), raysched::error);
+    EXPECT_THROW(core::nonfading_success_probability_mc(net, q, 0, beta, 10, rng),
+                 raysched::error);
+    EXPECT_THROW(core::aloha_slot_success_probabilities(net, 0.5, beta),
+                 raysched::error);
+    EXPECT_THROW(model::affectance_raw(net, 0, 1, beta), raysched::error);
+    EXPECT_THROW(algorithms::greedy_capacity(net, beta), raysched::error);
+  }
+}
+
+TEST(EdgeRejection, NanAndInfGainMatricesAreRejected) {
+  // NaN gains fail the >= 0 requirement in the matrix constructor (NaN
+  // comparisons are false), so they are rejected unconditionally.
+  std::vector<double> gains = {10.0, 1.0, 1.0, 10.0};
+  auto nan_gains = gains;
+  nan_gains[1] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(model::Network(2, nan_gains, 0.1), raysched::error);
+  auto nan_diag = gains;
+  nan_diag[0] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(model::Network(2, nan_diag, 0.1), raysched::error);
+#if defined(RAYSCHED_CONTRACTS)
+  // Inf gains pass the sign check; the finite-gains contract catches them.
+  auto inf_gains = gains;
+  inf_gains[2] = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(model::Network(2, inf_gains, 0.1), raysched::contract_violation);
+#endif
+}
+
+TEST(EdgeRejection, NanAffectanceInputsCannotReachTheSums) {
+  // The only way to a NaN affectance is a poisoned network; with matrix
+  // construction rejecting NaN/Inf, affectance stays NaN-free for every
+  // feasible-budget input, including the deliberately infinite case.
+  auto net = raysched::testing::hand_matrix_network(/*noise=*/0.1);
+  for (double beta : {0.5, 2.0, 1000.0}) {
+    const double a = model::affectance_raw(net, 0, 1, beta);
+    EXPECT_FALSE(std::isnan(a));
+    EXPECT_GE(a, 0.0);  // +inf allowed: link infeasible even alone
+  }
+}
+
 }  // namespace
 }  // namespace raysched

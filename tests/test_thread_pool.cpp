@@ -3,6 +3,7 @@
 #include <atomic>
 #include <mutex>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "sim/thread_pool.hpp"
@@ -114,6 +115,44 @@ TEST(ParallelFor, EmptyRangeIsNoop) {
   EXPECT_FALSE(called);
 }
 
+TEST(ParallelFor, ZeroMinChunkBehavesLikeOne) {
+  // min_chunk == 0 must not divide by zero or spin: it degrades to the
+  // smallest chunk that makes progress.
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(64);
+  parallel_for(
+      pool, hits.size(),
+      [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+      },
+      /*min_chunk=*/0);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ZeroCountWithZeroMinChunkIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  parallel_for(
+      pool, 0, [&](std::size_t, std::size_t) { called = true; },
+      /*min_chunk=*/0);
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, MinChunkLargerThanCountRunsOneChunk) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  std::atomic<std::size_t> covered{0};
+  parallel_for(
+      pool, 10,
+      [&](std::size_t b, std::size_t e) {
+        calls.fetch_add(1);
+        covered.fetch_add(e - b);
+      },
+      /*min_chunk=*/1000);
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(covered.load(), 10u);
+}
+
 TEST(ParallelFor, SequentialEquivalence) {
   // A reduction computed via parallel_for with per-chunk partials must match
   // the sequential result exactly (chunks are disjoint).
@@ -129,6 +168,91 @@ TEST(ParallelFor, SequentialEquivalence) {
     sum += local;
   });
   EXPECT_DOUBLE_EQ(sum, 5000.0 * 4999.0 / 2.0);
+}
+
+TEST(ThreadPoolStress, ConcurrentSubmittersRacingWaitWithExceptions) {
+  // TSan-targeted: many submitter threads race wait() while a fraction of
+  // tasks throw, so the drain-after-first-exception path (record_exception
+  // swapping the queue, wait() clearing and rethrowing, submit() observing
+  // the draining flag) runs concurrently with everything else. The
+  // assertions are deliberately weak — tasks submitted while the pool is
+  // draining are dropped by design — the point is that TSan sees every
+  // interleaving and the pool never deadlocks, crashes, or loses its
+  // ability to run work afterwards.
+  ThreadPool pool(4);
+  constexpr int kSubmitters = 6;
+  constexpr int kTasksPerSubmitter = 200;
+  std::atomic<int> executed{0};
+  std::atomic<int> exceptions_seen{0};
+  std::atomic<bool> done_submitting{false};
+
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&pool, &executed, s] {
+      for (int t = 0; t < kTasksPerSubmitter; ++t) {
+        if ((t + s) % 41 == 0) {
+          pool.submit([] { throw raysched::error("stress boom"); });
+        } else {
+          pool.submit([&executed] { executed.fetch_add(1); });
+        }
+      }
+    });
+  }
+
+  // Race wait() against the submitters from a dedicated thread too, so
+  // rethrow-and-reset runs concurrently with submission.
+  std::thread waiter([&pool, &exceptions_seen, &done_submitting] {
+    while (!done_submitting.load()) {
+      try {
+        pool.wait();
+      } catch (const raysched::error&) {
+        exceptions_seen.fetch_add(1);
+      }
+    }
+  });
+
+  for (auto& t : submitters) t.join();
+  done_submitting.store(true);
+  waiter.join();
+
+  // Flush any still-pending exception, then prove the pool still works.
+  for (;;) {
+    try {
+      pool.wait();
+      break;
+    } catch (const raysched::error&) {
+      exceptions_seen.fetch_add(1);
+    }
+  }
+  EXPECT_GE(exceptions_seen.load(), 1);
+  EXPECT_LE(executed.load(), kSubmitters * kTasksPerSubmitter);
+  std::atomic<int> after{0};
+  pool.submit([&after] { after.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(after.load(), 1);
+}
+
+TEST(ThreadPoolStress, ParallelForSurvivesThrowingBodies) {
+  // parallel_for must propagate a body exception out of its internal wait()
+  // and leave the pool reusable; repeated rounds stress the reset path.
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> ran{0};
+    try {
+      parallel_for(pool, 256, [&ran, round](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) {
+          if (round % 2 == 0 && i == 128) {
+            throw raysched::error("body boom");
+          }
+          ran.fetch_add(1);
+        }
+      });
+      EXPECT_EQ(ran.load(), 256);
+    } catch (const raysched::error&) {
+      EXPECT_LT(ran.load(), 256);
+    }
+  }
 }
 
 TEST(DefaultPool, IsSingleton) {

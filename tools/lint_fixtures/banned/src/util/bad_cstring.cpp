@@ -1,0 +1,6 @@
+// Seeded violation: overflow-prone C string call (RS-L6).
+#include <cstring>
+
+namespace raysched::util {
+void copy_unchecked(char* dst, const char* src) { strcpy(dst, src); }
+}  // namespace raysched::util

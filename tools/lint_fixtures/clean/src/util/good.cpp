@@ -1,0 +1,10 @@
+// A well-behaved TU: suppression demo rides along ordinary code.
+#include "util/good.hpp"
+
+namespace raysched::util {
+int sum_upto(int n) {
+  int total = 0;
+  for (int v : iota_upto(n)) total += v;
+  return total;
+}
+}  // namespace raysched::util

@@ -1,0 +1,12 @@
+// A well-behaved header: #pragma once, self-sufficient, silent.
+#pragma once
+
+#include <vector>
+
+namespace raysched::util {
+inline std::vector<int> iota_upto(int n) {
+  std::vector<int> out;
+  for (int i = 0; i < n; ++i) out.push_back(i);
+  return out;
+}
+}  // namespace raysched::util

@@ -1,0 +1,6 @@
+// Seeded violation: stdout write from library code (RS-L3).
+#include <iostream>
+
+namespace raysched::core {
+void chatty() { std::cout << "library code must stay silent\n"; }
+}  // namespace raysched::core

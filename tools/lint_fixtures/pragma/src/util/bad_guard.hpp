@@ -1,0 +1,9 @@
+// Seeded violation: include guards instead of #pragma once (RS-L4).
+#ifndef RAYSCHED_BAD_GUARD_HPP
+#define RAYSCHED_BAD_GUARD_HPP
+
+namespace raysched::util {
+inline int answer() { return 42; }
+}  // namespace raysched::util
+
+#endif  // RAYSCHED_BAD_GUARD_HPP

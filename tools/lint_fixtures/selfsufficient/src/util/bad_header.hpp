@@ -1,0 +1,6 @@
+// Seeded violation: uses std::vector without including <vector> (RS-L5).
+#pragma once
+
+namespace raysched::util {
+inline std::vector<int> make_empty() { return {}; }
+}  // namespace raysched::util

@@ -1,0 +1,9 @@
+// Seeded violation: raw std::thread outside the pool (RS-L2).
+#include <thread>
+
+namespace raysched::core {
+void fire_and_forget() {
+  std::thread t([] {});
+  t.join();
+}
+}  // namespace raysched::core
