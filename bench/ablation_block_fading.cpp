@@ -59,7 +59,7 @@ int main(int argc, char** argv) {
       auto links = model::random_plane_links(params, net_rng);
       const model::Network net(std::move(links),
                                model::PowerAssignment::uniform(2.0), 2.2,
-                               flags.get_double("noise"));
+                               units::Power(flags.get_double("noise")));
       for (std::size_t run = 0; run < runs; ++run) {
         model::BlockFadingChannel channel(
             net, coherence, 1.0,

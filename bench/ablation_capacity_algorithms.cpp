@@ -54,19 +54,19 @@ int main(int argc, char** argv) {
       sim::RngStream net_rng = master.derive(net_idx, 0xA);
       const auto links = model::random_plane_links(params, net_rng);
       model::Network uniform_net(links, model::PowerAssignment::uniform(2.0),
-                                 2.2, 4e-7);
+                                 2.2, units::Power(4e-7));
       model::Network sqrt_net(links, model::PowerAssignment::square_root(2.0),
-                              2.2, 4e-7);
+                              2.2, units::Power(4e-7));
 
       const auto g = algorithms::greedy_capacity(uniform_net, beta);
       greedy_u.size.add(static_cast<double>(g.selected.size()));
       greedy_u.rayleigh.add(
-          model::expected_successes_rayleigh(uniform_net, g.selected, beta));
+          model::expected_successes_rayleigh(uniform_net, g.selected, units::Threshold(beta)));
 
       const auto gs = algorithms::greedy_capacity(sqrt_net, beta);
       greedy_s.size.add(static_cast<double>(gs.selected.size()));
       greedy_s.rayleigh.add(
-          model::expected_successes_rayleigh(sqrt_net, gs.selected, beta));
+          model::expected_successes_rayleigh(sqrt_net, gs.selected, units::Threshold(beta)));
 
       const auto p = algorithms::power_control_capacity(uniform_net, beta);
       pc.size.add(static_cast<double>(p.selected.size()));
@@ -74,7 +74,7 @@ int main(int argc, char** argv) {
         model::Network powered = uniform_net;
         powered.set_powers(*p.powers);
         pc.rayleigh.add(
-            model::expected_successes_rayleigh(powered, p.selected, beta));
+            model::expected_successes_rayleigh(powered, p.selected, units::Threshold(beta)));
       }
 
       algorithms::LocalSearchOptions opt;
@@ -84,7 +84,7 @@ int main(int argc, char** argv) {
           algorithms::local_search_max_feasible_set(uniform_net, beta, opt);
       ls.size.add(static_cast<double>(l.selected.size()));
       ls.rayleigh.add(
-          model::expected_successes_rayleigh(uniform_net, l.selected, beta));
+          model::expected_successes_rayleigh(uniform_net, l.selected, units::Threshold(beta)));
     }
     std::cout << "# Ablation A5: capacity algorithms, n="
               << flags.get_int("links") << ", beta=" << beta << ", "
@@ -107,7 +107,7 @@ int main(int argc, char** argv) {
       sim::RngStream net_rng = master.derive(net_idx, 0xF);
       auto links = model::random_plane_links(params, net_rng);
       model::Network net(std::move(links),
-                         model::PowerAssignment::uniform(2.0), 2.2, 4e-7);
+                         model::PowerAssignment::uniform(2.0), 2.2, units::Power(4e-7));
       const auto opt = algorithms::exact_max_feasible_set(net, beta);
       if (opt.selected.empty()) continue;
       const double denom = static_cast<double>(opt.selected.size());

@@ -48,7 +48,7 @@ int main(int argc, char** argv) {
       auto links = model::random_plane_links(params, net_rng);
       const model::Network net(std::move(links),
                                model::PowerAssignment::uniform(2.0), 2.2,
-                               4e-7);
+                               units::Power(4e-7));
       const model::InterferenceGraph graph(net, factor);
 
       // Graph model's slot, judged by the SINR models.
@@ -56,10 +56,10 @@ int main(int argc, char** argv) {
       if (!slot.empty()) {
         slot_size.add(static_cast<double>(slot.size()));
         sinr_ok.add(static_cast<double>(model::count_successes_nonfading(
-                        net, slot, beta)) /
+                        net, slot, units::Threshold(beta))) /
                     static_cast<double>(slot.size()));
         rayleigh_frac.add(
-            model::expected_successes_rayleigh(net, slot, beta) /
+            model::expected_successes_rayleigh(net, slot, units::Threshold(beta)) /
             static_cast<double>(slot.size()));
       }
 

@@ -51,7 +51,7 @@ int main(int argc, char** argv) {
       auto links = model::random_plane_links(params, net_rng);
       const model::Network net(std::move(links),
                                model::PowerAssignment::uniform(2.0), 2.2,
-                               4e-7);
+                               units::Power(4e-7));
       for (std::size_t run = 0; run < runs; ++run) {
         sim::RngStream rng = master.derive(net_idx, 0xB)
                                  .derive(static_cast<std::uint64_t>(prop), run);

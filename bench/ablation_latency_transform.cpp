@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
   util::Table analytic({"p", "boosted", "boost/p"});
   for (int k = 1; k <= 10; ++k) {
     const double p = 0.05 * k;
-    const double b = core::boosted_success_probability(p);
+    const double b = core::boosted_success_probability(units::Probability(p)).value();
     analytic.add_row({p, b, b / p});
   }
   analytic.print_text(std::cout);
@@ -52,7 +52,7 @@ int main(int argc, char** argv) {
     sim::RngStream net_rng = master.derive(net_idx, 0xA);
     auto links = model::random_plane_links(params, net_rng);
     const model::Network net(std::move(links),
-                             model::PowerAssignment::uniform(2.0), 2.2, 4e-7);
+                             model::PowerAssignment::uniform(2.0), 2.2, units::Power(4e-7));
 
     sim::RngStream r1 = master.derive(net_idx, 0xB);
     sim::RngStream r2 = master.derive(net_idx, 0xC);
@@ -103,8 +103,8 @@ int main(int argc, char** argv) {
       auto links = model::random_plane_links(small, net_rng);
       const model::Network net(std::move(links),
                                model::PowerAssignment::uniform(2.0), 2.2,
-                               4e-7);
-      exact_acc.add(core::exact_aloha_expected_slots(net, 0.25, beta, prop));
+                               units::Power(4e-7));
+      exact_acc.add(core::exact_aloha_expected_slots(net, units::Probability(0.25), units::Threshold(beta), prop));
       for (std::size_t run = 0; run < 30; ++run) {
         sim::RngStream rng = master.derive(net_idx, 0x10).derive(
             static_cast<std::uint64_t>(prop), run);

@@ -53,15 +53,15 @@ int main(int argc, char** argv) {
         auto links = model::random_plane_links(params, net_rng);
         const model::Network net(std::move(links),
                                  model::PowerAssignment::uniform(2.0), 2.2,
-                                 4e-7);
+                                 units::Power(4e-7));
         std::vector<double> probs(net.size(), q);
         for (model::LinkId i = 0; i < net.size(); ++i) {
           const double exact =
-              core::rayleigh_success_probability(net, probs, i, beta);
+              core::rayleigh_success_probability(net, units::probabilities(probs), i, units::Threshold(beta)).value();
           const double lo =
-              core::rayleigh_success_lower_bound(net, probs, i, beta);
+              core::rayleigh_success_lower_bound(net, units::probabilities(probs), i, units::Threshold(beta)).value();
           const double hi =
-              core::rayleigh_success_upper_bound(net, probs, i, beta);
+              core::rayleigh_success_upper_bound(net, units::probabilities(probs), i, units::Threshold(beta)).value();
           exact_acc.add(exact);
           lower_acc.add(lo);
           upper_acc.add(hi);

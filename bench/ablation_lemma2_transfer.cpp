@@ -62,7 +62,7 @@ int main(int argc, char** argv) {
   sim::InstanceFactory factory = [params](sim::RngStream& rng) {
     auto links = model::random_plane_links(params, rng);
     return model::Network(std::move(links),
-                          model::PowerAssignment::uniform(2.0), 2.2, 4e-7);
+                          model::PowerAssignment::uniform(2.0), 2.2, units::Power(4e-7));
   };
 
   // Sites naming a trial wrap the trial function; 'f' sites wrap the factory.
@@ -97,7 +97,7 @@ int main(int argc, char** argv) {
       if (!greedy.selected.empty()) {
         greedy_size = static_cast<double>(greedy.selected.size());
         greedy_ratio =
-            model::expected_successes_rayleigh(net, greedy.selected, beta) /
+            model::expected_successes_rayleigh(net, greedy.selected, units::Threshold(beta)) /
             greedy_size;
       }
       const auto pc = algorithms::power_control_capacity(net, beta);
@@ -107,7 +107,7 @@ int main(int argc, char** argv) {
         powered.set_powers(*pc.powers);
         pc_size = static_cast<double>(pc.selected.size());
         pc_ratio =
-            model::expected_successes_rayleigh(powered, pc.selected, beta) /
+            model::expected_successes_rayleigh(powered, pc.selected, units::Threshold(beta)) /
             pc_size;
       }
       return std::vector<double>{greedy_size, greedy_ratio, pc_size, pc_ratio};

@@ -49,13 +49,13 @@ int main(int argc, char** argv) {
       auto links = model::random_plane_links(params, net_rng);
       const model::Network net(std::move(links),
                                model::PowerAssignment::uniform(2.0), 2.2,
-                               4e-7);
+                               units::Power(4e-7));
       const auto greedy = algorithms::greedy_capacity(net, beta);
       if (greedy.selected.empty()) continue;
       sim::RngStream fading = master.derive(net_idx, 0xB)
                                   .derive(static_cast<std::uint64_t>(m * 16));
       const double expected = model::expected_successes_nakagami_mc(
-          net, greedy.selected, beta, m, trials, fading);
+          net, greedy.selected, units::Threshold(beta), m, trials, fading);
       ratio_acc.add(expected / static_cast<double>(greedy.selected.size()));
     }
     std::string note;
@@ -72,7 +72,10 @@ int main(int argc, char** argv) {
   util::Table exact({"m", "P[success]"});
   for (double m : ms) {
     exact.add_row(
-        {m, model::noise_only_success_probability_nakagami(10.0, 0.5, 3.0, m)});
+        {m, model::noise_only_success_probability_nakagami(
+                    units::LinearGain(10.0), units::Power(0.5),
+                    units::Threshold(3.0), m)
+                    .value()});
   }
   exact.print_text(std::cout);
   std::cout << "\nexpected: transfer ratio increases monotonically in m from "

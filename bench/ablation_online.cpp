@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
     sim::RngStream net_rng = master.derive(net_idx, 0xA);
     auto links = model::random_plane_links(params, net_rng);
     const model::Network net(std::move(links),
-                             model::PowerAssignment::uniform(2.0), 2.2, 4e-7);
+                             model::PowerAssignment::uniform(2.0), 2.2, units::Power(4e-7));
     algorithms::OnlineScheduler sched(net, beta);
     sim::RngStream churn = master.derive(net_idx, 0xB);
 

@@ -44,9 +44,9 @@ int main(int argc, char** argv) {
     auto links = model::exponential_chain_links(n, 1.0,
                                                 flags.get_double("growth"));
     const model::Network uniform_net(
-        links, model::PowerAssignment::uniform(2.0), alpha, 1e-9);
+        links, model::PowerAssignment::uniform(2.0), alpha, units::Power(1e-9));
     const model::Network sqrt_net(
-        links, model::PowerAssignment::square_root(2.0), alpha, 1e-9);
+        links, model::PowerAssignment::square_root(2.0), alpha, units::Power(1e-9));
 
     const auto gu = algorithms::greedy_capacity(uniform_net, beta);
     const auto gs = algorithms::greedy_capacity(sqrt_net, beta);
@@ -60,7 +60,7 @@ int main(int argc, char** argv) {
     if (!pc.selected.empty()) {
       model::Network powered = uniform_net;
       powered.set_powers(*pc.powers);
-      pc_ray = model::expected_successes_rayleigh(powered, pc.selected, beta);
+      pc_ray = model::expected_successes_rayleigh(powered, pc.selected, units::Threshold(beta));
     }
     table.add_row({static_cast<long long>(n), uniform_net.length_ratio(),
                    static_cast<long long>(gu.selected.size()),

@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
         auto links = model::random_plane_links(params, net_rng);
         const model::Network net(std::move(links),
                                  model::PowerAssignment::uniform(2.0), 2.2,
-                                 4e-7);
+                                 units::Power(4e-7));
         algorithms::QueueSimOptions opts;
         opts.slots = slots;
         opts.beta = beta;

@@ -48,7 +48,7 @@ int main(int argc, char** argv) {
       auto links = model::random_plane_links(params, net_rng);
       const model::Network net(std::move(links),
                                model::PowerAssignment::uniform(2.0), 2.2,
-                               4e-7);
+                               units::Power(4e-7));
 
       algorithms::LocalSearchOptions ls;
       ls.restarts = 3;
@@ -58,7 +58,7 @@ int main(int argc, char** argv) {
       if (nf_opt.selected.empty()) continue;
 
       const double transferred =
-          model::expected_successes_rayleigh(net, nf_opt.selected, beta);
+          model::expected_successes_rayleigh(net, nf_opt.selected, units::Threshold(beta));
 
       algorithms::CoordinateAscentOptions ca;
       ca.restarts = 3;

@@ -50,7 +50,7 @@ int main(int argc, char** argv) {
       auto links = model::random_plane_links(params, net_rng);
       const model::Network nominal(std::move(links),
                                    model::PowerAssignment::uniform(2.0), 2.2,
-                                   4e-7);
+                                   units::Power(4e-7));
       const auto plan = algorithms::greedy_capacity(nominal, beta);
       if (plan.selected.empty()) continue;
       planned.add(static_cast<double>(plan.selected.size()));
@@ -60,13 +60,13 @@ int main(int argc, char** argv) {
                                                     sigma * 10.0),
                                                 d);
         const model::Network shadowed =
-            model::apply_lognormal_shadowing(nominal, sigma, shadow_rng);
+            model::apply_lognormal_shadowing(nominal, units::Decibel(sigma), shadow_rng);
         feasible_frac.add(
             static_cast<double>(model::count_successes_nonfading(
-                shadowed, plan.selected, beta)) /
+                shadowed, plan.selected, units::Threshold(beta))) /
             static_cast<double>(plan.selected.size()));
         rayleigh_frac.add(
-            model::expected_successes_rayleigh(shadowed, plan.selected, beta) /
+            model::expected_successes_rayleigh(shadowed, plan.selected, units::Threshold(beta)) /
             static_cast<double>(plan.selected.size()));
       }
     }

@@ -50,13 +50,13 @@ int main(int argc, char** argv) {
   params.num_links = n;
   auto links = model::random_plane_links(params, net_rng);
   const model::Network net(std::move(links),
-                           model::PowerAssignment::uniform(2.0), 2.2, 4e-7);
+                           model::PowerAssignment::uniform(2.0), 2.2, units::Power(4e-7));
   const double beta = 2.5;
 
   std::vector<double> q(net.size());
   sim::RngStream qrng = master.derive(0xB);
   for (auto& v : q) v = qrng.uniform();
-  const auto schedule = core::build_simulation_schedule(net, q);
+  const auto schedule = core::build_simulation_schedule(net, units::probabilities(q));
 
   std::cout << "\n# Ablation A3b: Lemma 3 — simulation success vs Rayleigh "
                "success (first 8 links)\n";
@@ -65,9 +65,12 @@ int main(int argc, char** argv) {
   int dominated = 0;
   const std::size_t show = std::min<std::size_t>(8, net.size());
   for (model::LinkId i = 0; i < show; ++i) {
-    const double rayleigh = core::rayleigh_success_probability(net, q, i, beta);
-    const double sim_prob = core::simulation_success_probability_mc(
-        net, schedule, i, beta, trials, mc);
+    const double rayleigh = core::rayleigh_success_probability(net, units::probabilities(q), i, units::Threshold(beta)).value();
+    const double sim_prob =
+        core::simulation_success_probability_mc(net, schedule, i,
+                                                units::Threshold(beta), trials,
+                                                mc)
+            .value();
     const bool ok = sim_prob + 2.5 * std::sqrt(0.25 / trials) >= rayleigh;
     dominated += ok ? 1 : 0;
     lemma3.add_row({static_cast<long long>(i), rayleigh, sim_prob,
@@ -77,10 +80,10 @@ int main(int argc, char** argv) {
 
   std::cout << "\n# Ablation A3c: Theorem 2 utility comparison\n";
   sim::RngStream mc2 = master.derive(0xD);
-  const core::Utility u = core::Utility::binary(beta);
+  const core::Utility u = core::Utility::binary(units::Threshold(beta));
   const double simulated = core::simulation_expected_best_utility_mc(
       net, schedule, u, trials, mc2);
-  const double rayleigh_util = core::expected_rayleigh_successes(net, q, beta);
+  const double rayleigh_util = core::expected_rayleigh_successes(net, units::probabilities(q), units::Threshold(beta));
   util::Table thm2({"quantity", "value"});
   thm2.add_row({std::string("levels used"),
                 static_cast<long long>(schedule.levels.size())});

@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
                              model::PowerAssignment::uniform(
                                  flags.get_double("power")),
                              flags.get_double("alpha"),
-                             flags.get_double("noise"));
+                             units::Power(flags.get_double("noise")));
 
     const auto greedy = algorithms::greedy_capacity(net, beta);
     algorithms::LocalSearchOptions ls;
@@ -58,7 +58,7 @@ int main(int argc, char** argv) {
     const auto opt_lb = algorithms::local_search_max_feasible_set(net, beta, ls);
 
     const double rayleigh =
-        model::expected_successes_rayleigh(net, opt_lb.selected, beta);
+        model::expected_successes_rayleigh(net, opt_lb.selected, units::Threshold(beta));
     greedy_acc.add(static_cast<double>(greedy.selected.size()));
     opt_acc.add(static_cast<double>(opt_lb.selected.size()));
     rayleigh_acc.add(rayleigh);

@@ -81,9 +81,9 @@ int main(int argc, char** argv) {
     sim::RngStream net_rng = master.derive(net_idx, 0xA);
     const auto links = model::random_plane_links(params, net_rng);
     const model::Network uniform_net(
-        links, model::PowerAssignment::uniform(power), alpha, noise);
+        links, model::PowerAssignment::uniform(power), alpha, units::Power(noise));
     const model::Network sqrt_net(
-        links, model::PowerAssignment::square_root(power), alpha, noise);
+        links, model::PowerAssignment::square_root(power), alpha, units::Power(noise));
 
     for (std::size_t k = 0; k < q_points; ++k) {
       const double q = q_values[k];
@@ -95,9 +95,9 @@ int main(int argc, char** argv) {
           if (draw_rng.bernoulli(q)) active.push_back(i);
         }
         nf_u += static_cast<double>(
-            model::count_successes_nonfading(uniform_net, active, beta));
+            model::count_successes_nonfading(uniform_net, active, units::Threshold(beta)));
         nf_s += static_cast<double>(
-            model::count_successes_nonfading(sqrt_net, active, beta));
+            model::count_successes_nonfading(sqrt_net, active, units::Threshold(beta)));
         if (flags.get_bool("sampled-fading")) {
           // Paper-exact protocol: average over explicit fading draws.
           const auto fading_seeds =
@@ -107,18 +107,18 @@ int main(int argc, char** argv) {
             sim::RngStream fade = master.derive(net_idx, 0xC).derive(k, t)
                                       .derive(f);
             su += static_cast<double>(
-                model::count_successes_rayleigh(uniform_net, active, beta,
+                model::count_successes_rayleigh(uniform_net, active, units::Threshold(beta),
                                                 fade));
             ss += static_cast<double>(
-                model::count_successes_rayleigh(sqrt_net, active, beta, fade));
+                model::count_successes_rayleigh(sqrt_net, active, units::Threshold(beta), fade));
           }
           rl_u += su / static_cast<double>(fading_seeds);
           rl_s += ss / static_cast<double>(fading_seeds);
         } else {
           // Exact expectation over fading (Theorem-1 product form): same
           // mean as the paper's 10 fading seeds, zero fading variance.
-          rl_u += model::expected_successes_rayleigh(uniform_net, active, beta);
-          rl_s += model::expected_successes_rayleigh(sqrt_net, active, beta);
+          rl_u += model::expected_successes_rayleigh(uniform_net, active, units::Threshold(beta));
+          rl_s += model::expected_successes_rayleigh(sqrt_net, active, units::Threshold(beta));
         }
       }
       const double d = static_cast<double>(transmit_seeds);

@@ -60,7 +60,8 @@ int main(int argc, char** argv) {
     const model::Network net(
         std::move(links),
         model::PowerAssignment::uniform(flags.get_double("power")),
-        flags.get_double("alpha"), flags.get_double("noise"));
+        flags.get_double("alpha"),
+        units::Power(flags.get_double("noise")));
 
     algorithms::LocalSearchOptions ls;
     ls.restarts = 2;

@@ -18,7 +18,7 @@ model::Network make_network(std::size_t n, std::uint64_t seed) {
   params.num_links = n;
   auto links = model::random_plane_links(params, rng);
   return model::Network(std::move(links), model::PowerAssignment::uniform(2.0),
-                        2.2, 4e-7);
+                        2.2, units::Power(4e-7));
 }
 
 model::LinkSet all_links(std::size_t n) {
@@ -44,7 +44,7 @@ void BM_RayleighClosedForm(benchmark::State& state) {
   const auto active = all_links(n);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        model::expected_successes_rayleigh(net, active, 2.5));
+        model::expected_successes_rayleigh(net, active, units::Threshold(2.5)));
   }
 }
 BENCHMARK(BM_RayleighClosedForm)->Arg(25)->Arg(50)->Arg(100);
@@ -56,7 +56,7 @@ void BM_RayleighSlotSample(benchmark::State& state) {
   sim::RngStream rng(3);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        model::count_successes_rayleigh(net, active, 2.5, rng));
+        model::count_successes_rayleigh(net, active, units::Threshold(2.5), rng));
   }
 }
 BENCHMARK(BM_RayleighSlotSample)->Arg(25)->Arg(50)->Arg(100);
@@ -67,7 +67,7 @@ void BM_Theorem1Probability(benchmark::State& state) {
   std::vector<double> q(n, 0.5);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        core::rayleigh_success_probability(net, q, 0, 2.5));
+        core::rayleigh_success_probability(net, units::probabilities(q), 0, units::Threshold(2.5)));
   }
 }
 BENCHMARK(BM_Theorem1Probability)->Arg(25)->Arg(100);
@@ -110,7 +110,7 @@ void BM_SimulationScheduleBuild(benchmark::State& state) {
   const auto net = make_network(n, 8);
   std::vector<double> q(n, 0.7);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(core::build_simulation_schedule(net, q));
+    benchmark::DoNotOptimize(core::build_simulation_schedule(net, units::probabilities(q)));
   }
 }
 BENCHMARK(BM_SimulationScheduleBuild)->Arg(100);

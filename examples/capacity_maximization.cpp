@@ -35,9 +35,9 @@ int main(int argc, char** argv) {
   const double beta = flags.get_double("beta");
 
   const model::Network uniform_net(links, model::PowerAssignment::uniform(2.0),
-                                   2.2, 4e-7);
+                                   2.2, units::Power(4e-7));
   const model::Network sqrt_net(links, model::PowerAssignment::square_root(2.0),
-                                2.2, 4e-7);
+                                2.2, units::Power(4e-7));
 
   util::Table table({"algorithm", "selected", "nonfading_value",
                      "E[rayleigh_value]"});
@@ -48,14 +48,14 @@ int main(int argc, char** argv) {
     table.add_row({std::string("greedy uniform"),
                    static_cast<long long>(g.selected.size()), g.value,
                    model::expected_successes_rayleigh(uniform_net, g.selected,
-                                                      beta)});
+                                                      units::Threshold(beta))});
   }
   {
     const auto g = algorithms::greedy_capacity(sqrt_net, beta);
     table.add_row({std::string("greedy sqrt-power"),
                    static_cast<long long>(g.selected.size()), g.value,
                    model::expected_successes_rayleigh(sqrt_net, g.selected,
-                                                      beta)});
+                                                      units::Threshold(beta))});
   }
   {
     const auto p = algorithms::power_control_capacity(uniform_net, beta);
@@ -64,7 +64,7 @@ int main(int argc, char** argv) {
       model::Network powered = uniform_net;
       powered.set_powers(*p.powers);
       rayleigh =
-          model::expected_successes_rayleigh(powered, p.selected, beta);
+          model::expected_successes_rayleigh(powered, p.selected, units::Threshold(beta));
     }
     table.add_row({std::string("power control"),
                    static_cast<long long>(p.selected.size()), p.value,

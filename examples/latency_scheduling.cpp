@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
   params.num_links = static_cast<std::size_t>(flags.get_int("links"));
   auto links = model::random_plane_links(params, rng);
   const model::Network net(std::move(links),
-                           model::PowerAssignment::uniform(2.0), 2.2, 4e-7);
+                           model::PowerAssignment::uniform(2.0), 2.2, units::Power(4e-7));
   const double beta = flags.get_double("beta");
 
   util::Table table({"scheduler", "model", "slots", "completed"});
@@ -73,7 +73,7 @@ int main(int argc, char** argv) {
   auto chain = model::chain_links(6, 30.0);
   const model::Network chain_net(std::move(chain),
                                  model::PowerAssignment::uniform(2.0), 2.2,
-                                 1e-7);
+                                 units::Power(1e-7));
   std::vector<algorithms::MultihopRequest> requests = {
       {{0, 1, 2, 3, 4, 5}}, {{2, 3, 4, 5}}, {{0, 1, 2}}, {{4, 5}}};
   sim::RngStream r = rng.derive(4);

@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
   params.num_links = static_cast<std::size_t>(flags.get_int("links"));
   auto links = model::random_plane_links(params, rng);
   const model::Network net(std::move(links),
-                           model::PowerAssignment::uniform(2.0), 2.2, 4e-7);
+                           model::PowerAssignment::uniform(2.0), 2.2, units::Power(4e-7));
   const double beta = flags.get_double("beta");
 
   algorithms::OnlineScheduler sched(net, beta);

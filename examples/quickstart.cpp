@@ -23,7 +23,7 @@ int main() {
   //    S̄(j,i) = p_j / d(s_j, r_i)^alpha.
   const model::Network net(std::move(links),
                            model::PowerAssignment::uniform(2.0),
-                           /*alpha=*/2.2, /*noise=*/4e-7);
+                           /*alpha=*/2.2, units::Power(/*noise=*/4e-7));
 
   // 3. Maximize capacity in the non-fading model at SINR threshold 2.5.
   const double beta = 2.5;
@@ -37,7 +37,7 @@ int main() {
   //    at least a 1/e fraction of the utility in expectation.
   sim::RngStream fading = rng.derive(/*tag=*/1);
   const auto transfer = core::transfer_capacity_solution(
-      net, solution.selected, core::Utility::binary(beta), /*trials=*/1,
+      net, solution.selected, core::Utility::binary(units::Threshold(beta)), /*trials=*/1,
       fading);
   std::cout << "expected Rayleigh successes: " << transfer.rayleigh_value
             << " (ratio " << transfer.ratio() << ", Lemma 2 bound "
@@ -46,7 +46,7 @@ int main() {
   // 5. Sample one actual fading slot to see the stochastic model in action.
   sim::RngStream slot = rng.derive(/*tag=*/2);
   const auto successes =
-      model::count_successes_rayleigh(net, solution.selected, beta, slot);
+      model::count_successes_rayleigh(net, solution.selected, units::Threshold(beta), slot);
   std::cout << "one sampled Rayleigh slot: " << successes << "/"
             << solution.selected.size() << " links succeeded\n";
   return 0;

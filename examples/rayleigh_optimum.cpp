@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
   params.num_links = static_cast<std::size_t>(flags.get_int("links"));
   auto links = model::random_plane_links(params, rng);
   const model::Network net(std::move(links),
-                           model::PowerAssignment::uniform(2.0), 2.2, 4e-7);
+                           model::PowerAssignment::uniform(2.0), 2.2, units::Power(4e-7));
   const double beta = flags.get_double("beta");
 
   // Non-fading optimum (certified lower bound) and its Lemma-2 transfer.
@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
   ls.restarts = 4;
   const auto nf_opt = algorithms::local_search_max_feasible_set(net, beta, ls);
   const double transferred =
-      model::expected_successes_rayleigh(net, nf_opt.selected, beta);
+      model::expected_successes_rayleigh(net, nf_opt.selected, units::Threshold(beta));
 
   // Rayleigh optimum by coordinate ascent over vertices.
   algorithms::CoordinateAscentOptions ca;
@@ -74,10 +74,10 @@ int main(int argc, char** argv) {
   table.print_text(std::cout);
 
   // Theorem 2: simulate the Rayleigh-optimal q with non-fading slots.
-  const auto schedule = core::build_simulation_schedule(net, vertex.q);
+  const auto schedule = core::build_simulation_schedule(net, units::probabilities(vertex.q));
   sim::RngStream sim_rng = rng.derive(1);
   const double best_slot_utility = core::simulation_expected_best_utility_mc(
-      net, schedule, core::Utility::binary(beta), 400, sim_rng);
+      net, schedule, core::Utility::binary(units::Threshold(beta)), 400, sim_rng);
   std::cout << "\nTheorem 2 simulation of the Rayleigh-optimal q: "
             << schedule.levels.size() << " levels x 19 = "
             << schedule.total_slots() << " non-fading slots;\n"

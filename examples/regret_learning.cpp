@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
   params.max_length = 100.0;
   auto links = model::random_plane_links(params, rng);
   const model::Network net(std::move(links),
-                           model::PowerAssignment::uniform(2.0), 2.1, 0.0);
+                           model::PowerAssignment::uniform(2.0), 2.1, units::Power(0.0));
   const double beta = flags.get_double("beta");
 
   algorithms::LocalSearchOptions ls;

@@ -6,10 +6,13 @@
 # logic) are what sanitizers catch, and a full sanitized build doubles CI
 # time.
 #
-# Usage: scripts/sanitize.sh [address|thread|all] [build-dir-prefix]
-#   address  ASan + UBSan (default)    -> <prefix>-address
-#   thread   ThreadSanitizer           -> <prefix>-thread
-#   all      both presets in sequence
+# Usage: scripts/sanitize.sh [address|thread|undefined|all] [build-dir-prefix]
+#   address    ASan + UBSan (default)   -> <prefix>-address
+#   thread     ThreadSanitizer          -> <prefix>-thread
+#   undefined  UBSan + float-divide-by-zero and float-cast-overflow, the
+#              float traps a bad dB<->linear crossing or unit mix-up would
+#              spring; sweeps the numeric suites -> <prefix>-undefined
+#   all        every preset in sequence
 # Default prefix: build-sanitize
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -40,21 +43,26 @@ run_preset() {
     # TSan cares about the concurrent paths only; add the parallel_for and
     # stress suites, drop the serial I/O-heavy ones for speed.
     filter='ThreadPool|ParallelFor|DefaultPool|Engine|Checkpoint|FaultInjection|cli_sweep'
+  elif [ "$preset" = "undefined" ]; then
+    # UBSan+float mode is cheap enough to sweep the numeric core, where a
+    # division by a zero gain or an overflowing dB cast would hide.
+    filter='Units|Theorem1|Lemma1|ExpectedSuccesses|NonFading|Latency|Simulation|Transfer|Nakagami|Shadowing|NetworkIo|Affectance'
   fi
   ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" -R "$filter"
   echo "sanitize: ${preset}: all selected tests passed"
 }
 
 case "$MODE" in
-  address|thread)
+  address|thread|undefined)
     run_preset "$MODE"
     ;;
   all)
     run_preset address
     run_preset thread
+    run_preset undefined
     ;;
   *)
-    echo "usage: scripts/sanitize.sh [address|thread|all] [build-dir-prefix]" >&2
+    echo "usage: scripts/sanitize.sh [address|thread|undefined|all] [build-dir-prefix]" >&2
     exit 2
     ;;
 esac

@@ -61,26 +61,26 @@ CapacityResult greedy_capacity(const Network& net, double beta,
     double on_i = 0.0;
     bool ok = true;
     for (LinkId j : result.selected) {
-      on_i += model::affectance_raw(net, j, i, beta);
+      on_i += model::affectance_raw(net, j, i, units::Threshold(beta));
       if (on_i > options.tau) {
         ok = false;
         break;
       }
-      if (in[j] + model::affectance_raw(net, i, j, beta) > options.tau) {
+      if (in[j] + model::affectance_raw(net, i, j, units::Threshold(beta)) > options.tau) {
         ok = false;
         break;
       }
     }
     if (!ok) continue;
     for (LinkId j : result.selected) {
-      in[j] += model::affectance_raw(net, i, j, beta);
+      in[j] += model::affectance_raw(net, i, j, units::Threshold(beta));
     }
     in[i] = on_i;
     result.selected.push_back(i);
   }
   std::sort(result.selected.begin(), result.selected.end());
   // tau <= 1 certifies feasibility; verify the invariant in debug builds.
-  assert(model::is_feasible(net, result.selected, beta));
+  assert(model::is_feasible(net, result.selected, units::Threshold(beta)));
   result.value = static_cast<double>(result.selected.size());
   return result;
 }
@@ -260,6 +260,10 @@ RateAssignmentResult rate_cascade(const Network& net, const core::Utility& u,
                                   double tau, bool single_class) {
   RateAssignmentResult result;
   result.betas.assign(net.size(), 0.0);
+  // Typed mirror of result.betas for the per-link affectance calls; entries
+  // of unselected links default to Threshold() == 1 and are never read
+  // (result.betas keeps the 0.0 "no class" sentinel of the public API).
+  std::vector<units::Threshold> typed_betas(net.size());
   std::vector<double> in(net.size(), 0.0);
   std::vector<bool> selected(net.size(), false);
   const std::size_t end = single_class ? start + 1 : class_betas.size();
@@ -270,12 +274,13 @@ RateAssignmentResult rate_cascade(const Network& net, const core::Utility& u,
       if (net.signal(i) / beta_c <= net.noise()) continue;
       // Tentatively assign class beta_c to i and test both directions.
       result.betas[i] = beta_c;
+      typed_betas[i] = units::Threshold(beta_c);
       double on_i = 0.0;
       bool ok = true;
       for (LinkId j : result.selected) {
-        on_i += model::affectance_raw_per_link(net, j, i, result.betas);
+        on_i += model::affectance_raw_per_link(net, j, i, typed_betas);
         if (on_i > tau ||
-            in[j] + model::affectance_raw_per_link(net, i, j, result.betas) >
+            in[j] + model::affectance_raw_per_link(net, i, j, typed_betas) >
                 tau) {
           ok = false;
           break;
@@ -283,10 +288,11 @@ RateAssignmentResult rate_cascade(const Network& net, const core::Utility& u,
       }
       if (!ok) {
         result.betas[i] = 0.0;
+        typed_betas[i] = units::Threshold();
         continue;
       }
       for (LinkId j : result.selected) {
-        in[j] += model::affectance_raw_per_link(net, i, j, result.betas);
+        in[j] += model::affectance_raw_per_link(net, i, j, typed_betas);
       }
       in[i] = on_i;
       selected[i] = true;
@@ -294,7 +300,7 @@ RateAssignmentResult rate_cascade(const Network& net, const core::Utility& u,
     }
   }
   std::sort(result.selected.begin(), result.selected.end());
-  assert(model::is_feasible_per_link(net, result.selected, result.betas));
+  assert(model::is_feasible_per_link(net, result.selected, typed_betas));
   const std::vector<double> sinrs =
       model::sinr_nonfading_all(net, result.selected);
   result.value = core::total_utility(u, sinrs);

@@ -131,7 +131,7 @@ CapacityResult local_search_max_feasible_set(const Network& net, double beta,
           continue;
         }
         current.push_back(i);
-        if (model::is_feasible(net, current, beta)) {
+        if (model::is_feasible(net, current, units::Threshold(beta))) {
           improved = true;
         } else {
           current.pop_back();
@@ -146,7 +146,7 @@ CapacityResult local_search_max_feasible_set(const Network& net, double beta,
         for (LinkId i : order) {
           if (std::find(trial.begin(), trial.end(), i) != trial.end()) continue;
           trial.push_back(i);
-          if (model::is_feasible(net, trial, beta)) {
+          if (model::is_feasible(net, trial, units::Threshold(beta))) {
             ++added;
           } else {
             trial.pop_back();

@@ -84,11 +84,12 @@ LinkSet OnlineScheduler::depart(LinkId i) {
 }
 
 double OnlineScheduler::expected_rayleigh_successes() const {
-  return model::expected_successes_rayleigh(*net_, active_, beta_);
+  return model::expected_successes_rayleigh(*net_, active_,
+                                            units::Threshold(beta_));
 }
 
 bool OnlineScheduler::invariant_holds() const {
-  return model::is_feasible(*net_, active_, beta_);
+  return model::is_feasible(*net_, active_, units::Threshold(beta_));
 }
 
 }  // namespace raysched::algorithms

@@ -5,6 +5,7 @@
 
 #include "core/success_probability.hpp"
 #include "util/error.hpp"
+#include "util/units.hpp"
 
 namespace raysched::algorithms {
 
@@ -31,12 +32,20 @@ double success_core(const Network& net, const std::vector<double>& q, LinkId i,
   return p;
 }
 
+/// Boundary adapter: the optimizer works on raw double vectors (they are
+/// mutated in tight clamp/flip loops); core's typed API is entered here.
+double expected_successes(const Network& net, const std::vector<double>& q,
+                          double beta) {
+  return core::expected_rayleigh_successes(net, units::probabilities(q),
+                                           units::Threshold(beta));
+}
+
 }  // namespace
 
 std::vector<double> expected_capacity_gradient(const Network& net,
                                                const std::vector<double>& q,
                                                double beta) {
-  core::validate_probabilities(net, q);
+  core::validate_probabilities(net, units::probabilities(q));
   require(beta > 0.0, "expected_capacity_gradient: beta must be positive");
   const std::size_t n = net.size();
   // Precompute cores once: O(n^2).
@@ -64,14 +73,14 @@ std::vector<double> expected_capacity_gradient(const Network& net,
 ProbabilityOptResult maximize_capacity_gradient_ascent(
     const Network& net, double beta, std::vector<double> q,
     const GradientAscentOptions& options) {
-  core::validate_probabilities(net, q);
+  core::validate_probabilities(net, units::probabilities(q));
   require(beta > 0.0,
           "maximize_capacity_gradient_ascent: beta must be positive");
   require(options.step > 0.0,
           "maximize_capacity_gradient_ascent: step must be positive");
 
   ProbabilityOptResult result;
-  double value = core::expected_rayleigh_successes(net, q, beta);
+  double value = expected_successes(net, q, beta);
   for (std::size_t it = 0; it < options.max_iterations; ++it) {
     const std::vector<double> grad = expected_capacity_gradient(net, q, beta);
     // Backtracking line search along the projected gradient direction.
@@ -82,8 +91,7 @@ ProbabilityOptResult maximize_capacity_gradient_ascent(
       for (std::size_t i = 0; i < q.size(); ++i) {
         next[i] = std::clamp(q[i] + step * grad[i], 0.0, 1.0);
       }
-      const double next_value =
-          core::expected_rayleigh_successes(net, next, beta);
+      const double next_value = expected_successes(net, next, beta);
       if (next_value > value + options.tolerance) {
         q = std::move(next);
         value = next_value;
@@ -120,7 +128,7 @@ ProbabilityOptResult maximize_capacity_coordinate_ascent(
     if (restart > 0) {
       for (auto& v : q) v = rng.bernoulli(0.5) ? 1.0 : 0.0;
     }
-    double value = core::expected_rayleigh_successes(net, q, beta);
+    double value = expected_successes(net, q, beta);
     std::size_t sweeps = 0;
     bool converged = false;
     while (sweeps < options.max_sweeps) {
@@ -132,7 +140,7 @@ ProbabilityOptResult maximize_capacity_coordinate_ascent(
         std::vector<double>& qk = q;
         const double old = qk[k];
         qk[k] = old == 0.0 ? 1.0 : 0.0;
-        const double flipped = core::expected_rayleigh_successes(net, qk, beta);
+        const double flipped = expected_successes(net, qk, beta);
         qk[k] = old;
         const double gain = flipped - value;
         if (gain > best_gain + 1e-12) {
@@ -156,7 +164,7 @@ ProbabilityOptResult maximize_capacity_coordinate_ascent(
     }
   }
   // Re-evaluate exactly to avoid accumulated drift from incremental gains.
-  best.value = core::expected_rayleigh_successes(net, best.q, beta);
+  best.value = expected_successes(net, best.q, beta);
   return best;
 }
 

@@ -111,7 +111,7 @@ RoutedInstance route_requests(const std::vector<Point>& relays, double range,
   }
 
   RoutedInstance out{
-      model::Network(std::move(links), power, alpha, noise),
+      model::Network(std::move(links), power, alpha, units::Power(noise)),
       {},
       std::move(edges)};
   out.requests.reserve(hop_lists.size());

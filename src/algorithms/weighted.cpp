@@ -58,16 +58,16 @@ WeightedCapacityResult weighted_greedy_capacity(
     double on_i = 0.0;
     bool ok = true;
     for (LinkId j : result.selected) {
-      on_i += model::affectance_raw(net, j, i, beta);
+      on_i += model::affectance_raw(net, j, i, units::Threshold(beta));
       if (on_i > options.tau ||
-          in[j] + model::affectance_raw(net, i, j, beta) > options.tau) {
+          in[j] + model::affectance_raw(net, i, j, units::Threshold(beta)) > options.tau) {
         ok = false;
         break;
       }
     }
     if (!ok) continue;
     for (LinkId j : result.selected) {
-      in[j] += model::affectance_raw(net, i, j, beta);
+      in[j] += model::affectance_raw(net, i, j, units::Threshold(beta));
     }
     in[i] = on_i;
     result.selected.push_back(i);
@@ -187,7 +187,7 @@ WeightedCapacityResult weighted_local_search(const Network& net, double beta,
         continue;
       }
       current.push_back(i);
-      if (model::is_feasible(net, current, beta)) {
+      if (model::is_feasible(net, current, units::Threshold(beta))) {
         improved = true;
       } else {
         current.pop_back();
@@ -205,7 +205,7 @@ WeightedCapacityResult weighted_local_search(const Network& net, double beta,
           continue;
         }
         trial.push_back(i);
-        if (!model::is_feasible(net, trial, beta)) trial.pop_back();
+        if (!model::is_feasible(net, trial, units::Threshold(beta))) trial.pop_back();
       }
       if (total_weight(trial, weights) > current_weight + 1e-12) {
         current = std::move(trial);

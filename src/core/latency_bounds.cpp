@@ -13,35 +13,41 @@ namespace raysched::core {
 using model::LinkId;
 using model::Network;
 
-std::vector<double> aloha_slot_success_probabilities(const Network& net,
-                                                     double q, double beta) {
-  require(q > 0.0 && q <= 1.0,
+units::ProbabilityVector aloha_slot_success_probabilities(
+    const Network& net, units::Probability q, units::Threshold beta) {
+  require(q.value() > 0.0 && q.value() <= 1.0,
           "aloha_slot_success_probabilities: q must be in (0,1]");
-  require(beta > 0.0, "aloha_slot_success_probabilities: beta must be > 0");
-  std::vector<double> probs(net.size(), q);
-  std::vector<double> out(net.size());
+  require(beta.value() > 0.0,
+          "aloha_slot_success_probabilities: beta must be > 0");
+  const units::ProbabilityVector probs = units::uniform_probabilities(
+      net.size(), q);
+  units::ProbabilityVector out;
+  out.reserve(net.size());
   for (LinkId i = 0; i < net.size(); ++i) {
-    out[i] = rayleigh_success_probability(net, probs, i, beta);
+    out.push_back(rayleigh_success_probability(net, probs, i, beta));
   }
   return out;
 }
 
-std::vector<double> aloha_solo_success_probabilities(const Network& net,
-                                                     double q, double beta) {
-  require(q > 0.0 && q <= 1.0,
+units::ProbabilityVector aloha_solo_success_probabilities(
+    const Network& net, units::Probability q, units::Threshold beta) {
+  require(q.value() > 0.0 && q.value() <= 1.0,
           "aloha_solo_success_probabilities: q must be in (0,1]");
-  require(beta > 0.0, "aloha_solo_success_probabilities: beta must be > 0");
-  std::vector<double> out(net.size());
+  require(beta.value() > 0.0,
+          "aloha_solo_success_probabilities: beta must be > 0");
+  units::ProbabilityVector out;
+  out.reserve(net.size());
   for (LinkId i = 0; i < net.size(); ++i) {
-    out[i] = q * std::exp(-beta * net.noise() / net.signal(i));
+    out.push_back(units::Probability(
+        q.value() * std::exp(-beta.value() * net.noise() / net.signal(i))));
   }
   return out;
 }
 
-double expected_cover_time(const std::vector<double>& p) {
+double expected_cover_time(const units::ProbabilityVector& p) {
   require(!p.empty(), "expected_cover_time: need at least one probability");
-  for (double v : p) {
-    require(v > 0.0 && v <= 1.0,
+  for (units::Probability v : p) {
+    require(v.value() > 0.0 && v.value() <= 1.0,
             "expected_cover_time: probabilities must be in (0,1]");
   }
   // E[T] = sum_{t >= 0} P[T > t] with
@@ -58,7 +64,7 @@ double expected_cover_time(const std::vector<double>& p) {
     const double tail = 1.0 - all_done;
     expectation += tail;
     if (tail < 1e-12 * (1.0 + expectation)) break;
-    for (std::size_t i = 0; i < p.size(); ++i) fail_pow[i] *= 1.0 - p[i];
+    for (std::size_t i = 0; i < p.size(); ++i) fail_pow[i] *= 1.0 - p[i].value();
   }
   // Covering a non-empty set takes at least one step; the truncated series
   // must also have stayed finite.
@@ -67,31 +73,37 @@ double expected_cover_time(const std::vector<double>& p) {
   return expectation;
 }
 
-std::vector<double> step_success_probabilities(const std::vector<double>& p_slot,
-                                               double q) {
-  require(q > 0.0 && q <= 1.0,
+units::ProbabilityVector step_success_probabilities(
+    const units::ProbabilityVector& p_slot, units::Probability q) {
+  const double qv = q.value();
+  require(qv > 0.0 && qv <= 1.0,
           "step_success_probabilities: q must be in (0,1]");
-  std::vector<double> out(p_slot.size());
+  units::ProbabilityVector out;
+  out.reserve(p_slot.size());
   for (std::size_t i = 0; i < p_slot.size(); ++i) {
-    require(p_slot[i] >= 0.0 && p_slot[i] <= q * (1.0 + 1e-12),
+    const double ps = p_slot[i].value();
+    require(ps >= 0.0 && ps <= qv * (1.0 + 1e-12),
             "step_success_probabilities: p_slot must be in [0, q]");
-    const double conditional = std::min(1.0, p_slot[i] / q);
+    const double conditional = std::min(1.0, ps / qv);
     double fail = 1.0;
     for (int r = 0; r < kLatencyRepeats; ++r) fail *= 1.0 - conditional;
-    out[i] = q * (1.0 - fail);
-    RAYSCHED_ENSURE(out[i] >= 0.0 && out[i] <= q,
+    const double step = qv * (1.0 - fail);
+    RAYSCHED_ENSURE(step >= 0.0 && step <= qv,
                     "macro-step success probability must lie in [0, q]");
+    out.push_back(units::Probability(step));
   }
   return out;
 }
 
-double aloha_latency_upper_estimate(const Network& net, double q, double beta) {
+double aloha_latency_upper_estimate(const Network& net, units::Probability q,
+                                    units::Threshold beta) {
   const auto steps = step_success_probabilities(
       aloha_slot_success_probabilities(net, q, beta), q);
   return static_cast<double>(kLatencyRepeats) * expected_cover_time(steps);
 }
 
-double aloha_latency_lower_estimate(const Network& net, double q, double beta) {
+double aloha_latency_lower_estimate(const Network& net, units::Probability q,
+                                    units::Threshold beta) {
   const auto steps = step_success_probabilities(
       aloha_solo_success_probabilities(net, q, beta), q);
   return static_cast<double>(kLatencyRepeats) * expected_cover_time(steps);

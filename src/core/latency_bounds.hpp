@@ -21,45 +21,48 @@
 #include <vector>
 
 #include "model/network.hpp"
+#include "util/units.hpp"
 
 namespace raysched::core {
 
 /// Per-slot success probability of each link in a fixed-q ALOHA step of the
 /// Rayleigh model, pessimistically assuming every other link still
 /// contends: Q_i(q, beta) via Theorem 1 with q_j = q for all j.
-[[nodiscard]] std::vector<double> aloha_slot_success_probabilities(
-    const model::Network& net, double q, double beta);
+[[nodiscard]] units::ProbabilityVector aloha_slot_success_probabilities(
+    const model::Network& net, units::Probability q, units::Threshold beta);
 
 /// Per-slot success probabilities in the optimistic extreme: only link i
 /// itself contends (everyone else already left): q * exp(-beta nu / S(i,i)).
-[[nodiscard]] std::vector<double> aloha_solo_success_probabilities(
-    const model::Network& net, double q, double beta);
+[[nodiscard]] units::ProbabilityVector aloha_solo_success_probabilities(
+    const model::Network& net, units::Probability q, units::Threshold beta);
 
 /// Expected time until every link succeeded at least once, for independent
 /// per-slot success probabilities p (exact for independent links), by
 /// inclusion-exclusion over subsets when n <= 20, and by numerically
 /// summing P[T > t] otherwise:
 ///   E[T] = sum_{t>=0} (1 - prod_i (1 - (1-p_i)^t)).
-[[nodiscard]] double expected_cover_time(const std::vector<double>& p);
+[[nodiscard]] double expected_cover_time(const units::ProbabilityVector& p);
 
 /// Converts per-slot conditional success probabilities into per-macro-step
 /// success probabilities of the Section-4 protocol: a link transmits with
 /// probability q per step and then gets kLatencyRepeats fresh fading trials,
 /// so step success = q * (1 - (1 - p_slot/q)^kLatencyRepeats). `p_slot` must
 /// be the *unconditional* per-slot probability (q already folded in).
-[[nodiscard]] std::vector<double> step_success_probabilities(
-    const std::vector<double>& p_slot, double q);
+[[nodiscard]] units::ProbabilityVector step_success_probabilities(
+    const units::ProbabilityVector& p_slot, units::Probability q);
 
 /// Pessimistic analytic latency estimate in elementary slots: cover time of
 /// the full-contention per-step probabilities, times the 4 slots per step.
 /// "Pessimistic" refers to contention (links never leave); the repeat boost
 /// is modeled, so this is an estimate rather than a strict bound.
 [[nodiscard]] double aloha_latency_upper_estimate(const model::Network& net,
-                                                  double q, double beta);
+                                                  units::Probability q,
+                                                  units::Threshold beta);
 
 /// Optimistic analytic latency estimate in elementary slots: cover time of
 /// the solo (no-contention) per-step probabilities, times 4.
 [[nodiscard]] double aloha_latency_lower_estimate(const model::Network& net,
-                                                  double q, double beta);
+                                                  units::Probability q,
+                                                  units::Threshold beta);
 
 }  // namespace raysched::core

@@ -27,12 +27,16 @@ LinkSet mask_to_set(unsigned mask, std::size_t n) {
 
 }  // namespace
 
-double exact_aloha_expected_macro_steps(const Network& net, double q,
-                                        double beta, Propagation propagation,
+double exact_aloha_expected_macro_steps(const Network& net,
+                                        units::Probability q_prob,
+                                        units::Threshold beta,
+                                        Propagation propagation,
                                         std::size_t max_n) {
+  const double q = q_prob.value();
+  const double b = beta.value();
   require(q > 0.0 && q <= 1.0,
           "exact_aloha_expected_macro_steps: q must be in (0, 1]");
-  require(beta > 0.0, "exact_aloha_expected_macro_steps: beta must be > 0");
+  require(b > 0.0, "exact_aloha_expected_macro_steps: beta must be > 0");
   require(net.size() <= max_n && net.size() <= 20,
           "exact_aloha_expected_macro_steps: instance too large for exact "
           "subset dynamic programming");
@@ -50,10 +54,10 @@ double exact_aloha_expected_macro_steps(const Network& net, double q,
     for (LinkId i : active) {
       double per_slot;
       if (propagation == Propagation::NonFading) {
-        per_slot =
-            model::sinr_nonfading(net, active, i) >= beta ? 1.0 : 0.0;
+        per_slot = model::sinr_nonfading(net, active, i) >= b ? 1.0 : 0.0;
       } else {
-        per_slot = model::success_probability_rayleigh(net, active, i, beta);
+        per_slot =
+            model::success_probability_rayleigh(net, active, i, beta).value();
       }
       double fail = 1.0;
       for (int r = 0; r < repeats; ++r) fail *= 1.0 - per_slot;
@@ -108,7 +112,8 @@ double exact_aloha_expected_macro_steps(const Network& net, double q,
   return expected[full];
 }
 
-double exact_aloha_expected_slots(const Network& net, double q, double beta,
+double exact_aloha_expected_slots(const Network& net, units::Probability q,
+                                  units::Threshold beta,
                                   Propagation propagation, std::size_t max_n) {
   const double steps =
       exact_aloha_expected_macro_steps(net, q, beta, propagation, max_n);

@@ -24,6 +24,7 @@
 
 #include "algorithms/latency.hpp"
 #include "model/network.hpp"
+#include "util/units.hpp"
 
 namespace raysched::core {
 
@@ -31,14 +32,14 @@ namespace raysched::core {
 /// for fixed per-link transmission probability `q` per step. Throws if
 /// net.size() > max_n (exponential cost) or q outside (0, 1].
 [[nodiscard]] double exact_aloha_expected_macro_steps(
-    const model::Network& net, double q, double beta,
+    const model::Network& net, units::Probability q, units::Threshold beta,
     algorithms::Propagation propagation, std::size_t max_n = 12);
 
 /// Exact expected number of *elementary slots* of the simulator
 /// aloha_schedule (non-adaptive options): macro steps times the per-step
 /// slot count (1 non-fading, kLatencyRepeats Rayleigh).
 [[nodiscard]] double exact_aloha_expected_slots(
-    const model::Network& net, double q, double beta,
+    const model::Network& net, units::Probability q, units::Threshold beta,
     algorithms::Propagation propagation, std::size_t max_n = 12);
 
 }  // namespace raysched::core

@@ -13,6 +13,7 @@
 #include <cmath>
 
 #include "util/error.hpp"
+#include "util/units.hpp"
 
 namespace raysched::core {
 
@@ -22,19 +23,20 @@ inline constexpr int kLatencyRepeats = 4;
 /// Probability that at least one of kLatencyRepeats independent Rayleigh
 /// attempts succeeds, given that each attempt succeeds with probability at
 /// least p/e (p = non-fading step success probability).
-[[nodiscard]] inline double boosted_success_probability(double p) {
-  require(p >= 0.0 && p <= 1.0,
+[[nodiscard]] inline units::Probability boosted_success_probability(
+    units::Probability p) {
+  require(p.value() >= 0.0 && p.value() <= 1.0,
           "boosted_success_probability: p must be in [0,1]");
-  const double per_attempt = p / std::exp(1.0);
+  const double per_attempt = p.value() / std::exp(1.0);
   double fail = 1.0;
   for (int r = 0; r < kLatencyRepeats; ++r) fail *= 1.0 - per_attempt;
-  return 1.0 - fail;
+  return units::Probability(1.0 - fail);
 }
 
 /// The Section 4 claim: for p <= 1/2, the boosted Rayleigh success
 /// probability dominates the non-fading step probability.
-[[nodiscard]] inline bool boost_dominates(double p) {
-  return boosted_success_probability(p) >= p;
+[[nodiscard]] inline bool boost_dominates(units::Probability p) {
+  return boosted_success_probability(p).value() >= p.value();
 }
 
 }  // namespace raysched::core

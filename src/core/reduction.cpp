@@ -18,7 +18,7 @@ RayleighScheduleDecision schedule_capacity_rayleigh(
   LinkSet selected;
   std::optional<std::vector<double>> powers;
   if (u.is_threshold()) {
-    const double beta = u.beta();
+    const double beta = u.beta().value();
     switch (options.algorithm) {
       case NonFadingAlgorithm::Greedy: {
         auto r = algorithms::greedy_capacity(net, beta);

@@ -15,8 +15,8 @@ using model::LinkId;
 using model::LinkSet;
 using model::Network;
 
-SimulationSchedule build_simulation_schedule(const Network& net,
-                                             const std::vector<double>& q) {
+SimulationSchedule build_simulation_schedule(
+    const Network& net, const units::ProbabilityVector& q) {
   validate_probabilities(net, q);
   SimulationSchedule schedule;
   const double n = static_cast<double>(net.size());
@@ -24,11 +24,12 @@ SimulationSchedule build_simulation_schedule(const Network& net,
   while (b < n) {
     SimulationLevel level;
     level.b_k = b;
-    level.probabilities.resize(q.size());
+    level.probabilities.reserve(q.size());
     for (std::size_t i = 0; i < q.size(); ++i) {
       // q_i / (4 b_k); b_0 = 1/4 makes the first level exactly q_i, later
       // levels shrink. Clamp defensively (q_i / (4*0.25) == q_i <= 1).
-      level.probabilities[i] = std::min(1.0, q[i] / (4.0 * b));
+      level.probabilities.push_back(
+          units::Probability(std::min(1.0, q[i].value() / (4.0 * b))));
     }
     schedule.levels.push_back(std::move(level));
     b = std::exp(b / 2.0);
@@ -41,8 +42,8 @@ SimulationSchedule build_simulation_schedule(const Network& net,
     RAYSCHED_ENSURE(k == 0 ||
                         schedule.levels[k].b_k > schedule.levels[k - 1].b_k,
                     "b_k tower must be strictly increasing");
-    for (double pr : schedule.levels[k].probabilities) {
-      RAYSCHED_ENSURE(pr >= 0.0 && pr <= 1.0,
+    for (units::Probability pr : schedule.levels[k].probabilities) {
+      RAYSCHED_ENSURE(pr.value() >= 0.0 && pr.value() <= 1.0,
                       "simulation level probabilities must lie in [0,1]");
     }
   }
@@ -52,50 +53,54 @@ SimulationSchedule build_simulation_schedule(const Network& net,
 namespace {
 
 /// Draws one transmit set according to `probs`.
-LinkSet draw_active(const std::vector<double>& probs, sim::RngStream& rng) {
+LinkSet draw_active(const units::ProbabilityVector& probs,
+                    sim::RngStream& rng) {
   LinkSet active;
   for (LinkId j = 0; j < probs.size(); ++j) {
-    if (probs[j] > 0.0 && rng.bernoulli(probs[j])) active.push_back(j);
+    const double pj = probs[j].value();
+    if (pj > 0.0 && rng.bernoulli(pj)) active.push_back(j);
   }
   return active;
 }
 
 /// Draws the interferer set (all links except `skip`) according to `probs`.
-LinkSet draw_active_except(const std::vector<double>& probs, LinkId skip,
+LinkSet draw_active_except(const units::ProbabilityVector& probs, LinkId skip,
                            sim::RngStream& rng) {
   LinkSet active;
   for (LinkId j = 0; j < probs.size(); ++j) {
     if (j == skip) continue;
-    if (probs[j] > 0.0 && rng.bernoulli(probs[j])) active.push_back(j);
+    const double pj = probs[j].value();
+    if (pj > 0.0 && rng.bernoulli(pj)) active.push_back(j);
   }
   return active;
 }
 
 }  // namespace
 
-double simulation_success_probability_mc(const Network& net,
-                                         const SimulationSchedule& schedule,
-                                         LinkId i, double beta,
-                                         std::size_t trials,
-                                         sim::RngStream& rng) {
+units::Probability simulation_success_probability_mc(
+    const Network& net, const SimulationSchedule& schedule, LinkId i,
+    units::Threshold beta, std::size_t trials, sim::RngStream& rng) {
   require(i < net.size(), "simulation_success_probability_mc: id range");
-  require(beta > 0.0, "simulation_success_probability_mc: beta > 0 required");
+  require(beta.value() > 0.0,
+          "simulation_success_probability_mc: beta > 0 required");
   require(trials > 0, "simulation_success_probability_mc: trials > 0 required");
+  const double b = beta.value();
   std::size_t hits = 0;
   for (std::size_t t = 0; t < trials; ++t) {
     bool success = false;
     for (const SimulationLevel& level : schedule.levels) {
       for (int r = 0; r < level.repeats && !success; ++r) {
-        if (!rng.bernoulli(level.probabilities[i])) continue;
+        if (!rng.bernoulli(level.probabilities[i].value())) continue;
         LinkSet active = draw_active_except(level.probabilities, i, rng);
         active.push_back(i);
-        if (model::sinr_nonfading(net, active, i) >= beta) success = true;
+        if (model::sinr_nonfading(net, active, i) >= b) success = true;
       }
       if (success) break;
     }
     if (success) ++hits;
   }
-  return static_cast<double>(hits) / static_cast<double>(trials);
+  return units::Probability(static_cast<double>(hits) /
+                            static_cast<double>(trials));
 }
 
 double simulation_expected_best_utility_mc(const Network& net,

@@ -16,6 +16,7 @@
 #include "core/utility.hpp"
 #include "model/network.hpp"
 #include "sim/rng.hpp"
+#include "util/units.hpp"
 
 namespace raysched::core {
 
@@ -25,8 +26,8 @@ inline constexpr int kSimulationRepeatsPerLevel = 19;
 /// One probability level of the simulation: all senders use probabilities
 /// q_i / (4 b_k) for `repeats` independent slots.
 struct SimulationLevel {
-  double b_k = 0.0;                   ///< the b_k value of this level
-  std::vector<double> probabilities;  ///< q_i / (4 b_k), clamped to [0,1]
+  double b_k = 0.0;  ///< the b_k value of this level
+  units::ProbabilityVector probabilities;  ///< q_i / (4 b_k), clamped to [0,1]
   int repeats = kSimulationRepeatsPerLevel;
 };
 
@@ -45,15 +46,16 @@ struct SimulationSchedule {
 
 /// Builds the Algorithm 1 schedule for `q` on a network of size net.size().
 [[nodiscard]] SimulationSchedule build_simulation_schedule(
-    const model::Network& net, const std::vector<double>& q);
+    const model::Network& net, const units::ProbabilityVector& q);
 
 /// Monte-Carlo estimate of Pr[max_t gamma_i^{nf,t} >= beta]: the probability
 /// that link i succeeds in the non-fading model in at least one slot of the
 /// simulation. Lemma 3 guarantees this is >= Q_i(q, beta) whenever
 /// beta <= S̄(i,i)/(2 nu).
-[[nodiscard]] double simulation_success_probability_mc(
+[[nodiscard]] units::Probability simulation_success_probability_mc(
     const model::Network& net, const SimulationSchedule& schedule,
-    model::LinkId i, double beta, std::size_t trials, sim::RngStream& rng);
+    model::LinkId i, units::Threshold beta, std::size_t trials,
+    sim::RngStream& rng);
 
 /// Monte-Carlo estimate of E[sum_i u(max_t gamma_i^{nf,t})]: the expected
 /// utility when every link keeps the best SINR it saw across all simulation

@@ -12,79 +12,90 @@ namespace raysched::core {
 using model::LinkId;
 using model::Network;
 
-void validate_probabilities(const Network& net, const std::vector<double>& q) {
+void validate_probabilities(const Network& net,
+                            const units::ProbabilityVector& q) {
   require(q.size() == net.size(),
           "probability vector size must equal network size");
-  for (double p : q) {
-    require(p >= 0.0 && p <= 1.0, "transmission probabilities must be in [0,1]");
+  for (units::Probability p : q) {
+    require(p.value() >= 0.0 && p.value() <= 1.0,
+            "transmission probabilities must be in [0,1]");
   }
 }
 
-double rayleigh_success_probability(const Network& net,
-                                    const std::vector<double>& q, LinkId i,
-                                    double beta) {
+units::Probability rayleigh_success_probability(
+    const Network& net, const units::ProbabilityVector& q, LinkId i,
+    units::Threshold beta) {
   validate_probabilities(net, q);
   require(i < net.size(), "rayleigh_success_probability: id out of range");
-  require(beta > 0.0, "rayleigh_success_probability: beta must be positive");
+  require(beta.value() > 0.0,
+          "rayleigh_success_probability: beta must be positive");
+  const double b = beta.value();
   const double sii = net.signal(i);
-  double p = q[i] * std::exp(-beta * net.noise() / sii);
+  double p = q[i].value() * std::exp(-b * net.noise() / sii);
   for (LinkId j = 0; j < net.size(); ++j) {
-    if (j == i || q[j] == 0.0) continue;
+    if (j == i || q[j].value() == 0.0) continue;
     // beta / (beta + S(i,i)/S(j,i)) rewritten division-safely as
     // beta*S(j,i) / (beta*S(j,i) + S(i,i)); correct also when S(j,i) == 0.
     const double sji = net.mean_gain(j, i);
-    p *= 1.0 - beta * sji * q[j] / (beta * sji + sii);
+    p *= 1.0 - b * sji * q[j].value() / (b * sji + sii);
   }
   RAYSCHED_ENSURE(std::isfinite(p) && p >= 0.0 && p <= 1.0,
                   "Theorem-1 product form left [0,1]");
-  return p;
+  return units::Probability(p);
 }
 
-double rayleigh_success_lower_bound(const Network& net,
-                                    const std::vector<double>& q, LinkId i,
-                                    double beta) {
+units::Probability rayleigh_success_lower_bound(
+    const Network& net, const units::ProbabilityVector& q, LinkId i,
+    units::Threshold beta) {
   validate_probabilities(net, q);
   require(i < net.size(), "rayleigh_success_lower_bound: id out of range");
-  require(beta > 0.0, "rayleigh_success_lower_bound: beta must be positive");
+  require(beta.value() > 0.0,
+          "rayleigh_success_lower_bound: beta must be positive");
+  const double b = beta.value();
   const double sii = net.signal(i);
   double mass = net.noise();
   for (LinkId j = 0; j < net.size(); ++j) {
-    if (j != i) mass += net.mean_gain(j, i) * q[j];
+    if (j != i) mass += net.mean_gain(j, i) * q[j].value();
   }
-  const double lo = q[i] * std::exp(-beta * mass / sii);
+  const double lo = q[i].value() * std::exp(-b * mass / sii);
   RAYSCHED_ENSURE(std::isfinite(lo) && lo >= 0.0 && lo <= 1.0,
                   "Lemma-1 lower bound left [0,1]");
-  return lo;
+  return units::Probability(lo);
 }
 
-double rayleigh_success_upper_bound(const Network& net,
-                                    const std::vector<double>& q, LinkId i,
-                                    double beta) {
+units::Probability rayleigh_success_upper_bound(
+    const Network& net, const units::ProbabilityVector& q, LinkId i,
+    units::Threshold beta) {
   validate_probabilities(net, q);
   require(i < net.size(), "rayleigh_success_upper_bound: id out of range");
-  require(beta > 0.0, "rayleigh_success_upper_bound: beta must be positive");
+  require(beta.value() > 0.0,
+          "rayleigh_success_upper_bound: beta must be positive");
+  const double b = beta.value();
   const double sii = net.signal(i);
-  double exponent = -beta * net.noise() / sii;
+  double exponent = -b * net.noise() / sii;
   for (LinkId j = 0; j < net.size(); ++j) {
     if (j == i) continue;
-    exponent -= std::min(0.5, beta * net.mean_gain(j, i) / (2.0 * sii)) * q[j];
+    exponent -=
+        std::min(0.5, b * net.mean_gain(j, i) / (2.0 * sii)) * q[j].value();
   }
-  const double hi = q[i] * std::exp(exponent);
+  const double hi = q[i].value() * std::exp(exponent);
   RAYSCHED_ENSURE(std::isfinite(hi) && hi >= 0.0 && hi <= 1.0,
                   "Lemma-1 upper bound left [0,1]");
-  return hi;
+  return units::Probability(hi);
 }
 
-double interference_weight(const Network& net, const std::vector<double>& q,
-                           LinkId i, double beta) {
+double interference_weight(const Network& net,
+                           const units::ProbabilityVector& q, LinkId i,
+                           units::Threshold beta) {
   validate_probabilities(net, q);
   require(i < net.size(), "interference_weight: id out of range");
-  require(beta > 0.0, "interference_weight: beta must be positive");
+  require(beta.value() > 0.0, "interference_weight: beta must be positive");
+  const double b = beta.value();
   const double sii = net.signal(i);
   double a = 0.0;
   for (LinkId j = 0; j < net.size(); ++j) {
     if (j == i) continue;
-    a += std::min(1.0, beta * net.mean_gain(j, i) / sii) * q[j];
+    a += std::min(1.0, b * net.mean_gain(j, i) / sii) * q[j].value();
   }
   RAYSCHED_ENSURE(std::isfinite(a) && a >= 0.0,
                   "interference weight A_i must be finite and non-negative");
@@ -92,24 +103,27 @@ double interference_weight(const Network& net, const std::vector<double>& q,
 }
 
 double expected_rayleigh_successes(const Network& net,
-                                   const std::vector<double>& q, double beta) {
+                                   const units::ProbabilityVector& q,
+                                   units::Threshold beta) {
   double total = 0.0;
   for (LinkId i = 0; i < net.size(); ++i) {
-    if (q[i] > 0.0) total += rayleigh_success_probability(net, q, i, beta);
+    if (q[i].value() > 0.0) {
+      total += rayleigh_success_probability(net, q, i, beta).value();
+    }
   }
   RAYSCHED_ENSURE(total <= static_cast<double>(net.size()),
                   "expected successes cannot exceed the number of links");
   return total;
 }
 
-double nonfading_success_probability_exact(const Network& net,
-                                           const std::vector<double>& q,
-                                           LinkId i, double beta,
-                                           std::size_t max_free) {
+units::Probability nonfading_success_probability_exact(
+    const Network& net, const units::ProbabilityVector& q, LinkId i,
+    units::Threshold beta, std::size_t max_free) {
   validate_probabilities(net, q);
   require(i < net.size(), "nonfading_success_probability_exact: id range");
-  require(beta > 0.0, "nonfading_success_probability_exact: beta > 0 required");
-  if (q[i] == 0.0) return 0.0;
+  require(beta.value() > 0.0,
+          "nonfading_success_probability_exact: beta > 0 required");
+  if (q[i].value() == 0.0) return units::Probability(0.0);
 
   // Links with q == 1 always interfere; links with fractional q are "free";
   // links with q == 0 never interfere.
@@ -117,14 +131,15 @@ double nonfading_success_probability_exact(const Network& net,
   std::vector<LinkId> free;
   for (LinkId j = 0; j < net.size(); ++j) {
     if (j == i) continue;
-    if (q[j] >= 1.0) fixed_interference += net.mean_gain(j, i);
-    else if (q[j] > 0.0) free.push_back(j);
+    if (q[j].value() >= 1.0) fixed_interference += net.mean_gain(j, i);
+    else if (q[j].value() > 0.0) free.push_back(j);
   }
   require(free.size() <= max_free,
           "nonfading_success_probability_exact: too many fractional links; "
           "use the Monte-Carlo estimator");
 
-  const double budget = net.signal(i) / beta;  // need interference <= budget
+  // need interference <= budget
+  const double budget = net.signal(i) / beta.value();
   const std::size_t m = free.size();
   double success = 0.0;
   for (std::size_t mask = 0; mask < (std::size_t{1} << m); ++mask) {
@@ -133,52 +148,59 @@ double nonfading_success_probability_exact(const Network& net,
     for (std::size_t b = 0; b < m; ++b) {
       if (mask & (std::size_t{1} << b)) {
         interference += net.mean_gain(free[b], i);
-        prob *= q[free[b]];
+        prob *= q[free[b]].value();
       } else {
-        prob *= 1.0 - q[free[b]];
+        prob *= 1.0 - q[free[b]].value();
       }
     }
     if (interference <= budget) success += prob;
   }
-  return q[i] * success;
+  // The mask sum equals a true probability in real arithmetic but can round
+  // a few ulp past 1; snap the aggregate back into range.
+  return units::Probability::clamped(q[i].value() * success);
 }
 
-double nonfading_success_probability_mc(const Network& net,
-                                        const std::vector<double>& q, LinkId i,
-                                        double beta, std::size_t trials,
-                                        sim::RngStream& rng) {
+units::Probability nonfading_success_probability_mc(
+    const Network& net, const units::ProbabilityVector& q, LinkId i,
+    units::Threshold beta, std::size_t trials, sim::RngStream& rng) {
   validate_probabilities(net, q);
   require(i < net.size(), "nonfading_success_probability_mc: id range");
-  require(beta > 0.0, "nonfading_success_probability_mc: beta > 0 required");
+  require(beta.value() > 0.0,
+          "nonfading_success_probability_mc: beta > 0 required");
   require(trials > 0, "nonfading_success_probability_mc: trials > 0 required");
-  if (q[i] == 0.0) return 0.0;
-  const double budget = net.signal(i) / beta;
+  if (q[i].value() == 0.0) return units::Probability(0.0);
+  const double budget = net.signal(i) / beta.value();
   std::size_t hits = 0;
   for (std::size_t t = 0; t < trials; ++t) {
-    if (!rng.bernoulli(q[i])) continue;  // i itself must transmit
+    if (!rng.bernoulli(q[i].value())) continue;  // i itself must transmit
     double interference = net.noise();
     for (LinkId j = 0; j < net.size(); ++j) {
-      if (j == i || q[j] == 0.0) continue;
-      if (rng.bernoulli(q[j])) interference += net.mean_gain(j, i);
+      if (j == i || q[j].value() == 0.0) continue;
+      if (rng.bernoulli(q[j].value())) interference += net.mean_gain(j, i);
     }
     if (interference <= budget) ++hits;
   }
-  return static_cast<double>(hits) / static_cast<double>(trials);
+  return units::Probability(static_cast<double>(hits) /
+                            static_cast<double>(trials));
 }
 
 double expected_nonfading_successes_mc(const Network& net,
-                                       const std::vector<double>& q,
-                                       double beta, std::size_t trials,
+                                       const units::ProbabilityVector& q,
+                                       units::Threshold beta,
+                                       std::size_t trials,
                                        sim::RngStream& rng) {
   validate_probabilities(net, q);
-  require(beta > 0.0, "expected_nonfading_successes_mc: beta > 0 required");
+  require(beta.value() > 0.0,
+          "expected_nonfading_successes_mc: beta > 0 required");
   require(trials > 0, "expected_nonfading_successes_mc: trials > 0 required");
   double total = 0.0;
   model::LinkSet active;
   for (std::size_t t = 0; t < trials; ++t) {
     active.clear();
     for (LinkId j = 0; j < net.size(); ++j) {
-      if (q[j] > 0.0 && rng.bernoulli(q[j])) active.push_back(j);
+      if (q[j].value() > 0.0 && rng.bernoulli(q[j].value())) {
+        active.push_back(j);
+      }
     }
     total += static_cast<double>(
         model::count_successes_nonfading(net, active, beta));

@@ -13,69 +13,79 @@
 // In the non-fading model the same quantity has no product form; we provide
 // exact evaluation by subset enumeration (n <= ~25) and Monte-Carlo
 // estimation for larger n.
+//
+// Probabilities and SINR thresholds cross this API as units::Probability /
+// units::Threshold strong types; the implementations unwrap once via
+// .value() and run the closed forms on raw doubles, so the numerics are
+// bit-identical to the pre-typed code.
 #pragma once
 
 #include <vector>
 
 #include "model/network.hpp"
 #include "sim/rng.hpp"
+#include "util/units.hpp"
 
 namespace raysched::core {
 
 /// Validates a transmission-probability vector: size n, entries in [0,1].
+/// (Probability construction already enforces the range in contract builds;
+/// this keeps the check in Release where the ctor contract compiles out.)
 void validate_probabilities(const model::Network& net,
-                            const std::vector<double>& q);
+                            const units::ProbabilityVector& q);
 
 /// Theorem 1: exact Rayleigh success probability of link i under independent
 /// transmission probabilities q (includes the factor q_i for i transmitting).
-[[nodiscard]] double rayleigh_success_probability(const model::Network& net,
-                                                  const std::vector<double>& q,
-                                                  model::LinkId i, double beta);
+[[nodiscard]] units::Probability rayleigh_success_probability(
+    const model::Network& net, const units::ProbabilityVector& q,
+    model::LinkId i, units::Threshold beta);
 
 /// Lemma 1 lower bound:
 ///   Q_i >= q_i * exp(-(beta/S̄(i,i)) * (nu + sum_{j!=i} S̄(j,i) q_j)).
-[[nodiscard]] double rayleigh_success_lower_bound(const model::Network& net,
-                                                  const std::vector<double>& q,
-                                                  model::LinkId i, double beta);
+[[nodiscard]] units::Probability rayleigh_success_lower_bound(
+    const model::Network& net, const units::ProbabilityVector& q,
+    model::LinkId i, units::Threshold beta);
 
 /// Lemma 1 upper bound:
 ///   Q_i <= q_i * exp(-beta nu/S̄(i,i)
 ///                    - sum_{j!=i} min{1/2, beta S̄(j,i)/(2 S̄(i,i))} q_j).
-[[nodiscard]] double rayleigh_success_upper_bound(const model::Network& net,
-                                                  const std::vector<double>& q,
-                                                  model::LinkId i, double beta);
+[[nodiscard]] units::Probability rayleigh_success_upper_bound(
+    const model::Network& net, const units::ProbabilityVector& q,
+    model::LinkId i, units::Threshold beta);
 
 /// The interference weight A_i = sum_{j != i} min{1, beta S̄(j,i)/S̄(i,i)} q_j
-/// from the proof of Theorem 2 (Lemma 3).
+/// from the proof of Theorem 2 (Lemma 3). A weight, not a probability — it
+/// can exceed 1 — so it stays a raw double by design.
 [[nodiscard]] double interference_weight(const model::Network& net,
-                                         const std::vector<double>& q,
-                                         model::LinkId i, double beta);
+                                         const units::ProbabilityVector& q,
+                                         model::LinkId i,
+                                         units::Threshold beta);
 
 /// Expected number of Rayleigh-successful transmissions per slot under q
-/// (sum of Theorem-1 probabilities). Exact.
-[[nodiscard]] double expected_rayleigh_successes(const model::Network& net,
-                                                 const std::vector<double>& q,
-                                                 double beta);
+/// (sum of Theorem-1 probabilities). Exact. An expectation over links, not a
+/// probability, so it returns double.
+[[nodiscard]] double expected_rayleigh_successes(
+    const model::Network& net, const units::ProbabilityVector& q,
+    units::Threshold beta);
 
 /// Exact non-fading success probability of link i under q, by enumerating
 /// all 2^m subsets of interferers with q_j in (0,1) (links with q_j == 0 or
 /// 1 are folded in). Throws raysched::error if more than `max_free` links
 /// have fractional probabilities (default 25).
-[[nodiscard]] double nonfading_success_probability_exact(
-    const model::Network& net, const std::vector<double>& q, model::LinkId i,
-    double beta, std::size_t max_free = 25);
+[[nodiscard]] units::Probability nonfading_success_probability_exact(
+    const model::Network& net, const units::ProbabilityVector& q,
+    model::LinkId i, units::Threshold beta, std::size_t max_free = 25);
 
 /// Monte-Carlo estimate of the non-fading success probability of link i
 /// under q, using `trials` independent transmit-set draws.
-[[nodiscard]] double nonfading_success_probability_mc(
-    const model::Network& net, const std::vector<double>& q, model::LinkId i,
-    double beta, std::size_t trials, sim::RngStream& rng);
+[[nodiscard]] units::Probability nonfading_success_probability_mc(
+    const model::Network& net, const units::ProbabilityVector& q,
+    model::LinkId i, units::Threshold beta, std::size_t trials,
+    sim::RngStream& rng);
 
 /// Expected non-fading successes per slot under q, Monte-Carlo.
-[[nodiscard]] double expected_nonfading_successes_mc(const model::Network& net,
-                                                     const std::vector<double>& q,
-                                                     double beta,
-                                                     std::size_t trials,
-                                                     sim::RngStream& rng);
+[[nodiscard]] double expected_nonfading_successes_mc(
+    const model::Network& net, const units::ProbabilityVector& q,
+    units::Threshold beta, std::size_t trials, sim::RngStream& rng);
 
 }  // namespace raysched::core

@@ -23,8 +23,9 @@ double expected_rayleigh_utility_exact(const Network& net,
   for (LinkId i : solution) {
     RAYSCHED_EXPECT(i < net.size(),
                     "solution contains a link id outside the network");
-    total += u.weight() *
-             model::success_probability_rayleigh(net, solution, i, u.beta());
+    total +=
+        u.weight() *
+        model::success_probability_rayleigh(net, solution, i, u.beta()).value();
   }
   RAYSCHED_ENSURE(
       std::isfinite(total) && total >= 0.0 &&
@@ -63,15 +64,17 @@ TransferResult transfer_capacity_solution(const Network& net,
   return result;
 }
 
-double per_link_transfer_probability(const Network& net, const LinkSet& solution,
-                                     LinkId i) {
+units::Probability per_link_transfer_probability(const Network& net,
+                                                 const LinkSet& solution,
+                                                 LinkId i) {
   require(i < net.size(), "per_link_transfer_probability: id out of range");
   const double gamma_nf = model::sinr_nonfading(net, solution, i);
   require(std::isfinite(gamma_nf),
           "per_link_transfer_probability: non-fading SINR is infinite "
           "(no noise and no interference); Lemma 2 is vacuous here");
-  const double p = model::success_probability_rayleigh(net, solution, i, gamma_nf);
-  RAYSCHED_ENSURE(p >= 0.0 && p <= 1.0,
+  const units::Probability p = model::success_probability_rayleigh(
+      net, solution, i, units::Threshold(gamma_nf));
+  RAYSCHED_ENSURE(p.value() >= 0.0 && p.value() <= 1.0,
                   "transfer probability must be a probability");
   return p;
 }

@@ -15,6 +15,7 @@
 #include "model/link.hpp"
 #include "model/network.hpp"
 #include "sim/rng.hpp"
+#include "util/units.hpp"
 
 namespace raysched::core {
 
@@ -58,8 +59,8 @@ struct TransferResult {
 /// its own non-fading SINR when exactly `solution` transmits. Lemma 2 proves
 /// this is always >= 1/e (when noise+interference > 0). Exposed for tests
 /// and the A2 ablation bench.
-[[nodiscard]] double per_link_transfer_probability(const model::Network& net,
-                                                   const model::LinkSet& solution,
-                                                   model::LinkId i);
+[[nodiscard]] units::Probability per_link_transfer_probability(
+    const model::Network& net, const model::LinkSet& solution,
+    model::LinkId i);
 
 }  // namespace raysched::core

@@ -7,26 +7,28 @@
 
 namespace raysched::core {
 
-Utility Utility::binary(double beta) {
-  require(beta > 0.0, "Utility::binary: beta must be positive");
+Utility Utility::binary(units::Threshold beta) {
+  const double b = beta.value();
+  require(b > 0.0, "Utility::binary: beta must be positive");
   Utility u;
   u.kind_ = Kind::Binary;
-  u.beta_ = beta;
+  u.beta_ = b;
   u.weight_ = 1.0;
-  u.concave_from_ = beta;
-  u.name_ = "binary(beta=" + std::to_string(beta) + ")";
+  u.concave_from_ = b;
+  u.name_ = "binary(beta=" + std::to_string(b) + ")";
   return u;
 }
 
-Utility Utility::weighted(double beta, double weight) {
-  require(beta > 0.0, "Utility::weighted: beta must be positive");
+Utility Utility::weighted(units::Threshold beta, double weight) {
+  const double b = beta.value();
+  require(b > 0.0, "Utility::weighted: beta must be positive");
   require(weight >= 0.0, "Utility::weighted: weight must be >= 0");
   Utility u;
   u.kind_ = Kind::Weighted;
-  u.beta_ = beta;
+  u.beta_ = b;
   u.weight_ = weight;
-  u.concave_from_ = beta;
-  u.name_ = "weighted(beta=" + std::to_string(beta) +
+  u.concave_from_ = b;
+  u.name_ = "weighted(beta=" + std::to_string(b) +
             ",w=" + std::to_string(weight) + ")";
   return u;
 }
@@ -72,9 +74,9 @@ double Utility::value(double gamma) const {
   return 0.0;  // unreachable
 }
 
-double Utility::beta() const {
+units::Threshold Utility::beta() const {
   require(is_threshold(), "Utility::beta: not a threshold utility");
-  return beta_;
+  return units::Threshold(beta_);
 }
 
 double Utility::weight() const {

@@ -20,6 +20,7 @@
 
 #include "model/network.hpp"
 #include "util/error.hpp"
+#include "util/units.hpp"
 
 namespace raysched::core {
 
@@ -27,10 +28,10 @@ namespace raysched::core {
 class Utility {
  public:
   /// Binary threshold utility: 1 iff SINR >= beta.
-  [[nodiscard]] static Utility binary(double beta);
+  [[nodiscard]] static Utility binary(units::Threshold beta);
 
   /// Weighted threshold utility: weight iff SINR >= beta.
-  [[nodiscard]] static Utility weighted(double beta, double weight);
+  [[nodiscard]] static Utility weighted(units::Threshold beta, double weight);
 
   /// Shannon utility log(1 + SINR): non-decreasing and concave on all of
   /// [0, infinity), hence valid for every link and any noise.
@@ -54,7 +55,7 @@ class Utility {
   }
 
   /// Threshold beta for threshold utilities; throws otherwise.
-  [[nodiscard]] double beta() const;
+  [[nodiscard]] units::Threshold beta() const;
   /// Weight for threshold utilities (1 for binary); throws otherwise.
   [[nodiscard]] double weight() const;
 

@@ -32,7 +32,10 @@ double send_reward(const Network& net, const std::vector<bool>& sending,
   if (model == GameModel::NonFading) {
     return model::sinr_nonfading(net, active, i) >= beta ? 1.0 : -1.0;
   }
-  return 2.0 * model::success_probability_rayleigh(net, active, i, beta) - 1.0;
+  return 2.0 * model::success_probability_rayleigh(
+                   net, active, i, units::Threshold(beta))
+                   .value() -
+         1.0;
 }
 
 }  // namespace
@@ -79,11 +82,12 @@ BestResponseResult run_best_response(const Network& net,
 
   const LinkSet active = profile_to_set(result.sending);
   if (options.model == GameModel::NonFading) {
-    result.final_successes = static_cast<double>(
-        model::count_successes_nonfading(net, active, options.beta));
-  } else {
     result.final_successes =
-        model::expected_successes_rayleigh(net, active, options.beta);
+        static_cast<double>(model::count_successes_nonfading(
+            net, active, units::Threshold(options.beta)));
+  } else {
+    result.final_successes = model::expected_successes_rayleigh(
+        net, active, units::Threshold(options.beta));
   }
   return result;
 }

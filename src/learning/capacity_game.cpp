@@ -84,11 +84,12 @@ GameResult run_capacity_game(const Network& net, const GameOptions& options,
     // Expected successes for the realized active set (Lemma 5's X): exact
     // closed form under Rayleigh, deterministic count under non-fading.
     if (options.model == GameModel::Rayleigh) {
-      result.average_expected_successes +=
-          model::expected_successes_rayleigh(net, active, options.beta);
+      result.average_expected_successes += model::expected_successes_rayleigh(
+          net, active, units::Threshold(options.beta));
     } else {
-      result.average_expected_successes += static_cast<double>(
-          model::count_successes_nonfading(net, active, options.beta));
+      result.average_expected_successes +=
+          static_cast<double>(model::count_successes_nonfading(
+              net, active, units::Threshold(options.beta)));
     }
 
     for (LinkId i = 0; i < n; ++i) {

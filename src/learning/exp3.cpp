@@ -30,8 +30,8 @@ double Exp3Learner::probability_of(Action a) const {
   return p;
 }
 
-double Exp3Learner::send_probability() const {
-  return probability_of(Action::Send);
+units::Probability Exp3Learner::send_probability() const {
+  return units::Probability(probability_of(Action::Send));
 }
 
 void Exp3Learner::update_bandit(Action played, double loss) {

@@ -32,7 +32,7 @@ class Exp3Learner final : public Learner {
  public:
   explicit Exp3Learner(const Exp3Options& options = {});
 
-  [[nodiscard]] double send_probability() const override;
+  [[nodiscard]] units::Probability send_probability() const override;
   [[nodiscard]] Feedback feedback() const override { return Feedback::Bandit; }
   void update_bandit(Action played, double loss) override;
 

@@ -6,6 +6,7 @@
 #include "model/rayleigh.hpp"
 #include "model/sinr.hpp"
 #include "util/error.hpp"
+#include "util/units.hpp"
 
 namespace raysched::learning {
 
@@ -18,28 +19,32 @@ namespace {
 /// Expected reward of link i sending, against others playing independently
 /// with their empirical frequencies `freq` (freq[i] is ignored).
 double send_reward_vs_frequencies(const Network& net,
-                                  const std::vector<double>& freq, LinkId i,
+                                  const units::ProbabilityVector& freq,
+                                  LinkId i,
                                   const FictitiousPlayOptions& options,
                                   sim::RngStream& rng) {
-  std::vector<double> q = freq;
-  q[i] = 1.0;
+  const units::Threshold beta(options.beta);
+  units::ProbabilityVector q = freq;
+  q[i] = units::Probability(1.0);
   if (options.model == GameModel::Rayleigh) {
     // Theorem 1, exactly.
-    return 2.0 * core::rayleigh_success_probability(net, q, i, options.beta) -
+    return 2.0 * core::rayleigh_success_probability(net, q, i, beta).value() -
            1.0;
   }
   // Non-fading: count fractional interferers to pick exact vs Monte Carlo.
   std::size_t fractional = 0;
   for (LinkId j = 0; j < net.size(); ++j) {
-    if (j != i && q[j] > 0.0 && q[j] < 1.0) ++fractional;
+    if (j != i && q[j].value() > 0.0 && q[j].value() < 1.0) ++fractional;
   }
   double p;
   if (fractional <= options.exact_enumeration_limit) {
     p = core::nonfading_success_probability_exact(
-        net, q, i, options.beta, options.exact_enumeration_limit);
+            net, q, i, beta, options.exact_enumeration_limit)
+            .value();
   } else {
-    p = core::nonfading_success_probability_mc(net, q, i, options.beta,
-                                               options.nonfading_trials, rng);
+    p = core::nonfading_success_probability_mc(net, q, i, beta,
+                                               options.nonfading_trials, rng)
+            .value();
   }
   return 2.0 * p - 1.0;
 }
@@ -67,9 +72,10 @@ FictitiousPlayResult run_fictitious_play(const Network& net,
     if (t < options.warmup_rounds) {
       for (LinkId i = 0; i < n; ++i) profile[i] = rng.bernoulli(0.5);
     } else {
-      std::vector<double> freq(n);
+      units::ProbabilityVector freq(n);
       for (LinkId i = 0; i < n; ++i) {
-        freq[i] = static_cast<double>(send_count[i]) / static_cast<double>(t);
+        freq[i] = units::Probability(static_cast<double>(send_count[i]) /
+                                     static_cast<double>(t));
       }
       for (LinkId i = 0; i < n; ++i) {
         profile[i] =
@@ -88,10 +94,11 @@ FictitiousPlayResult run_fictitious_play(const Network& net,
     double successes = 0.0;
     if (options.model == GameModel::NonFading) {
       successes = static_cast<double>(
-          model::count_successes_nonfading(net, active, options.beta));
+          model::count_successes_nonfading(net, active,
+                                           units::Threshold(options.beta)));
     } else {
-      successes = static_cast<double>(
-          model::count_successes_rayleigh(net, active, options.beta, rng));
+      successes = static_cast<double>(model::count_successes_rayleigh(
+          net, active, units::Threshold(options.beta), rng));
     }
     result.successes_per_round.push_back(successes);
 
@@ -106,8 +113,9 @@ FictitiousPlayResult run_fictitious_play(const Network& net,
   result.final_profile = profile;
   result.send_frequency.resize(n);
   for (LinkId i = 0; i < n; ++i) {
-    result.send_frequency[i] = static_cast<double>(send_count[i]) /
-                               static_cast<double>(options.rounds);
+    result.send_frequency[i] =
+        units::Probability(static_cast<double>(send_count[i]) /
+                           static_cast<double>(options.rounds));
   }
   // Fixed point if the profile was unchanged over the last quarter of the run.
   result.reached_fixed_point = stable_streak >= options.rounds / 4;

@@ -21,6 +21,7 @@
 #include "learning/capacity_game.hpp"
 #include "model/network.hpp"
 #include "sim/rng.hpp"
+#include "util/units.hpp"
 
 namespace raysched::learning {
 
@@ -41,7 +42,7 @@ struct FictitiousPlayOptions {
 
 struct FictitiousPlayResult {
   std::vector<double> successes_per_round;  ///< realized successful sends
-  std::vector<double> send_frequency;       ///< final empirical frequencies
+  units::ProbabilityVector send_frequency;  ///< final empirical frequencies
   std::vector<bool> final_profile;          ///< last round's pure profile
   bool reached_fixed_point = false;  ///< profile repeated till the horizon
   double average_successes = 0.0;

@@ -16,6 +16,7 @@
 
 #include "sim/rng.hpp"
 #include "util/error.hpp"
+#include "util/units.hpp"
 
 namespace raysched::learning {
 
@@ -46,11 +47,12 @@ class Learner {
   virtual ~Learner() = default;
 
   /// Current probability of playing Send.
-  [[nodiscard]] virtual double send_probability() const = 0;
+  [[nodiscard]] virtual units::Probability send_probability() const = 0;
 
   /// Samples an action from the current distribution.
   [[nodiscard]] Action sample(sim::RngStream& rng) {
-    return rng.bernoulli(send_probability()) ? Action::Send : Action::Stay;
+    return rng.bernoulli(send_probability().value()) ? Action::Send
+                                                     : Action::Stay;
   }
 
   /// Which feedback this learner consumes; the game engine dispatches on it.

@@ -21,15 +21,15 @@ class RegretMatchingLearner final : public Learner {
  public:
   RegretMatchingLearner() = default;
 
-  [[nodiscard]] double send_probability() const override {
+  [[nodiscard]] units::Probability send_probability() const override {
     // Play proportional to positive regrets; uniform when both are <= 0.
     const double rs = std::max(0.0, regret_send_);
     const double rt = std::max(0.0, regret_stay_);
-    if (rs + rt <= 0.0) return 0.5;
+    if (rs + rt <= 0.0) return units::Probability(0.5);
     const double p = rs / (rs + rt);
     RAYSCHED_ENSURE(p >= 0.0 && p <= 1.0,
                     "regret-matching mixture must be a probability");
-    return p;
+    return units::Probability(p);
   }
 
   void update(const LossPair& losses) override {
@@ -38,7 +38,7 @@ class RegretMatchingLearner final : public Learner {
             "RegretMatchingLearner::update: losses must be in [0,1]");
     // Expected loss of the current mixed action; regret accumulates the
     // advantage of each pure action over the mixture.
-    const double p = send_probability();
+    const double p = send_probability().value();
     const double mixture_loss = p * losses.send + (1.0 - p) * losses.stay;
     regret_send_ += mixture_loss - losses.send;
     regret_stay_ += mixture_loss - losses.stay;

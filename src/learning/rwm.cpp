@@ -18,11 +18,11 @@ RwmLearner::RwmLearner(const RwmOptions& options)
           "RwmLearner: 0 < min_eta <= initial_eta required");
 }
 
-double RwmLearner::send_probability() const {
+units::Probability RwmLearner::send_probability() const {
   const double p = weight_send_ / (weight_send_ + weight_stay_);
   RAYSCHED_ENSURE(std::isfinite(p) && p >= 0.0 && p <= 1.0,
                   "RWM mixed action must be a normalized distribution");
-  return p;
+  return units::Probability(p);
 }
 
 void RwmLearner::update(const LossPair& losses) {

@@ -27,7 +27,7 @@ class RwmLearner final : public Learner {
  public:
   explicit RwmLearner(const RwmOptions& options = {});
 
-  [[nodiscard]] double send_probability() const override;
+  [[nodiscard]] units::Probability send_probability() const override;
   void update(const LossPair& losses) override;
 
   /// Current learning rate (exposed for tests of the doubling schedule).

@@ -9,12 +9,13 @@
 
 namespace raysched::model {
 
-double affectance_raw(const Network& net, LinkId j, LinkId i, double beta) {
-  require(beta > 0.0, "affectance_raw: beta must be positive");
+double affectance_raw(const Network& net, LinkId j, LinkId i,
+                      units::Threshold beta) {
+  require(beta.value() > 0.0, "affectance_raw: beta must be positive");
   require(j < net.size() && i < net.size(),
           "affectance_raw: link id out of range");
   if (j == i) return 0.0;
-  const double budget = net.signal(i) / beta - net.noise();
+  const double budget = net.signal(i) / beta.value() - net.noise();
   if (budget <= 0.0) return std::numeric_limits<double>::infinity();
   const double a = net.mean_gain(j, i) / budget;
   // Raw affectance is +inf exactly when link i is infeasible even alone
@@ -25,14 +26,15 @@ double affectance_raw(const Network& net, LinkId j, LinkId i, double beta) {
   return a;
 }
 
-double affectance(const Network& net, LinkId j, LinkId i, double beta) {
+double affectance(const Network& net, LinkId j, LinkId i,
+                  units::Threshold beta) {
   const double a = std::min(1.0, affectance_raw(net, j, i, beta));
   RAYSCHED_ENSURE(a >= 0.0 && a <= 1.0, "capped affectance must lie in [0,1]");
   return a;
 }
 
 double total_affectance_on(const Network& net, const LinkSet& active, LinkId i,
-                           double beta) {
+                           units::Threshold beta) {
   double sum = 0.0;
   for (LinkId j : active) {
     if (j != i) sum += affectance(net, j, i, beta);
@@ -44,7 +46,7 @@ double total_affectance_on(const Network& net, const LinkSet& active, LinkId i,
 }
 
 double total_affectance_from(const Network& net, LinkId j,
-                             const LinkSet& targets, double beta) {
+                             const LinkSet& targets, units::Threshold beta) {
   double sum = 0.0;
   for (LinkId i : targets) {
     if (i != j) sum += affectance(net, j, i, beta);
@@ -53,7 +55,7 @@ double total_affectance_from(const Network& net, LinkId j,
 }
 
 double total_affectance_on_raw(const Network& net, const LinkSet& active,
-                               LinkId i, double beta) {
+                               LinkId i, units::Threshold beta) {
   double sum = 0.0;
   for (LinkId j : active) {
     if (j != i) sum += affectance_raw(net, j, i, beta);
@@ -62,7 +64,7 @@ double total_affectance_on_raw(const Network& net, const LinkSet& active,
 }
 
 LinkSet low_out_affectance_subset(const Network& net, const LinkSet& L,
-                                  double beta, double budget) {
+                                  units::Threshold beta, double budget) {
   require(budget > 0.0, "low_out_affectance_subset: budget must be positive");
   LinkSet out;
   for (LinkId u : L) {
@@ -72,7 +74,7 @@ LinkSet low_out_affectance_subset(const Network& net, const LinkSet& L,
 }
 
 double max_out_affectance(const Network& net, const LinkSet& sources,
-                          const LinkSet& targets, double beta) {
+                          const LinkSet& targets, units::Threshold beta) {
   double worst = 0.0;
   for (LinkId u : sources) {
     worst = std::max(worst, total_affectance_from(net, u, targets, beta));
@@ -81,29 +83,31 @@ double max_out_affectance(const Network& net, const LinkSet& sources,
 }
 
 double affectance_raw_per_link(const Network& net, LinkId j, LinkId i,
-                               const std::vector<double>& betas) {
+                               const std::vector<units::Threshold>& betas) {
   require(betas.size() == net.size(),
           "affectance_raw_per_link: betas size must equal network size");
   require(i < net.size() && j < net.size(),
           "affectance_raw_per_link: link id out of range");
-  require(betas[i] > 0.0, "affectance_raw_per_link: betas must be positive");
+  require(betas[i].value() > 0.0,
+          "affectance_raw_per_link: betas must be positive");
   if (j == i) return 0.0;
-  const double budget = net.signal(i) / betas[i] - net.noise();
+  const double budget = net.signal(i) / betas[i].value() - net.noise();
   if (budget <= 0.0) return std::numeric_limits<double>::infinity();
   return net.mean_gain(j, i) / budget;
 }
 
 bool is_feasible_per_link(const Network& net, const LinkSet& active,
-                          const std::vector<double>& betas) {
+                          const std::vector<units::Threshold>& betas) {
   require(betas.size() == net.size(),
           "is_feasible_per_link: betas size must equal network size");
   for (LinkId i : active) {
-    require(betas[i] > 0.0, "is_feasible_per_link: betas must be positive");
+    require(betas[i].value() > 0.0,
+            "is_feasible_per_link: betas must be positive");
     double interference = net.noise();
     for (LinkId j : active) {
       if (j != i) interference += net.mean_gain(j, i);
     }
-    if (interference > 0.0 && net.signal(i) / interference < betas[i]) {
+    if (interference > 0.0 && net.signal(i) / interference < betas[i].value()) {
       return false;
     }
   }

@@ -23,6 +23,7 @@
 
 #include "model/link.hpp"
 #include "model/network.hpp"
+#include "util/units.hpp"
 
 namespace raysched::model {
 
@@ -30,28 +31,28 @@ namespace raysched::model {
 /// link i cannot tolerate any interference (S̄(i,i)/beta <= nu). j == i
 /// yields 0 by convention.
 [[nodiscard]] double affectance_raw(const Network& net, LinkId j, LinkId i,
-                                    double beta);
+                                    units::Threshold beta);
 
 /// Capped affectance min{1, a_raw(j,i)} as in the paper's Lemma 6.
 [[nodiscard]] double affectance(const Network& net, LinkId j, LinkId i,
-                                double beta);
+                                units::Threshold beta);
 
 /// Sum of capped affectance from every link of `active` on link i
 /// (a^{(t)}(i) in the paper). Skips i itself.
 [[nodiscard]] double total_affectance_on(const Network& net,
                                          const LinkSet& active, LinkId i,
-                                         double beta);
+                                         units::Threshold beta);
 
 /// Sum of capped affectance *caused by* link j on every link of `targets`
 /// (used by the out-degree bounds, Lemma 8 / [24] Lemma 11).
 [[nodiscard]] double total_affectance_from(const Network& net, LinkId j,
-                                           const LinkSet& targets, double beta);
+                                           const LinkSet& targets, units::Threshold beta);
 
 /// Uncapped variant of total_affectance_on: the feasibility predicate.
 /// Link i meets the SINR constraint among `active` iff this is <= 1.
 [[nodiscard]] double total_affectance_on_raw(const Network& net,
                                              const LinkSet& active, LinkId i,
-                                             double beta);
+                                             units::Threshold beta);
 
 /// The paper's Lemma 7 ([24] Lemma 8) construction: the subset
 /// L' = { u in L : sum_{v in L} a(u, v) <= budget } of links whose total
@@ -59,7 +60,7 @@ namespace raysched::model {
 /// budget = 2). For feasible L, |L'| >= |L|/2 — verified as a property test,
 /// not assumed.
 [[nodiscard]] LinkSet low_out_affectance_subset(const Network& net,
-                                                const LinkSet& L, double beta,
+                                                const LinkSet& L, units::Threshold beta,
                                                 double budget = 2.0);
 
 /// Maximum over u in `sources` of the total capped affectance from u onto
@@ -67,19 +68,19 @@ namespace raysched::model {
 /// `targets` is a feasible set with pairwise out-affectance <= 2).
 [[nodiscard]] double max_out_affectance(const Network& net,
                                         const LinkSet& sources,
-                                        const LinkSet& targets, double beta);
+                                        const LinkSet& targets, units::Threshold beta);
 
 /// Per-link-threshold affectance: like affectance_raw but each receiver has
 /// its own SINR target beta_i (flexible data rates [22]); the budget of
 /// link i is S̄(i,i)/beta_i - nu. betas must have size net.size().
 [[nodiscard]] double affectance_raw_per_link(const Network& net, LinkId j,
                                              LinkId i,
-                                             const std::vector<double>& betas);
+                                             const std::vector<units::Threshold>& betas);
 
 /// True iff every link of `active` meets its own threshold betas[i] when
 /// exactly `active` transmits.
 [[nodiscard]] bool is_feasible_per_link(const Network& net,
                                         const LinkSet& active,
-                                        const std::vector<double>& betas);
+                                        const std::vector<units::Threshold>& betas);
 
 }  // namespace raysched::model

@@ -58,13 +58,14 @@ std::vector<double> BlockFadingChannel::sinr_all(const LinkSet& active) const {
   return out;
 }
 
-std::size_t BlockFadingChannel::count_successes(const LinkSet& active,
-                                                double beta) const {
-  require(beta > 0.0, "BlockFadingChannel::count_successes: beta must be > 0");
+std::size_t BlockFadingChannel::count_successes(
+    const LinkSet& active, units::Threshold beta) const {
+  require(beta.value() > 0.0,
+          "BlockFadingChannel::count_successes: beta must be > 0");
   const auto sinrs = sinr_all(active);
   std::size_t wins = 0;
   for (double g : sinrs) {
-    if (g >= beta) ++wins;
+    if (g >= beta.value()) ++wins;
   }
   return wins;
 }

@@ -19,6 +19,7 @@
 #include "model/link.hpp"
 #include "model/network.hpp"
 #include "sim/rng.hpp"
+#include "util/units.hpp"
 
 namespace raysched::model {
 
@@ -45,7 +46,7 @@ class BlockFadingChannel {
 
   /// Successes of `active` at threshold beta in the current slot.
   [[nodiscard]] std::size_t count_successes(const LinkSet& active,
-                                            double beta) const;
+                                            units::Threshold beta) const;
 
  private:
   void resample();

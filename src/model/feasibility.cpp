@@ -29,8 +29,9 @@ std::vector<double> interference_matrix(const Network& net, const LinkSet& set,
 }  // namespace
 
 double interference_spectral_radius(const Network& net, const LinkSet& set,
-                                    double beta, int iterations) {
-  require(beta > 0.0, "interference_spectral_radius: beta must be positive");
+                                    units::Threshold beta, int iterations) {
+  require(beta.value() > 0.0,
+          "interference_spectral_radius: beta must be positive");
   require(iterations > 0,
           "interference_spectral_radius: iterations must be > 0");
   for (LinkId i : set) {
@@ -38,7 +39,7 @@ double interference_spectral_radius(const Network& net, const LinkSet& set,
   }
   const std::size_t m = set.size();
   if (m <= 1) return 0.0;
-  const std::vector<double> M = interference_matrix(net, set, beta);
+  const std::vector<double> M = interference_matrix(net, set, beta.value());
 
   // Power iteration from the all-ones vector. M is nonnegative and (for
   // geometric instances) irreducible, so the iteration converges to the
@@ -61,7 +62,7 @@ double interference_spectral_radius(const Network& net, const LinkSet& set,
 }
 
 bool power_controlled_feasible(const Network& net, const LinkSet& set,
-                               double beta, double margin) {
+                               units::Threshold beta, double margin) {
   if (set.size() <= 1) {
     // A singleton is feasible with power control iff noise can be beaten at
     // *some* power — always true for positive gains (power is unbounded in
@@ -73,9 +74,9 @@ bool power_controlled_feasible(const Network& net, const LinkSet& set,
 
 std::optional<std::vector<double>> minimal_feasible_powers(const Network& net,
                                                            const LinkSet& set,
-                                                           double beta,
+                                                           units::Threshold beta,
                                                            int max_iterations) {
-  require(beta > 0.0, "minimal_feasible_powers: beta must be positive");
+  require(beta.value() > 0.0, "minimal_feasible_powers: beta must be positive");
   require(net.noise() > 0.0,
           "minimal_feasible_powers: requires positive noise (with nu = 0 "
           "scale any Perron vector instead)");
@@ -83,11 +84,11 @@ std::optional<std::vector<double>> minimal_feasible_powers(const Network& net,
   if (m == 0) return std::vector<double>{};
   if (!power_controlled_feasible(net, set, beta)) return std::nullopt;
 
-  const std::vector<double> M = interference_matrix(net, set, beta);
+  const std::vector<double> M = interference_matrix(net, set, beta.value());
   std::vector<double> eta(m);
   for (std::size_t a = 0; a < m; ++a) {
     const double gaa = net.mean_gain(set[a], set[a]) / net.power(set[a]);
-    eta[a] = beta * net.noise() / gaa;
+    eta[a] = beta.value() * net.noise() / gaa;
   }
   // p_{t+1} = M p_t + eta converges monotonically from p_0 = eta to the
   // minimal solution when rho(M) < 1.

@@ -16,6 +16,7 @@
 
 #include "model/link.hpp"
 #include "model/network.hpp"
+#include "util/units.hpp"
 
 namespace raysched::model {
 
@@ -24,14 +25,14 @@ namespace raysched::model {
 /// matrix is built from unit-power gains). Returns 0 for sets of size <= 1.
 [[nodiscard]] double interference_spectral_radius(const Network& net,
                                                   const LinkSet& set,
-                                                  double beta,
+                                                  units::Threshold beta,
                                                   int iterations = 200);
 
 /// True iff some power assignment makes every link of `set` reach SINR >=
 /// beta simultaneously (rho(M) < 1, with a small safety margin for the
 /// power-iteration estimate).
 [[nodiscard]] bool power_controlled_feasible(const Network& net,
-                                             const LinkSet& set, double beta,
+                                             const LinkSet& set, units::Threshold beta,
                                              double margin = 1e-9);
 
 /// Componentwise-minimal feasible powers for `set` at threshold beta
@@ -39,7 +40,7 @@ namespace raysched::model {
 /// vector in the limit; use any Perron vector scaling instead). Returns
 /// std::nullopt when the set is infeasible under power control.
 [[nodiscard]] std::optional<std::vector<double>> minimal_feasible_powers(
-    const Network& net, const LinkSet& set, double beta,
+    const Network& net, const LinkSet& set, units::Threshold beta,
     int max_iterations = 1000);
 
 }  // namespace raysched::model

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "util/error.hpp"
+#include "util/units.hpp"
 
 namespace raysched::model {
 
@@ -24,6 +25,14 @@ constexpr int kVersion = 1;
 // gains, hence the much tighter cap.
 constexpr std::size_t kMaxGeometricLinks = 1'000'000;
 constexpr std::size_t kMaxMatrixLinks = 8'192;
+
+// Largest |dB| magnitude accepted from a `units db` file. 10^(380/10) is
+// ~1e38, still comfortably inside double range after products with other
+// file values; anything larger is treated as a corrupted header rather
+// than converted to an Inf/0 linear value.
+constexpr double kMaxAbsDecibel = 380.0;
+
+enum class FileUnits { kLinear, kDb };
 
 void expect_token(std::istream& is, const std::string& expected) {
   std::string token;
@@ -59,6 +68,22 @@ double read_finite_nonnegative(std::istream& is, const char* what) {
   const double v = read_finite_double(is, what);
   require(v >= 0.0, std::string("read_network: negative ") + what);
   return v;
+}
+
+// Reads one power/gain value in the file's declared unit and returns its
+// linear value. The unit tag decides which ranges are legal: linear values
+// must be non-negative (a negative "linear gain" means the tag and the data
+// disagree), dB values may be negative but must be bounded so conversion
+// cannot overflow to Inf or underflow to 0.
+double read_linear_value(std::istream& is, FileUnits units, const char* what) {
+  if (units == FileUnits::kLinear) {
+    return read_finite_nonnegative(is, what);
+  }
+  const double db = read_finite_double(is, what);
+  require(std::abs(db) <= kMaxAbsDecibel,
+          std::string("read_network: dB ") + what +
+              " out of range (|dB| must be <= 380)");
+  return units::to_linear(units::Decibel(db)).value();
 }
 
 }  // namespace
@@ -100,7 +125,21 @@ Network read_network(std::istream& is) {
   is >> kind;
   require(kind == "geometric" || kind == "matrix",
           "read_network: unknown kind '" + kind + "'");
-  expect_token(is, "n");
+  // Optional unit tag for the power/gain payload; absent means linear,
+  // matching files written before the tag existed.
+  FileUnits file_units = FileUnits::kLinear;
+  std::string token;
+  is >> token;
+  if (token == "units") {
+    std::string mode;
+    is >> mode;
+    require(static_cast<bool>(is) && (mode == "linear" || mode == "db"),
+            "read_network: unknown units '" + mode + "'");
+    if (mode == "db") file_units = FileUnits::kDb;
+    is >> token;
+  }
+  require(static_cast<bool>(is) && token == "n",
+          "read_network: expected token 'n', got '" + token + "'");
   std::size_t n = 0;
   is >> n;
   require(static_cast<bool>(is) && n > 0, "read_network: bad link count");
@@ -123,11 +162,11 @@ Network read_network(std::istream& is) {
       l.sender.y = read_finite_double(is, "sender y");
       l.receiver.x = read_finite_double(is, "receiver x");
       l.receiver.y = read_finite_double(is, "receiver y");
-      powers.push_back(read_finite_nonnegative(is, "power"));
+      powers.push_back(read_linear_value(is, file_units, "power"));
       links.push_back(l);
     }
     Network net(std::move(links), PowerAssignment::explicit_powers(powers),
-                alpha, noise);
+                alpha, units::Power(noise));
     return net;
   }
 
@@ -135,10 +174,10 @@ Network read_network(std::istream& is) {
   for (std::size_t j = 0; j < n; ++j) {
     expect_token(is, "gains");
     for (std::size_t i = 0; i < n; ++i) {
-      gains[j * n + i] = read_finite_nonnegative(is, "gain entry");
+      gains[j * n + i] = read_linear_value(is, file_units, "gain entry");
     }
   }
-  return Network(n, std::move(gains), noise);
+  return Network(n, std::move(gains), units::Power(noise));
 }
 
 void save_network(const std::string& path, const Network& net) {

@@ -8,9 +8,16 @@
 //
 //   raysched-network 1
 //   kind geometric|matrix
+//   [units linear|db]                      (optional; default linear)
 //   n <count>  noise <nu>  [alpha <a>]
 //   link <sx> <sy> <rx> <ry> <power>      (geometric, n lines)
 //   gains <n*n row-major doubles>          (matrix, n lines of n)
+//
+// With `units db`, powers and gain entries are decibel values and are
+// converted through units::to_linear at the parse boundary; with the
+// default `units linear` they are linear values and negative entries are
+// rejected. A tag/value mismatch (negative linear gain, unbounded dB) is
+// a raysched::error, never a silent clamp.
 #pragma once
 
 #include <iosfwd>

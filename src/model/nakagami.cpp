@@ -91,20 +91,20 @@ std::vector<double> sinr_nakagami_all(const Network& net, const LinkSet& active,
 }
 
 std::size_t count_successes_nakagami(const Network& net, const LinkSet& active,
-                                     double beta, double m,
+                                     units::Threshold beta, double m,
                                      sim::RngStream& rng) {
-  require(beta > 0.0, "count_successes_nakagami: beta must be positive");
+  require(beta.value() > 0.0, "count_successes_nakagami: beta must be positive");
   const auto sinrs = sinr_nakagami_all(net, active, m, rng);
   std::size_t wins = 0;
   for (double g : sinrs) {
-    if (g >= beta) ++wins;
+    if (g >= beta.value()) ++wins;
   }
   return wins;
 }
 
 double success_probability_nakagami_mc(const Network& net, const LinkSet& active,
-                                       LinkId i, double beta, double m,
-                                       std::size_t trials,
+                                       LinkId i, units::Threshold beta,
+                                       double m, std::size_t trials,
                                        sim::RngStream& rng) {
   require(trials > 0, "success_probability_nakagami_mc: trials must be > 0");
   require(i < net.size(), "success_probability_nakagami_mc: id out of range");
@@ -123,13 +123,16 @@ double success_probability_nakagami_mc(const Network& net, const LinkSet& active
       }
     }
     const double own = sample_gain_nakagami(net.signal(i), m, rng);
-    if (interference == 0.0 ? own > 0.0 : own / interference >= beta) ++hits;
+    if (interference == 0.0 ? own > 0.0 : own / interference >= beta.value()) {
+      ++hits;
+    }
   }
   return static_cast<double>(hits) / static_cast<double>(trials);
 }
 
 double expected_successes_nakagami_mc(const Network& net, const LinkSet& active,
-                                      double beta, double m, std::size_t trials,
+                                      units::Threshold beta, double m,
+                                      std::size_t trials,
                                       sim::RngStream& rng) {
   require(trials > 0, "expected_successes_nakagami_mc: trials must be > 0");
   double total = 0.0;
@@ -140,14 +143,16 @@ double expected_successes_nakagami_mc(const Network& net, const LinkSet& active,
   return total / static_cast<double>(trials);
 }
 
-double noise_only_success_probability_nakagami(double mean_gain, double noise,
-                                               double beta, double m) {
-  require(mean_gain > 0.0,
+units::Probability noise_only_success_probability_nakagami(
+    units::LinearGain mean_gain, units::Power noise, units::Threshold beta,
+    double m) {
+  require(mean_gain.value() > 0.0,
           "noise_only_success_probability_nakagami: mean gain must be > 0");
-  require(noise >= 0.0 && beta > 0.0 && m > 0.0,
+  require(noise.value() >= 0.0 && beta.value() > 0.0 && m > 0.0,
           "noise_only_success_probability_nakagami: bad parameters");
-  if (noise == 0.0) return 1.0;
-  return regularized_gamma_q(m, m * beta * noise / mean_gain);
+  if (noise.value() == 0.0) return units::Probability(1.0);
+  return units::Probability::clamped(regularized_gamma_q(
+      m, m * beta.value() * noise.value() / mean_gain.value()));
 }
 
 }  // namespace raysched::model

@@ -16,6 +16,7 @@
 #include "model/link.hpp"
 #include "model/network.hpp"
 #include "sim/rng.hpp"
+#include "util/units.hpp"
 
 namespace raysched::model {
 
@@ -35,14 +36,14 @@ namespace raysched::model {
 /// Nakagami-m slot.
 [[nodiscard]] std::size_t count_successes_nakagami(const Network& net,
                                                    const LinkSet& active,
-                                                   double beta, double m,
+                                                   units::Threshold beta, double m,
                                                    sim::RngStream& rng);
 
 /// Monte-Carlo estimate of Pr[gamma_i >= beta] under Nakagami-m when exactly
 /// `active` transmits.
 [[nodiscard]] double success_probability_nakagami_mc(const Network& net,
                                                      const LinkSet& active,
-                                                     LinkId i, double beta,
+                                                     LinkId i, units::Threshold beta,
                                                      double m,
                                                      std::size_t trials,
                                                      sim::RngStream& rng);
@@ -50,17 +51,16 @@ namespace raysched::model {
 /// Monte-Carlo estimate of the expected successes of one Nakagami-m slot.
 [[nodiscard]] double expected_successes_nakagami_mc(const Network& net,
                                                     const LinkSet& active,
-                                                    double beta, double m,
+                                                    units::Threshold beta, double m,
                                                     std::size_t trials,
                                                     sim::RngStream& rng);
 
 /// Exact noise-only success probability: Pr[S >= beta*nu] for
 /// S ~ Gamma(m, S̄(i,i)/m) = Q(m, m beta nu / S̄(i,i)), the regularized
 /// upper incomplete gamma function. Matches exp(-beta nu / S̄) at m = 1.
-[[nodiscard]] double noise_only_success_probability_nakagami(double mean_gain,
-                                                             double noise,
-                                                             double beta,
-                                                             double m);
+[[nodiscard]] units::Probability noise_only_success_probability_nakagami(
+    units::LinearGain mean_gain, units::Power noise, units::Threshold beta,
+    double m);
 
 /// Regularized upper incomplete gamma Q(a, x) = Gamma(a, x)/Gamma(a),
 /// computed by series / continued fraction (Numerical-Recipes style).

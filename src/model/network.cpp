@@ -26,15 +26,16 @@ void expect_finite_gains(const std::vector<double>& gains) {
 }  // namespace
 
 Network::Network(std::vector<Link> links, const PowerAssignment& powers,
-                 double alpha, double noise)
-    : n_(links.size()), links_(std::move(links)), alpha_(alpha), noise_(noise) {
+                 double alpha, units::Power noise)
+    : n_(links.size()), links_(std::move(links)), alpha_(alpha),
+      noise_(noise.value()) {
   require(n_ > 0, "Network: need at least one link");
   require(alpha > 0.0, "Network: alpha must be positive");
-  require(noise >= 0.0, "Network: noise must be non-negative");
+  require(noise_ >= 0.0, "Network: noise must be non-negative");
   gains_.resize(n_ * n_);
   powers_.resize(n_);
   for (LinkId j = 0; j < n_; ++j) {
-    powers_[j] = powers.power(j, links_[j], alpha_);
+    powers_[j] = powers.power(j, links_[j], alpha_).value();
     require(powers_[j] > 0.0, "Network: computed power must be positive");
   }
   for (LinkId j = 0; j < n_; ++j) {
@@ -50,15 +51,15 @@ Network::Network(std::vector<Link> links, const PowerAssignment& powers,
 }
 
 Network::Network(std::vector<Link> links, const PowerAssignment& powers,
-                 const PathLoss& loss, double noise)
+                 const PathLoss& loss, units::Power noise)
     : n_(links.size()), links_(std::move(links)),
-      alpha_(loss.nominal_alpha()), noise_(noise) {
+      alpha_(loss.nominal_alpha()), noise_(noise.value()) {
   require(n_ > 0, "Network: need at least one link");
-  require(noise >= 0.0, "Network: noise must be non-negative");
+  require(noise_ >= 0.0, "Network: noise must be non-negative");
   gains_.resize(n_ * n_);
   powers_.resize(n_);
   for (LinkId j = 0; j < n_; ++j) {
-    powers_[j] = powers.power(j, links_[j], alpha_);
+    powers_[j] = powers.power(j, links_[j], alpha_).value();
     require(powers_[j] > 0.0, "Network: computed power must be positive");
   }
   for (LinkId j = 0; j < n_; ++j) {
@@ -67,17 +68,19 @@ Network::Network(std::vector<Link> links, const PowerAssignment& powers,
       require(d > 0.0,
               "Network: sender of one link coincides with a receiver; "
               "gains would be infinite");
-      gains_[j * n_ + i] = powers_[j] * loss.gain_factor(d);
+      gains_[j * n_ + i] =
+          powers_[j] * loss.gain_factor(units::Distance(d)).value();
     }
   }
   expect_finite_gains(gains_);
 }
 
-Network::Network(std::size_t n, std::vector<double> mean_gains, double noise)
-    : n_(n), gains_(std::move(mean_gains)), noise_(noise) {
+Network::Network(std::size_t n, std::vector<double> mean_gains,
+                 units::Power noise)
+    : n_(n), gains_(std::move(mean_gains)), noise_(noise.value()) {
   require(n_ > 0, "Network: need at least one link");
   require(gains_.size() == n_ * n_, "Network: gain matrix must be n x n");
-  require(noise >= 0.0, "Network: noise must be non-negative");
+  require(noise_ >= 0.0, "Network: noise must be non-negative");
   for (LinkId j = 0; j < n_; ++j) {
     for (LinkId i = 0; i < n_; ++i) {
       require(gains_[j * n_ + i] >= 0.0, "Network: gains must be >= 0");

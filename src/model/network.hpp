@@ -19,6 +19,7 @@
 #include "model/pathloss.hpp"
 #include "model/power.hpp"
 #include "util/error.hpp"
+#include "util/units.hpp"
 
 namespace raysched::model {
 
@@ -28,21 +29,27 @@ class Network {
   /// Requires all cross distances to be positive (no sender placed exactly
   /// on another link's receiver).
   Network(std::vector<Link> links, const PowerAssignment& powers, double alpha,
-          double noise);
+          units::Power noise);
 
   /// Geometric construction with a general path-loss law:
   /// S̄(j,i) = p_j * loss.gain_factor(d(s_j, r_i)). Power-assignment
   /// length-dependence (square-root/linear) uses the law's nominal alpha.
   Network(std::vector<Link> links, const PowerAssignment& powers,
-          const PathLoss& loss, double noise);
+          const PathLoss& loss, units::Power noise);
 
   /// Geometry-free construction from an explicit n x n mean-gain matrix,
   /// row-major with entry [j*n + i] = S̄(j,i). Diagonal entries must be
   /// positive (a link must be able to hear its own sender).
-  Network(std::size_t n, std::vector<double> mean_gains, double noise);
+  Network(std::size_t n, std::vector<double> mean_gains, units::Power noise);
 
   [[nodiscard]] std::size_t size() const { return n_; }
+
+  /// Ambient noise nu as a raw double — the hot-loop escape hatch used by
+  /// every closed form; the typed view is noise_power().
   [[nodiscard]] double noise() const { return noise_; }
+  [[nodiscard]] units::Power noise_power() const {
+    return units::Power(noise_);
+  }
 
   /// Path-loss exponent (only meaningful for geometric networks; 0 if the
   /// network was built from a raw matrix).

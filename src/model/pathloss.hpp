@@ -13,6 +13,7 @@
 #include <cmath>
 
 #include "util/error.hpp"
+#include "util/units.hpp"
 
 namespace raysched::model {
 
@@ -33,13 +34,13 @@ class PathLoss {
   /// (d/d0)^-alpha; for d < d0 it saturates at 1 (near-field clamp). This is
   /// the standard empirical model; the clamp keeps gains finite for
   /// unexpectedly close pairs.
-  [[nodiscard]] static PathLoss log_distance(double alpha, double d0) {
+  [[nodiscard]] static PathLoss log_distance(double alpha, units::Distance d0) {
     require(alpha > 0.0, "PathLoss::log_distance: alpha must be positive");
-    require(d0 > 0.0, "PathLoss::log_distance: d0 must be positive");
+    require(d0.value() > 0.0, "PathLoss::log_distance: d0 must be positive");
     PathLoss p;
     p.kind_ = Kind::LogDistance;
     p.alpha_ = alpha;
-    p.d0_ = d0;
+    p.d0_ = d0.value();
     return p;
   }
 
@@ -48,32 +49,35 @@ class PathLoss {
   ///   d <= b: d^-alpha_near
   ///   d >  b: b^-alpha_near * (d/b)^-alpha_far.
   [[nodiscard]] static PathLoss dual_slope(double alpha_near, double alpha_far,
-                                           double breakpoint) {
+                                           units::Distance breakpoint) {
     require(alpha_near > 0.0 && alpha_far > 0.0,
             "PathLoss::dual_slope: exponents must be positive");
-    require(breakpoint > 0.0,
+    require(breakpoint.value() > 0.0,
             "PathLoss::dual_slope: breakpoint must be positive");
     PathLoss p;
     p.kind_ = Kind::DualSlope;
     p.alpha_ = alpha_near;
     p.alpha_far_ = alpha_far;
-    p.d0_ = breakpoint;
+    p.d0_ = breakpoint.value();
     return p;
   }
 
   /// Gain factor at distance d > 0 (multiplies the transmit power).
-  [[nodiscard]] double gain_factor(double d) const {
+  [[nodiscard]] units::LinearGain gain_factor(units::Distance dist) const {
+    const double d = dist.value();
     require(d > 0.0, "PathLoss::gain_factor: distance must be positive");
     switch (kind_) {
       case Kind::PowerLaw:
-        return std::pow(d, -alpha_);
+        return units::LinearGain(std::pow(d, -alpha_));
       case Kind::LogDistance:
-        return d <= d0_ ? 1.0 : std::pow(d / d0_, -alpha_);
+        return units::LinearGain(d <= d0_ ? 1.0
+                                          : std::pow(d / d0_, -alpha_));
       case Kind::DualSlope:
-        if (d <= d0_) return std::pow(d, -alpha_);
-        return std::pow(d0_, -alpha_) * std::pow(d / d0_, -alpha_far_);
+        if (d <= d0_) return units::LinearGain(std::pow(d, -alpha_));
+        return units::LinearGain(std::pow(d0_, -alpha_) *
+                                 std::pow(d / d0_, -alpha_far_));
     }
-    return 0.0;  // unreachable
+    return units::LinearGain(0.0);  // unreachable
   }
 
   /// Nominal (near-field) exponent, used as the Network's alpha() report.

@@ -13,6 +13,7 @@
 
 #include "model/link.hpp"
 #include "util/error.hpp"
+#include "util/units.hpp"
 
 namespace raysched::model {
 
@@ -62,25 +63,30 @@ class PowerAssignment {
   }
 
   /// Power of link `id` with length `length` under path-loss exponent alpha.
-  [[nodiscard]] double power(LinkId id, double length, double alpha) const {
+  /// `base` is a scheme scale factor, not itself a power (for square-root
+  /// and linear schemes its dimension involves distance^alpha), so the
+  /// factories take raw doubles while the result is a typed Power.
+  [[nodiscard]] units::Power power(LinkId id, units::Distance length,
+                                   double alpha) const {
     switch (kind_) {
       case Kind::Uniform:
-        return base_;
+        return units::Power(base_);
       case Kind::SquareRoot:
-        return base_ * std::sqrt(std::pow(length, alpha));
+        return units::Power(base_ * std::sqrt(std::pow(length.value(), alpha)));
       case Kind::Linear:
-        return base_ * std::pow(length, alpha);
+        return units::Power(base_ * std::pow(length.value(), alpha));
       case Kind::Explicit:
         require(id < explicit_.size(),
                 "PowerAssignment::power: link id out of range");
-        return explicit_[id];
+        return units::Power(explicit_[id]);
     }
-    return base_;  // unreachable
+    return units::Power(base_);  // unreachable
   }
 
   /// Convenience overload taking the link itself.
-  [[nodiscard]] double power(LinkId id, const Link& link, double alpha) const {
-    return power(id, link.length(), alpha);
+  [[nodiscard]] units::Power power(LinkId id, const Link& link,
+                                   double alpha) const {
+    return power(id, units::Distance(link.length()), alpha);
   }
 
   /// True if the scheme depends only on the link's own length (oblivious);

@@ -58,22 +58,27 @@ std::vector<double> sinr_rayleigh_all(const Network& net, const LinkSet& active,
 }
 
 std::size_t count_successes_rayleigh(const Network& net, const LinkSet& active,
-                                     double beta, sim::RngStream& rng) {
-  require(beta > 0.0, "count_successes_rayleigh: beta must be positive");
+                                     units::Threshold beta,
+                                     sim::RngStream& rng) {
+  require(beta.value() > 0.0,
+          "count_successes_rayleigh: beta must be positive");
   const std::vector<double> sinrs = sinr_rayleigh_all(net, active, rng);
   std::size_t count = 0;
   for (double g : sinrs) {
-    if (g >= beta) ++count;
+    if (g >= beta.value()) ++count;
   }
   return count;
 }
 
-double success_probability_rayleigh(const Network& net, const LinkSet& active,
-                                    LinkId i, double beta) {
-  require(beta > 0.0, "success_probability_rayleigh: beta must be positive");
+units::Probability success_probability_rayleigh(const Network& net,
+                                                const LinkSet& active,
+                                                LinkId i,
+                                                units::Threshold beta) {
+  const double b = beta.value();
+  require(b > 0.0, "success_probability_rayleigh: beta must be positive");
   require(i < net.size(), "success_probability_rayleigh: id out of range");
   const double sii = net.signal(i);
-  double p = std::exp(-beta * net.noise() / sii);
+  double p = std::exp(-b * net.noise() / sii);
   bool transmits = false;
   for (LinkId j : active) {
     require(j < net.size(), "success_probability_rayleigh: id out of range");
@@ -81,18 +86,18 @@ double success_probability_rayleigh(const Network& net, const LinkSet& active,
       transmits = true;
       continue;
     }
-    p /= 1.0 + beta * net.mean_gain(j, i) / sii;
+    p /= 1.0 + b * net.mean_gain(j, i) / sii;
   }
   require(transmits,
           "success_probability_rayleigh: link i must be in the active set");
-  return p;
+  return units::Probability(p);
 }
 
 double expected_successes_rayleigh(const Network& net, const LinkSet& active,
-                                   double beta) {
+                                   units::Threshold beta) {
   double total = 0.0;
   for (LinkId i : active) {
-    total += success_probability_rayleigh(net, active, i, beta);
+    total += success_probability_rayleigh(net, active, i, beta).value();
   }
   return total;
 }

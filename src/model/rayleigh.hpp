@@ -18,6 +18,7 @@
 #include "model/link.hpp"
 #include "model/network.hpp"
 #include "sim/rng.hpp"
+#include "util/units.hpp"
 
 namespace raysched::model {
 
@@ -37,21 +38,21 @@ namespace raysched::model {
 /// Number of links of `active` whose realized SINR is >= beta in one slot.
 [[nodiscard]] std::size_t count_successes_rayleigh(const Network& net,
                                                    const LinkSet& active,
-                                                   double beta,
+                                                   units::Threshold beta,
                                                    sim::RngStream& rng);
 
 /// Exact probability that link i (a member of `active`) reaches SINR >= beta
 /// in the Rayleigh model when exactly `active` transmits. Closed form; no
 /// sampling.
-[[nodiscard]] double success_probability_rayleigh(const Network& net,
-                                                  const LinkSet& active,
-                                                  LinkId i, double beta);
+[[nodiscard]] units::Probability success_probability_rayleigh(
+    const Network& net, const LinkSet& active, LinkId i,
+    units::Threshold beta);
 
 /// Exact expected number of successful transmissions in one slot when
 /// exactly `active` transmits: sum over i in active of
 /// success_probability_rayleigh. Closed form; no sampling.
 [[nodiscard]] double expected_successes_rayleigh(const Network& net,
                                                  const LinkSet& active,
-                                                 double beta);
+                                                 units::Threshold beta);
 
 }  // namespace raysched::model

@@ -7,15 +7,11 @@
 
 namespace raysched::model {
 
-namespace {
-// ln(10)/10: converts a dB-scale normal to the natural-log scale.
-constexpr double kDbToNat = 0.23025850929940457;
-}  // namespace
-
-Network apply_lognormal_shadowing(const Network& net, double sigma_db,
+Network apply_lognormal_shadowing(const Network& net, units::Decibel sigma,
                                   sim::RngStream& rng) {
+  const double sigma_db = sigma.value();
   require(sigma_db >= 0.0,
-          "apply_lognormal_shadowing: sigma_db must be >= 0");
+          "apply_lognormal_shadowing: sigma must be >= 0 dB");
   const std::size_t n = net.size();
   std::vector<double> gains(n * n);
   for (LinkId j = 0; j < n; ++j) {
@@ -23,16 +19,17 @@ Network apply_lognormal_shadowing(const Network& net, double sigma_db,
       const double factor =
           sigma_db == 0.0
               ? 1.0
-              : std::exp(kDbToNat * sigma_db * rng.normal());
+              : std::exp(units::kDbToNaturalLog * sigma_db * rng.normal());
       gains[j * n + i] = net.mean_gain(j, i) * factor;
     }
   }
-  return Network(n, std::move(gains), net.noise());
+  return Network(n, std::move(gains), units::Power(net.noise()));
 }
 
-double lognormal_shadowing_mean(double sigma_db) {
-  require(sigma_db >= 0.0, "lognormal_shadowing_mean: sigma_db must be >= 0");
-  const double s = kDbToNat * sigma_db;
+double lognormal_shadowing_mean(units::Decibel sigma) {
+  require(sigma.value() >= 0.0,
+          "lognormal_shadowing_mean: sigma must be >= 0 dB");
+  const double s = units::kDbToNaturalLog * sigma.value();
   return std::exp(s * s / 2.0);
 }
 

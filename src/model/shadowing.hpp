@@ -15,21 +15,22 @@
 
 #include "model/network.hpp"
 #include "sim/rng.hpp"
+#include "util/units.hpp"
 
 namespace raysched::model {
 
 /// Returns a (geometry-free) copy of `net` whose mean gains are multiplied
-/// by independent log-normal factors 10^(X/10), X ~ N(0, sigma_db^2), one
-/// per (sender, receiver) pair. sigma_db = 0 returns an exact copy.
+/// by independent log-normal factors 10^(X/10), X ~ N(0, sigma^2 dB), one
+/// per (sender, receiver) pair. sigma = 0 dB returns an exact copy.
 /// Shadowing is reciprocal per pair only in reality for the same physical
 /// path; here each ordered (j, i) pair draws independently, matching the
 /// common simulation practice for link-level studies.
 [[nodiscard]] Network apply_lognormal_shadowing(const Network& net,
-                                                double sigma_db,
+                                                units::Decibel sigma,
                                                 sim::RngStream& rng);
 
 /// Mean of the log-normal factor 10^(X/10): exp((ln(10)/10)^2 sigma^2 / 2).
 /// Useful to de-bias expectations in tests.
-[[nodiscard]] double lognormal_shadowing_mean(double sigma_db);
+[[nodiscard]] double lognormal_shadowing_mean(units::Decibel sigma);
 
 }  // namespace raysched::model

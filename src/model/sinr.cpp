@@ -32,30 +32,33 @@ std::vector<double> sinr_nonfading_all(const Network& net,
   return out;
 }
 
-bool is_feasible(const Network& net, const LinkSet& active, double beta) {
-  require(beta > 0.0, "is_feasible: beta must be positive");
+bool is_feasible(const Network& net, const LinkSet& active,
+                 units::Threshold beta) {
+  require(beta.value() > 0.0, "is_feasible: beta must be positive");
   for (LinkId i : active) {
-    if (sinr_nonfading(net, active, i) < beta) return false;
+    if (sinr_nonfading(net, active, i) < beta.value()) return false;
   }
   return true;
 }
 
 std::size_t count_successes_nonfading(const Network& net, const LinkSet& active,
-                                      double beta) {
-  require(beta > 0.0, "count_successes_nonfading: beta must be positive");
+                                      units::Threshold beta) {
+  require(beta.value() > 0.0,
+          "count_successes_nonfading: beta must be positive");
   std::size_t count = 0;
   for (LinkId i : active) {
-    if (sinr_nonfading(net, active, i) >= beta) ++count;
+    if (sinr_nonfading(net, active, i) >= beta.value()) ++count;
   }
   return count;
 }
 
 LinkSet successful_links_nonfading(const Network& net, const LinkSet& active,
-                                   double beta) {
-  require(beta > 0.0, "successful_links_nonfading: beta must be positive");
+                                   units::Threshold beta) {
+  require(beta.value() > 0.0,
+          "successful_links_nonfading: beta must be positive");
   LinkSet out;
   for (LinkId i : active) {
-    if (sinr_nonfading(net, active, i) >= beta) out.push_back(i);
+    if (sinr_nonfading(net, active, i) >= beta.value()) out.push_back(i);
   }
   return out;
 }

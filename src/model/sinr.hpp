@@ -9,6 +9,7 @@
 
 #include "model/link.hpp"
 #include "model/network.hpp"
+#include "util/units.hpp"
 
 namespace raysched::model {
 
@@ -27,18 +28,18 @@ namespace raysched::model {
 /// True iff every link in `active` reaches SINR >= beta when all of `active`
 /// transmit simultaneously (a "feasible set" in the paper's sense).
 [[nodiscard]] bool is_feasible(const Network& net, const LinkSet& active,
-                               double beta);
+                               units::Threshold beta);
 
 /// Number of links in `active` with SINR >= beta when all of `active`
 /// transmit (non-fading successful transmissions in one slot).
 [[nodiscard]] std::size_t count_successes_nonfading(const Network& net,
                                                     const LinkSet& active,
-                                                    double beta);
+                                                    units::Threshold beta);
 
 /// The links of `active` that meet SINR >= beta (in `active` order).
 [[nodiscard]] LinkSet successful_links_nonfading(const Network& net,
                                                  const LinkSet& active,
-                                                 double beta);
+                                                 units::Threshold beta);
 
 /// Normalizes a link set: sorts, deduplicates, validates indices.
 void normalize_link_set(const Network& net, LinkSet& set);

@@ -1,0 +1,389 @@
+// raysched: compile-time unit safety for the SINR math core.
+//
+// Every quantity the paper manipulates lives in a narrow domain —
+// transmission probabilities q_i in [0,1], SINR thresholds beta > 0, gains
+// that are *linear* in Theorem 1's product form but *dB* in link-budget
+// inputs, rates from log(1+gamma) — yet naked doubles let a dB-for-linear
+// or probability-for-weight mixup compile silently. The wrappers below turn
+// that whole bug class into a compile error:
+//
+//   * construction from double is always `explicit` (enforced by RS-L9);
+//   * only dimensionally meaningful arithmetic is defined — Decibel+Decibel
+//     is a linear-domain product and therefore allowed, Decibel+LinearGain
+//     is not and does not compile;
+//   * dB <-> linear crossings happen ONLY through the named converters
+//     here (to_linear / to_db / Threshold::from_db); RS-L8 bans the
+//     pow(10, x/10) idiom everywhere else in src/.
+//
+// Zero overhead: every type is a trivially copyable double-sized wrapper
+// (static_assert'ed below), so std::vector<Probability> is a contiguous
+// buffer of doubles and hot loops read through the `.value()` escape hatch
+// without any change in code generation.
+//
+// Checking discipline:
+//   * the explicit constructor asserts the domain via RAYSCHED_EXPECT —
+//     free in Release, loud in Debug/contract builds;
+//   * the `checked()` factories validate unconditionally (raysched::error)
+//     and are the right entry point for untrusted inputs (file parsers,
+//     CLI flags);
+//   * `Probability::clamped()` snaps near-misses from floating-point
+//     arithmetic back into [0,1] and rejects NaN.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "util/contracts.hpp"
+#include "util/error.hpp"
+
+namespace raysched::units {
+
+/// A transmission/success probability in [0,1] (the q_i and Q_i of the
+/// paper). Multiplication (independent events) and complement are the only
+/// arithmetic; sums of probabilities are expectations, i.e. plain doubles.
+class Probability {
+ public:
+  constexpr Probability() = default;
+  explicit Probability(double v) : v_(v) {
+    RAYSCHED_EXPECT(v >= 0.0 && v <= 1.0, "Probability outside [0,1]");
+  }
+
+  /// Unconditionally validated factory for untrusted inputs.
+  [[nodiscard]] static Probability checked(double v) {
+    require(v >= 0.0 && v <= 1.0, "Probability::checked: value outside [0,1]");
+    return Probability(v);
+  }
+
+  /// Clamps v into [0,1]; the factory for results of floating-point
+  /// arithmetic that may overshoot by an ulp. NaN is rejected.
+  [[nodiscard]] static Probability clamped(double v) {
+    require(!std::isnan(v), "Probability::clamped: NaN is not a probability");
+    return Probability(v < 0.0 ? 0.0 : (v > 1.0 ? 1.0 : v));
+  }
+
+  [[nodiscard]] constexpr double value() const { return v_; }
+
+  /// 1 - p (the complement event).
+  [[nodiscard]] Probability complement() const { return Probability(1.0 - v_); }
+
+  /// Probability of two independent events: p * q.
+  [[nodiscard]] friend Probability operator*(Probability a, Probability b) {
+    return Probability(a.v_ * b.v_);
+  }
+
+  [[nodiscard]] friend constexpr auto operator<=>(Probability a,
+                                                  Probability b) = default;
+
+ private:
+  double v_ = 0.0;
+};
+
+/// A contiguous probability vector (q in the paper). sizeof(Probability) ==
+/// sizeof(double), so .data() is layout-compatible with a raw double buffer
+/// and hot loops pay nothing for the type.
+using ProbabilityVector = std::vector<Probability>;
+
+/// A linear-scale (power-ratio) gain: path-loss factors, S̄(j,i) entries.
+/// Additive (powers superpose) and scalable; the ratio of two gains is a
+/// dimensionless double (an SINR-like quantity).
+class LinearGain {
+ public:
+  constexpr LinearGain() = default;
+  explicit LinearGain(double v) : v_(v) {
+    RAYSCHED_EXPECT(v >= 0.0, "LinearGain must be non-negative");
+  }
+
+  [[nodiscard]] static LinearGain checked(double v) {
+    require(std::isfinite(v) && v >= 0.0,
+            "LinearGain::checked: gain must be finite and non-negative");
+    return LinearGain(v);
+  }
+
+  [[nodiscard]] constexpr double value() const { return v_; }
+
+  [[nodiscard]] friend LinearGain operator+(LinearGain a, LinearGain b) {
+    return LinearGain(a.v_ + b.v_);
+  }
+  [[nodiscard]] friend LinearGain operator*(double s, LinearGain g) {
+    return LinearGain(s * g.v_);
+  }
+  [[nodiscard]] friend LinearGain operator*(LinearGain g, double s) {
+    return LinearGain(s * g.v_);
+  }
+  /// Ratio of two gains: dimensionless.
+  [[nodiscard]] friend constexpr double operator/(LinearGain a, LinearGain b) {
+    return a.v_ / b.v_;
+  }
+
+  [[nodiscard]] friend constexpr auto operator<=>(LinearGain a,
+                                                  LinearGain b) = default;
+
+ private:
+  double v_ = 0.0;
+};
+
+/// A decibel-scale quantity (10 log10 of a linear ratio). Adding decibels
+/// multiplies linear gains, so + and - are the only arithmetic; products of
+/// dB values are meaningless and do not compile.
+class Decibel {
+ public:
+  constexpr Decibel() = default;
+  explicit Decibel(double v) : v_(v) {
+    RAYSCHED_EXPECT(!std::isnan(v), "Decibel must not be NaN");
+  }
+
+  [[nodiscard]] static Decibel checked(double v) {
+    require(std::isfinite(v), "Decibel::checked: value must be finite");
+    return Decibel(v);
+  }
+
+  [[nodiscard]] constexpr double value() const { return v_; }
+
+  [[nodiscard]] friend Decibel operator+(Decibel a, Decibel b) {
+    return Decibel(a.v_ + b.v_);
+  }
+  [[nodiscard]] friend Decibel operator-(Decibel a, Decibel b) {
+    return Decibel(a.v_ - b.v_);
+  }
+
+  [[nodiscard]] friend constexpr auto operator<=>(Decibel a,
+                                                  Decibel b) = default;
+
+ private:
+  double v_ = 0.0;
+};
+
+/// A transmission or noise power (nu, p_i). Additive and scalable like
+/// LinearGain, kept distinct so a noise floor cannot be passed where a
+/// path-loss factor is expected.
+class Power {
+ public:
+  constexpr Power() = default;
+  explicit Power(double v) : v_(v) {
+    RAYSCHED_EXPECT(v >= 0.0, "Power must be non-negative");
+  }
+
+  [[nodiscard]] static Power checked(double v) {
+    require(std::isfinite(v) && v >= 0.0,
+            "Power::checked: power must be finite and non-negative");
+    return Power(v);
+  }
+
+  [[nodiscard]] constexpr double value() const { return v_; }
+
+  [[nodiscard]] friend Power operator+(Power a, Power b) {
+    return Power(a.v_ + b.v_);
+  }
+  [[nodiscard]] friend Power operator*(double s, Power p) {
+    return Power(s * p.v_);
+  }
+  [[nodiscard]] friend Power operator*(Power p, double s) {
+    return Power(s * p.v_);
+  }
+  [[nodiscard]] friend constexpr double operator/(Power a, Power b) {
+    return a.v_ / b.v_;
+  }
+
+  [[nodiscard]] friend constexpr auto operator<=>(Power a, Power b) = default;
+
+ private:
+  double v_ = 0.0;
+};
+
+/// A Euclidean distance in the plane (link lengths, cross distances).
+class Distance {
+ public:
+  constexpr Distance() = default;
+  explicit Distance(double v) : v_(v) {
+    RAYSCHED_EXPECT(v >= 0.0, "Distance must be non-negative");
+  }
+
+  [[nodiscard]] static Distance checked(double v) {
+    require(std::isfinite(v) && v >= 0.0,
+            "Distance::checked: distance must be finite and non-negative");
+    return Distance(v);
+  }
+
+  [[nodiscard]] constexpr double value() const { return v_; }
+
+  [[nodiscard]] friend Distance operator+(Distance a, Distance b) {
+    return Distance(a.v_ + b.v_);
+  }
+  [[nodiscard]] friend Distance operator*(double s, Distance d) {
+    return Distance(s * d.v_);
+  }
+  [[nodiscard]] friend Distance operator*(Distance d, double s) {
+    return Distance(s * d.v_);
+  }
+  [[nodiscard]] friend constexpr double operator/(Distance a, Distance b) {
+    return a.v_ / b.v_;
+  }
+
+  [[nodiscard]] friend constexpr auto operator<=>(Distance a,
+                                                  Distance b) = default;
+
+ private:
+  double v_ = 0.0;
+};
+
+/// An SINR threshold (the paper's beta > 0), always linear-scale. Carries
+/// no arithmetic: beta enters formulas through .value() after the domain
+/// has been established. Construct from dB inputs via from_db ONLY.
+class Threshold {
+ public:
+  constexpr Threshold() = default;
+  explicit Threshold(double v) : v_(v) {
+    RAYSCHED_EXPECT(v > 0.0, "Threshold (beta) must be positive");
+  }
+
+  [[nodiscard]] static Threshold checked(double v) {
+    require(std::isfinite(v) && v > 0.0,
+            "Threshold::checked: beta must be finite and positive");
+    return Threshold(v);
+  }
+
+  /// The sole dB entry point for thresholds: beta = 10^(dB/10).
+  [[nodiscard]] static Threshold from_db(Decibel d);
+
+  [[nodiscard]] constexpr double value() const { return v_; }
+
+  [[nodiscard]] friend constexpr auto operator<=>(Threshold a,
+                                                  Threshold b) = default;
+
+ private:
+  double v_ = 1.0;
+};
+
+/// A data rate (nats per channel use): log(1 + gamma) and friends. Additive
+/// (rates of parallel channels superpose).
+class Rate {
+ public:
+  constexpr Rate() = default;
+  explicit Rate(double v) : v_(v) {
+    RAYSCHED_EXPECT(v >= 0.0, "Rate must be non-negative");
+  }
+
+  [[nodiscard]] static Rate checked(double v) {
+    require(std::isfinite(v) && v >= 0.0,
+            "Rate::checked: rate must be finite and non-negative");
+    return Rate(v);
+  }
+
+  /// Shannon rate of an SINR value: log(1 + gamma).
+  [[nodiscard]] static Rate from_sinr(double gamma) {
+    require(gamma >= 0.0, "Rate::from_sinr: SINR must be non-negative");
+    return Rate(std::log1p(gamma));
+  }
+
+  [[nodiscard]] constexpr double value() const { return v_; }
+
+  [[nodiscard]] friend Rate operator+(Rate a, Rate b) {
+    return Rate(a.v_ + b.v_);
+  }
+
+  [[nodiscard]] friend constexpr auto operator<=>(Rate a, Rate b) = default;
+
+ private:
+  double v_ = 0.0;
+};
+
+// ---- dB <-> linear conversion: the ONLY crossing points (RS-L8) ----------
+
+/// ln(10)/10: scales a dB-domain normal deviate to the natural-log domain
+/// (10^(x/10) == exp(kDbToNaturalLog * x)); used by log-normal shadowing.
+inline constexpr double kDbToNaturalLog = 2.302585092994045684e0 / 10.0;
+
+/// Linear power ratio of a dB value: 10^(dB/10).
+[[nodiscard]] inline LinearGain to_linear(Decibel d) {
+  return LinearGain(std::pow(10.0, d.value() / 10.0));
+}
+
+/// Linear power of a dB power value (dB relative to the unit power).
+[[nodiscard]] inline Power to_linear_power(Decibel d) {
+  return Power(std::pow(10.0, d.value() / 10.0));
+}
+
+/// dB value of a linear gain: 10 log10(g). Requires g > 0 (0 has no dB
+/// representation).
+[[nodiscard]] inline Decibel to_db(LinearGain g) {
+  require(g.value() > 0.0, "to_db: zero gain has no dB representation");
+  return Decibel(10.0 * std::log10(g.value()));
+}
+
+/// dB value of a linear power.
+[[nodiscard]] inline Decibel to_db(Power p) {
+  require(p.value() > 0.0, "to_db: zero power has no dB representation");
+  return Decibel(10.0 * std::log10(p.value()));
+}
+
+inline Threshold Threshold::from_db(Decibel d) {
+  return Threshold(to_linear(d).value());
+}
+
+// ---- probability-vector helpers ------------------------------------------
+
+/// Validated conversion of a raw vector into probabilities (each entry must
+/// lie in [0,1]); the boundary for parsers and user-supplied q vectors.
+[[nodiscard]] inline ProbabilityVector probabilities(
+    const std::vector<double>& raw) {
+  ProbabilityVector out;
+  out.reserve(raw.size());
+  for (double v : raw) out.push_back(Probability::checked(v));
+  return out;
+}
+
+/// A uniform probability vector q_i = q for all i.
+[[nodiscard]] inline ProbabilityVector uniform_probabilities(std::size_t n,
+                                                             Probability q) {
+  return ProbabilityVector(n, q);
+}
+
+/// Validated conversion of a raw vector into per-link SINR thresholds (each
+/// entry must be positive); the boundary for flexible-rate callers that keep
+/// plain-double beta vectors in their own APIs.
+[[nodiscard]] inline std::vector<Threshold> thresholds(
+    const std::vector<double>& raw) {
+  std::vector<Threshold> out;
+  out.reserve(raw.size());
+  for (double v : raw) out.push_back(Threshold::checked(v));
+  return out;
+}
+
+/// Sentinel-preserving conversion for sparse per-link beta vectors: positive
+/// entries become validated thresholds; entries <= 0 (the "no class"
+/// sentinel the flexible-rate APIs use for unselected links) map to the
+/// Threshold() placeholder, which the per-link routines never read.
+[[nodiscard]] inline std::vector<Threshold> thresholds_or_placeholder(
+    const std::vector<double>& raw) {
+  std::vector<Threshold> out;
+  out.reserve(raw.size());
+  for (double v : raw) {
+    out.push_back(v > 0.0 ? Threshold::checked(v) : Threshold());
+  }
+  return out;
+}
+
+/// Raw copy of a probability vector for plotting/tables.
+[[nodiscard]] inline std::vector<double> raw_values(
+    const ProbabilityVector& q) {
+  std::vector<double> out;
+  out.reserve(q.size());
+  for (Probability p : q) out.push_back(p.value());
+  return out;
+}
+
+// ---- zero-overhead guarantees (the contract bench/ relies on) ------------
+
+static_assert(sizeof(Probability) == sizeof(double));
+static_assert(sizeof(LinearGain) == sizeof(double));
+static_assert(sizeof(Decibel) == sizeof(double));
+static_assert(sizeof(Power) == sizeof(double));
+static_assert(sizeof(Distance) == sizeof(double));
+static_assert(sizeof(Threshold) == sizeof(double));
+static_assert(sizeof(Rate) == sizeof(double));
+static_assert(alignof(Probability) == alignof(double));
+static_assert(std::is_trivially_copyable_v<Probability>);
+static_assert(std::is_trivially_copyable_v<Threshold>);
+static_assert(std::is_standard_layout_v<Probability>);
+
+}  // namespace raysched::units

@@ -59,7 +59,7 @@ TEST(BlockFading, SinrAllConsistentWithGains) {
 TEST(BlockFading, CountSuccessesBounded) {
   auto net = hand_matrix_network(0.1);
   BlockFadingChannel channel(net, 2, 2.0, sim::RngStream(11));
-  EXPECT_LE(channel.count_successes({0, 1, 2}, 1.0), 3u);
+  EXPECT_LE(channel.count_successes({0, 1, 2}, units::Threshold(1.0)), 3u);
 }
 
 TEST(BlockFading, ValidatesParameters) {

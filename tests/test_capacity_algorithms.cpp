@@ -33,7 +33,7 @@ TEST(Greedy, OutputAlwaysFeasible) {
     auto net = paper_network(50, seed);
     for (double beta : {0.5, 2.5, 10.0}) {
       const auto result = greedy_capacity(net, beta);
-      EXPECT_TRUE(model::is_feasible(net, result.selected, beta))
+      EXPECT_TRUE(model::is_feasible(net, result.selected, units::Threshold(beta)))
           << "seed " << seed << " beta " << beta;
     }
   }
@@ -57,7 +57,7 @@ TEST(Greedy, SmallerTauSelectsFewer) {
   const auto a = greedy_capacity(net, 2.5, {}, loose);
   const auto b = greedy_capacity(net, 2.5, {}, tight);
   EXPECT_GE(a.selected.size(), b.selected.size());
-  EXPECT_TRUE(model::is_feasible(net, b.selected, 2.5));
+  EXPECT_TRUE(model::is_feasible(net, b.selected, units::Threshold(2.5)));
 }
 
 TEST(Greedy, RejectsBadOptions) {
@@ -105,7 +105,7 @@ TEST(PowerControl, OutputFeasibleWithComputedPowers) {
     // Apply the computed powers and verify feasibility directly.
     model::Network powered = net;
     powered.set_powers(*result.powers);
-    EXPECT_TRUE(model::is_feasible(powered, result.selected, beta))
+    EXPECT_TRUE(model::is_feasible(powered, result.selected, units::Threshold(beta)))
         << "seed " << seed;
   }
 }
@@ -162,7 +162,7 @@ TEST(Exact, BnBOutputFeasible) {
   for (std::uint64_t seed = 0; seed < 5; ++seed) {
     auto net = paper_network(12, 700 + seed);
     const auto opt = exact_max_feasible_set(net, 2.5);
-    EXPECT_TRUE(model::is_feasible(net, opt.selected, 2.5));
+    EXPECT_TRUE(model::is_feasible(net, opt.selected, units::Threshold(2.5)));
   }
 }
 
@@ -177,7 +177,7 @@ TEST(Exact, BnBMatchesBruteForceOnTinyInstances) {
       for (LinkId i = 0; i < 8; ++i) {
         if (mask & (1u << i)) s.push_back(i);
       }
-      if (model::is_feasible(net, s, beta)) best = std::max(best, s.size());
+      if (model::is_feasible(net, s, units::Threshold(beta))) best = std::max(best, s.size());
     }
     EXPECT_EQ(exact_max_feasible_set(net, beta).selected.size(), best)
         << "seed " << seed;
@@ -198,7 +198,7 @@ TEST(Exact, LocalSearchAtLeastGreedy) {
     opts.restarts = 3;
     const auto ls = local_search_max_feasible_set(net, beta, opts);
     EXPECT_GE(ls.selected.size(), greedy.selected.size());
-    EXPECT_TRUE(model::is_feasible(net, ls.selected, beta));
+    EXPECT_TRUE(model::is_feasible(net, ls.selected, units::Threshold(beta)));
   }
 }
 

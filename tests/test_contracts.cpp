@@ -68,12 +68,12 @@ TEST(Contracts, InfiniteGainTripsNetworkConstructorContract) {
   // contract can reject it.
   std::vector<double> gains = {10.0, std::numeric_limits<double>::infinity(),
                                1.0, 10.0};
-  EXPECT_THROW(model::Network(2, gains, 0.1), contract_violation);
+  EXPECT_THROW(model::Network(2, gains, units::Power(0.1)), contract_violation);
 }
 
 TEST(Contracts, OutOfRangeSolutionIdTripsTransferExpect) {
   auto net = raysched::testing::hand_matrix_network();
-  const auto u = core::Utility::binary(2.0);
+  const auto u = core::Utility::binary(units::Threshold(2.0));
   EXPECT_THROW(
       core::expected_rayleigh_utility_exact(net, {0, 17}, u), error);
 }
@@ -82,15 +82,19 @@ TEST(Contracts, MathCoreInvariantsHoldOnRealInstances) {
   // Positive control: with contracts live, the closed forms, the simulation
   // schedule, and the learners must run a realistic workload untripped.
   auto net = raysched::testing::paper_network(12, 3);
-  std::vector<double> q(12, 0.3);
+  const auto q = units::uniform_probabilities(12, units::Probability(0.3));
+  const units::Threshold beta(2.5);
   for (LinkId i = 0; i < net.size(); ++i) {
-    const double p = core::rayleigh_success_probability(net, q, i, 2.5);
-    const double lo = core::rayleigh_success_lower_bound(net, q, i, 2.5);
-    const double hi = core::rayleigh_success_upper_bound(net, q, i, 2.5);
+    const double p =
+        core::rayleigh_success_probability(net, q, i, beta).value();
+    const double lo =
+        core::rayleigh_success_lower_bound(net, q, i, beta).value();
+    const double hi =
+        core::rayleigh_success_upper_bound(net, q, i, beta).value();
     EXPECT_LE(lo, p + 1e-12);
     EXPECT_LE(p, hi + 1e-12);
-    (void)core::interference_weight(net, q, i, 2.5);
-    (void)model::affectance(net, i, (i + 1) % net.size(), 2.5);
+    (void)core::interference_weight(net, q, i, beta);
+    (void)model::affectance(net, i, (i + 1) % net.size(), beta);
   }
   const auto schedule = core::build_simulation_schedule(net, q);
   EXPECT_GT(schedule.levels.size(), 1u);
@@ -106,9 +110,9 @@ TEST(Contracts, MathCoreInvariantsHoldOnRealInstances) {
     exp3.update_bandit(
         rng.bernoulli(0.5) ? learning::Action::Send : learning::Action::Stay,
         rng.uniform());
-    EXPECT_GE(rwm.send_probability(), 0.0);
-    EXPECT_LE(rm.send_probability(), 1.0);
-    EXPECT_LE(exp3.send_probability(), 1.0);
+    EXPECT_GE(rwm.send_probability().value(), 0.0);
+    EXPECT_LE(rm.send_probability().value(), 1.0);
+    EXPECT_LE(exp3.send_probability().value(), 1.0);
   }
 }
 
@@ -131,7 +135,7 @@ TEST(Contracts, RequireStillGuardsPublicBoundariesWhenDisabled) {
   std::vector<double> nan_gains = {10.0,
                                    std::numeric_limits<double>::quiet_NaN(),
                                    1.0, 10.0};
-  EXPECT_THROW(model::Network(2, nan_gains, 0.1), error);
+  EXPECT_THROW(model::Network(2, nan_gains, units::Power(0.1)), error);
 }
 
 #endif  // RAYSCHED_CONTRACTS

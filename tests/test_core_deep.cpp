@@ -28,9 +28,9 @@ TEST(CoreDeep, Theorem1FactorsMultiplicativelyOverInterferers) {
   const std::vector<double> q_only1 = {1.0, 0.7, 0.0};
   const std::vector<double> q_only2 = {1.0, 0.0, 0.4};
   const double base = 1.0;  // exp(0) with zero noise
-  const double p_both = rayleigh_success_probability(net, q_both, 0, beta);
-  const double p1 = rayleigh_success_probability(net, q_only1, 0, beta);
-  const double p2 = rayleigh_success_probability(net, q_only2, 0, beta);
+  const double p_both = rayleigh_success_probability(net, units::probabilities(q_both), 0, units::Threshold(beta)).value();
+  const double p1 = rayleigh_success_probability(net, units::probabilities(q_only1), 0, units::Threshold(beta)).value();
+  const double p2 = rayleigh_success_probability(net, units::probabilities(q_only2), 0, units::Threshold(beta)).value();
   EXPECT_NEAR(p_both, p1 * p2 / base, 1e-12);
 }
 
@@ -38,13 +38,13 @@ TEST(CoreDeep, Theorem1MonotoneInEachProbability) {
   auto net = paper_network(10, 21);
   std::vector<double> q(net.size(), 0.5);
   const double beta = 2.5;
-  const double base = rayleigh_success_probability(net, q, 0, beta);
+  const double base = rayleigh_success_probability(net, units::probabilities(q), 0, units::Threshold(beta)).value();
   // Raising an interferer's probability lowers Q_0; raising q_0 raises it.
   q[1] = 0.9;
-  EXPECT_LE(rayleigh_success_probability(net, q, 0, beta), base);
+  EXPECT_LE(rayleigh_success_probability(net, units::probabilities(q), 0, units::Threshold(beta)).value(), base);
   q[1] = 0.5;
   q[0] = 0.9;
-  EXPECT_GT(rayleigh_success_probability(net, q, 0, beta), base);
+  EXPECT_GT(rayleigh_success_probability(net, units::probabilities(q), 0, units::Threshold(beta)).value(), base);
 }
 
 TEST(CoreDeep, UpperBoundTightensAsGainRatioShrinks) {
@@ -55,8 +55,8 @@ TEST(CoreDeep, UpperBoundTightensAsGainRatioShrinks) {
   // Use a beta so small that every beta*S(j,i)/S(i,i) << 1.
   const double beta = 1e-4;
   for (LinkId i = 0; i < 5; ++i) {
-    const double exact = rayleigh_success_probability(net, q, i, beta);
-    const double hi = rayleigh_success_upper_bound(net, q, i, beta);
+    const double exact = rayleigh_success_probability(net, units::probabilities(q), i, units::Threshold(beta)).value();
+    const double hi = rayleigh_success_upper_bound(net, units::probabilities(q), i, units::Threshold(beta)).value();
     EXPECT_NEAR(hi / exact, 1.0, 1e-3) << "link " << i;
   }
 }
@@ -68,13 +68,13 @@ TEST(CoreDeep, UpperBoundTightensAsGainRatioShrinks) {
 TEST(CoreDeep, SimulationProbabilitiesScaleLinearlyWithQ) {
   auto net = paper_network(12, 23);
   std::vector<double> q(net.size(), 0.8), half(net.size(), 0.4);
-  const auto s1 = build_simulation_schedule(net, q);
-  const auto s2 = build_simulation_schedule(net, half);
+  const auto s1 = build_simulation_schedule(net, units::probabilities(q));
+  const auto s2 = build_simulation_schedule(net, units::probabilities(half));
   ASSERT_EQ(s1.levels.size(), s2.levels.size());
   for (std::size_t k = 0; k < s1.levels.size(); ++k) {
     for (std::size_t i = 0; i < net.size(); ++i) {
-      EXPECT_NEAR(s2.levels[k].probabilities[i],
-                  0.5 * s1.levels[k].probabilities[i], 1e-15);
+      EXPECT_NEAR(s2.levels[k].probabilities[i].value(),
+                  0.5 * s1.levels[k].probabilities[i].value(), 1e-15);
     }
   }
 }
@@ -83,7 +83,7 @@ TEST(CoreDeep, SimulationLevelCountIndependentOfQ) {
   auto net = paper_network(12, 24);
   for (double v : {0.01, 0.5, 1.0}) {
     std::vector<double> q(net.size(), v);
-    EXPECT_EQ(static_cast<int>(build_simulation_schedule(net, q).levels.size()),
+    EXPECT_EQ(static_cast<int>(build_simulation_schedule(net, units::probabilities(q)).levels.size()),
               util::theorem2_num_levels(net.size()));
   }
 }
@@ -103,13 +103,13 @@ TEST(CoreDeep, TransferRespectsRepoweredNetwork) {
   model::Network powered = net;
   powered.set_powers(*pc.powers);
   for (LinkId i : pc.selected) {
-    EXPECT_GE(per_link_transfer_probability(powered, pc.selected, i),
+    EXPECT_GE(per_link_transfer_probability(powered, pc.selected, i).value(),
               1.0 / std::exp(1.0) - 1e-12);
   }
   // On the original (uniform-power) network the set need not be feasible at
   // beta, so this is genuinely a different evaluation.
   // (No assertion: just ensure it does not crash and may differ.)
-  (void)model::is_feasible(net, pc.selected, beta);
+  (void)model::is_feasible(net, pc.selected, units::Threshold(beta));
 }
 
 TEST(CoreDeep, ReductionFacadeMatchesManualPipeline) {
@@ -117,11 +117,11 @@ TEST(CoreDeep, ReductionFacadeMatchesManualPipeline) {
   sim::RngStream r1(26), r2(26);
   ReductionOptions opts;  // greedy
   const auto facade = schedule_capacity_rayleigh(
-      net, Utility::binary(2.5), opts, r1);
+      net, Utility::binary(units::Threshold(2.5)), opts, r1);
   const auto manual_set = algorithms::greedy_capacity(net, 2.5).selected;
   EXPECT_EQ(facade.transmit_set, manual_set);
   const auto manual_transfer = transfer_capacity_solution(
-      net, manual_set, Utility::binary(2.5), 1, r2);
+      net, manual_set, Utility::binary(units::Threshold(2.5)), 1, r2);
   EXPECT_DOUBLE_EQ(facade.expected_rayleigh_value,
                    manual_transfer.rayleigh_value);
 }
@@ -136,10 +136,11 @@ TEST(CoreDeep, NoiseOnlyAgreesAcrossThreeImplementations) {
   auto net = hand_matrix_network(0.4);
   const double beta = 2.0;
   std::vector<double> q = {1.0, 0.0, 0.0};
-  const double t1 = rayleigh_success_probability(net, q, 0, beta);
-  const double slot = model::success_probability_rayleigh(net, {0}, 0, beta);
+  const double t1 = rayleigh_success_probability(net, units::probabilities(q), 0, units::Threshold(beta)).value();
+  const double slot = model::success_probability_rayleigh(net, {0}, 0, units::Threshold(beta)).value();
   const double nak = model::noise_only_success_probability_nakagami(
-      net.signal(0), net.noise(), beta, 1.0);
+      units::LinearGain(net.signal(0)), net.noise_power(),
+      units::Threshold(beta), 1.0).value();
   EXPECT_NEAR(t1, slot, 1e-15);
   EXPECT_NEAR(t1, nak, 1e-12);
 }
@@ -162,14 +163,14 @@ TEST(CoreDeep, ExpectedSuccessesAgreesWithGradientIntegral) {
     for (std::size_t i = 0; i < qt.size(); ++i) dot += grad[i] * q0[i];
     integral += dot / steps;
   }
-  const double direct = expected_rayleigh_successes(net, q0, beta);
+  const double direct = expected_rayleigh_successes(net, units::probabilities(q0), units::Threshold(beta));
   EXPECT_NEAR(integral, direct, 0.01 * direct);
 }
 
 TEST(CoreDeep, CoverTimeAgreesWithSimulatedGeometrics) {
   // expected_cover_time vs direct simulation of independent geometrics.
   const std::vector<double> p = {0.2, 0.5, 0.35};
-  const double analytic = expected_cover_time(p);
+  const double analytic = expected_cover_time(units::probabilities(p));
   sim::RngStream rng(28);
   sim::Accumulator acc;
   for (int run = 0; run < 40000; ++run) {

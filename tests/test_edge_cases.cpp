@@ -20,7 +20,7 @@ using model::Point;
 Network single_link_network(double noise) {
   std::vector<Link> links = {{Point{0, 0}, Point{1, 0}}};
   return Network(std::move(links), model::PowerAssignment::uniform(1.0), 2.0,
-                 noise);
+                 units::Power(noise));
 }
 
 // ---------------------------------------------------------------------------
@@ -30,8 +30,8 @@ Network single_link_network(double noise) {
 TEST(EdgeSingleLink, SinrAgainstNoiseOnly) {
   auto net = single_link_network(0.25);
   EXPECT_DOUBLE_EQ(model::sinr_nonfading(net, {0}, 0), 4.0);
-  EXPECT_TRUE(model::is_feasible(net, {0}, 4.0));
-  EXPECT_FALSE(model::is_feasible(net, {0}, 4.0 + 1e-12));
+  EXPECT_TRUE(model::is_feasible(net, {0}, units::Threshold(4.0)));
+  EXPECT_FALSE(model::is_feasible(net, {0}, units::Threshold(4.0 + 1e-12)));
 }
 
 TEST(EdgeSingleLink, GreedySelectsOrSkips) {
@@ -42,7 +42,7 @@ TEST(EdgeSingleLink, GreedySelectsOrSkips) {
 
 TEST(EdgeSingleLink, RayleighClosedForm) {
   auto net = single_link_network(0.25);
-  EXPECT_NEAR(model::success_probability_rayleigh(net, {0}, 0, 4.0),
+  EXPECT_NEAR(model::success_probability_rayleigh(net, {0}, 0, units::Threshold(4.0)).value(),
               std::exp(-1.0), 1e-12);
 }
 
@@ -79,13 +79,13 @@ TEST(EdgeSingleLink, GameConvergesToSend) {
 
 TEST(EdgeEmptySet, EverythingDegradesGracefully) {
   auto net = raysched::testing::paper_network(5, 1);
-  EXPECT_TRUE(model::is_feasible(net, {}, 1.0));
-  EXPECT_EQ(model::count_successes_nonfading(net, {}, 1.0), 0u);
-  EXPECT_DOUBLE_EQ(model::expected_successes_rayleigh(net, {}, 1.0), 0.0);
+  EXPECT_TRUE(model::is_feasible(net, {}, units::Threshold(1.0)));
+  EXPECT_EQ(model::count_successes_nonfading(net, {}, units::Threshold(1.0)), 0u);
+  EXPECT_DOUBLE_EQ(model::expected_successes_rayleigh(net, {}, units::Threshold(1.0)), 0.0);
   sim::RngStream rng(1);
-  EXPECT_EQ(model::count_successes_rayleigh(net, {}, 1.0, rng), 0u);
-  EXPECT_DOUBLE_EQ(model::total_affectance_on(net, {}, 0, 1.0), 0.0);
-  EXPECT_DOUBLE_EQ(model::interference_spectral_radius(net, {}, 1.0), 0.0);
+  EXPECT_EQ(model::count_successes_rayleigh(net, {}, units::Threshold(1.0), rng), 0u);
+  EXPECT_DOUBLE_EQ(model::total_affectance_on(net, {}, 0, units::Threshold(1.0)), 0.0);
+  EXPECT_DOUBLE_EQ(model::interference_spectral_radius(net, {}, units::Threshold(1.0)), 0.0);
 }
 
 // ---------------------------------------------------------------------------
@@ -97,9 +97,9 @@ TEST(EdgeBoundary, ExactThresholdIsInclusiveAcrossApis) {
   const LinkSet all = {0, 1, 2};
   const double gamma0 = model::sinr_nonfading(net, all, 0);
   EXPECT_TRUE(model::is_feasible(
-      net, {0}, model::sinr_nonfading(net, {0}, 0)));
-  EXPECT_EQ(model::successful_links_nonfading(net, all, gamma0).front(), 0u);
-  const core::Utility u = core::Utility::binary(gamma0);
+      net, {0}, units::Threshold(model::sinr_nonfading(net, {0}, 0))));
+  EXPECT_EQ(model::successful_links_nonfading(net, all, units::Threshold(gamma0)).front(), 0u);
+  const core::Utility u = core::Utility::binary(units::Threshold(gamma0));
   EXPECT_DOUBLE_EQ(u.value(gamma0), 1.0);
 }
 
@@ -109,8 +109,8 @@ TEST(EdgeBoundary, AffectanceExactlyOneIsFeasible) {
   auto net = raysched::testing::hand_matrix_network(0.0);
   const LinkSet pair = {0, 1};
   const double gamma = model::sinr_nonfading(net, pair, 0);
-  EXPECT_NEAR(model::total_affectance_on_raw(net, pair, 0, gamma), 1.0, 1e-12);
-  EXPECT_TRUE(model::is_feasible(net, pair, gamma));
+  EXPECT_NEAR(model::total_affectance_on_raw(net, pair, 0, units::Threshold(gamma)), 1.0, 1e-12);
+  EXPECT_TRUE(model::is_feasible(net, pair, units::Threshold(gamma)));
 }
 
 // ---------------------------------------------------------------------------
@@ -119,17 +119,17 @@ TEST(EdgeBoundary, AffectanceExactlyOneIsFeasible) {
 
 TEST(EdgeExtremes, TinyGainsStayFinite) {
   std::vector<double> gains = {1e-300, 0.0, 0.0, 1e-300};
-  Network net(2, gains, 1e-310);
+  Network net(2, gains, units::Power(1e-310));
   const double g = model::sinr_nonfading(net, {0, 1}, 0);
   EXPECT_TRUE(std::isfinite(g));
   EXPECT_GT(g, 1.0);  // noise far below signal
-  EXPECT_GT(model::success_probability_rayleigh(net, {0, 1}, 0, 1.0), 0.0);
+  EXPECT_GT(model::success_probability_rayleigh(net, {0, 1}, 0, units::Threshold(1.0)).value(), 0.0);
 }
 
 TEST(EdgeExtremes, HugeBetaProbabilityUnderflowsToZeroNotNan) {
   auto net = raysched::testing::hand_matrix_network(1.0);
   const double p =
-      model::success_probability_rayleigh(net, {0, 1, 2}, 0, 1e6);
+      model::success_probability_rayleigh(net, {0, 1, 2}, 0, units::Threshold(1e6)).value();
   EXPECT_GE(p, 0.0);
   EXPECT_FALSE(std::isnan(p));
   EXPECT_LT(p, 1e-6);
@@ -146,7 +146,7 @@ TEST(EdgeExtremes, NoiseDominatedEverythingEmpty) {
       algorithms::exact_max_feasible_set(net, 2.5, 10).selected.empty());
   // The Rayleigh model still gives positive (if tiny) success probability —
   // the paper's motivating asymmetry.
-  EXPECT_GT(model::success_probability_rayleigh(net, {0}, 0, 2.5), 0.0);
+  EXPECT_GT(model::success_probability_rayleigh(net, {0}, 0, units::Threshold(2.5)).value(), 0.0);
 }
 
 // ---------------------------------------------------------------------------
@@ -156,13 +156,13 @@ TEST(EdgeExtremes, NoiseDominatedEverythingEmpty) {
 TEST(EdgeSymmetric, FullySymmetricPairSplitsEvenly) {
   // Two links with identical gains: S(i,i) = 4, S(j,i) = 1, no noise.
   std::vector<double> gains = {4.0, 1.0, 1.0, 4.0};
-  Network net(2, gains, 0.0);
+  Network net(2, gains, units::Power(0.0));
   // Together: SINR = 4 for both; feasible at beta <= 4.
-  EXPECT_TRUE(model::is_feasible(net, {0, 1}, 4.0));
-  EXPECT_FALSE(model::is_feasible(net, {0, 1}, 4.5));
+  EXPECT_TRUE(model::is_feasible(net, {0, 1}, units::Threshold(4.0)));
+  EXPECT_FALSE(model::is_feasible(net, {0, 1}, units::Threshold(4.5)));
   // Rayleigh success probabilities identical by symmetry.
-  EXPECT_DOUBLE_EQ(model::success_probability_rayleigh(net, {0, 1}, 0, 2.0),
-                   model::success_probability_rayleigh(net, {0, 1}, 1, 2.0));
+  EXPECT_DOUBLE_EQ(model::success_probability_rayleigh(net, {0, 1}, 0, units::Threshold(2.0)).value(),
+                   model::success_probability_rayleigh(net, {0, 1}, 1, units::Threshold(2.0)).value());
   // Coordinate-ascent optimum at beta where both fit selects both.
   const auto opt = algorithms::maximize_capacity_coordinate_ascent(net, 1.0);
   EXPECT_DOUBLE_EQ(opt.q[0], 1.0);
@@ -172,11 +172,11 @@ TEST(EdgeSymmetric, FullySymmetricPairSplitsEvenly) {
 TEST(EdgeSymmetric, AsymmetricGainsAreHandledDirectionally) {
   // Link 0 hurts link 1 but not vice versa.
   std::vector<double> gains = {10.0, 100.0, 0.0, 10.0};
-  Network net(2, gains, 0.0);
+  Network net(2, gains, units::Power(0.0));
   EXPECT_TRUE(std::isinf(model::sinr_nonfading(net, {0, 1}, 0)));  // no inter.
   EXPECT_DOUBLE_EQ(model::sinr_nonfading(net, {0, 1}, 1), 0.1);
-  EXPECT_DOUBLE_EQ(model::affectance_raw(net, 1, 0, 1.0), 0.0);
-  EXPECT_GT(model::affectance_raw(net, 0, 1, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(model::affectance_raw(net, 1, 0, units::Threshold(1.0)), 0.0);
+  EXPECT_GT(model::affectance_raw(net, 0, 1, units::Threshold(1.0)), 1.0);
 }
 
 // ---------------------------------------------------------------------------
@@ -184,7 +184,7 @@ TEST(EdgeSymmetric, AsymmetricGainsAreHandledDirectionally) {
 // ---------------------------------------------------------------------------
 
 TEST(EdgeUtility, ZeroWeightIsValidAndWorthless) {
-  const core::Utility u = core::Utility::weighted(1.0, 0.0);
+  const core::Utility u = core::Utility::weighted(units::Threshold(1.0), 0.0);
   EXPECT_DOUBLE_EQ(u.value(5.0), 0.0);
   auto net = raysched::testing::paper_network(10, 4);
   const auto result = algorithms::weighted_greedy_capacity(
@@ -199,7 +199,7 @@ TEST(EdgeUtility, ShannonAtInfinitySinr) {
   const core::Utility shannon = core::Utility::shannon();
   const double inf = std::numeric_limits<double>::infinity();
   EXPECT_TRUE(std::isinf(shannon.value(inf)));
-  EXPECT_DOUBLE_EQ(core::Utility::binary(2.0).value(inf), 1.0);
+  EXPECT_DOUBLE_EQ(core::Utility::binary(units::Threshold(2.0)).value(inf), 1.0);
 }
 
 // ---------------------------------------------------------------------------
@@ -209,14 +209,16 @@ TEST(EdgeUtility, ShannonAtInfinitySinr) {
 TEST(EdgeProbabilities, AllZeroAndAllOne) {
   auto net = raysched::testing::paper_network(8, 5);
   std::vector<double> zeros(8, 0.0), ones(8, 1.0);
-  EXPECT_DOUBLE_EQ(core::expected_rayleigh_successes(net, zeros, 2.5), 0.0);
+  EXPECT_DOUBLE_EQ(core::expected_rayleigh_successes(net, units::probabilities(zeros), units::Threshold(2.5)), 0.0);
   LinkSet all;
   for (model::LinkId i = 0; i < 8; ++i) all.push_back(i);
-  EXPECT_NEAR(core::expected_rayleigh_successes(net, ones, 2.5),
-              model::expected_successes_rayleigh(net, all, 2.5), 1e-12);
-  const auto schedule = core::build_simulation_schedule(net, zeros);
+  EXPECT_NEAR(core::expected_rayleigh_successes(net, units::probabilities(ones), units::Threshold(2.5)),
+              model::expected_successes_rayleigh(net, all, units::Threshold(2.5)), 1e-12);
+  const auto schedule = core::build_simulation_schedule(net, units::probabilities(zeros));
   for (const auto& level : schedule.levels) {
-    for (double p : level.probabilities) EXPECT_DOUBLE_EQ(p, 0.0);
+    for (units::Probability p : level.probabilities) {
+      EXPECT_DOUBLE_EQ(p.value(), 0.0);
+    }
   }
 }
 
@@ -243,16 +245,16 @@ TEST(EdgeRejection, OutOfRangeProbabilityVectors) {
   const std::vector<double> nan_entry = {
       0.5, std::numeric_limits<double>::quiet_NaN(), 0.5};
   for (const auto& bad : {too_short, negative, above_one, nan_entry}) {
-    EXPECT_THROW(core::validate_probabilities(net, bad), raysched::error);
-    EXPECT_THROW(core::rayleigh_success_probability(net, bad, 0, 2.0),
+    EXPECT_THROW(core::validate_probabilities(net, units::probabilities(bad)), raysched::error);
+    EXPECT_THROW(core::rayleigh_success_probability(net, units::probabilities(bad), 0, units::Threshold(2.0)),
                  raysched::error);
-    EXPECT_THROW(core::rayleigh_success_lower_bound(net, bad, 0, 2.0),
+    EXPECT_THROW(core::rayleigh_success_lower_bound(net, units::probabilities(bad), 0, units::Threshold(2.0)),
                  raysched::error);
-    EXPECT_THROW(core::rayleigh_success_upper_bound(net, bad, 0, 2.0),
+    EXPECT_THROW(core::rayleigh_success_upper_bound(net, units::probabilities(bad), 0, units::Threshold(2.0)),
                  raysched::error);
-    EXPECT_THROW(core::interference_weight(net, bad, 0, 2.0), raysched::error);
-    EXPECT_THROW(core::build_simulation_schedule(net, bad), raysched::error);
-    EXPECT_THROW(core::nonfading_success_probability_exact(net, bad, 0, 2.0),
+    EXPECT_THROW(core::interference_weight(net, units::probabilities(bad), 0, units::Threshold(2.0)), raysched::error);
+    EXPECT_THROW(core::build_simulation_schedule(net, units::probabilities(bad)), raysched::error);
+    EXPECT_THROW(core::nonfading_success_probability_exact(net, units::probabilities(bad), 0, units::Threshold(2.0)),
                  raysched::error);
   }
 }
@@ -262,18 +264,18 @@ TEST(EdgeRejection, NonPositiveBetaAcrossEntryPoints) {
   const std::vector<double> q(3, 0.5);
   sim::RngStream rng(7);
   for (double beta : {0.0, -2.5}) {
-    EXPECT_THROW(core::rayleigh_success_probability(net, q, 0, beta),
+    EXPECT_THROW(core::rayleigh_success_probability(net, units::probabilities(q), 0, units::Threshold(beta)),
                  raysched::error);
-    EXPECT_THROW(core::rayleigh_success_lower_bound(net, q, 0, beta),
+    EXPECT_THROW(core::rayleigh_success_lower_bound(net, units::probabilities(q), 0, units::Threshold(beta)),
                  raysched::error);
-    EXPECT_THROW(core::rayleigh_success_upper_bound(net, q, 0, beta),
+    EXPECT_THROW(core::rayleigh_success_upper_bound(net, units::probabilities(q), 0, units::Threshold(beta)),
                  raysched::error);
-    EXPECT_THROW(core::interference_weight(net, q, 0, beta), raysched::error);
-    EXPECT_THROW(core::nonfading_success_probability_mc(net, q, 0, beta, 10, rng),
+    EXPECT_THROW(core::interference_weight(net, units::probabilities(q), 0, units::Threshold(beta)), raysched::error);
+    EXPECT_THROW(core::nonfading_success_probability_mc(net, units::probabilities(q), 0, units::Threshold(beta), 10, rng),
                  raysched::error);
-    EXPECT_THROW(core::aloha_slot_success_probabilities(net, 0.5, beta),
+    EXPECT_THROW(core::aloha_slot_success_probabilities(net, units::Probability(0.5), units::Threshold(beta)),
                  raysched::error);
-    EXPECT_THROW(model::affectance_raw(net, 0, 1, beta), raysched::error);
+    EXPECT_THROW(model::affectance_raw(net, 0, 1, units::Threshold(beta)), raysched::error);
     EXPECT_THROW(algorithms::greedy_capacity(net, beta), raysched::error);
   }
 }
@@ -284,15 +286,15 @@ TEST(EdgeRejection, NanAndInfGainMatricesAreRejected) {
   std::vector<double> gains = {10.0, 1.0, 1.0, 10.0};
   auto nan_gains = gains;
   nan_gains[1] = std::numeric_limits<double>::quiet_NaN();
-  EXPECT_THROW(model::Network(2, nan_gains, 0.1), raysched::error);
+  EXPECT_THROW(model::Network(2, nan_gains, units::Power(0.1)), raysched::error);
   auto nan_diag = gains;
   nan_diag[0] = std::numeric_limits<double>::quiet_NaN();
-  EXPECT_THROW(model::Network(2, nan_diag, 0.1), raysched::error);
+  EXPECT_THROW(model::Network(2, nan_diag, units::Power(0.1)), raysched::error);
 #if defined(RAYSCHED_CONTRACTS)
   // Inf gains pass the sign check; the finite-gains contract catches them.
   auto inf_gains = gains;
   inf_gains[2] = std::numeric_limits<double>::infinity();
-  EXPECT_THROW(model::Network(2, inf_gains, 0.1), raysched::contract_violation);
+  EXPECT_THROW(model::Network(2, inf_gains, units::Power(0.1)), raysched::contract_violation);
 #endif
 }
 
@@ -302,7 +304,7 @@ TEST(EdgeRejection, NanAffectanceInputsCannotReachTheSums) {
   // feasible-budget input, including the deliberately infinite case.
   auto net = raysched::testing::hand_matrix_network(/*noise=*/0.1);
   for (double beta : {0.5, 2.0, 1000.0}) {
-    const double a = model::affectance_raw(net, 0, 1, beta);
+    const double a = model::affectance_raw(net, 0, 1, units::Threshold(beta));
     EXPECT_FALSE(std::isnan(a));
     EXPECT_GE(a, 0.0);  // +inf allowed: link infeasible even alone
   }

@@ -14,7 +14,7 @@ model::Network tiny_instance(RngStream& rng) {
   params.num_links = 5;
   auto links = model::random_plane_links(params, rng);
   return model::Network(std::move(links), model::PowerAssignment::uniform(2.0),
-                        2.2, 4e-7);
+                        2.2, units::Power(4e-7));
 }
 
 TEST(Engine, RunsAllCells) {
@@ -57,7 +57,7 @@ TEST(Engine, DeterministicAcrossThreadCounts) {
       if (rng.bernoulli(0.5)) active.push_back(i);
     }
     return std::vector<double>{
-        static_cast<double>(model::count_successes_nonfading(net, active, 2.5))};
+        static_cast<double>(model::count_successes_nonfading(net, active, units::Threshold(2.5)))};
   };
   ExperimentConfig seq;
   seq.num_networks = 6;

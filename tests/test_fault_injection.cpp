@@ -26,7 +26,7 @@ model::Network tiny_instance(RngStream& rng) {
   params.num_links = 5;
   auto links = model::random_plane_links(params, rng);
   return model::Network(std::move(links), model::PowerAssignment::uniform(2.0),
-                        2.2, 4e-7);
+                        2.2, units::Power(4e-7));
 }
 
 /// A deterministic trial that actually consumes its stream, so stream
@@ -37,7 +37,7 @@ std::vector<double> noisy_trial(const model::Network& net, RngStream& rng) {
     if (rng.bernoulli(0.5)) active.push_back(i);
   }
   return {static_cast<double>(
-      model::count_successes_nonfading(net, active, 2.5))};
+      model::count_successes_nonfading(net, active, units::Threshold(2.5)))};
 }
 
 ExperimentConfig base_config() {

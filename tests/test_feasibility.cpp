@@ -21,33 +21,33 @@ TEST(SpectralRadius, TwoLinkClosedForm) {
   const double g00 = net.signal(0) / net.power(0);
   const double g11 = net.signal(1) / net.power(1);
   const double expected = std::sqrt((beta * g10 / g00) * (beta * g01 / g11));
-  EXPECT_NEAR(interference_spectral_radius(net, {0, 1}, beta), expected,
+  EXPECT_NEAR(interference_spectral_radius(net, {0, 1}, units::Threshold(beta)), expected,
               1e-9 * expected + 1e-15);
 }
 
 TEST(SpectralRadius, SingletonAndEmptyAreZero) {
   auto net = two_far_links();
-  EXPECT_DOUBLE_EQ(interference_spectral_radius(net, {0}, 2.0), 0.0);
-  EXPECT_DOUBLE_EQ(interference_spectral_radius(net, {}, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(interference_spectral_radius(net, {0}, units::Threshold(2.0)), 0.0);
+  EXPECT_DOUBLE_EQ(interference_spectral_radius(net, {}, units::Threshold(2.0)), 0.0);
 }
 
 TEST(SpectralRadius, GrowsWithBeta) {
   auto net = two_close_links(1e-6);
-  const double r1 = interference_spectral_radius(net, {0, 1}, 0.5);
-  const double r2 = interference_spectral_radius(net, {0, 1}, 2.0);
+  const double r1 = interference_spectral_radius(net, {0, 1}, units::Threshold(0.5));
+  const double r2 = interference_spectral_radius(net, {0, 1}, units::Threshold(2.0));
   EXPECT_LT(r1, r2);
   EXPECT_NEAR(r2, 4.0 * r1, 1e-9);  // rho is linear in beta
 }
 
 TEST(Feasibility, FarLinksFeasibleCloseLinksNot) {
   auto far = two_far_links(1e-6);
-  EXPECT_TRUE(power_controlled_feasible(far, {0, 1}, 2.0));
+  EXPECT_TRUE(power_controlled_feasible(far, {0, 1}, units::Threshold(2.0)));
   auto close = two_close_links(1e-6);
   // Co-located links at beta = 2: rho = beta * sqrt(g01 g10 / (g00 g11)).
   // Cross distance^2 = 1.25 vs own 1: rho = 2 * (1/1.25) = 1.6 > 1.
-  EXPECT_FALSE(power_controlled_feasible(close, {0, 1}, 2.0));
+  EXPECT_FALSE(power_controlled_feasible(close, {0, 1}, units::Threshold(2.0)));
   // Small enough beta flips it.
-  EXPECT_TRUE(power_controlled_feasible(close, {0, 1}, 0.5));
+  EXPECT_TRUE(power_controlled_feasible(close, {0, 1}, units::Threshold(0.5)));
 }
 
 TEST(Feasibility, MatchesFixedPowerFeasibilityOneWay) {
@@ -62,7 +62,7 @@ TEST(Feasibility, MatchesFixedPowerFeasibilityOneWay) {
     opts.tau = 0.8;
     const auto greedy = algorithms::greedy_capacity(net, 2.5, {}, opts);
     if (greedy.selected.size() >= 2) {
-      EXPECT_TRUE(power_controlled_feasible(net, greedy.selected, 2.5))
+      EXPECT_TRUE(power_controlled_feasible(net, greedy.selected, units::Threshold(2.5)))
           << "seed " << seed;
     }
   }
@@ -71,7 +71,7 @@ TEST(Feasibility, MatchesFixedPowerFeasibilityOneWay) {
 TEST(MinimalPowers, SatisfyAllConstraintsWithEquality) {
   auto net = two_far_links(1e-3);
   const double beta = 2.0;
-  const auto powers = minimal_feasible_powers(net, {0, 1}, beta);
+  const auto powers = minimal_feasible_powers(net, {0, 1}, units::Threshold(beta));
   ASSERT_TRUE(powers.has_value());
   ASSERT_EQ(powers->size(), 2u);
   // Verify SINR == beta (minimality binds every constraint) by applying the
@@ -86,7 +86,7 @@ TEST(MinimalPowers, SatisfyAllConstraintsWithEquality) {
 TEST(MinimalPowers, MinimalityAgainstScaledDown) {
   auto net = two_far_links(1e-3);
   const double beta = 2.0;
-  const auto powers = minimal_feasible_powers(net, {0, 1}, beta);
+  const auto powers = minimal_feasible_powers(net, {0, 1}, units::Threshold(beta));
   ASSERT_TRUE(powers.has_value());
   // Shrinking any coordinate breaks its constraint.
   for (std::size_t k = 0; k < 2; ++k) {
@@ -100,17 +100,17 @@ TEST(MinimalPowers, MinimalityAgainstScaledDown) {
 
 TEST(MinimalPowers, InfeasibleReturnsNullopt) {
   auto close = two_close_links(1e-3);
-  EXPECT_FALSE(minimal_feasible_powers(close, {0, 1}, 2.0).has_value());
+  EXPECT_FALSE(minimal_feasible_powers(close, {0, 1}, units::Threshold(2.0)).has_value());
 }
 
 TEST(MinimalPowers, RequiresPositiveNoise) {
   auto net = two_far_links(0.0);
-  EXPECT_THROW(minimal_feasible_powers(net, {0, 1}, 2.0), raysched::error);
+  EXPECT_THROW(minimal_feasible_powers(net, {0, 1}, units::Threshold(2.0)), raysched::error);
 }
 
 TEST(MinimalPowers, EmptySetIsEmpty) {
   auto net = two_far_links(1e-3);
-  const auto powers = minimal_feasible_powers(net, {}, 2.0);
+  const auto powers = minimal_feasible_powers(net, {}, units::Threshold(2.0));
   ASSERT_TRUE(powers.has_value());
   EXPECT_TRUE(powers->empty());
 }
@@ -122,7 +122,7 @@ TEST(Feasibility, PowerControlAlgorithmOutputIsSpectrallyFeasible) {
     auto net = paper_network(30, seed);
     const auto result = algorithms::power_control_capacity(net, 2.5);
     if (result.selected.size() >= 2) {
-      EXPECT_TRUE(power_controlled_feasible(net, result.selected, 2.5))
+      EXPECT_TRUE(power_controlled_feasible(net, result.selected, units::Threshold(2.5)))
           << "seed " << seed;
     }
   }
@@ -130,9 +130,9 @@ TEST(Feasibility, PowerControlAlgorithmOutputIsSpectrallyFeasible) {
 
 TEST(Feasibility, ValidatesInput) {
   auto net = two_far_links();
-  EXPECT_THROW(interference_spectral_radius(net, {0, 1}, 0.0),
+  EXPECT_THROW(interference_spectral_radius(net, {0, 1}, units::Threshold(0.0)),
                raysched::error);
-  EXPECT_THROW(interference_spectral_radius(net, {0, 9}, 1.0),
+  EXPECT_THROW(interference_spectral_radius(net, {0, 9}, units::Threshold(1.0)),
                raysched::error);
 }
 

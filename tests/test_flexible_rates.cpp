@@ -20,8 +20,8 @@ TEST(PerLinkAffectance, MatchesGlobalWhenBetasEqual) {
   std::vector<double> betas(net.size(), beta);
   for (LinkId j = 0; j < 4; ++j) {
     for (LinkId i = 0; i < 4; ++i) {
-      EXPECT_DOUBLE_EQ(model::affectance_raw_per_link(net, j, i, betas),
-                       model::affectance_raw(net, j, i, beta));
+      EXPECT_DOUBLE_EQ(model::affectance_raw_per_link(net, j, i, units::thresholds(betas)),
+                       model::affectance_raw(net, j, i, units::Threshold(beta)));
     }
   }
 }
@@ -29,8 +29,8 @@ TEST(PerLinkAffectance, MatchesGlobalWhenBetasEqual) {
 TEST(PerLinkAffectance, HigherTargetMeansSmallerBudget) {
   auto net = paper_network(10, 2);
   std::vector<double> low(net.size(), 0.5), high(net.size(), 5.0);
-  EXPECT_LT(model::affectance_raw_per_link(net, 1, 0, low),
-            model::affectance_raw_per_link(net, 1, 0, high));
+  EXPECT_LT(model::affectance_raw_per_link(net, 1, 0, units::thresholds(low)),
+            model::affectance_raw_per_link(net, 1, 0, units::thresholds(high)));
 }
 
 TEST(PerLinkFeasibility, MixedThresholds) {
@@ -43,15 +43,15 @@ TEST(PerLinkFeasibility, MixedThresholds) {
   const LinkSet both = {0, 1};
   const double sinr1 = model::sinr_nonfading(net, both, 1);
   betas[1] = sinr1 * 1.01;  // just above: infeasible
-  EXPECT_FALSE(model::is_feasible_per_link(net, both, betas));
+  EXPECT_FALSE(model::is_feasible_per_link(net, both, units::thresholds(betas)));
   betas[1] = sinr1 * 0.99;  // just below: feasible
-  EXPECT_TRUE(model::is_feasible_per_link(net, both, betas));
+  EXPECT_TRUE(model::is_feasible_per_link(net, both, units::thresholds(betas)));
 }
 
 TEST(PerLinkFeasibility, ValidatesSizes) {
   auto net = paper_network(5, 3);
-  EXPECT_THROW(model::is_feasible_per_link(net, {0}, {1.0}), raysched::error);
-  EXPECT_THROW(model::affectance_raw_per_link(net, 0, 1, {1.0, 1.0}),
+  EXPECT_THROW(model::is_feasible_per_link(net, {0}, units::thresholds({1.0})), raysched::error);
+  EXPECT_THROW(model::affectance_raw_per_link(net, 0, 1, units::thresholds({1.0, 1.0})),
                raysched::error);
 }
 
@@ -61,7 +61,8 @@ TEST(FlexiblePerLink, AssignmentIsCertifiedFeasible) {
     const auto result = flexible_rate_capacity_per_link(
         net, core::Utility::shannon(), 0.25, 16.0, 8);
     EXPECT_TRUE(
-        model::is_feasible_per_link(net, result.selected, result.betas))
+        model::is_feasible_per_link(net, result.selected,
+                                    units::thresholds_or_placeholder(result.betas)))
         << "seed " << seed;
     // Every selected link meets its own class; unselected links carry 0.
     for (LinkId i = 0; i < net.size(); ++i) {
@@ -110,7 +111,7 @@ TEST(FlexiblePerLink, SingleClassReducesToGreedyBehavior) {
   auto net = paper_network(25, 11);
   const double beta = 2.5;
   const auto per_link = flexible_rate_capacity_per_link(
-      net, core::Utility::binary(beta), beta, beta, 1);
+      net, core::Utility::binary(units::Threshold(beta)), beta, beta, 1);
   const auto greedy = greedy_capacity(net, beta);
   // Same admission rule, same order: identical sets.
   EXPECT_EQ(per_link.selected, greedy.selected);
@@ -124,7 +125,7 @@ TEST(FlexiblePerLink, TransfersThroughLemma2ClassWise) {
       net, core::Utility::shannon(), 0.5, 8.0, 6);
   for (LinkId i : result.selected) {
     const double p = model::success_probability_rayleigh(
-        net, result.selected, i, result.betas[i]);
+        net, result.selected, i, units::Threshold(result.betas[i])).value();
     EXPECT_GE(p, 1.0 / std::exp(1.0) - 1e-9) << "link " << i;
   }
 }

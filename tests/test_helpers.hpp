@@ -14,7 +14,7 @@ inline model::Network two_far_links(double noise = 0.0) {
       {model::Point{0.0, 100.0}, model::Point{1.0, 100.0}},
   };
   return model::Network(std::move(links), model::PowerAssignment::uniform(1.0),
-                        2.0, noise);
+                        2.0, units::Power(noise));
 }
 
 /// Two co-located links: heavy mutual interference, at most one can meet a
@@ -25,7 +25,7 @@ inline model::Network two_close_links(double noise = 0.0) {
       {model::Point{0.0, 0.5}, model::Point{1.0, 0.5}},
   };
   return model::Network(std::move(links), model::PowerAssignment::uniform(1.0),
-                        2.0, noise);
+                        2.0, units::Power(noise));
 }
 
 /// A 3-link geometry-free network with a hand-chosen gain matrix.
@@ -37,7 +37,7 @@ inline model::Network hand_matrix_network(double noise = 0.1) {
       2.0, 10.0, 0.25,  // sender 1
       0.5, 0.5, 10.0,   // sender 2
   };
-  return model::Network(3, gains, noise);
+  return model::Network(3, gains, units::Power(noise));
 }
 
 /// Paper-style random plane network (Figure 1 family, scaled down).
@@ -53,7 +53,7 @@ inline model::Network paper_network(std::size_t n, std::uint64_t seed,
   params.max_length = max_len;
   auto links = model::random_plane_links(params, rng);
   return model::Network(std::move(links),
-                        model::PowerAssignment::uniform(power), alpha, noise);
+                        model::PowerAssignment::uniform(power), alpha, units::Power(noise));
 }
 
 }  // namespace raysched::testing

@@ -24,9 +24,9 @@ TEST(Integration, Figure1MiniatureSweep) {
   double prev_nonfading_at_0 = -1.0;
   for (double q : {0.0, 0.25, 0.5, 0.75, 1.0}) {
     std::vector<double> probs(net.size(), q);
-    const double rayleigh = core::expected_rayleigh_successes(net, probs, beta);
+    const double rayleigh = core::expected_rayleigh_successes(net, units::probabilities(probs), units::Threshold(beta));
     const double nonfading =
-        core::expected_nonfading_successes_mc(net, probs, beta, 800, rng);
+        core::expected_nonfading_successes_mc(net, units::probabilities(probs), units::Threshold(beta), 800, rng);
     if (q == 0.0) {
       EXPECT_DOUBLE_EQ(rayleigh, 0.0);
       EXPECT_DOUBLE_EQ(nonfading, 0.0);
@@ -55,7 +55,7 @@ TEST(Integration, CapacityTransferPipeline) {
   // Lemma 2: expected Rayleigh successes of the transferred solution.
   sim::RngStream rng(7);
   const auto transfer = core::transfer_capacity_solution(
-      net, greedy.selected, core::Utility::binary(beta), 1, rng);
+      net, greedy.selected, core::Utility::binary(units::Threshold(beta)), 1, rng);
   EXPECT_GE(transfer.ratio(), 1.0 / std::exp(1.0) - 1e-9);
 
   // The Rayleigh optimum with q in {0,1} cannot exceed n, and the

@@ -54,7 +54,7 @@ TEST(InterferenceGraph, ConflictRuleHandComputed) {
   // conflict.
   std::vector<Link> links = {{Point{0, 0}, Point{2, 0}},
                              {Point{5, 0}, Point{7, 0}}};
-  Network net(links, PowerAssignment::uniform(1.0), 2.0, 0.0);
+  Network net(links, PowerAssignment::uniform(1.0), 2.0, units::Power(0.0));
   EXPECT_FALSE(InterferenceGraph(net, 1.4).conflicts(0, 1));
   EXPECT_TRUE(InterferenceGraph(net, 1.6).conflicts(0, 1));
 }
@@ -111,7 +111,7 @@ TEST(InterferenceGraph, GraphModelDivergesFromSinr) {
     auto net = paper_network(30, 900 + seed);
     InterferenceGraph g(net, 1.5);
     const LinkSet independent = g.greedy_independent_set();
-    if (!is_feasible(net, independent, 2.5)) found_disagreement = true;
+    if (!is_feasible(net, independent, units::Threshold(2.5))) found_disagreement = true;
     const LinkSet sinr_set = raysched::algorithms::greedy_capacity(net, 2.5)
                                  .selected;
     if (!g.is_independent(sinr_set)) found_disagreement = true;

@@ -187,57 +187,57 @@ using raysched::testing::paper_network;
 TEST(LatencyBounds, SlotProbabilitiesMatchTheorem1) {
   auto net = paper_network(10, 4);
   const double q = 0.25, beta = 2.5;
-  const auto probs = aloha_slot_success_probabilities(net, q, beta);
+  const auto probs = aloha_slot_success_probabilities(net, units::Probability(q), units::Threshold(beta));
   std::vector<double> qs(net.size(), q);
   for (model::LinkId i = 0; i < net.size(); ++i) {
-    EXPECT_DOUBLE_EQ(probs[i],
-                     rayleigh_success_probability(net, qs, i, beta));
+    EXPECT_DOUBLE_EQ(probs[i].value(),
+                     rayleigh_success_probability(net, units::probabilities(qs), i, units::Threshold(beta)).value());
   }
 }
 
 TEST(LatencyBounds, SoloProbabilitiesNoiseOnly) {
   auto net = paper_network(5, 5);
-  const auto probs = aloha_solo_success_probabilities(net, 0.25, 2.5);
+  const auto probs = aloha_solo_success_probabilities(net, units::Probability(0.25), units::Threshold(2.5));
   for (model::LinkId i = 0; i < net.size(); ++i) {
-    EXPECT_NEAR(probs[i],
+    EXPECT_NEAR(probs[i].value(),
                 0.25 * std::exp(-2.5 * net.noise() / net.signal(i)), 1e-15);
   }
 }
 
 TEST(CoverTime, SingleLinkIsGeometricMean) {
-  EXPECT_NEAR(expected_cover_time({0.5}), 2.0, 1e-9);
-  EXPECT_NEAR(expected_cover_time({0.25}), 4.0, 1e-9);
-  EXPECT_NEAR(expected_cover_time({1.0}), 1.0, 1e-9);
+  EXPECT_NEAR(expected_cover_time(units::probabilities({0.5})), 2.0, 1e-9);
+  EXPECT_NEAR(expected_cover_time(units::probabilities({0.25})), 4.0, 1e-9);
+  EXPECT_NEAR(expected_cover_time(units::probabilities({1.0})), 1.0, 1e-9);
 }
 
 TEST(CoverTime, TwoIdenticalLinksClosedForm) {
   // E[max(G1, G2)] = 2/p - 1/(1-(1-p)^2) for iid geometrics.
   const double p = 0.3;
   const double expected = 2.0 / p - 1.0 / (1.0 - (1.0 - p) * (1.0 - p));
-  EXPECT_NEAR(expected_cover_time({p, p}), expected, 1e-9);
+  EXPECT_NEAR(expected_cover_time(units::probabilities({p, p})), expected, 1e-9);
 }
 
 TEST(CoverTime, MonotoneInProbabilities) {
-  EXPECT_GT(expected_cover_time({0.2, 0.2}), expected_cover_time({0.4, 0.4}));
-  EXPECT_GT(expected_cover_time({0.2, 0.9}), expected_cover_time({0.9, 0.9}));
+  EXPECT_GT(expected_cover_time(units::probabilities({0.2, 0.2})), expected_cover_time(units::probabilities({0.4, 0.4})));
+  EXPECT_GT(expected_cover_time(units::probabilities({0.2, 0.9})), expected_cover_time(units::probabilities({0.9, 0.9})));
 }
 
 TEST(CoverTime, Validation) {
-  EXPECT_THROW(expected_cover_time({}), raysched::error);
-  EXPECT_THROW(expected_cover_time({0.0}), raysched::error);
-  EXPECT_THROW(expected_cover_time({1.5}), raysched::error);
+  EXPECT_THROW(expected_cover_time(units::probabilities({})), raysched::error);
+  EXPECT_THROW(expected_cover_time(units::probabilities({0.0})), raysched::error);
+  EXPECT_THROW(expected_cover_time(units::probabilities({1.5})), raysched::error);
 }
 
 TEST(StepSuccess, ModelsTheFourRepeatBoost) {
   // p_slot = q * p_cond; step = q * (1 - (1 - p_cond)^4).
   const double q = 0.25;
-  const auto out = step_success_probabilities({q * 0.5, q * 1.0, 0.0}, q);
+  const auto out = step_success_probabilities(units::probabilities({q * 0.5, q * 1.0, 0.0}), units::Probability(q));
   ASSERT_EQ(out.size(), 3u);
-  EXPECT_NEAR(out[0], q * (1.0 - std::pow(0.5, 4)), 1e-15);
-  EXPECT_NEAR(out[1], q, 1e-15);  // conditional 1: succeeds on repeat 1
-  EXPECT_DOUBLE_EQ(out[2], 0.0);
-  EXPECT_THROW(step_success_probabilities({0.5}, 0.25), raysched::error);
-  EXPECT_THROW(step_success_probabilities({0.1}, 0.0), raysched::error);
+  EXPECT_NEAR(out[0].value(), q * (1.0 - std::pow(0.5, 4)), 1e-15);
+  EXPECT_NEAR(out[1].value(), q, 1e-15);  // conditional 1: succeeds on repeat 1
+  EXPECT_DOUBLE_EQ(out[2].value(), 0.0);
+  EXPECT_THROW(step_success_probabilities(units::probabilities({0.5}), units::Probability(0.25)), raysched::error);
+  EXPECT_THROW(step_success_probabilities(units::probabilities({0.1}), units::Probability(0.0)), raysched::error);
 }
 
 TEST(LatencyBounds, SandwichSimulatedAlohaLatency) {
@@ -248,8 +248,8 @@ TEST(LatencyBounds, SandwichSimulatedAlohaLatency) {
   // analytic single-slot model applies directly to elementary slots.
   auto net = paper_network(12, 6);
   const double q = 0.25, beta = 2.5;
-  const double lower = aloha_latency_lower_estimate(net, q, beta);
-  const double upper = aloha_latency_upper_estimate(net, q, beta);
+  const double lower = aloha_latency_lower_estimate(net, units::Probability(q), units::Threshold(beta));
+  const double upper = aloha_latency_upper_estimate(net, units::Probability(q), units::Threshold(beta));
   ASSERT_LE(lower, upper);
   sim::Accumulator sim_latency;
   for (std::uint64_t s = 0; s < 60; ++s) {

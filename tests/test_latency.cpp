@@ -36,7 +36,7 @@ TEST(RepeatedCapacity, NonFadingSlotsAreFeasible) {
   const auto result = repeated_capacity_schedule(net, 2.5,
                                                  Propagation::NonFading, rng);
   for (const auto& slot : result.schedule) {
-    EXPECT_TRUE(model::is_feasible(net, slot, 2.5));
+    EXPECT_TRUE(model::is_feasible(net, slot, units::Threshold(2.5)));
   }
 }
 
@@ -138,7 +138,7 @@ TEST(Aloha, DenseInstanceStillCompletes) {
   sim::RngStream gen(11);
   auto links = model::two_cluster_links(5, 5.0, 500.0, 2.0, gen);
   model::Network net(std::move(links), model::PowerAssignment::uniform(1.0),
-                     3.0, 1e-9);
+                     3.0, units::Power(1e-9));
   sim::RngStream rng(11);
   const auto result = aloha_schedule(net, 1.5, Propagation::Rayleigh, rng, {},
                                      500000);
@@ -148,7 +148,7 @@ TEST(Aloha, DenseInstanceStillCompletes) {
 TEST(Multihop, ChainCompletesInOrder) {
   auto links = model::chain_links(5, 10.0);
   model::Network net(std::move(links), model::PowerAssignment::uniform(1.0),
-                     2.0, 1e-6);
+                     2.0, units::Power(1e-6));
   std::vector<MultihopRequest> requests = {{{0, 1, 2, 3, 4}}};
   sim::RngStream rng(12);
   const auto result =
@@ -176,7 +176,7 @@ TEST(Multihop, ParallelRequestsShareSlots) {
 TEST(Multihop, RayleighCompletes) {
   auto links = model::chain_links(4, 10.0);
   model::Network net(std::move(links), model::PowerAssignment::uniform(1.0),
-                     2.0, 1e-6);
+                     2.0, units::Power(1e-6));
   std::vector<MultihopRequest> requests = {{{0, 1, 2, 3}}, {{2, 3}}};
   sim::RngStream rng(14);
   const auto result =

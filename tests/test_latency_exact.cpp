@@ -17,9 +17,9 @@ TEST(LatencyExact, SingleAlwaysSuccessfulLinkIsGeometric) {
   // One link, non-fading, always feasible: success per step iff it
   // transmits -> E[steps] = 1/q.
   std::vector<double> gains = {1.0};
-  model::Network net(1, gains, 0.01);  // SINR alone = 100
+  model::Network net(1, gains, units::Power(0.01));  // SINR alone = 100
   const double q = 0.25;
-  EXPECT_NEAR(exact_aloha_expected_macro_steps(net, q, 2.0,
+  EXPECT_NEAR(exact_aloha_expected_macro_steps(net, units::Probability(q), units::Threshold(2.0),
                                                Propagation::NonFading),
               1.0 / q, 1e-9);
 }
@@ -28,15 +28,15 @@ TEST(LatencyExact, SingleRayleighLinkClosedForm) {
   // One link, Rayleigh: per-slot success p = exp(-beta*nu/S); per macro
   // step (4 repeats) b = 1-(1-p)^4; E[steps] = 1/(q*b); slots = 4x.
   std::vector<double> gains = {1.0};
-  model::Network net(1, gains, 0.3);
+  model::Network net(1, gains, units::Power(0.3));
   const double beta = 2.0, q = 0.5;
   const double p = std::exp(-beta * 0.3 / 1.0);
   const double b = 1.0 - std::pow(1.0 - p, 4);
   EXPECT_NEAR(
-      exact_aloha_expected_macro_steps(net, q, beta, Propagation::Rayleigh),
+      exact_aloha_expected_macro_steps(net, units::Probability(q), units::Threshold(beta), Propagation::Rayleigh),
       1.0 / (q * b), 1e-9);
   EXPECT_NEAR(
-      exact_aloha_expected_slots(net, q, beta, Propagation::Rayleigh),
+      exact_aloha_expected_slots(net, units::Probability(q), units::Threshold(beta), Propagation::Rayleigh),
       4.0 / (q * b), 1e-9);
 }
 
@@ -47,8 +47,8 @@ TEST(LatencyExact, TwoIndependentLinksMatchCoverTime) {
   auto net = two_far_links(1e-6);
   const double q = 0.3;
   const double exact = exact_aloha_expected_macro_steps(
-      net, q, 2.0, Propagation::NonFading);
-  EXPECT_NEAR(exact, expected_cover_time({q, q}), 1e-9);
+      net, units::Probability(q), units::Threshold(2.0), Propagation::NonFading);
+  EXPECT_NEAR(exact, expected_cover_time(units::probabilities({q, q})), 1e-9);
 }
 
 TEST(LatencyExact, BlockingPairIsSlowerThanIndependentPair) {
@@ -57,8 +57,8 @@ TEST(LatencyExact, BlockingPairIsSlowerThanIndependentPair) {
   auto net = raysched::testing::two_close_links(1e-6);
   const double q = 0.3;
   const double blocking = exact_aloha_expected_macro_steps(
-      net, q, 2.0, Propagation::NonFading);
-  EXPECT_GT(blocking, expected_cover_time({q, q}) + 0.5);
+      net, units::Probability(q), units::Threshold(2.0), Propagation::NonFading);
+  EXPECT_GT(blocking, expected_cover_time(units::probabilities({q, q})) + 0.5);
   // Known closed form for the blocking pair: only solo transmissions
   // succeed, each happening w.p. q(1-q) per step. From two remaining the
   // first success takes 1/(2q(1-q)); then the survivor alone takes 1/q.
@@ -70,7 +70,7 @@ TEST(LatencyExact, SimulatorMatchesGroundTruthNonFading) {
   auto net = paper_network(6, 31);
   const double beta = 2.5, q = 0.25;
   const double exact =
-      exact_aloha_expected_slots(net, q, beta, Propagation::NonFading);
+      exact_aloha_expected_slots(net, units::Probability(q), units::Threshold(beta), Propagation::NonFading);
   sim::Accumulator sim_slots;
   for (std::uint64_t s = 0; s < 600; ++s) {
     sim::RngStream rng(4000 + s);
@@ -86,7 +86,7 @@ TEST(LatencyExact, SimulatorMatchesGroundTruthRayleigh) {
   auto net = paper_network(5, 32);
   const double beta = 2.5, q = 0.25;
   const double exact =
-      exact_aloha_expected_slots(net, q, beta, Propagation::Rayleigh);
+      exact_aloha_expected_slots(net, units::Probability(q), units::Threshold(beta), Propagation::Rayleigh);
   sim::Accumulator sim_slots;
   for (std::uint64_t s = 0; s < 600; ++s) {
     sim::RngStream rng(5000 + s);
@@ -105,9 +105,9 @@ TEST(LatencyExact, AnalyticEstimatesBracketGroundTruth) {
   auto net = paper_network(6, 33);
   const double beta = 2.5, q = 0.25;
   const double exact =
-      exact_aloha_expected_slots(net, q, beta, Propagation::Rayleigh);
-  const double lower = aloha_latency_lower_estimate(net, q, beta);
-  const double upper = aloha_latency_upper_estimate(net, q, beta);
+      exact_aloha_expected_slots(net, units::Probability(q), units::Threshold(beta), Propagation::Rayleigh);
+  const double lower = aloha_latency_lower_estimate(net, units::Probability(q), units::Threshold(beta));
+  const double upper = aloha_latency_upper_estimate(net, units::Probability(q), units::Threshold(beta));
   EXPECT_LE(lower, exact * 1.05);
   EXPECT_GE(upper, exact * 0.9);
 }
@@ -118,26 +118,26 @@ TEST(LatencyExact, RayleighSlowerThanNonFadingWhenFeasible) {
   // macro steps) is at least the non-fading one.
   auto net = paper_network(5, 34);
   const double beta = 2.5, q = 0.25;
-  EXPECT_GE(exact_aloha_expected_macro_steps(net, q, beta,
+  EXPECT_GE(exact_aloha_expected_macro_steps(net, units::Probability(q), units::Threshold(beta),
                                              Propagation::Rayleigh),
-            exact_aloha_expected_macro_steps(net, q, beta,
+            exact_aloha_expected_macro_steps(net, units::Probability(q), units::Threshold(beta),
                                              Propagation::NonFading) -
                 1e-9);
 }
 
 TEST(LatencyExact, Validation) {
   auto big = paper_network(15, 35);
-  EXPECT_THROW(exact_aloha_expected_macro_steps(big, 0.25, 2.5,
+  EXPECT_THROW(exact_aloha_expected_macro_steps(big, units::Probability(0.25), units::Threshold(2.5),
                                                 Propagation::NonFading, 12),
                raysched::error);
   auto net = paper_network(4, 36);
-  EXPECT_THROW(exact_aloha_expected_macro_steps(net, 0.0, 2.5,
+  EXPECT_THROW(exact_aloha_expected_macro_steps(net, units::Probability(0.0), units::Threshold(2.5),
                                                 Propagation::NonFading),
                raysched::error);
   // Infinite expected latency (a link that can never succeed) is reported,
   // not looped on: huge noise makes every link hopeless in non-fading.
   auto hopeless = paper_network(3, 37, 2.2, /*noise=*/1.0);
-  EXPECT_THROW(exact_aloha_expected_macro_steps(hopeless, 0.5, 2.5,
+  EXPECT_THROW(exact_aloha_expected_macro_steps(hopeless, units::Probability(0.5), units::Threshold(2.5),
                                                 Propagation::NonFading),
                raysched::error);
 }

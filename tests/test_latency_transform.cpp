@@ -15,15 +15,15 @@ TEST(LatencyTransform, FourRepeats) {
 TEST(LatencyTransform, ClosedForm) {
   const double p = 0.3;
   const double expected = 1.0 - std::pow(1.0 - p / std::exp(1.0), 4);
-  EXPECT_NEAR(boosted_success_probability(p), expected, 1e-12);
+  EXPECT_NEAR(boosted_success_probability(units::Probability(p)).value(), expected, 1e-12);
 }
 
 TEST(LatencyTransform, BoundaryValues) {
-  EXPECT_DOUBLE_EQ(boosted_success_probability(0.0), 0.0);
-  EXPECT_GT(boosted_success_probability(1.0), 0.0);
-  EXPECT_LT(boosted_success_probability(1.0), 1.0);
-  EXPECT_THROW(boosted_success_probability(-0.1), raysched::error);
-  EXPECT_THROW(boosted_success_probability(1.1), raysched::error);
+  EXPECT_DOUBLE_EQ(boosted_success_probability(units::Probability(0.0)).value(), 0.0);
+  EXPECT_GT(boosted_success_probability(units::Probability(1.0)).value(), 0.0);
+  EXPECT_LT(boosted_success_probability(units::Probability(1.0)).value(), 1.0);
+  EXPECT_THROW(boosted_success_probability(units::Probability(-0.1)), raysched::error);
+  EXPECT_THROW(boosted_success_probability(units::Probability(1.1)), raysched::error);
 }
 
 TEST(LatencyTransform, DominatesUpToHalf) {
@@ -31,8 +31,8 @@ TEST(LatencyTransform, DominatesUpToHalf) {
   // as often as one non-fading step. Dense sweep.
   for (int k = 0; k <= 500; ++k) {
     const double p = 0.5 * static_cast<double>(k) / 500.0;
-    EXPECT_TRUE(boost_dominates(p)) << "p=" << p;
-    EXPECT_GE(boosted_success_probability(p), p) << "p=" << p;
+    EXPECT_TRUE(boost_dominates(units::Probability(p))) << "p=" << p;
+    EXPECT_GE(boosted_success_probability(units::Probability(p)).value(), p) << "p=" << p;
   }
 }
 
@@ -40,7 +40,7 @@ TEST(LatencyTransform, MonotoneInP) {
   double prev = -1.0;
   for (int k = 0; k <= 100; ++k) {
     const double p = static_cast<double>(k) / 100.0;
-    const double b = boosted_success_probability(p);
+    const double b = boosted_success_probability(units::Probability(p)).value();
     EXPECT_GT(b, prev);
     prev = b;
   }
@@ -49,7 +49,8 @@ TEST(LatencyTransform, MonotoneInP) {
 TEST(LatencyTransform, SmallPBoostFactorApproaches4OverE) {
   // For p -> 0, boosted ~ 4p/e.
   const double p = 1e-6;
-  EXPECT_NEAR(boosted_success_probability(p) / p, 4.0 / std::exp(1.0), 1e-4);
+  EXPECT_NEAR(boosted_success_probability(units::Probability(p)).value() / p,
+              4.0 / std::exp(1.0), 1e-4);
 }
 
 }  // namespace

@@ -12,7 +12,7 @@ using raysched::testing::paper_network;
 
 TEST(Rwm, StartsUniform) {
   RwmLearner l;
-  EXPECT_DOUBLE_EQ(l.send_probability(), 0.5);
+  EXPECT_DOUBLE_EQ(l.send_probability().value(), 0.5);
 }
 
 TEST(Rwm, LearnsToSendWhenSendingIsFree) {
@@ -20,7 +20,7 @@ TEST(Rwm, LearnsToSendWhenSendingIsFree) {
   for (int t = 0; t < 50; ++t) {
     l.update(LossPair{/*stay=*/0.5, /*send=*/0.0});
   }
-  EXPECT_GT(l.send_probability(), 0.95);
+  EXPECT_GT(l.send_probability().value(), 0.95);
 }
 
 TEST(Rwm, LearnsToStayWhenSendingAlwaysFails) {
@@ -28,7 +28,7 @@ TEST(Rwm, LearnsToStayWhenSendingAlwaysFails) {
   for (int t = 0; t < 50; ++t) {
     l.update(LossPair{/*stay=*/0.5, /*send=*/1.0});
   }
-  EXPECT_LT(l.send_probability(), 0.05);
+  EXPECT_LT(l.send_probability().value(), 0.05);
 }
 
 TEST(Rwm, EtaFollowsDoublingSchedule) {

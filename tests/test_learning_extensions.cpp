@@ -16,7 +16,7 @@ using raysched::testing::two_far_links;
 
 TEST(Exp3, StartsNearUniformWithExploration) {
   Exp3Learner l;
-  EXPECT_NEAR(l.send_probability(), 0.5, 1e-12);
+  EXPECT_NEAR(l.send_probability().value(), 0.5, 1e-12);
   EXPECT_EQ(l.feedback(), Feedback::Bandit);
 }
 
@@ -35,7 +35,7 @@ TEST(Exp3, LearnsToSendWhenSendingIsFree) {
     // Send costs 0, stay costs 0.5.
     l.update_bandit(a, a == Action::Send ? 0.0 : 0.5);
   }
-  EXPECT_GT(l.send_probability(), 0.8);
+  EXPECT_GT(l.send_probability().value(), 0.8);
 }
 
 TEST(Exp3, LearnsToStayWhenSendingAlwaysFails) {
@@ -45,7 +45,7 @@ TEST(Exp3, LearnsToStayWhenSendingAlwaysFails) {
     const Action a = l.sample(rng);
     l.update_bandit(a, a == Action::Send ? 1.0 : 0.5);
   }
-  EXPECT_LT(l.send_probability(), 0.2);
+  EXPECT_LT(l.send_probability().value(), 0.2);
 }
 
 TEST(Exp3, GammaDecaysButStaysAboveFloor) {
@@ -158,7 +158,7 @@ TEST(BestResponse, RayleighUsesExpectedReward) {
   // below 1/2, making staying the best response even though the link has no
   // interference.
   std::vector<double> gains = {1.0};
-  model::Network net(1, gains, /*noise=*/1.0);
+  model::Network net(1, gains, units::Power(/*noise=*/1.0));
   // P[success] = exp(-beta * 1 / 1); for beta = 1 that is e^-1 < 1/2.
   BestResponseOptions opts;
   opts.model = GameModel::Rayleigh;

@@ -35,7 +35,7 @@ Network scaled_copy(const Network& net, double c) {
       gains[j * net.size() + i] = c * net.mean_gain(j, i);
     }
   }
-  return Network(net.size(), std::move(gains), c * net.noise());
+  return Network(net.size(), std::move(gains), units::Power(c * net.noise()));
 }
 
 /// Builds the link-permuted copy: new link k = old link perm[k].
@@ -46,7 +46,7 @@ Network permuted_copy(const Network& net, const std::vector<LinkId>& perm) {
       gains[j * net.size() + i] = net.mean_gain(perm[j], perm[i]);
     }
   }
-  return Network(net.size(), std::move(gains), net.noise());
+  return Network(net.size(), std::move(gains), net.noise_power());
 }
 
 TEST(Metamorphic, GainScaleInvariance) {
@@ -60,15 +60,15 @@ TEST(Metamorphic, GainScaleInvariance) {
     EXPECT_NEAR(model::sinr_nonfading(net, all, i),
                 model::sinr_nonfading(scaled, all, i),
                 1e-9 * model::sinr_nonfading(net, all, i));
-    EXPECT_NEAR(model::success_probability_rayleigh(net, all, i, beta),
-                model::success_probability_rayleigh(scaled, all, i, beta),
+    EXPECT_NEAR(model::success_probability_rayleigh(net, all, i, units::Threshold(beta)).value(),
+                model::success_probability_rayleigh(scaled, all, i, units::Threshold(beta)).value(),
                 1e-12);
-    EXPECT_NEAR(model::affectance_raw(net, (i + 1) % net.size(), i, beta),
-                model::affectance_raw(scaled, (i + 1) % net.size(), i, beta),
+    EXPECT_NEAR(model::affectance_raw(net, (i + 1) % net.size(), i, units::Threshold(beta)),
+                model::affectance_raw(scaled, (i + 1) % net.size(), i, units::Threshold(beta)),
                 1e-9);
   }
-  EXPECT_EQ(model::is_feasible(net, all, beta),
-            model::is_feasible(scaled, all, beta));
+  EXPECT_EQ(model::is_feasible(net, all, units::Threshold(beta)),
+            model::is_feasible(scaled, all, units::Threshold(beta)));
 }
 
 TEST(Metamorphic, GainScaleInvarianceOfAlgorithms) {
@@ -93,11 +93,11 @@ TEST(Metamorphic, Theorem1ScaleInvarianceWithProbabilities) {
   std::vector<double> q(net.size());
   for (auto& v : q) v = rng.uniform();
   for (LinkId i = 0; i < net.size(); ++i) {
-    EXPECT_NEAR(core::rayleigh_success_probability(net, q, i, 2.5),
-                core::rayleigh_success_probability(scaled, q, i, 2.5), 1e-12);
+    EXPECT_NEAR(core::rayleigh_success_probability(net, units::probabilities(q), i, units::Threshold(2.5)).value(),
+                core::rayleigh_success_probability(scaled, units::probabilities(q), i, units::Threshold(2.5)).value(), 1e-12);
   }
-  EXPECT_NEAR(core::expected_rayleigh_successes(net, q, 2.5),
-              core::expected_rayleigh_successes(scaled, q, 2.5), 1e-9);
+  EXPECT_NEAR(core::expected_rayleigh_successes(net, units::probabilities(q), units::Threshold(2.5)),
+              core::expected_rayleigh_successes(scaled, units::probabilities(q), units::Threshold(2.5)), 1e-9);
 }
 
 TEST(Metamorphic, PermutationEquivariance) {
@@ -112,8 +112,8 @@ TEST(Metamorphic, PermutationEquivariance) {
   for (LinkId k = 0; k < net.size(); ++k) {
     EXPECT_NEAR(model::sinr_nonfading(permuted, all, k),
                 model::sinr_nonfading(net, all, perm[k]), 1e-12);
-    EXPECT_NEAR(model::success_probability_rayleigh(permuted, all, k, beta),
-                model::success_probability_rayleigh(net, all, perm[k], beta),
+    EXPECT_NEAR(model::success_probability_rayleigh(permuted, all, k, units::Threshold(beta)).value(),
+                model::success_probability_rayleigh(net, all, perm[k], units::Threshold(beta)).value(),
                 1e-15);
   }
 
@@ -126,7 +126,7 @@ TEST(Metamorphic, PermutationEquivariance) {
   LinkSet mapped;
   for (LinkId k : opt_b.selected) mapped.push_back(perm[k]);
   model::normalize_link_set(net, mapped);
-  EXPECT_TRUE(model::is_feasible(net, mapped, beta));
+  EXPECT_TRUE(model::is_feasible(net, mapped, units::Threshold(beta)));
 }
 
 TEST(Metamorphic, IsometryInvarianceOfGeometry) {
@@ -146,8 +146,8 @@ TEST(Metamorphic, IsometryInvarianceOfGeometry) {
   for (const auto& l : links) {
     moved.push_back({transform(l.sender), transform(l.receiver)});
   }
-  const Network a(links, model::PowerAssignment::uniform(2.0), 2.2, 4e-7);
-  const Network b(moved, model::PowerAssignment::uniform(2.0), 2.2, 4e-7);
+  const Network a(links, model::PowerAssignment::uniform(2.0), 2.2, units::Power(4e-7));
+  const Network b(moved, model::PowerAssignment::uniform(2.0), 2.2, units::Power(4e-7));
   for (LinkId j = 0; j < a.size(); ++j) {
     for (LinkId i = 0; i < a.size(); ++i) {
       EXPECT_NEAR(a.mean_gain(j, i), b.mean_gain(j, i),
@@ -164,23 +164,23 @@ TEST(Metamorphic, PowerUnitInvarianceAtZeroNoise) {
   model::RandomPlaneParams params;
   params.num_links = 12;
   const auto links = model::random_plane_links(params, rng);
-  const Network p1(links, model::PowerAssignment::uniform(1.0), 2.2, 0.0);
-  const Network p9(links, model::PowerAssignment::uniform(9.0), 2.2, 0.0);
+  const Network p1(links, model::PowerAssignment::uniform(1.0), 2.2, units::Power(0.0));
+  const Network p9(links, model::PowerAssignment::uniform(9.0), 2.2, units::Power(0.0));
   const double beta = 2.5;
   EXPECT_EQ(algorithms::greedy_capacity(p1, beta).selected,
             algorithms::greedy_capacity(p9, beta).selected);
   LinkSet all;
   for (LinkId i = 0; i < p1.size(); ++i) all.push_back(i);
-  EXPECT_NEAR(model::expected_successes_rayleigh(p1, all, beta),
-              model::expected_successes_rayleigh(p9, all, beta), 1e-9);
+  EXPECT_NEAR(model::expected_successes_rayleigh(p1, all, units::Threshold(beta)),
+              model::expected_successes_rayleigh(p9, all, units::Threshold(beta)), 1e-9);
 }
 
 TEST(Metamorphic, BetaScalingOfSpectralRadius) {
   // rho(M) is linear in beta by construction.
   auto net = raysched::testing::paper_network(10, 7);
   LinkSet set = {0, 2, 4, 6, 8};
-  const double r1 = model::interference_spectral_radius(net, set, 1.0);
-  const double r3 = model::interference_spectral_radius(net, set, 3.0);
+  const double r1 = model::interference_spectral_radius(net, set, units::Threshold(1.0));
+  const double r3 = model::interference_spectral_radius(net, set, units::Threshold(3.0));
   EXPECT_NEAR(r3, 3.0 * r1, 1e-6 * r3);
 }
 
@@ -194,8 +194,8 @@ TEST(Metamorphic, UtilityMonotoneUnderSinrImprovement) {
   for (LinkId i : without) {
     EXPECT_GE(u.value(model::sinr_nonfading(net, without, i)),
               u.value(model::sinr_nonfading(net, with, i)));
-    EXPECT_GE(model::success_probability_rayleigh(net, without, i, 2.5),
-              model::success_probability_rayleigh(net, with, i, 2.5));
+    EXPECT_GE(model::success_probability_rayleigh(net, without, i, units::Threshold(2.5)),
+              model::success_probability_rayleigh(net, with, i, units::Threshold(2.5)));
   }
 }
 

@@ -27,8 +27,8 @@ TEST(Link, Length) {
 
 TEST(Power, UniformIgnoresLength) {
   auto p = PowerAssignment::uniform(2.0);
-  EXPECT_DOUBLE_EQ(p.power(0, 5.0, 2.2), 2.0);
-  EXPECT_DOUBLE_EQ(p.power(3, 50.0, 2.2), 2.0);
+  EXPECT_DOUBLE_EQ(p.power(0, units::Distance(5.0), 2.2).value(), 2.0);
+  EXPECT_DOUBLE_EQ(p.power(3, units::Distance(50.0), 2.2).value(), 2.0);
   EXPECT_TRUE(p.is_oblivious());
   EXPECT_EQ(p.name(), "uniform");
 }
@@ -36,21 +36,21 @@ TEST(Power, UniformIgnoresLength) {
 TEST(Power, SquareRootScalesWithHalfAlpha) {
   auto p = PowerAssignment::square_root(2.0);
   // p = 2 * sqrt(d^alpha) = 2 * d^(alpha/2)
-  EXPECT_NEAR(p.power(0, 4.0, 2.0), 2.0 * 4.0, 1e-12);
-  EXPECT_NEAR(p.power(0, 9.0, 2.0), 2.0 * 9.0, 1e-12);
-  EXPECT_NEAR(p.power(0, 4.0, 3.0), 2.0 * 8.0, 1e-12);
+  EXPECT_NEAR(p.power(0, units::Distance(4.0), 2.0).value(), 2.0 * 4.0, 1e-12);
+  EXPECT_NEAR(p.power(0, units::Distance(9.0), 2.0).value(), 2.0 * 9.0, 1e-12);
+  EXPECT_NEAR(p.power(0, units::Distance(4.0), 3.0).value(), 2.0 * 8.0, 1e-12);
 }
 
 TEST(Power, LinearScalesWithAlpha) {
   auto p = PowerAssignment::linear(1.5);
-  EXPECT_NEAR(p.power(0, 2.0, 3.0), 1.5 * 8.0, 1e-12);
+  EXPECT_NEAR(p.power(0, units::Distance(2.0), 3.0).value(), 1.5 * 8.0, 1e-12);
 }
 
 TEST(Power, ExplicitPerLink) {
   auto p = PowerAssignment::explicit_powers({1.0, 2.0, 3.0});
-  EXPECT_DOUBLE_EQ(p.power(1, 99.0, 2.0), 2.0);
+  EXPECT_DOUBLE_EQ(p.power(1, units::Distance(99.0), 2.0).value(), 2.0);
   EXPECT_FALSE(p.is_oblivious());
-  EXPECT_THROW(p.power(5, 1.0, 2.0), raysched::error);
+  EXPECT_THROW(p.power(5, units::Distance(1.0), 2.0), raysched::error);
   EXPECT_THROW(PowerAssignment::explicit_powers({}), raysched::error);
   EXPECT_THROW(PowerAssignment::explicit_powers({1.0, -1.0}), raysched::error);
 }
@@ -64,7 +64,7 @@ TEST(Network, GeometricGainMatrix) {
   // Link 0: s=(0,0) r=(1,0); link 1: s=(0,10) r=(1,10). alpha=2, power 4.
   std::vector<Link> links = {{Point{0, 0}, Point{1, 0}},
                              {Point{0, 10}, Point{1, 10}}};
-  Network net(links, PowerAssignment::uniform(4.0), 2.0, 0.5);
+  Network net(links, PowerAssignment::uniform(4.0), 2.0, units::Power(0.5));
   EXPECT_EQ(net.size(), 2u);
   EXPECT_DOUBLE_EQ(net.noise(), 0.5);
   EXPECT_DOUBLE_EQ(net.alpha(), 2.0);
@@ -80,13 +80,13 @@ TEST(Network, GeometricGainMatrix) {
 TEST(Network, MatrixConstructorValidation) {
   EXPECT_NO_THROW(raysched::testing::hand_matrix_network());
   // Wrong size.
-  EXPECT_THROW(Network(2, {1.0, 2.0, 3.0}, 0.0), raysched::error);
+  EXPECT_THROW(Network(2, {1.0, 2.0, 3.0}, units::Power(0.0)), raysched::error);
   // Zero diagonal.
-  EXPECT_THROW(Network(2, {0.0, 1.0, 1.0, 1.0}, 0.0), raysched::error);
+  EXPECT_THROW(Network(2, {0.0, 1.0, 1.0, 1.0}, units::Power(0.0)), raysched::error);
   // Negative gain.
-  EXPECT_THROW(Network(2, {1.0, -1.0, 1.0, 1.0}, 0.0), raysched::error);
+  EXPECT_THROW(Network(2, {1.0, -1.0, 1.0, 1.0}, units::Power(0.0)), raysched::error);
   // Negative noise.
-  EXPECT_THROW(Network(1, {1.0}, -0.5), raysched::error);
+  EXPECT_THROW(Network(1, {1.0}, units::Power(-0.5)), raysched::error);
 }
 
 TEST(Network, MatrixNetworkHasNoGeometry) {
@@ -100,7 +100,7 @@ TEST(Network, MatrixNetworkHasNoGeometry) {
 TEST(Network, SetPowersRescalesGains) {
   std::vector<Link> links = {{Point{0, 0}, Point{1, 0}},
                              {Point{0, 10}, Point{1, 10}}};
-  Network net(links, PowerAssignment::uniform(1.0), 2.0, 0.0);
+  Network net(links, PowerAssignment::uniform(1.0), 2.0, units::Power(0.0));
   const double g01 = net.mean_gain(0, 1);
   net.set_powers({3.0, 1.0});
   EXPECT_DOUBLE_EQ(net.signal(0), 3.0);
@@ -114,14 +114,14 @@ TEST(Network, CoincidentSenderReceiverRejected) {
   // Sender of link 1 sits exactly on receiver of link 0.
   std::vector<Link> links = {{Point{0, 0}, Point{1, 0}},
                              {Point{1, 0}, Point{2, 0}}};
-  EXPECT_THROW(Network(links, PowerAssignment::uniform(1.0), 2.0, 0.0),
+  EXPECT_THROW(Network(links, PowerAssignment::uniform(1.0), 2.0, units::Power(0.0)),
                raysched::error);
 }
 
 TEST(Network, LengthRatio) {
   std::vector<Link> links = {{Point{0, 0}, Point{2, 0}},
                              {Point{0, 10}, Point{8, 10}}};
-  Network net(links, PowerAssignment::uniform(1.0), 2.0, 0.0);
+  Network net(links, PowerAssignment::uniform(1.0), 2.0, units::Power(0.0));
   EXPECT_DOUBLE_EQ(net.length_ratio(), 4.0);
 }
 
@@ -187,7 +187,7 @@ TEST(Generator, ChainDefaultGapAvoidsCoincidentNodes) {
   const auto links = chain_links(4, 10.0);
   // Constructing a network over the chain must not throw (no sender sits on
   // a receiver).
-  EXPECT_NO_THROW(Network(links, PowerAssignment::uniform(1.0), 2.0, 1e-6));
+  EXPECT_NO_THROW(Network(links, PowerAssignment::uniform(1.0), 2.0, units::Power(1e-6)));
 }
 
 TEST(Generator, ExponentialChainGeometry) {
@@ -200,7 +200,7 @@ TEST(Generator, ExponentialChainGeometry) {
   EXPECT_DOUBLE_EQ(links[1].sender.x, 4.0);
   EXPECT_DOUBLE_EQ(links[2].sender.x, 12.0);
   // Length ratio is growth^(n-1).
-  Network net(links, PowerAssignment::uniform(1.0), 3.0, 1e-9);
+  Network net(links, PowerAssignment::uniform(1.0), 3.0, units::Power(1e-9));
   EXPECT_DOUBLE_EQ(net.length_ratio(), 8.0);
 }
 

@@ -69,10 +69,10 @@ TEST(Nakagami, MEqualsOneIsRayleigh) {
   const LinkSet active = {0, 1, 2};
   const double beta = 1.5;
   const double rayleigh_exact =
-      success_probability_rayleigh(net, active, 0, beta);
+      success_probability_rayleigh(net, active, 0, units::Threshold(beta)).value();
   sim::RngStream rng(3);
   const double nakagami_mc = success_probability_nakagami_mc(
-      net, active, 0, beta, 1.0, 40000, rng);
+      net, active, 0, units::Threshold(beta), 1.0, 40000, rng);
   EXPECT_NEAR(nakagami_mc, rayleigh_exact, 0.012);
 }
 
@@ -85,9 +85,9 @@ TEST(Nakagami, LargeMApproachesNonFading) {
   // yes) and failure at beta=5 (deterministically no).
   sim::RngStream rng(4);
   const double p_yes = success_probability_nakagami_mc(
-      net, active, 0, 3.0, 200.0, 4000, rng);
+      net, active, 0, units::Threshold(3.0), 200.0, 4000, rng);
   const double p_no = success_probability_nakagami_mc(
-      net, active, 0, 5.0, 200.0, 4000, rng);
+      net, active, 0, units::Threshold(5.0), 200.0, 4000, rng);
   EXPECT_GT(p_yes, 0.95);
   EXPECT_LT(p_no, 0.05);
 }
@@ -99,8 +99,8 @@ TEST(Nakagami, SmallMFadesHarderThanRayleigh) {
   const LinkSet active = {0};
   const double beta = 2.0;  // alone, non-fading SINR = 100 >> beta
   sim::RngStream rng(5);
-  const double rayleigh = success_probability_rayleigh(net, active, 0, beta);
-  const double hard = success_probability_nakagami_mc(net, active, 0, beta,
+  const double rayleigh = success_probability_rayleigh(net, active, 0, units::Threshold(beta)).value();
+  const double hard = success_probability_nakagami_mc(net, active, 0, units::Threshold(beta),
                                                       0.5, 40000, rng);
   EXPECT_LT(hard, rayleigh);
 }
@@ -109,7 +109,7 @@ TEST(Nakagami, NoiseOnlyClosedFormMatchesMc) {
   const double mean = 10.0, noise = 0.5, beta = 3.0;
   for (double m : {1.0, 2.0, 4.0}) {
     const double exact =
-        noise_only_success_probability_nakagami(mean, noise, beta, m);
+        noise_only_success_probability_nakagami(units::LinearGain(mean), units::Power(noise), units::Threshold(beta), m).value();
     sim::RngStream rng(static_cast<std::uint64_t>(m * 100));
     int hits = 0;
     const int trials = 40000;
@@ -121,7 +121,7 @@ TEST(Nakagami, NoiseOnlyClosedFormMatchesMc) {
 }
 
 TEST(Nakagami, NoiseOnlyMatchesRayleighAtMOne) {
-  EXPECT_NEAR(noise_only_success_probability_nakagami(10.0, 0.5, 3.0, 1.0),
+  EXPECT_NEAR(noise_only_success_probability_nakagami(units::LinearGain(10.0), units::Power(0.5), units::Threshold(3.0), 1.0).value(),
               std::exp(-3.0 * 0.5 / 10.0), 1e-12);
 }
 
@@ -131,10 +131,10 @@ TEST(Nakagami, SlotApiShapes) {
   const auto sinrs = sinr_nakagami_all(net, {0, 2}, 2.0, rng);
   ASSERT_EQ(sinrs.size(), 2u);
   for (double g : sinrs) EXPECT_GE(g, 0.0);
-  const auto wins = count_successes_nakagami(net, {0, 1, 2}, 1.0, 2.0, rng);
+  const auto wins = count_successes_nakagami(net, {0, 1, 2}, units::Threshold(1.0), 2.0, rng);
   EXPECT_LE(wins, 3u);
   const double expected =
-      expected_successes_nakagami_mc(net, {0, 1, 2}, 1.0, 2.0, 500, rng);
+      expected_successes_nakagami_mc(net, {0, 1, 2}, units::Threshold(1.0), 2.0, 500, rng);
   EXPECT_GE(expected, 0.0);
   EXPECT_LE(expected, 3.0);
 }
@@ -145,7 +145,7 @@ TEST(Nakagami, ValidatesInput) {
   EXPECT_THROW(sample_gain_nakagami(1.0, 0.0, rng), raysched::error);
   EXPECT_THROW(sinr_nakagami_all(net, {0}, -1.0, rng), raysched::error);
   EXPECT_THROW(
-      success_probability_nakagami_mc(net, {1}, 0, 1.0, 1.0, 100, rng),
+      success_probability_nakagami_mc(net, {1}, 0, units::Threshold(1.0), 1.0, 100, rng),
       raysched::error);
 }
 

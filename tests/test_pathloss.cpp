@@ -10,38 +10,38 @@ namespace {
 
 TEST(PathLoss, PowerLawMatchesPaper) {
   const auto law = PathLoss::power_law(2.2);
-  EXPECT_NEAR(law.gain_factor(10.0), std::pow(10.0, -2.2), 1e-15);
+  EXPECT_NEAR(law.gain_factor(units::Distance(10.0)).value(), std::pow(10.0, -2.2), 1e-15);
   EXPECT_DOUBLE_EQ(law.nominal_alpha(), 2.2);
 }
 
 TEST(PathLoss, LogDistanceClampsNearField) {
-  const auto law = PathLoss::log_distance(3.0, 5.0);
-  EXPECT_DOUBLE_EQ(law.gain_factor(1.0), 1.0);
-  EXPECT_DOUBLE_EQ(law.gain_factor(5.0), 1.0);
-  EXPECT_NEAR(law.gain_factor(10.0), std::pow(2.0, -3.0), 1e-15);
+  const auto law = PathLoss::log_distance(3.0, units::Distance(5.0));
+  EXPECT_DOUBLE_EQ(law.gain_factor(units::Distance(1.0)).value(), 1.0);
+  EXPECT_DOUBLE_EQ(law.gain_factor(units::Distance(5.0)).value(), 1.0);
+  EXPECT_NEAR(law.gain_factor(units::Distance(10.0)).value(), std::pow(2.0, -3.0), 1e-15);
 }
 
 TEST(PathLoss, DualSlopeContinuousAtBreakpoint) {
-  const auto law = PathLoss::dual_slope(2.0, 4.0, 50.0);
-  const double just_below = law.gain_factor(50.0 - 1e-9);
-  const double just_above = law.gain_factor(50.0 + 1e-9);
+  const auto law = PathLoss::dual_slope(2.0, 4.0, units::Distance(50.0));
+  const double just_below = law.gain_factor(units::Distance(50.0 - 1e-9)).value();
+  const double just_above = law.gain_factor(units::Distance(50.0 + 1e-9)).value();
   EXPECT_NEAR(just_below, just_above, 1e-9 * just_below);
   // Far slope is steeper: doubling the distance past the breakpoint loses
   // 2^4, before it 2^2.
-  EXPECT_NEAR(law.gain_factor(100.0) / law.gain_factor(50.0),
+  EXPECT_NEAR(law.gain_factor(units::Distance(100.0)) / law.gain_factor(units::Distance(50.0)),
               std::pow(2.0, -4.0), 1e-12);
-  EXPECT_NEAR(law.gain_factor(50.0) / law.gain_factor(25.0),
+  EXPECT_NEAR(law.gain_factor(units::Distance(50.0)) / law.gain_factor(units::Distance(25.0)),
               std::pow(2.0, -2.0), 1e-12);
 }
 
 TEST(PathLoss, AllLawsPositiveAndNonIncreasing) {
   const PathLoss laws[] = {PathLoss::power_law(2.5),
-                           PathLoss::log_distance(3.0, 10.0),
-                           PathLoss::dual_slope(2.0, 4.0, 30.0)};
+                           PathLoss::log_distance(3.0, units::Distance(10.0)),
+                           PathLoss::dual_slope(2.0, 4.0, units::Distance(30.0))};
   for (const auto& law : laws) {
-    double prev = law.gain_factor(0.5);
+    double prev = law.gain_factor(units::Distance(0.5)).value();
     for (double d = 1.0; d < 200.0; d *= 1.4) {
-      const double g = law.gain_factor(d);
+      const double g = law.gain_factor(units::Distance(d)).value();
       EXPECT_GT(g, 0.0);
       EXPECT_LE(g, prev * (1.0 + 1e-12));
       prev = g;
@@ -51,9 +51,9 @@ TEST(PathLoss, AllLawsPositiveAndNonIncreasing) {
 
 TEST(PathLoss, Validation) {
   EXPECT_THROW(PathLoss::power_law(0.0), raysched::error);
-  EXPECT_THROW(PathLoss::log_distance(2.0, 0.0), raysched::error);
-  EXPECT_THROW(PathLoss::dual_slope(2.0, 0.0, 1.0), raysched::error);
-  EXPECT_THROW(PathLoss::power_law(2.0).gain_factor(0.0), raysched::error);
+  EXPECT_THROW(PathLoss::log_distance(2.0, units::Distance(0.0)), raysched::error);
+  EXPECT_THROW(PathLoss::dual_slope(2.0, 0.0, units::Distance(1.0)), raysched::error);
+  EXPECT_THROW(PathLoss::power_law(2.0).gain_factor(units::Distance(0.0)), raysched::error);
 }
 
 TEST(PathLossNetwork, PowerLawConstructorsAgree) {
@@ -61,9 +61,9 @@ TEST(PathLossNetwork, PowerLawConstructorsAgree) {
   RandomPlaneParams params;
   params.num_links = 10;
   const auto links = random_plane_links(params, rng);
-  const Network classic(links, PowerAssignment::uniform(2.0), 2.2, 4e-7);
+  const Network classic(links, PowerAssignment::uniform(2.0), 2.2, units::Power(4e-7));
   const Network via_law(links, PowerAssignment::uniform(2.0),
-                        PathLoss::power_law(2.2), 4e-7);
+                        PathLoss::power_law(2.2), units::Power(4e-7));
   for (LinkId j = 0; j < classic.size(); ++j) {
     for (LinkId i = 0; i < classic.size(); ++i) {
       EXPECT_NEAR(classic.mean_gain(j, i), via_law.mean_gain(j, i),
@@ -81,13 +81,14 @@ TEST(PathLossNetwork, DualSlopeChangesSchedulingOutcomes) {
   params.num_links = 40;
   const auto links = random_plane_links(params, rng);
   const Network single(links, PowerAssignment::uniform(2.0),
-                       PathLoss::power_law(2.2), 4e-7);
+                       PathLoss::power_law(2.2), units::Power(4e-7));
   const Network dual(links, PowerAssignment::uniform(2.0),
-                     PathLoss::dual_slope(2.2, 4.0, 100.0), 4e-7);
+                     PathLoss::dual_slope(2.2, 4.0, units::Distance(100.0)),
+                     units::Power(4e-7));
   const auto a = algorithms::greedy_capacity(single, 2.5);
   const auto b = algorithms::greedy_capacity(dual, 2.5);
   EXPECT_GE(b.selected.size(), a.selected.size());
-  EXPECT_TRUE(is_feasible(dual, b.selected, 2.5));
+  EXPECT_TRUE(is_feasible(dual, b.selected, units::Threshold(2.5)));
 }
 
 TEST(PathLossNetwork, WholePipelineRunsOnLogDistance) {
@@ -98,11 +99,12 @@ TEST(PathLossNetwork, WholePipelineRunsOnLogDistance) {
   params.num_links = 20;
   auto links = random_plane_links(params, rng);
   const Network net(std::move(links), PowerAssignment::uniform(2.0),
-                    PathLoss::log_distance(2.8, 25.0), 4e-7);
+                    PathLoss::log_distance(2.8, units::Distance(25.0)),
+                    units::Power(4e-7));
   sim::RngStream rng2(6);
   core::ReductionOptions opts;
   const auto decision = core::schedule_capacity_rayleigh(
-      net, core::Utility::binary(2.0), opts, rng2);
+      net, core::Utility::binary(units::Threshold(2.0)), opts, rng2);
   if (!decision.transmit_set.empty()) {
     EXPECT_GE(decision.lemma2_ratio, 1.0 / std::exp(1.0) - 1e-9);
   }

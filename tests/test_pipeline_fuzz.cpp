@@ -42,7 +42,7 @@ class PipelineFuzz : public ::testing::TestWithParam<FuzzCase> {
         rng.bernoulli(0.5) ? model::PowerAssignment::uniform(rng.uniform(0.5, 4.0))
                            : model::PowerAssignment::square_root(1.0);
     beta_out = rng.uniform(0.3, 6.0);
-    return model::Network(std::move(links), power, alpha, noise);
+    return model::Network(std::move(links), power, alpha, units::Power(noise));
   }
 };
 
@@ -54,12 +54,12 @@ TEST_P(PipelineFuzz, FullStackInvariants) {
 
   // 1. Capacity: certified feasibility.
   const auto greedy = algorithms::greedy_capacity(net, beta);
-  ASSERT_TRUE(model::is_feasible(net, greedy.selected, beta));
+  ASSERT_TRUE(model::is_feasible(net, greedy.selected, units::Threshold(beta)));
 
   // 2. Transfer: Lemma-2 floor on every selected link.
   for (LinkId i : greedy.selected) {
     ASSERT_GE(model::success_probability_rayleigh(net, greedy.selected, i,
-                                                  beta),
+                                                  units::Threshold(beta)).value(),
               1.0 / std::exp(1.0) - 1e-12);
   }
 
@@ -67,16 +67,16 @@ TEST_P(PipelineFuzz, FullStackInvariants) {
   std::vector<double> q(n);
   for (auto& v : q) v = rng.uniform();
   for (LinkId i = 0; i < n; i += 3) {
-    const double exact = core::rayleigh_success_probability(net, q, i, beta);
-    ASSERT_LE(core::rayleigh_success_lower_bound(net, q, i, beta),
+    const double exact = core::rayleigh_success_probability(net, units::probabilities(q), i, units::Threshold(beta)).value();
+    ASSERT_LE(core::rayleigh_success_lower_bound(net, units::probabilities(q), i, units::Threshold(beta)).value(),
               exact * (1 + 1e-12) + 1e-300);
-    ASSERT_GE(core::rayleigh_success_upper_bound(net, q, i, beta) *
+    ASSERT_GE(core::rayleigh_success_upper_bound(net, units::probabilities(q), i, units::Threshold(beta)).value() *
                   (1 + 1e-12) + 1e-300,
               exact);
   }
 
   // 4. Simulation schedule structure.
-  const auto schedule = core::build_simulation_schedule(net, q);
+  const auto schedule = core::build_simulation_schedule(net, units::probabilities(q));
   ASSERT_EQ(static_cast<int>(schedule.levels.size()),
             util::theorem2_num_levels(n));
 
@@ -84,7 +84,7 @@ TEST_P(PipelineFuzz, FullStackInvariants) {
   LinkSet all;
   for (LinkId i = 0; i < n; ++i) all.push_back(i);
   sim::RngStream slot = rng.derive(1);
-  ASSERT_LE(model::count_successes_rayleigh(net, all, beta, slot), n);
+  ASSERT_LE(model::count_successes_rayleigh(net, all, units::Threshold(beta), slot), n);
 
   // 6. A short game run respects its bookkeeping.
   learning::GameOptions gopts;

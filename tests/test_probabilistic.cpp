@@ -23,8 +23,8 @@ TEST(Gradient, MatchesFiniteDifferences) {
     std::vector<double> up = q, dn = q;
     up[k] += h;
     dn[k] -= h;
-    const double fd = (core::expected_rayleigh_successes(net, up, beta) -
-                       core::expected_rayleigh_successes(net, dn, beta)) /
+    const double fd = (core::expected_rayleigh_successes(net, units::probabilities(up), units::Threshold(beta)) -
+                       core::expected_rayleigh_successes(net, units::probabilities(dn), units::Threshold(beta))) /
                       (2.0 * h);
     EXPECT_NEAR(grad[k], fd, 1e-5) << "coordinate " << k;
   }
@@ -42,8 +42,8 @@ TEST(Gradient, FiniteDifferencesOnRandomInstance) {
     std::vector<double> up = q, dn = q;
     up[k] += h;
     dn[k] -= h;
-    const double fd = (core::expected_rayleigh_successes(net, up, beta) -
-                       core::expected_rayleigh_successes(net, dn, beta)) /
+    const double fd = (core::expected_rayleigh_successes(net, units::probabilities(up), units::Threshold(beta)) -
+                       core::expected_rayleigh_successes(net, units::probabilities(dn), units::Threshold(beta))) /
                       (2.0 * h);
     EXPECT_NEAR(grad[k], fd, 1e-4) << "coordinate " << k;
   }
@@ -68,7 +68,7 @@ TEST(GradientAscent, ImprovesObjectiveAndStaysInBox) {
   const double beta = 2.5;
   std::vector<double> start(net.size(), 0.5);
   const double start_value =
-      core::expected_rayleigh_successes(net, start, beta);
+      core::expected_rayleigh_successes(net, units::probabilities(start), units::Threshold(beta));
   const auto result =
       maximize_capacity_gradient_ascent(net, beta, start);
   EXPECT_GE(result.value, start_value);
@@ -77,7 +77,7 @@ TEST(GradientAscent, ImprovesObjectiveAndStaysInBox) {
     EXPECT_LE(v, 1.0);
   }
   EXPECT_NEAR(result.value,
-              core::expected_rayleigh_successes(net, result.q, beta), 1e-9);
+              core::expected_rayleigh_successes(net, units::probabilities(result.q), units::Threshold(beta)), 1e-9);
 }
 
 TEST(CoordinateAscent, ReturnsVertexProfile) {
@@ -98,7 +98,7 @@ TEST(CoordinateAscent, OneFlipLocalOptimality) {
   for (LinkId k = 0; k < net.size(); ++k) {
     std::vector<double> flipped = result.q;
     flipped[k] = flipped[k] == 0.0 ? 1.0 : 0.0;
-    EXPECT_LE(core::expected_rayleigh_successes(net, flipped, beta),
+    EXPECT_LE(core::expected_rayleigh_successes(net, units::probabilities(flipped), units::Threshold(beta)),
               result.value + 1e-9)
         << "flip " << k;
   }
@@ -127,7 +127,7 @@ TEST(CoordinateAscent, MatchesExhaustiveOnTinyInstance) {
     for (int b = 0; b < 8; ++b) {
       if (mask & (1u << b)) q[b] = 1.0;
     }
-    best = std::max(best, core::expected_rayleigh_successes(net, q, beta));
+    best = std::max(best, core::expected_rayleigh_successes(net, units::probabilities(q), units::Threshold(beta)));
   }
   CoordinateAscentOptions opts;
   opts.restarts = 6;
@@ -144,7 +144,7 @@ TEST(CoordinateAscent, RayleighOptimumAtLeastNonFadingTransfer) {
   std::vector<double> q(net.size(), 0.0);
   for (LinkId i : greedy.selected) q[i] = 1.0;
   const double transferred =
-      core::expected_rayleigh_successes(net, q, beta);
+      core::expected_rayleigh_successes(net, units::probabilities(q), units::Threshold(beta));
   CoordinateAscentOptions opts;
   opts.restarts = 4;
   const auto opt = maximize_capacity_coordinate_ascent(net, beta, opts);

@@ -48,7 +48,7 @@ model::Network make_instance(const InstanceCase& c) {
           : c.scheme == PowerScheme::SquareRoot
                 ? model::PowerAssignment::square_root(2.0)
                 : model::PowerAssignment::linear(2.0);
-  return model::Network(std::move(links), power, c.alpha, c.noise);
+  return model::Network(std::move(links), power, c.alpha, units::Power(c.noise));
 }
 
 const InstanceCase kGrid[] = {
@@ -75,10 +75,10 @@ TEST_P(CapacityInvariants, GreedyFeasibleAndAffectanceConsistent) {
   const auto c = GetParam();
   const auto net = make_instance(c);
   const auto result = algorithms::greedy_capacity(net, c.beta);
-  EXPECT_TRUE(model::is_feasible(net, result.selected, c.beta));
+  EXPECT_TRUE(model::is_feasible(net, result.selected, units::Threshold(c.beta)));
   for (LinkId i : result.selected) {
     EXPECT_LE(
-        model::total_affectance_on_raw(net, result.selected, i, c.beta),
+        model::total_affectance_on_raw(net, result.selected, i, units::Threshold(c.beta)),
         1.0 + 1e-9);
   }
 }
@@ -90,9 +90,9 @@ TEST_P(CapacityInvariants, PowerControlCertifiedWhenNonEmpty) {
   if (result.selected.empty()) return;
   model::Network powered = net;
   powered.set_powers(*result.powers);
-  EXPECT_TRUE(model::is_feasible(powered, result.selected, c.beta));
+  EXPECT_TRUE(model::is_feasible(powered, result.selected, units::Threshold(c.beta)));
   // Spectral certificate agrees.
-  EXPECT_TRUE(model::power_controlled_feasible(net, result.selected, c.beta));
+  EXPECT_TRUE(model::power_controlled_feasible(net, result.selected, units::Threshold(c.beta)));
 }
 
 TEST_P(CapacityInvariants, LocalSearchDominatesGreedy) {
@@ -103,7 +103,7 @@ TEST_P(CapacityInvariants, LocalSearchDominatesGreedy) {
   const auto ls = algorithms::local_search_max_feasible_set(net, c.beta, opts);
   const auto greedy = algorithms::greedy_capacity(net, c.beta);
   EXPECT_GE(ls.selected.size(), greedy.selected.size());
-  EXPECT_TRUE(model::is_feasible(net, ls.selected, c.beta));
+  EXPECT_TRUE(model::is_feasible(net, ls.selected, units::Threshold(c.beta)));
 }
 
 INSTANTIATE_TEST_SUITE_P(Grid, CapacityInvariants, ::testing::ValuesIn(kGrid));
@@ -122,10 +122,10 @@ TEST_P(RayleighLaws, Lemma1SandwichEverywhere) {
   std::vector<double> q(net.size());
   for (auto& v : q) v = rng.uniform();
   for (LinkId i = 0; i < net.size(); ++i) {
-    const double exact = core::rayleigh_success_probability(net, q, i, c.beta);
-    EXPECT_LE(core::rayleigh_success_lower_bound(net, q, i, c.beta),
+    const double exact = core::rayleigh_success_probability(net, units::probabilities(q), i, units::Threshold(c.beta)).value();
+    EXPECT_LE(core::rayleigh_success_lower_bound(net, units::probabilities(q), i, units::Threshold(c.beta)).value(),
               exact * (1 + 1e-12) + 1e-300);
-    EXPECT_GE(core::rayleigh_success_upper_bound(net, q, i, c.beta) *
+    EXPECT_GE(core::rayleigh_success_upper_bound(net, units::probabilities(q), i, units::Threshold(c.beta)).value() *
                       (1 + 1e-12) + 1e-300,
               exact);
   }
@@ -137,7 +137,7 @@ TEST_P(RayleighLaws, Lemma2FloorOnGreedySolution) {
   const auto greedy = algorithms::greedy_capacity(net, c.beta);
   for (LinkId i : greedy.selected) {
     EXPECT_GE(model::success_probability_rayleigh(net, greedy.selected, i,
-                                                  c.beta),
+                                                  units::Threshold(c.beta)).value(),
               1.0 / std::exp(1.0) - 1e-12);
   }
 }
@@ -150,8 +150,8 @@ TEST_P(RayleighLaws, SlotExpectationEqualsSumOfTheorem1AtBinaryQ) {
   std::vector<double> q(net.size(), 0.0);
   for (LinkId i : greedy.selected) q[i] = 1.0;
   EXPECT_NEAR(
-      core::expected_rayleigh_successes(net, q, c.beta),
-      model::expected_successes_rayleigh(net, greedy.selected, c.beta), 1e-9);
+      core::expected_rayleigh_successes(net, units::probabilities(q), units::Threshold(c.beta)),
+      model::expected_successes_rayleigh(net, greedy.selected, units::Threshold(c.beta)), 1e-9);
 }
 
 TEST_P(RayleighLaws, MonotoneInBeta) {
@@ -160,7 +160,7 @@ TEST_P(RayleighLaws, MonotoneInBeta) {
   std::vector<double> q(net.size(), 0.7);
   double prev = std::numeric_limits<double>::infinity();
   for (double beta : {0.5, 1.0, 2.0, 4.0, 8.0}) {
-    const double e = core::expected_rayleigh_successes(net, q, beta);
+    const double e = core::expected_rayleigh_successes(net, units::probabilities(q), units::Threshold(beta));
     EXPECT_LE(e, prev * (1 + 1e-12));
     prev = e;
   }
@@ -189,7 +189,7 @@ TEST_P(LatencyInvariants, RepeatedCapacityServesEveryoneNonFading) {
   ASSERT_TRUE(result.completed);
   std::vector<bool> served(net.size(), false);
   for (std::size_t s = 0; s < result.schedule.size(); ++s) {
-    EXPECT_TRUE(model::is_feasible(net, result.schedule[s], c.beta));
+    EXPECT_TRUE(model::is_feasible(net, result.schedule[s], units::Threshold(c.beta)));
     for (LinkId i : result.schedule[s]) served[i] = true;
   }
   for (LinkId i = 0; i < net.size(); ++i) EXPECT_TRUE(served[i]);
@@ -223,12 +223,12 @@ TEST_P(SimulationStructure, LevelsMatchLogStarAndProbabilitiesScale) {
   sim::RngStream rng(c.seed ^ 0xABC);
   std::vector<double> q(net.size());
   for (auto& v : q) v = rng.uniform();
-  const auto schedule = core::build_simulation_schedule(net, q);
+  const auto schedule = core::build_simulation_schedule(net, units::probabilities(q));
   EXPECT_EQ(static_cast<int>(schedule.levels.size()),
             util::theorem2_num_levels(net.size()));
   for (const auto& level : schedule.levels) {
     for (std::size_t i = 0; i < q.size(); ++i) {
-      EXPECT_LE(level.probabilities[i], q[i] + 1e-15);
+      EXPECT_LE(level.probabilities[i].value(), q[i] + 1e-15);
     }
   }
 }

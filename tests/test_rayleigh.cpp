@@ -17,10 +17,10 @@ TEST(Rayleigh, ClosedFormMatchesHandComputation) {
   auto net = hand_matrix_network(0.0);
   const double beta = 2.0;
   // Link 0 with interferer 1: S(1,0) = 2, S(0,0) = 10.
-  EXPECT_NEAR(success_probability_rayleigh(net, {0, 1}, 0, beta),
+  EXPECT_NEAR(success_probability_rayleigh(net, {0, 1}, 0, units::Threshold(beta)).value(),
               1.0 / (1.0 + 2.0 * 2.0 / 10.0), 1e-12);
   // Two interferers: product form.
-  EXPECT_NEAR(success_probability_rayleigh(net, {0, 1, 2}, 0, beta),
+  EXPECT_NEAR(success_probability_rayleigh(net, {0, 1, 2}, 0, units::Threshold(beta)).value(),
               1.0 / ((1.0 + 2.0 * 2.0 / 10.0) * (1.0 + 2.0 * 0.5 / 10.0)),
               1e-12);
 }
@@ -29,7 +29,7 @@ TEST(Rayleigh, NoiseOnlyTermIsExponential) {
   auto net = hand_matrix_network(0.5);
   const double beta = 3.0;
   // Alone: P = exp(-beta nu / S(i,i)).
-  EXPECT_NEAR(success_probability_rayleigh(net, {1}, 1, beta),
+  EXPECT_NEAR(success_probability_rayleigh(net, {1}, 1, units::Threshold(beta)).value(),
               std::exp(-3.0 * 0.5 / 10.0), 1e-12);
 }
 
@@ -38,14 +38,14 @@ TEST(Rayleigh, SuccessAlwaysPossible) {
   // success probability stays positive — the paper's motivating asymmetry.
   auto net = hand_matrix_network(100.0);
   EXPECT_LT(sinr_nonfading(net, {0}, 0), 1.0);
-  EXPECT_GT(success_probability_rayleigh(net, {0}, 0, 1.0), 0.0);
+  EXPECT_GT(success_probability_rayleigh(net, {0}, 0, units::Threshold(1.0)).value(), 0.0);
 }
 
 TEST(Rayleigh, ClosedFormMatchesMonteCarlo) {
   auto net = hand_matrix_network(0.2);
   const double beta = 1.5;
   const LinkSet active = {0, 1, 2};
-  const double exact = success_probability_rayleigh(net, active, 0, beta);
+  const double exact = success_probability_rayleigh(net, active, 0, units::Threshold(beta)).value();
   sim::RngStream rng(99);
   const int trials = 40000;
   int hits = 0;
@@ -60,9 +60,9 @@ TEST(Rayleigh, ExpectedSuccessesIsSumOfProbabilities) {
   auto net = hand_matrix_network(0.1);
   const LinkSet active = {0, 2};
   const double beta = 2.0;
-  EXPECT_NEAR(expected_successes_rayleigh(net, active, beta),
-              success_probability_rayleigh(net, active, 0, beta) +
-                  success_probability_rayleigh(net, active, 2, beta),
+  EXPECT_NEAR(expected_successes_rayleigh(net, active, units::Threshold(beta)),
+              success_probability_rayleigh(net, active, 0, units::Threshold(beta)).value() +
+                  success_probability_rayleigh(net, active, 2, units::Threshold(beta)).value(),
               1e-12);
 }
 
@@ -80,8 +80,8 @@ TEST(Rayleigh, AllRealizationMatchesPerLinkDistribution) {
     if (sinrs[0] >= beta) ++hits0;
     if (sinrs[1] >= beta) ++hits1;
   }
-  const double p0 = success_probability_rayleigh(net, active, 0, beta);
-  const double p1 = success_probability_rayleigh(net, active, 1, beta);
+  const double p0 = success_probability_rayleigh(net, active, 0, units::Threshold(beta)).value();
+  const double p1 = success_probability_rayleigh(net, active, 1, units::Threshold(beta)).value();
   EXPECT_NEAR(hits0 / static_cast<double>(trials), p0, 0.012);
   EXPECT_NEAR(hits1 / static_cast<double>(trials), p1, 0.012);
 }
@@ -90,7 +90,7 @@ TEST(Rayleigh, CountSuccessesWithinBounds) {
   auto net = hand_matrix_network(0.1);
   sim::RngStream rng(3);
   for (int t = 0; t < 50; ++t) {
-    const auto c = count_successes_rayleigh(net, {0, 1, 2}, 1.0, rng);
+    const auto c = count_successes_rayleigh(net, {0, 1, 2}, units::Threshold(1.0), rng);
     EXPECT_LE(c, 3u);
   }
 }
@@ -99,7 +99,7 @@ TEST(Rayleigh, RequiresMembership) {
   auto net = hand_matrix_network();
   sim::RngStream rng(1);
   EXPECT_THROW(sinr_rayleigh(net, {1, 2}, 0, rng), raysched::error);
-  EXPECT_THROW(success_probability_rayleigh(net, {1}, 0, 1.0),
+  EXPECT_THROW(success_probability_rayleigh(net, {1}, 0, units::Threshold(1.0)),
                raysched::error);
 }
 
@@ -108,7 +108,7 @@ TEST(Rayleigh, ProbabilityDecreasesWithBeta) {
   const LinkSet active = {0, 1, 2};
   double prev = 1.0;
   for (double beta : {0.5, 1.0, 2.0, 4.0, 8.0}) {
-    const double p = success_probability_rayleigh(net, active, 0, beta);
+    const double p = success_probability_rayleigh(net, active, 0, units::Threshold(beta)).value();
     EXPECT_LT(p, prev);
     prev = p;
   }
@@ -117,9 +117,9 @@ TEST(Rayleigh, ProbabilityDecreasesWithBeta) {
 TEST(Rayleigh, ProbabilityDecreasesWithMoreInterferers) {
   auto net = hand_matrix_network(0.1);
   const double beta = 2.0;
-  const double alone = success_probability_rayleigh(net, {0}, 0, beta);
-  const double one = success_probability_rayleigh(net, {0, 1}, 0, beta);
-  const double two = success_probability_rayleigh(net, {0, 1, 2}, 0, beta);
+  const double alone = success_probability_rayleigh(net, {0}, 0, units::Threshold(beta)).value();
+  const double one = success_probability_rayleigh(net, {0, 1}, 0, units::Threshold(beta)).value();
+  const double two = success_probability_rayleigh(net, {0, 1, 2}, 0, units::Threshold(beta)).value();
   EXPECT_GT(alone, one);
   EXPECT_GT(one, two);
 }

@@ -17,7 +17,7 @@ TEST(Reduction, GreedyDecisionCarriesCertificates) {
   sim::RngStream rng(1);
   ReductionOptions opts;
   const auto decision = schedule_capacity_rayleigh(
-      net, Utility::binary(2.5), opts, rng);
+      net, Utility::binary(units::Threshold(2.5)), opts, rng);
   EXPECT_FALSE(decision.transmit_set.empty());
   EXPECT_FALSE(decision.powers.has_value());
   EXPECT_DOUBLE_EQ(decision.nonfading_value,
@@ -34,7 +34,7 @@ TEST(Reduction, PowerControlDecisionReturnsPowers) {
   ReductionOptions opts;
   opts.algorithm = NonFadingAlgorithm::PowerControl;
   const auto decision = schedule_capacity_rayleigh(
-      net, Utility::binary(2.5), opts, rng);
+      net, Utility::binary(units::Threshold(2.5)), opts, rng);
   if (!decision.transmit_set.empty()) {
     ASSERT_TRUE(decision.powers.has_value());
     EXPECT_EQ(decision.powers->size(), net.size());
@@ -42,7 +42,7 @@ TEST(Reduction, PowerControlDecisionReturnsPowers) {
     // The transmitted set is feasible under the returned powers.
     model::Network powered = net;
     powered.set_powers(*decision.powers);
-    EXPECT_TRUE(model::is_feasible(powered, decision.transmit_set, 2.5));
+    EXPECT_TRUE(model::is_feasible(powered, decision.transmit_set, units::Threshold(2.5)));
   }
 }
 
@@ -53,9 +53,9 @@ TEST(Reduction, LocalSearchBeatsGreedyValue) {
   ReductionOptions ls_opts;
   ls_opts.algorithm = NonFadingAlgorithm::LocalSearch;
   const auto g =
-      schedule_capacity_rayleigh(net, Utility::binary(2.5), greedy_opts, r1);
+      schedule_capacity_rayleigh(net, Utility::binary(units::Threshold(2.5)), greedy_opts, r1);
   const auto l =
-      schedule_capacity_rayleigh(net, Utility::binary(2.5), ls_opts, r2);
+      schedule_capacity_rayleigh(net, Utility::binary(units::Threshold(2.5)), ls_opts, r2);
   EXPECT_GE(l.nonfading_value, g.nonfading_value);
 }
 
@@ -79,7 +79,7 @@ TEST(Reduction, WeightedUtilityExactEvaluation) {
   sim::RngStream rng(5);
   ReductionOptions opts;
   const auto decision = schedule_capacity_rayleigh(
-      net, Utility::weighted(2.5, 3.0), opts, rng);
+      net, Utility::weighted(units::Threshold(2.5), 3.0), opts, rng);
   // Weighted threshold: non-fading value = 3 * |set|.
   EXPECT_DOUBLE_EQ(decision.nonfading_value,
                    3.0 * static_cast<double>(decision.transmit_set.size()));
@@ -108,7 +108,7 @@ TEST(FictitiousPlay, FarLinksConvergeToBothSending) {
   EXPECT_TRUE(result.final_profile[1]);
   EXPECT_TRUE(result.reached_fixed_point);
   // Late frequencies near 1 (warmup noise aside).
-  EXPECT_GT(result.send_frequency[0], 0.8);
+  EXPECT_GT(result.send_frequency[0].value(), 0.8);
 }
 
 TEST(FictitiousPlay, CloseLinksDoNotBothSend) {
@@ -133,9 +133,9 @@ TEST(FictitiousPlay, RayleighUsesClosedFormAndRuns) {
   EXPECT_EQ(result.successes_per_round.size(), 100u);
   EXPECT_GE(result.average_successes, 0.0);
   EXPECT_LE(result.average_successes, 15.0);
-  for (double f : result.send_frequency) {
-    EXPECT_GE(f, 0.0);
-    EXPECT_LE(f, 1.0);
+  for (units::Probability f : result.send_frequency) {
+    EXPECT_GE(f.value(), 0.0);
+    EXPECT_LE(f.value(), 1.0);
   }
 }
 

@@ -57,7 +57,7 @@ TEST(Pinned, HandMatrixTheorem1Value) {
   const std::vector<double> q = {1.0, 0.5, 0.25};
   const double expected = 1.0 * std::exp(-0.02) * (1.0 - 2.0 / 14.0) *
                           (1.0 - 0.25 / 11.0);
-  EXPECT_NEAR(core::rayleigh_success_probability(net, q, 0, 2.0), expected,
+  EXPECT_NEAR(core::rayleigh_success_probability(net, units::probabilities(q), 0, units::Threshold(2.0)).value(), expected,
               1e-15);
 }
 
@@ -69,7 +69,7 @@ TEST(Pinned, GreedySelectionOnFixedInstance) {
   const auto a = algorithms::greedy_capacity(net, 2.5);
   const auto b = algorithms::greedy_capacity(net, 2.5);
   EXPECT_EQ(a.selected, b.selected);
-  EXPECT_TRUE(model::is_feasible(net, a.selected, 2.5));
+  EXPECT_TRUE(model::is_feasible(net, a.selected, units::Threshold(2.5)));
 }
 
 TEST(Pinned, BnBOptimumStableOnFixedInstance) {
@@ -92,7 +92,7 @@ TEST(Pinned, B_SequenceValues) {
 TEST(Pinned, LatencyTransformConstants) {
   EXPECT_EQ(core::kLatencyRepeats, 4);
   EXPECT_EQ(core::kSimulationRepeatsPerLevel, 19);
-  EXPECT_NEAR(core::boosted_success_probability(0.5),
+  EXPECT_NEAR(core::boosted_success_probability(units::Probability(0.5)).value(),
               1.0 - std::pow(1.0 - 0.5 / std::exp(1.0), 4), 1e-15);
 }
 
@@ -105,7 +105,7 @@ TEST(Pinned, RwmPaperSchedule) {
   const double eta = std::sqrt(0.5);
   const double ws = std::pow(1.0 - eta, 0.5);
   const double we = std::pow(1.0 - eta, 1.0);
-  EXPECT_NEAR(l.send_probability(), we / (we + ws), 1e-15);
+  EXPECT_NEAR(l.send_probability().value(), we / (we + ws), 1e-15);
 }
 
 TEST(Pinned, GameRunFullyDeterministicGivenSeed) {

@@ -55,7 +55,7 @@ TEST(RouteRequests, BuildsNetworkAndHops) {
   const std::vector<RouteRequest> requests = {{0, 3}, {1, 3}};
   const auto routed =
       route_requests(relays, 10.5, requests,
-                     model::PowerAssignment::uniform(2.0), 2.5, 1e-9);
+                     model::PowerAssignment::uniform(2.0), 2.5, units::Power(1e-9).value());
   // Edges used: (0,1),(1,2),(2,3) shared by both requests.
   EXPECT_EQ(routed.network.size(), 3u);
   ASSERT_EQ(routed.requests.size(), 2u);
@@ -75,7 +75,7 @@ TEST(RouteRequests, BidirectionalEdgesAreDistinctLinks) {
   const std::vector<RouteRequest> requests = {{0, 1}, {1, 0}};
   const auto routed =
       route_requests(relays, 10.5, requests,
-                     model::PowerAssignment::uniform(2.0), 2.5, 1e-9);
+                     model::PowerAssignment::uniform(2.0), 2.5, units::Power(1e-9).value());
   EXPECT_EQ(routed.network.size(), 2u);  // (0,1) and (1,0)
 }
 
@@ -85,7 +85,7 @@ TEST(RouteRequests, EndToEndScheduling) {
   const std::vector<RouteRequest> requests = {{0, 4}, {2, 0}, {3, 4}};
   const auto routed =
       route_requests(relays, 10.5, requests,
-                     model::PowerAssignment::uniform(2.0), 2.5, 1e-9);
+                     model::PowerAssignment::uniform(2.0), 2.5, units::Power(1e-9).value());
   for (auto prop : {Propagation::NonFading, Propagation::Rayleigh}) {
     sim::RngStream rng(static_cast<std::uint64_t>(prop) + 5);
     const auto result = schedule_multihop(routed.network, routed.requests,

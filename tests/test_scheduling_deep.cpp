@@ -39,8 +39,8 @@ TEST_P(GreedyTauSweep, LargerBudgetNeverSelectsFewer) {
   const auto a = greedy_capacity(net, 2.5, {}, small);
   const auto b = greedy_capacity(net, 2.5, {}, large);
   EXPECT_LE(a.selected.size(), b.selected.size());
-  EXPECT_TRUE(model::is_feasible(net, a.selected, 2.5));
-  EXPECT_TRUE(model::is_feasible(net, b.selected, 2.5));
+  EXPECT_TRUE(model::is_feasible(net, a.selected, units::Threshold(2.5)));
+  EXPECT_TRUE(model::is_feasible(net, b.selected, units::Threshold(2.5)));
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -67,7 +67,7 @@ TEST(PowerControlDeep, OverAdmissionIsRepairedByDrops) {
   ASSERT_TRUE(result.powers.has_value());
   model::Network powered = net;
   powered.set_powers(*result.powers);
-  EXPECT_TRUE(model::is_feasible(powered, result.selected, 5.0));
+  EXPECT_TRUE(model::is_feasible(powered, result.selected, units::Threshold(5.0)));
 }
 
 TEST(PowerControlDeep, BudgetMonotoneOnAverage) {
@@ -137,7 +137,7 @@ TEST(RepeatedCapacityDeep, ScheduleShrinksAsLinksFinish) {
 TEST(MultihopDeep, SharedHopCreditsAllWaitingRequests) {
   auto links = model::chain_links(3, 10.0);
   model::Network net(std::move(links), model::PowerAssignment::uniform(1.0),
-                     2.0, 1e-6);
+                     2.0, units::Power(1e-6));
   // Both requests start at the same first hop.
   std::vector<MultihopRequest> requests = {{{0, 1, 2}}, {{0, 2}}};
   sim::RngStream rng(51);
@@ -186,7 +186,7 @@ TEST(AlohaDeep, AdaptiveRecoversFromBadInitialProbability) {
   sim::RngStream gen(53);
   auto links = model::two_cluster_links(6, 3.0, 800.0, 2.0, gen);
   model::Network net(std::move(links), model::PowerAssignment::uniform(1.0),
-                     3.0, 1e-9);
+                     3.0, units::Power(1e-9));
   AlohaOptions fixed;
   fixed.initial_probability = 0.5;
   AlohaOptions adaptive = fixed;

@@ -14,7 +14,7 @@ using raysched::testing::paper_network;
 TEST(Shadowing, ZeroSigmaIsExactCopy) {
   auto net = paper_network(10, 1);
   sim::RngStream rng(1);
-  const auto copy = apply_lognormal_shadowing(net, 0.0, rng);
+  const auto copy = apply_lognormal_shadowing(net, units::Decibel(0.0), rng);
   ASSERT_EQ(copy.size(), net.size());
   EXPECT_FALSE(copy.has_geometry());  // shadowed copies are matrix networks
   for (LinkId j = 0; j < net.size(); ++j) {
@@ -32,7 +32,7 @@ TEST(Shadowing, FactorsHaveLogNormalMoments) {
   sim::Accumulator log_factors;
   for (std::uint64_t s = 0; s < 400; ++s) {
     sim::RngStream rng(100 + s);
-    const auto shadowed = apply_lognormal_shadowing(net, sigma, rng);
+    const auto shadowed = apply_lognormal_shadowing(net, units::Decibel(sigma), rng);
     for (LinkId j = 0; j < net.size(); ++j) {
       for (LinkId i = 0; i < net.size(); ++i) {
         log_factors.add(
@@ -51,19 +51,19 @@ TEST(Shadowing, MeanFactorMatchesClosedForm) {
   sim::Accumulator factors;
   auto net = paper_network(4, 3);
   for (int s = 0; s < 4000; ++s) {
-    const auto shadowed = apply_lognormal_shadowing(net, sigma, rng);
+    const auto shadowed = apply_lognormal_shadowing(net, units::Decibel(sigma), rng);
     factors.add(shadowed.mean_gain(0, 0) / net.mean_gain(0, 0));
   }
-  EXPECT_NEAR(factors.mean(), lognormal_shadowing_mean(sigma),
-              0.1 * lognormal_shadowing_mean(sigma));
-  EXPECT_DOUBLE_EQ(lognormal_shadowing_mean(0.0), 1.0);
+  EXPECT_NEAR(factors.mean(), lognormal_shadowing_mean(units::Decibel(sigma)),
+              0.1 * lognormal_shadowing_mean(units::Decibel(sigma)));
+  EXPECT_DOUBLE_EQ(lognormal_shadowing_mean(units::Decibel(0.0)), 1.0);
 }
 
 TEST(Shadowing, DeterministicPerStream) {
   auto net = paper_network(5, 4);
   sim::RngStream r1(9), r2(9);
-  const auto a = apply_lognormal_shadowing(net, 4.0, r1);
-  const auto b = apply_lognormal_shadowing(net, 4.0, r2);
+  const auto a = apply_lognormal_shadowing(net, units::Decibel(4.0), r1);
+  const auto b = apply_lognormal_shadowing(net, units::Decibel(4.0), r2);
   for (LinkId j = 0; j < net.size(); ++j) {
     for (LinkId i = 0; i < net.size(); ++i) {
       EXPECT_DOUBLE_EQ(a.mean_gain(j, i), b.mean_gain(j, i));
@@ -74,8 +74,8 @@ TEST(Shadowing, DeterministicPerStream) {
 TEST(Shadowing, Validation) {
   auto net = paper_network(3, 5);
   sim::RngStream rng(1);
-  EXPECT_THROW(apply_lognormal_shadowing(net, -1.0, rng), raysched::error);
-  EXPECT_THROW(lognormal_shadowing_mean(-0.1), raysched::error);
+  EXPECT_THROW(apply_lognormal_shadowing(net, units::Decibel(-1.0), rng), raysched::error);
+  EXPECT_THROW(lognormal_shadowing_mean(units::Decibel(-0.1)), raysched::error);
 }
 
 TEST(Shadowing, PlannedSetDegradesWithSigma) {
@@ -89,9 +89,9 @@ TEST(Shadowing, PlannedSetDegradesWithSigma) {
     double total = 0.0;
     for (std::uint64_t s = 0; s < 10; ++s) {
       sim::RngStream rng(200 + s);
-      const auto shadowed = apply_lognormal_shadowing(net, sigma, rng);
+      const auto shadowed = apply_lognormal_shadowing(net, units::Decibel(sigma), rng);
       total += static_cast<double>(
-          count_successes_nonfading(shadowed, plan.selected, beta));
+          count_successes_nonfading(shadowed, plan.selected, units::Threshold(beta)));
     }
     return total / 10.0;
   };
@@ -109,9 +109,9 @@ namespace {
 
 TEST(RegretMatching, StartsUniformAndStaysUniformUnderTies) {
   RegretMatchingLearner l;
-  EXPECT_DOUBLE_EQ(l.send_probability(), 0.5);
+  EXPECT_DOUBLE_EQ(l.send_probability().value(), 0.5);
   for (int t = 0; t < 10; ++t) l.update(LossPair{0.5, 0.5});
-  EXPECT_DOUBLE_EQ(l.send_probability(), 0.5);
+  EXPECT_DOUBLE_EQ(l.send_probability().value(), 0.5);
 }
 
 TEST(RegretMatching, LearnsDominantAction) {
@@ -120,8 +120,8 @@ TEST(RegretMatching, LearnsDominantAction) {
     win.update(LossPair{/*stay=*/0.5, /*send=*/0.0});
     lose.update(LossPair{/*stay=*/0.5, /*send=*/1.0});
   }
-  EXPECT_GT(win.send_probability(), 0.95);
-  EXPECT_LT(lose.send_probability(), 0.05);
+  EXPECT_GT(win.send_probability().value(), 0.95);
+  EXPECT_LT(lose.send_probability().value(), 0.05);
 }
 
 TEST(RegretMatching, NoRegretOnAlternatingLosses) {
@@ -171,7 +171,7 @@ TEST(RegretMatching, CumulativeRegretAccessors) {
   EXPECT_DOUBLE_EQ(l.cumulative_regret_stay(), -0.25);
   EXPECT_EQ(l.rounds_seen(), 1u);
   // Now only send has positive regret: probability snaps to 1.
-  EXPECT_DOUBLE_EQ(l.send_probability(), 1.0);
+  EXPECT_DOUBLE_EQ(l.send_probability().value(), 1.0);
 }
 
 }  // namespace

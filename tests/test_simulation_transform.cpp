@@ -15,7 +15,7 @@ using raysched::testing::paper_network;
 TEST(SimulationSchedule, StructureMatchesAlgorithm1) {
   auto net = paper_network(100, 1);
   std::vector<double> q(net.size(), 0.8);
-  const auto schedule = build_simulation_schedule(net, q);
+  const auto schedule = build_simulation_schedule(net, units::probabilities(q));
 
   // Levels must be exactly the k with b_k < n.
   EXPECT_EQ(static_cast<int>(schedule.levels.size()),
@@ -27,7 +27,7 @@ TEST(SimulationSchedule, StructureMatchesAlgorithm1) {
     EXPECT_DOUBLE_EQ(level.b_k, b);
     EXPECT_EQ(level.repeats, kSimulationRepeatsPerLevel);
     for (std::size_t i = 0; i < q.size(); ++i) {
-      EXPECT_DOUBLE_EQ(level.probabilities[i],
+      EXPECT_DOUBLE_EQ(level.probabilities[i].value(),
                        std::min(1.0, q[i] / (4.0 * b)));
     }
     b = std::exp(b / 2.0);
@@ -44,10 +44,10 @@ TEST(SimulationSchedule, FirstLevelPreservesQ) {
   for (std::size_t i = 0; i < q.size(); ++i) {
     q[i] = static_cast<double>(i) / 10.0;
   }
-  const auto schedule = build_simulation_schedule(net, q);
+  const auto schedule = build_simulation_schedule(net, units::probabilities(q));
   ASSERT_FALSE(schedule.levels.empty());
   for (std::size_t i = 0; i < q.size(); ++i) {
-    EXPECT_DOUBLE_EQ(schedule.levels[0].probabilities[i], q[i]);
+    EXPECT_DOUBLE_EQ(schedule.levels[0].probabilities[i].value(), q[i]);
   }
 }
 
@@ -60,20 +60,22 @@ TEST(SimulationSchedule, SlotCountIsLogStar) {
     if (n > 100) {
       std::vector<double> gains(n * n, 0.0);
       for (std::size_t i = 0; i < n; ++i) gains[i * n + i] = 1.0;
-      model::Network big(n, std::move(gains), 0.0);
+      model::Network big(n, std::move(gains), units::Power(0.0));
       std::vector<double> q(n, 1.0);
-      EXPECT_LE(build_simulation_schedule(big, q).levels.size(), 8u);
+      EXPECT_LE(build_simulation_schedule(big, units::probabilities(q)).levels.size(), 8u);
     } else {
       std::vector<double> q(net.size(), 1.0);
-      EXPECT_LE(build_simulation_schedule(net, q).levels.size(), 8u);
+      EXPECT_LE(build_simulation_schedule(net, units::probabilities(q)).levels.size(), 8u);
     }
   }
 }
 
 TEST(SimulationSchedule, ValidatesProbabilities) {
   auto net = paper_network(5, 4);
-  EXPECT_THROW(build_simulation_schedule(net, {0.5, 0.5}), raysched::error);
-  EXPECT_THROW(build_simulation_schedule(net, {0.5, 0.5, 0.5, 0.5, 1.5}),
+  EXPECT_THROW(build_simulation_schedule(net, units::probabilities({0.5, 0.5})),
+               raysched::error);
+  EXPECT_THROW(build_simulation_schedule(
+                   net, units::probabilities({0.5, 0.5, 0.5, 0.5, 1.5})),
                raysched::error);
 }
 
@@ -86,16 +88,18 @@ TEST(Lemma3, SimulationDominatesRayleighSuccess) {
     std::vector<double> q(net.size());
     for (auto& v : q) v = qrng.uniform();
     const double beta = 2.5;
-    const auto schedule = build_simulation_schedule(net, q);
+    const auto schedule = build_simulation_schedule(net, units::probabilities(q));
     sim::RngStream rng(seed);
     for (LinkId i = 0; i < 3; ++i) {
       // Condition of Lemma 3: beta <= S(i,i) / (2 nu). Holds easily with
       // noise 4e-7 in the paper geometry.
       ASSERT_LE(beta, net.signal(i) / (2.0 * net.noise()));
       const double rayleigh =
-          rayleigh_success_probability(net, q, i, beta);
-      const double sim_prob = simulation_success_probability_mc(
-          net, schedule, i, beta, 4000, rng);
+          rayleigh_success_probability(net, units::probabilities(q), i, units::Threshold(beta)).value();
+      const double sim_prob =
+          simulation_success_probability_mc(net, schedule, i,
+                                            units::Threshold(beta), 4000, rng)
+              .value();
       // Allow 3-sigma MC slack.
       const double sigma = std::sqrt(0.25 / 4000.0);
       EXPECT_GE(sim_prob + 3.0 * sigma, rayleigh)
@@ -111,22 +115,22 @@ TEST(Theorem2, BestUtilityWithinLogStarFactor) {
   auto net = paper_network(20, 42);
   std::vector<double> q(net.size(), 1.0);
   const double beta = 2.5;
-  const Utility u = Utility::binary(beta);
-  const auto schedule = build_simulation_schedule(net, q);
+  const Utility u = Utility::binary(units::Threshold(beta));
+  const auto schedule = build_simulation_schedule(net, units::probabilities(q));
   sim::RngStream rng(7);
   const double simulated =
       simulation_expected_best_utility_mc(net, schedule, u, 300, rng);
-  const double rayleigh = expected_rayleigh_successes(net, q, beta);
+  const double rayleigh = expected_rayleigh_successes(net, units::probabilities(q), units::Threshold(beta));
   EXPECT_GE(simulated * 8.0 * 1.1, rayleigh);  // 8x from the proof + slack
 }
 
 TEST(Theorem2, PerSlotUtilitiesExposeBestStep) {
   auto net = paper_network(12, 5);
   std::vector<double> q(net.size(), 1.0);
-  const auto schedule = build_simulation_schedule(net, q);
+  const auto schedule = build_simulation_schedule(net, units::probabilities(q));
   sim::RngStream rng(3);
   const auto per_slot = simulation_per_slot_utility_mc(
-      net, schedule, Utility::binary(2.5), 200, rng);
+      net, schedule, Utility::binary(units::Threshold(2.5)), 200, rng);
   EXPECT_EQ(per_slot.size(), schedule.total_slots());
   for (double v : per_slot) {
     EXPECT_GE(v, 0.0);

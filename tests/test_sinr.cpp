@@ -58,28 +58,28 @@ TEST(Sinr, AllMatchesIndividual) {
 TEST(Sinr, FeasibilityFarVsClose) {
   auto far = two_far_links();
   auto close = two_close_links();
-  EXPECT_TRUE(is_feasible(far, {0, 1}, 2.0));
+  EXPECT_TRUE(is_feasible(far, {0, 1}, units::Threshold(2.0)));
   // Co-located links at beta >= 1 cannot both succeed: interferer distance
   // ~ own distance, so SINR ~ 1 for both.
-  EXPECT_FALSE(is_feasible(close, {0, 1}, 2.0));
-  EXPECT_TRUE(is_feasible(close, {0}, 2.0));
-  EXPECT_TRUE(is_feasible(close, {}, 2.0));
+  EXPECT_FALSE(is_feasible(close, {0, 1}, units::Threshold(2.0)));
+  EXPECT_TRUE(is_feasible(close, {0}, units::Threshold(2.0)));
+  EXPECT_TRUE(is_feasible(close, {}, units::Threshold(2.0)));
 }
 
 TEST(Sinr, CountAndListSuccesses) {
   auto net = hand_matrix_network(0.1);
   // With all transmitting, SINRs are ~3.85, ~6.25, ~11.76.
-  EXPECT_EQ(count_successes_nonfading(net, {0, 1, 2}, 5.0), 2u);
-  const LinkSet winners = successful_links_nonfading(net, {0, 1, 2}, 5.0);
+  EXPECT_EQ(count_successes_nonfading(net, {0, 1, 2}, units::Threshold(5.0)), 2u);
+  const LinkSet winners = successful_links_nonfading(net, {0, 1, 2}, units::Threshold(5.0));
   EXPECT_EQ(winners, (LinkSet{1, 2}));
-  EXPECT_EQ(count_successes_nonfading(net, {0, 1, 2}, 100.0), 0u);
-  EXPECT_EQ(count_successes_nonfading(net, {0, 1, 2}, 1.0), 3u);
+  EXPECT_EQ(count_successes_nonfading(net, {0, 1, 2}, units::Threshold(100.0)), 0u);
+  EXPECT_EQ(count_successes_nonfading(net, {0, 1, 2}, units::Threshold(1.0)), 3u);
 }
 
 TEST(Sinr, ThresholdBoundaryIsInclusive) {
   auto net = hand_matrix_network(0.1);
   const double gamma = sinr_nonfading(net, {0, 1, 2}, 0);
-  EXPECT_EQ(count_successes_nonfading(net, {0, 1, 2}, gamma), 3u);
+  EXPECT_EQ(count_successes_nonfading(net, {0, 1, 2}, units::Threshold(gamma)), 3u);
 }
 
 TEST(Sinr, NormalizeLinkSet) {
@@ -103,7 +103,7 @@ TEST(Affectance, FeasibilityCorrespondence) {
       if (rng.bernoulli(0.5)) active.push_back(i);
     }
     for (LinkId i : active) {
-      const double a = total_affectance_on_raw(net, active, i, beta);
+      const double a = total_affectance_on_raw(net, active, i, units::Threshold(beta));
       const double g = sinr_nonfading(net, active, i);
       EXPECT_EQ(a <= 1.0, g >= beta - 1e-9)
           << "trial " << trial << " link " << i << " a=" << a << " g=" << g;
@@ -114,21 +114,21 @@ TEST(Affectance, FeasibilityCorrespondence) {
 TEST(Affectance, CapAtOne) {
   auto net = two_close_links();
   // Interference between co-located links is enormous at beta = 10.
-  EXPECT_GT(affectance_raw(net, 0, 1, 10.0), 1.0);
-  EXPECT_DOUBLE_EQ(affectance(net, 0, 1, 10.0), 1.0);
+  EXPECT_GT(affectance_raw(net, 0, 1, units::Threshold(10.0)), 1.0);
+  EXPECT_DOUBLE_EQ(affectance(net, 0, 1, units::Threshold(10.0)), 1.0);
 }
 
 TEST(Affectance, SelfAffectanceIsZero) {
   auto net = hand_matrix_network();
-  EXPECT_DOUBLE_EQ(affectance_raw(net, 1, 1, 2.0), 0.0);
-  EXPECT_DOUBLE_EQ(affectance(net, 1, 1, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(affectance_raw(net, 1, 1, units::Threshold(2.0)), 0.0);
+  EXPECT_DOUBLE_EQ(affectance(net, 1, 1, units::Threshold(2.0)), 0.0);
 }
 
 TEST(Affectance, InfiniteWhenNoiseDominates) {
   // Budget S(i,i)/beta - nu <= 0: link can never meet beta.
   auto net = hand_matrix_network(10.0);  // noise 10, signal 10, beta 2
-  EXPECT_TRUE(std::isinf(affectance_raw(net, 1, 0, 2.0)));
-  EXPECT_DOUBLE_EQ(affectance(net, 1, 0, 2.0), 1.0);
+  EXPECT_TRUE(std::isinf(affectance_raw(net, 1, 0, units::Threshold(2.0))));
+  EXPECT_DOUBLE_EQ(affectance(net, 1, 0, units::Threshold(2.0)), 1.0);
 }
 
 TEST(Affectance, MatchesPaperUniformPowerFormula) {
@@ -137,13 +137,13 @@ TEST(Affectance, MatchesPaperUniformPowerFormula) {
   std::vector<Link> links = {{Point{0, 0}, Point{2, 0}},
                              {Point{9, 0}, Point{7, 0}}};
   const double p = 2.0, alpha = 2.2, nu = 1e-3, beta = 1.5;
-  Network net(links, PowerAssignment::uniform(p), alpha, nu);
+  Network net(links, PowerAssignment::uniform(p), alpha, units::Power(nu));
   const double d_i = 2.0;                      // link 1 length
   const double d_ji = distance(links[0].sender, links[1].receiver);  // 7
   const double expected =
       (beta * std::pow(d_i, alpha) / std::pow(d_ji, alpha)) /
       (1.0 - beta * nu * std::pow(d_i, alpha) / p);
-  EXPECT_NEAR(affectance_raw(net, 0, 1, beta), expected, 1e-12);
+  EXPECT_NEAR(affectance_raw(net, 0, 1, units::Threshold(beta)), expected, 1e-12);
 }
 
 TEST(Affectance, Lemma7HalfOfFeasibleSetHasLowOutAffectance) {
@@ -155,11 +155,11 @@ TEST(Affectance, Lemma7HalfOfFeasibleSetHasLowOutAffectance) {
     const LinkSet L =
         raysched::algorithms::greedy_capacity(net, beta).selected;
     if (L.size() < 2) continue;
-    const LinkSet Lp = low_out_affectance_subset(net, L, beta, 2.0);
+    const LinkSet Lp = low_out_affectance_subset(net, L, units::Threshold(beta), 2.0);
     EXPECT_GE(2 * Lp.size(), L.size()) << "seed " << seed;
     // Members of L' really satisfy the defining inequality.
     for (LinkId u : Lp) {
-      EXPECT_LE(total_affectance_from(net, u, L, beta), 2.0 + 1e-12);
+      EXPECT_LE(total_affectance_from(net, u, L, units::Threshold(beta)), 2.0 + 1e-12);
     }
   }
 }
@@ -175,30 +175,30 @@ TEST(Affectance, Lemma8BoundedOutAffectanceOntoLowOutSets) {
     const LinkSet L =
         raysched::algorithms::greedy_capacity(net, beta).selected;
     if (L.size() < 4) continue;
-    const LinkSet R = low_out_affectance_subset(net, L, beta, 2.0);
+    const LinkSet R = low_out_affectance_subset(net, L, units::Threshold(beta), 2.0);
     LinkSet everyone;
     for (LinkId u = 0; u < net.size(); ++u) everyone.push_back(u);
-    EXPECT_LT(max_out_affectance(net, everyone, R, beta), 25.0)
+    EXPECT_LT(max_out_affectance(net, everyone, R, units::Threshold(beta)), 25.0)
         << "seed " << seed;
   }
 }
 
 TEST(Affectance, LowOutSubsetValidation) {
   auto net = hand_matrix_network();
-  EXPECT_THROW(low_out_affectance_subset(net, {0, 1}, 1.0, 0.0),
+  EXPECT_THROW(low_out_affectance_subset(net, {0, 1}, units::Threshold(1.0), 0.0),
                raysched::error);
-  EXPECT_DOUBLE_EQ(max_out_affectance(net, {}, {0}, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(max_out_affectance(net, {}, {0}, units::Threshold(1.0)), 0.0);
 }
 
 TEST(Affectance, TotalsSumOverMembers) {
   auto net = hand_matrix_network(0.1);
   const double beta = 2.0;
-  const double total = total_affectance_on(net, {0, 1, 2}, 0, beta);
+  const double total = total_affectance_on(net, {0, 1, 2}, 0, units::Threshold(beta));
   EXPECT_NEAR(total,
-              affectance(net, 1, 0, beta) + affectance(net, 2, 0, beta), 1e-12);
-  const double from = total_affectance_from(net, 0, {1, 2}, beta);
+              affectance(net, 1, 0, units::Threshold(beta)) + affectance(net, 2, 0, units::Threshold(beta)), 1e-12);
+  const double from = total_affectance_from(net, 0, {1, 2}, units::Threshold(beta));
   EXPECT_NEAR(from,
-              affectance(net, 0, 1, beta) + affectance(net, 0, 2, beta), 1e-12);
+              affectance(net, 0, 1, units::Threshold(beta)) + affectance(net, 0, 2, units::Threshold(beta)), 1e-12);
 }
 
 }  // namespace

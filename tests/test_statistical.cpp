@@ -193,10 +193,10 @@ TEST(Statistical, BlockFadingCorrelationWithinBlocks) {
   model::BlockFadingChannel chan(net, /*coherence=*/2, 1.0, RngStream(45));
   int same_within = 0, total_within = 0;
   int same_across = 0, total_across = 0;
-  bool prev = chan.count_successes({0}, beta) > 0;
+  bool prev = chan.count_successes({0}, units::Threshold(beta)) > 0;
   for (int s = 1; s < 20000; ++s) {
     chan.advance_slot();
-    const bool cur = chan.count_successes({0}, beta) > 0;
+    const bool cur = chan.count_successes({0}, units::Threshold(beta)) > 0;
     if (chan.current_slot() % 2 == 1) {  // same block as previous slot
       ++total_within;
       same_within += cur == prev;

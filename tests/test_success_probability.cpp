@@ -18,22 +18,22 @@ TEST(Theorem1, ReducesToSlotFormWhenProbabilitiesAreBinary) {
   auto net = hand_matrix_network(0.2);
   const double beta = 1.5;
   const std::vector<double> q = {1.0, 1.0, 0.0};
-  EXPECT_NEAR(rayleigh_success_probability(net, q, 0, beta),
-              model::success_probability_rayleigh(net, {0, 1}, 0, beta),
+  EXPECT_NEAR(rayleigh_success_probability(net, units::probabilities(q), 0, units::Threshold(beta)).value(),
+              model::success_probability_rayleigh(net, {0, 1}, 0, units::Threshold(beta)).value(),
               1e-12);
 }
 
 TEST(Theorem1, ZeroProbabilityMeansZeroSuccess) {
   auto net = hand_matrix_network();
   const std::vector<double> q = {0.0, 1.0, 1.0};
-  EXPECT_DOUBLE_EQ(rayleigh_success_probability(net, q, 0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(rayleigh_success_probability(net, units::probabilities(q), 0, units::Threshold(1.0)).value(), 0.0);
 }
 
 TEST(Theorem1, MatchesMonteCarloWithFractionalProbabilities) {
   auto net = hand_matrix_network(0.1);
   const double beta = 1.2;
   const std::vector<double> q = {0.8, 0.5, 0.3};
-  const double exact = rayleigh_success_probability(net, q, 0, beta);
+  const double exact = rayleigh_success_probability(net, units::probabilities(q), 0, units::Threshold(beta)).value();
 
   // Monte Carlo: draw transmit set, then fading, count success of link 0.
   sim::RngStream rng(4242);
@@ -52,13 +52,17 @@ TEST(Theorem1, MatchesMonteCarloWithFractionalProbabilities) {
 
 TEST(Theorem1, ValidatesInput) {
   auto net = hand_matrix_network();
-  EXPECT_THROW(rayleigh_success_probability(net, {0.5, 0.5}, 0, 1.0),
+  EXPECT_THROW(rayleigh_success_probability(net, units::probabilities({0.5, 0.5}), 0,
+                                            units::Threshold(1.0)),
                raysched::error);
-  EXPECT_THROW(rayleigh_success_probability(net, {0.5, 0.5, 1.5}, 0, 1.0),
+  EXPECT_THROW(rayleigh_success_probability(net, units::probabilities({0.5, 0.5, 1.5}),
+                                            0, units::Threshold(1.0)),
                raysched::error);
-  EXPECT_THROW(rayleigh_success_probability(net, {0.5, 0.5, 0.5}, 0, 0.0),
+  EXPECT_THROW(rayleigh_success_probability(net, units::probabilities({0.5, 0.5, 0.5}),
+                                            0, units::Threshold::checked(0.0)),
                raysched::error);
-  EXPECT_THROW(rayleigh_success_probability(net, {0.5, 0.5, 0.5}, 9, 1.0),
+  EXPECT_THROW(rayleigh_success_probability(net, units::probabilities({0.5, 0.5, 0.5}),
+                                            9, units::Threshold(1.0)),
                raysched::error);
 }
 
@@ -68,9 +72,9 @@ TEST(ExpectedSuccesses, SumsOverLinks) {
   const double beta = 1.0;
   double sum = 0.0;
   for (LinkId i = 0; i < 3; ++i) {
-    sum += rayleigh_success_probability(net, q, i, beta);
+    sum += rayleigh_success_probability(net, units::probabilities(q), i, units::Threshold(beta)).value();
   }
-  EXPECT_NEAR(expected_rayleigh_successes(net, q, beta), sum, 1e-12);
+  EXPECT_NEAR(expected_rayleigh_successes(net, units::probabilities(q), units::Threshold(beta)), sum, 1e-12);
 }
 
 // ---------------------------------------------------------------------------
@@ -99,9 +103,9 @@ TEST_P(Lemma1Sandwich, BoundsHold) {
 
   for (LinkId i = 0; i < net.size(); ++i) {
     const double exact =
-        rayleigh_success_probability(net, q, i, param.beta);
-    const double lo = rayleigh_success_lower_bound(net, q, i, param.beta);
-    const double hi = rayleigh_success_upper_bound(net, q, i, param.beta);
+        rayleigh_success_probability(net, units::probabilities(q), i, units::Threshold(param.beta)).value();
+    const double lo = rayleigh_success_lower_bound(net, units::probabilities(q), i, units::Threshold(param.beta)).value();
+    const double hi = rayleigh_success_upper_bound(net, units::probabilities(q), i, units::Threshold(param.beta)).value();
     EXPECT_LE(lo, exact * (1.0 + 1e-12) + 1e-15) << "link " << i;
     EXPECT_GE(hi * (1.0 + 1e-12) + 1e-15, exact) << "link " << i;
   }
@@ -120,9 +124,9 @@ TEST(Lemma1, TightWhenInterferenceVanishes) {
   auto net = hand_matrix_network(0.3);
   const std::vector<double> q = {0.7, 0.0, 0.0};
   const double beta = 2.0;
-  const double exact = rayleigh_success_probability(net, q, 0, beta);
-  EXPECT_NEAR(exact, rayleigh_success_lower_bound(net, q, 0, beta), 1e-12);
-  EXPECT_NEAR(exact, rayleigh_success_upper_bound(net, q, 0, beta), 1e-12);
+  const double exact = rayleigh_success_probability(net, units::probabilities(q), 0, units::Threshold(beta)).value();
+  EXPECT_NEAR(exact, rayleigh_success_lower_bound(net, units::probabilities(q), 0, units::Threshold(beta)).value(), 1e-12);
+  EXPECT_NEAR(exact, rayleigh_success_upper_bound(net, units::probabilities(q), 0, units::Threshold(beta)).value(), 1e-12);
   EXPECT_NEAR(exact, 0.7 * std::exp(-2.0 * 0.3 / 10.0), 1e-12);
 }
 
@@ -130,10 +134,10 @@ TEST(InterferenceWeight, HandValue) {
   auto net = hand_matrix_network(0.0);
   // A_0 = min{1, beta*2/10} q_1 + min{1, beta*0.5/10} q_2.
   const std::vector<double> q = {1.0, 0.5, 1.0};
-  EXPECT_NEAR(interference_weight(net, q, 0, 2.0),
+  EXPECT_NEAR(interference_weight(net, units::probabilities(q), 0, units::Threshold(2.0)),
               std::min(1.0, 0.4) * 0.5 + std::min(1.0, 0.1) * 1.0, 1e-12);
   // Capping kicks in at large beta.
-  EXPECT_NEAR(interference_weight(net, q, 0, 100.0), 0.5 + 1.0, 1e-12);
+  EXPECT_NEAR(interference_weight(net, units::probabilities(q), 0, units::Threshold(100.0)), 0.5 + 1.0, 1e-12);
 }
 
 // ---------------------------------------------------------------------------
@@ -149,9 +153,9 @@ TEST(NonFadingAccess, ExactMatchesMonteCarlo) {
   sim::RngStream rng(11);
   for (LinkId i = 0; i < 3; ++i) {
     const double exact =
-        nonfading_success_probability_exact(net, q, i, beta);
+        nonfading_success_probability_exact(net, units::probabilities(q), i, units::Threshold(beta)).value();
     const double mc =
-        nonfading_success_probability_mc(net, q, i, beta, 60000, rng);
+        nonfading_success_probability_mc(net, units::probabilities(q), i, units::Threshold(beta), 60000, rng).value();
     EXPECT_NEAR(mc, exact, 0.012) << "link " << i;
   }
 }
@@ -160,14 +164,14 @@ TEST(NonFadingAccess, ExactHandlesDegenerateProbabilities) {
   auto net = hand_matrix_network(0.1);
   // q = (1, 1, 0): deterministic; link 0's SINR with {0,1} is 10/2.1 ~ 4.76.
   const std::vector<double> q = {1.0, 1.0, 0.0};
-  EXPECT_DOUBLE_EQ(nonfading_success_probability_exact(net, q, 0, 4.0), 1.0);
-  EXPECT_DOUBLE_EQ(nonfading_success_probability_exact(net, q, 0, 5.0), 0.0);
+  EXPECT_DOUBLE_EQ(nonfading_success_probability_exact(net, units::probabilities(q), 0, units::Threshold(4.0)).value(), 1.0);
+  EXPECT_DOUBLE_EQ(nonfading_success_probability_exact(net, units::probabilities(q), 0, units::Threshold(5.0)).value(), 0.0);
 }
 
 TEST(NonFadingAccess, ExactRejectsTooManyFreeLinks) {
   auto net = paper_network(30, 3);
   std::vector<double> q(net.size(), 0.5);
-  EXPECT_THROW(nonfading_success_probability_exact(net, q, 0, 1.0, 25),
+  EXPECT_THROW(nonfading_success_probability_exact(net, units::probabilities(q), 0, units::Threshold(1.0), 25),
                raysched::error);
 }
 
@@ -178,7 +182,7 @@ TEST(NonFadingAccess, FractionalSingleInterferer) {
   const std::vector<double> q = {0.9, 0.4, 0.0};
   // beta between alone-SINR (100) and joint-SINR (10/2.1 ~ 4.76).
   const double beta = 10.0;
-  EXPECT_NEAR(nonfading_success_probability_exact(net, q, 0, beta), 0.9 * 0.6,
+  EXPECT_NEAR(nonfading_success_probability_exact(net, units::probabilities(q), 0, units::Threshold(beta)).value(), 0.9 * 0.6,
               1e-12);
 }
 
@@ -189,9 +193,9 @@ TEST(NonFadingAccess, ExpectedSuccessesMc) {
   sim::RngStream rng(2);
   std::vector<double> zero(net.size(), 0.0);
   EXPECT_DOUBLE_EQ(
-      expected_nonfading_successes_mc(net, zero, 2.5, 100, rng), 0.0);
+      expected_nonfading_successes_mc(net, units::probabilities(zero), units::Threshold(2.5), 100, rng), 0.0);
   std::vector<double> half(net.size(), 0.5);
-  const double v = expected_nonfading_successes_mc(net, half, 2.5, 2000, rng);
+  const double v = expected_nonfading_successes_mc(net, units::probabilities(half), units::Threshold(2.5), 2000, rng);
   EXPECT_GE(v, 0.0);
   EXPECT_LE(v, 15.0);
 }

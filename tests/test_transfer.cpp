@@ -23,7 +23,7 @@ TEST(Lemma2, PerLinkProbabilityAtLeastInvE) {
   auto net = hand_matrix_network(0.1);
   const LinkSet sol = {0, 1, 2};
   for (LinkId i : sol) {
-    const double p = per_link_transfer_probability(net, sol, i);
+    const double p = per_link_transfer_probability(net, sol, i).value();
     EXPECT_GE(p, kInvE - 1e-12) << "link " << i;
     EXPECT_LE(p, 1.0);
   }
@@ -42,7 +42,7 @@ TEST_P(Lemma2Property, PerLinkBoundOnRandomInstances) {
   }
   if (active.empty()) active.push_back(0);
   for (LinkId i : active) {
-    EXPECT_GE(per_link_transfer_probability(net, active, i), kInvE - 1e-12);
+    EXPECT_GE(per_link_transfer_probability(net, active, i).value(), kInvE - 1e-12);
   }
 }
 
@@ -58,7 +58,7 @@ TEST(Lemma2, TransferRatioForGreedySolutions) {
     ASSERT_FALSE(greedy.selected.empty());
     sim::RngStream rng(seed);
     const auto result = transfer_capacity_solution(
-        net, greedy.selected, Utility::binary(beta), 1, rng);
+        net, greedy.selected, Utility::binary(units::Threshold(beta)), 1, rng);
     EXPECT_DOUBLE_EQ(result.nonfading_value,
                      static_cast<double>(greedy.selected.size()));
     EXPECT_GE(result.ratio(), kInvE - 1e-12) << "seed " << seed;
@@ -69,10 +69,10 @@ TEST(Lemma2, TransferRatioForGreedySolutions) {
 TEST(Lemma2, ExactThresholdEvaluationMatchesClosedForm) {
   auto net = hand_matrix_network(0.1);
   const LinkSet sol = {0, 1};
-  const Utility u = Utility::weighted(1.5, 2.0);
+  const Utility u = Utility::weighted(units::Threshold(1.5), 2.0);
   const double expected =
-      2.0 * (model::success_probability_rayleigh(net, sol, 0, 1.5) +
-             model::success_probability_rayleigh(net, sol, 1, 1.5));
+      2.0 * (model::success_probability_rayleigh(net, sol, 0, units::Threshold(1.5)).value() +
+             model::success_probability_rayleigh(net, sol, 1, units::Threshold(1.5)).value());
   EXPECT_NEAR(expected_rayleigh_utility_exact(net, sol, u), expected, 1e-12);
 }
 
@@ -100,7 +100,7 @@ TEST(Lemma2, MonteCarloShannonTransfer) {
 TEST(Lemma2, McUtilityConvergesToExactForThresholds) {
   auto net = hand_matrix_network(0.1);
   const LinkSet sol = {0, 1, 2};
-  const Utility u = Utility::binary(1.0);
+  const Utility u = Utility::binary(units::Threshold(1.0));
   sim::RngStream rng(31);
   const double mc = expected_rayleigh_utility_mc(net, sol, u, 30000, rng);
   const double exact = expected_rayleigh_utility_exact(net, sol, u);
@@ -111,7 +111,7 @@ TEST(Lemma2, EmptySolutionHasZeroValue) {
   auto net = hand_matrix_network();
   sim::RngStream rng(1);
   const auto result =
-      transfer_capacity_solution(net, {}, Utility::binary(1.0), 10, rng);
+      transfer_capacity_solution(net, {}, Utility::binary(units::Threshold(1.0)), 10, rng);
   EXPECT_DOUBLE_EQ(result.nonfading_value, 0.0);
   EXPECT_DOUBLE_EQ(result.rayleigh_value, 0.0);
   EXPECT_DOUBLE_EQ(result.ratio(), 0.0);

@@ -1,0 +1,207 @@
+// Unit strong types (util/units.hpp): domain contracts, dB<->linear
+// round-trips, the compile-time walls between dimensions, and a regression
+// pin that the unit-typed Theorem-1 path is bit-identical to the raw-double
+// formula it replaced.
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <type_traits>
+#include <vector>
+
+#include "core/success_probability.hpp"
+#include "model/network.hpp"
+#include "model/sinr.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace raysched;  // NOLINT(google-build-using-namespace)
+using raysched::testing::paper_network;
+
+// ---------------------------------------------------------------------------
+// Domain contracts.
+
+TEST(Units, ProbabilityCheckedRejectsOutOfRange) {
+  EXPECT_THROW(units::Probability::checked(-0.1), raysched::error);
+  EXPECT_THROW(units::Probability::checked(1.1), raysched::error);
+  EXPECT_THROW(units::Probability::checked(
+                   std::numeric_limits<double>::quiet_NaN()),
+               raysched::error);
+  EXPECT_DOUBLE_EQ(units::Probability::checked(0.0).value(), 0.0);
+  EXPECT_DOUBLE_EQ(units::Probability::checked(1.0).value(), 1.0);
+}
+
+TEST(Units, ProbabilityClampedSnapsIntoRange) {
+  EXPECT_DOUBLE_EQ(units::Probability::clamped(-0.25).value(), 0.0);
+  EXPECT_DOUBLE_EQ(units::Probability::clamped(1.75).value(), 1.0);
+  EXPECT_DOUBLE_EQ(units::Probability::clamped(0.5).value(), 0.5);
+  EXPECT_THROW(units::Probability::clamped(
+                   std::numeric_limits<double>::quiet_NaN()),
+               raysched::error);
+}
+
+TEST(Units, CheckedFactoriesRejectBadDomains) {
+  EXPECT_THROW(units::LinearGain::checked(-1.0), raysched::error);
+  EXPECT_THROW(units::Power::checked(-1e-9), raysched::error);
+  EXPECT_THROW(units::Distance::checked(-2.0), raysched::error);
+  EXPECT_THROW(units::Threshold::checked(0.0), raysched::error);
+  EXPECT_THROW(units::Threshold::checked(-2.5), raysched::error);
+  EXPECT_THROW(units::Decibel::checked(
+                   std::numeric_limits<double>::infinity()),
+               raysched::error);
+}
+
+TEST(Units, ProbabilityAlgebra) {
+  const units::Probability p(0.25);
+  EXPECT_DOUBLE_EQ(p.complement().value(), 0.75);
+  EXPECT_DOUBLE_EQ((p * units::Probability(0.5)).value(), 0.125);
+}
+
+TEST(Units, VectorHelpersValidateAndRoundTrip) {
+  const std::vector<double> raw = {0.0, 0.25, 1.0};
+  const units::ProbabilityVector q = units::probabilities(raw);
+  EXPECT_EQ(units::raw_values(q), raw);
+  EXPECT_THROW(units::probabilities({0.5, 1.5}), raysched::error);
+  EXPECT_THROW(units::probabilities({-0.5}), raysched::error);
+
+  const auto betas = units::thresholds({1.0, 2.5});
+  EXPECT_DOUBLE_EQ(betas[1].value(), 2.5);
+  EXPECT_THROW(units::thresholds({1.0, 0.0}), raysched::error);
+
+  const auto sparse = units::thresholds_or_placeholder({2.0, 0.0, 4.0});
+  EXPECT_DOUBLE_EQ(sparse[0].value(), 2.0);
+  EXPECT_DOUBLE_EQ(sparse[1].value(), units::Threshold().value());
+  EXPECT_DOUBLE_EQ(sparse[2].value(), 4.0);
+}
+
+// ---------------------------------------------------------------------------
+// dB <-> linear round-trips through the sole crossing point.
+
+TEST(Units, DbLinearRoundTripIsTight) {
+  for (double db = -60.0; db <= 60.0; db += 1.37) {
+    const units::LinearGain g = units::to_linear(units::Decibel(db));
+    const double back = units::to_db(g).value();
+    EXPECT_NEAR(back, db, 1e-12 * std::max(1.0, std::abs(db))) << "dB " << db;
+  }
+}
+
+TEST(Units, LinearDbRoundTripIsTight) {
+  for (double g = 1e-6; g <= 1e6; g *= 7.3) {
+    const double back = units::to_linear(units::to_db(units::LinearGain(g)))
+                            .value();
+    EXPECT_NEAR(back, g, 1e-12 * g) << "gain " << g;
+  }
+}
+
+TEST(Units, KnownDbAnchors) {
+  EXPECT_NEAR(units::to_linear(units::Decibel(0.0)).value(), 1.0, 1e-15);
+  EXPECT_NEAR(units::to_linear(units::Decibel(10.0)).value(), 10.0, 1e-12);
+  EXPECT_NEAR(units::to_linear(units::Decibel(-10.0)).value(), 0.1, 1e-13);
+  EXPECT_NEAR(units::to_linear(units::Decibel(3.0)).value(), 1.9952623149689,
+              1e-10);
+  EXPECT_NEAR(units::Threshold::from_db(units::Decibel(3.0)).value(),
+              units::to_linear(units::Decibel(3.0)).value(), 0.0);
+  EXPECT_NEAR(units::to_linear_power(units::Decibel(20.0)).value(), 100.0,
+              1e-10);
+}
+
+// ---------------------------------------------------------------------------
+// Compile-time walls. These probes re-state, as static_asserts, that the
+// deleted/absent overloads which would let dimensions leak into each other
+// do not exist: a dB where a linear threshold belongs must not compile.
+
+template <typename From, typename To>
+inline constexpr bool converts = std::is_convertible_v<From, To>;
+
+static_assert(!converts<double, units::Probability>,
+              "double must not implicitly become a Probability");
+static_assert(!converts<double, units::Threshold>,
+              "double must not implicitly become a Threshold");
+static_assert(!converts<double, units::Decibel>,
+              "double must not implicitly become a Decibel");
+static_assert(!converts<units::Decibel, units::Threshold>,
+              "a dB value must not pass as a linear threshold");
+static_assert(!converts<units::Threshold, units::Decibel>,
+              "a linear threshold must not pass as a dB value");
+static_assert(!converts<units::LinearGain, units::Power>,
+              "gains and powers are distinct dimensions");
+static_assert(!converts<units::Probability, double>,
+              "leaving the unit layer requires an explicit .value()");
+
+// The deliberate argument-swap probe from the acceptance criteria: calling
+// model::is_feasible with a Decibel where the Threshold belongs must fail
+// to compile.
+template <typename Beta>
+concept CanCallIsFeasible = requires(const model::Network& net,
+                                     const model::LinkSet& active, Beta b) {
+  model::is_feasible(net, active, b);
+};
+static_assert(CanCallIsFeasible<units::Threshold>,
+              "the typed call is the sanctioned one");
+static_assert(!CanCallIsFeasible<units::Decibel>,
+              "dB-for-linear swap at the sinr.hpp boundary must not compile");
+static_assert(!CanCallIsFeasible<double>,
+              "raw doubles no longer cross the sinr.hpp boundary");
+
+template <typename Q>
+concept CanCallTheorem1 = requires(const model::Network& net, Q q,
+                                   units::Threshold beta) {
+  core::rayleigh_success_probability(net, q, 0, beta);
+};
+static_assert(CanCallTheorem1<units::ProbabilityVector>,
+              "the typed call is the sanctioned one");
+static_assert(!CanCallTheorem1<std::vector<double>>,
+              "raw double vectors no longer cross the core boundary");
+
+// Mixed-dimension arithmetic must not exist.
+template <typename A, typename B>
+concept CanMultiply = requires(A a, B b) { a * b; };
+template <typename A, typename B>
+concept CanAdd = requires(A a, B b) { a + b; };
+static_assert(!CanMultiply<units::Probability, units::Threshold>);
+static_assert(!CanAdd<units::Probability, units::Probability>,
+              "summing probabilities yields an expectation: do it in double");
+static_assert(!CanAdd<units::Decibel, units::LinearGain>);
+static_assert(CanAdd<units::Decibel, units::Decibel>,
+              "dB values compose additively by design");
+static_assert(CanMultiply<units::Probability, units::Probability>,
+              "independent events compose multiplicatively by design");
+
+// Zero-overhead layout: a ProbabilityVector is contiguous doubles.
+static_assert(sizeof(units::Probability) == sizeof(double));
+static_assert(std::is_trivially_copyable_v<units::Probability>);
+
+// ---------------------------------------------------------------------------
+// Regression pin: the unit-typed Theorem-1 path must be bit-identical to
+// the raw-double product form it replaced (the implementations unwrap once
+// and run the same expression order).
+
+TEST(Units, TypedTheorem1BitMatchesRawFormula) {
+  auto net = paper_network(12, 7);
+  const double beta = 2.5;
+  std::vector<double> q(net.size());
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    q[i] = 0.1 + 0.8 * static_cast<double>(i) / static_cast<double>(q.size());
+  }
+  const units::ProbabilityVector typed_q = units::probabilities(q);
+  for (model::LinkId i = 0; i < net.size(); ++i) {
+    // The pre-refactor formula, spelled out on raw doubles.
+    const double sii = net.signal(i);
+    double expected = q[i] * std::exp(-beta * net.noise() / sii);
+    for (model::LinkId j = 0; j < net.size(); ++j) {
+      if (j == i || q[j] == 0.0) continue;
+      const double sji = net.mean_gain(j, i);
+      expected *= 1.0 - beta * sji * q[j] / (beta * sji + sii);
+    }
+    const double typed =
+        core::rayleigh_success_probability(net, typed_q, i,
+                                           units::Threshold(beta))
+            .value();
+    EXPECT_EQ(typed, expected) << "bit mismatch at link " << i;
+  }
+}
+
+}  // namespace

@@ -9,19 +9,19 @@ namespace raysched::core {
 namespace {
 
 TEST(Utility, BinaryThreshold) {
-  const Utility u = Utility::binary(2.5);
+  const Utility u = Utility::binary(units::Threshold(2.5));
   EXPECT_DOUBLE_EQ(u.value(2.4999), 0.0);
   EXPECT_DOUBLE_EQ(u.value(2.5), 1.0);
   EXPECT_DOUBLE_EQ(u.value(100.0), 1.0);
   EXPECT_TRUE(u.is_binary());
   EXPECT_TRUE(u.is_threshold());
-  EXPECT_DOUBLE_EQ(u.beta(), 2.5);
+  EXPECT_DOUBLE_EQ(u.beta().value(), 2.5);
   EXPECT_DOUBLE_EQ(u.weight(), 1.0);
   EXPECT_DOUBLE_EQ(u.concave_from(), 2.5);
 }
 
 TEST(Utility, WeightedThreshold) {
-  const Utility u = Utility::weighted(1.0, 3.5);
+  const Utility u = Utility::weighted(units::Threshold(1.0), 3.5);
   EXPECT_DOUBLE_EQ(u.value(0.5), 0.0);
   EXPECT_DOUBLE_EQ(u.value(1.5), 3.5);
   EXPECT_FALSE(u.is_binary());
@@ -51,13 +51,13 @@ TEST(Utility, CustomUtility) {
 }
 
 TEST(Utility, NegativeSinrRejected) {
-  EXPECT_THROW(Utility::binary(1.0).value(-0.1), raysched::error);
+  EXPECT_THROW(Utility::binary(units::Threshold(1.0)).value(-0.1), raysched::error);
 }
 
 TEST(Utility, InvalidConstruction) {
-  EXPECT_THROW(Utility::binary(0.0), raysched::error);
-  EXPECT_THROW(Utility::weighted(-1.0, 1.0), raysched::error);
-  EXPECT_THROW(Utility::weighted(1.0, -1.0), raysched::error);
+  EXPECT_THROW(Utility::binary(units::Threshold(0.0)), raysched::error);
+  EXPECT_THROW(Utility::weighted(units::Threshold(-1.0), 1.0), raysched::error);
+  EXPECT_THROW(Utility::weighted(units::Threshold(1.0), -1.0), raysched::error);
   EXPECT_THROW(Utility::custom(nullptr, 0.0), raysched::error);
 }
 
@@ -65,7 +65,7 @@ TEST(Utility, Definition1ValidityBinary) {
   // hand_matrix_network: S(i,i) = 10, noise 0.1. Binary beta is valid for c
   // iff beta <= S(i,i)/(c*nu) = 100/c.
   auto net = raysched::testing::hand_matrix_network(0.1);
-  const Utility u = Utility::binary(2.0);
+  const Utility u = Utility::binary(units::Threshold(2.0));
   EXPECT_TRUE(u.is_valid_for(net, 0, 2.0));    // 100/2 = 50 >= 2
   EXPECT_TRUE(u.is_valid_for(net, 0, 49.0));   // 100/49 ~ 2.04 >= 2
   EXPECT_FALSE(u.is_valid_for(net, 0, 51.0));  // 100/51 < 2
@@ -74,7 +74,7 @@ TEST(Utility, Definition1ValidityBinary) {
 
 TEST(Utility, Definition1AlwaysValidWithoutNoise) {
   auto net = raysched::testing::hand_matrix_network(0.0);
-  const Utility u = Utility::binary(1000.0);
+  const Utility u = Utility::binary(units::Threshold(1000.0));
   EXPECT_TRUE(u.is_valid_for(net, 0, 2.0));
   EXPECT_TRUE(std::isinf(u.max_valid_c(net, 0)));
 }
@@ -89,21 +89,21 @@ TEST(Utility, ShannonAlwaysValid) {
 TEST(Utility, NoValidCWhenNoiseDominates) {
   // signal 10, noise 10: binary beta 2 needs c <= 10/(2*10) = 0.5 < 1.
   auto net = raysched::testing::hand_matrix_network(10.0);
-  const Utility u = Utility::binary(2.0);
+  const Utility u = Utility::binary(units::Threshold(2.0));
   EXPECT_DOUBLE_EQ(u.max_valid_c(net, 0), 0.0);
   EXPECT_FALSE(u.is_valid_for(net, 0, 1.5));
 }
 
 TEST(Utility, CRangeValidation) {
   auto net = raysched::testing::hand_matrix_network();
-  EXPECT_THROW(Utility::binary(1.0).is_valid_for(net, 0, 1.0),
+  EXPECT_THROW(Utility::binary(units::Threshold(1.0)).is_valid_for(net, 0, 1.0),
                raysched::error);
-  EXPECT_THROW(Utility::binary(1.0).is_valid_for(net, 9, 2.0),
+  EXPECT_THROW(Utility::binary(units::Threshold(1.0)).is_valid_for(net, 9, 2.0),
                raysched::error);
 }
 
 TEST(Utility, TotalUtilitySums) {
-  const Utility u = Utility::binary(1.0);
+  const Utility u = Utility::binary(units::Threshold(1.0));
   EXPECT_DOUBLE_EQ(total_utility(u, {0.5, 1.5, 2.5}), 2.0);
   const Utility s = Utility::shannon();
   EXPECT_NEAR(total_utility(s, {1.0, 1.0}), 2.0 * std::log(2.0), 1e-12);

@@ -38,7 +38,7 @@ TEST(WeightedGreedy, OutputFeasibleAndSkipsZeroWeights) {
     w[0] = 0.0;
     w[5] = 0.0;
     const auto result = weighted_greedy_capacity(net, 2.5, w);
-    EXPECT_TRUE(model::is_feasible(net, result.selected, 2.5));
+    EXPECT_TRUE(model::is_feasible(net, result.selected, units::Threshold(2.5)));
     for (LinkId i : result.selected) {
       EXPECT_GT(w[i], 0.0);
     }
@@ -53,7 +53,7 @@ TEST(WeightedGreedy, UnitWeightsBehaveLikeCardinality) {
                    static_cast<double>(weighted.selected.size()));
   // Not necessarily the same set as greedy_capacity (different sort key),
   // but the same feasibility guarantee.
-  EXPECT_TRUE(model::is_feasible(net, weighted.selected, 2.5));
+  EXPECT_TRUE(model::is_feasible(net, weighted.selected, units::Threshold(2.5)));
 }
 
 TEST(WeightedGreedy, ValidatesWeights) {
@@ -80,11 +80,11 @@ TEST(WeightedBnB, MatchesExhaustiveOnTinyInstances) {
           weight += w[i];
         }
       }
-      if (model::is_feasible(net, s, beta)) best = std::max(best, weight);
+      if (model::is_feasible(net, s, units::Threshold(beta))) best = std::max(best, weight);
     }
     const auto bnb = exact_max_weight_feasible_set(net, beta, w);
     EXPECT_NEAR(bnb.value, best, 1e-9) << "seed " << seed;
-    EXPECT_TRUE(model::is_feasible(net, bnb.selected, beta));
+    EXPECT_TRUE(model::is_feasible(net, bnb.selected, units::Threshold(beta)));
   }
 }
 
@@ -98,7 +98,7 @@ TEST(WeightedBnB, PrefersSingleHeavyOverManyLight) {
   // Whatever the geometry, the optimum must include link 0 if link 0 alone
   // is feasible (weight 100 > sum of all others = 9).
   model::LinkSet solo = {0};
-  if (model::is_feasible(net, solo, 2.5)) {
+  if (model::is_feasible(net, solo, units::Threshold(2.5))) {
     EXPECT_TRUE(std::find(bnb.selected.begin(), bnb.selected.end(), 0) !=
                 bnb.selected.end());
   }
@@ -119,7 +119,7 @@ TEST(WeightedLocalSearch, AtLeastGreedyAndFeasible) {
     const auto greedy = weighted_greedy_capacity(net, beta, w);
     const auto ls = weighted_local_search(net, beta, w);
     EXPECT_GE(ls.value + 1e-9, greedy.value) << "seed " << seed;
-    EXPECT_TRUE(model::is_feasible(net, ls.selected, beta));
+    EXPECT_TRUE(model::is_feasible(net, ls.selected, units::Threshold(beta)));
   }
 }
 
@@ -145,7 +145,9 @@ TEST(Weighted, TransfersThroughLemma2) {
   double rayleigh_value = 0.0;
   for (LinkId i : result.selected) {
     rayleigh_value +=
-        w[i] * model::success_probability_rayleigh(net, result.selected, i, beta);
+        w[i] * model::success_probability_rayleigh(net, result.selected, i,
+                                                   units::Threshold(beta))
+                   .value();
   }
   EXPECT_GE(rayleigh_value, result.value / std::exp(1.0) - 1e-9);
 }

@@ -1,0 +1,12 @@
+// Seeded violation: hand-rolled dB -> linear conversion outside
+// src/util/units.hpp (RS-L8). The sanctioned spelling is
+// units::to_linear(units::Decibel(x)).
+#include <cmath>
+
+namespace raysched::model {
+
+double db_to_linear_by_hand(double x_db_value) {
+  return std::pow(10.0, x_db_value / 10.0);
+}
+
+}  // namespace raysched::model

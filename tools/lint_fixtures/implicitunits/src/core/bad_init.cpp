@@ -1,0 +1,16 @@
+// Seeded violation: brace-initializing a unit strong type (RS-L9). The
+// paren constructor or a checked()/clamped()/from_db factory is the only
+// sanctioned way to move a raw double into the unit layer.
+#include "util/units.hpp"
+
+namespace raysched::core {
+
+units::Probability half_probability() {
+  return units::Probability{0.5};
+}
+
+units::Threshold default_beta() {
+  return units::Threshold{2.5};
+}
+
+}  // namespace raysched::core

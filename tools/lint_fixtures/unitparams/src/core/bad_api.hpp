@@ -1,0 +1,12 @@
+// Seeded violation: raw double parameters with unit-bearing names in a
+// public core header (RS-L7). These should cross the API as
+// units::Probability / units::Threshold / units::Decibel.
+#pragma once
+
+namespace raysched::core {
+
+double success_estimate(double q, double beta);
+
+double combine_gain(double gain, double offset_db);
+
+}  // namespace raysched::core

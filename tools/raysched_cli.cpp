@@ -64,7 +64,7 @@ int cmd_generate(int argc, char** argv) {
   require(scheme == "uniform" || scheme == "sqrt" || scheme == "linear",
           "generate: unknown --power-scheme " + scheme);
   const model::Network net(std::move(links), power, flags.get_double("alpha"),
-                           flags.get_double("noise"));
+                           units::Power(flags.get_double("noise")));
   model::save_network(flags.get_string("out"), net);
   std::cout << "wrote " << net.size() << "-link instance to "
             << flags.get_string("out") << "\n";
@@ -135,7 +135,7 @@ int cmd_schedule(int argc, char** argv) {
     throw error("schedule: unknown --algorithm " + algo);
   sim::RngStream rng(static_cast<std::uint64_t>(flags.get_int("seed")));
   const auto decision = core::schedule_capacity_rayleigh(
-      net, core::Utility::binary(flags.get_double("beta")), opts, rng);
+      net, core::Utility::binary(units::Threshold(flags.get_double("beta"))), opts, rng);
   util::Table table({"quantity", "value"});
   table.add_row({std::string("algorithm"), decision.algorithm});
   table.add_row({std::string("selected links"),
@@ -206,9 +206,9 @@ int cmd_simulate(int argc, char** argv) {
   std::vector<double> q(net.size(), flags.get_double("q"));
   sim::RngStream rng(static_cast<std::uint64_t>(flags.get_int("seed")));
   const double rayleigh =
-      core::expected_rayleigh_successes(net, q, flags.get_double("beta"));
+      core::expected_rayleigh_successes(net, units::probabilities(q), units::Threshold(flags.get_double("beta")));
   const double nonfading = core::expected_nonfading_successes_mc(
-      net, q, flags.get_double("beta"),
+      net, units::probabilities(q), units::Threshold(flags.get_double("beta")),
       static_cast<std::size_t>(flags.get_int("trials")), rng);
   std::cout << "expected successes at q=" << flags.get_double("q")
             << ": non-fading(MC)=" << nonfading
@@ -283,7 +283,7 @@ int cmd_sweep(int argc, char** argv) {
     params.num_links = num_links;
     auto links = model::random_plane_links(params, rng);
     return model::Network(std::move(links),
-                          model::PowerAssignment::uniform(2.0), 2.2, 4e-7);
+                          model::PowerAssignment::uniform(2.0), 2.2, units::Power(4e-7));
   };
   sim::TrialFunction trial = [beta, q](const model::Network& net,
                                        sim::RngStream& rng) {
@@ -292,7 +292,7 @@ int cmd_sweep(int argc, char** argv) {
       if (rng.bernoulli(q)) active.push_back(i);
     }
     const auto wins = static_cast<double>(
-        model::count_successes_rayleigh(net, active, beta, rng));
+        model::count_successes_rayleigh(net, active, units::Threshold(beta), rng));
     return std::vector<double>{
         wins, net.size() > 0 ? wins / static_cast<double>(net.size()) : 0.0};
   };
