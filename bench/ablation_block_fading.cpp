@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
   const auto networks = static_cast<std::size_t>(flags.get_int("networks"));
   const auto runs = static_cast<std::size_t>(flags.get_int("runs"));
   const double beta = flags.get_double("beta");
-  const sim::RngStream master(static_cast<std::uint64_t>(flags.get_int("seed")));
+  const util::RngStream master(static_cast<std::uint64_t>(flags.get_int("seed")));
   model::RandomPlaneParams params;
   params.num_links = static_cast<std::size_t>(flags.get_int("links"));
 
@@ -55,7 +55,7 @@ int main(int argc, char** argv) {
   for (std::size_t coherence : {1ul, 2ul, 4ul, 8ul, 16ul, 32ul}) {
     sim::Accumulator latency;
     for (std::size_t net_idx = 0; net_idx < networks; ++net_idx) {
-      sim::RngStream net_rng = master.derive(net_idx, 0xA);
+      util::RngStream net_rng = master.derive(net_idx, 0xA);
       auto links = model::random_plane_links(params, net_rng);
       const model::Network net(std::move(links),
                                model::PowerAssignment::uniform(2.0), 2.2,
@@ -64,7 +64,7 @@ int main(int argc, char** argv) {
         model::BlockFadingChannel channel(
             net, coherence, 1.0,
             master.derive(net_idx, 0xB).derive(coherence, run));
-        sim::RngStream rng = master.derive(net_idx, 0xC).derive(coherence, run);
+        util::RngStream rng = master.derive(net_idx, 0xC).derive(coherence, run);
         const auto result = algorithms::aloha_schedule_block_fading(
             net, beta, channel, rng, {}, 500000);
         if (result.completed) latency.add(static_cast<double>(result.slots));

@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
 
   const auto networks = static_cast<std::size_t>(flags.get_int("networks"));
   const double beta = flags.get_double("beta");
-  const sim::RngStream master(static_cast<std::uint64_t>(flags.get_int("seed")));
+  const util::RngStream master(static_cast<std::uint64_t>(flags.get_int("seed")));
 
   // Large instances: heuristics only.
   {
@@ -51,7 +51,7 @@ int main(int argc, char** argv) {
     params.num_links = static_cast<std::size_t>(flags.get_int("links"));
     Row greedy_u, greedy_s, pc, ls;
     for (std::size_t net_idx = 0; net_idx < networks; ++net_idx) {
-      sim::RngStream net_rng = master.derive(net_idx, 0xA);
+      util::RngStream net_rng = master.derive(net_idx, 0xA);
       const auto links = model::random_plane_links(params, net_rng);
       model::Network uniform_net(links, model::PowerAssignment::uniform(2.0),
                                  2.2, units::Power(4e-7));
@@ -104,7 +104,7 @@ int main(int argc, char** argv) {
     params.num_links = 14;
     sim::Accumulator greedy_ratio, pc_ratio;
     for (std::size_t net_idx = 0; net_idx < networks; ++net_idx) {
-      sim::RngStream net_rng = master.derive(net_idx, 0xF);
+      util::RngStream net_rng = master.derive(net_idx, 0xF);
       auto links = model::random_plane_links(params, net_rng);
       model::Network net(std::move(links),
                          model::PowerAssignment::uniform(2.0), 2.2, units::Power(4e-7));

@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
 
   const auto networks = static_cast<std::size_t>(flags.get_int("networks"));
   const double beta = flags.get_double("beta");
-  const sim::RngStream master(static_cast<std::uint64_t>(flags.get_int("seed")));
+  const util::RngStream master(static_cast<std::uint64_t>(flags.get_int("seed")));
   model::RandomPlaneParams params;
   params.num_links = static_cast<std::size_t>(flags.get_int("links"));
 
@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
   for (double factor : {1.0, 1.5, 2.0, 3.0, 4.0}) {
     sim::Accumulator slot_size, sinr_ok, rayleigh_frac, blocked;
     for (std::size_t net_idx = 0; net_idx < networks; ++net_idx) {
-      sim::RngStream net_rng = master.derive(net_idx, 0xA);
+      util::RngStream net_rng = master.derive(net_idx, 0xA);
       auto links = model::random_plane_links(params, net_rng);
       const model::Network net(std::move(links),
                                model::PowerAssignment::uniform(2.0), 2.2,

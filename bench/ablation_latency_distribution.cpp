@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
   const auto networks = static_cast<std::size_t>(flags.get_int("networks"));
   const auto runs = static_cast<std::size_t>(flags.get_int("runs"));
   const double beta = flags.get_double("beta");
-  const sim::RngStream master(static_cast<std::uint64_t>(flags.get_int("seed")));
+  const util::RngStream master(static_cast<std::uint64_t>(flags.get_int("seed")));
   model::RandomPlaneParams params;
   params.num_links = static_cast<std::size_t>(flags.get_int("links"));
 
@@ -47,13 +47,13 @@ int main(int argc, char** argv) {
                     algorithms::Propagation::Rayleigh}) {
     sim::SampleSet completion;
     for (std::size_t net_idx = 0; net_idx < networks; ++net_idx) {
-      sim::RngStream net_rng = master.derive(net_idx, 0xA);
+      util::RngStream net_rng = master.derive(net_idx, 0xA);
       auto links = model::random_plane_links(params, net_rng);
       const model::Network net(std::move(links),
                                model::PowerAssignment::uniform(2.0), 2.2,
                                units::Power(4e-7));
       for (std::size_t run = 0; run < runs; ++run) {
-        sim::RngStream rng = master.derive(net_idx, 0xB)
+        util::RngStream rng = master.derive(net_idx, 0xB)
                                  .derive(static_cast<std::uint64_t>(prop), run);
         const auto result =
             algorithms::aloha_schedule(net, beta, prop, rng, {}, 300000);

@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
 
   const auto networks = static_cast<std::size_t>(flags.get_int("networks"));
   const double beta = flags.get_double("beta");
-  const sim::RngStream master(static_cast<std::uint64_t>(flags.get_int("seed")));
+  const util::RngStream master(static_cast<std::uint64_t>(flags.get_int("seed")));
   model::RandomPlaneParams params;
   params.num_links = static_cast<std::size_t>(flags.get_int("links"));
 
@@ -49,13 +49,13 @@ int main(int argc, char** argv) {
   sim::Accumulator nf_slots, rl_slots, ratio;
   sim::Accumulator rc_nf_slots, rc_rl_slots;
   for (std::size_t net_idx = 0; net_idx < networks; ++net_idx) {
-    sim::RngStream net_rng = master.derive(net_idx, 0xA);
+    util::RngStream net_rng = master.derive(net_idx, 0xA);
     auto links = model::random_plane_links(params, net_rng);
     const model::Network net(std::move(links),
                              model::PowerAssignment::uniform(2.0), 2.2, units::Power(4e-7));
 
-    sim::RngStream r1 = master.derive(net_idx, 0xB);
-    sim::RngStream r2 = master.derive(net_idx, 0xC);
+    util::RngStream r1 = master.derive(net_idx, 0xB);
+    util::RngStream r2 = master.derive(net_idx, 0xC);
     const auto nf = algorithms::aloha_schedule(
         net, beta, algorithms::Propagation::NonFading, r1);
     const auto rl = algorithms::aloha_schedule(
@@ -67,8 +67,8 @@ int main(int argc, char** argv) {
                 static_cast<double>(nf.slots));
     }
 
-    sim::RngStream r3 = master.derive(net_idx, 0xD);
-    sim::RngStream r4 = master.derive(net_idx, 0xE);
+    util::RngStream r3 = master.derive(net_idx, 0xD);
+    util::RngStream r4 = master.derive(net_idx, 0xE);
     const auto rc_nf = algorithms::repeated_capacity_schedule(
         net, beta, algorithms::Propagation::NonFading, r3);
     const auto rc_rl = algorithms::repeated_capacity_schedule(
@@ -97,7 +97,7 @@ int main(int argc, char** argv) {
     sim::Accumulator sim_acc, exact_acc;
     for (std::size_t net_idx = 0; net_idx < std::min<std::size_t>(networks, 4);
          ++net_idx) {
-      sim::RngStream net_rng = master.derive(net_idx, 0xF);
+      util::RngStream net_rng = master.derive(net_idx, 0xF);
       model::RandomPlaneParams small = params;
       small.num_links = 6;
       auto links = model::random_plane_links(small, net_rng);
@@ -106,7 +106,7 @@ int main(int argc, char** argv) {
                                units::Power(4e-7));
       exact_acc.add(core::exact_aloha_expected_slots(net, units::Probability(0.25), units::Threshold(beta), prop));
       for (std::size_t run = 0; run < 30; ++run) {
-        sim::RngStream rng = master.derive(net_idx, 0x10).derive(
+        util::RngStream rng = master.derive(net_idx, 0x10).derive(
             static_cast<std::uint64_t>(prop), run);
         const auto r = algorithms::aloha_schedule(net, beta, prop, rng);
         if (r.completed) sim_acc.add(static_cast<double>(r.slots));

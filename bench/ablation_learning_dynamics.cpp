@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
   const auto networks = static_cast<std::size_t>(flags.get_int("networks"));
   const auto rounds = static_cast<std::size_t>(flags.get_int("rounds"));
   const double beta = flags.get_double("beta");
-  const sim::RngStream master(static_cast<std::uint64_t>(flags.get_int("seed")));
+  const util::RngStream master(static_cast<std::uint64_t>(flags.get_int("seed")));
   model::RandomPlaneParams params;
   params.num_links = static_cast<std::size_t>(flags.get_int("links"));
 
@@ -52,7 +52,7 @@ int main(int argc, char** argv) {
     sim::Accumulator rwm_late, exp3_late, rm_late, br_final, rwm_regret,
         exp3_regret, rm_regret, opt_acc;
     for (std::size_t net_idx = 0; net_idx < networks; ++net_idx) {
-      sim::RngStream net_rng = master.derive(net_idx, 0xA);
+      util::RngStream net_rng = master.derive(net_idx, 0xA);
       auto links = model::random_plane_links(params, net_rng);
       const model::Network net(std::move(links),
                                model::PowerAssignment::uniform(2.0), 2.2,
@@ -85,21 +85,21 @@ int main(int argc, char** argv) {
         return m;
       };
 
-      sim::RngStream r1 = master.derive(net_idx, 0xB);
+      util::RngStream r1 = master.derive(net_idx, 0xB);
       const auto rwm = learning::run_capacity_game(
           net, opts, [] { return std::make_unique<learning::RwmLearner>(); },
           r1);
       rwm_late.add(late_mean(rwm));
       rwm_regret.add(max_regret(rwm));
 
-      sim::RngStream r2 = master.derive(net_idx, 0xC);
+      util::RngStream r2 = master.derive(net_idx, 0xC);
       const auto exp3 = learning::run_capacity_game(
           net, opts, [] { return std::make_unique<learning::Exp3Learner>(); },
           r2);
       exp3_late.add(late_mean(exp3));
       exp3_regret.add(max_regret(exp3));
 
-      sim::RngStream r4 = master.derive(net_idx, 0xD);
+      util::RngStream r4 = master.derive(net_idx, 0xD);
       const auto rm = learning::run_capacity_game(
           net, opts,
           [] { return std::make_unique<learning::RegretMatchingLearner>(); },

@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
   }
 
   const auto networks = static_cast<std::size_t>(flags.get_int("networks"));
-  const sim::RngStream master(static_cast<std::uint64_t>(flags.get_int("seed")));
+  const util::RngStream master(static_cast<std::uint64_t>(flags.get_int("seed")));
   model::RandomPlaneParams params;
   params.num_links = static_cast<std::size_t>(flags.get_int("links"));
 
@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
       sim::Accumulator exact_acc, lower_acc, upper_acc, lower_gap, upper_gap;
       long long violations = 0;
       for (std::size_t net_idx = 0; net_idx < networks; ++net_idx) {
-        sim::RngStream net_rng = master.derive(net_idx, 0xA);
+        util::RngStream net_rng = master.derive(net_idx, 0xA);
         auto links = model::random_plane_links(params, net_rng);
         const model::Network net(std::move(links),
                                  model::PowerAssignment::uniform(2.0), 2.2,

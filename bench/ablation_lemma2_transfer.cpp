@@ -59,7 +59,7 @@ int main(int argc, char** argv) {
 
   model::RandomPlaneParams params;
   params.num_links = static_cast<std::size_t>(flags.get_int("links"));
-  sim::InstanceFactory factory = [params](sim::RngStream& rng) {
+  sim::InstanceFactory factory = [params](util::RngStream& rng) {
     auto links = model::random_plane_links(params, rng);
     return model::Network(std::move(links),
                           model::PowerAssignment::uniform(2.0), 2.2, units::Power(4e-7));
@@ -90,7 +90,7 @@ int main(int argc, char** argv) {
   std::size_t total_skipped = 0;
   for (double beta : {0.5, 1.0, 2.5, 5.0}) {
     sim::TrialFunction trial = [beta](const model::Network& net,
-                                      sim::RngStream&) {
+                                      util::RngStream&) {
       const double nan = std::nan("");
       const auto greedy = algorithms::greedy_capacity(net, beta);
       double greedy_size = nan, greedy_ratio = nan;

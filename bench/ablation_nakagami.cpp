@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
   const auto networks = static_cast<std::size_t>(flags.get_int("networks"));
   const auto trials = static_cast<std::size_t>(flags.get_int("trials"));
   const double beta = flags.get_double("beta");
-  const sim::RngStream master(static_cast<std::uint64_t>(flags.get_int("seed")));
+  const util::RngStream master(static_cast<std::uint64_t>(flags.get_int("seed")));
   model::RandomPlaneParams params;
   params.num_links = static_cast<std::size_t>(flags.get_int("links"));
 
@@ -45,14 +45,14 @@ int main(int argc, char** argv) {
   for (double m : ms) {
     sim::Accumulator ratio_acc;
     for (std::size_t net_idx = 0; net_idx < networks; ++net_idx) {
-      sim::RngStream net_rng = master.derive(net_idx, 0xA);
+      util::RngStream net_rng = master.derive(net_idx, 0xA);
       auto links = model::random_plane_links(params, net_rng);
       const model::Network net(std::move(links),
                                model::PowerAssignment::uniform(2.0), 2.2,
                                units::Power(4e-7));
       const auto greedy = algorithms::greedy_capacity(net, beta);
       if (greedy.selected.empty()) continue;
-      sim::RngStream fading = master.derive(net_idx, 0xB)
+      util::RngStream fading = master.derive(net_idx, 0xB)
                                   .derive(static_cast<std::uint64_t>(m * 16));
       const double expected = model::expected_successes_nakagami_mc(
           net, greedy.selected, units::Threshold(beta), m, trials, fading);

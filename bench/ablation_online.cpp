@@ -36,18 +36,18 @@ int main(int argc, char** argv) {
   const auto steps = static_cast<std::size_t>(flags.get_int("steps"));
   const double beta = flags.get_double("beta");
   const double arrival_prob = flags.get_double("arrival-prob");
-  const sim::RngStream master(static_cast<std::uint64_t>(flags.get_int("seed")));
+  const util::RngStream master(static_cast<std::uint64_t>(flags.get_int("seed")));
   model::RandomPlaneParams params;
   params.num_links = static_cast<std::size_t>(flags.get_int("links"));
 
   sim::Accumulator online_size, offline_size, ratio, rayleigh_value;
   for (std::size_t net_idx = 0; net_idx < networks; ++net_idx) {
-    sim::RngStream net_rng = master.derive(net_idx, 0xA);
+    util::RngStream net_rng = master.derive(net_idx, 0xA);
     auto links = model::random_plane_links(params, net_rng);
     const model::Network net(std::move(links),
                              model::PowerAssignment::uniform(2.0), 2.2, units::Power(4e-7));
     algorithms::OnlineScheduler sched(net, beta);
-    sim::RngStream churn = master.derive(net_idx, 0xB);
+    util::RngStream churn = master.derive(net_idx, 0xB);
 
     std::vector<bool> wants(net.size(), false);
     for (std::size_t step = 0; step < steps; ++step) {

@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
   const auto networks = static_cast<std::size_t>(flags.get_int("networks"));
   const auto slots = static_cast<std::size_t>(flags.get_int("slots"));
   const double beta = flags.get_double("beta");
-  const sim::RngStream master(static_cast<std::uint64_t>(flags.get_int("seed")));
+  const util::RngStream master(static_cast<std::uint64_t>(flags.get_int("seed")));
   model::RandomPlaneParams params;
   params.num_links = static_cast<std::size_t>(flags.get_int("links"));
 
@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
       sim::Accumulator throughput, backlog;
       long long stable = 0;
       for (std::size_t net_idx = 0; net_idx < networks; ++net_idx) {
-        sim::RngStream net_rng = master.derive(net_idx, 0xA);
+        util::RngStream net_rng = master.derive(net_idx, 0xA);
         auto links = model::random_plane_links(params, net_rng);
         const model::Network net(std::move(links),
                                  model::PowerAssignment::uniform(2.0), 2.2,
@@ -59,7 +59,7 @@ int main(int argc, char** argv) {
         opts.beta = beta;
         opts.propagation = prop;
         opts.arrival_probs.assign(net.size(), lambda);
-        sim::RngStream run_rng =
+        util::RngStream run_rng =
             master.derive(net_idx, 0xB)
                 .derive(static_cast<std::uint64_t>(lambda * 100),
                         static_cast<std::uint64_t>(prop));

@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
   }
 
   const auto networks = static_cast<std::size_t>(flags.get_int("networks"));
-  const sim::RngStream master(static_cast<std::uint64_t>(flags.get_int("seed")));
+  const util::RngStream master(static_cast<std::uint64_t>(flags.get_int("seed")));
   const double beta = 2.5;
 
   std::cout << "# Ablation A7: Rayleigh optimum vs non-fading optimum "
@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
   for (std::size_t n : {15ul, 30ul, 60ul}) {
     sim::Accumulator nf_acc, transfer_acc, ray_acc, ratio_acc;
     for (std::size_t net_idx = 0; net_idx < networks; ++net_idx) {
-      sim::RngStream net_rng = master.derive(net_idx, n);
+      util::RngStream net_rng = master.derive(net_idx, n);
       model::RandomPlaneParams params;
       params.num_links = n;
       auto links = model::random_plane_links(params, net_rng);

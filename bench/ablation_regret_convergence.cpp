@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
   const auto networks = static_cast<std::size_t>(flags.get_int("networks"));
   const auto rounds = static_cast<std::size_t>(flags.get_int("rounds"));
   const double beta = flags.get_double("beta");
-  const sim::RngStream master(static_cast<std::uint64_t>(flags.get_int("seed")));
+  const util::RngStream master(static_cast<std::uint64_t>(flags.get_int("seed")));
   model::RandomPlaneParams params;
   params.num_links = static_cast<std::size_t>(flags.get_int("links"));
 
@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
     sim::Accumulator x_acc, f_acc, regret_acc, opt_acc;
     bool lemma5_ok = true;
     for (std::size_t net_idx = 0; net_idx < networks; ++net_idx) {
-      sim::RngStream net_rng = master.derive(net_idx, 0xA);
+      util::RngStream net_rng = master.derive(net_idx, 0xA);
       auto links = model::random_plane_links(params, net_rng);
       const model::Network net(std::move(links),
                                model::PowerAssignment::uniform(2.0), 2.2,
@@ -63,7 +63,7 @@ int main(int argc, char** argv) {
       opts.rounds = rounds;
       opts.beta = beta;
       opts.model = model_kind;
-      sim::RngStream game_rng = master.derive(net_idx, 0xB);
+      util::RngStream game_rng = master.derive(net_idx, 0xB);
       const auto result = learning::run_capacity_game(
           net, opts, [] { return std::make_unique<learning::RwmLearner>(); },
           game_rng);

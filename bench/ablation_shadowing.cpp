@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
   const auto networks = static_cast<std::size_t>(flags.get_int("networks"));
   const auto draws = static_cast<std::size_t>(flags.get_int("shadow-draws"));
   const double beta = flags.get_double("beta");
-  const sim::RngStream master(static_cast<std::uint64_t>(flags.get_int("seed")));
+  const util::RngStream master(static_cast<std::uint64_t>(flags.get_int("seed")));
   model::RandomPlaneParams params;
   params.num_links = static_cast<std::size_t>(flags.get_int("links"));
 
@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
   for (double sigma : {0.0, 2.0, 4.0, 6.0, 8.0, 12.0}) {
     sim::Accumulator planned, feasible_frac, rayleigh_frac;
     for (std::size_t net_idx = 0; net_idx < networks; ++net_idx) {
-      sim::RngStream net_rng = master.derive(net_idx, 0xA);
+      util::RngStream net_rng = master.derive(net_idx, 0xA);
       auto links = model::random_plane_links(params, net_rng);
       const model::Network nominal(std::move(links),
                                    model::PowerAssignment::uniform(2.0), 2.2,
@@ -55,7 +55,7 @@ int main(int argc, char** argv) {
       if (plan.selected.empty()) continue;
       planned.add(static_cast<double>(plan.selected.size()));
       for (std::size_t d = 0; d < draws; ++d) {
-        sim::RngStream shadow_rng = master.derive(net_idx, 0xB)
+        util::RngStream shadow_rng = master.derive(net_idx, 0xB)
                                         .derive(static_cast<std::uint64_t>(
                                                     sigma * 10.0),
                                                 d);

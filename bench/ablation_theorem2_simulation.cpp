@@ -44,8 +44,8 @@ int main(int argc, char** argv) {
   // (b) + (c) on a Figure-1-style instance.
   const auto n = static_cast<std::size_t>(flags.get_int("links"));
   const auto trials = static_cast<std::size_t>(flags.get_int("trials"));
-  const sim::RngStream master(static_cast<std::uint64_t>(flags.get_int("seed")));
-  sim::RngStream net_rng = master.derive(0xA);
+  const util::RngStream master(static_cast<std::uint64_t>(flags.get_int("seed")));
+  util::RngStream net_rng = master.derive(0xA);
   model::RandomPlaneParams params;
   params.num_links = n;
   auto links = model::random_plane_links(params, net_rng);
@@ -54,14 +54,14 @@ int main(int argc, char** argv) {
   const double beta = 2.5;
 
   std::vector<double> q(net.size());
-  sim::RngStream qrng = master.derive(0xB);
+  util::RngStream qrng = master.derive(0xB);
   for (auto& v : q) v = qrng.uniform();
   const auto schedule = core::build_simulation_schedule(net, units::probabilities(q));
 
   std::cout << "\n# Ablation A3b: Lemma 3 — simulation success vs Rayleigh "
                "success (first 8 links)\n";
   util::Table lemma3({"link", "Q_i_rayleigh", "sim_nonfading", "dominates"});
-  sim::RngStream mc = master.derive(0xC);
+  util::RngStream mc = master.derive(0xC);
   int dominated = 0;
   const std::size_t show = std::min<std::size_t>(8, net.size());
   for (model::LinkId i = 0; i < show; ++i) {
@@ -79,7 +79,7 @@ int main(int argc, char** argv) {
   lemma3.print_text(std::cout);
 
   std::cout << "\n# Ablation A3c: Theorem 2 utility comparison\n";
-  sim::RngStream mc2 = master.derive(0xD);
+  util::RngStream mc2 = master.derive(0xD);
   const core::Utility u = core::Utility::binary(units::Threshold(beta));
   const double simulated = core::simulation_expected_best_utility_mc(
       net, schedule, u, trials, mc2);

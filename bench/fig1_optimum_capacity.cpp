@@ -36,14 +36,14 @@ int main(int argc, char** argv) {
   const auto networks = static_cast<std::size_t>(flags.get_int("networks"));
   const auto n = static_cast<std::size_t>(flags.get_int("links"));
   const double beta = flags.get_double("beta");
-  const sim::RngStream master(static_cast<std::uint64_t>(flags.get_int("seed")));
+  const util::RngStream master(static_cast<std::uint64_t>(flags.get_int("seed")));
 
   model::RandomPlaneParams params;
   params.num_links = n;
 
   sim::Accumulator greedy_acc, opt_acc, rayleigh_acc, ratio_acc;
   for (std::size_t net_idx = 0; net_idx < networks; ++net_idx) {
-    sim::RngStream net_rng = master.derive(net_idx, 0xA);
+    util::RngStream net_rng = master.derive(net_idx, 0xA);
     auto links = model::random_plane_links(params, net_rng);
     const model::Network net(std::move(links),
                              model::PowerAssignment::uniform(

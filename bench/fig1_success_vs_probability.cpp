@@ -66,7 +66,7 @@ int main(int argc, char** argv) {
   const double noise = flags.get_double("noise");
   const double power = flags.get_double("power");
   const auto q_points = static_cast<std::size_t>(flags.get_int("q-points"));
-  const sim::RngStream master(static_cast<std::uint64_t>(flags.get_int("seed")));
+  const util::RngStream master(static_cast<std::uint64_t>(flags.get_int("seed")));
 
   std::vector<double> q_values(q_points);
   for (std::size_t k = 0; k < q_points; ++k) {
@@ -78,7 +78,7 @@ int main(int argc, char** argv) {
   params.num_links = n;
 
   for (std::size_t net_idx = 0; net_idx < networks; ++net_idx) {
-    sim::RngStream net_rng = master.derive(net_idx, 0xA);
+    util::RngStream net_rng = master.derive(net_idx, 0xA);
     const auto links = model::random_plane_links(params, net_rng);
     const model::Network uniform_net(
         links, model::PowerAssignment::uniform(power), alpha, units::Power(noise));
@@ -89,7 +89,7 @@ int main(int argc, char** argv) {
       const double q = q_values[k];
       double nf_u = 0.0, rl_u = 0.0, nf_s = 0.0, rl_s = 0.0;
       for (std::size_t t = 0; t < transmit_seeds; ++t) {
-        sim::RngStream draw_rng = master.derive(net_idx, 0xB).derive(k, t);
+        util::RngStream draw_rng = master.derive(net_idx, 0xB).derive(k, t);
         model::LinkSet active;
         for (model::LinkId i = 0; i < n; ++i) {
           if (draw_rng.bernoulli(q)) active.push_back(i);
@@ -104,7 +104,7 @@ int main(int argc, char** argv) {
               static_cast<std::size_t>(flags.get_int("fading-seeds"));
           double su = 0.0, ss = 0.0;
           for (std::size_t f = 0; f < fading_seeds; ++f) {
-            sim::RngStream fade = master.derive(net_idx, 0xC).derive(k, t)
+            util::RngStream fade = master.derive(net_idx, 0xC).derive(k, t)
                                       .derive(f);
             su += static_cast<double>(
                 model::count_successes_rayleigh(uniform_net, active, units::Threshold(beta),

@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
   const auto networks = static_cast<std::size_t>(flags.get_int("networks"));
   const auto rounds = static_cast<std::size_t>(flags.get_int("rounds"));
   const double beta = flags.get_double("beta");
-  const sim::RngStream master(static_cast<std::uint64_t>(flags.get_int("seed")));
+  const util::RngStream master(static_cast<std::uint64_t>(flags.get_int("seed")));
 
   model::RandomPlaneParams params;
   params.num_links = static_cast<std::size_t>(flags.get_int("links"));
@@ -55,7 +55,7 @@ int main(int argc, char** argv) {
   sim::Accumulator opt_acc;
 
   for (std::size_t net_idx = 0; net_idx < networks; ++net_idx) {
-    sim::RngStream net_rng = master.derive(net_idx, 0xA);
+    util::RngStream net_rng = master.derive(net_idx, 0xA);
     auto links = model::random_plane_links(params, net_rng);
     const model::Network net(
         std::move(links),
@@ -77,7 +77,7 @@ int main(int argc, char** argv) {
       opts.rounds = rounds;
       opts.beta = beta;
       opts.model = model_kind;
-      sim::RngStream game_rng = master.derive(net_idx, 0xB)
+      util::RngStream game_rng = master.derive(net_idx, 0xB)
                                     .derive(static_cast<std::uint64_t>(
                                         model_kind == learning::GameModel::
                                                           Rayleigh));

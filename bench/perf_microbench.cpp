@@ -13,7 +13,7 @@ using namespace raysched;
 namespace {
 
 model::Network make_network(std::size_t n, std::uint64_t seed) {
-  sim::RngStream rng(seed);
+  util::RngStream rng(seed);
   model::RandomPlaneParams params;
   params.num_links = n;
   auto links = model::random_plane_links(params, rng);
@@ -53,7 +53,7 @@ void BM_RayleighSlotSample(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const auto net = make_network(n, 3);
   const auto active = all_links(n);
-  sim::RngStream rng(3);
+  util::RngStream rng(3);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         model::count_successes_rayleigh(net, active, units::Threshold(2.5), rng));
@@ -93,7 +93,7 @@ BENCHMARK(BM_PowerControlCapacity)->Arg(25)->Arg(50);
 void BM_RwmGameRound(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const auto net = make_network(n, 7);
-  sim::RngStream rng(7);
+  util::RngStream rng(7);
   learning::GameOptions opts;
   opts.rounds = 1;
   opts.beta = 2.5;

@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  sim::RngStream rng(static_cast<std::uint64_t>(flags.get_int("seed")));
+  util::RngStream rng(static_cast<std::uint64_t>(flags.get_int("seed")));
   model::RandomPlaneParams params;
   params.num_links = static_cast<std::size_t>(flags.get_int("links"));
   const auto links = model::random_plane_links(params, rng);
@@ -76,7 +76,7 @@ int main(int argc, char** argv) {
     const core::Utility shannon = core::Utility::shannon();
     const auto f =
         algorithms::flexible_rate_capacity(uniform_net, shannon, 0.5, 16.0, 10);
-    sim::RngStream mc = rng.derive(0xC0FFEE);
+    util::RngStream mc = rng.derive(0xC0FFEE);
     const double rayleigh = core::expected_rayleigh_utility_mc(
         uniform_net, f.selected, shannon, 2000, mc);
     table.add_row({std::string("flexible-rate (Shannon)"),
@@ -89,7 +89,7 @@ int main(int argc, char** argv) {
     const core::Utility shannon = core::Utility::shannon();
     const auto f = algorithms::flexible_rate_capacity_per_link(
         uniform_net, shannon, 0.5, 16.0, 10);
-    sim::RngStream mc = rng.derive(0xC0FFEF);
+    util::RngStream mc = rng.derive(0xC0FFEF);
     const double rayleigh = core::expected_rayleigh_utility_mc(
         uniform_net, f.selected, shannon, 2000, mc);
     table.add_row({std::string("per-link rates (Shannon)"),

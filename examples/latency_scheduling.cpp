@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  sim::RngStream rng(static_cast<std::uint64_t>(flags.get_int("seed")));
+  util::RngStream rng(static_cast<std::uint64_t>(flags.get_int("seed")));
   model::RandomPlaneParams params;
   params.num_links = static_cast<std::size_t>(flags.get_int("links"));
   auto links = model::random_plane_links(params, rng);
@@ -41,7 +41,7 @@ int main(int argc, char** argv) {
     const std::string model_name =
         prop == algorithms::Propagation::Rayleigh ? "rayleigh" : "non-fading";
     {
-      sim::RngStream r = rng.derive(1, static_cast<std::uint64_t>(prop));
+      util::RngStream r = rng.derive(1, static_cast<std::uint64_t>(prop));
       const auto result =
           algorithms::repeated_capacity_schedule(net, beta, prop, r);
       table.add_row({std::string("repeated-capacity"), model_name,
@@ -49,14 +49,14 @@ int main(int argc, char** argv) {
                      std::string(result.completed ? "yes" : "no")});
     }
     {
-      sim::RngStream r = rng.derive(2, static_cast<std::uint64_t>(prop));
+      util::RngStream r = rng.derive(2, static_cast<std::uint64_t>(prop));
       const auto result = algorithms::aloha_schedule(net, beta, prop, r);
       table.add_row({std::string("aloha (fixed q=1/4)"), model_name,
                      static_cast<long long>(result.slots),
                      std::string(result.completed ? "yes" : "no")});
     }
     {
-      sim::RngStream r = rng.derive(3, static_cast<std::uint64_t>(prop));
+      util::RngStream r = rng.derive(3, static_cast<std::uint64_t>(prop));
       algorithms::AlohaOptions opts;
       opts.adaptive = true;
       const auto result = algorithms::aloha_schedule(net, beta, prop, r, opts);
@@ -76,7 +76,7 @@ int main(int argc, char** argv) {
                                  units::Power(1e-7));
   std::vector<algorithms::MultihopRequest> requests = {
       {{0, 1, 2, 3, 4, 5}}, {{2, 3, 4, 5}}, {{0, 1, 2}}, {{4, 5}}};
-  sim::RngStream r = rng.derive(4);
+  util::RngStream r = rng.derive(4);
   const auto mh = algorithms::schedule_multihop(
       chain_net, requests, 2.0, algorithms::Propagation::Rayleigh, r);
   std::cout << "\nmulti-hop (6-hop chain, 4 requests, Rayleigh): "

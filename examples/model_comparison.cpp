@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  sim::RngStream rng(static_cast<std::uint64_t>(flags.get_int("seed")));
+  util::RngStream rng(static_cast<std::uint64_t>(flags.get_int("seed")));
   model::RandomPlaneParams params;
   params.num_links = static_cast<std::size_t>(flags.get_int("links"));
   auto links = model::random_plane_links(params, rng);
@@ -51,7 +51,7 @@ int main(int argc, char** argv) {
   // 2. Smoothed-curve effect.
   std::cout << "== expected successes vs q (the Figure-1 shape) ==\n";
   util::Table sweep({"q", "nonfading(MC)", "rayleigh(exact)"});
-  sim::RngStream mc = rng.derive(1);
+  util::RngStream mc = rng.derive(1);
   for (double qq : {0.1, 0.3, 0.5, 0.7, 0.9, 1.0}) {
     std::vector<double> probs(net.size(), qq);
     sweep.add_row({qq,
@@ -63,7 +63,7 @@ int main(int argc, char** argv) {
 
   // 3. Lemma 2 transfer.
   const auto greedy = algorithms::greedy_capacity(net, beta);
-  sim::RngStream fading = rng.derive(2);
+  util::RngStream fading = rng.derive(2);
   const auto transfer = core::transfer_capacity_solution(
       net, greedy.selected, core::Utility::binary(units::Threshold(beta)), 1, fading);
   std::cout << "\n== Lemma 2 transfer of the greedy solution ==\n"
@@ -75,7 +75,7 @@ int main(int argc, char** argv) {
   // 4. Theorem 2 simulation.
   std::vector<double> ones(net.size(), 1.0);
   const auto schedule = core::build_simulation_schedule(net, units::probabilities(ones));
-  sim::RngStream sim_rng = rng.derive(3);
+  util::RngStream sim_rng = rng.derive(3);
   const double best = core::simulation_expected_best_utility_mc(
       net, schedule, core::Utility::binary(units::Threshold(beta)), 300, sim_rng);
   std::cout << "\n== Theorem 2 simulation (q_i = 1) ==\n"

@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
   }
 
   // Random distinct end-to-end requests.
-  sim::RngStream rng(static_cast<std::uint64_t>(flags.get_int("seed")));
+  util::RngStream rng(static_cast<std::uint64_t>(flags.get_int("seed")));
   std::vector<algorithms::RouteRequest> requests;
   const auto packets = static_cast<std::size_t>(flags.get_int("packets"));
   while (requests.size() < packets) {
@@ -71,7 +71,7 @@ int main(int argc, char** argv) {
   util::Table table({"model", "slots", "completed"});
   for (auto prop : {algorithms::Propagation::NonFading,
                     algorithms::Propagation::Rayleigh}) {
-    sim::RngStream sched_rng = rng.derive(static_cast<std::uint64_t>(prop));
+    util::RngStream sched_rng = rng.derive(static_cast<std::uint64_t>(prop));
     const auto result = algorithms::schedule_multihop(
         routed.network, routed.requests, beta, prop, sched_rng);
     table.add_row({std::string(prop == algorithms::Propagation::Rayleigh

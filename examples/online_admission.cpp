@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  sim::RngStream rng(static_cast<std::uint64_t>(flags.get_int("seed")));
+  util::RngStream rng(static_cast<std::uint64_t>(flags.get_int("seed")));
   model::RandomPlaneParams params;
   params.num_links = static_cast<std::size_t>(flags.get_int("links"));
   auto links = model::random_plane_links(params, rng);
@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
   const double beta = flags.get_double("beta");
 
   algorithms::OnlineScheduler sched(net, beta);
-  sim::RngStream churn = rng.derive(1);
+  util::RngStream churn = rng.derive(1);
 
   std::cout << "online admission at beta=" << beta << " over "
             << net.size() << " links\n\n";

@@ -13,7 +13,7 @@ int main() {
 
   // 1. Generate a random instance like the paper's Figure 1: 100 links on a
   //    1000x1000 plane, link lengths in [20, 40].
-  sim::RngStream rng(/*seed=*/2012);
+  util::RngStream rng(/*seed=*/2012);
   model::RandomPlaneParams params;
   params.num_links = 100;
   auto links = model::random_plane_links(params, rng);
@@ -35,7 +35,7 @@ int main() {
   // 4. Transfer to Rayleigh fading: transmit the same set; gains become
   //    exponential random variables with the same means. Lemma 2 promises
   //    at least a 1/e fraction of the utility in expectation.
-  sim::RngStream fading = rng.derive(/*tag=*/1);
+  util::RngStream fading = rng.derive(/*tag=*/1);
   const auto transfer = core::transfer_capacity_solution(
       net, solution.selected, core::Utility::binary(units::Threshold(beta)), /*trials=*/1,
       fading);
@@ -44,7 +44,7 @@ int main() {
             << 1.0 / std::exp(1.0) << ")\n";
 
   // 5. Sample one actual fading slot to see the stochastic model in action.
-  sim::RngStream slot = rng.derive(/*tag=*/2);
+  util::RngStream slot = rng.derive(/*tag=*/2);
   const auto successes =
       model::count_successes_rayleigh(net, solution.selected, units::Threshold(beta), slot);
   std::cout << "one sampled Rayleigh slot: " << successes << "/"

@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  sim::RngStream rng(static_cast<std::uint64_t>(flags.get_int("seed")));
+  util::RngStream rng(static_cast<std::uint64_t>(flags.get_int("seed")));
   model::RandomPlaneParams params;
   params.num_links = static_cast<std::size_t>(flags.get_int("links"));
   auto links = model::random_plane_links(params, rng);
@@ -75,7 +75,7 @@ int main(int argc, char** argv) {
 
   // Theorem 2: simulate the Rayleigh-optimal q with non-fading slots.
   const auto schedule = core::build_simulation_schedule(net, units::probabilities(vertex.q));
-  sim::RngStream sim_rng = rng.derive(1);
+  util::RngStream sim_rng = rng.derive(1);
   const double best_slot_utility = core::simulation_expected_best_utility_mc(
       net, schedule, core::Utility::binary(units::Threshold(beta)), 400, sim_rng);
   std::cout << "\nTheorem 2 simulation of the Rayleigh-optimal q: "

@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  sim::RngStream rng(static_cast<std::uint64_t>(flags.get_int("seed")));
+  util::RngStream rng(static_cast<std::uint64_t>(flags.get_int("seed")));
   model::RandomPlaneParams params;
   params.num_links = static_cast<std::size_t>(flags.get_int("links"));
   params.min_length = 1.0;
@@ -52,7 +52,7 @@ int main(int argc, char** argv) {
     opts.rounds = rounds;
     opts.beta = beta;
     opts.model = model_kind;
-    sim::RngStream game_rng =
+    util::RngStream game_rng =
         rng.derive(static_cast<std::uint64_t>(model_kind));
     const auto result = learning::run_capacity_game(
         net, opts, [] { return std::make_unique<learning::RwmLearner>(); },

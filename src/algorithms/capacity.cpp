@@ -7,6 +7,7 @@
 #include <numeric>
 #include <sstream>
 
+#include "core/utility.hpp"
 #include "model/affectance.hpp"
 #include "model/sinr.hpp"
 #include "util/error.hpp"

@@ -105,7 +105,7 @@ CapacityResult local_search_max_feasible_set(const Network& net, double beta,
   require(options.restarts >= 1 && options.max_passes >= 1,
           "local_search_max_feasible_set: restarts/passes must be >= 1");
 
-  sim::RngStream rng(options.seed);
+  util::RngStream rng(options.seed);
   LinkSet best;
 
   for (int restart = 0; restart < options.restarts; ++restart) {

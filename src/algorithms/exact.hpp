@@ -11,7 +11,7 @@
 
 #include "algorithms/capacity.hpp"
 #include "model/network.hpp"
-#include "sim/rng.hpp"
+#include "util/rng.hpp"
 
 namespace raysched::algorithms {
 

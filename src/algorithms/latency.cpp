@@ -18,7 +18,7 @@ namespace {
 /// Evaluates which members of `active` succeed in one slot.
 std::vector<bool> slot_successes(const Network& net, const LinkSet& active,
                                  double beta, Propagation propagation,
-                                 sim::RngStream& rng) {
+                                 util::RngStream& rng) {
   std::vector<bool> ok(active.size(), false);
   if (active.empty()) return ok;
   if (propagation == Propagation::NonFading) {
@@ -36,7 +36,7 @@ std::vector<bool> slot_successes(const Network& net, const LinkSet& active,
 
 LatencyResult repeated_capacity_schedule(
     const Network& net, double beta, Propagation propagation,
-    sim::RngStream& rng, std::size_t max_slots,
+    util::RngStream& rng, std::size_t max_slots,
     const std::function<LinkSet(const Network&, double, const LinkSet&)>&
         capacity_algorithm) {
   require(beta > 0.0, "repeated_capacity_schedule: beta must be positive");
@@ -93,7 +93,7 @@ LatencyResult repeated_capacity_schedule(
 }
 
 LatencyResult aloha_schedule(const Network& net, double beta,
-                             Propagation propagation, sim::RngStream& rng,
+                             Propagation propagation, util::RngStream& rng,
                              const AlohaOptions& options,
                              std::size_t max_slots) {
   require(beta > 0.0, "aloha_schedule: beta must be positive");
@@ -161,7 +161,7 @@ LatencyResult aloha_schedule(const Network& net, double beta,
 
 LatencyResult aloha_schedule_block_fading(const Network& net, double beta,
                                           model::BlockFadingChannel& channel,
-                                          sim::RngStream& rng,
+                                          util::RngStream& rng,
                                           const AlohaOptions& options,
                                           std::size_t max_slots) {
   require(beta > 0.0, "aloha_schedule_block_fading: beta must be positive");

@@ -25,14 +25,17 @@
 #include <vector>
 
 #include "algorithms/capacity.hpp"
+#include "core/latency_transform.hpp"
 #include "model/block_fading.hpp"
 #include "model/network.hpp"
-#include "sim/rng.hpp"
+#include "util/rng.hpp"
 
 namespace raysched::algorithms {
 
-/// Which propagation model decides transmission success.
-enum class Propagation { NonFading, Rayleigh };
+/// Which propagation model decides transmission success. Defined with the
+/// Section-4 transformation in core/latency_transform.hpp; aliased here so
+/// existing algorithms::Propagation spellings keep working.
+using Propagation = core::Propagation;
 
 /// Outcome of a latency run.
 struct LatencyResult {
@@ -53,7 +56,7 @@ struct LatencyResult {
 /// transmitted once — the schedule itself adapts, re-serving failed links).
 [[nodiscard]] LatencyResult repeated_capacity_schedule(
     const model::Network& net, double beta, Propagation propagation,
-    sim::RngStream& rng, std::size_t max_slots = 100000,
+    util::RngStream& rng, std::size_t max_slots = 100000,
     const std::function<model::LinkSet(const model::Network&, double,
                                        const model::LinkSet&)>&
         capacity_algorithm = nullptr);
@@ -76,7 +79,7 @@ struct AlohaOptions {
 /// Section 4 transformation); slots counts elementary slots.
 [[nodiscard]] LatencyResult aloha_schedule(const model::Network& net,
                                            double beta, Propagation propagation,
-                                           sim::RngStream& rng,
+                                           util::RngStream& rng,
                                            const AlohaOptions& options = {},
                                            std::size_t max_slots = 100000);
 
@@ -88,7 +91,7 @@ struct AlohaOptions {
 /// i.i.d.-per-slot assumption (ablation A10).
 [[nodiscard]] LatencyResult aloha_schedule_block_fading(
     const model::Network& net, double beta, model::BlockFadingChannel& channel,
-    sim::RngStream& rng, const AlohaOptions& options = {},
+    util::RngStream& rng, const AlohaOptions& options = {},
     std::size_t max_slots = 100000);
 
 }  // namespace raysched::algorithms

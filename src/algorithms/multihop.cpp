@@ -16,7 +16,7 @@ using model::Network;
 MultihopResult schedule_multihop(const Network& net,
                                  const std::vector<MultihopRequest>& requests,
                                  double beta, Propagation propagation,
-                                 sim::RngStream& rng, std::size_t max_slots) {
+                                 util::RngStream& rng, std::size_t max_slots) {
   require(beta > 0.0, "schedule_multihop: beta must be positive");
   require(!requests.empty(), "schedule_multihop: no requests");
   for (const auto& r : requests) {

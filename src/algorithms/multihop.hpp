@@ -13,7 +13,7 @@
 
 #include "algorithms/latency.hpp"
 #include "model/network.hpp"
-#include "sim/rng.hpp"
+#include "util/rng.hpp"
 
 namespace raysched::algorithms {
 
@@ -37,7 +37,7 @@ struct MultihopResult {
 /// recomputation, mirroring the single-hop transformation).
 [[nodiscard]] MultihopResult schedule_multihop(
     const model::Network& net, const std::vector<MultihopRequest>& requests,
-    double beta, Propagation propagation, sim::RngStream& rng,
+    double beta, Propagation propagation, util::RngStream& rng,
     std::size_t max_slots = 100000);
 
 }  // namespace raysched::algorithms

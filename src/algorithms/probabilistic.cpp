@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/success_probability.hpp"
+#include "model/network.hpp"
 #include "util/error.hpp"
 #include "util/units.hpp"
 
@@ -118,7 +119,7 @@ ProbabilityOptResult maximize_capacity_coordinate_ascent(
   require(options.restarts >= 1,
           "maximize_capacity_coordinate_ascent: restarts must be >= 1");
   const std::size_t n = net.size();
-  sim::RngStream rng(options.seed);
+  util::RngStream rng(options.seed);
 
   ProbabilityOptResult best;
   best.value = -1.0;

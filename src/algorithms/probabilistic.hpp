@@ -24,7 +24,7 @@
 #include <vector>
 
 #include "model/network.hpp"
-#include "sim/rng.hpp"
+#include "util/rng.hpp"
 
 namespace raysched::algorithms {
 

@@ -15,7 +15,7 @@ using model::Network;
 
 QueueSimResult run_max_weight_queueing(const Network& net,
                                        const QueueSimOptions& options,
-                                       sim::RngStream& rng) {
+                                       util::RngStream& rng) {
   require(options.slots > 0, "run_max_weight_queueing: slots must be > 0");
   require(options.beta > 0.0, "run_max_weight_queueing: beta must be > 0");
   require(options.arrival_probs.size() == net.size(),

@@ -15,7 +15,7 @@
 
 #include "algorithms/latency.hpp"
 #include "model/network.hpp"
-#include "sim/rng.hpp"
+#include "util/rng.hpp"
 
 namespace raysched::algorithms {
 
@@ -45,6 +45,6 @@ struct QueueSimResult {
 /// mismatches or any probability is outside [0,1].
 [[nodiscard]] QueueSimResult run_max_weight_queueing(
     const model::Network& net, const QueueSimOptions& options,
-    sim::RngStream& rng);
+    util::RngStream& rng);
 
 }  // namespace raysched::algorithms

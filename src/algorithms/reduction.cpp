@@ -1,18 +1,20 @@
-#include "core/reduction.hpp"
+#include "algorithms/reduction.hpp"
 
 #include "algorithms/capacity.hpp"
 #include "algorithms/exact.hpp"
+#include "core/transfer.hpp"
+#include "core/utility.hpp"
 #include "model/sinr.hpp"
 #include "util/error.hpp"
 
-namespace raysched::core {
+namespace raysched::algorithms {
 
 using model::LinkSet;
 using model::Network;
 
 RayleighScheduleDecision schedule_capacity_rayleigh(
-    const Network& net, const Utility& u, const ReductionOptions& options,
-    sim::RngStream& rng) {
+    const Network& net, const core::Utility& u, const ReductionOptions& options,
+    util::RngStream& rng) {
   RayleighScheduleDecision decision;
 
   LinkSet selected;
@@ -67,7 +69,7 @@ RayleighScheduleDecision schedule_capacity_rayleigh(
     powered.set_powers(*powers);
     eval_net = &powered;
   }
-  const TransferResult transfer = transfer_capacity_solution(
+  const core::TransferResult transfer = core::transfer_capacity_solution(
       *eval_net, selected, u, options.mc_trials, rng);
 
   decision.transmit_set = std::move(selected);
@@ -78,4 +80,4 @@ RayleighScheduleDecision schedule_capacity_rayleigh(
   return decision;
 }
 
-}  // namespace raysched::core
+}  // namespace raysched::algorithms

@@ -15,9 +15,9 @@
 #include "core/utility.hpp"
 #include "model/link.hpp"
 #include "model/network.hpp"
-#include "sim/rng.hpp"
+#include "util/rng.hpp"
 
-namespace raysched::core {
+namespace raysched::algorithms {
 
 /// Which non-fading algorithm the reduction wraps.
 enum class NonFadingAlgorithm {
@@ -55,7 +55,7 @@ struct ReductionOptions {
 /// at u.beta(); for other utilities FlexibleRate is required (the paper's
 /// [22] regime). `rng` is only consumed for Monte-Carlo evaluation.
 [[nodiscard]] RayleighScheduleDecision schedule_capacity_rayleigh(
-    const model::Network& net, const Utility& u, const ReductionOptions& options,
-    sim::RngStream& rng);
+    const model::Network& net, const core::Utility& u, const ReductionOptions& options,
+    util::RngStream& rng);
 
-}  // namespace raysched::core
+}  // namespace raysched::algorithms

@@ -4,6 +4,7 @@
 #include <map>
 #include <queue>
 
+#include "model/geometry.hpp"
 #include "util/error.hpp"
 
 namespace raysched::algorithms {

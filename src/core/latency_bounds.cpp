@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/latency_transform.hpp"
+#include "model/network.hpp"
 #include "core/success_probability.hpp"
 #include "util/contracts.hpp"
 #include "util/error.hpp"

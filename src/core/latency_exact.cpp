@@ -10,7 +10,6 @@
 
 namespace raysched::core {
 
-using algorithms::Propagation;
 using model::LinkId;
 using model::LinkSet;
 using model::Network;

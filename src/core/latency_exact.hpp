@@ -22,7 +22,7 @@
 // `repeats` elementary slots per macro step).
 #pragma once
 
-#include "algorithms/latency.hpp"
+#include "core/latency_transform.hpp"
 #include "model/network.hpp"
 #include "util/units.hpp"
 
@@ -33,13 +33,13 @@ namespace raysched::core {
 /// net.size() > max_n (exponential cost) or q outside (0, 1].
 [[nodiscard]] double exact_aloha_expected_macro_steps(
     const model::Network& net, units::Probability q, units::Threshold beta,
-    algorithms::Propagation propagation, std::size_t max_n = 12);
+    core::Propagation propagation, std::size_t max_n = 12);
 
 /// Exact expected number of *elementary slots* of the simulator
 /// aloha_schedule (non-adaptive options): macro steps times the per-step
 /// slot count (1 non-fading, kLatencyRepeats Rayleigh).
 [[nodiscard]] double exact_aloha_expected_slots(
     const model::Network& net, units::Probability q, units::Threshold beta,
-    algorithms::Propagation propagation, std::size_t max_n = 12);
+    core::Propagation propagation, std::size_t max_n = 12);
 
 }  // namespace raysched::core

@@ -20,6 +20,11 @@ namespace raysched::core {
 /// Number of repetitions of each randomized step in the Rayleigh model.
 inline constexpr int kLatencyRepeats = 4;
 
+/// Which propagation model decides transmission success. Shared by the
+/// latency schedulers (algorithms/) and the exact latency chain (core/);
+/// defined here, at the transformation that the distinction exists for.
+enum class Propagation { NonFading, Rayleigh };
+
 /// Probability that at least one of kLatencyRepeats independent Rayleigh
 /// attempts succeeds, given that each attempt succeeds with probability at
 /// least p/e (p = non-fading step success probability).

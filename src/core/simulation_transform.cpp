@@ -54,7 +54,7 @@ namespace {
 
 /// Draws one transmit set according to `probs`.
 LinkSet draw_active(const units::ProbabilityVector& probs,
-                    sim::RngStream& rng) {
+                    util::RngStream& rng) {
   LinkSet active;
   for (LinkId j = 0; j < probs.size(); ++j) {
     const double pj = probs[j].value();
@@ -65,7 +65,7 @@ LinkSet draw_active(const units::ProbabilityVector& probs,
 
 /// Draws the interferer set (all links except `skip`) according to `probs`.
 LinkSet draw_active_except(const units::ProbabilityVector& probs, LinkId skip,
-                           sim::RngStream& rng) {
+                           util::RngStream& rng) {
   LinkSet active;
   for (LinkId j = 0; j < probs.size(); ++j) {
     if (j == skip) continue;
@@ -79,7 +79,7 @@ LinkSet draw_active_except(const units::ProbabilityVector& probs, LinkId skip,
 
 units::Probability simulation_success_probability_mc(
     const Network& net, const SimulationSchedule& schedule, LinkId i,
-    units::Threshold beta, std::size_t trials, sim::RngStream& rng) {
+    units::Threshold beta, std::size_t trials, util::RngStream& rng) {
   require(i < net.size(), "simulation_success_probability_mc: id range");
   require(beta.value() > 0.0,
           "simulation_success_probability_mc: beta > 0 required");
@@ -106,7 +106,7 @@ units::Probability simulation_success_probability_mc(
 double simulation_expected_best_utility_mc(const Network& net,
                                            const SimulationSchedule& schedule,
                                            const Utility& u, std::size_t trials,
-                                           sim::RngStream& rng) {
+                                           util::RngStream& rng) {
   require(trials > 0, "simulation_expected_best_utility_mc: trials > 0");
   const std::size_t n = net.size();
   double total = 0.0;
@@ -129,7 +129,7 @@ double simulation_expected_best_utility_mc(const Network& net,
 
 std::vector<double> simulation_per_slot_utility_mc(
     const Network& net, const SimulationSchedule& schedule, const Utility& u,
-    std::size_t trials, sim::RngStream& rng) {
+    std::size_t trials, util::RngStream& rng) {
   require(trials > 0, "simulation_per_slot_utility_mc: trials > 0 required");
   std::vector<double> per_slot;
   for (const SimulationLevel& level : schedule.levels) {

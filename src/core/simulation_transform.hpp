@@ -15,7 +15,7 @@
 
 #include "core/utility.hpp"
 #include "model/network.hpp"
-#include "sim/rng.hpp"
+#include "util/rng.hpp"
 #include "util/units.hpp"
 
 namespace raysched::core {
@@ -55,14 +55,14 @@ struct SimulationSchedule {
 [[nodiscard]] units::Probability simulation_success_probability_mc(
     const model::Network& net, const SimulationSchedule& schedule,
     model::LinkId i, units::Threshold beta, std::size_t trials,
-    sim::RngStream& rng);
+    util::RngStream& rng);
 
 /// Monte-Carlo estimate of E[sum_i u(max_t gamma_i^{nf,t})]: the expected
 /// utility when every link keeps the best SINR it saw across all simulation
 /// slots. Theorem 2's left-hand side (up to picking the single best step).
 [[nodiscard]] double simulation_expected_best_utility_mc(
     const model::Network& net, const SimulationSchedule& schedule,
-    const Utility& u, std::size_t trials, sim::RngStream& rng);
+    const Utility& u, std::size_t trials, util::RngStream& rng);
 
 /// Monte-Carlo estimate of the expected utility of each individual slot of
 /// the schedule (E[sum_i u(gamma_i^nf)] per slot, in slot order). The
@@ -70,6 +70,6 @@ struct SimulationSchedule {
 /// probability assignment q'.
 [[nodiscard]] std::vector<double> simulation_per_slot_utility_mc(
     const model::Network& net, const SimulationSchedule& schedule,
-    const Utility& u, std::size_t trials, sim::RngStream& rng);
+    const Utility& u, std::size_t trials, util::RngStream& rng);
 
 }  // namespace raysched::core

@@ -162,7 +162,7 @@ units::Probability nonfading_success_probability_exact(
 
 units::Probability nonfading_success_probability_mc(
     const Network& net, const units::ProbabilityVector& q, LinkId i,
-    units::Threshold beta, std::size_t trials, sim::RngStream& rng) {
+    units::Threshold beta, std::size_t trials, util::RngStream& rng) {
   validate_probabilities(net, q);
   require(i < net.size(), "nonfading_success_probability_mc: id range");
   require(beta.value() > 0.0,
@@ -188,7 +188,7 @@ double expected_nonfading_successes_mc(const Network& net,
                                        const units::ProbabilityVector& q,
                                        units::Threshold beta,
                                        std::size_t trials,
-                                       sim::RngStream& rng) {
+                                       util::RngStream& rng) {
   validate_probabilities(net, q);
   require(beta.value() > 0.0,
           "expected_nonfading_successes_mc: beta > 0 required");

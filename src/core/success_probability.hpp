@@ -23,7 +23,7 @@
 #include <vector>
 
 #include "model/network.hpp"
-#include "sim/rng.hpp"
+#include "util/rng.hpp"
 #include "util/units.hpp"
 
 namespace raysched::core {
@@ -81,11 +81,11 @@ void validate_probabilities(const model::Network& net,
 [[nodiscard]] units::Probability nonfading_success_probability_mc(
     const model::Network& net, const units::ProbabilityVector& q,
     model::LinkId i, units::Threshold beta, std::size_t trials,
-    sim::RngStream& rng);
+    util::RngStream& rng);
 
 /// Expected non-fading successes per slot under q, Monte-Carlo.
 [[nodiscard]] double expected_nonfading_successes_mc(
     const model::Network& net, const units::ProbabilityVector& q,
-    units::Threshold beta, std::size_t trials, sim::RngStream& rng);
+    units::Threshold beta, std::size_t trials, util::RngStream& rng);
 
 }  // namespace raysched::core

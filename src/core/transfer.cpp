@@ -36,7 +36,7 @@ double expected_rayleigh_utility_exact(const Network& net,
 
 double expected_rayleigh_utility_mc(const Network& net, const LinkSet& solution,
                                     const Utility& u, std::size_t trials,
-                                    sim::RngStream& rng) {
+                                    util::RngStream& rng) {
   require(trials > 0, "expected_rayleigh_utility_mc: trials must be positive");
   if (solution.empty()) return 0.0;
   double total = 0.0;
@@ -51,7 +51,7 @@ double expected_rayleigh_utility_mc(const Network& net, const LinkSet& solution,
 TransferResult transfer_capacity_solution(const Network& net,
                                           const LinkSet& solution,
                                           const Utility& u, std::size_t trials,
-                                          sim::RngStream& rng) {
+                                          util::RngStream& rng) {
   TransferResult result;
   const std::vector<double> nf = model::sinr_nonfading_all(net, solution);
   result.nonfading_value = total_utility(u, nf);

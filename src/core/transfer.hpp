@@ -14,7 +14,7 @@
 #include "core/utility.hpp"
 #include "model/link.hpp"
 #include "model/network.hpp"
-#include "sim/rng.hpp"
+#include "util/rng.hpp"
 #include "util/units.hpp"
 
 namespace raysched::core {
@@ -46,14 +46,14 @@ struct TransferResult {
                                                   const model::LinkSet& solution,
                                                   const Utility& u,
                                                   std::size_t trials,
-                                                  sim::RngStream& rng);
+                                                  util::RngStream& rng);
 
 /// Applies Lemma 2 to a non-fading solution: evaluates both sides. Uses the
 /// exact closed form for threshold utilities and Monte-Carlo (with `trials`
 /// and `rng`) otherwise.
 [[nodiscard]] TransferResult transfer_capacity_solution(
     const model::Network& net, const model::LinkSet& solution, const Utility& u,
-    std::size_t trials, sim::RngStream& rng);
+    std::size_t trials, util::RngStream& rng);
 
 /// The Lemma 2 per-link guarantee: Rayleigh success probability of link i at
 /// its own non-fading SINR when exactly `solution` transmits. Lemma 2 proves

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "model/network.hpp"
 #include "util/contracts.hpp"
 
 namespace raysched::core {

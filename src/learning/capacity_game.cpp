@@ -14,7 +14,7 @@ using model::Network;
 
 GameResult run_capacity_game(const Network& net, const GameOptions& options,
                              const LearnerFactory& make_learner,
-                             sim::RngStream& rng) {
+                             util::RngStream& rng) {
   require(options.rounds > 0, "run_capacity_game: rounds must be positive");
   require(options.beta > 0.0, "run_capacity_game: beta must be positive");
   require(static_cast<bool>(make_learner),

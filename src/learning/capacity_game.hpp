@@ -22,7 +22,7 @@
 
 #include "learning/no_regret.hpp"
 #include "model/network.hpp"
-#include "sim/rng.hpp"
+#include "util/rng.hpp"
 
 namespace raysched::learning {
 
@@ -56,6 +56,6 @@ using LearnerFactory = std::function<std::unique_ptr<Learner>()>;
 [[nodiscard]] GameResult run_capacity_game(const model::Network& net,
                                            const GameOptions& options,
                                            const LearnerFactory& make_learner,
-                                           sim::RngStream& rng);
+                                           util::RngStream& rng);
 
 }  // namespace raysched::learning

@@ -22,7 +22,7 @@ double send_reward_vs_frequencies(const Network& net,
                                   const units::ProbabilityVector& freq,
                                   LinkId i,
                                   const FictitiousPlayOptions& options,
-                                  sim::RngStream& rng) {
+                                  util::RngStream& rng) {
   const units::Threshold beta(options.beta);
   units::ProbabilityVector q = freq;
   q[i] = units::Probability(1.0);
@@ -53,7 +53,7 @@ double send_reward_vs_frequencies(const Network& net,
 
 FictitiousPlayResult run_fictitious_play(const Network& net,
                                          const FictitiousPlayOptions& options,
-                                         sim::RngStream& rng) {
+                                         util::RngStream& rng) {
   require(options.rounds > 0, "run_fictitious_play: rounds must be > 0");
   require(options.beta > 0.0, "run_fictitious_play: beta must be positive");
   require(options.warmup_rounds < options.rounds,

@@ -20,7 +20,7 @@
 
 #include "learning/capacity_game.hpp"
 #include "model/network.hpp"
-#include "sim/rng.hpp"
+#include "util/rng.hpp"
 #include "util/units.hpp"
 
 namespace raysched::learning {
@@ -53,6 +53,6 @@ struct FictitiousPlayResult {
 /// propagation model with `rng`.
 [[nodiscard]] FictitiousPlayResult run_fictitious_play(
     const model::Network& net, const FictitiousPlayOptions& options,
-    sim::RngStream& rng);
+    util::RngStream& rng);
 
 }  // namespace raysched::learning

@@ -14,7 +14,7 @@
 #include <cstddef>
 #include <vector>
 
-#include "sim/rng.hpp"
+#include "util/rng.hpp"
 #include "util/error.hpp"
 #include "util/units.hpp"
 
@@ -50,7 +50,7 @@ class Learner {
   [[nodiscard]] virtual units::Probability send_probability() const = 0;
 
   /// Samples an action from the current distribution.
-  [[nodiscard]] Action sample(sim::RngStream& rng) {
+  [[nodiscard]] Action sample(util::RngStream& rng) {
     return rng.bernoulli(send_probability().value()) ? Action::Send
                                                      : Action::Stay;
   }

@@ -11,6 +11,7 @@
 #include <cmath>
 
 #include "learning/no_regret.hpp"
+#include "util/units.hpp"
 
 namespace raysched::learning {
 

@@ -9,7 +9,7 @@ namespace raysched::model {
 
 BlockFadingChannel::BlockFadingChannel(const Network& net,
                                        std::size_t coherence_slots, double m,
-                                       sim::RngStream rng)
+                                       util::RngStream rng)
     : net_(&net), coherence_(coherence_slots), m_(m), rng_(rng) {
   require(coherence_ >= 1, "BlockFadingChannel: coherence_slots must be >= 1");
   require(m_ > 0.0, "BlockFadingChannel: m must be positive");

@@ -18,7 +18,7 @@
 
 #include "model/link.hpp"
 #include "model/network.hpp"
-#include "sim/rng.hpp"
+#include "util/rng.hpp"
 #include "util/units.hpp"
 
 namespace raysched::model {
@@ -28,7 +28,7 @@ class BlockFadingChannel {
   /// coherence_slots >= 1: number of consecutive slots sharing one gain
   /// realization. m > 0 is the Nakagami shape (1 = Rayleigh).
   BlockFadingChannel(const Network& net, std::size_t coherence_slots, double m,
-                     sim::RngStream rng);
+                     util::RngStream rng);
 
   /// Advances to the next slot, resampling the realization at block
   /// boundaries.
@@ -54,7 +54,7 @@ class BlockFadingChannel {
   const Network* net_;
   std::size_t coherence_;
   double m_;
-  sim::RngStream rng_;
+  util::RngStream rng_;
   std::size_t slot_ = 0;
   std::vector<double> realized_;  // row-major [j*n + i]
 };

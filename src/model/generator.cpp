@@ -8,7 +8,7 @@
 namespace raysched::model {
 
 std::vector<Link> random_plane_links(const RandomPlaneParams& p,
-                                     sim::RngStream& rng) {
+                                     util::RngStream& rng) {
   require(p.num_links > 0, "random_plane_links: num_links must be positive");
   require(p.plane_size > 0.0, "random_plane_links: plane_size must be positive");
   require(p.min_length > 0.0 && p.min_length <= p.max_length,
@@ -44,7 +44,7 @@ std::vector<Link> grid_links(std::size_t rows, std::size_t cols, double spacing,
 
 std::vector<Link> two_cluster_links(std::size_t per_cluster,
                                     double cluster_radius, double separation,
-                                    double link_length, sim::RngStream& rng) {
+                                    double link_length, util::RngStream& rng) {
   require(per_cluster > 0, "two_cluster_links: per_cluster must be positive");
   require(cluster_radius > 0.0 && separation > 0.0 && link_length > 0.0,
           "two_cluster_links: geometric parameters must be positive");

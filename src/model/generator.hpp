@@ -11,7 +11,7 @@
 #include <vector>
 
 #include "model/link.hpp"
-#include "sim/rng.hpp"
+#include "util/rng.hpp"
 
 namespace raysched::model {
 
@@ -27,7 +27,7 @@ struct RandomPlaneParams {
 /// uniform angle and uniform length from the receiver (sender may fall
 /// outside the square, as in the paper, which does not clip).
 [[nodiscard]] std::vector<Link> random_plane_links(const RandomPlaneParams& p,
-                                                   sim::RngStream& rng);
+                                                   util::RngStream& rng);
 
 /// Regular grid of links: receivers on a rows x cols grid with the given
 /// spacing, each sender at distance `length` to the east of its receiver.
@@ -41,7 +41,7 @@ struct RandomPlaneParams {
                                                   double cluster_radius,
                                                   double separation,
                                                   double link_length,
-                                                  sim::RngStream& rng);
+                                                  util::RngStream& rng);
 
 /// A single chain of links laid along the x-axis (multi-hop path
 /// substrate). Consecutive hops are separated by `relay_gap` (default 5% of

@@ -57,7 +57,7 @@ double regularized_gamma_q(double a, double x) {
   return gamma_q_cf(a, x);
 }
 
-double sample_gain_nakagami(double mean, double m, sim::RngStream& rng) {
+double sample_gain_nakagami(double mean, double m, util::RngStream& rng) {
   require(mean >= 0.0, "sample_gain_nakagami: mean must be >= 0");
   require(m > 0.0, "sample_gain_nakagami: m must be positive");
   if (mean == 0.0) return 0.0;
@@ -66,7 +66,7 @@ double sample_gain_nakagami(double mean, double m, sim::RngStream& rng) {
 }
 
 std::vector<double> sinr_nakagami_all(const Network& net, const LinkSet& active,
-                                      double m, sim::RngStream& rng) {
+                                      double m, util::RngStream& rng) {
   require(m > 0.0, "sinr_nakagami_all: m must be positive");
   const std::size_t count = active.size();
   std::vector<double> out(count, 0.0);
@@ -92,7 +92,7 @@ std::vector<double> sinr_nakagami_all(const Network& net, const LinkSet& active,
 
 std::size_t count_successes_nakagami(const Network& net, const LinkSet& active,
                                      units::Threshold beta, double m,
-                                     sim::RngStream& rng) {
+                                     util::RngStream& rng) {
   require(beta.value() > 0.0, "count_successes_nakagami: beta must be positive");
   const auto sinrs = sinr_nakagami_all(net, active, m, rng);
   std::size_t wins = 0;
@@ -105,7 +105,7 @@ std::size_t count_successes_nakagami(const Network& net, const LinkSet& active,
 double success_probability_nakagami_mc(const Network& net, const LinkSet& active,
                                        LinkId i, units::Threshold beta,
                                        double m, std::size_t trials,
-                                       sim::RngStream& rng) {
+                                       util::RngStream& rng) {
   require(trials > 0, "success_probability_nakagami_mc: trials must be > 0");
   require(i < net.size(), "success_probability_nakagami_mc: id out of range");
   bool member = false;
@@ -133,7 +133,7 @@ double success_probability_nakagami_mc(const Network& net, const LinkSet& active
 double expected_successes_nakagami_mc(const Network& net, const LinkSet& active,
                                       units::Threshold beta, double m,
                                       std::size_t trials,
-                                      sim::RngStream& rng) {
+                                      util::RngStream& rng) {
   require(trials > 0, "expected_successes_nakagami_mc: trials must be > 0");
   double total = 0.0;
   for (std::size_t t = 0; t < trials; ++t) {

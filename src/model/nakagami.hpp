@@ -15,14 +15,14 @@
 
 #include "model/link.hpp"
 #include "model/network.hpp"
-#include "sim/rng.hpp"
+#include "util/rng.hpp"
 #include "util/units.hpp"
 
 namespace raysched::model {
 
 /// One Nakagami-m realization of a (j -> i) power gain with mean `mean`.
 [[nodiscard]] double sample_gain_nakagami(double mean, double m,
-                                          sim::RngStream& rng);
+                                          util::RngStream& rng);
 
 /// One fading realization of the SINR of every link in `active` under
 /// Nakagami-m (entry order matches `active`). m = 1 is distributionally
@@ -30,14 +30,14 @@ namespace raysched::model {
 [[nodiscard]] std::vector<double> sinr_nakagami_all(const Network& net,
                                                     const LinkSet& active,
                                                     double m,
-                                                    sim::RngStream& rng);
+                                                    util::RngStream& rng);
 
 /// Number of links of `active` whose realized SINR is >= beta in one
 /// Nakagami-m slot.
 [[nodiscard]] std::size_t count_successes_nakagami(const Network& net,
                                                    const LinkSet& active,
                                                    units::Threshold beta, double m,
-                                                   sim::RngStream& rng);
+                                                   util::RngStream& rng);
 
 /// Monte-Carlo estimate of Pr[gamma_i >= beta] under Nakagami-m when exactly
 /// `active` transmits.
@@ -46,14 +46,14 @@ namespace raysched::model {
                                                      LinkId i, units::Threshold beta,
                                                      double m,
                                                      std::size_t trials,
-                                                     sim::RngStream& rng);
+                                                     util::RngStream& rng);
 
 /// Monte-Carlo estimate of the expected successes of one Nakagami-m slot.
 [[nodiscard]] double expected_successes_nakagami_mc(const Network& net,
                                                     const LinkSet& active,
                                                     units::Threshold beta, double m,
                                                     std::size_t trials,
-                                                    sim::RngStream& rng);
+                                                    util::RngStream& rng);
 
 /// Exact noise-only success probability: Pr[S >= beta*nu] for
 /// S ~ Gamma(m, S̄(i,i)/m) = Q(m, m beta nu / S̄(i,i)), the regularized

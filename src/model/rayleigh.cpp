@@ -8,7 +8,7 @@
 namespace raysched::model {
 
 double sinr_rayleigh(const Network& net, const LinkSet& active, LinkId i,
-                     sim::RngStream& rng) {
+                     util::RngStream& rng) {
   require(i < net.size(), "sinr_rayleigh: link id out of range");
   double interference = net.noise();
   double own = 0.0;
@@ -31,7 +31,7 @@ double sinr_rayleigh(const Network& net, const LinkSet& active, LinkId i,
 }
 
 std::vector<double> sinr_rayleigh_all(const Network& net, const LinkSet& active,
-                                      sim::RngStream& rng) {
+                                      util::RngStream& rng) {
   // Sample the full |active| x |active| realization: gains are independent
   // per (sender, receiver) pair, so each receiver draws its own copy of every
   // sender's signal.
@@ -59,7 +59,7 @@ std::vector<double> sinr_rayleigh_all(const Network& net, const LinkSet& active,
 
 std::size_t count_successes_rayleigh(const Network& net, const LinkSet& active,
                                      units::Threshold beta,
-                                     sim::RngStream& rng) {
+                                     util::RngStream& rng) {
   require(beta.value() > 0.0,
           "count_successes_rayleigh: beta must be positive");
   const std::vector<double> sinrs = sinr_rayleigh_all(net, active, rng);

@@ -17,7 +17,7 @@
 
 #include "model/link.hpp"
 #include "model/network.hpp"
-#include "sim/rng.hpp"
+#include "util/rng.hpp"
 #include "util/units.hpp"
 
 namespace raysched::model {
@@ -26,20 +26,20 @@ namespace raysched::model {
 /// transmit: samples S(j,i) ~ Exp(mean S̄(j,i)) for every j in `active`
 /// (including i's own signal) and evaluates the SINR.
 [[nodiscard]] double sinr_rayleigh(const Network& net, const LinkSet& active,
-                                   LinkId i, sim::RngStream& rng);
+                                   LinkId i, util::RngStream& rng);
 
 /// One fading realization of the SINR of every link in `active`
 /// simultaneously; entry order matches `active`. Gains are sampled
 /// independently per (sender, receiver) pair, exactly as in the model.
 [[nodiscard]] std::vector<double> sinr_rayleigh_all(const Network& net,
                                                     const LinkSet& active,
-                                                    sim::RngStream& rng);
+                                                    util::RngStream& rng);
 
 /// Number of links of `active` whose realized SINR is >= beta in one slot.
 [[nodiscard]] std::size_t count_successes_rayleigh(const Network& net,
                                                    const LinkSet& active,
                                                    units::Threshold beta,
-                                                   sim::RngStream& rng);
+                                                   util::RngStream& rng);
 
 /// Exact probability that link i (a member of `active`) reaches SINR >= beta
 /// in the Rayleigh model when exactly `active` transmits. Closed form; no

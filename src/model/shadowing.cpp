@@ -8,7 +8,7 @@
 namespace raysched::model {
 
 Network apply_lognormal_shadowing(const Network& net, units::Decibel sigma,
-                                  sim::RngStream& rng) {
+                                  util::RngStream& rng) {
   const double sigma_db = sigma.value();
   require(sigma_db >= 0.0,
           "apply_lognormal_shadowing: sigma must be >= 0 dB");

@@ -14,7 +14,7 @@
 #pragma once
 
 #include "model/network.hpp"
-#include "sim/rng.hpp"
+#include "util/rng.hpp"
 #include "util/units.hpp"
 
 namespace raysched::model {
@@ -27,7 +27,7 @@ namespace raysched::model {
 /// common simulation practice for link-level studies.
 [[nodiscard]] Network apply_lognormal_shadowing(const Network& net,
                                                 units::Decibel sigma,
-                                                sim::RngStream& rng);
+                                                util::RngStream& rng);
 
 /// Mean of the log-normal factor 10^(X/10): exp((ln(10)/10)^2 sigma^2 / 2).
 /// Useful to de-bias expectations in tests.

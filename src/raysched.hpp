@@ -11,7 +11,7 @@
 #include "util/table.hpp"          // text/CSV tables for harness output
 #include "util/flags.hpp"          // CLI flags for examples
 
-#include "sim/rng.hpp"             // splittable xoshiro256++ streams
+#include "util/rng.hpp"             // splittable xoshiro256++ streams
 #include "sim/stats.hpp"           // Welford accumulators
 #include "sim/thread_pool.hpp"     // parallel_for over Monte-Carlo trials
 #include "sim/failure.hpp"         // CellFailure records & failure reports
@@ -41,7 +41,7 @@
 #include "core/latency_transform.hpp"    // Section-4 4x repetition
 #include "core/latency_bounds.hpp"       // analytic ALOHA latency estimates
 #include "core/latency_exact.hpp"        // exact ALOHA latency (small n)
-#include "core/reduction.hpp"            // packaged black-box reduction
+#include "algorithms/reduction.hpp"      // packaged black-box reduction
 
 #include "algorithms/capacity.hpp"  // greedy / power-control / flexible-rate
 #include "algorithms/exact.hpp"     // branch & bound, local search OPT

@@ -8,6 +8,7 @@
 #include <sstream>
 #include <utility>
 
+#include "model/network.hpp"
 #include "sim/checkpoint.hpp"
 #include "util/error.hpp"
 
@@ -75,7 +76,7 @@ struct AttemptFault {
 
 struct RunContext {
   const ExperimentConfig& config;
-  const RngStream& master;
+  const util::RngStream& master;
   const std::vector<std::string>& metric_names;
   const InstanceFactory& make_instance;
   const TrialFunction& run_trial;
@@ -126,7 +127,7 @@ std::optional<model::Network> build_instance(const RunContext& ctx,
       policy == FaultPolicy::RetryThenSkip ? ctx.config.max_retries + 1 : 1;
   std::optional<CellFailure> first_failure;
   for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
-    RngStream rng = ctx.master.derive(net_idx, kInstanceStreamTag);
+    util::RngStream rng = ctx.master.derive(net_idx, kInstanceStreamTag);
     if (attempt > 0) rng = rng.derive(kRetryStreamTag + attempt);
     std::optional<AttemptFault> fault;
     try {
@@ -163,7 +164,7 @@ std::optional<std::vector<double>> evaluate_cell(const RunContext& ctx,
       policy == FaultPolicy::RetryThenSkip ? ctx.config.max_retries + 1 : 1;
   std::optional<CellFailure> first_failure;
   for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
-    RngStream rng =
+    util::RngStream rng =
         ctx.master.derive(net_idx, kTrialStreamTag).derive(trial_idx);
     if (attempt > 0) rng = rng.derive(kRetryStreamTag + attempt);
     std::optional<AttemptFault> fault;
@@ -261,7 +262,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
   result.per_trial.resize(m);
   result.per_network.resize(m);
 
-  const RngStream master(config.master_seed);
+  const util::RngStream master(config.master_seed);
 
   // One slot per network; each slot is written by exactly one thread and
   // only read by others (for checkpointing) after its `completed` flag was

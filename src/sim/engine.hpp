@@ -24,7 +24,7 @@
 
 #include "model/network.hpp"
 #include "sim/failure.hpp"
-#include "sim/rng.hpp"
+#include "util/rng.hpp"
 #include "sim/stats.hpp"
 #include "sim/thread_pool.hpp"
 
@@ -71,12 +71,12 @@ struct ExperimentConfig {
 };
 
 /// Builds one problem instance from its dedicated stream.
-using InstanceFactory = std::function<model::Network(RngStream&)>;
+using InstanceFactory = std::function<model::Network(util::RngStream&)>;
 
 /// Evaluates one trial of one instance; returns one value per metric.
 /// Metric count must be constant across calls.
 using TrialFunction = std::function<std::vector<double>(
-    const model::Network&, RngStream&)>;
+    const model::Network&, util::RngStream&)>;
 
 /// Aggregated result: per-metric statistics over all (network, trial) cells,
 /// plus per-network means (for between-network variance), plus a full

@@ -28,9 +28,9 @@ FailureKind failure_kind_from_string(const std::string& name) {
   throw error("failure_kind_from_string: unknown kind '" + name + "'");
 }
 
-RngStream rederive_stream(const SeedCoords& coords) {
-  const RngStream master(coords.master_seed);
-  RngStream stream =
+util::RngStream rederive_stream(const SeedCoords& coords) {
+  const util::RngStream master(coords.master_seed);
+  util::RngStream stream =
       coords.trial_idx == kNoTrial
           ? master.derive(coords.net_idx, kInstanceStreamTag)
           : master.derive(coords.net_idx, kTrialStreamTag)

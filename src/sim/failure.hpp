@@ -12,7 +12,7 @@
 #include <string>
 #include <vector>
 
-#include "sim/rng.hpp"
+#include "util/rng.hpp"
 #include "util/table.hpp"
 
 namespace raysched::sim {
@@ -57,7 +57,7 @@ struct SeedCoords {
 ///   factory: master.derive(net, kInstanceStreamTag)
 ///   trial:   master.derive(net, kTrialStreamTag).derive(trial)
 /// with retries deriving once more by kRetryStreamTag + attempt.
-[[nodiscard]] RngStream rederive_stream(const SeedCoords& coords);
+[[nodiscard]] util::RngStream rederive_stream(const SeedCoords& coords);
 
 /// One contained fault. Under FaultPolicy::RetryThenSkip, only cells that
 /// exhausted every attempt are recorded; seed_coords then points at the

@@ -78,7 +78,7 @@ inline sim::TrialFunction inject_faults(sim::TrialFunction inner,
                                         std::vector<FaultSite> sites) {
   return [inner = std::move(inner), sites = std::move(sites)](
              const model::Network& net,
-             sim::RngStream& rng) -> std::vector<double> {
+             util::RngStream& rng) -> std::vector<double> {
     const sim::CellRef cell = sim::current_cell();
     const FaultSite* site = detail::match_site(sites, cell);
     if (site == nullptr) return inner(net, rng);
@@ -113,7 +113,7 @@ inline sim::TrialFunction inject_faults(sim::TrialFunction inner,
 inline sim::InstanceFactory inject_factory_faults(sim::InstanceFactory inner,
                                                   std::vector<FaultSite> sites) {
   return [inner = std::move(inner),
-          sites = std::move(sites)](sim::RngStream& rng) -> model::Network {
+          sites = std::move(sites)](util::RngStream& rng) -> model::Network {
     const sim::CellRef cell = sim::current_cell();
     const FaultSite* site = detail::match_site(sites, cell);
     if (site != nullptr) {

@@ -13,7 +13,7 @@ using raysched::testing::paper_network;
 TEST(BlockFading, GainsConstantWithinBlock) {
   auto net = hand_matrix_network(0.1);
   BlockFadingChannel channel(net, /*coherence=*/4, /*m=*/1.0,
-                             sim::RngStream(7));
+                             util::RngStream(7));
   const double g = channel.gain(0, 1);
   for (int s = 1; s < 4; ++s) {
     channel.advance_slot();
@@ -25,7 +25,7 @@ TEST(BlockFading, GainsConstantWithinBlock) {
 
 TEST(BlockFading, CoherenceOneResamplesEverySlot) {
   auto net = hand_matrix_network(0.1);
-  BlockFadingChannel channel(net, 1, 1.0, sim::RngStream(8));
+  BlockFadingChannel channel(net, 1, 1.0, util::RngStream(8));
   const double g = channel.gain(1, 2);
   channel.advance_slot();
   EXPECT_NE(channel.gain(1, 2), g);
@@ -35,7 +35,7 @@ TEST(BlockFading, MarginalDistributionMatchesRayleigh) {
   // Per-block gains are exponential with the right mean regardless of
   // coherence.
   auto net = hand_matrix_network(0.0);
-  BlockFadingChannel channel(net, 3, 1.0, sim::RngStream(9));
+  BlockFadingChannel channel(net, 3, 1.0, util::RngStream(9));
   sim::Accumulator acc;
   for (int s = 0; s < 30000; ++s) {
     if (channel.current_slot() % 3 == 0) acc.add(channel.gain(0, 0));
@@ -46,7 +46,7 @@ TEST(BlockFading, MarginalDistributionMatchesRayleigh) {
 
 TEST(BlockFading, SinrAllConsistentWithGains) {
   auto net = hand_matrix_network(0.1);
-  BlockFadingChannel channel(net, 2, 1.0, sim::RngStream(10));
+  BlockFadingChannel channel(net, 2, 1.0, util::RngStream(10));
   const LinkSet active = {0, 1};
   const auto sinrs = channel.sinr_all(active);
   ASSERT_EQ(sinrs.size(), 2u);
@@ -58,24 +58,24 @@ TEST(BlockFading, SinrAllConsistentWithGains) {
 
 TEST(BlockFading, CountSuccessesBounded) {
   auto net = hand_matrix_network(0.1);
-  BlockFadingChannel channel(net, 2, 2.0, sim::RngStream(11));
+  BlockFadingChannel channel(net, 2, 2.0, util::RngStream(11));
   EXPECT_LE(channel.count_successes({0, 1, 2}, units::Threshold(1.0)), 3u);
 }
 
 TEST(BlockFading, ValidatesParameters) {
   auto net = hand_matrix_network();
-  EXPECT_THROW(BlockFadingChannel(net, 0, 1.0, sim::RngStream(1)),
+  EXPECT_THROW(BlockFadingChannel(net, 0, 1.0, util::RngStream(1)),
                raysched::error);
-  EXPECT_THROW(BlockFadingChannel(net, 1, 0.0, sim::RngStream(1)),
+  EXPECT_THROW(BlockFadingChannel(net, 1, 0.0, util::RngStream(1)),
                raysched::error);
-  BlockFadingChannel ok(net, 1, 1.0, sim::RngStream(1));
+  BlockFadingChannel ok(net, 1, 1.0, util::RngStream(1));
   EXPECT_THROW(ok.gain(0, 9), raysched::error);
 }
 
 TEST(BlockFadingAloha, CompletesAtCoherenceOne) {
   auto net = paper_network(15, 21);
-  BlockFadingChannel channel(net, 1, 1.0, sim::RngStream(21));
-  sim::RngStream rng(22);
+  BlockFadingChannel channel(net, 1, 1.0, util::RngStream(21));
+  util::RngStream rng(22);
   const auto result =
       raysched::algorithms::aloha_schedule_block_fading(net, 2.5, channel, rng);
   EXPECT_TRUE(result.completed);
@@ -83,8 +83,8 @@ TEST(BlockFadingAloha, CompletesAtCoherenceOne) {
 
 TEST(BlockFadingAloha, CompletesUnderLongCoherence) {
   auto net = paper_network(12, 23);
-  BlockFadingChannel channel(net, 16, 1.0, sim::RngStream(23));
-  sim::RngStream rng(24);
+  BlockFadingChannel channel(net, 16, 1.0, util::RngStream(23));
+  util::RngStream rng(24);
   const auto result = raysched::algorithms::aloha_schedule_block_fading(
       net, 2.5, channel, rng, {}, 400000);
   EXPECT_TRUE(result.completed);
@@ -97,8 +97,8 @@ TEST(BlockFadingAloha, CoherenceOneStatisticallyMatchesIidAloha) {
   auto net = paper_network(12, 25);
   sim::Accumulator block_acc, iid_acc;
   for (std::uint64_t s = 0; s < 8; ++s) {
-    BlockFadingChannel channel(net, 1, 1.0, sim::RngStream(100 + s));
-    sim::RngStream r1(200 + s), r2(300 + s);
+    BlockFadingChannel channel(net, 1, 1.0, util::RngStream(100 + s));
+    util::RngStream r1(200 + s), r2(300 + s);
     const auto block = raysched::algorithms::aloha_schedule_block_fading(
         net, 2.5, channel, r1);
     const auto iid = raysched::algorithms::aloha_schedule(

@@ -102,7 +102,7 @@ TEST(Contracts, MathCoreInvariantsHoldOnRealInstances) {
   learning::RwmLearner rwm;
   learning::Exp3Learner exp3;
   learning::RegretMatchingLearner rm;
-  sim::RngStream rng(11);
+  util::RngStream rng(11);
   for (int t = 0; t < 2000; ++t) {
     const learning::LossPair losses{rng.uniform(), rng.uniform()};
     rwm.update(losses);

@@ -114,9 +114,9 @@ TEST(CoreDeep, TransferRespectsRepoweredNetwork) {
 
 TEST(CoreDeep, ReductionFacadeMatchesManualPipeline) {
   auto net = paper_network(30, 26);
-  sim::RngStream r1(26), r2(26);
-  ReductionOptions opts;  // greedy
-  const auto facade = schedule_capacity_rayleigh(
+  util::RngStream r1(26), r2(26);
+  algorithms::ReductionOptions opts;  // greedy
+  const auto facade = algorithms::schedule_capacity_rayleigh(
       net, Utility::binary(units::Threshold(2.5)), opts, r1);
   const auto manual_set = algorithms::greedy_capacity(net, 2.5).selected;
   EXPECT_EQ(facade.transmit_set, manual_set);
@@ -171,7 +171,7 @@ TEST(CoreDeep, CoverTimeAgreesWithSimulatedGeometrics) {
   // expected_cover_time vs direct simulation of independent geometrics.
   const std::vector<double> p = {0.2, 0.5, 0.35};
   const double analytic = expected_cover_time(units::probabilities(p));
-  sim::RngStream rng(28);
+  util::RngStream rng(28);
   sim::Accumulator acc;
   for (int run = 0; run < 40000; ++run) {
     long t = 0;

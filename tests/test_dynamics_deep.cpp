@@ -25,7 +25,7 @@ TEST(DynamicsDeep, ImpossibleBetaDrivesEveryoneQuiet) {
   GameOptions opts;
   opts.rounds = 400;
   opts.beta = 50.0;
-  sim::RngStream rng(1);
+  util::RngStream rng(1);
   const auto result = run_capacity_game(
       net, opts, [] { return std::make_unique<RwmLearner>(); }, rng);
   double late_f = 0.0;
@@ -42,7 +42,7 @@ TEST(DynamicsDeep, TrivialBetaDrivesEveryoneToSend) {
   GameOptions opts;
   opts.rounds = 300;
   opts.beta = 1e-6;
-  sim::RngStream rng(2);
+  util::RngStream rng(2);
   const auto result = run_capacity_game(
       net, opts, [] { return std::make_unique<RwmLearner>(); }, rng);
   double late_f = 0.0;
@@ -104,7 +104,7 @@ TEST(DynamicsDeep, RwmBeatsExp3EarlyOnTheSameInstance) {
     GameOptions opts;
     opts.rounds = 80;  // short horizon: the information gap shows here
     opts.beta = 2.5;
-    sim::RngStream r1(seed), r2(seed);
+    util::RngStream r1(seed), r2(seed);
     const auto rwm = run_capacity_game(
         net, opts, [] { return std::make_unique<RwmLearner>(); }, r1);
     const auto exp3 = run_capacity_game(
@@ -128,7 +128,7 @@ TEST(DynamicsDeep, FictitiousPlayAgreesWithBestResponseOnStrictInstances) {
   fp.model = GameModel::NonFading;
   fp.beta = 2.0;
   fp.rounds = 150;
-  sim::RngStream rng(5);
+  util::RngStream rng(5);
   const auto fp_result = run_fictitious_play(net, fp, rng);
   EXPECT_EQ(std::count(fp_result.final_profile.begin(),
                        fp_result.final_profile.end(), true),
@@ -145,7 +145,7 @@ TEST(DynamicsDeep, SuccessesNeverExceedTransmittersAndRegretBounded) {
   opts.rounds = 500;
   opts.beta = 2.5;
   opts.model = GameModel::Rayleigh;
-  sim::RngStream rng(6);
+  util::RngStream rng(6);
   const auto result = run_capacity_game(
       net, opts, [] { return std::make_unique<Exp3Learner>(); }, rng);
   for (std::size_t t = 0; t < opts.rounds; ++t) {
@@ -167,7 +167,7 @@ TEST(DynamicsDeep, ExpectedSuccessesConsistentWithRealized) {
   opts.rounds = 1500;
   opts.beta = 2.5;
   opts.model = GameModel::Rayleigh;
-  sim::RngStream rng(7);
+  util::RngStream rng(7);
   const auto result = run_capacity_game(
       net, opts, [] { return std::make_unique<RwmLearner>(); }, rng);
   EXPECT_NEAR(result.average_successes, result.average_expected_successes,

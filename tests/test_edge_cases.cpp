@@ -55,7 +55,7 @@ TEST(EdgeSingleLink, ExactOptAndBnB) {
 
 TEST(EdgeSingleLink, LatencyOneSlotNonFading) {
   auto net = single_link_network(0.25);
-  sim::RngStream rng(1);
+  util::RngStream rng(1);
   const auto result = algorithms::repeated_capacity_schedule(
       net, 3.0, algorithms::Propagation::NonFading, rng);
   EXPECT_TRUE(result.completed);
@@ -67,7 +67,7 @@ TEST(EdgeSingleLink, GameConvergesToSend) {
   learning::GameOptions opts;
   opts.rounds = 100;
   opts.beta = 2.0;
-  sim::RngStream rng(2);
+  util::RngStream rng(2);
   const auto result = learning::run_capacity_game(
       net, opts, [] { return std::make_unique<learning::RwmLearner>(); }, rng);
   EXPECT_GT(result.successes_per_round.back(), 0.0);
@@ -82,7 +82,7 @@ TEST(EdgeEmptySet, EverythingDegradesGracefully) {
   EXPECT_TRUE(model::is_feasible(net, {}, units::Threshold(1.0)));
   EXPECT_EQ(model::count_successes_nonfading(net, {}, units::Threshold(1.0)), 0u);
   EXPECT_DOUBLE_EQ(model::expected_successes_rayleigh(net, {}, units::Threshold(1.0)), 0.0);
-  sim::RngStream rng(1);
+  util::RngStream rng(1);
   EXPECT_EQ(model::count_successes_rayleigh(net, {}, units::Threshold(1.0), rng), 0u);
   EXPECT_DOUBLE_EQ(model::total_affectance_on(net, {}, 0, units::Threshold(1.0)), 0.0);
   EXPECT_DOUBLE_EQ(model::interference_spectral_radius(net, {}, units::Threshold(1.0)), 0.0);
@@ -262,7 +262,7 @@ TEST(EdgeRejection, OutOfRangeProbabilityVectors) {
 TEST(EdgeRejection, NonPositiveBetaAcrossEntryPoints) {
   auto net = raysched::testing::hand_matrix_network();
   const std::vector<double> q(3, 0.5);
-  sim::RngStream rng(7);
+  util::RngStream rng(7);
   for (double beta : {0.0, -2.5}) {
     EXPECT_THROW(core::rayleigh_success_probability(net, units::probabilities(q), 0, units::Threshold(beta)),
                  raysched::error);

@@ -9,7 +9,7 @@
 namespace raysched::sim {
 namespace {
 
-model::Network tiny_instance(RngStream& rng) {
+model::Network tiny_instance(util::RngStream& rng) {
   model::RandomPlaneParams params;
   params.num_links = 5;
   auto links = model::random_plane_links(params, rng);
@@ -24,7 +24,7 @@ TEST(Engine, RunsAllCells) {
   std::atomic<int> calls{0};
   const auto result = run_experiment(
       config, {"one"}, tiny_instance,
-      [&](const model::Network&, RngStream&) {
+      [&](const model::Network&, util::RngStream&) {
         calls.fetch_add(1);
         return std::vector<double>{1.0};
       });
@@ -40,7 +40,7 @@ TEST(Engine, MetricsAreSeparated) {
   config.trials_per_network = 3;
   const auto result = run_experiment(
       config, {"a", "b"}, tiny_instance,
-      [](const model::Network&, RngStream&) {
+      [](const model::Network&, util::RngStream&) {
         return std::vector<double>{2.0, 5.0};
       });
   EXPECT_EQ(result.num_metrics(), 2u);
@@ -51,7 +51,7 @@ TEST(Engine, MetricsAreSeparated) {
 TEST(Engine, DeterministicAcrossThreadCounts) {
   // The per-cell streams are derived from (network, trial), so thread count
   // must not change any statistic.
-  auto trial = [](const model::Network& net, RngStream& rng) {
+  auto trial = [](const model::Network& net, util::RngStream& rng) {
     model::LinkSet active;
     for (model::LinkId i = 0; i < net.size(); ++i) {
       if (rng.bernoulli(0.5)) active.push_back(i);
@@ -73,7 +73,7 @@ TEST(Engine, DeterministicAcrossThreadCounts) {
 }
 
 TEST(Engine, DifferentSeedsGiveDifferentInstances) {
-  auto trial = [](const model::Network& net, RngStream&) {
+  auto trial = [](const model::Network& net, util::RngStream&) {
     return std::vector<double>{net.link(0).receiver.x};
   };
   ExperimentConfig c1;
@@ -91,7 +91,7 @@ TEST(Engine, PerNetworkAveragesTrialMeans) {
   // Each network contributes the mean of its trials, regardless of trial
   // count weighting.
   int network_counter = 0;
-  auto factory = [&](RngStream& rng) {
+  auto factory = [&](util::RngStream& rng) {
     ++network_counter;
     return tiny_instance(rng);
   };
@@ -100,7 +100,7 @@ TEST(Engine, PerNetworkAveragesTrialMeans) {
   config.num_networks = 2;
   config.trials_per_network = 2;
   const auto result = run_experiment(
-      config, {"v"}, factory, [&](const model::Network&, RngStream&) {
+      config, {"v"}, factory, [&](const model::Network&, util::RngStream&) {
         // Network 0 trials: 0, 2 (mean 1); network 1 trials: 10, 30 (mean 20).
         const double values[] = {0.0, 2.0, 10.0, 30.0};
         return std::vector<double>{values[call++]};
@@ -115,7 +115,7 @@ TEST(Engine, PerNetworkAveragesTrialMeans) {
 TEST(Engine, SkipPolicyWithoutFaultsMatchesAbortPolicy) {
   // On a fault-free sweep the policy must be invisible: identical statistics
   // and empty failure bookkeeping.
-  auto trial = [](const model::Network& net, RngStream& rng) {
+  auto trial = [](const model::Network& net, util::RngStream& rng) {
     return std::vector<double>{rng.uniform() * static_cast<double>(net.size())};
   };
   ExperimentConfig abort_cfg;
@@ -149,7 +149,7 @@ TEST(Engine, CurrentCellReportsCoordinatesDuringEvaluation) {
   std::atomic<int> trial_checks{0};
   const auto result = run_experiment(
       config, {"one"},
-      [&](RngStream& rng) {
+      [&](util::RngStream& rng) {
         const CellRef cell = current_cell();
         EXPECT_TRUE(cell.active);
         EXPECT_EQ(cell.trial_idx, kNoTrial);
@@ -157,7 +157,7 @@ TEST(Engine, CurrentCellReportsCoordinatesDuringEvaluation) {
         factory_checks.fetch_add(1);
         return tiny_instance(rng);
       },
-      [&](const model::Network&, RngStream&) {
+      [&](const model::Network&, util::RngStream&) {
         const CellRef cell = current_cell();
         EXPECT_TRUE(cell.active);
         EXPECT_LT(cell.trial_idx, 3u);
@@ -182,7 +182,7 @@ TEST(Engine, PeriodicCheckpointIsWrittenAndLoadable) {
   config.checkpoint_path = path;
   config.checkpoint_every = 2;
   const auto result = run_experiment(
-      config, {"v"}, tiny_instance, [](const model::Network&, RngStream& rng) {
+      config, {"v"}, tiny_instance, [](const model::Network&, util::RngStream& rng) {
         return std::vector<double>{rng.uniform()};
       });
   EXPECT_EQ(result.networks_completed, 5u);
@@ -202,7 +202,7 @@ TEST(Engine, PreSetCancelFlagStopsImmediately) {
   config.cancel = &cancel;
   std::atomic<int> calls{0};
   const auto result = run_experiment(
-      config, {"v"}, tiny_instance, [&](const model::Network&, RngStream&) {
+      config, {"v"}, tiny_instance, [&](const model::Network&, util::RngStream&) {
         calls.fetch_add(1);
         return std::vector<double>{0.0};
       });
@@ -215,18 +215,18 @@ TEST(Engine, ValidatesConfiguration) {
   ExperimentConfig bad;
   bad.num_networks = 0;
   EXPECT_THROW(run_experiment(bad, {"m"}, tiny_instance,
-                              [](const model::Network&, RngStream&) {
+                              [](const model::Network&, util::RngStream&) {
                                 return std::vector<double>{0.0};
                               }),
                raysched::error);
   ExperimentConfig ok;
   EXPECT_THROW(run_experiment(ok, {}, tiny_instance,
-                              [](const model::Network&, RngStream&) {
+                              [](const model::Network&, util::RngStream&) {
                                 return std::vector<double>{};
                               }),
                raysched::error);
   EXPECT_THROW(run_experiment(ok, {"m"}, tiny_instance,
-                              [](const model::Network&, RngStream&) {
+                              [](const model::Network&, util::RngStream&) {
                                 return std::vector<double>{1.0, 2.0};  // wrong width
                               }),
                raysched::error);

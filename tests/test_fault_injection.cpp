@@ -21,7 +21,7 @@ using raysched::testing::inject_factory_faults;
 using raysched::testing::inject_faults;
 using raysched::testing::parse_fault_sites;
 
-model::Network tiny_instance(RngStream& rng) {
+model::Network tiny_instance(util::RngStream& rng) {
   model::RandomPlaneParams params;
   params.num_links = 5;
   auto links = model::random_plane_links(params, rng);
@@ -31,7 +31,7 @@ model::Network tiny_instance(RngStream& rng) {
 
 /// A deterministic trial that actually consumes its stream, so stream
 /// reuse/derivation bugs would show up as changed statistics.
-std::vector<double> noisy_trial(const model::Network& net, RngStream& rng) {
+std::vector<double> noisy_trial(const model::Network& net, util::RngStream& rng) {
   model::LinkSet active;
   for (model::LinkId i = 0; i < net.size(); ++i) {
     if (rng.bernoulli(0.5)) active.push_back(i);
@@ -275,16 +275,16 @@ TEST(FaultInjection, RederiveStreamReproducesFailingTrialStream) {
   const auto result = run_experiment(config, {"s"}, tiny_instance, trial);
   ASSERT_EQ(result.failures.size(), 1u);
 
-  RngStream replay = rederive_stream(result.failures[0].seed_coords);
-  RngStream instance_rng =
-      RngStream(config.master_seed).derive(2, kInstanceStreamTag);
+  util::RngStream replay = rederive_stream(result.failures[0].seed_coords);
+  util::RngStream instance_rng =
+      util::RngStream(config.master_seed).derive(2, kInstanceStreamTag);
   const model::Network net = tiny_instance(instance_rng);
   const double replayed = noisy_trial(net, replay)[0];
 
   // Reference: the same cell in an injection-free sweep.
   const auto clean =
       run_experiment(config, {"s"}, tiny_instance,
-                     [&](const model::Network& n, RngStream& rng) {
+                     [&](const model::Network& n, util::RngStream& rng) {
                        const CellRef cell = current_cell();
                        auto row = noisy_trial(n, rng);
                        if (cell.net_idx == 2 && cell.trial_idx == 3) {
@@ -309,7 +309,7 @@ TEST(FaultInjection, CheckpointResumeMatchesUninterruptedRunBitwise) {
 
   // Interrupted run: a cooperative cancel fires once network 3 starts.
   std::atomic<bool> cancel{false};
-  auto cancelling_trial = [&](const model::Network& net, RngStream& rng) {
+  auto cancelling_trial = [&](const model::Network& net, util::RngStream& rng) {
     if (current_cell().net_idx >= 3) cancel.store(true);
     return inject_faults(noisy_trial, {{1, 2, FaultAction::Throw}})(net, rng);
   };

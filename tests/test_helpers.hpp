@@ -46,7 +46,7 @@ inline model::Network paper_network(std::size_t n, std::uint64_t seed,
                                     double power = 2.0,
                                     double min_len = 20.0,
                                     double max_len = 40.0) {
-  sim::RngStream rng(seed);
+  util::RngStream rng(seed);
   model::RandomPlaneParams params;
   params.num_links = n;
   params.min_length = min_len;

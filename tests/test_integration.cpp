@@ -20,7 +20,7 @@ using raysched::testing::paper_network;
 TEST(Integration, Figure1MiniatureSweep) {
   auto net = paper_network(30, 2024);
   const double beta = 2.5;
-  sim::RngStream rng(1);
+  util::RngStream rng(1);
   double prev_nonfading_at_0 = -1.0;
   for (double q : {0.0, 0.25, 0.5, 0.75, 1.0}) {
     std::vector<double> probs(net.size(), q);
@@ -53,7 +53,7 @@ TEST(Integration, CapacityTransferPipeline) {
   ASSERT_GT(greedy.selected.size(), 0u);
 
   // Lemma 2: expected Rayleigh successes of the transferred solution.
-  sim::RngStream rng(7);
+  util::RngStream rng(7);
   const auto transfer = core::transfer_capacity_solution(
       net, greedy.selected, core::Utility::binary(units::Threshold(beta)), 1, rng);
   EXPECT_GE(transfer.ratio(), 1.0 / std::exp(1.0) - 1e-9);
@@ -74,7 +74,7 @@ TEST(Integration, CapacityTransferPipeline) {
 TEST(Integration, LatencyTransferPipeline) {
   auto net = paper_network(25, 9);
   const double beta = 2.5;
-  sim::RngStream rng_nf(1), rng_r(2);
+  util::RngStream rng_nf(1), rng_r(2);
   const auto nf = algorithms::aloha_schedule(
       net, beta, algorithms::Propagation::NonFading, rng_nf);
   const auto rl = algorithms::aloha_schedule(
@@ -100,7 +100,7 @@ TEST(Integration, RegretLearningReachesConstantFractionOfOpt) {
   for (auto model : {learning::GameModel::NonFading,
                      learning::GameModel::Rayleigh}) {
     opts.model = model;
-    sim::RngStream rng(3);
+    util::RngStream rng(3);
     const auto result = learning::run_capacity_game(
         net, opts,
         [] { return std::make_unique<learning::RwmLearner>(); }, rng);
@@ -131,7 +131,7 @@ TEST(Integration, ShannonCapacityPipeline) {
   const auto result =
       algorithms::flexible_rate_capacity(net, shannon, 0.5, 8.0, 8);
   ASSERT_GT(result.selected.size(), 0u);
-  sim::RngStream rng(5);
+  util::RngStream rng(5);
   const auto transfer = core::transfer_capacity_solution(
       net, result.selected, shannon, 2000, rng);
   EXPECT_GT(transfer.nonfading_value, 0.0);

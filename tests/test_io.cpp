@@ -253,7 +253,7 @@ TEST(LatencyBounds, SandwichSimulatedAlohaLatency) {
   ASSERT_LE(lower, upper);
   sim::Accumulator sim_latency;
   for (std::uint64_t s = 0; s < 60; ++s) {
-    sim::RngStream rng(1000 + s);
+    util::RngStream rng(1000 + s);
     const auto result = raysched::algorithms::aloha_schedule(
         net, beta, raysched::algorithms::Propagation::Rayleigh, rng);
     ASSERT_TRUE(result.completed);

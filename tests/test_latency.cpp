@@ -14,7 +14,7 @@ using raysched::testing::paper_network;
 
 TEST(RepeatedCapacity, NonFadingCompletesAndCoversEveryLink) {
   auto net = paper_network(30, 1);
-  sim::RngStream rng(1);
+  util::RngStream rng(1);
   const auto result = repeated_capacity_schedule(net, 2.5,
                                                  Propagation::NonFading, rng);
   EXPECT_TRUE(result.completed);
@@ -32,7 +32,7 @@ TEST(RepeatedCapacity, NonFadingCompletesAndCoversEveryLink) {
 
 TEST(RepeatedCapacity, NonFadingSlotsAreFeasible) {
   auto net = paper_network(25, 2);
-  sim::RngStream rng(2);
+  util::RngStream rng(2);
   const auto result = repeated_capacity_schedule(net, 2.5,
                                                  Propagation::NonFading, rng);
   for (const auto& slot : result.schedule) {
@@ -42,7 +42,7 @@ TEST(RepeatedCapacity, NonFadingSlotsAreFeasible) {
 
 TEST(RepeatedCapacity, NonFadingLatencyIsDeterministic) {
   auto net = paper_network(20, 3);
-  sim::RngStream r1(5), r2(99);
+  util::RngStream r1(5), r2(99);
   const auto a = repeated_capacity_schedule(net, 2.5, Propagation::NonFading, r1);
   const auto b = repeated_capacity_schedule(net, 2.5, Propagation::NonFading, r2);
   EXPECT_EQ(a.slots, b.slots);  // rng unused in the non-fading variant
@@ -50,13 +50,13 @@ TEST(RepeatedCapacity, NonFadingLatencyIsDeterministic) {
 
 TEST(RepeatedCapacity, RayleighCompletesWithRetries) {
   auto net = paper_network(20, 4);
-  sim::RngStream rng(4);
+  util::RngStream rng(4);
   const auto result = repeated_capacity_schedule(net, 2.5,
                                                  Propagation::Rayleigh, rng);
   EXPECT_TRUE(result.completed);
   // Rayleigh needs at least as many slots as the non-fading run (failures
   // re-enter the pool) — statistically certain at these sizes.
-  sim::RngStream rng2(4);
+  util::RngStream rng2(4);
   const auto nf = repeated_capacity_schedule(net, 2.5,
                                              Propagation::NonFading, rng2);
   EXPECT_GE(result.slots, nf.slots);
@@ -64,7 +64,7 @@ TEST(RepeatedCapacity, RayleighCompletesWithRetries) {
 
 TEST(RepeatedCapacity, CustomAlgorithmIsUsed) {
   auto net = paper_network(10, 5);
-  sim::RngStream rng(5);
+  util::RngStream rng(5);
   // One link per slot: latency equals n.
   const auto result = repeated_capacity_schedule(
       net, 2.5, Propagation::NonFading, rng, 100000,
@@ -77,7 +77,7 @@ TEST(RepeatedCapacity, CustomAlgorithmIsUsed) {
 
 TEST(RepeatedCapacity, MaxSlotsRespected) {
   auto net = paper_network(20, 6);
-  sim::RngStream rng(6);
+  util::RngStream rng(6);
   const auto result =
       repeated_capacity_schedule(net, 2.5, Propagation::Rayleigh, rng, 2);
   EXPECT_LE(result.slots, 2u);
@@ -89,7 +89,7 @@ TEST(RepeatedCapacity, MaxSlotsRespected) {
 TEST(Aloha, CompletesInBothModels) {
   auto net = paper_network(15, 7);
   for (auto prop : {Propagation::NonFading, Propagation::Rayleigh}) {
-    sim::RngStream rng(7);
+    util::RngStream rng(7);
     const auto result = aloha_schedule(net, 2.5, prop, rng);
     EXPECT_TRUE(result.completed);
     EXPECT_GT(result.slots, 0u);
@@ -100,7 +100,7 @@ TEST(Aloha, RayleighStepUsesFourRepeats) {
   // With max_slots = 4 and Rayleigh, exactly one randomized step runs and is
   // repeated up to 4 times: schedule length <= 4 and all entries equal.
   auto net = paper_network(10, 8);
-  sim::RngStream rng(8);
+  util::RngStream rng(8);
   const auto result =
       aloha_schedule(net, 2.5, Propagation::Rayleigh, rng, {}, 4);
   ASSERT_LE(result.schedule.size(), 4u);
@@ -113,7 +113,7 @@ TEST(Aloha, AdaptiveCompletesToo) {
   auto net = paper_network(15, 9);
   AlohaOptions opts;
   opts.adaptive = true;
-  sim::RngStream rng(9);
+  util::RngStream rng(9);
   const auto result =
       aloha_schedule(net, 2.5, Propagation::NonFading, rng, opts);
   EXPECT_TRUE(result.completed);
@@ -121,7 +121,7 @@ TEST(Aloha, AdaptiveCompletesToo) {
 
 TEST(Aloha, ValidatesOptions) {
   auto net = paper_network(5, 10);
-  sim::RngStream rng(1);
+  util::RngStream rng(1);
   AlohaOptions bad;
   bad.initial_probability = 0.9;  // > 1/2 breaks the Section-4 hypothesis
   EXPECT_THROW(aloha_schedule(net, 2.5, Propagation::NonFading, rng, bad),
@@ -135,11 +135,11 @@ TEST(Aloha, ValidatesOptions) {
 
 TEST(Aloha, DenseInstanceStillCompletes) {
   // Heavy interference: two co-located clusters.
-  sim::RngStream gen(11);
+  util::RngStream gen(11);
   auto links = model::two_cluster_links(5, 5.0, 500.0, 2.0, gen);
   model::Network net(std::move(links), model::PowerAssignment::uniform(1.0),
                      3.0, units::Power(1e-9));
-  sim::RngStream rng(11);
+  util::RngStream rng(11);
   const auto result = aloha_schedule(net, 1.5, Propagation::Rayleigh, rng, {},
                                      500000);
   EXPECT_TRUE(result.completed);
@@ -150,7 +150,7 @@ TEST(Multihop, ChainCompletesInOrder) {
   model::Network net(std::move(links), model::PowerAssignment::uniform(1.0),
                      2.0, units::Power(1e-6));
   std::vector<MultihopRequest> requests = {{{0, 1, 2, 3, 4}}};
-  sim::RngStream rng(12);
+  util::RngStream rng(12);
   const auto result =
       schedule_multihop(net, requests, 2.0, Propagation::NonFading, rng);
   EXPECT_TRUE(result.completed);
@@ -164,7 +164,7 @@ TEST(Multihop, ParallelRequestsShareSlots) {
   for (LinkId i = 0; i < 20; i += 2) {
     requests.push_back({{i, i + 1}});
   }
-  sim::RngStream rng(13);
+  util::RngStream rng(13);
   const auto result =
       schedule_multihop(net, requests, 2.5, Propagation::NonFading, rng);
   EXPECT_TRUE(result.completed);
@@ -178,7 +178,7 @@ TEST(Multihop, RayleighCompletes) {
   model::Network net(std::move(links), model::PowerAssignment::uniform(1.0),
                      2.0, units::Power(1e-6));
   std::vector<MultihopRequest> requests = {{{0, 1, 2, 3}}, {{2, 3}}};
-  sim::RngStream rng(14);
+  util::RngStream rng(14);
   const auto result =
       schedule_multihop(net, requests, 1.5, Propagation::Rayleigh, rng);
   EXPECT_TRUE(result.completed);
@@ -186,7 +186,7 @@ TEST(Multihop, RayleighCompletes) {
 
 TEST(Multihop, ValidatesRequests) {
   auto net = paper_network(5, 15);
-  sim::RngStream rng(1);
+  util::RngStream rng(1);
   EXPECT_THROW(
       schedule_multihop(net, {}, 2.0, Propagation::NonFading, rng),
       raysched::error);

@@ -73,7 +73,7 @@ TEST(LatencyExact, SimulatorMatchesGroundTruthNonFading) {
       exact_aloha_expected_slots(net, units::Probability(q), units::Threshold(beta), Propagation::NonFading);
   sim::Accumulator sim_slots;
   for (std::uint64_t s = 0; s < 600; ++s) {
-    sim::RngStream rng(4000 + s);
+    util::RngStream rng(4000 + s);
     const auto run = raysched::algorithms::aloha_schedule(
         net, beta, Propagation::NonFading, rng);
     ASSERT_TRUE(run.completed);
@@ -89,7 +89,7 @@ TEST(LatencyExact, SimulatorMatchesGroundTruthRayleigh) {
       exact_aloha_expected_slots(net, units::Probability(q), units::Threshold(beta), Propagation::Rayleigh);
   sim::Accumulator sim_slots;
   for (std::uint64_t s = 0; s < 600; ++s) {
-    sim::RngStream rng(5000 + s);
+    util::RngStream rng(5000 + s);
     const auto run = raysched::algorithms::aloha_schedule(
         net, beta, Propagation::Rayleigh, rng);
     ASSERT_TRUE(run.completed);

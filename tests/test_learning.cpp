@@ -66,7 +66,7 @@ TEST(Rwm, NoRegretAgainstAlternatingLosses) {
   // any fixed action; RWM's average regret must go to ~0.
   RwmLearner l;
   RegretTracker tracker;
-  sim::RngStream rng(5);
+  util::RngStream rng(5);
   for (int t = 0; t < 4000; ++t) {
     const LossPair losses =
         (t % 2 == 0) ? LossPair{0.0, 1.0} : LossPair{1.0, 0.0};
@@ -81,7 +81,7 @@ TEST(Rwm, NoRegretAgainstBiasedRandomLosses) {
   // Send is better on average: regret vs always-send must stay sublinear.
   RwmLearner l;
   RegretTracker tracker;
-  sim::RngStream rng(6);
+  util::RngStream rng(6);
   for (int t = 0; t < 4000; ++t) {
     LossPair losses;
     losses.stay = 0.5;
@@ -116,7 +116,7 @@ TEST(CapacityGame, RunsAndRecordsShapes) {
   GameOptions opts;
   opts.rounds = 50;
   opts.beta = 2.5;
-  sim::RngStream rng(1);
+  util::RngStream rng(1);
   const auto result = run_capacity_game(
       net, opts, [] { return std::make_unique<RwmLearner>(); }, rng);
   EXPECT_EQ(result.successes_per_round.size(), 50u);
@@ -137,7 +137,7 @@ TEST(CapacityGame, SparseNetworkConvergesToEveryoneSending) {
   GameOptions opts;
   opts.rounds = 300;
   opts.beta = 2.0;
-  sim::RngStream rng(3);
+  util::RngStream rng(3);
   const auto result = run_capacity_game(
       net, opts, [] { return std::make_unique<RwmLearner>(); }, rng);
   double late = 0.0;
@@ -148,7 +148,7 @@ TEST(CapacityGame, SparseNetworkConvergesToEveryoneSending) {
 
 TEST(CapacityGame, RegretPerRoundShrinks) {
   auto net = paper_network(12, 2);
-  sim::RngStream rng(2);
+  util::RngStream rng(2);
   GameOptions short_opts;
   short_opts.rounds = 2000;
   short_opts.beta = 2.5;
@@ -168,7 +168,7 @@ TEST(CapacityGame, Lemma5InequalityObserved) {
     opts.rounds = 1500;
     opts.beta = 2.5;
     opts.model = model;
-    sim::RngStream rng(4);
+    util::RngStream rng(4);
     const auto result = run_capacity_game(
         net, opts, [] { return std::make_unique<RwmLearner>(); }, rng);
     const double X = result.average_expected_successes;
@@ -190,7 +190,7 @@ TEST(CapacityGame, RayleighRunsAndStaysBounded) {
   opts.rounds = 100;
   opts.model = GameModel::Rayleigh;
   opts.beta = 2.5;
-  sim::RngStream rng(5);
+  util::RngStream rng(5);
   const auto result = run_capacity_game(
       net, opts, [] { return std::make_unique<RwmLearner>(); }, rng);
   for (double s : result.successes_per_round) {
@@ -201,7 +201,7 @@ TEST(CapacityGame, RayleighRunsAndStaysBounded) {
 
 TEST(CapacityGame, ValidatesInput) {
   auto net = paper_network(5, 6);
-  sim::RngStream rng(1);
+  util::RngStream rng(1);
   GameOptions opts;
   opts.rounds = 0;
   EXPECT_THROW(run_capacity_game(

@@ -29,7 +29,7 @@ TEST(Exp3, FullInformationUpdateRejected) {
 
 TEST(Exp3, LearnsToSendWhenSendingIsFree) {
   Exp3Learner l;
-  sim::RngStream rng(1);
+  util::RngStream rng(1);
   for (int t = 0; t < 3000; ++t) {
     const Action a = l.sample(rng);
     // Send costs 0, stay costs 0.5.
@@ -40,7 +40,7 @@ TEST(Exp3, LearnsToSendWhenSendingIsFree) {
 
 TEST(Exp3, LearnsToStayWhenSendingAlwaysFails) {
   Exp3Learner l;
-  sim::RngStream rng(2);
+  util::RngStream rng(2);
   for (int t = 0; t < 3000; ++t) {
     const Action a = l.sample(rng);
     l.update_bandit(a, a == Action::Send ? 1.0 : 0.5);
@@ -53,7 +53,7 @@ TEST(Exp3, GammaDecaysButStaysAboveFloor) {
   opts.initial_gamma = 0.3;
   opts.min_gamma = 0.05;
   Exp3Learner l(opts);
-  sim::RngStream rng(3);
+  util::RngStream rng(3);
   for (int t = 0; t < 1000; ++t) {
     l.update_bandit(l.sample(rng), 0.5);
   }
@@ -66,7 +66,7 @@ TEST(Exp3, FixedGammaOption) {
   Exp3Options opts;
   opts.decay_gamma = false;
   Exp3Learner l(opts);
-  sim::RngStream rng(4);
+  util::RngStream rng(4);
   for (int t = 0; t < 100; ++t) l.update_bandit(l.sample(rng), 0.5);
   EXPECT_DOUBLE_EQ(l.gamma(), opts.initial_gamma);
 }
@@ -76,7 +76,7 @@ TEST(Exp3, SublinearRegretOnStochasticLosses) {
   // be small after enough rounds.
   Exp3Learner l;
   RegretTracker tracker;
-  sim::RngStream rng(5);
+  util::RngStream rng(5);
   for (int t = 0; t < 20000; ++t) {
     LossPair losses;
     losses.stay = 0.5;
@@ -101,7 +101,7 @@ TEST(Exp3, WorksInsideCapacityGame) {
   GameOptions opts;
   opts.rounds = 600;
   opts.beta = 2.5;
-  sim::RngStream rng(31);
+  util::RngStream rng(31);
   const auto result = run_capacity_game(
       net, opts, [] { return std::make_unique<Exp3Learner>(); }, rng);
   EXPECT_EQ(result.successes_per_round.size(), 600u);
@@ -208,7 +208,7 @@ TEST(BestResponse, MixedLearnersInGame) {
   GameOptions opts;
   opts.rounds = 200;
   opts.beta = 2.5;
-  sim::RngStream rng(17);
+  util::RngStream rng(17);
   int counter = 0;
   const auto result = run_capacity_game(
       net, opts,

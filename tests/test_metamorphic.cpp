@@ -89,7 +89,7 @@ TEST(Metamorphic, GainScaleInvarianceOfAlgorithms) {
 TEST(Metamorphic, Theorem1ScaleInvarianceWithProbabilities) {
   auto net = raysched::testing::paper_network(12, 3);
   const auto scaled = scaled_copy(net, 3.7e5);
-  sim::RngStream rng(3);
+  util::RngStream rng(3);
   std::vector<double> q(net.size());
   for (auto& v : q) v = rng.uniform();
   for (LinkId i = 0; i < net.size(); ++i) {
@@ -131,7 +131,7 @@ TEST(Metamorphic, PermutationEquivariance) {
 
 TEST(Metamorphic, IsometryInvarianceOfGeometry) {
   // Translate + rotate every node: the gain matrix must be identical.
-  sim::RngStream rng(5);
+  util::RngStream rng(5);
   model::RandomPlaneParams params;
   params.num_links = 10;
   const auto links = model::random_plane_links(params, rng);
@@ -160,7 +160,7 @@ TEST(Metamorphic, IsometryInvarianceOfGeometry) {
 TEST(Metamorphic, PowerUnitInvarianceAtZeroNoise) {
   // With nu = 0, scaling all powers by c scales all gains by c: SINRs and
   // everything derived from them are unchanged.
-  sim::RngStream rng(6);
+  util::RngStream rng(6);
   model::RandomPlaneParams params;
   params.num_links = 12;
   const auto links = model::random_plane_links(params, rng);

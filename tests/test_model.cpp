@@ -126,7 +126,7 @@ TEST(Network, LengthRatio) {
 }
 
 TEST(Generator, RandomPlaneRespectsParameters) {
-  sim::RngStream rng(5);
+  util::RngStream rng(5);
   RandomPlaneParams params;
   params.num_links = 200;
   params.plane_size = 500.0;
@@ -146,7 +146,7 @@ TEST(Generator, RandomPlaneRespectsParameters) {
 
 TEST(Generator, RandomPlaneDeterministicPerSeed) {
   RandomPlaneParams params;
-  sim::RngStream r1(7), r2(7), r3(8);
+  util::RngStream r1(7), r2(7), r3(8);
   const auto a = random_plane_links(params, r1);
   const auto b = random_plane_links(params, r2);
   const auto c = random_plane_links(params, r3);
@@ -163,7 +163,7 @@ TEST(Generator, GridShape) {
 }
 
 TEST(Generator, TwoClusters) {
-  sim::RngStream rng(9);
+  util::RngStream rng(9);
   const auto links = two_cluster_links(5, 2.0, 1000.0, 1.0, rng);
   ASSERT_EQ(links.size(), 10u);
   // First five receivers near origin, last five near (1000, 0).
@@ -212,7 +212,7 @@ TEST(Generator, ExponentialChainValidation) {
 }
 
 TEST(Generator, ParameterValidation) {
-  sim::RngStream rng(1);
+  util::RngStream rng(1);
   RandomPlaneParams bad;
   bad.num_links = 0;
   EXPECT_THROW(random_plane_links(bad, rng), raysched::error);

@@ -41,7 +41,7 @@ TEST(RegularizedGammaQ, MonotoneAndBounded) {
 }
 
 TEST(GammaSampling, MomentsMatch) {
-  sim::RngStream rng(1);
+  util::RngStream rng(1);
   for (double shape : {0.5, 1.0, 2.0, 5.0}) {
     sim::Accumulator acc;
     for (int i = 0; i < 40000; ++i) acc.add(rng.gamma(shape));
@@ -53,7 +53,7 @@ TEST(GammaSampling, MomentsMatch) {
 
 TEST(Nakagami, GainMomentsMatch) {
   // Gain ~ Gamma(m, mean/m): E = mean, Var = mean^2 / m.
-  sim::RngStream rng(2);
+  util::RngStream rng(2);
   const double mean = 3.0, m = 4.0;
   sim::Accumulator acc;
   for (int i = 0; i < 40000; ++i) {
@@ -70,7 +70,7 @@ TEST(Nakagami, MEqualsOneIsRayleigh) {
   const double beta = 1.5;
   const double rayleigh_exact =
       success_probability_rayleigh(net, active, 0, units::Threshold(beta)).value();
-  sim::RngStream rng(3);
+  util::RngStream rng(3);
   const double nakagami_mc = success_probability_nakagami_mc(
       net, active, 0, units::Threshold(beta), 1.0, 40000, rng);
   EXPECT_NEAR(nakagami_mc, rayleigh_exact, 0.012);
@@ -83,7 +83,7 @@ TEST(Nakagami, LargeMApproachesNonFading) {
   const LinkSet active = {0, 1, 2};
   // Non-fading SINR of link 0 is ~3.85: success at beta=3 (deterministically
   // yes) and failure at beta=5 (deterministically no).
-  sim::RngStream rng(4);
+  util::RngStream rng(4);
   const double p_yes = success_probability_nakagami_mc(
       net, active, 0, units::Threshold(3.0), 200.0, 4000, rng);
   const double p_no = success_probability_nakagami_mc(
@@ -98,7 +98,7 @@ TEST(Nakagami, SmallMFadesHarderThanRayleigh) {
   auto net = hand_matrix_network(0.1);
   const LinkSet active = {0};
   const double beta = 2.0;  // alone, non-fading SINR = 100 >> beta
-  sim::RngStream rng(5);
+  util::RngStream rng(5);
   const double rayleigh = success_probability_rayleigh(net, active, 0, units::Threshold(beta)).value();
   const double hard = success_probability_nakagami_mc(net, active, 0, units::Threshold(beta),
                                                       0.5, 40000, rng);
@@ -110,7 +110,7 @@ TEST(Nakagami, NoiseOnlyClosedFormMatchesMc) {
   for (double m : {1.0, 2.0, 4.0}) {
     const double exact =
         noise_only_success_probability_nakagami(units::LinearGain(mean), units::Power(noise), units::Threshold(beta), m).value();
-    sim::RngStream rng(static_cast<std::uint64_t>(m * 100));
+    util::RngStream rng(static_cast<std::uint64_t>(m * 100));
     int hits = 0;
     const int trials = 40000;
     for (int t = 0; t < trials; ++t) {
@@ -127,7 +127,7 @@ TEST(Nakagami, NoiseOnlyMatchesRayleighAtMOne) {
 
 TEST(Nakagami, SlotApiShapes) {
   auto net = hand_matrix_network(0.1);
-  sim::RngStream rng(6);
+  util::RngStream rng(6);
   const auto sinrs = sinr_nakagami_all(net, {0, 2}, 2.0, rng);
   ASSERT_EQ(sinrs.size(), 2u);
   for (double g : sinrs) EXPECT_GE(g, 0.0);
@@ -141,7 +141,7 @@ TEST(Nakagami, SlotApiShapes) {
 
 TEST(Nakagami, ValidatesInput) {
   auto net = hand_matrix_network();
-  sim::RngStream rng(1);
+  util::RngStream rng(1);
   EXPECT_THROW(sample_gain_nakagami(1.0, 0.0, rng), raysched::error);
   EXPECT_THROW(sinr_nakagami_all(net, {0}, -1.0, rng), raysched::error);
   EXPECT_THROW(

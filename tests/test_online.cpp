@@ -64,7 +64,7 @@ TEST(Online, IdempotentArrivalsAndDepartures) {
 TEST(Online, InvariantUnderRandomChurn) {
   auto net = paper_network(30, 11);
   OnlineScheduler sched(net, 2.5);
-  sim::RngStream rng(11);
+  util::RngStream rng(11);
   for (int step = 0; step < 600; ++step) {
     const LinkId i = rng.uniform_index(net.size());
     if (rng.bernoulli(0.6)) {

@@ -57,7 +57,7 @@ TEST(PathLoss, Validation) {
 }
 
 TEST(PathLossNetwork, PowerLawConstructorsAgree) {
-  sim::RngStream rng(4);
+  util::RngStream rng(4);
   RandomPlaneParams params;
   params.num_links = 10;
   const auto links = random_plane_links(params, rng);
@@ -76,7 +76,7 @@ TEST(PathLossNetwork, PowerLawConstructorsAgree) {
 TEST(PathLossNetwork, DualSlopeChangesSchedulingOutcomes) {
   // A steeper far slope suppresses distant interference, so capacity can
   // only grow (weakly) when far interference is attenuated harder.
-  sim::RngStream rng(5);
+  util::RngStream rng(5);
   RandomPlaneParams params;
   params.num_links = 40;
   const auto links = random_plane_links(params, rng);
@@ -94,16 +94,16 @@ TEST(PathLossNetwork, DualSlopeChangesSchedulingOutcomes) {
 TEST(PathLossNetwork, WholePipelineRunsOnLogDistance) {
   // Full reduction pipeline on a non-power-law network: the paper's
   // geometry-free claim in action.
-  sim::RngStream rng(6);
+  util::RngStream rng(6);
   RandomPlaneParams params;
   params.num_links = 20;
   auto links = random_plane_links(params, rng);
   const Network net(std::move(links), PowerAssignment::uniform(2.0),
                     PathLoss::log_distance(2.8, units::Distance(25.0)),
                     units::Power(4e-7));
-  sim::RngStream rng2(6);
-  core::ReductionOptions opts;
-  const auto decision = core::schedule_capacity_rayleigh(
+  util::RngStream rng2(6);
+  algorithms::ReductionOptions opts;
+  const auto decision = algorithms::schedule_capacity_rayleigh(
       net, core::Utility::binary(units::Threshold(2.0)), opts, rng2);
   if (!decision.transmit_set.empty()) {
     EXPECT_GE(decision.lemma2_ratio, 1.0 / std::exp(1.0) - 1e-9);

@@ -29,7 +29,7 @@ class PipelineFuzz : public ::testing::TestWithParam<FuzzCase> {
  protected:
   /// Draws a randomized instance: size, geometry parameters, power scheme,
   /// noise regime, and threshold all vary with the seed.
-  static model::Network random_instance(sim::RngStream& rng, double& beta_out) {
+  static model::Network random_instance(util::RngStream& rng, double& beta_out) {
     model::RandomPlaneParams params;
     params.num_links = 5 + rng.uniform_index(30);
     params.plane_size = rng.uniform(200.0, 2000.0);
@@ -47,7 +47,7 @@ class PipelineFuzz : public ::testing::TestWithParam<FuzzCase> {
 };
 
 TEST_P(PipelineFuzz, FullStackInvariants) {
-  sim::RngStream rng(GetParam().seed);
+  util::RngStream rng(GetParam().seed);
   double beta = 1.0;
   const model::Network net = random_instance(rng, beta);
   const std::size_t n = net.size();
@@ -83,7 +83,7 @@ TEST_P(PipelineFuzz, FullStackInvariants) {
   // 5. One sampled Rayleigh slot stays within bounds.
   LinkSet all;
   for (LinkId i = 0; i < n; ++i) all.push_back(i);
-  sim::RngStream slot = rng.derive(1);
+  util::RngStream slot = rng.derive(1);
   ASSERT_LE(model::count_successes_rayleigh(net, all, units::Threshold(beta), slot), n);
 
   // 6. A short game run respects its bookkeeping.
@@ -92,7 +92,7 @@ TEST_P(PipelineFuzz, FullStackInvariants) {
   gopts.beta = beta;
   gopts.model = rng.bernoulli(0.5) ? learning::GameModel::Rayleigh
                                    : learning::GameModel::NonFading;
-  sim::RngStream game_rng = rng.derive(2);
+  util::RngStream game_rng = rng.derive(2);
   const auto game = learning::run_capacity_game(
       net, gopts, [] { return std::make_unique<learning::RwmLearner>(); },
       game_rng);
@@ -103,7 +103,7 @@ TEST_P(PipelineFuzz, FullStackInvariants) {
 
   // 7. Online churn keeps the invariant.
   algorithms::OnlineScheduler online(net, beta);
-  sim::RngStream churn = rng.derive(3);
+  util::RngStream churn = rng.derive(3);
   for (int step = 0; step < 60; ++step) {
     const LinkId i = churn.uniform_index(n);
     if (churn.bernoulli(0.5)) online.arrive(i);
@@ -126,7 +126,7 @@ TEST_P(PipelineFuzz, FullStackInvariants) {
     }
   }
   if (all_can) {
-    sim::RngStream lrng = rng.derive(4);
+    util::RngStream lrng = rng.derive(4);
     const auto latency = algorithms::repeated_capacity_schedule(
         net, beta, algorithms::Propagation::NonFading, lrng);
     ASSERT_TRUE(latency.completed);

@@ -32,7 +32,7 @@ TEST(Gradient, MatchesFiniteDifferences) {
 
 TEST(Gradient, FiniteDifferencesOnRandomInstance) {
   auto net = paper_network(10, 77);
-  sim::RngStream rng(5);
+  util::RngStream rng(5);
   std::vector<double> q(net.size());
   for (auto& v : q) v = 0.1 + 0.8 * rng.uniform();
   const double beta = 2.5;

@@ -38,7 +38,7 @@ struct InstanceCase {
 };
 
 model::Network make_instance(const InstanceCase& c) {
-  sim::RngStream rng(c.seed);
+  util::RngStream rng(c.seed);
   model::RandomPlaneParams params;
   params.num_links = c.n;
   auto links = model::random_plane_links(params, rng);
@@ -118,7 +118,7 @@ class RayleighLaws : public ::testing::TestWithParam<InstanceCase> {};
 TEST_P(RayleighLaws, Lemma1SandwichEverywhere) {
   const auto c = GetParam();
   const auto net = make_instance(c);
-  sim::RngStream rng(c.seed ^ 0xBEEF);
+  util::RngStream rng(c.seed ^ 0xBEEF);
   std::vector<double> q(net.size());
   for (auto& v : q) v = rng.uniform();
   for (LinkId i = 0; i < net.size(); ++i) {
@@ -183,7 +183,7 @@ TEST_P(LatencyInvariants, RepeatedCapacityServesEveryoneNonFading) {
       GTEST_SKIP() << "noise-dominated instance";
     }
   }
-  sim::RngStream rng(c.seed);
+  util::RngStream rng(c.seed);
   const auto result = algorithms::repeated_capacity_schedule(
       net, c.beta, algorithms::Propagation::NonFading, rng);
   ASSERT_TRUE(result.completed);
@@ -198,7 +198,7 @@ TEST_P(LatencyInvariants, RepeatedCapacityServesEveryoneNonFading) {
 TEST_P(LatencyInvariants, FirstSuccessSlotWithinBounds) {
   const auto c = GetParam();
   const auto net = make_instance(c);
-  sim::RngStream rng(c.seed ^ 0xFACE);
+  util::RngStream rng(c.seed ^ 0xFACE);
   const auto result = algorithms::aloha_schedule(
       net, c.beta, algorithms::Propagation::Rayleigh, rng, {}, 300000);
   if (!result.completed) GTEST_SKIP() << "did not complete in cap";
@@ -220,7 +220,7 @@ class SimulationStructure : public ::testing::TestWithParam<InstanceCase> {};
 TEST_P(SimulationStructure, LevelsMatchLogStarAndProbabilitiesScale) {
   const auto c = GetParam();
   const auto net = make_instance(c);
-  sim::RngStream rng(c.seed ^ 0xABC);
+  util::RngStream rng(c.seed ^ 0xABC);
   std::vector<double> q(net.size());
   for (auto& v : q) v = rng.uniform();
   const auto schedule = core::build_simulation_schedule(net, units::probabilities(q));

@@ -21,7 +21,7 @@ QueueSimOptions base_options(const model::Network& net, double lambda,
 
 TEST(Queueing, NoArrivalsNoActivity) {
   auto net = paper_network(10, 1);
-  sim::RngStream rng(1);
+  util::RngStream rng(1);
   const auto result =
       run_max_weight_queueing(net, base_options(net, 0.0), rng);
   EXPECT_DOUBLE_EQ(result.served_per_slot, 0.0);
@@ -32,7 +32,7 @@ TEST(Queueing, NoArrivalsNoActivity) {
 
 TEST(Queueing, ConservationArrivalsEqualServedPlusBacklogPlusDrops) {
   auto net = paper_network(15, 2);
-  sim::RngStream rng(2);
+  util::RngStream rng(2);
   auto opts = base_options(net, 0.3);
   const auto result = run_max_weight_queueing(net, opts, rng);
   std::size_t backlog = 0;
@@ -44,7 +44,7 @@ TEST(Queueing, ConservationArrivalsEqualServedPlusBacklogPlusDrops) {
 
 TEST(Queueing, LightLoadIsStableAndServesEverything) {
   auto net = paper_network(20, 3);
-  sim::RngStream rng(3);
+  util::RngStream rng(3);
   const auto result =
       run_max_weight_queueing(net, base_options(net, 0.05), rng);
   EXPECT_TRUE(result.looks_stable);
@@ -57,7 +57,7 @@ TEST(Queueing, OverloadIsDetectedAsUnstable) {
   // Two co-located links can serve at most ~1 packet/slot combined;
   // lambda = 0.9 each is far beyond capacity.
   auto net = raysched::testing::two_close_links(1e-6);
-  sim::RngStream rng(4);
+  util::RngStream rng(4);
   auto opts = base_options(net, 0.9);
   opts.beta = 2.0;
   const auto result = run_max_weight_queueing(net, opts, rng);
@@ -68,7 +68,7 @@ TEST(Queueing, OverloadIsDetectedAsUnstable) {
 
 TEST(Queueing, RayleighThroughputBelowNonFadingUnderLoad) {
   auto net = paper_network(20, 5);
-  sim::RngStream r1(5), r2(5);
+  util::RngStream r1(5), r2(5);
   const auto nf = run_max_weight_queueing(
       net, base_options(net, 0.6, Propagation::NonFading), r1);
   const auto rl = run_max_weight_queueing(
@@ -82,7 +82,7 @@ TEST(Queueing, RayleighThroughputBelowNonFadingUnderLoad) {
 
 TEST(Queueing, IndependentLinksSustainHighLoad) {
   auto net = two_far_links(1e-6);
-  sim::RngStream rng(6);
+  util::RngStream rng(6);
   auto opts = base_options(net, 0.8);
   opts.beta = 2.0;
   const auto result = run_max_weight_queueing(net, opts, rng);
@@ -92,7 +92,7 @@ TEST(Queueing, IndependentLinksSustainHighLoad) {
 
 TEST(Queueing, QueueCapCountsDrops) {
   auto net = raysched::testing::two_close_links(1e-6);
-  sim::RngStream rng(7);
+  util::RngStream rng(7);
   auto opts = base_options(net, 1.0);
   opts.beta = 2.0;
   opts.queue_cap = 5;
@@ -104,7 +104,7 @@ TEST(Queueing, QueueCapCountsDrops) {
 
 TEST(Queueing, Validation) {
   auto net = paper_network(5, 8);
-  sim::RngStream rng(1);
+  util::RngStream rng(1);
   QueueSimOptions bad;
   bad.arrival_probs.assign(3, 0.5);  // wrong size
   EXPECT_THROW(run_max_weight_queueing(net, bad, rng), raysched::error);

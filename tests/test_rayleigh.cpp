@@ -46,7 +46,7 @@ TEST(Rayleigh, ClosedFormMatchesMonteCarlo) {
   const double beta = 1.5;
   const LinkSet active = {0, 1, 2};
   const double exact = success_probability_rayleigh(net, active, 0, units::Threshold(beta)).value();
-  sim::RngStream rng(99);
+  util::RngStream rng(99);
   const int trials = 40000;
   int hits = 0;
   for (int t = 0; t < trials; ++t) {
@@ -72,7 +72,7 @@ TEST(Rayleigh, AllRealizationMatchesPerLinkDistribution) {
   auto net = two_far_links(0.01);
   const double beta = 5.0;
   const LinkSet active = {0, 1};
-  sim::RngStream rng(7);
+  util::RngStream rng(7);
   const int trials = 30000;
   int hits0 = 0, hits1 = 0;
   for (int t = 0; t < trials; ++t) {
@@ -88,7 +88,7 @@ TEST(Rayleigh, AllRealizationMatchesPerLinkDistribution) {
 
 TEST(Rayleigh, CountSuccessesWithinBounds) {
   auto net = hand_matrix_network(0.1);
-  sim::RngStream rng(3);
+  util::RngStream rng(3);
   for (int t = 0; t < 50; ++t) {
     const auto c = count_successes_rayleigh(net, {0, 1, 2}, units::Threshold(1.0), rng);
     EXPECT_LE(c, 3u);
@@ -97,7 +97,7 @@ TEST(Rayleigh, CountSuccessesWithinBounds) {
 
 TEST(Rayleigh, RequiresMembership) {
   auto net = hand_matrix_network();
-  sim::RngStream rng(1);
+  util::RngStream rng(1);
   EXPECT_THROW(sinr_rayleigh(net, {1, 2}, 0, rng), raysched::error);
   EXPECT_THROW(success_probability_rayleigh(net, {1}, 0, units::Threshold(1.0)),
                raysched::error);

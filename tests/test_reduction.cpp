@@ -14,9 +14,9 @@ constexpr double kInvE = 0.36787944117144233;
 
 TEST(Reduction, GreedyDecisionCarriesCertificates) {
   auto net = paper_network(40, 1);
-  sim::RngStream rng(1);
-  ReductionOptions opts;
-  const auto decision = schedule_capacity_rayleigh(
+  util::RngStream rng(1);
+  algorithms::ReductionOptions opts;
+  const auto decision = algorithms::schedule_capacity_rayleigh(
       net, Utility::binary(units::Threshold(2.5)), opts, rng);
   EXPECT_FALSE(decision.transmit_set.empty());
   EXPECT_FALSE(decision.powers.has_value());
@@ -30,10 +30,10 @@ TEST(Reduction, GreedyDecisionCarriesCertificates) {
 
 TEST(Reduction, PowerControlDecisionReturnsPowers) {
   auto net = paper_network(30, 2);
-  sim::RngStream rng(2);
-  ReductionOptions opts;
-  opts.algorithm = NonFadingAlgorithm::PowerControl;
-  const auto decision = schedule_capacity_rayleigh(
+  util::RngStream rng(2);
+  algorithms::ReductionOptions opts;
+  opts.algorithm = algorithms::NonFadingAlgorithm::PowerControl;
+  const auto decision = algorithms::schedule_capacity_rayleigh(
       net, Utility::binary(units::Threshold(2.5)), opts, rng);
   if (!decision.transmit_set.empty()) {
     ASSERT_TRUE(decision.powers.has_value());
@@ -48,27 +48,27 @@ TEST(Reduction, PowerControlDecisionReturnsPowers) {
 
 TEST(Reduction, LocalSearchBeatsGreedyValue) {
   auto net = paper_network(35, 3);
-  sim::RngStream r1(3), r2(3);
-  ReductionOptions greedy_opts;
-  ReductionOptions ls_opts;
-  ls_opts.algorithm = NonFadingAlgorithm::LocalSearch;
+  util::RngStream r1(3), r2(3);
+  algorithms::ReductionOptions greedy_opts;
+  algorithms::ReductionOptions ls_opts;
+  ls_opts.algorithm = algorithms::NonFadingAlgorithm::LocalSearch;
   const auto g =
-      schedule_capacity_rayleigh(net, Utility::binary(units::Threshold(2.5)), greedy_opts, r1);
+      algorithms::schedule_capacity_rayleigh(net, Utility::binary(units::Threshold(2.5)), greedy_opts, r1);
   const auto l =
-      schedule_capacity_rayleigh(net, Utility::binary(units::Threshold(2.5)), ls_opts, r2);
+      algorithms::schedule_capacity_rayleigh(net, Utility::binary(units::Threshold(2.5)), ls_opts, r2);
   EXPECT_GE(l.nonfading_value, g.nonfading_value);
 }
 
 TEST(Reduction, ShannonRequiresFlexibleRate) {
   auto net = paper_network(20, 4);
-  sim::RngStream rng(4);
-  ReductionOptions opts;  // Greedy
+  util::RngStream rng(4);
+  algorithms::ReductionOptions opts;  // Greedy
   EXPECT_THROW(
-      schedule_capacity_rayleigh(net, Utility::shannon(), opts, rng),
+      algorithms::schedule_capacity_rayleigh(net, Utility::shannon(), opts, rng),
       raysched::error);
-  opts.algorithm = NonFadingAlgorithm::FlexibleRate;
+  opts.algorithm = algorithms::NonFadingAlgorithm::FlexibleRate;
   const auto decision =
-      schedule_capacity_rayleigh(net, Utility::shannon(), opts, rng);
+      algorithms::schedule_capacity_rayleigh(net, Utility::shannon(), opts, rng);
   EXPECT_GT(decision.nonfading_value, 0.0);
   // MC estimate: allow sampling slack around the 1/e floor.
   EXPECT_GE(decision.lemma2_ratio, kInvE * 0.85);
@@ -76,9 +76,9 @@ TEST(Reduction, ShannonRequiresFlexibleRate) {
 
 TEST(Reduction, WeightedUtilityExactEvaluation) {
   auto net = paper_network(25, 5);
-  sim::RngStream rng(5);
-  ReductionOptions opts;
-  const auto decision = schedule_capacity_rayleigh(
+  util::RngStream rng(5);
+  algorithms::ReductionOptions opts;
+  const auto decision = algorithms::schedule_capacity_rayleigh(
       net, Utility::weighted(units::Threshold(2.5), 3.0), opts, rng);
   // Weighted threshold: non-fading value = 3 * |set|.
   EXPECT_DOUBLE_EQ(decision.nonfading_value,
@@ -102,7 +102,7 @@ TEST(FictitiousPlay, FarLinksConvergeToBothSending) {
   opts.model = GameModel::NonFading;
   opts.beta = 2.0;
   opts.rounds = 120;
-  sim::RngStream rng(1);
+  util::RngStream rng(1);
   const auto result = run_fictitious_play(net, opts, rng);
   EXPECT_TRUE(result.final_profile[0]);
   EXPECT_TRUE(result.final_profile[1]);
@@ -117,7 +117,7 @@ TEST(FictitiousPlay, CloseLinksDoNotBothSend) {
   opts.model = GameModel::NonFading;
   opts.beta = 2.0;
   opts.rounds = 200;
-  sim::RngStream rng(2);
+  util::RngStream rng(2);
   const auto result = run_fictitious_play(net, opts, rng);
   EXPECT_FALSE(result.final_profile[0] && result.final_profile[1]);
 }
@@ -128,7 +128,7 @@ TEST(FictitiousPlay, RayleighUsesClosedFormAndRuns) {
   opts.model = GameModel::Rayleigh;
   opts.beta = 2.5;
   opts.rounds = 100;
-  sim::RngStream rng(3);
+  util::RngStream rng(3);
   const auto result = run_fictitious_play(net, opts, rng);
   EXPECT_EQ(result.successes_per_round.size(), 100u);
   EXPECT_GE(result.average_successes, 0.0);
@@ -147,7 +147,7 @@ TEST(FictitiousPlay, ReachesConstantFractionOfOptOnSmallInstance) {
   opts.model = GameModel::NonFading;
   opts.beta = 2.5;
   opts.rounds = 200;
-  sim::RngStream rng(4);
+  util::RngStream rng(4);
   const auto result = run_fictitious_play(net, opts, rng);
   double late = 0.0;
   for (std::size_t t = 150; t < 200; ++t) late += result.successes_per_round[t];
@@ -161,7 +161,7 @@ TEST(FictitiousPlay, FixedPointIsNashWhenReported) {
   opts.model = GameModel::NonFading;
   opts.beta = 2.5;
   opts.rounds = 300;
-  sim::RngStream rng(5);
+  util::RngStream rng(5);
   const auto result = run_fictitious_play(net, opts, rng);
   if (result.reached_fixed_point) {
     // A stable pure profile that best-responds to its own frequencies
@@ -174,7 +174,7 @@ TEST(FictitiousPlay, FixedPointIsNashWhenReported) {
 
 TEST(FictitiousPlay, Validation) {
   auto net = paper_network(5, 9);
-  sim::RngStream rng(1);
+  util::RngStream rng(1);
   FictitiousPlayOptions bad;
   bad.rounds = 0;
   EXPECT_THROW(run_fictitious_play(net, bad, rng), raysched::error);

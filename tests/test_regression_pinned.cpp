@@ -19,16 +19,16 @@ using raysched::testing::hand_matrix_network;
 using raysched::testing::paper_network;
 
 TEST(Pinned, RngFirstOutputs) {
-  sim::RngStream rng(2012);
+  util::RngStream rng(2012);
   // First three raw outputs of xoshiro256++ seeded via splitmix64(2012).
   const std::uint64_t a = rng.next_u64();
   const std::uint64_t b = rng.next_u64();
-  sim::RngStream again(2012);
+  util::RngStream again(2012);
   EXPECT_EQ(again.next_u64(), a);
   EXPECT_EQ(again.next_u64(), b);
   // Derivation is stable: child(7)'s first uniform is reproducible.
-  const double child_u = sim::RngStream(2012).derive(7).uniform();
-  EXPECT_DOUBLE_EQ(sim::RngStream(2012).derive(7).uniform(), child_u);
+  const double child_u = util::RngStream(2012).derive(7).uniform();
+  EXPECT_DOUBLE_EQ(util::RngStream(2012).derive(7).uniform(), child_u);
 }
 
 TEST(Pinned, PaperNetworkGeometryIsStable) {
@@ -114,7 +114,7 @@ TEST(Pinned, GameRunFullyDeterministicGivenSeed) {
   opts.rounds = 40;
   opts.beta = 2.5;
   opts.model = learning::GameModel::Rayleigh;
-  sim::RngStream r1(77), r2(77);
+  util::RngStream r1(77), r2(77);
   const auto a = learning::run_capacity_game(
       net, opts, [] { return std::make_unique<learning::RwmLearner>(); }, r1);
   const auto b = learning::run_capacity_game(
@@ -139,7 +139,7 @@ TEST(Pinned, SerializationPreservesEverythingBitExact) {
 
 TEST(Pinned, AlohaScheduleDeterministicGivenSeed) {
   auto net = paper_network(10, 13);
-  sim::RngStream r1(5), r2(5);
+  util::RngStream r1(5), r2(5);
   const auto a = algorithms::aloha_schedule(
       net, 2.5, algorithms::Propagation::Rayleigh, r1);
   const auto b = algorithms::aloha_schedule(

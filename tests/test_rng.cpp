@@ -3,21 +3,21 @@
 #include <cmath>
 #include <set>
 
-#include "sim/rng.hpp"
+#include "util/rng.hpp"
 #include "sim/stats.hpp"
 
-namespace raysched::sim {
+namespace raysched::util {
 namespace {
 
 TEST(Rng, DeterministicForSameSeed) {
-  RngStream a(42), b(42);
+  util::RngStream a(42), b(42);
   for (int i = 0; i < 100; ++i) {
     EXPECT_EQ(a.next_u64(), b.next_u64());
   }
 }
 
 TEST(Rng, DifferentSeedsDiffer) {
-  RngStream a(1), b(2);
+  util::RngStream a(1), b(2);
   int equal = 0;
   for (int i = 0; i < 64; ++i) {
     if (a.next_u64() == b.next_u64()) ++equal;
@@ -26,32 +26,32 @@ TEST(Rng, DifferentSeedsDiffer) {
 }
 
 TEST(Rng, DeriveIsStableAndIndependent) {
-  RngStream base(7);
-  RngStream c1 = base.derive(3);
-  RngStream c2 = base.derive(3);
-  RngStream c3 = base.derive(4);
+  util::RngStream base(7);
+  util::RngStream c1 = base.derive(3);
+  util::RngStream c2 = base.derive(3);
+  util::RngStream c3 = base.derive(4);
   EXPECT_EQ(c1.next_u64(), c2.next_u64());
-  RngStream c1b = base.derive(3);
+  util::RngStream c1b = base.derive(3);
   EXPECT_NE(c1b.next_u64(), c3.next_u64());
 }
 
 TEST(Rng, DeriveDoesNotAdvanceParent) {
-  RngStream a(11), b(11);
+  util::RngStream a(11), b(11);
   (void)a.derive(99);
   EXPECT_EQ(a.next_u64(), b.next_u64());
 }
 
 TEST(Rng, TwoLevelDeriveMatches) {
-  RngStream base(5);
-  RngStream x = base.derive(1, 2);
-  RngStream y = base.derive(1).derive(2);
+  util::RngStream base(5);
+  util::RngStream x = base.derive(1, 2);
+  util::RngStream y = base.derive(1).derive(2);
   EXPECT_EQ(x.next_u64(), y.next_u64());
 }
 
 TEST(Rng, SequentialTagsDecorrelate) {
   // Low-entropy sequential tags (trial indices) must still produce distinct
   // streams — the common usage pattern of the Monte-Carlo engine.
-  RngStream base(123);
+  util::RngStream base(123);
   std::set<std::uint64_t> firsts;
   for (std::uint64_t t = 0; t < 1000; ++t) {
     firsts.insert(base.derive(t).next_u64());
@@ -60,8 +60,8 @@ TEST(Rng, SequentialTagsDecorrelate) {
 }
 
 TEST(Rng, UniformInUnitInterval) {
-  RngStream rng(3);
-  Accumulator acc;
+  util::RngStream rng(3);
+  sim::Accumulator acc;
   for (int i = 0; i < 20000; ++i) {
     const double u = rng.uniform();
     ASSERT_GE(u, 0.0);
@@ -73,7 +73,7 @@ TEST(Rng, UniformInUnitInterval) {
 }
 
 TEST(Rng, UniformRangeRespectsBounds) {
-  RngStream rng(9);
+  util::RngStream rng(9);
   for (int i = 0; i < 1000; ++i) {
     const double u = rng.uniform(-3.0, 7.0);
     ASSERT_GE(u, -3.0);
@@ -83,7 +83,7 @@ TEST(Rng, UniformRangeRespectsBounds) {
 }
 
 TEST(Rng, UniformIndexCoversRangeUniformly) {
-  RngStream rng(17);
+  util::RngStream rng(17);
   std::vector<int> counts(10, 0);
   const int trials = 100000;
   for (int i = 0; i < trials; ++i) ++counts[rng.uniform_index(10)];
@@ -94,7 +94,7 @@ TEST(Rng, UniformIndexCoversRangeUniformly) {
 }
 
 TEST(Rng, BernoulliMatchesProbability) {
-  RngStream rng(21);
+  util::RngStream rng(21);
   int hits = 0;
   const int trials = 50000;
   for (int i = 0; i < trials; ++i) {
@@ -106,8 +106,8 @@ TEST(Rng, BernoulliMatchesProbability) {
 }
 
 TEST(Rng, ExponentialMeanAndVariance) {
-  RngStream rng(33);
-  Accumulator acc;
+  util::RngStream rng(33);
+  sim::Accumulator acc;
   const double mean = 2.5;
   for (int i = 0; i < 50000; ++i) {
     const double x = rng.exponential_mean(mean);
@@ -119,14 +119,14 @@ TEST(Rng, ExponentialMeanAndVariance) {
 }
 
 TEST(Rng, ExponentialZeroMeanIsZero) {
-  RngStream rng(1);
+  util::RngStream rng(1);
   EXPECT_EQ(rng.exponential_mean(0.0), 0.0);
   EXPECT_THROW(rng.exponential_mean(-1.0), raysched::error);
 }
 
 TEST(Rng, ExponentialSurvivalFunction) {
   // P[X > mean] should be e^-1 for an exponential with that mean.
-  RngStream rng(55);
+  util::RngStream rng(55);
   const double mean = 1.7;
   int above = 0;
   const int trials = 50000;
@@ -137,8 +137,8 @@ TEST(Rng, ExponentialSurvivalFunction) {
 }
 
 TEST(Rng, NormalMoments) {
-  RngStream rng(77);
-  Accumulator acc;
+  util::RngStream rng(77);
+  sim::Accumulator acc;
   for (int i = 0; i < 50000; ++i) acc.add(rng.normal());
   EXPECT_NEAR(acc.mean(), 0.0, 0.02);
   EXPECT_NEAR(acc.variance(), 1.0, 0.05);
@@ -154,4 +154,4 @@ TEST(Rng, SplitMix64ReferenceValues) {
 }
 
 }  // namespace
-}  // namespace raysched::sim
+}  // namespace raysched::util

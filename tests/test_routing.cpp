@@ -87,7 +87,7 @@ TEST(RouteRequests, EndToEndScheduling) {
       route_requests(relays, 10.5, requests,
                      model::PowerAssignment::uniform(2.0), 2.5, units::Power(1e-9).value());
   for (auto prop : {Propagation::NonFading, Propagation::Rayleigh}) {
-    sim::RngStream rng(static_cast<std::uint64_t>(prop) + 5);
+    util::RngStream rng(static_cast<std::uint64_t>(prop) + 5);
     const auto result = schedule_multihop(routed.network, routed.requests,
                                           1.5, prop, rng);
     EXPECT_TRUE(result.completed);

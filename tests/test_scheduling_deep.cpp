@@ -100,7 +100,7 @@ TEST(RepeatedCapacityDeep, RayleighRetriesBounded) {
   sim::Accumulator ratio;
   for (std::uint64_t seed = 0; seed < 8; ++seed) {
     auto net = paper_network(25, 40 + seed);
-    sim::RngStream r1(seed), r2(seed);
+    util::RngStream r1(seed), r2(seed);
     const auto nf = repeated_capacity_schedule(
         net, 2.5, Propagation::NonFading, r1);
     const auto rl = repeated_capacity_schedule(
@@ -118,7 +118,7 @@ TEST(RepeatedCapacityDeep, ScheduleShrinksAsLinksFinish) {
   // links; the last slot must be non-empty and the remaining-set sizes
   // strictly decrease across slots.
   auto net = paper_network(30, 50);
-  sim::RngStream rng(50);
+  util::RngStream rng(50);
   const auto result = repeated_capacity_schedule(
       net, 2.5, Propagation::NonFading, rng);
   ASSERT_TRUE(result.completed);
@@ -140,7 +140,7 @@ TEST(MultihopDeep, SharedHopCreditsAllWaitingRequests) {
                      2.0, units::Power(1e-6));
   // Both requests start at the same first hop.
   std::vector<MultihopRequest> requests = {{{0, 1, 2}}, {{0, 2}}};
-  sim::RngStream rng(51);
+  util::RngStream rng(51);
   const auto result =
       schedule_multihop(net, requests, 1.5, Propagation::NonFading, rng);
   ASSERT_TRUE(result.completed);
@@ -152,7 +152,7 @@ TEST(MultihopDeep, SharedHopCreditsAllWaitingRequests) {
 TEST(MultihopDeep, LongerPathsTakeAtLeastTheirHopCount) {
   auto net = paper_network(20, 52);
   std::vector<MultihopRequest> requests = {{{0, 1, 2, 3, 4, 5, 6, 7}}};
-  sim::RngStream rng(52);
+  util::RngStream rng(52);
   const auto result =
       schedule_multihop(net, requests, 2.5, Propagation::NonFading, rng);
   ASSERT_TRUE(result.completed);
@@ -183,7 +183,7 @@ TEST(FlexibleDeep, MoreClassesNeverHurtOnAverage) {
 TEST(AlohaDeep, AdaptiveRecoversFromBadInitialProbability) {
   // Dense cluster: fixed q = 1/2 collides forever-ish; adaptive halving
   // converges much faster.
-  sim::RngStream gen(53);
+  util::RngStream gen(53);
   auto links = model::two_cluster_links(6, 3.0, 800.0, 2.0, gen);
   model::Network net(std::move(links), model::PowerAssignment::uniform(1.0),
                      3.0, units::Power(1e-9));
@@ -193,7 +193,7 @@ TEST(AlohaDeep, AdaptiveRecoversFromBadInitialProbability) {
   adaptive.adaptive = true;
   sim::Accumulator fixed_slots, adaptive_slots;
   for (std::uint64_t s = 0; s < 6; ++s) {
-    sim::RngStream r1(100 + s), r2(100 + s);
+    util::RngStream r1(100 + s), r2(100 + s);
     const auto f = aloha_schedule(net, 2.0, Propagation::NonFading, r1, fixed,
                                   500000);
     const auto a = aloha_schedule(net, 2.0, Propagation::NonFading, r2,

@@ -13,7 +13,7 @@ using raysched::testing::paper_network;
 
 TEST(Shadowing, ZeroSigmaIsExactCopy) {
   auto net = paper_network(10, 1);
-  sim::RngStream rng(1);
+  util::RngStream rng(1);
   const auto copy = apply_lognormal_shadowing(net, units::Decibel(0.0), rng);
   ASSERT_EQ(copy.size(), net.size());
   EXPECT_FALSE(copy.has_geometry());  // shadowed copies are matrix networks
@@ -31,7 +31,7 @@ TEST(Shadowing, FactorsHaveLogNormalMoments) {
   const double sigma = 6.0;
   sim::Accumulator log_factors;
   for (std::uint64_t s = 0; s < 400; ++s) {
-    sim::RngStream rng(100 + s);
+    util::RngStream rng(100 + s);
     const auto shadowed = apply_lognormal_shadowing(net, units::Decibel(sigma), rng);
     for (LinkId j = 0; j < net.size(); ++j) {
       for (LinkId i = 0; i < net.size(); ++i) {
@@ -47,7 +47,7 @@ TEST(Shadowing, FactorsHaveLogNormalMoments) {
 
 TEST(Shadowing, MeanFactorMatchesClosedForm) {
   const double sigma = 8.0;
-  sim::RngStream rng(3);
+  util::RngStream rng(3);
   sim::Accumulator factors;
   auto net = paper_network(4, 3);
   for (int s = 0; s < 4000; ++s) {
@@ -61,7 +61,7 @@ TEST(Shadowing, MeanFactorMatchesClosedForm) {
 
 TEST(Shadowing, DeterministicPerStream) {
   auto net = paper_network(5, 4);
-  sim::RngStream r1(9), r2(9);
+  util::RngStream r1(9), r2(9);
   const auto a = apply_lognormal_shadowing(net, units::Decibel(4.0), r1);
   const auto b = apply_lognormal_shadowing(net, units::Decibel(4.0), r2);
   for (LinkId j = 0; j < net.size(); ++j) {
@@ -73,7 +73,7 @@ TEST(Shadowing, DeterministicPerStream) {
 
 TEST(Shadowing, Validation) {
   auto net = paper_network(3, 5);
-  sim::RngStream rng(1);
+  util::RngStream rng(1);
   EXPECT_THROW(apply_lognormal_shadowing(net, units::Decibel(-1.0), rng), raysched::error);
   EXPECT_THROW(lognormal_shadowing_mean(units::Decibel(-0.1)), raysched::error);
 }
@@ -88,7 +88,7 @@ TEST(Shadowing, PlannedSetDegradesWithSigma) {
   auto surviving = [&](double sigma) {
     double total = 0.0;
     for (std::uint64_t s = 0; s < 10; ++s) {
-      sim::RngStream rng(200 + s);
+      util::RngStream rng(200 + s);
       const auto shadowed = apply_lognormal_shadowing(net, units::Decibel(sigma), rng);
       total += static_cast<double>(
           count_successes_nonfading(shadowed, plan.selected, units::Threshold(beta)));
@@ -127,7 +127,7 @@ TEST(RegretMatching, LearnsDominantAction) {
 TEST(RegretMatching, NoRegretOnAlternatingLosses) {
   RegretMatchingLearner l;
   RegretTracker tracker;
-  sim::RngStream rng(7);
+  util::RngStream rng(7);
   for (int t = 0; t < 4000; ++t) {
     const LossPair losses =
         (t % 2 == 0) ? LossPair{0.0, 1.0} : LossPair{1.0, 0.0};
@@ -143,7 +143,7 @@ TEST(RegretMatching, WorksInsideCapacityGame) {
   GameOptions opts;
   opts.rounds = 600;
   opts.beta = 2.5;
-  sim::RngStream rng(7);
+  util::RngStream rng(7);
   const auto result = run_capacity_game(
       net, opts, [] { return std::make_unique<RegretMatchingLearner>(); },
       rng);

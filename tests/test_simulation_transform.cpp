@@ -84,12 +84,12 @@ TEST(Lemma3, SimulationDominatesRayleighSuccess) {
   // Statistical check on small random instances, for several links.
   for (std::uint64_t seed : {10, 20, 30}) {
     auto net = paper_network(15, seed);
-    sim::RngStream qrng(seed ^ 0xF00);
+    util::RngStream qrng(seed ^ 0xF00);
     std::vector<double> q(net.size());
     for (auto& v : q) v = qrng.uniform();
     const double beta = 2.5;
     const auto schedule = build_simulation_schedule(net, units::probabilities(q));
-    sim::RngStream rng(seed);
+    util::RngStream rng(seed);
     for (LinkId i = 0; i < 3; ++i) {
       // Condition of Lemma 3: beta <= S(i,i) / (2 nu). Holds easily with
       // noise 4e-7 in the paper geometry.
@@ -117,7 +117,7 @@ TEST(Theorem2, BestUtilityWithinLogStarFactor) {
   const double beta = 2.5;
   const Utility u = Utility::binary(units::Threshold(beta));
   const auto schedule = build_simulation_schedule(net, units::probabilities(q));
-  sim::RngStream rng(7);
+  util::RngStream rng(7);
   const double simulated =
       simulation_expected_best_utility_mc(net, schedule, u, 300, rng);
   const double rayleigh = expected_rayleigh_successes(net, units::probabilities(q), units::Threshold(beta));
@@ -128,7 +128,7 @@ TEST(Theorem2, PerSlotUtilitiesExposeBestStep) {
   auto net = paper_network(12, 5);
   std::vector<double> q(net.size(), 1.0);
   const auto schedule = build_simulation_schedule(net, units::probabilities(q));
-  sim::RngStream rng(3);
+  util::RngStream rng(3);
   const auto per_slot = simulation_per_slot_utility_mc(
       net, schedule, Utility::binary(units::Threshold(2.5)), 200, rng);
   EXPECT_EQ(per_slot.size(), schedule.total_slots());

@@ -94,7 +94,7 @@ TEST(Sinr, NormalizeLinkSet) {
 TEST(Affectance, FeasibilityCorrespondence) {
   // Uncapped total affectance <= 1 iff SINR >= beta: check on many random
   // instances and active sets.
-  sim::RngStream rng(2024);
+  util::RngStream rng(2024);
   for (int trial = 0; trial < 20; ++trial) {
     auto net = raysched::testing::paper_network(12, 1000 + trial);
     const double beta = 2.5;

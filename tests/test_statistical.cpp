@@ -17,7 +17,7 @@ namespace {
 // strong the checks are.
 
 TEST(Statistical, Uniform64BitChiSquared16Bins) {
-  RngStream rng(12345);
+  util::RngStream rng(12345);
   std::array<int, 16> counts{};
   const int trials = 160000;
   for (int i = 0; i < trials; ++i) {
@@ -33,7 +33,7 @@ TEST(Statistical, Uniform64BitChiSquared16Bins) {
 }
 
 TEST(Statistical, LowBitsAreAlsoUniform) {
-  RngStream rng(999);
+  util::RngStream rng(999);
   std::array<int, 16> counts{};
   const int trials = 160000;
   for (int i = 0; i < trials; ++i) {
@@ -50,9 +50,9 @@ TEST(Statistical, LowBitsAreAlsoUniform) {
 
 TEST(Statistical, DerivedStreamsUncorrelated) {
   // Pearson correlation of uniforms from sibling streams must be ~0.
-  RngStream base(7);
-  RngStream a = base.derive(1);
-  RngStream b = base.derive(2);
+  util::RngStream base(7);
+  util::RngStream a = base.derive(1);
+  util::RngStream b = base.derive(2);
   const int trials = 50000;
   double sa = 0, sb = 0, sab = 0, saa = 0, sbb = 0;
   for (int i = 0; i < trials; ++i) {
@@ -74,7 +74,7 @@ TEST(Statistical, DerivedStreamsUncorrelated) {
 
 TEST(Statistical, SequentialOutputsUncorrelated) {
   // Lag-1 autocorrelation of a single stream.
-  RngStream rng(31);
+  util::RngStream rng(31);
   const int trials = 50000;
   double prev = rng.uniform();
   double s = prev, ss = prev * prev, slag = 0.0;
@@ -94,7 +94,7 @@ TEST(Statistical, SequentialOutputsUncorrelated) {
 
 TEST(Statistical, ExponentialQuantilesMatch) {
   // Empirical quantiles vs the exponential CDF at several points.
-  RngStream rng(55);
+  util::RngStream rng(55);
   SampleSet samples;
   const double mean = 3.0;
   for (int i = 0; i < 100000; ++i) samples.add(rng.exponential_mean(mean));
@@ -107,7 +107,7 @@ TEST(Statistical, ExponentialQuantilesMatch) {
 
 TEST(Statistical, GammaQuantilesMatchAtShapeTwo) {
   // Gamma(2,1) CDF: 1 - e^-x (1+x); check median ~ 1.6783.
-  RngStream rng(77);
+  util::RngStream rng(77);
   SampleSet samples;
   for (int i = 0; i < 100000; ++i) samples.add(rng.gamma(2.0));
   EXPECT_NEAR(samples.median(), 1.6783, 0.03);
@@ -117,7 +117,7 @@ TEST(Statistical, GammaQuantilesMatchAtShapeTwo) {
 TEST(Statistical, GammaMatchesSumOfExponentialsAtIntegerShape) {
   // Gamma(3,1) = sum of three Exp(1): compare empirical means/variances of
   // the two constructions.
-  RngStream r1(88), r2(89);
+  util::RngStream r1(88), r2(89);
   Accumulator direct, summed;
   for (int i = 0; i < 60000; ++i) {
     direct.add(r1.gamma(3.0));
@@ -133,7 +133,7 @@ TEST(Statistical, RayleighSinrDistributionNoInterference) {
   // exponential with mean S̄/nu. Verify at several quantiles against the
   // sampled slot API.
   auto net = raysched::testing::hand_matrix_network(0.5);  // S̄ = 10, nu = .5
-  RngStream rng(11);
+  util::RngStream rng(11);
   SampleSet samples;
   for (int i = 0; i < 60000; ++i) {
     samples.add(model::sinr_rayleigh(net, {1}, 1, rng));
@@ -149,7 +149,7 @@ TEST(Statistical, RayleighSinrDistributionNoInterference) {
 TEST(Statistical, BernoulliSequenceIsExchangeable) {
   // Runs test (coarse): the number of sign runs in a fair Bernoulli
   // sequence of length n is ~ n/2 +- O(sqrt n).
-  RngStream rng(21);
+  util::RngStream rng(21);
   const int n = 40000;
   int runs = 1;
   bool prev = rng.bernoulli(0.5);
@@ -168,7 +168,7 @@ TEST(Statistical, SlotSuccessIndicatorsIndependentForFarLinks) {
   // P[both] ~ P[first] * P[second].
   auto net = raysched::testing::two_far_links(0.05);
   const double beta = 8.0;  // noise-limited: each succeeds w.p. ~ e^{-0.4}
-  RngStream rng(44);
+  util::RngStream rng(44);
   const int trials = 60000;
   int a = 0, b = 0, both = 0;
   for (int t = 0; t < trials; ++t) {
@@ -190,7 +190,7 @@ TEST(Statistical, BlockFadingCorrelationWithinBlocks) {
   // across blocks it decorrelates. Check both directly.
   auto net = raysched::testing::two_far_links(0.05);
   const double beta = 8.0;
-  model::BlockFadingChannel chan(net, /*coherence=*/2, 1.0, RngStream(45));
+  model::BlockFadingChannel chan(net, /*coherence=*/2, 1.0, util::RngStream(45));
   int same_within = 0, total_within = 0;
   int same_across = 0, total_across = 0;
   bool prev = chan.count_successes({0}, units::Threshold(beta)) > 0;
@@ -212,7 +212,7 @@ TEST(Statistical, BlockFadingCorrelationWithinBlocks) {
 }
 
 TEST(Statistical, NormalTailsMatch) {
-  RngStream rng(33);
+  util::RngStream rng(33);
   int beyond_2 = 0, beyond_3 = 0;
   const int trials = 200000;
   for (int i = 0; i < trials; ++i) {

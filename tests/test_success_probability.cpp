@@ -36,7 +36,7 @@ TEST(Theorem1, MatchesMonteCarloWithFractionalProbabilities) {
   const double exact = rayleigh_success_probability(net, units::probabilities(q), 0, units::Threshold(beta)).value();
 
   // Monte Carlo: draw transmit set, then fading, count success of link 0.
-  sim::RngStream rng(4242);
+  util::RngStream rng(4242);
   const int trials = 60000;
   int hits = 0;
   for (int t = 0; t < trials; ++t) {
@@ -97,7 +97,7 @@ class Lemma1Sandwich : public ::testing::TestWithParam<Lemma1Case> {};
 TEST_P(Lemma1Sandwich, BoundsHold) {
   const auto param = GetParam();
   auto net = paper_network(20, param.seed);
-  sim::RngStream rng(param.seed ^ 0xABCDEF);
+  util::RngStream rng(param.seed ^ 0xABCDEF);
   std::vector<double> q(net.size());
   for (auto& v : q) v = rng.uniform() * param.q_scale;
 
@@ -146,11 +146,11 @@ TEST(InterferenceWeight, HandValue) {
 
 TEST(NonFadingAccess, ExactMatchesMonteCarlo) {
   auto net = paper_network(10, 77);
-  sim::RngStream qrng(55);
+  util::RngStream qrng(55);
   std::vector<double> q(net.size());
   for (auto& v : q) v = qrng.uniform();
   const double beta = 2.5;
-  sim::RngStream rng(11);
+  util::RngStream rng(11);
   for (LinkId i = 0; i < 3; ++i) {
     const double exact =
         nonfading_success_probability_exact(net, units::probabilities(q), i, units::Threshold(beta)).value();
@@ -190,7 +190,7 @@ TEST(NonFadingAccess, ExpectedSuccessesMc) {
   // Against the smoothed-curve observation of Figure 1: expected successes
   // under q must lie in [0, n] and be 0 for q = 0.
   auto net = paper_network(15, 8);
-  sim::RngStream rng(2);
+  util::RngStream rng(2);
   std::vector<double> zero(net.size(), 0.0);
   EXPECT_DOUBLE_EQ(
       expected_nonfading_successes_mc(net, units::probabilities(zero), units::Threshold(2.5), 100, rng), 0.0);

@@ -35,7 +35,7 @@ TEST_P(Lemma2Property, PerLinkBoundOnRandomInstances) {
   auto net = paper_network(25, GetParam());
   // Any active set works — Lemma 2 does not need feasibility for the
   // per-link probability bound; it needs it only for nonzero utility.
-  sim::RngStream rng(GetParam() ^ 0x5555);
+  util::RngStream rng(GetParam() ^ 0x5555);
   LinkSet active;
   for (LinkId i = 0; i < net.size(); ++i) {
     if (rng.bernoulli(0.4)) active.push_back(i);
@@ -56,7 +56,7 @@ TEST(Lemma2, TransferRatioForGreedySolutions) {
     const double beta = 2.5;
     const auto greedy = algorithms::greedy_capacity(net, beta);
     ASSERT_FALSE(greedy.selected.empty());
-    sim::RngStream rng(seed);
+    util::RngStream rng(seed);
     const auto result = transfer_capacity_solution(
         net, greedy.selected, Utility::binary(units::Threshold(beta)), 1, rng);
     EXPECT_DOUBLE_EQ(result.nonfading_value,
@@ -90,7 +90,7 @@ TEST(Lemma2, MonteCarloShannonTransfer) {
   auto net = paper_network(20, 404, /*alpha=*/2.2, /*noise=*/0.0);
   const auto greedy = algorithms::greedy_capacity(net, 1.0);
   ASSERT_GE(greedy.selected.size(), 2u);
-  sim::RngStream rng(9);
+  util::RngStream rng(9);
   const auto result = transfer_capacity_solution(
       net, greedy.selected, Utility::shannon(), 4000, rng);
   EXPECT_GT(result.nonfading_value, 0.0);
@@ -101,7 +101,7 @@ TEST(Lemma2, McUtilityConvergesToExactForThresholds) {
   auto net = hand_matrix_network(0.1);
   const LinkSet sol = {0, 1, 2};
   const Utility u = Utility::binary(units::Threshold(1.0));
-  sim::RngStream rng(31);
+  util::RngStream rng(31);
   const double mc = expected_rayleigh_utility_mc(net, sol, u, 30000, rng);
   const double exact = expected_rayleigh_utility_exact(net, sol, u);
   EXPECT_NEAR(mc, exact, 0.03);
@@ -109,7 +109,7 @@ TEST(Lemma2, McUtilityConvergesToExactForThresholds) {
 
 TEST(Lemma2, EmptySolutionHasZeroValue) {
   auto net = hand_matrix_network();
-  sim::RngStream rng(1);
+  util::RngStream rng(1);
   const auto result =
       transfer_capacity_solution(net, {}, Utility::binary(units::Threshold(1.0)), 10, rng);
   EXPECT_DOUBLE_EQ(result.nonfading_value, 0.0);

@@ -12,7 +12,7 @@ using raysched::testing::paper_network;
 using raysched::testing::two_close_links;
 
 std::vector<double> random_weights(std::size_t n, std::uint64_t seed) {
-  sim::RngStream rng(seed);
+  util::RngStream rng(seed);
   std::vector<double> w(n);
   for (auto& v : w) v = rng.uniform(0.1, 10.0);
   return w;

@@ -1,0 +1,8 @@
+// Fixture: model layer including downward (util) only — allowed.
+#pragma once
+
+#include "util/base.hpp"
+
+namespace raysched::model {
+inline int gains() { return util::base() + 1; }
+}  // namespace raysched::model

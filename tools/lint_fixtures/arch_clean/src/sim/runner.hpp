@@ -1,0 +1,9 @@
+// Fixture: sim layer including downward (model, util) — allowed.
+#pragma once
+
+#include "model/gains.hpp"
+#include "util/base.hpp"
+
+namespace raysched::sim {
+inline int runner() { return model::gains() + util::base(); }
+}  // namespace raysched::sim

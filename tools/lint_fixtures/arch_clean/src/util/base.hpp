@@ -1,0 +1,7 @@
+// Fixture: clean mini-repo — layer-ordered includes, no cycles, no
+// orphans, no transitive reliance.
+#pragma once
+
+namespace raysched::util {
+inline int base() { return 3; }
+}  // namespace raysched::util

@@ -1,0 +1,5 @@
+// Fixture TU: reaches every header, with direct includes for every layer
+// it names.
+#include "sim/runner.hpp"
+
+int main() { return raysched::sim::runner(); }

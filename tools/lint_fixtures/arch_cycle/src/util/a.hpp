@@ -1,0 +1,8 @@
+// Fixture: seeded RS-A2 violation — a.hpp and b.hpp include each other.
+#pragma once
+
+#include "util/b.hpp"
+
+namespace raysched::util {
+inline int a_value() { return 1; }
+}  // namespace raysched::util

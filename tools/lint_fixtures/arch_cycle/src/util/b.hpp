@@ -1,0 +1,8 @@
+// Fixture: the other half of the seeded include cycle.
+#pragma once
+
+#include "util/a.hpp"
+
+namespace raysched::util {
+inline int b_value() { return 2; }
+}  // namespace raysched::util

@@ -1,0 +1,4 @@
+// Fixture TU: keeps the cyclic headers reachable so only RS-A2 fires.
+#include "util/a.hpp"
+
+int main() { return raysched::util::a_value(); }

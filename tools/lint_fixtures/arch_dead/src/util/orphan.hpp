@@ -1,0 +1,6 @@
+// Fixture: seeded RS-A3 violation — no TU reaches this header.
+#pragma once
+
+namespace raysched::util {
+inline int orphan() { return 0; }
+}  // namespace raysched::util

@@ -1,0 +1,6 @@
+// Fixture: a header that IS reachable from the TU.
+#pragma once
+
+namespace raysched::util {
+inline int used() { return 0; }
+}  // namespace raysched::util

@@ -1,0 +1,4 @@
+// Fixture TU: includes used.hpp only; orphan.hpp stays unreachable.
+#include "util/used.hpp"
+
+int main() { return raysched::util::used(); }

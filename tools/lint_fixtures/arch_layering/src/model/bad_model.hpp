@@ -1,0 +1,8 @@
+// Fixture: seeded RS-A1 violation — model (layer 1) includes sim (layer 5).
+#pragma once
+
+#include "sim/engine_stub.hpp"
+
+namespace raysched::model {
+inline int bad_model() { return 1; }
+}  // namespace raysched::model

@@ -1,0 +1,6 @@
+// Fixture: a sim-layer header a lower layer must never include.
+#pragma once
+
+namespace raysched::sim {
+inline int run_everything() { return 0; }
+}  // namespace raysched::sim

@@ -1,0 +1,4 @@
+// Fixture TU: keeps both headers reachable so only RS-A1 fires.
+#include "model/bad_model.hpp"
+
+int main() { return raysched::model::bad_model(); }

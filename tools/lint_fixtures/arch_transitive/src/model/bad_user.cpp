@@ -1,0 +1,7 @@
+// Fixture: seeded RS-A4 violation — names util::helper but only includes
+// model/wrapper.hpp, relying on its transitive include of util/helper.hpp.
+#include "model/wrapper.hpp"
+
+namespace raysched::model {
+int bad_user() { return util::helper() + wrapper(); }
+}  // namespace raysched::model

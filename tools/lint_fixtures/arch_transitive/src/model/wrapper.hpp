@@ -1,0 +1,8 @@
+// Fixture: re-exports util/helper.hpp, enabling the transitive reliance.
+#pragma once
+
+#include "util/helper.hpp"
+
+namespace raysched::model {
+inline int wrapper() { return 0; }
+}  // namespace raysched::model

@@ -1,0 +1,6 @@
+// Fixture: the util-layer symbol the violator relies on transitively.
+#pragma once
+
+namespace raysched::util {
+inline int helper() { return 7; }
+}  // namespace raysched::util

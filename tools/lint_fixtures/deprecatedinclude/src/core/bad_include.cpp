@@ -1,0 +1,7 @@
+// Fixture: seeded RS-L10 violation — includes the deprecated RNG shim
+// path instead of its real home, util/rng.hpp.
+#include "sim/rng.hpp"
+
+namespace raysched::core {
+int bad_include() { return 0; }
+}  // namespace raysched::core

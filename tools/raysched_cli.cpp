@@ -48,7 +48,7 @@ int cmd_generate(int argc, char** argv) {
     std::cout << flags.usage("raysched_cli generate");
     return 0;
   }
-  sim::RngStream rng(static_cast<std::uint64_t>(flags.get_int("seed")));
+  util::RngStream rng(static_cast<std::uint64_t>(flags.get_int("seed")));
   model::RandomPlaneParams params;
   params.num_links = static_cast<std::size_t>(flags.get_int("links"));
   params.plane_size = flags.get_double("plane");
@@ -123,18 +123,18 @@ int cmd_schedule(int argc, char** argv) {
   }
   const auto net = model::load_network(flags.get_string("in"));
   const std::string algo = flags.get_string("algorithm");
-  core::ReductionOptions opts;
-  if (algo == "greedy") opts.algorithm = core::NonFadingAlgorithm::Greedy;
+  algorithms::ReductionOptions opts;
+  if (algo == "greedy") opts.algorithm = algorithms::NonFadingAlgorithm::Greedy;
   else if (algo == "power-control")
-    opts.algorithm = core::NonFadingAlgorithm::PowerControl;
+    opts.algorithm = algorithms::NonFadingAlgorithm::PowerControl;
   else if (algo == "local-search")
-    opts.algorithm = core::NonFadingAlgorithm::LocalSearch;
+    opts.algorithm = algorithms::NonFadingAlgorithm::LocalSearch;
   else if (algo == "flexible")
-    opts.algorithm = core::NonFadingAlgorithm::FlexibleRate;
+    opts.algorithm = algorithms::NonFadingAlgorithm::FlexibleRate;
   else
     throw error("schedule: unknown --algorithm " + algo);
-  sim::RngStream rng(static_cast<std::uint64_t>(flags.get_int("seed")));
-  const auto decision = core::schedule_capacity_rayleigh(
+  util::RngStream rng(static_cast<std::uint64_t>(flags.get_int("seed")));
+  const auto decision = algorithms::schedule_capacity_rayleigh(
       net, core::Utility::binary(units::Threshold(flags.get_double("beta"))), opts, rng);
   util::Table table({"quantity", "value"});
   table.add_row({std::string("algorithm"), decision.algorithm});
@@ -173,7 +173,7 @@ int cmd_latency(int argc, char** argv) {
   require(flags.get_string("model") == "nonfading" ||
               flags.get_string("model") == "rayleigh",
           "latency: unknown --model " + flags.get_string("model"));
-  sim::RngStream rng(static_cast<std::uint64_t>(flags.get_int("seed")));
+  util::RngStream rng(static_cast<std::uint64_t>(flags.get_int("seed")));
   algorithms::LatencyResult result;
   if (flags.get_string("scheduler") == "aloha") {
     result = algorithms::aloha_schedule(net, flags.get_double("beta"), prop,
@@ -204,7 +204,7 @@ int cmd_simulate(int argc, char** argv) {
   }
   const auto net = model::load_network(flags.get_string("in"));
   std::vector<double> q(net.size(), flags.get_double("q"));
-  sim::RngStream rng(static_cast<std::uint64_t>(flags.get_int("seed")));
+  util::RngStream rng(static_cast<std::uint64_t>(flags.get_int("seed")));
   const double rayleigh =
       core::expected_rayleigh_successes(net, units::probabilities(q), units::Threshold(flags.get_double("beta")));
   const double nonfading = core::expected_nonfading_successes_mc(
@@ -278,7 +278,7 @@ int cmd_sweep(int argc, char** argv) {
   const double q = flags.get_double("q");
   require(q >= 0.0 && q <= 1.0, "sweep: --q must be in [0,1]");
 
-  const sim::InstanceFactory factory = [num_links](sim::RngStream& rng) {
+  const sim::InstanceFactory factory = [num_links](util::RngStream& rng) {
     model::RandomPlaneParams params;
     params.num_links = num_links;
     auto links = model::random_plane_links(params, rng);
@@ -286,7 +286,7 @@ int cmd_sweep(int argc, char** argv) {
                           model::PowerAssignment::uniform(2.0), 2.2, units::Power(4e-7));
   };
   sim::TrialFunction trial = [beta, q](const model::Network& net,
-                                       sim::RngStream& rng) {
+                                       util::RngStream& rng) {
     model::LinkSet active;
     for (model::LinkId i = 0; i < net.size(); ++i) {
       if (rng.bernoulli(q)) active.push_back(i);
