@@ -38,7 +38,7 @@ run_preset() {
     -DRAYSCHED_BUILD_EXAMPLES=OFF
   cmake --build "$build_dir" -j "$(nproc)"
 
-  local filter='FaultInjection|Engine|ThreadPool|Checkpoint|NetworkIo|cli_sweep'
+  local filter='FaultInjection|Engine|ThreadPool|Checkpoint|NetworkIo|cli_sweep|SuccessBatch'
   if [ "$preset" = "thread" ]; then
     # TSan cares about the concurrent paths only; add the parallel_for and
     # stress suites, drop the serial I/O-heavy ones for speed.
@@ -46,7 +46,7 @@ run_preset() {
   elif [ "$preset" = "undefined" ]; then
     # UBSan+float mode is cheap enough to sweep the numeric core, where a
     # division by a zero gain or an overflowing dB cast would hide.
-    filter='Units|Theorem1|Lemma1|ExpectedSuccesses|NonFading|Latency|Simulation|Transfer|Nakagami|Shadowing|NetworkIo|Affectance'
+    filter='Units|Theorem1|Lemma1|ExpectedSuccesses|NonFading|Latency|Simulation|Transfer|Nakagami|Shadowing|NetworkIo|Affectance|SuccessBatch'
   fi
   ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" -R "$filter"
   echo "sanitize: ${preset}: all selected tests passed"

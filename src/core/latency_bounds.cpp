@@ -6,6 +6,7 @@
 #include "core/latency_transform.hpp"
 #include "model/network.hpp"
 #include "core/success_probability.hpp"
+#include "core/success_probability_batch.hpp"
 #include "util/contracts.hpp"
 #include "util/error.hpp"
 
@@ -22,11 +23,13 @@ units::ProbabilityVector aloha_slot_success_probabilities(
           "aloha_slot_success_probabilities: beta must be > 0");
   const units::ProbabilityVector probs = units::uniform_probabilities(
       net.size(), q);
+  // Fused batch evaluation: one validation sweep instead of one per link,
+  // same per-link arithmetic as rayleigh_success_probability.
+  const std::vector<double> values =
+      batch_rayleigh_success_probabilities(net, probs, beta);
   units::ProbabilityVector out;
   out.reserve(net.size());
-  for (LinkId i = 0; i < net.size(); ++i) {
-    out.push_back(rayleigh_success_probability(net, probs, i, beta));
-  }
+  for (double v : values) out.push_back(units::Probability(v));
   return out;
 }
 

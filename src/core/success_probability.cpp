@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/success_probability_batch.hpp"
 #include "model/sinr.hpp"
 #include "util/contracts.hpp"
 #include "util/error.hpp"
@@ -22,13 +23,9 @@ void validate_probabilities(const Network& net,
   }
 }
 
-units::Probability rayleigh_success_probability(
+double detail::rayleigh_success_probability_unchecked(
     const Network& net, const units::ProbabilityVector& q, LinkId i,
     units::Threshold beta) {
-  validate_probabilities(net, q);
-  require(i < net.size(), "rayleigh_success_probability: id out of range");
-  require(beta.value() > 0.0,
-          "rayleigh_success_probability: beta must be positive");
   const double b = beta.value();
   const double sii = net.signal(i);
   double p = q[i].value() * std::exp(-b * net.noise() / sii);
@@ -41,7 +38,18 @@ units::Probability rayleigh_success_probability(
   }
   RAYSCHED_ENSURE(std::isfinite(p) && p >= 0.0 && p <= 1.0,
                   "Theorem-1 product form left [0,1]");
-  return units::Probability(p);
+  return p;
+}
+
+units::Probability rayleigh_success_probability(
+    const Network& net, const units::ProbabilityVector& q, LinkId i,
+    units::Threshold beta) {
+  validate_probabilities(net, q);
+  require(i < net.size(), "rayleigh_success_probability: id out of range");
+  require(beta.value() > 0.0,
+          "rayleigh_success_probability: beta must be positive");
+  return units::Probability(
+      detail::rayleigh_success_probability_unchecked(net, q, i, beta));
 }
 
 units::Probability rayleigh_success_lower_bound(
@@ -105,15 +113,10 @@ double interference_weight(const Network& net,
 double expected_rayleigh_successes(const Network& net,
                                    const units::ProbabilityVector& q,
                                    units::Threshold beta) {
-  double total = 0.0;
-  for (LinkId i = 0; i < net.size(); ++i) {
-    if (q[i].value() > 0.0) {
-      total += rayleigh_success_probability(net, q, i, beta).value();
-    }
-  }
-  RAYSCHED_ENSURE(total <= static_cast<double>(net.size()),
-                  "expected successes cannot exceed the number of links");
-  return total;
+  // One validation sweep, then the fused per-link loop: previously this
+  // called the public per-link API, which re-ran the O(n) validation once
+  // per link, making validation alone O(n^2) per aggregate.
+  return batch_expected_rayleigh_successes(net, q, beta);
 }
 
 units::Probability nonfading_success_probability_exact(

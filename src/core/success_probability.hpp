@@ -63,10 +63,24 @@ void validate_probabilities(const model::Network& net,
 
 /// Expected number of Rayleigh-successful transmissions per slot under q
 /// (sum of Theorem-1 probabilities). Exact. An expectation over links, not a
-/// probability, so it returns double.
+/// probability, so it returns double. Validates q once and evaluates through
+/// the fused batch path (core/success_probability_batch.hpp), which keeps
+/// the per-link arithmetic bit-identical to rayleigh_success_probability.
 [[nodiscard]] double expected_rayleigh_successes(
     const model::Network& net, const units::ProbabilityVector& q,
     units::Threshold beta);
+
+namespace detail {
+
+/// Theorem-1 per-link evaluation with validation stripped: callers (the
+/// aggregate entry points and the batch unit) validate q / i / beta once and
+/// then loop over this. Same expression and iteration order as the public
+/// function, so results are bit-identical.
+[[nodiscard]] double rayleigh_success_probability_unchecked(
+    const model::Network& net, const units::ProbabilityVector& q,
+    model::LinkId i, units::Threshold beta);
+
+}  // namespace detail
 
 /// Exact non-fading success probability of link i under q, by enumerating
 /// all 2^m subsets of interferers with q_j in (0,1) (links with q_j == 0 or

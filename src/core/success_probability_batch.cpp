@@ -1,0 +1,334 @@
+#include "core/success_probability_batch.hpp"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "core/success_probability.hpp"
+#include "model/rayleigh.hpp"
+#include "util/contracts.hpp"
+#include "util/error.hpp"
+
+namespace raysched::core {
+
+using model::LinkId;
+using model::LinkSet;
+using model::Network;
+
+SuccessProbabilityKernel::SuccessProbabilityKernel(const Network& net,
+                                                   units::Threshold beta,
+                                                   BatchExecutor executor)
+    : n_(net.size()),
+      leaves_(std::bit_ceil(net.size() > 0 ? net.size() : std::size_t{1})),
+      beta_(beta),
+      exec_(std::move(executor)) {
+  require(beta.value() > 0.0,
+          "SuccessProbabilityKernel: beta must be positive");
+  const double b = beta_.value();
+  c_.resize(n_ * n_);
+  neg_exponent_.resize(n_);
+  noise_factor_.resize(n_);
+  for (LinkId i = 0; i < n_; ++i) {
+    neg_exponent_[i] = -b * net.noise() / net.signal(i);
+    noise_factor_[i] = std::exp(neg_exponent_[i]);
+  }
+  run_chunks(n_, [&](std::size_t lo, std::size_t hi) {
+    for (LinkId j = lo; j < hi; ++j) {
+      double* row = c_.data() + j * n_;
+      for (LinkId i = 0; i < n_; ++i) {
+        // beta / (beta + S(i,i)/S(j,i)) rewritten division-safely as
+        // beta*S(j,i) / (beta*S(j,i) + S(i,i)); correct also when S(j,i)==0.
+        const double sji = net.mean_gain(j, i);
+        row[i] = b * sji / (b * sji + net.signal(i));
+      }
+      // Exact zero so the self-factor 1 - c(j,j) q_j multiplies as 1.0,
+      // which is bitwise neutral; no branch needed in the hot loops.
+      row[j] = 0.0;
+    }
+  });
+}
+
+void SuccessProbabilityKernel::set_executor(BatchExecutor executor) {
+  exec_ = std::move(executor);
+}
+
+double SuccessProbabilityKernel::affectance(LinkId sender,
+                                            LinkId receiver) const {
+  require(sender < n_ && receiver < n_,
+          "SuccessProbabilityKernel::affectance: id out of range");
+  return c_[sender * n_ + receiver];
+}
+
+void SuccessProbabilityKernel::validate_input(
+    const units::ProbabilityVector& q) const {
+  require(q.size() == n_,
+          "SuccessProbabilityKernel: probability vector size must equal the "
+          "network size");
+  for (units::Probability p : q) {
+    require(p.value() >= 0.0 && p.value() <= 1.0,
+            "SuccessProbabilityKernel: probabilities must be in [0,1]");
+  }
+}
+
+void SuccessProbabilityKernel::run_chunks(
+    std::size_t count,
+    const std::function<void(std::size_t, std::size_t)>& body) const {
+  if (exec_ && count > 1) {
+    exec_(count, body);
+  } else {
+    body(0, count);
+  }
+}
+
+void SuccessProbabilityKernel::evaluate(const units::ProbabilityVector& q,
+                                        std::vector<double>& out) const {
+  validate_input(q);
+  out.resize(n_);
+  run_chunks(n_, [&](std::size_t lo, std::size_t hi) {
+    for (LinkId i = lo; i < hi; ++i) {
+      out[i] = q[i].value() * noise_factor_[i];
+    }
+    for (LinkId j = 0; j < n_; ++j) {
+      const double qj = q[j].value();
+      if (qj == 0.0) continue;
+      const double* row = c_.data() + j * n_;
+      for (LinkId i = lo; i < hi; ++i) {
+        out[i] *= 1.0 - row[i] * qj;
+      }
+    }
+  });
+}
+
+std::vector<double> SuccessProbabilityKernel::evaluate(
+    const units::ProbabilityVector& q) const {
+  std::vector<double> out;
+  evaluate(q, out);
+  return out;
+}
+
+void SuccessProbabilityKernel::evaluate_conditional(
+    const units::ProbabilityVector& q, std::vector<double>& out) const {
+  validate_input(q);
+  out.resize(n_);
+  run_chunks(n_, [&](std::size_t lo, std::size_t hi) {
+    for (LinkId i = lo; i < hi; ++i) {
+      out[i] = noise_factor_[i];
+    }
+    for (LinkId j = 0; j < n_; ++j) {
+      const double qj = q[j].value();
+      if (qj == 0.0) continue;
+      const double* row = c_.data() + j * n_;
+      for (LinkId i = lo; i < hi; ++i) {
+        out[i] *= 1.0 - row[i] * qj;
+      }
+    }
+  });
+}
+
+std::vector<double> SuccessProbabilityKernel::evaluate_log(
+    const units::ProbabilityVector& q) const {
+  validate_input(q);
+  std::vector<double> out(n_);
+  run_chunks(n_, [&](std::size_t lo, std::size_t hi) {
+    for (LinkId i = lo; i < hi; ++i) {
+      out[i] = q[i].value() == 0.0
+                   ? -std::numeric_limits<double>::infinity()
+                   : std::log(q[i].value()) + neg_exponent_[i];
+    }
+    for (LinkId j = 0; j < n_; ++j) {
+      const double qj = q[j].value();
+      if (qj == 0.0) continue;
+      const double* row = c_.data() + j * n_;
+      for (LinkId i = lo; i < hi; ++i) {
+        // c(j,i) < 1 strictly (S(i,i) > 0), so the argument stays > -1 and
+        // log1p is finite even where exp(out[i]) would underflow.
+        out[i] += std::log1p(-row[i] * qj);
+      }
+    }
+  });
+  return out;
+}
+
+void SuccessProbabilityKernel::set_probabilities(
+    const units::ProbabilityVector& q) {
+  validate_input(q);
+  if (tree_.empty()) {
+    // Rows [leaves_+n_, 2*leaves_) are padding leaves of links that do not
+    // exist; initializing the whole forest to 1.0 makes them permanent
+    // identity factors.
+    tree_.assign(2 * leaves_ * n_, 1.0);
+    values_.resize(n_);
+  }
+  q_ = q;
+  run_chunks(n_, [&](std::size_t lo, std::size_t hi) {
+    for (LinkId j = lo; j < hi; ++j) {
+      double* leaf = tree_.data() + (leaves_ + j) * n_;
+      const double* row = c_.data() + j * n_;
+      const double qj = q_[j].value();
+      for (LinkId i = 0; i < n_; ++i) {
+        leaf[i] = 1.0 - row[i] * qj;
+      }
+    }
+  });
+  for (std::size_t half = leaves_ / 2; half >= 1; half /= 2) {
+    run_chunks(half, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t k = half + lo; k < half + hi; ++k) {
+        rebuild_tree_row(k);
+      }
+    });
+  }
+  refresh_values();
+  has_state_ = true;
+}
+
+void SuccessProbabilityKernel::rebuild_tree_row(std::size_t node) {
+  double* out = tree_.data() + node * n_;
+  const double* left = tree_.data() + 2 * node * n_;
+  const double* right = tree_.data() + (2 * node + 1) * n_;
+  for (LinkId i = 0; i < n_; ++i) {
+    out[i] = left[i] * right[i];
+  }
+}
+
+void SuccessProbabilityKernel::refresh_values() {
+  const double* root = tree_.data() + n_;  // node 1
+  for (LinkId i = 0; i < n_; ++i) {
+    values_[i] = q_[i].value() * noise_factor_[i] * root[i];
+  }
+}
+
+void SuccessProbabilityKernel::update_link(LinkId sender,
+                                           units::Probability value) {
+  require(has_state_,
+          "SuccessProbabilityKernel::update_link: call set_probabilities "
+          "first");
+  require(sender < n_,
+          "SuccessProbabilityKernel::update_link: id out of range");
+  require(value.value() >= 0.0 && value.value() <= 1.0,
+          "SuccessProbabilityKernel::update_link: probability must be in "
+          "[0,1]");
+  q_[sender] = value;
+  const double qj = value.value();
+  double* leaf = tree_.data() + (leaves_ + sender) * n_;
+  const double* row = c_.data() + sender * n_;
+  for (LinkId i = 0; i < n_; ++i) {
+    leaf[i] = 1.0 - row[i] * qj;
+  }
+  for (std::size_t k = (leaves_ + sender) / 2; k >= 1; k /= 2) {
+    rebuild_tree_row(k);
+  }
+  refresh_values();
+}
+
+const std::vector<double>& SuccessProbabilityKernel::success_probabilities()
+    const {
+  require(has_state_,
+          "SuccessProbabilityKernel: call set_probabilities first");
+  return values_;
+}
+
+units::Probability SuccessProbabilityKernel::success_probability(
+    LinkId i) const {
+  require(has_state_,
+          "SuccessProbabilityKernel: call set_probabilities first");
+  require(i < n_,
+          "SuccessProbabilityKernel::success_probability: id out of range");
+  return units::Probability::clamped(values_[i]);
+}
+
+double SuccessProbabilityKernel::expected_successes() const {
+  require(has_state_,
+          "SuccessProbabilityKernel: call set_probabilities first");
+  double total = 0.0;
+  for (double v : values_) total += v;
+  RAYSCHED_ENSURE(std::isfinite(total) && total >= 0.0,
+                  "expected successes must be finite and non-negative");
+  return total;
+}
+
+const units::ProbabilityVector& SuccessProbabilityKernel::probabilities()
+    const {
+  require(has_state_,
+          "SuccessProbabilityKernel: call set_probabilities first");
+  return q_;
+}
+
+namespace {
+
+void run_chunked(const BatchExecutor& executor, std::size_t count,
+                 const std::function<void(std::size_t, std::size_t)>& body) {
+  if (executor && count > 1) {
+    executor(count, body);
+  } else {
+    body(0, count);
+  }
+}
+
+}  // namespace
+
+std::vector<double> batch_rayleigh_success_probabilities(
+    const Network& net, const units::ProbabilityVector& q,
+    units::Threshold beta, const BatchExecutor& executor) {
+  validate_probabilities(net, q);
+  require(beta.value() > 0.0,
+          "batch_rayleigh_success_probabilities: beta must be positive");
+  std::vector<double> out(net.size());
+  run_chunked(executor, net.size(), [&](std::size_t lo, std::size_t hi) {
+    for (LinkId i = lo; i < hi; ++i) {
+      out[i] = q[i].value() == 0.0
+                   ? 0.0
+                   : detail::rayleigh_success_probability_unchecked(net, q, i,
+                                                                    beta);
+    }
+  });
+  return out;
+}
+
+double batch_expected_rayleigh_successes(const Network& net,
+                                         const units::ProbabilityVector& q,
+                                         units::Threshold beta,
+                                         const BatchExecutor& executor) {
+  const std::vector<double> values =
+      batch_rayleigh_success_probabilities(net, q, beta, executor);
+  // Ascending link order, matching the scalar aggregate. Zero entries are
+  // bitwise no-ops on a non-negative running sum, so links with q_i == 0
+  // need no skip branch.
+  double total = 0.0;
+  for (double v : values) total += v;
+  RAYSCHED_ENSURE(total <= static_cast<double>(net.size()),
+                  "expected successes cannot exceed the number of links");
+  return total;
+}
+
+std::vector<double> batch_success_probabilities_active(
+    const Network& net, const LinkSet& active, units::Threshold beta,
+    const BatchExecutor& executor) {
+  require(beta.value() > 0.0,
+          "batch_success_probabilities_active: beta must be positive");
+  for (LinkId j : active) {
+    require(j < net.size(),
+            "batch_success_probabilities_active: id out of range");
+  }
+  std::vector<double> out(active.size());
+  run_chunked(executor, active.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t a = lo; a < hi; ++a) {
+      out[a] = model::detail::success_probability_rayleigh_unchecked(
+          net, active, active[a], beta);
+    }
+  });
+  return out;
+}
+
+double batch_expected_successes_active(const Network& net,
+                                       const LinkSet& active,
+                                       units::Threshold beta,
+                                       const BatchExecutor& executor) {
+  const std::vector<double> values =
+      batch_success_probabilities_active(net, active, beta, executor);
+  double total = 0.0;
+  for (double v : values) total += v;
+  return total;
+}
+
+}  // namespace raysched::core

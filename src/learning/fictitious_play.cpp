@@ -1,8 +1,10 @@
 #include "learning/fictitious_play.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "core/success_probability.hpp"
+#include "core/success_probability_batch.hpp"
 #include "model/rayleigh.hpp"
 #include "model/sinr.hpp"
 #include "util/error.hpp"
@@ -17,7 +19,9 @@ using model::Network;
 namespace {
 
 /// Expected reward of link i sending, against others playing independently
-/// with their empirical frequencies `freq` (freq[i] is ignored).
+/// with their empirical frequencies `freq` (freq[i] is ignored). Non-fading
+/// only: the Rayleigh model evaluates all links at once through the batched
+/// Theorem-1 kernel in the round loop below.
 double send_reward_vs_frequencies(const Network& net,
                                   const units::ProbabilityVector& freq,
                                   LinkId i,
@@ -26,11 +30,6 @@ double send_reward_vs_frequencies(const Network& net,
   const units::Threshold beta(options.beta);
   units::ProbabilityVector q = freq;
   q[i] = units::Probability(1.0);
-  if (options.model == GameModel::Rayleigh) {
-    // Theorem 1, exactly.
-    return 2.0 * core::rayleigh_success_probability(net, q, i, beta).value() -
-           1.0;
-  }
   // Non-fading: count fractional interferers to pick exact vs Monte Carlo.
   std::size_t fractional = 0;
   for (LinkId j = 0; j < net.size(); ++j) {
@@ -65,6 +64,16 @@ FictitiousPlayResult run_fictitious_play(const Network& net,
   result.successes_per_round.reserve(options.rounds);
   result.final_profile.assign(n, false);
 
+  // Rayleigh rewards come from the batched Theorem-1 kernel: the affectance
+  // matrix depends only on (network, beta), so it is precomputed once and
+  // each round is a single division-free O(n^2) pass instead of n scalar
+  // calls (each with its own O(n) validation sweep).
+  std::optional<core::SuccessProbabilityKernel> kernel;
+  if (options.model == GameModel::Rayleigh) {
+    kernel.emplace(net, units::Threshold(options.beta));
+  }
+  std::vector<double> conditional;
+
   std::vector<bool> profile(n, false), previous(n, false);
   std::size_t stable_streak = 0;
 
@@ -77,9 +86,19 @@ FictitiousPlayResult run_fictitious_play(const Network& net,
         freq[i] = units::Probability(static_cast<double>(send_count[i]) /
                                      static_cast<double>(t));
       }
-      for (LinkId i = 0; i < n; ++i) {
-        profile[i] =
-            send_reward_vs_frequencies(net, freq, i, options, rng) > 0.0;
+      if (kernel) {
+        // Reward of sending is 2 * P[success | i sends] - 1; the conditional
+        // batch strips the q_i prefactor, which is exactly the scalar path's
+        // q with q[i] = 1.
+        kernel->evaluate_conditional(freq, conditional);
+        for (LinkId i = 0; i < n; ++i) {
+          profile[i] = 2.0 * conditional[i] - 1.0 > 0.0;
+        }
+      } else {
+        for (LinkId i = 0; i < n; ++i) {
+          profile[i] =
+              send_reward_vs_frequencies(net, freq, i, options, rng) > 0.0;
+        }
       }
     }
 

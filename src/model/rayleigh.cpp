@@ -70,34 +70,52 @@ std::size_t count_successes_rayleigh(const Network& net, const LinkSet& active,
   return count;
 }
 
+double detail::success_probability_rayleigh_unchecked(const Network& net,
+                                                      const LinkSet& active,
+                                                      LinkId i,
+                                                      units::Threshold beta) {
+  const double b = beta.value();
+  const double sii = net.signal(i);
+  double p = std::exp(-b * net.noise() / sii);
+  for (LinkId j : active) {
+    if (j == i) continue;
+    p /= 1.0 + b * net.mean_gain(j, i) / sii;
+  }
+  return p;
+}
+
 units::Probability success_probability_rayleigh(const Network& net,
                                                 const LinkSet& active,
                                                 LinkId i,
                                                 units::Threshold beta) {
-  const double b = beta.value();
-  require(b > 0.0, "success_probability_rayleigh: beta must be positive");
+  require(beta.value() > 0.0,
+          "success_probability_rayleigh: beta must be positive");
   require(i < net.size(), "success_probability_rayleigh: id out of range");
-  const double sii = net.signal(i);
-  double p = std::exp(-b * net.noise() / sii);
   bool transmits = false;
   for (LinkId j : active) {
     require(j < net.size(), "success_probability_rayleigh: id out of range");
-    if (j == i) {
-      transmits = true;
-      continue;
-    }
-    p /= 1.0 + b * net.mean_gain(j, i) / sii;
+    if (j == i) transmits = true;
   }
   require(transmits,
           "success_probability_rayleigh: link i must be in the active set");
-  return units::Probability(p);
+  return units::Probability(
+      detail::success_probability_rayleigh_unchecked(net, active, i, beta));
 }
 
 double expected_successes_rayleigh(const Network& net, const LinkSet& active,
                                    units::Threshold beta) {
+  // Validate the set once; the previous implementation re-validated every id
+  // (and re-scanned for membership) inside each per-link call, so the checks
+  // alone were O(|active|^2).
+  require(beta.value() > 0.0,
+          "expected_successes_rayleigh: beta must be positive");
+  for (LinkId j : active) {
+    require(j < net.size(), "expected_successes_rayleigh: id out of range");
+  }
   double total = 0.0;
   for (LinkId i : active) {
-    total += success_probability_rayleigh(net, active, i, beta).value();
+    total +=
+        detail::success_probability_rayleigh_unchecked(net, active, i, beta);
   }
   return total;
 }

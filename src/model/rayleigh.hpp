@@ -50,9 +50,22 @@ namespace raysched::model {
 
 /// Exact expected number of successful transmissions in one slot when
 /// exactly `active` transmits: sum over i in active of
-/// success_probability_rayleigh. Closed form; no sampling.
+/// success_probability_rayleigh. Closed form; no sampling. Validates the
+/// set once, not once per link.
 [[nodiscard]] double expected_successes_rayleigh(const Network& net,
                                                  const LinkSet& active,
                                                  units::Threshold beta);
+
+namespace detail {
+
+/// success_probability_rayleigh with validation stripped: callers (the
+/// aggregate above and core's batch unit) validate ids / beta / membership
+/// once and loop over this. Same division form and set order as the public
+/// function, so results are bit-identical.
+[[nodiscard]] double success_probability_rayleigh_unchecked(
+    const Network& net, const LinkSet& active, LinkId i,
+    units::Threshold beta);
+
+}  // namespace detail
 
 }  // namespace raysched::model

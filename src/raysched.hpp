@@ -14,6 +14,7 @@
 #include "util/rng.hpp"             // splittable xoshiro256++ streams
 #include "sim/stats.hpp"           // Welford accumulators
 #include "sim/thread_pool.hpp"     // parallel_for over Monte-Carlo trials
+#include "sim/batch_executor.hpp"  // thread-pool hook for the batch kernel
 #include "sim/failure.hpp"         // CellFailure records & failure reports
 #include "sim/checkpoint.hpp"      // sweep checkpoint persistence
 #include "sim/engine.hpp"          // nested-seed Monte-Carlo experiments
@@ -36,6 +37,7 @@
 
 #include "core/utility.hpp"              // Definition 1 utilities
 #include "core/success_probability.hpp"  // Theorem 1 & Lemma 1
+#include "core/success_probability_batch.hpp"  // batched/incremental Theorem 1
 #include "core/transfer.hpp"             // Lemma 2 solution transfer
 #include "core/simulation_transform.hpp" // Algorithm 1 / Theorem 2
 #include "core/latency_transform.hpp"    // Section-4 4x repetition

@@ -1,0 +1,31 @@
+// raysched: adapter binding core::BatchExecutor to the sim thread pool.
+//
+// The batched Theorem-1 kernel lives in core, which sits below sim in the
+// layer order (raysched_arch RS-A1), so it cannot include the thread pool.
+// It instead accepts a core::BatchExecutor hook; this header is the one
+// place that closes the loop, wrapping sim::parallel_for in that signature.
+// Results are identical with or without the pool: chunking never changes
+// per-element arithmetic, and aggregates are reduced in index order.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "core/success_probability_batch.hpp"
+#include "sim/thread_pool.hpp"
+
+namespace raysched::sim {
+
+/// Returns a core::BatchExecutor that fans chunks out over `pool`. The pool
+/// must outlive the returned executor (and any kernel holding it). With a
+/// 1-thread pool this degrades to an inline loop.
+inline core::BatchExecutor pool_batch_executor(ThreadPool& pool,
+                                               std::size_t min_chunk = 64) {
+  return [&pool, min_chunk](
+             std::size_t count,
+             const std::function<void(std::size_t, std::size_t)>& body) {
+    parallel_for(pool, count, body, min_chunk);
+  };
+}
+
+}  // namespace raysched::sim

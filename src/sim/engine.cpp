@@ -366,8 +366,11 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
     for (std::size_t k = 0; k < m; ++k) {
       result.per_trial[k].merge(out.trial_acc[k]);
     }
-    if (out.trial_acc[0].count() > 0) {
-      for (std::size_t k = 0; k < m; ++k) {
+    // Guard each metric's accumulator separately: a network whose surviving
+    // trials were all quarantined contributes nothing instead of tripping
+    // Accumulator::mean's no-samples contract.
+    for (std::size_t k = 0; k < m; ++k) {
+      if (out.trial_acc[k].count() > 0) {
         result.per_network[k].add(out.trial_acc[k].mean());
       }
     }

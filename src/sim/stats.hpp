@@ -193,9 +193,17 @@ class SeriesAccumulator {
     return acc_[i];
   }
 
+  /// Per-cell means. A cell with zero surviving samples (e.g. every trial
+  /// quarantined by the fault policy) yields quiet NaN instead of throwing,
+  /// so one dead cell degrades to a missing point in the output tables
+  /// (rendered as "NA") rather than aborting the whole figure.
   [[nodiscard]] std::vector<double> means() const {
     std::vector<double> out(acc_.size());
-    for (std::size_t i = 0; i < acc_.size(); ++i) out[i] = acc_[i].mean();
+    for (std::size_t i = 0; i < acc_.size(); ++i) {
+      out[i] = acc_[i].count() == 0
+                   ? std::numeric_limits<double>::quiet_NaN()
+                   : acc_[i].mean();
+    }
     return out;
   }
 

@@ -1,6 +1,7 @@
 #include "util/table.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <ostream>
@@ -17,7 +18,12 @@ std::string cell_to_string(const Cell& c, int precision) {
   if (std::holds_alternative<long long>(c)) {
     return std::to_string(std::get<long long>(c));
   }
-  return format_double(std::get<double>(c), precision);
+  // NaN marks a missing value (e.g. a sweep cell whose trials were all
+  // quarantined); render it as "NA" in both text and CSV output so plotting
+  // tools treat it as a gap instead of choking on "nan"/"-nan".
+  const double v = std::get<double>(c);
+  if (std::isnan(v)) return "NA";
+  return format_double(v, precision);
 }
 
 std::string csv_escape(const std::string& s) {

@@ -11,7 +11,8 @@
 
 namespace raysched::util {
 
-/// A table cell: string, integer, or double.
+/// A table cell: string, integer, or double. A NaN double is a missing
+/// value and renders as "NA" in both text and CSV output.
 using Cell = std::variant<std::string, long long, double>;
 
 /// Accumulates rows and renders them either as an aligned text table or CSV.

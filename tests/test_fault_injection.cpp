@@ -120,6 +120,30 @@ TEST(FaultInjection, NanAndInfAreQuarantinedBeforeAccumulation) {
   EXPECT_TRUE(std::isfinite(result.per_network[0].mean()));
 }
 
+TEST(FaultInjection, FullyQuarantinedNetworkIsDroppedNotFatal) {
+  // Every trial of network 1 is quarantined, so its trial accumulator ends
+  // the network with zero samples. The reducer must drop that network from
+  // the per-network statistics instead of calling mean() on an empty
+  // accumulator (which previously aborted the whole sweep).
+  auto config = base_config();
+  config.num_networks = 3;
+  config.trials_per_network = 4;
+  config.fault_policy = FaultPolicy::Skip;
+  std::vector<FaultSite> sites;
+  for (std::size_t t = 0; t < 4; ++t) {
+    sites.push_back({1, t, FaultAction::ReturnNan});
+  }
+  const auto trial = inject_faults(noisy_trial, sites);
+  const auto result = run_experiment(config, {"s"}, tiny_instance, trial);
+
+  EXPECT_EQ(result.cells_skipped, 4u);
+  EXPECT_EQ(result.cells_completed, 8u);
+  EXPECT_EQ(result.per_trial[0].count(), 8u);
+  // Only the two surviving networks contribute per-network means.
+  EXPECT_EQ(result.per_network[0].count(), 2u);
+  EXPECT_TRUE(std::isfinite(result.per_network[0].mean()));
+}
+
 TEST(FaultInjection, WrongArityIsContained) {
   auto config = base_config();
   config.fault_policy = FaultPolicy::Skip;

@@ -6,24 +6,15 @@
 // perturb a single bit. The golden values below were captured from
 // sim::RngStream at the last commit before the move; if any of these tests
 // fail, the relocation changed the generator and every seeded experiment in
-// the repo silently diverged.
+// the repo silently diverged. (The deprecated sim/rng.hpp forwarding shim
+// served its one-release grace period and is gone; raysched_lint RS-L10
+// rejects any attempt to include the old path again.)
 #include <gtest/gtest.h>
 
-#include <type_traits>
-
-#include "sim/rng.hpp"  // the deprecated shim  // raysched-lint: allow(RS-L10)
 #include "util/rng.hpp"
 
 namespace raysched::util {
 namespace {
-
-TEST(RngStreamRelocation, ShimAliasIsTheSameType) {
-  // The one-release compatibility shim must alias, not duplicate: a
-  // sim::RngStream lvalue binds anywhere a util::RngStream is expected.
-  static_assert(std::is_same_v<sim::RngStream, util::RngStream>);
-  static_assert(&sim::splitmix64 == &util::splitmix64);
-  SUCCEED();
-}
 
 TEST(RngStreamRelocation, GoldenRawSequenceSeed42) {
   RngStream r(42);

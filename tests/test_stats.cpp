@@ -80,6 +80,28 @@ TEST(SeriesAccumulator, PerIndexIndependence) {
   EXPECT_DOUBLE_EQ(means[1], 20.0);
 }
 
+TEST(SeriesAccumulator, EmptyCellsYieldNanMeans) {
+  // A cell that never received a sample (e.g. every trial quarantined by the
+  // fault policy) must report NaN — a renderable missing value — instead of
+  // tripping Accumulator::mean's no-samples contract.
+  SeriesAccumulator series(3);
+  series.add(0, 1.0);
+  series.add(0, 3.0);
+  series.add(2, 5.0);
+  const auto means = series.means();
+  ASSERT_EQ(means.size(), 3u);
+  EXPECT_DOUBLE_EQ(means[0], 2.0);
+  EXPECT_TRUE(std::isnan(means[1]));
+  EXPECT_DOUBLE_EQ(means[2], 5.0);
+  // Direct access to the empty cell still enforces the contract.
+  EXPECT_THROW(series.at(1).mean(), raysched::error);
+}
+
+TEST(SeriesAccumulator, AllEmptyMeansAreAllNan) {
+  SeriesAccumulator series(2);
+  for (double m : series.means()) EXPECT_TRUE(std::isnan(m));
+}
+
 TEST(SeriesAccumulator, RejectsMismatchedRow) {
   SeriesAccumulator series(2);
   EXPECT_THROW(series.add_row({1.0}), raysched::error);

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "util/table.hpp"
@@ -37,6 +38,23 @@ TEST(Table, CsvEscapesCommasAndQuotes) {
   std::ostringstream ss;
   t.print_csv(ss);
   EXPECT_EQ(ss.str(), "text\n\"hello, \"\"world\"\"\"\n");
+}
+
+TEST(Table, NanRendersAsMissingValue) {
+  // NaN is the "no surviving samples" marker from SeriesAccumulator::means;
+  // it must render as NA, not as "nan"/"-nan(ind)" noise a plotting script
+  // would choke on.
+  Table t({"size", "mean"});
+  t.add_row({static_cast<long long>(8), 0.5});
+  t.add_row({static_cast<long long>(16),
+             std::numeric_limits<double>::quiet_NaN()});
+  std::ostringstream text;
+  t.print_text(text);
+  EXPECT_NE(text.str().find("NA"), std::string::npos);
+  EXPECT_EQ(text.str().find("nan"), std::string::npos);
+  std::ostringstream csv;
+  t.print_csv(csv);
+  EXPECT_EQ(csv.str(), "size,mean\n8,0.500000\n16,NA\n");
 }
 
 TEST(Table, RowWidthEnforced) {

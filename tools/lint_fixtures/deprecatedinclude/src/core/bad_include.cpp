@@ -1,5 +1,5 @@
-// Fixture: seeded RS-L10 violation — includes the deprecated RNG shim
-// path instead of its real home, util/rng.hpp.
+// Fixture: seeded RS-L10 violation — includes the deleted RNG shim path
+// (sim/rng.hpp no longer exists) instead of its real home, util/rng.hpp.
 #include "sim/rng.hpp"
 
 namespace raysched::core {
