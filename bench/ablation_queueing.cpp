@@ -41,12 +41,12 @@ int main(int argc, char** argv) {
   std::cout << "# Ablation A16: max-weight queueing — stability vs per-link "
                "arrival rate (beta=" << beta << ", " << slots << " slots)\n";
   util::Table table({"lambda", "model", "throughput/slot", "avg_backlog",
-                     "stable_runs"});
+                     "backlog_slope", "stable_runs"});
 
   for (double lambda : {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7}) {
     for (auto prop : {algorithms::Propagation::NonFading,
                       algorithms::Propagation::Rayleigh}) {
-      sim::Accumulator throughput, backlog;
+      sim::Accumulator throughput, backlog, slope;
       long long stable = 0;
       for (std::size_t net_idx = 0; net_idx < networks; ++net_idx) {
         util::RngStream net_rng = master.derive(net_idx, 0xA);
@@ -56,9 +56,10 @@ int main(int argc, char** argv) {
                                  units::Power(4e-7));
         algorithms::QueueSimOptions opts;
         opts.slots = slots;
-        opts.beta = beta;
+        opts.beta = units::Threshold(beta);
         opts.propagation = prop;
-        opts.arrival_probs.assign(net.size(), lambda);
+        opts.arrival_probs = units::uniform_probabilities(
+            net.size(), units::Probability::checked(lambda));
         util::RngStream run_rng =
             master.derive(net_idx, 0xB)
                 .derive(static_cast<std::uint64_t>(lambda * 100),
@@ -67,13 +68,15 @@ int main(int argc, char** argv) {
             algorithms::run_max_weight_queueing(net, opts, run_rng);
         throughput.add(result.served_per_slot);
         backlog.add(result.average_backlog);
+        slope.add(result.backlog_slope);
         stable += result.looks_stable ? 1 : 0;
       }
       table.add_row({lambda,
                      std::string(prop == algorithms::Propagation::Rayleigh
                                      ? "rayleigh"
                                      : "non-fading"),
-                     throughput.mean(), backlog.mean(), stable});
+                     throughput.mean(), backlog.mean(), slope.mean(),
+                     stable});
     }
   }
   table.print_text(std::cout);

@@ -38,11 +38,12 @@ run_preset() {
     -DRAYSCHED_BUILD_EXAMPLES=OFF
   cmake --build "$build_dir" -j "$(nproc)"
 
-  local filter='FaultInjection|Engine|ThreadPool|Checkpoint|NetworkIo|cli_sweep|SuccessBatch'
+  local filter='FaultInjection|Engine|ThreadPool|Checkpoint|NetworkIo|cli_sweep|SuccessBatch|ServeSnapshot|ServeFaults'
   if [ "$preset" = "thread" ]; then
     # TSan cares about the concurrent paths only; add the parallel_for and
-    # stress suites, drop the serial I/O-heavy ones for speed.
-    filter='ThreadPool|ParallelFor|DefaultPool|Engine|Checkpoint|FaultInjection|cli_sweep'
+    # stress suites (the serve agent hands results across pool threads),
+    # drop the serial I/O-heavy ones for speed.
+    filter='ThreadPool|ParallelFor|DefaultPool|Engine|Checkpoint|FaultInjection|cli_sweep|ServeAgent|ServeFaults'
   elif [ "$preset" = "undefined" ]; then
     # UBSan+float mode is cheap enough to sweep the numeric core, where a
     # division by a zero gain or an overflowing dB cast would hide.

@@ -17,13 +17,11 @@ QueueSimResult run_max_weight_queueing(const Network& net,
                                        const QueueSimOptions& options,
                                        util::RngStream& rng) {
   require(options.slots > 0, "run_max_weight_queueing: slots must be > 0");
-  require(options.beta > 0.0, "run_max_weight_queueing: beta must be > 0");
   require(options.arrival_probs.size() == net.size(),
           "run_max_weight_queueing: arrival_probs size must equal n");
-  for (double p : options.arrival_probs) {
-    require(p >= 0.0 && p <= 1.0,
-            "run_max_weight_queueing: arrival probabilities must be in [0,1]");
-  }
+  // beta > 0 and every probability in [0,1] are enforced by the unit types
+  // themselves at construction.
+  const double beta = options.beta.value();
 
   const std::size_t n = net.size();
   std::vector<std::size_t> queue(n, 0);
@@ -36,8 +34,8 @@ QueueSimResult run_max_weight_queueing(const Network& net,
   for (std::size_t slot = 0; slot < options.slots; ++slot) {
     // Arrivals first.
     for (LinkId i = 0; i < n; ++i) {
-      if (options.arrival_probs[i] > 0.0 &&
-          rng.bernoulli(options.arrival_probs[i])) {
+      if (options.arrival_probs[i].value() > 0.0 &&
+          rng.bernoulli(options.arrival_probs[i].value())) {
         if (queue[i] < options.queue_cap) {
           ++queue[i];
           ++total_arrivals;
@@ -56,7 +54,7 @@ QueueSimResult run_max_weight_queueing(const Network& net,
     }
     if (any_backlog) {
       const LinkSet serve =
-          weighted_greedy_capacity(net, options.beta, weights).selected;
+          weighted_greedy_capacity(net, beta, weights).selected;
       if (options.propagation == Propagation::NonFading) {
         // Scheduled sets are feasibility-certified: every service succeeds.
         for (LinkId i : serve) {
@@ -69,7 +67,7 @@ QueueSimResult run_max_weight_queueing(const Network& net,
         const std::vector<double> sinrs =
             model::sinr_rayleigh_all(net, serve, rng);
         for (std::size_t a = 0; a < serve.size(); ++a) {
-          if (sinrs[a] >= options.beta && queue[serve[a]] > 0) {
+          if (sinrs[a] >= beta && queue[serve[a]] > 0) {
             --queue[serve[a]];
             ++total_served;
           }
@@ -95,8 +93,25 @@ QueueSimResult run_max_weight_queueing(const Network& net,
   result.average_backlog = total_backlog / slots;
   result.served_per_slot = static_cast<double>(total_served) / slots;
   result.arrivals_per_slot = static_cast<double>(total_arrivals) / slots;
+  const std::size_t quarter = options.slots / 4;
+  if (quarter > 0) {
+    const double window = static_cast<double>(quarter);
+    result.backlog_mean_q2 = backlog_q2 / window;
+    result.backlog_mean_q4 = backlog_q4 / window;
+    // Window centers are 2 quarters apart; the slope is backlog growth in
+    // packets per slot between them.
+    result.backlog_slope =
+        (result.backlog_mean_q4 - result.backlog_mean_q2) / (2.0 * window);
+  } else {
+    // Fewer than 4 slots: no quarter-windows exist, so report the overall
+    // mean and a flat trend rather than dividing by zero.
+    result.backlog_mean_q2 = result.average_backlog;
+    result.backlog_mean_q4 = result.average_backlog;
+    result.backlog_slope = 0.0;
+  }
   // Stable if the late-run backlog is not substantially above the early-run
-  // backlog (allowing small drift).
+  // backlog (allowing small drift). Kept on the raw window sums so the
+  // verdict is bit-identical to earlier releases.
   result.looks_stable = backlog_q4 <= backlog_q2 * 1.5 + slots * 0.01;
   return result;
 }

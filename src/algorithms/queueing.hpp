@@ -16,15 +16,17 @@
 #include "algorithms/latency.hpp"
 #include "model/network.hpp"
 #include "util/rng.hpp"
+#include "util/units.hpp"
 
 namespace raysched::algorithms {
 
 struct QueueSimOptions {
   std::size_t slots = 2000;
-  double beta = 2.5;
+  units::Threshold beta = units::Threshold(2.5);
   Propagation propagation = Propagation::NonFading;
-  /// Per-link Bernoulli arrival probability per slot.
-  std::vector<double> arrival_probs;
+  /// Per-link Bernoulli arrival probability per slot. Construct via
+  /// units::probabilities() / units::uniform_probabilities().
+  units::ProbabilityVector arrival_probs;
   /// Cap on individual queues; arrivals beyond it are counted as drops
   /// (keeps unstable runs bounded).
   std::size_t queue_cap = 100000;
@@ -36,13 +38,22 @@ struct QueueSimResult {
   double served_per_slot = 0.0;          ///< throughput (packets drained/slot)
   double arrivals_per_slot = 0.0;        ///< realized offered load
   std::size_t dropped = 0;               ///< arrivals lost to the cap
+  /// Mean total backlog over the second and last quarter-windows of the
+  /// run, and the growth slope between them (packets per slot, measured
+  /// center-to-center). These expose the trend behind looks_stable so
+  /// stability-frontier sweeps can see *how fast* a queue diverges, not
+  /// just that it did. For runs shorter than 4 slots both means collapse
+  /// to average_backlog and the slope is 0.
+  double backlog_mean_q2 = 0.0;
+  double backlog_mean_q4 = 0.0;
+  double backlog_slope = 0.0;
   /// Heuristic stability verdict: backlog in the last quarter of the run
   /// did not grow relative to the second quarter.
   bool looks_stable = false;
 };
 
 /// Runs the max-weight queueing simulation. Throws if arrival_probs size
-/// mismatches or any probability is outside [0,1].
+/// mismatches net.size().
 [[nodiscard]] QueueSimResult run_max_weight_queueing(
     const model::Network& net, const QueueSimOptions& options,
     util::RngStream& rng);

@@ -62,3 +62,10 @@
 #include "learning/best_response.hpp" // Nash / best-response dynamics [5]
 #include "learning/fictitious_play.hpp" // fictitious play via Theorem 1
 #include "learning/capacity_game.hpp" // the Section-6 game engine
+
+#include "serve/traffic.hpp"        // stochastic arrival generators
+#include "serve/health.hpp"         // watchdog + health state machine
+#include "serve/fault_script.hpp"   // scripted service-level fault injection
+#include "serve/schedule_agent.hpp" // async recompute with slot deadline
+#include "serve/snapshot.hpp"       // crash-safe snapshot/restore
+#include "serve/service.hpp"        // the fault-tolerant serving loop

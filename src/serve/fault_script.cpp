@@ -1,0 +1,146 @@
+#include "serve/fault_script.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace raysched::serve {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::RecomputeDelay: return "delay";
+    case FaultKind::PoisonOn:       return "poison-on";
+    case FaultKind::PoisonOff:      return "poison-off";
+    case FaultKind::ChurnBurst:     return "churn-burst";
+    case FaultKind::Crash:          return "crash";
+  }
+  return "unknown";
+}
+
+FaultScript::FaultScript(std::vector<FaultEvent> events, std::uint64_t period)
+    : events_(std::move(events)), period_(period) {
+  for (const FaultEvent& event : events_) {
+    switch (event.kind) {
+      case FaultKind::RecomputeDelay:
+        require(std::isfinite(event.arg) && event.arg >= 1.0,
+                "FaultScript: delay needs an extra-slot count >= 1");
+        break;
+      case FaultKind::ChurnBurst:
+        require(std::isfinite(event.arg) && event.arg > 0.0 &&
+                    event.arg <= 1.0,
+                "FaultScript: churn-burst fraction must be in (0, 1]");
+        break;
+      case FaultKind::PoisonOn:
+      case FaultKind::PoisonOff:
+      case FaultKind::Crash:
+        break;
+    }
+    if (period_ > 0) {
+      require(event.slot < period_,
+              "FaultScript: periodic event slots must be < period");
+    }
+  }
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.slot < b.slot;
+                   });
+}
+
+FaultScript FaultScript::parse(const std::string& spec, std::uint64_t period) {
+  std::vector<FaultEvent> events;
+  if (spec.empty()) return FaultScript(std::move(events), period);
+  std::istringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    std::istringstream parts(item);
+    std::string field;
+    require(static_cast<bool>(std::getline(parts, field, ':')) &&
+                !field.empty(),
+            "FaultScript::parse: expected slot:kind[:arg], got '" + item +
+                "'");
+    FaultEvent event;
+    {
+      std::istringstream slot_ss(field);
+      slot_ss >> event.slot;
+      require(static_cast<bool>(slot_ss) && slot_ss.eof(),
+              "FaultScript::parse: bad slot in '" + item + "'");
+    }
+    require(static_cast<bool>(std::getline(parts, field, ':')),
+            "FaultScript::parse: missing kind in '" + item + "'");
+    std::string arg_text;
+    const bool has_arg = static_cast<bool>(std::getline(parts, arg_text));
+    double arg = 0.0;
+    if (has_arg) {
+      std::istringstream arg_ss(arg_text);
+      arg_ss >> arg;
+      require(static_cast<bool>(arg_ss) && arg_ss.eof(),
+              "FaultScript::parse: bad argument in '" + item + "'");
+    }
+    if (field == "delay") {
+      require(has_arg, "FaultScript::parse: delay needs an argument");
+      event.kind = FaultKind::RecomputeDelay;
+      event.arg = arg;
+    } else if (field == "poison-on") {
+      event.kind = FaultKind::PoisonOn;
+    } else if (field == "poison-off") {
+      event.kind = FaultKind::PoisonOff;
+    } else if (field == "churn-burst") {
+      require(has_arg, "FaultScript::parse: churn-burst needs an argument");
+      event.kind = FaultKind::ChurnBurst;
+      event.arg = arg;
+    } else if (field == "crash") {
+      event.kind = FaultKind::Crash;
+    } else {
+      throw error("FaultScript::parse: unknown fault kind '" + field + "'");
+    }
+    events.push_back(event);
+  }
+  return FaultScript(std::move(events), period);
+}
+
+void FaultScript::events_in_slot(std::uint64_t slot,
+                                 std::vector<FaultEvent>& out) const {
+  const std::uint64_t key = period_ > 0 ? slot % period_ : slot;
+  for (const FaultEvent& event : events_) {
+    if (event.slot != key) continue;
+    // Crash only fires on its literal slot, even in periodic scripts.
+    if (event.kind == FaultKind::Crash && period_ > 0 && slot != event.slot) {
+      continue;
+    }
+    out.push_back(event);
+  }
+}
+
+bool FaultScript::poison_active_before(std::uint64_t slot) const {
+  // Replay the poison-on/off toggles that fired strictly before `slot`.
+  // Event lists are short (hand-written scripts), so the periodic case just
+  // walks whole fired cycles.
+  bool active = false;
+  if (period_ == 0) {
+    for (const FaultEvent& event : events_) {
+      if (event.slot >= slot) break;
+      if (event.kind == FaultKind::PoisonOn) active = true;
+      if (event.kind == FaultKind::PoisonOff) active = false;
+    }
+    return active;
+  }
+  const std::uint64_t cycles = slot / period_;
+  const std::uint64_t offset = slot % period_;
+  if (cycles > 0) {
+    // State at the end of a full cycle: the last toggle in the period wins.
+    for (const FaultEvent& event : events_) {
+      if (event.kind == FaultKind::PoisonOn) active = true;
+      if (event.kind == FaultKind::PoisonOff) active = false;
+    }
+  }
+  for (const FaultEvent& event : events_) {
+    if (event.slot >= offset) break;
+    if (event.kind == FaultKind::PoisonOn) active = true;
+    if (event.kind == FaultKind::PoisonOff) active = false;
+  }
+  return active;
+}
+
+}  // namespace raysched::serve

@@ -1,0 +1,102 @@
+#include "serve/health.hpp"
+
+namespace raysched::serve {
+
+const char* to_string(HealthState state) {
+  switch (state) {
+    case HealthState::Healthy:     return "healthy";
+    case HealthState::Degraded:    return "degraded";
+    case HealthState::Overloaded:  return "overloaded";
+    case HealthState::Quarantined: return "quarantined";
+  }
+  return "unknown";
+}
+
+HealthState health_state_from_string(const std::string& name) {
+  if (name == "healthy") return HealthState::Healthy;
+  if (name == "degraded") return HealthState::Degraded;
+  if (name == "overloaded") return HealthState::Overloaded;
+  if (name == "quarantined") return HealthState::Quarantined;
+  throw error("health_state_from_string: unknown state '" + name + "'");
+}
+
+HealthMonitor::HealthMonitor(const HealthConfig& config) : config_(config) {
+  require(config.overload_exit_backlog < config.overload_enter_backlog,
+          "HealthMonitor: overload exit threshold must be below enter "
+          "threshold (hysteresis)");
+  require(config.quarantine_after >= 1,
+          "HealthMonitor: quarantine_after must be >= 1");
+  // A fresh service starts Healthy: the recovery countdown begins satisfied.
+  clean_slots_ = config_.recover_after_slots;
+}
+
+void HealthMonitor::note_fault() { clean_slots_ = 0; }
+
+void HealthMonitor::on_recompute_ok(std::uint64_t /*slot*/) {
+  // A clean adoption clears the poison streak and lifts quarantine; the
+  // Degraded->Healthy countdown keeps whatever progress it has.
+  poison_streak_ = 0;
+  quarantine_latch_ = false;
+}
+
+void HealthMonitor::on_recompute_timeout(std::uint64_t /*slot*/) {
+  note_fault();
+}
+
+void HealthMonitor::on_recompute_error(std::uint64_t /*slot*/,
+                                       ErrorCode code) {
+  note_fault();
+  if (code == ErrorCode::PoisonedInput) {
+    ++poison_streak_;
+    if (poison_streak_ >= config_.quarantine_after) quarantine_latch_ = true;
+  } else {
+    poison_streak_ = 0;
+  }
+}
+
+void HealthMonitor::apply(std::uint64_t slot, HealthState next,
+                          const char* reason) {
+  if (next == state_) return;
+  transitions_.push_back(HealthTransition{slot, state_, next, reason});
+  state_ = next;
+}
+
+void HealthMonitor::end_slot(std::uint64_t slot, std::uint64_t total_backlog,
+                             bool schedule_stale) {
+  if (overload_latch_) {
+    if (total_backlog <= config_.overload_exit_backlog) {
+      overload_latch_ = false;
+    }
+  } else if (total_backlog >= config_.overload_enter_backlog) {
+    overload_latch_ = true;
+  }
+
+  if (!schedule_stale) ++clean_slots_;
+
+  if (quarantine_latch_) {
+    apply(slot, HealthState::Quarantined, "poisoned-input streak");
+  } else if (overload_latch_) {
+    apply(slot, HealthState::Overloaded, "backlog over threshold");
+  } else if (schedule_stale || clean_slots_ < config_.recover_after_slots) {
+    apply(slot, HealthState::Degraded,
+          schedule_stale ? "schedule stale" : "recovering");
+  } else {
+    apply(slot, HealthState::Healthy, "recovered");
+  }
+}
+
+HealthMonitor::Persisted HealthMonitor::persisted() const {
+  return Persisted{state_, poison_streak_, clean_slots_, quarantine_latch_,
+                   overload_latch_};
+}
+
+void HealthMonitor::restore(const Persisted& state) {
+  state_ = state.state;
+  poison_streak_ = state.poison_streak;
+  clean_slots_ = state.clean_slots;
+  quarantine_latch_ = state.quarantine_latch;
+  overload_latch_ = state.overload_latch;
+  transitions_.clear();
+}
+
+}  // namespace raysched::serve

@@ -1,0 +1,77 @@
+#include "serve/schedule_agent.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <utility>
+
+#include "algorithms/weighted.hpp"
+#include "model/link.hpp"
+#include "util/units.hpp"
+
+namespace raysched::serve {
+
+ScheduleAgent::ScheduleAgent(const model::Network& net, units::Threshold beta,
+                             std::size_t threads)
+    : net_(net), beta_(beta), pool_(threads == 0 ? 2 : threads) {
+  require(net.size() > 0, "ScheduleAgent: network must not be empty");
+}
+
+void ScheduleAgent::submit(std::uint64_t slot, std::vector<double> weights,
+                           std::uint64_t latency_slots) {
+  require(!in_flight_, "ScheduleAgent::submit: a recompute is in flight");
+  require(weights.size() == net_.size(),
+          "ScheduleAgent::submit: weights size must equal n");
+  require(latency_slots >= 1,
+          "ScheduleAgent::submit: latency must be >= 1 slot");
+  in_flight_ = true;
+  submit_slot_ = slot;
+  latency_slots_ = latency_slots;
+  weights_ = std::move(weights);
+  outcome_ = RecomputeOutcome{};
+  pool_.submit([this] {
+    const auto t0 = std::chrono::steady_clock::now();
+    // Validation boundary: poisoned gain-derived inputs must be caught
+    // here, before they can steer the greedy's comparisons.
+    for (double w : weights_) {
+      require_code(std::isfinite(w) && w >= 0.0, ErrorCode::PoisonedInput,
+                   "recompute weights must be finite and non-negative");
+    }
+    model::LinkSet schedule =
+        algorithms::weighted_greedy_capacity(net_, beta_.value(), weights_)
+            .selected;
+    outcome_.schedule = std::move(schedule);
+    outcome_.ok = true;
+    outcome_.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+  });
+}
+
+RecomputeOutcome ScheduleAgent::reap() {
+  require(in_flight_, "ScheduleAgent::reap: no recompute in flight");
+  in_flight_ = false;
+  try {
+    pool_.wait();
+  } catch (const coded_error& e) {
+    RecomputeOutcome failed;
+    failed.ok = false;
+    failed.code = e.code();
+    failed.what = e.what();
+    return failed;
+  } catch (const error& e) {
+    RecomputeOutcome failed;
+    failed.ok = false;
+    failed.code = ErrorCode::Internal;
+    failed.what = e.what();
+    return failed;
+  }
+  return std::move(outcome_);
+}
+
+const std::vector<double>& ScheduleAgent::pending_weights() const {
+  require(in_flight_,
+          "ScheduleAgent::pending_weights: no recompute in flight");
+  return weights_;
+}
+
+}  // namespace raysched::serve

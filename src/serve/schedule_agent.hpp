@@ -1,0 +1,93 @@
+// raysched: asynchronous max-weight schedule recomputation with a slot
+// deadline.
+//
+// The serving loop must keep draining queues while a schedule recompute
+// (weighted greedy capacity with queue lengths as weights) runs. The agent
+// executes the recompute on its own sim::ThreadPool and hands the result
+// back under a *slot-deterministic* protocol:
+//
+//   * submit(slot, weights, latency_slots) launches the recompute. The
+//     caller adopts the result exactly at slot submit + latency_slots —
+//     never earlier — by calling reap(), which blocks on the pool if the
+//     computation is still running. latency_slots models (and, via the
+//     fault script, inflates) the recompute's service time in slot units,
+//     so adoption timing is independent of wall-clock scheduling and thread
+//     count: trajectories replay bit-identically.
+//
+//   * If latency_slots exceeds the service's deadline, the loop declares a
+//     timeout at submit + deadline without reaping, keeps serving from the
+//     stale schedule, and discards the overdue result when it finally
+//     lands. The wall-clock duration of the computation is recorded for
+//     reporting but never steers control flow.
+//
+//   * Input validation is the agent's contract boundary: non-finite or
+//     negative weights (the poisoned-gain injection surface) throw
+//     coded_error{PoisonedInput} *before* the greedy runs, which reap()
+//     converts into a structured failure outcome.
+//
+// With threads == 1 the pool runs the task inline in submit() — the
+// degraded synchronous mode for single-core hosts — and by the protocol
+// above, results are bit-identical to any multi-threaded run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "algorithms/weighted.hpp"
+#include "model/network.hpp"
+#include "sim/thread_pool.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace raysched::serve {
+
+/// Result of one recompute attempt.
+struct RecomputeOutcome {
+  bool ok = false;
+  ErrorCode code = ErrorCode::Internal;  ///< meaningful when !ok
+  std::string what;                      ///< failure message when !ok
+  model::LinkSet schedule;               ///< feasible set when ok
+  double wall_seconds = 0.0;  ///< measured compute time (reporting only)
+};
+
+class ScheduleAgent {
+ public:
+  /// The agent keeps a reference to `net`; the caller must keep it alive.
+  /// threads == 0 selects 2 (one worker + headroom so submit returns
+  /// immediately); threads == 1 degrades to inline synchronous execution.
+  ScheduleAgent(const model::Network& net, units::Threshold beta,
+                std::size_t threads);
+
+  [[nodiscard]] bool in_flight() const { return in_flight_; }
+  [[nodiscard]] std::uint64_t submit_slot() const { return submit_slot_; }
+  [[nodiscard]] std::uint64_t latency_slots() const { return latency_slots_; }
+  /// The slot at which reap() is due: submit_slot + latency_slots.
+  [[nodiscard]] std::uint64_t due_slot() const {
+    return submit_slot_ + latency_slots_;
+  }
+
+  /// Launches a recompute with the given per-link weights (0 for links that
+  /// must not be scheduled). Throws raysched::error if one is in flight.
+  void submit(std::uint64_t slot, std::vector<double> weights,
+              std::uint64_t latency_slots);
+
+  /// Blocks until the in-flight recompute finished and returns its outcome
+  /// (never throws on task failure: exceptions become structured failure
+  /// outcomes). Throws raysched::error if none is in flight.
+  [[nodiscard]] RecomputeOutcome reap();
+
+  /// The in-flight request's inputs, for snapshotting a mid-flight service.
+  [[nodiscard]] const std::vector<double>& pending_weights() const;
+
+ private:
+  const model::Network& net_;
+  units::Threshold beta_;
+  sim::ThreadPool pool_;
+  bool in_flight_ = false;
+  std::uint64_t submit_slot_ = 0;
+  std::uint64_t latency_slots_ = 0;
+  std::vector<double> weights_;   // owned copy the task reads
+  RecomputeOutcome outcome_;      // written by the task, read after wait()
+};
+
+}  // namespace raysched::serve

@@ -1,0 +1,485 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "core/latency_transform.hpp"
+#include "model/rayleigh.hpp"
+#include "util/rng.hpp"
+
+namespace raysched::serve {
+
+namespace {
+
+// Stream tags: every per-slot stream is master.derive(tag).derive(slot), so
+// the slot index is the complete RNG position.
+constexpr std::uint64_t kTrafficTag = 0x7261FF1C;  // "traffic"
+constexpr std::uint64_t kChurnTag = 0xC4012;       // "churn"
+constexpr std::uint64_t kFadingTag = 0xFAD1;       // "fading"
+
+}  // namespace
+
+const char* to_string(core::Propagation propagation) {
+  switch (propagation) {
+    case core::Propagation::NonFading: return "nonfading";
+    case core::Propagation::Rayleigh:  return "rayleigh";
+  }
+  return "unknown";
+}
+
+core::Propagation propagation_from_string(const std::string& name) {
+  if (name == "nonfading") return core::Propagation::NonFading;
+  if (name == "rayleigh") return core::Propagation::Rayleigh;
+  throw error("propagation_from_string: unknown propagation '" + name + "'");
+}
+
+Service::Service(model::Network net, const ServeConfig& config)
+    : net_(std::move(net)),
+      config_(config),
+      master_(config.master_seed),
+      traffic_(config.traffic, net_.size()),
+      agent_(net_, config.beta, config.agent_threads),
+      monitor_(config.health) {
+  require(config_.queue_cap >= 1, "Service: queue_cap must be >= 1");
+  require(config_.recompute_period >= 1,
+          "Service: recompute_period must be >= 1");
+  require(config_.recompute_latency >= 1,
+          "Service: recompute_latency must be >= 1");
+  require(config_.recompute_deadline >= 1,
+          "Service: recompute_deadline must be >= 1");
+  require(config_.backoff_initial >= 1,
+          "Service: backoff_initial must be >= 1");
+  require(config_.backoff_max >= config_.backoff_initial,
+          "Service: backoff_max must be >= backoff_initial");
+  require(std::isfinite(config_.overload_schedule_frac) &&
+              config_.overload_schedule_frac > 0.0 &&
+              config_.overload_schedule_frac <= 1.0,
+          "Service: overload_schedule_frac must be in (0, 1]");
+  require(config_.snapshot_period == 0 || !config_.snapshot_path.empty(),
+          "Service: snapshot_period needs a snapshot_path");
+  queue_.assign(net_.size(), 0);
+  active_.assign(net_.size(), 1);  // every link starts joined
+}
+
+std::uint64_t Service::total_backlog() const {
+  std::uint64_t sum = 0;
+  for (std::uint64_t q : queue_) sum += q;
+  return sum;
+}
+
+bool Service::conservation_holds() const {
+  return arrivals_total_ ==
+         served_total_ + total_backlog() + drops_.total();
+}
+
+void Service::bump_backoff(std::uint64_t slot) {
+  backoff_slots_ = backoff_slots_ == 0
+                       ? config_.backoff_initial
+                       : std::min(backoff_slots_ * 2, config_.backoff_max);
+  cooldown_until_ = slot + backoff_slots_;
+}
+
+void Service::apply_churn(std::uint64_t slot,
+                          const std::vector<double>& burst_fracs) {
+  const double leave = config_.churn_leave.value();
+  const double join = config_.churn_join.value();
+  if (burst_fracs.empty() && leave == 0.0 && join == 0.0) return;
+  util::RngStream rng = master_.derive(kChurnTag, slot);
+
+  for (double frac : burst_fracs) {
+    std::vector<model::LinkId> ids;
+    for (model::LinkId i = 0; i < net_.size(); ++i) {
+      if (active_[i] != 0) ids.push_back(i);
+    }
+    if (ids.empty()) continue;
+    const std::size_t victims = std::min(
+        ids.size(),
+        static_cast<std::size_t>(
+            std::ceil(frac * static_cast<double>(ids.size()))));
+    // Partial Fisher-Yates on the active list: the first `victims` entries
+    // become a uniform sample without replacement.
+    for (std::size_t j = 0; j < victims; ++j) {
+      const std::size_t pick =
+          j + static_cast<std::size_t>(rng.uniform_index(ids.size() - j));
+      std::swap(ids[j], ids[pick]);
+      const model::LinkId gone = ids[j];
+      active_[gone] = 0;
+      drops_.churn += queue_[gone];
+      queue_[gone] = 0;
+    }
+  }
+
+  if (leave == 0.0 && join == 0.0) return;
+  for (model::LinkId i = 0; i < net_.size(); ++i) {
+    if (active_[i] != 0) {
+      if (leave > 0.0 && rng.bernoulli(leave)) {
+        active_[i] = 0;
+        drops_.churn += queue_[i];
+        queue_[i] = 0;
+      }
+    } else if (join > 0.0 && rng.bernoulli(join)) {
+      active_[i] = 1;  // rejoins with an empty queue
+    }
+  }
+}
+
+std::uint64_t Service::apply_arrivals(std::uint64_t slot) {
+  util::RngStream rng = master_.derive(kTrafficTag, slot);
+  traffic_.arrivals(rng, active_, arrivals_scratch_);
+
+  const HealthState state = monitor_.state();
+  const std::uint64_t threshold =
+      state == HealthState::Overloaded
+          ? std::max<std::uint64_t>(1, config_.queue_cap / 2)
+          : config_.queue_cap;
+  std::uint64_t offered = 0;
+  for (std::size_t i = 0; i < arrivals_scratch_.size(); ++i) {
+    const std::uint64_t count = arrivals_scratch_[i];
+    if (count == 0) continue;
+    offered += count;
+    if (state == HealthState::Quarantined) {
+      // Quarantine refuses all new work: the network data cannot be
+      // trusted, so nothing is promised that might never be served.
+      drops_.quarantine += count;
+      continue;
+    }
+    const std::uint64_t room =
+        queue_[i] < threshold ? threshold - queue_[i] : 0;
+    const std::uint64_t admitted = std::min(count, room);
+    queue_[i] += admitted;
+    admitted_total_ += admitted;
+    const std::uint64_t refused = count - admitted;
+    if (state == HealthState::Overloaded) {
+      drops_.shed += refused;
+    } else {
+      drops_.capacity += refused;
+    }
+  }
+  arrivals_total_ += offered;
+  return offered;
+}
+
+void Service::submit_recompute(std::uint64_t slot) {
+  const std::size_t n = net_.size();
+  std::vector<double> weights(n, 0.0);
+  std::size_t active_count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (active_[i] != 0) {
+      ++active_count;
+      weights[i] = static_cast<double>(queue_[i]);
+    }
+  }
+  if (monitor_.state() == HealthState::Overloaded && active_count > 0) {
+    // Shed load by shrinking the scheduled set: only the heaviest fraction
+    // of active queues keeps a nonzero weight (ties broken by link id so
+    // the cut is deterministic).
+    const std::size_t keep = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::ceil(config_.overload_schedule_frac *
+                         static_cast<double>(active_count))));
+    std::vector<model::LinkId> heavy;
+    for (model::LinkId i = 0; i < n; ++i) {
+      if (active_[i] != 0 && queue_[i] > 0) heavy.push_back(i);
+    }
+    std::sort(heavy.begin(), heavy.end(),
+              [this](model::LinkId a, model::LinkId b) {
+                if (queue_[a] != queue_[b]) return queue_[a] > queue_[b];
+                return a < b;
+              });
+    for (std::size_t r = keep; r < heavy.size(); ++r) {
+      weights[heavy[r]] = 0.0;
+    }
+  }
+
+  inflight_clean_weights_ = weights;
+  inflight_poisoned_ = poison_active_;
+  inflight_timed_out_ = false;
+  const std::uint64_t latency =
+      config_.recompute_latency + pending_extra_latency_;
+  pending_extra_latency_ = 0;
+  if (inflight_poisoned_) {
+    // The scripted poisoned-gain fault: the recompute's weight inputs are
+    // corrupted wholesale; the agent's validation boundary must catch it.
+    std::fill(weights.begin(), weights.end(),
+              std::numeric_limits<double>::quiet_NaN());
+  }
+  agent_.submit(slot, std::move(weights), latency);
+}
+
+void Service::manage_recompute(std::uint64_t slot) {
+  if (agent_.in_flight()) {
+    if (slot >= agent_.due_slot()) {
+      RecomputeOutcome outcome = agent_.reap();
+      if (inflight_timed_out_) {
+        // The deadline already passed and was accounted; the overdue result
+        // is discarded no matter what it says.
+      } else if (outcome.ok) {
+        schedule_ = std::move(outcome.schedule);
+        ++schedule_epoch_;
+        schedule_stale_ = false;
+        monitor_.on_recompute_ok(slot);
+        ++recompute_adoptions_;
+        backoff_slots_ = 0;
+        cooldown_until_ = slot;
+      } else {
+        schedule_stale_ = true;
+        monitor_.on_recompute_error(slot, outcome.code);
+        ++recompute_failures_;
+        bump_backoff(slot);
+      }
+      inflight_timed_out_ = false;
+      inflight_poisoned_ = false;
+      inflight_clean_weights_.clear();
+    } else if (!inflight_timed_out_ &&
+               slot >= agent_.submit_slot() + config_.recompute_deadline) {
+      // Deadline overrun: keep serving from the last good schedule, marked
+      // stale, and back off before the next attempt.
+      inflight_timed_out_ = true;
+      schedule_stale_ = true;
+      monitor_.on_recompute_timeout(slot);
+      ++recompute_timeouts_;
+      bump_backoff(slot);
+    }
+  }
+  if (!agent_.in_flight() && slot >= cooldown_until_ &&
+      (schedule_stale_ || slot % config_.recompute_period == 0)) {
+    submit_recompute(slot);
+  }
+}
+
+std::uint64_t Service::serve_slot(std::uint64_t slot) {
+  if (monitor_.state() == HealthState::Quarantined || schedule_.empty()) {
+    return 0;
+  }
+  std::uint64_t served = 0;
+  if (config_.propagation == core::Propagation::NonFading) {
+    // Scheduled sets are feasibility-certified: every live service
+    // succeeds. Links that left after adoption are skipped.
+    for (model::LinkId i : schedule_) {
+      if (active_[i] != 0 && queue_[i] > 0) {
+        --queue_[i];
+        ++served;
+      }
+    }
+  } else {
+    model::LinkSet live;
+    for (model::LinkId i : schedule_) {
+      if (active_[i] != 0 && queue_[i] > 0) live.push_back(i);
+    }
+    if (!live.empty()) {
+      util::RngStream rng = master_.derive(kFadingTag, slot);
+      const std::vector<double> sinrs =
+          model::sinr_rayleigh_all(net_, live, rng);
+      for (std::size_t a = 0; a < live.size(); ++a) {
+        if (sinrs[a] >= config_.beta.value()) {
+          --queue_[live[a]];
+          ++served;
+        }
+      }
+    }
+  }
+  served_total_ += served;
+  return served;
+}
+
+void Service::digest_slot(const SlotDigest& digest) {
+  const auto mix = [this](std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash_ ^= (v >> (8 * byte)) & 0xFF;
+      hash_ *= 1099511628211ULL;  // FNV-1a prime
+    }
+  };
+  mix(digest.slot);
+  mix(digest.arrivals);
+  mix(digest.served);
+  mix(digest.dropped);
+  mix(digest.backlog);
+  mix(digest.schedule_epoch);
+  mix(static_cast<std::uint64_t>(digest.health));
+}
+
+ServeReport Service::run(std::uint64_t slots) {
+  ServeReport report;
+  std::vector<double> burst_fracs;
+
+  for (std::uint64_t step = 0; step < slots; ++step) {
+    const std::uint64_t slot = next_slot_;
+    const std::uint64_t drops_at_start = drops_.total();
+
+    slot_events_.clear();
+    burst_fracs.clear();
+    config_.faults.events_in_slot(slot, slot_events_);
+    bool crash = false;
+    for (const FaultEvent& event : slot_events_) {
+      switch (event.kind) {
+        case FaultKind::RecomputeDelay:
+          pending_extra_latency_ += static_cast<std::uint64_t>(event.arg);
+          break;
+        case FaultKind::PoisonOn:
+          poison_active_ = true;
+          break;
+        case FaultKind::PoisonOff:
+          poison_active_ = false;
+          break;
+        case FaultKind::ChurnBurst:
+          burst_fracs.push_back(event.arg);
+          break;
+        case FaultKind::Crash:
+          crash = true;
+          break;
+      }
+    }
+    if (crash) {
+      // A scripted kill: stop before executing the slot and WITHOUT a
+      // snapshot — restore must come from the last periodic one.
+      report.crashed = true;
+      report.crash_slot = slot;
+      break;
+    }
+
+    apply_churn(slot, burst_fracs);
+    const std::uint64_t offered = apply_arrivals(slot);
+    manage_recompute(slot);
+    const std::uint64_t served = serve_slot(slot);
+
+    const std::uint64_t backlog = total_backlog();
+    monitor_.end_slot(slot, backlog, schedule_stale_);
+    if (!conservation_holds()) conservation_violated_ = true;
+
+    SlotDigest digest;
+    digest.slot = slot;
+    digest.arrivals = offered;
+    digest.served = served;
+    digest.dropped = drops_.total() - drops_at_start;
+    digest.backlog = backlog;
+    digest.schedule_epoch = schedule_epoch_;
+    digest.health = monitor_.state();
+    digest_slot(digest);
+    report.digests.push_back(digest);
+    ++report.slots_run;
+    next_slot_ = slot + 1;
+
+    if (config_.snapshot_period > 0 &&
+        next_slot_ % config_.snapshot_period == 0) {
+      save_snapshot_atomic(config_.snapshot_path, snapshot());
+    }
+  }
+
+  report.next_slot = next_slot_;
+  report.arrivals = arrivals_total_;
+  report.admitted = admitted_total_;
+  report.served = served_total_;
+  report.backlog = total_backlog();
+  report.drops = drops_;
+  report.recompute_timeouts = recompute_timeouts_;
+  report.recompute_failures = recompute_failures_;
+  report.recompute_adoptions = recompute_adoptions_;
+  report.schedule_epoch = schedule_epoch_;
+  report.health = monitor_.state();
+  report.transitions = monitor_.transitions();
+  report.trajectory_hash = hash_;
+  report.conservation_ok = !conservation_violated_ && conservation_holds();
+  return report;
+}
+
+ServeSnapshot Service::snapshot() const {
+  ServeSnapshot snap;
+  snap.master_seed = config_.master_seed;
+  snap.num_links = net_.size();
+  snap.beta = config_.beta.value();
+  snap.propagation = to_string(config_.propagation);
+  snap.traffic_model = to_string(config_.traffic.model);
+  snap.next_slot = next_slot_;
+  snap.health = monitor_.persisted();
+  snap.arrivals_total = arrivals_total_;
+  snap.admitted_total = admitted_total_;
+  snap.served_total = served_total_;
+  snap.dropped_capacity = drops_.capacity;
+  snap.dropped_shed = drops_.shed;
+  snap.dropped_churn = drops_.churn;
+  snap.dropped_quarantine = drops_.quarantine;
+  snap.recompute_timeouts = recompute_timeouts_;
+  snap.recompute_failures = recompute_failures_;
+  snap.recompute_adoptions = recompute_adoptions_;
+  snap.schedule_epoch = schedule_epoch_;
+  snap.schedule_stale = schedule_stale_;
+  snap.schedule = schedule_;
+  snap.queues = queue_;
+  snap.active = active_;
+  snap.burst_state = traffic_.burst_state();
+  if (agent_.in_flight()) {
+    snap.recompute.in_flight = true;
+    snap.recompute.submit_slot = agent_.submit_slot();
+    snap.recompute.latency_slots = agent_.latency_slots();
+    snap.recompute.timed_out = inflight_timed_out_;
+    snap.recompute.poisoned = inflight_poisoned_;
+    // Always the *clean* copy: the agent's own input may hold NaNs.
+    snap.recompute.weights = inflight_clean_weights_;
+  }
+  snap.backoff_slots = backoff_slots_;
+  snap.cooldown_until = cooldown_until_;
+  snap.pending_extra_latency = pending_extra_latency_;
+  snap.poison_active = poison_active_;
+  return snap;
+}
+
+void Service::restore(const ServeSnapshot& snap) {
+  require(next_slot_ == 0 && arrivals_total_ == 0 && !agent_.in_flight(),
+          "Service::restore: only a freshly constructed service can restore");
+  require_code(snap.master_seed == config_.master_seed,
+               ErrorCode::SnapshotFormat,
+               "Service::restore: master seed mismatch");
+  require_code(snap.num_links == net_.size(), ErrorCode::SnapshotFormat,
+               "Service::restore: link count mismatch");
+  require_code(snap.beta == config_.beta.value(), ErrorCode::SnapshotFormat,
+               "Service::restore: beta mismatch");
+  require_code(snap.propagation == to_string(config_.propagation),
+               ErrorCode::SnapshotFormat,
+               "Service::restore: propagation mismatch");
+  require_code(snap.traffic_model == to_string(config_.traffic.model),
+               ErrorCode::SnapshotFormat,
+               "Service::restore: traffic model mismatch");
+
+  next_slot_ = snap.next_slot;
+  monitor_.restore(snap.health);
+  arrivals_total_ = snap.arrivals_total;
+  admitted_total_ = snap.admitted_total;
+  served_total_ = snap.served_total;
+  drops_.capacity = snap.dropped_capacity;
+  drops_.shed = snap.dropped_shed;
+  drops_.churn = snap.dropped_churn;
+  drops_.quarantine = snap.dropped_quarantine;
+  recompute_timeouts_ = snap.recompute_timeouts;
+  recompute_failures_ = snap.recompute_failures;
+  recompute_adoptions_ = snap.recompute_adoptions;
+  schedule_epoch_ = snap.schedule_epoch;
+  schedule_stale_ = snap.schedule_stale;
+  schedule_ = snap.schedule;
+  queue_ = snap.queues;
+  active_ = snap.active;
+  traffic_.set_burst_state(snap.burst_state);
+  backoff_slots_ = snap.backoff_slots;
+  cooldown_until_ = snap.cooldown_until;
+  pending_extra_latency_ = snap.pending_extra_latency;
+  poison_active_ = snap.poison_active;
+
+  if (snap.recompute.in_flight) {
+    // Resubmit the interrupted recompute with its original submit slot and
+    // latency, so the adoption slot — and thus the trajectory — is
+    // preserved. A poisoned request is re-corrupted before submission.
+    inflight_clean_weights_ = snap.recompute.weights;
+    inflight_timed_out_ = snap.recompute.timed_out;
+    inflight_poisoned_ = snap.recompute.poisoned;
+    std::vector<double> weights = snap.recompute.weights;
+    if (inflight_poisoned_) {
+      std::fill(weights.begin(), weights.end(),
+                std::numeric_limits<double>::quiet_NaN());
+    }
+    agent_.submit(snap.recompute.submit_slot, std::move(weights),
+                  snap.recompute.latency_slots);
+  }
+}
+
+}  // namespace raysched::serve

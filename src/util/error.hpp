@@ -1,8 +1,15 @@
-// raysched: error type used at public API boundaries.
+// raysched: error types used at public API boundaries.
 //
 // Library functions throw raysched::error when a documented precondition is
 // violated by the caller (bad sizes, probabilities outside [0,1], empty
 // networks, ...). Internal invariants use assert().
+//
+// Long-running components (the serving loop, checkpoint/snapshot I/O) need
+// to react *differently* to different failures — retry a timeout, quarantine
+// poisoned input, surface a filesystem error — so they throw
+// raysched::coded_error, which carries a machine-readable ErrorCode on top
+// of the human-readable message. Catching raysched::error still catches
+// everything; code() is the structured taxonomy for recovery policies.
 #pragma once
 
 #include <stdexcept>
@@ -19,6 +26,54 @@ class error : public std::runtime_error {
 /// Throws raysched::error with `message` unless `condition` holds.
 inline void require(bool condition, const std::string& message) {
   if (!condition) throw error(message);
+}
+
+/// Structured failure taxonomy for components that must decide a recovery
+/// action per failure class (see src/serve/ and docs/ROBUSTNESS.md).
+enum class ErrorCode {
+  Precondition,     ///< caller violated a documented precondition
+  RecomputeTimeout, ///< an async recompute overran its slot deadline
+  PoisonedInput,    ///< NaN/Inf reached a validation boundary (bad gains)
+  SnapshotFormat,   ///< malformed snapshot/checkpoint contents
+  SnapshotIo,       ///< filesystem failure while persisting state
+  Overload,         ///< work rejected by admission control
+  Quarantined,      ///< service refused work while quarantined
+  Internal,         ///< invariant broke; a bug, not an input problem
+};
+
+/// Stable lowercase name of a code (used by reports and snapshots).
+[[nodiscard]] constexpr const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::Precondition:     return "precondition";
+    case ErrorCode::RecomputeTimeout: return "recompute-timeout";
+    case ErrorCode::PoisonedInput:    return "poisoned-input";
+    case ErrorCode::SnapshotFormat:   return "snapshot-format";
+    case ErrorCode::SnapshotIo:       return "snapshot-io";
+    case ErrorCode::Overload:         return "overload";
+    case ErrorCode::Quarantined:      return "quarantined";
+    case ErrorCode::Internal:         return "internal";
+  }
+  return "unknown";
+}
+
+/// raysched::error with a machine-readable code. The message is prefixed
+/// with "[<code>] " so logs stay greppable without the type.
+class coded_error : public error {
+ public:
+  coded_error(ErrorCode code, const std::string& what)
+      : error(std::string("[") + to_string(code) + "] " + what),
+        code_(code) {}
+
+  [[nodiscard]] ErrorCode code() const { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+/// Throws raysched::coded_error with `code` unless `condition` holds.
+inline void require_code(bool condition, ErrorCode code,
+                         const std::string& message) {
+  if (!condition) throw coded_error(code, message);
 }
 
 }  // namespace raysched

@@ -13,9 +13,10 @@ QueueSimOptions base_options(const model::Network& net, double lambda,
                              Propagation prop = Propagation::NonFading) {
   QueueSimOptions opts;
   opts.slots = 1500;
-  opts.beta = 2.5;
+  opts.beta = units::Threshold(2.5);
   opts.propagation = prop;
-  opts.arrival_probs.assign(net.size(), lambda);
+  opts.arrival_probs = units::uniform_probabilities(
+      net.size(), units::Probability::checked(lambda));
   return opts;
 }
 
@@ -59,7 +60,7 @@ TEST(Queueing, OverloadIsDetectedAsUnstable) {
   auto net = raysched::testing::two_close_links(1e-6);
   util::RngStream rng(4);
   auto opts = base_options(net, 0.9);
-  opts.beta = 2.0;
+  opts.beta = units::Threshold(2.0);
   const auto result = run_max_weight_queueing(net, opts, rng);
   EXPECT_FALSE(result.looks_stable);
   // Combined service bounded by 1/slot.
@@ -84,7 +85,7 @@ TEST(Queueing, IndependentLinksSustainHighLoad) {
   auto net = two_far_links(1e-6);
   util::RngStream rng(6);
   auto opts = base_options(net, 0.8);
-  opts.beta = 2.0;
+  opts.beta = units::Threshold(2.0);
   const auto result = run_max_weight_queueing(net, opts, rng);
   EXPECT_TRUE(result.looks_stable);
   EXPECT_NEAR(result.served_per_slot, result.arrivals_per_slot, 0.1);
@@ -94,7 +95,7 @@ TEST(Queueing, QueueCapCountsDrops) {
   auto net = raysched::testing::two_close_links(1e-6);
   util::RngStream rng(7);
   auto opts = base_options(net, 1.0);
-  opts.beta = 2.0;
+  opts.beta = units::Threshold(2.0);
   opts.queue_cap = 5;
   opts.slots = 500;
   const auto result = run_max_weight_queueing(net, opts, rng);
@@ -102,15 +103,49 @@ TEST(Queueing, QueueCapCountsDrops) {
   for (std::size_t q : result.final_queue) EXPECT_LE(q, 5u);
 }
 
+TEST(Queueing, BacklogWindowsExposeTheTrend) {
+  // Stable light load: both window means stay near zero and so does the
+  // slope. Overload: the last-quarter mean and the slope must both show
+  // growth — the frontier sweeps read the trend, not just the verdict.
+  auto net = raysched::testing::two_close_links(1e-6);
+  util::RngStream r1(11), r2(11);
+  auto light = base_options(net, 0.05);
+  light.beta = units::Threshold(2.0);
+  const auto stable = run_max_weight_queueing(net, light, r1);
+  EXPECT_TRUE(stable.looks_stable);
+  EXPECT_LT(stable.backlog_slope, 0.01);
+
+  auto heavy = base_options(net, 0.9);
+  heavy.beta = units::Threshold(2.0);
+  const auto unstable = run_max_weight_queueing(net, heavy, r2);
+  EXPECT_FALSE(unstable.looks_stable);
+  EXPECT_GT(unstable.backlog_mean_q4, unstable.backlog_mean_q2);
+  EXPECT_GT(unstable.backlog_slope, 0.1);
+}
+
+TEST(Queueing, ShortRunsHaveNoQuarterWindows) {
+  // slots < 4 means quarter == 0; the window fields must fall back to the
+  // overall mean instead of dividing by zero.
+  auto net = paper_network(5, 9);
+  util::RngStream rng(9);
+  auto opts = base_options(net, 0.5);
+  opts.slots = 3;
+  const auto result = run_max_weight_queueing(net, opts, rng);
+  EXPECT_DOUBLE_EQ(result.backlog_mean_q2, result.average_backlog);
+  EXPECT_DOUBLE_EQ(result.backlog_mean_q4, result.average_backlog);
+  EXPECT_DOUBLE_EQ(result.backlog_slope, 0.0);
+}
+
 TEST(Queueing, Validation) {
   auto net = paper_network(5, 8);
   util::RngStream rng(1);
   QueueSimOptions bad;
-  bad.arrival_probs.assign(3, 0.5);  // wrong size
+  bad.arrival_probs = units::uniform_probabilities(
+      3, units::Probability::checked(0.5));  // wrong size
   EXPECT_THROW(run_max_weight_queueing(net, bad, rng), raysched::error);
-  QueueSimOptions bad2 = base_options(net, 0.5);
-  bad2.arrival_probs[0] = 1.5;
-  EXPECT_THROW(run_max_weight_queueing(net, bad2, rng), raysched::error);
+  // Out-of-range probabilities can no longer reach the simulation at all:
+  // the unit type rejects them at the construction boundary.
+  EXPECT_THROW(units::probabilities({0.5, 1.5}), raysched::error);
   QueueSimOptions bad3 = base_options(net, 0.5);
   bad3.slots = 0;
   EXPECT_THROW(run_max_weight_queueing(net, bad3, rng), raysched::error);

@@ -1,0 +1,454 @@
+// Unit tests for the serve layer's building blocks: traffic generators,
+// the health state machine, fault scripts, the schedule agent, and the
+// snapshot codec. The end-to-end fault scenarios live in
+// test_serve_faults.cpp.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "test_helpers.hpp"
+
+namespace raysched::serve {
+namespace {
+
+using raysched::testing::paper_network;
+
+// ---- traffic --------------------------------------------------------------
+
+TEST(ServeTraffic, InactiveLinksConsumeNoRandomness) {
+  TrafficConfig config;
+  config.model = TrafficModel::Poisson;
+  config.mean_rate = 0.5;
+  TrafficGenerator gen(config, 4);
+
+  // Masking out links 1 and 3 must leave links 0 and 2 with exactly the
+  // draws they would see if the masked links did not exist.
+  util::RngStream a(42), b(42);
+  std::vector<std::uint32_t> all_out, masked_out;
+  TrafficGenerator gen2(config, 2);
+  std::vector<char> mask = {1, 0, 1, 0};
+  gen.arrivals(a, mask, all_out);
+  gen2.arrivals(b, {1, 1}, masked_out);
+  EXPECT_EQ(all_out[0], masked_out[0]);
+  EXPECT_EQ(all_out[2], masked_out[1]);
+  EXPECT_EQ(all_out[1], 0u);
+  EXPECT_EQ(all_out[3], 0u);
+}
+
+TEST(ServeTraffic, BurstyStateRoundTripsAndModulates) {
+  TrafficConfig config;
+  config.model = TrafficModel::Bursty;
+  config.burst_on = units::Probability(1.0);   // switches on immediately
+  config.burst_off = units::Probability(0.0);  // never switches off
+  config.on_rate = units::Probability(1.0);    // always delivers while on
+  TrafficGenerator gen(config, 3);
+  EXPECT_EQ(gen.burst_state().size(), 3u);
+
+  util::RngStream rng(1);
+  std::vector<std::uint32_t> out;
+  std::vector<char> active(3, 1);
+  gen.arrivals(rng, active, out);  // slot 0: all links switch on, no packet
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{0, 0, 0}));
+  gen.arrivals(rng, active, out);  // slot 1: all links on, all deliver
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{1, 1, 1}));
+
+  // A fresh generator restored with the captured "all on" state must
+  // deliver immediately — set_burst_state feeds the draw path, skipping
+  // the switch-on slot.
+  TrafficGenerator fresh(config, 3);
+  fresh.set_burst_state(gen.burst_state());
+  util::RngStream rng2(7);
+  fresh.arrivals(rng2, active, out);
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{1, 1, 1}));
+  // Non-bursty models keep no state and reject a sized vector.
+  TrafficConfig poisson;
+  TrafficGenerator plain(poisson, 3);
+  EXPECT_THROW(plain.set_burst_state(std::vector<char>(3, 1)),
+               raysched::error);
+}
+
+TEST(ServeTraffic, HeavyTailedBatchesAreCapped) {
+  TrafficConfig config;
+  config.model = TrafficModel::HeavyTailed;
+  config.batch_prob = units::Probability(1.0);
+  config.tail_alpha = 0.5;  // infinite-mean regime: cap must bite
+  config.max_batch = 16;
+  TrafficGenerator gen(config, 8);
+  util::RngStream rng(3);
+  std::vector<std::uint32_t> out;
+  std::vector<char> active(8, 1);
+  for (int slot = 0; slot < 50; ++slot) {
+    gen.arrivals(rng, active, out);
+    for (std::uint32_t a : out) {
+      EXPECT_GE(a, 1u);
+      EXPECT_LE(a, 16u);
+    }
+  }
+}
+
+TEST(ServeTraffic, ModelNamesRoundTrip) {
+  for (TrafficModel m : {TrafficModel::Poisson, TrafficModel::Bursty,
+                         TrafficModel::HeavyTailed}) {
+    EXPECT_EQ(traffic_model_from_string(to_string(m)), m);
+  }
+  EXPECT_THROW(traffic_model_from_string("fractal"), raysched::error);
+}
+
+// ---- health ---------------------------------------------------------------
+
+TEST(ServeHealth, FreshMonitorIsHealthy) {
+  HealthMonitor monitor{HealthConfig{}};
+  monitor.end_slot(0, 0, false);
+  EXPECT_EQ(monitor.state(), HealthState::Healthy);
+  EXPECT_TRUE(monitor.transitions().empty());
+}
+
+TEST(ServeHealth, TimeoutDegradesAndRecoveryHeals) {
+  HealthConfig config;
+  config.recover_after_slots = 4;
+  HealthMonitor monitor(config);
+  monitor.on_recompute_timeout(10);
+  monitor.end_slot(10, 0, true);
+  EXPECT_EQ(monitor.state(), HealthState::Degraded);
+  // Stale slots do not advance the countdown.
+  monitor.end_slot(11, 0, true);
+  EXPECT_EQ(monitor.state(), HealthState::Degraded);
+  for (std::uint64_t s = 12; s < 16; ++s) monitor.end_slot(s, 0, false);
+  EXPECT_EQ(monitor.state(), HealthState::Healthy);
+  ASSERT_EQ(monitor.transitions().size(), 2u);
+  EXPECT_EQ(monitor.transitions()[1].to, HealthState::Healthy);
+}
+
+TEST(ServeHealth, OverloadUsesHysteresis) {
+  HealthConfig config;
+  config.overload_enter_backlog = 100;
+  config.overload_exit_backlog = 50;
+  HealthMonitor monitor(config);
+  monitor.end_slot(0, 99, false);
+  EXPECT_EQ(monitor.state(), HealthState::Healthy);
+  monitor.end_slot(1, 100, false);
+  EXPECT_EQ(monitor.state(), HealthState::Overloaded);
+  // Between exit and enter: still latched.
+  monitor.end_slot(2, 75, false);
+  EXPECT_EQ(monitor.state(), HealthState::Overloaded);
+  monitor.end_slot(3, 50, false);
+  EXPECT_NE(monitor.state(), HealthState::Overloaded);
+}
+
+TEST(ServeHealth, PoisonStreakQuarantinesUntilCleanRecompute) {
+  HealthConfig config;
+  config.quarantine_after = 2;
+  HealthMonitor monitor(config);
+  monitor.on_recompute_error(0, ErrorCode::PoisonedInput);
+  monitor.end_slot(0, 0, true);
+  EXPECT_EQ(monitor.state(), HealthState::Degraded);
+  monitor.on_recompute_error(1, ErrorCode::PoisonedInput);
+  monitor.end_slot(1, 0, true);
+  EXPECT_EQ(monitor.state(), HealthState::Quarantined);
+  // A non-poison failure does not lift quarantine...
+  monitor.on_recompute_error(2, ErrorCode::Internal);
+  monitor.end_slot(2, 0, true);
+  EXPECT_EQ(monitor.state(), HealthState::Quarantined);
+  // ...only a clean adoption does.
+  monitor.on_recompute_ok(3);
+  monitor.end_slot(3, 0, false);
+  EXPECT_NE(monitor.state(), HealthState::Quarantined);
+}
+
+TEST(ServeHealth, PersistedRoundTrip) {
+  HealthConfig config;
+  HealthMonitor monitor(config);
+  monitor.on_recompute_error(0, ErrorCode::PoisonedInput);
+  monitor.end_slot(0, 5000, true);
+  const HealthMonitor::Persisted saved = monitor.persisted();
+
+  HealthMonitor restored(config);
+  restored.restore(saved);
+  EXPECT_EQ(restored.state(), monitor.state());
+  // Same follow-up events must produce the same next state.
+  monitor.end_slot(1, 5000, true);
+  restored.end_slot(1, 5000, true);
+  EXPECT_EQ(restored.state(), monitor.state());
+}
+
+TEST(ServeHealth, ValidationRejectsInvertedHysteresis) {
+  HealthConfig config;
+  config.overload_enter_backlog = 10;
+  config.overload_exit_backlog = 10;
+  EXPECT_THROW(HealthMonitor{config}, raysched::error);
+}
+
+// ---- fault script ---------------------------------------------------------
+
+TEST(ServeFaultScript, ParsesTheCanonicalSchedule) {
+  const FaultScript script = FaultScript::parse(
+      "120:delay:10,300:poison-on,380:poison-off,500:churn-burst:0.2,"
+      "900:crash");
+  ASSERT_EQ(script.events().size(), 5u);
+  EXPECT_EQ(script.events()[0].kind, FaultKind::RecomputeDelay);
+  EXPECT_DOUBLE_EQ(script.events()[0].arg, 10.0);
+  EXPECT_EQ(script.events()[4].kind, FaultKind::Crash);
+
+  std::vector<FaultEvent> fired;
+  script.events_in_slot(300, fired);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].kind, FaultKind::PoisonOn);
+}
+
+TEST(ServeFaultScript, PeriodicScriptsRefireButCrashDoesNot) {
+  const FaultScript script =
+      FaultScript::parse("10:delay:5,40:crash", /*period=*/100);
+  std::vector<FaultEvent> fired;
+  script.events_in_slot(210, fired);  // 210 % 100 == 10
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].kind, FaultKind::RecomputeDelay);
+  fired.clear();
+  script.events_in_slot(140, fired);  // crash re-fire suppressed
+  EXPECT_TRUE(fired.empty());
+  fired.clear();
+  script.events_in_slot(40, fired);  // literal slot still fires
+  ASSERT_EQ(fired.size(), 1u);
+}
+
+TEST(ServeFaultScript, PoisonWindowReconstruction) {
+  const FaultScript script =
+      FaultScript::parse("300:poison-on,380:poison-off");
+  EXPECT_FALSE(script.poison_active_before(300));
+  EXPECT_TRUE(script.poison_active_before(301));
+  EXPECT_TRUE(script.poison_active_before(380));
+  EXPECT_FALSE(script.poison_active_before(381));
+}
+
+TEST(ServeFaultScript, RejectsMalformedSpecs) {
+  EXPECT_THROW(FaultScript::parse("10:frobnicate"), raysched::error);
+  EXPECT_THROW(FaultScript::parse("10:delay"), raysched::error);
+  EXPECT_THROW(FaultScript::parse("10:delay:0"), raysched::error);
+  EXPECT_THROW(FaultScript::parse("10:churn-burst:1.5"), raysched::error);
+  EXPECT_THROW(FaultScript::parse("x:crash"), raysched::error);
+  // Periodic scripts refuse events beyond the period.
+  EXPECT_THROW(FaultScript::parse("150:poison-on", 100), raysched::error);
+}
+
+// ---- schedule agent -------------------------------------------------------
+
+TEST(ServeAgent, ComputesAMaxWeightSchedule) {
+  auto net = paper_network(12, 21);
+  ScheduleAgent agent(net, units::Threshold(2.5), 1);
+  std::vector<double> weights(net.size(), 1.0);
+  weights[3] = 100.0;
+  agent.submit(0, weights, 1);
+  RecomputeOutcome outcome = agent.reap();
+  ASSERT_TRUE(outcome.ok);
+  EXPECT_FALSE(outcome.schedule.empty());
+  // The dominant-weight link must be part of any max-weight greedy pick.
+  EXPECT_NE(std::find(outcome.schedule.begin(), outcome.schedule.end(), 3u),
+            outcome.schedule.end());
+}
+
+TEST(ServeAgent, PoisonedWeightsBecomeStructuredFailures) {
+  auto net = paper_network(6, 22);
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2}}) {
+    ScheduleAgent agent(net, units::Threshold(2.5), threads);
+    std::vector<double> weights(net.size(),
+                                std::numeric_limits<double>::quiet_NaN());
+    agent.submit(0, weights, 1);
+    RecomputeOutcome outcome = agent.reap();
+    EXPECT_FALSE(outcome.ok);
+    EXPECT_EQ(outcome.code, ErrorCode::PoisonedInput);
+    // The agent survives a failure: the next submit succeeds.
+    agent.submit(1, std::vector<double>(net.size(), 1.0), 1);
+    EXPECT_TRUE(agent.reap().ok);
+  }
+}
+
+TEST(ServeAgent, InlineAndThreadedAgreeBitIdentically) {
+  auto net = paper_network(16, 23);
+  std::vector<double> weights(net.size(), 0.0);
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    weights[i] = static_cast<double>((i * 7) % 5);
+  }
+  ScheduleAgent inline_agent(net, units::Threshold(2.5), 1);
+  ScheduleAgent pool_agent(net, units::Threshold(2.5), 4);
+  inline_agent.submit(0, weights, 1);
+  pool_agent.submit(0, weights, 1);
+  EXPECT_EQ(inline_agent.reap().schedule, pool_agent.reap().schedule);
+}
+
+TEST(ServeAgent, ProtocolViolationsThrow) {
+  auto net = paper_network(4, 24);
+  ScheduleAgent agent(net, units::Threshold(2.5), 1);
+  EXPECT_THROW((void)agent.reap(), raysched::error);  // nothing in flight
+  EXPECT_THROW(agent.submit(0, std::vector<double>(2, 1.0), 1),
+               raysched::error);  // wrong size
+  EXPECT_THROW(agent.submit(0, std::vector<double>(4, 1.0), 0),
+               raysched::error);  // zero latency
+}
+
+// ---- snapshot codec -------------------------------------------------------
+
+ServeSnapshot sample_snapshot() {
+  ServeSnapshot snap;
+  snap.master_seed = 99;
+  snap.num_links = 3;
+  snap.beta = 2.5;
+  snap.propagation = "nonfading";
+  snap.traffic_model = "bursty";
+  snap.next_slot = 1234;
+  snap.health.state = HealthState::Degraded;
+  snap.health.poison_streak = 1;
+  snap.health.clean_slots = 7;
+  snap.arrivals_total = 1000;
+  snap.admitted_total = 990;
+  snap.served_total = 900;
+  snap.dropped_capacity = 4;
+  snap.dropped_shed = 3;
+  snap.dropped_churn = 2;
+  snap.dropped_quarantine = 1;
+  snap.recompute_timeouts = 5;
+  snap.recompute_failures = 6;
+  snap.recompute_adoptions = 70;
+  snap.schedule_epoch = 70;
+  snap.schedule_stale = true;
+  snap.schedule = {0, 2};
+  snap.queues = {50, 30, 10};
+  snap.active = {1, 0, 1};
+  snap.burst_state = {0, 1, 0};
+  snap.recompute.in_flight = true;
+  snap.recompute.submit_slot = 1230;
+  snap.recompute.latency_slots = 12;
+  snap.recompute.timed_out = true;
+  snap.recompute.poisoned = true;
+  snap.recompute.weights = {50.0, 0.0, 10.0};
+  snap.backoff_slots = 8;
+  snap.cooldown_until = 1240;
+  snap.pending_extra_latency = 3;
+  snap.poison_active = true;
+  return snap;
+}
+
+TEST(ServeSnapshot, RoundTripsEveryField) {
+  const ServeSnapshot snap = sample_snapshot();
+  std::stringstream ss;
+  write_snapshot(ss, snap);
+  const ServeSnapshot back = read_snapshot(ss);
+  EXPECT_EQ(back.master_seed, snap.master_seed);
+  EXPECT_EQ(back.num_links, snap.num_links);
+  EXPECT_DOUBLE_EQ(back.beta, snap.beta);
+  EXPECT_EQ(back.propagation, snap.propagation);
+  EXPECT_EQ(back.traffic_model, snap.traffic_model);
+  EXPECT_EQ(back.next_slot, snap.next_slot);
+  EXPECT_EQ(back.health.state, snap.health.state);
+  EXPECT_EQ(back.health.poison_streak, snap.health.poison_streak);
+  EXPECT_EQ(back.health.clean_slots, snap.health.clean_slots);
+  EXPECT_EQ(back.arrivals_total, snap.arrivals_total);
+  EXPECT_EQ(back.served_total, snap.served_total);
+  EXPECT_EQ(back.dropped_capacity, snap.dropped_capacity);
+  EXPECT_EQ(back.dropped_shed, snap.dropped_shed);
+  EXPECT_EQ(back.dropped_churn, snap.dropped_churn);
+  EXPECT_EQ(back.dropped_quarantine, snap.dropped_quarantine);
+  EXPECT_EQ(back.schedule_epoch, snap.schedule_epoch);
+  EXPECT_EQ(back.schedule_stale, snap.schedule_stale);
+  EXPECT_EQ(back.schedule, snap.schedule);
+  EXPECT_EQ(back.queues, snap.queues);
+  EXPECT_EQ(back.active, snap.active);
+  EXPECT_EQ(back.burst_state, snap.burst_state);
+  EXPECT_TRUE(back.recompute.in_flight);
+  EXPECT_EQ(back.recompute.submit_slot, snap.recompute.submit_slot);
+  EXPECT_EQ(back.recompute.latency_slots, snap.recompute.latency_slots);
+  EXPECT_EQ(back.recompute.timed_out, snap.recompute.timed_out);
+  EXPECT_EQ(back.recompute.poisoned, snap.recompute.poisoned);
+  EXPECT_EQ(back.recompute.weights, snap.recompute.weights);
+  EXPECT_EQ(back.backoff_slots, snap.backoff_slots);
+  EXPECT_EQ(back.cooldown_until, snap.cooldown_until);
+  EXPECT_EQ(back.pending_extra_latency, snap.pending_extra_latency);
+  EXPECT_EQ(back.poison_active, snap.poison_active);
+}
+
+TEST(ServeSnapshot, RejectsCorruptedInput) {
+  const ServeSnapshot snap = sample_snapshot();
+  std::stringstream good;
+  write_snapshot(good, snap);
+  const std::string text = good.str();
+
+  // Truncation at any structural boundary is a SnapshotFormat error.
+  {
+    std::istringstream truncated(text.substr(0, text.size() / 2));
+    try {
+      (void)read_snapshot(truncated);
+      FAIL() << "truncated snapshot parsed";
+    } catch (const coded_error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::SnapshotFormat);
+    }
+  }
+  // A schedule id >= n must be rejected.
+  {
+    std::string bad = text;
+    const auto pos = bad.find("schedule 2 : 0 2");
+    ASSERT_NE(pos, std::string::npos);
+    bad.replace(pos, 16, "schedule 2 : 0 9");
+    std::istringstream is(bad);
+    EXPECT_THROW((void)read_snapshot(is), coded_error);
+  }
+  // Version bumps are refused rather than misparsed.
+  {
+    std::string bad = text;
+    bad.replace(bad.find(" 1\n"), 3, " 9\n");
+    std::istringstream is(bad);
+    EXPECT_THROW((void)read_snapshot(is), coded_error);
+  }
+}
+
+TEST(ServeSnapshot, NonFiniteWeightsAreUnserializable) {
+  ServeSnapshot snap = sample_snapshot();
+  snap.recompute.weights[1] = std::numeric_limits<double>::quiet_NaN();
+  std::stringstream ss;
+  try {
+    write_snapshot(ss, snap);
+    FAIL() << "NaN weight serialized";
+  } catch (const coded_error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::SnapshotFormat);
+  }
+}
+
+TEST(ServeSnapshot, AtomicSaveLeavesNoTmpFile) {
+  const std::string path =
+      ::testing::TempDir() + "raysched_serve_snap_test.txt";
+  save_snapshot_atomic(path, sample_snapshot());
+  const ServeSnapshot back = load_snapshot(path);
+  EXPECT_EQ(back.next_slot, 1234u);
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+  std::remove(path.c_str());
+}
+
+// ---- error taxonomy -------------------------------------------------------
+
+TEST(ServeErrors, CodedErrorCarriesCodeAndPrefix) {
+  const coded_error e(ErrorCode::PoisonedInput, "bad gains");
+  EXPECT_EQ(e.code(), ErrorCode::PoisonedInput);
+  EXPECT_EQ(std::string(e.what()), "[poisoned-input] bad gains");
+  EXPECT_THROW(require_code(false, ErrorCode::SnapshotIo, "x"), coded_error);
+  // coded_error is still a raysched::error: existing catch sites keep
+  // working.
+  EXPECT_THROW(require_code(false, ErrorCode::SnapshotIo, "x"),
+               raysched::error);
+}
+
+TEST(ServeErrors, CodeNamesRoundTripThroughHealthAndPropagation) {
+  for (HealthState s : {HealthState::Healthy, HealthState::Degraded,
+                        HealthState::Overloaded, HealthState::Quarantined}) {
+    EXPECT_EQ(health_state_from_string(to_string(s)), s);
+  }
+  for (core::Propagation p :
+       {core::Propagation::NonFading, core::Propagation::Rayleigh}) {
+    EXPECT_EQ(propagation_from_string(to_string(p)), p);
+  }
+}
+
+}  // namespace
+}  // namespace raysched::serve
