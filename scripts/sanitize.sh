@@ -26,6 +26,13 @@ export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
 
+# ccache cuts the rebuild to near-noop when the compiler + flags are
+# unchanged (CI keys its cache on exactly those); harmless to omit locally.
+LAUNCHER_ARGS=()
+if command -v ccache >/dev/null 2>&1; then
+  LAUNCHER_ARGS=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+
 run_preset() {
   local preset="$1"
   local build_dir="${PREFIX}-${preset}"
@@ -35,7 +42,8 @@ run_preset() {
     -DSANITIZE="$preset" \
     -DRAYSCHED_CONTRACTS=ON \
     -DRAYSCHED_BUILD_BENCH=OFF \
-    -DRAYSCHED_BUILD_EXAMPLES=OFF
+    -DRAYSCHED_BUILD_EXAMPLES=OFF \
+    "${LAUNCHER_ARGS[@]}"
   cmake --build "$build_dir" -j "$(nproc)"
 
   local filter='FaultInjection|Engine|ThreadPool|Checkpoint|NetworkIo|cli_sweep|SuccessBatch|ServeSnapshot|ServeFaults'

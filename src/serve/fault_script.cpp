@@ -24,13 +24,15 @@ FaultScript::FaultScript(std::vector<FaultEvent> events, std::uint64_t period)
   for (const FaultEvent& event : events_) {
     switch (event.kind) {
       case FaultKind::RecomputeDelay:
-        require(std::isfinite(event.arg) && event.arg >= 1.0,
-                "FaultScript: delay needs an extra-slot count >= 1");
+        require_code(std::isfinite(event.arg) && event.arg >= 1.0,
+                     ErrorCode::Precondition,
+                     "FaultScript: delay needs an extra-slot count >= 1");
         break;
       case FaultKind::ChurnBurst:
-        require(std::isfinite(event.arg) && event.arg > 0.0 &&
-                    event.arg <= 1.0,
-                "FaultScript: churn-burst fraction must be in (0, 1]");
+        require_code(std::isfinite(event.arg) && event.arg > 0.0 &&
+                         event.arg <= 1.0,
+                     ErrorCode::Precondition,
+                     "FaultScript: churn-burst fraction must be in (0, 1]");
         break;
       case FaultKind::PoisonOn:
       case FaultKind::PoisonOff:
@@ -38,48 +40,69 @@ FaultScript::FaultScript(std::vector<FaultEvent> events, std::uint64_t period)
         break;
     }
     if (period_ > 0) {
-      require(event.slot < period_,
-              "FaultScript: periodic event slots must be < period");
+      require_code(event.slot < period_, ErrorCode::Precondition,
+                   "FaultScript: periodic event slots must be < period");
     }
   }
   std::stable_sort(events_.begin(), events_.end(),
                    [](const FaultEvent& a, const FaultEvent& b) {
                      return a.slot < b.slot;
                    });
+  // Two events of the same kind in the same slot are a spec bug, not a
+  // sequencing choice: the duplicate either double-applies (delay, churn)
+  // or is dead (poison toggles, crash). Distinct kinds sharing a slot stay
+  // legal and fire in spec order.
+  for (std::size_t i = 1; i < events_.size(); ++i) {
+    for (std::size_t j = i; j-- > 0 && events_[j].slot == events_[i].slot;) {
+      require_code(events_[j].kind != events_[i].kind, ErrorCode::Precondition,
+                   std::string("FaultScript: duplicate '") +
+                       to_string(events_[i].kind) + "' event in slot " +
+                       std::to_string(events_[i].slot));
+    }
+  }
 }
 
 FaultScript FaultScript::parse(const std::string& spec, std::uint64_t period) {
   std::vector<FaultEvent> events;
   if (spec.empty()) return FaultScript(std::move(events), period);
+  // getline() would silently swallow a trailing comma while an empty item
+  // *inside* the list errors below — reject both the same way.
+  require_code(spec.back() != ',', ErrorCode::Precondition,
+               "FaultScript::parse: trailing comma in '" + spec + "'");
   std::istringstream ss(spec);
   std::string item;
   while (std::getline(ss, item, ',')) {
     std::istringstream parts(item);
     std::string field;
-    require(static_cast<bool>(std::getline(parts, field, ':')) &&
-                !field.empty(),
-            "FaultScript::parse: expected slot:kind[:arg], got '" + item +
-                "'");
+    require_code(static_cast<bool>(std::getline(parts, field, ':')) &&
+                     !field.empty(),
+                 ErrorCode::Precondition,
+                 "FaultScript::parse: expected slot:kind[:arg], got '" + item +
+                     "'");
     FaultEvent event;
     {
       std::istringstream slot_ss(field);
       slot_ss >> event.slot;
-      require(static_cast<bool>(slot_ss) && slot_ss.eof(),
-              "FaultScript::parse: bad slot in '" + item + "'");
+      require_code(static_cast<bool>(slot_ss) && slot_ss.eof(),
+                   ErrorCode::Precondition,
+                   "FaultScript::parse: bad slot in '" + item + "'");
     }
-    require(static_cast<bool>(std::getline(parts, field, ':')),
-            "FaultScript::parse: missing kind in '" + item + "'");
+    require_code(static_cast<bool>(std::getline(parts, field, ':')),
+                 ErrorCode::Precondition,
+                 "FaultScript::parse: missing kind in '" + item + "'");
     std::string arg_text;
     const bool has_arg = static_cast<bool>(std::getline(parts, arg_text));
     double arg = 0.0;
     if (has_arg) {
       std::istringstream arg_ss(arg_text);
       arg_ss >> arg;
-      require(static_cast<bool>(arg_ss) && arg_ss.eof(),
-              "FaultScript::parse: bad argument in '" + item + "'");
+      require_code(static_cast<bool>(arg_ss) && arg_ss.eof(),
+                   ErrorCode::Precondition,
+                   "FaultScript::parse: bad argument in '" + item + "'");
     }
     if (field == "delay") {
-      require(has_arg, "FaultScript::parse: delay needs an argument");
+      require_code(has_arg, ErrorCode::Precondition,
+                   "FaultScript::parse: delay needs an argument");
       event.kind = FaultKind::RecomputeDelay;
       event.arg = arg;
     } else if (field == "poison-on") {
@@ -87,13 +110,16 @@ FaultScript FaultScript::parse(const std::string& spec, std::uint64_t period) {
     } else if (field == "poison-off") {
       event.kind = FaultKind::PoisonOff;
     } else if (field == "churn-burst") {
-      require(has_arg, "FaultScript::parse: churn-burst needs an argument");
+      require_code(has_arg, ErrorCode::Precondition,
+                   "FaultScript::parse: churn-burst needs an argument");
       event.kind = FaultKind::ChurnBurst;
       event.arg = arg;
     } else if (field == "crash") {
       event.kind = FaultKind::Crash;
     } else {
-      throw error("FaultScript::parse: unknown fault kind '" + field + "'");
+      throw coded_error(ErrorCode::Precondition,
+                        "FaultScript::parse: unknown fault kind '" + field +
+                            "'");
     }
     events.push_back(event);
   }

@@ -52,13 +52,14 @@ class FaultScript {
   FaultScript() = default;
 
   /// Validates and sorts the events (stable on equal slots, so the spec
-  /// order breaks ties). Throws raysched::error on out-of-domain args.
+  /// order breaks ties). Throws raysched::coded_error{Precondition} on
+  /// out-of-domain args or a duplicate (slot, kind) pair.
   explicit FaultScript(std::vector<FaultEvent> events,
                        std::uint64_t period = 0);
 
   /// Parses "slot:kind[:arg]" items separated by commas, e.g.
   ///   "120:delay:10,300:poison-on,380:poison-off,500:churn-burst:0.2,900:crash"
-  /// Throws raysched::error on malformed input.
+  /// Throws raysched::coded_error{Precondition} on malformed input.
   [[nodiscard]] static FaultScript parse(const std::string& spec,
                                          std::uint64_t period = 0);
 

@@ -21,6 +21,9 @@
 // Degraded > Healthy; quarantine latches until a recompute validates clean,
 // overload latches until backlog falls below the exit threshold
 // (hysteresis), and Degraded heals after recover_after_slots clean slots.
+//
+// Concurrency contract: loop-thread confined (owned and driven only by the
+// Service's serving loop) — no locks, nothing shared with worker threads.
 #pragma once
 
 #include <cstddef>

@@ -27,23 +27,34 @@ void ScheduleAgent::submit(std::uint64_t slot, std::vector<double> weights,
   submit_slot_ = slot;
   latency_slots_ = latency_slots;
   weights_ = std::move(weights);
-  outcome_ = RecomputeOutcome{};
-  pool_.submit([this] {
+  {
+    util::MutexLock lock(mutex_);
+    outcome_ = RecomputeOutcome{};
+  }
+  // The task computes entirely on its own copy of the weights and publishes
+  // the finished result under mutex_ in one step — no shared state is
+  // touched mid-computation (raysched_flow RS-D3: executor bodies must not
+  // write captured shared state outside a synchronized publish).
+  pool_.submit([this, weights_copy = weights_] {
+    // RS-D2 whitelisted timing site: wall_seconds is reporting-only and
+    // never steers control flow (adoption timing is slot-counted).
     const auto t0 = std::chrono::steady_clock::now();
     // Validation boundary: poisoned gain-derived inputs must be caught
     // here, before they can steer the greedy's comparisons.
-    for (double w : weights_) {
+    for (double w : weights_copy) {
       require_code(std::isfinite(w) && w >= 0.0, ErrorCode::PoisonedInput,
                    "recompute weights must be finite and non-negative");
     }
-    model::LinkSet schedule =
-        algorithms::weighted_greedy_capacity(net_, beta_.value(), weights_)
+    RecomputeOutcome done;
+    done.schedule =
+        algorithms::weighted_greedy_capacity(net_, beta_.value(), weights_copy)
             .selected;
-    outcome_.schedule = std::move(schedule);
-    outcome_.ok = true;
-    outcome_.wall_seconds =
+    done.ok = true;
+    done.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
+    util::MutexLock lock(mutex_);
+    outcome_ = std::move(done);
   });
 }
 
@@ -65,6 +76,7 @@ RecomputeOutcome ScheduleAgent::reap() {
     failed.what = e.what();
     return failed;
   }
+  util::MutexLock lock(mutex_);
   return std::move(outcome_);
 }
 

@@ -37,6 +37,8 @@
 #include "model/network.hpp"
 #include "sim/thread_pool.hpp"
 #include "util/error.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/units.hpp"
 
 namespace raysched::serve {
@@ -83,11 +85,16 @@ class ScheduleAgent {
   const model::Network& net_;
   units::Threshold beta_;
   sim::ThreadPool pool_;
+  // Loop-thread-only bookkeeping: submit()/reap()/accessors are called from
+  // the single serving-loop thread, never from the worker task.
   bool in_flight_ = false;
   std::uint64_t submit_slot_ = 0;
   std::uint64_t latency_slots_ = 0;
-  std::vector<double> weights_;   // owned copy the task reads
-  RecomputeOutcome outcome_;      // written by the task, read after wait()
+  std::vector<double> weights_;  // loop-owned; the task computes on a copy
+  // The result is the only loop/worker shared state: the task publishes it
+  // under mutex_, reap() consumes it under mutex_ after pool_.wait().
+  util::Mutex mutex_;
+  RecomputeOutcome outcome_ RAYSCHED_GUARDED_BY(mutex_);
 };
 
 }  // namespace raysched::serve

@@ -27,6 +27,12 @@
 // sequence of SlotDigests is a pure function of the master seed —
 // independent of thread count, wall-clock recompute times, and
 // kill/restore points. tests/test_serve_faults.cpp pins this.
+//
+// Concurrency contract: Service itself is single-threaded — every member is
+// confined to the serving-loop thread and needs no lock. The only
+// cross-thread boundary is the ScheduleAgent's result handoff, which is
+// mutex-guarded inside the agent and checked by the Clang thread-safety
+// analysis (THREAD_SAFETY_ANALYSIS build).
 #pragma once
 
 #include <cstdint>

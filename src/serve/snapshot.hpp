@@ -20,6 +20,10 @@
 // The header also carries a fingerprint (seed, n, beta, traffic model);
 // restore refuses a snapshot whose fingerprint does not match the service
 // configuration instead of silently diverging.
+//
+// Concurrency contract: snapshots are taken and restored only from the
+// serving-loop thread, at slot boundaries where no recompute result handoff
+// is in progress — the structs below are loop-confined and lock-free.
 #pragma once
 
 #include <cstddef>

@@ -17,6 +17,10 @@
 //   acc <count> <mean> <m2> <sum> <min> <max>       (m lines per network)
 //   failure <trial|factory> <kind> <attempt> <what...>   (f lines)
 //   end
+//
+// Concurrency contract: save_checkpoint_atomic is called only with the
+// engine's SweepState mutex held (serializing snapshot writes); the structs
+// themselves carry no locks and are never shared mutably across threads.
 #pragma once
 
 #include <cstddef>

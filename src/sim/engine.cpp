@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
-#include <mutex>
 #include <optional>
 #include <sstream>
 #include <utility>
@@ -11,6 +10,8 @@
 #include "model/network.hpp"
 #include "sim/checkpoint.hpp"
 #include "util/error.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace raysched::sim {
 
@@ -31,6 +32,9 @@ class CellScope {
 };
 
 /// Polls the cooperative cancellation flag and the wall-clock deadline.
+/// This is a raysched_flow RS-D2 whitelisted timing site: the clock feeds
+/// only the deadline/timeout *policy* (when to stop), never a result — the
+/// sweep's statistics stay bit-identical whatever the clock reads.
 class SweepClock {
  public:
   explicit SweepClock(const ExperimentConfig& config)
@@ -235,6 +239,77 @@ NetworkOutcome run_one_network(const RunContext& ctx, std::size_t net_idx) {
   return outcome;
 }
 
+/// Cross-thread sweep bookkeeping: which network slots are published and
+/// when to checkpoint. Each NetworkOutcome slot is written by exactly one
+/// thread; publish() is the only cross-thread handoff, so `completed_` and
+/// the checkpoint cadence are the only mutex-guarded state (and the
+/// thread-safety analysis proves nothing else is touched without the lock).
+class SweepState {
+ public:
+  SweepState(const ExperimentConfig& config,
+             const std::vector<std::string>& metric_names,
+             const std::vector<NetworkOutcome>& outcomes)
+      : config_(config),
+        metric_names_(metric_names),
+        outcomes_(outcomes),
+        completed_(config.num_networks, 0) {}
+
+  /// Marks a slot restored from resume_from (called before workers start,
+  /// but locked anyway so the analysis sees one consistent discipline).
+  void mark_resumed(std::size_t idx) RAYSCHED_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
+    completed_[idx] = 1;
+  }
+
+  /// Publishes a finished network slot and checkpoints every
+  /// `checkpoint_every` publications. The slot's NetworkOutcome must be
+  /// fully written by the calling thread before publish().
+  void publish(std::size_t idx) RAYSCHED_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
+    completed_[idx] = 1;
+    if (config_.checkpoint_path.empty()) return;
+    if (++since_checkpoint_ >=
+        std::max<std::size_t>(1, config_.checkpoint_every)) {
+      since_checkpoint_ = 0;
+      write_snapshot();
+    }
+  }
+
+  /// Final end-of-sweep snapshot (workers have joined by now).
+  void final_snapshot() RAYSCHED_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
+    write_snapshot();
+  }
+
+ private:
+  void write_snapshot() RAYSCHED_REQUIRES(mutex_) {
+    Checkpoint ckpt;
+    ckpt.master_seed = config_.master_seed;
+    ckpt.num_networks = config_.num_networks;
+    ckpt.trials_per_network = config_.trials_per_network;
+    ckpt.metric_names = metric_names_;
+    for (std::size_t i = 0; i < outcomes_.size(); ++i) {
+      if (!completed_[i]) continue;
+      NetworkCheckpoint net;
+      net.net_idx = i;
+      net.trial_acc = outcomes_[i].trial_acc;
+      net.cells_completed = outcomes_[i].cells_completed;
+      net.cells_skipped = outcomes_[i].cells_skipped;
+      net.retries_used = outcomes_[i].retries_used;
+      net.failures = outcomes_[i].failures;
+      ckpt.networks.push_back(std::move(net));
+    }
+    save_checkpoint_atomic(config_.checkpoint_path, ckpt);
+  }
+
+  const ExperimentConfig& config_;
+  const std::vector<std::string>& metric_names_;
+  const std::vector<NetworkOutcome>& outcomes_;
+  util::Mutex mutex_;
+  std::vector<char> completed_ RAYSCHED_GUARDED_BY(mutex_);
+  std::size_t since_checkpoint_ RAYSCHED_GUARDED_BY(mutex_) = 0;
+};
+
 }  // namespace
 
 CellRef current_cell() { return t_current_cell; }
@@ -265,12 +340,10 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
   const util::RngStream master(config.master_seed);
 
   // One slot per network; each slot is written by exactly one thread and
-  // only read by others (for checkpointing) after its `completed` flag was
-  // published under state_mutex.
+  // only read by others (for checkpointing) after SweepState::publish
+  // released the flag under its mutex.
   std::vector<NetworkOutcome> outcomes(config.num_networks);
-  std::vector<char> completed(config.num_networks, 0);
-  std::mutex state_mutex;
-  std::size_t since_checkpoint = 0;
+  SweepState state(config, metric_names, outcomes);
 
   if (!config.resume_from.empty()) {
     const Checkpoint ckpt = load_checkpoint(config.resume_from);
@@ -288,7 +361,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
       out.cells_skipped = net.cells_skipped;
       out.retries_used = net.retries_used;
       out.done = true;
-      completed[net.net_idx] = 1;
+      state.mark_resumed(net.net_idx);
       ++result.networks_resumed;
     }
   }
@@ -297,27 +370,6 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
   std::atomic<bool> stopped{false};
   const RunContext ctx{config,    master, metric_names, make_instance,
                        run_trial, clock,  stopped};
-
-  // Caller must hold state_mutex.
-  auto write_snapshot_locked = [&] {
-    Checkpoint ckpt;
-    ckpt.master_seed = config.master_seed;
-    ckpt.num_networks = config.num_networks;
-    ckpt.trials_per_network = config.trials_per_network;
-    ckpt.metric_names = metric_names;
-    for (std::size_t i = 0; i < outcomes.size(); ++i) {
-      if (!completed[i]) continue;
-      NetworkCheckpoint net;
-      net.net_idx = i;
-      net.trial_acc = outcomes[i].trial_acc;
-      net.cells_completed = outcomes[i].cells_completed;
-      net.cells_skipped = outcomes[i].cells_skipped;
-      net.retries_used = outcomes[i].retries_used;
-      net.failures = outcomes[i].failures;
-      ckpt.networks.push_back(std::move(net));
-    }
-    save_checkpoint_atomic(config.checkpoint_path, ckpt);
-  };
 
   auto process_range = [&](std::size_t begin, std::size_t end) {
     for (std::size_t idx = begin; idx < end; ++idx) {
@@ -332,14 +384,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
         return;
       }
       outcomes[idx] = std::move(out);
-      std::lock_guard<std::mutex> lock(state_mutex);
-      completed[idx] = 1;
-      if (config.checkpoint_path.empty()) continue;
-      if (++since_checkpoint >=
-          std::max<std::size_t>(1, config.checkpoint_every)) {
-        since_checkpoint = 0;
-        write_snapshot_locked();
-      }
+      state.publish(idx);
     }
   };
 
@@ -377,8 +422,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
   }
 
   if (!config.checkpoint_path.empty()) {
-    std::lock_guard<std::mutex> lock(state_mutex);
-    write_snapshot_locked();
+    state.final_snapshot();
   }
   return result;
 }

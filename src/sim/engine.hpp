@@ -15,6 +15,11 @@
 // coordinates. Sweeps can checkpoint completed networks to disk, resume from
 // a checkpoint, honor a cooperative cancellation flag, and stop at a
 // wall-clock deadline.
+//
+// Concurrency contract: each network slot is written by exactly one worker;
+// the only cross-thread state (published-slot flags + checkpoint cadence)
+// lives behind an annotated util::Mutex in engine.cpp, checked by the Clang
+// thread-safety analysis (THREAD_SAFETY_ANALYSIS build / CI job).
 #pragma once
 
 #include <atomic>

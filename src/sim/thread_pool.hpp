@@ -7,15 +7,15 @@
 // thread-creation overhead (num_threads == 1 runs inline).
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
 #include "util/error.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace raysched::sim {
 
@@ -25,6 +25,9 @@ namespace raysched::sim {
 /// captured exception the pool drains: queued tasks that have not started —
 /// and tasks submitted before the next wait() — are cancelled rather than
 /// executed, since their results could never be observed.
+///
+/// All pool state is guarded by mutex_; the thread-safety analysis enforces
+/// the discipline at compile time (see util/thread_annotations.hpp).
 class ThreadPool {
  public:
   /// num_threads == 0 selects hardware_concurrency() (at least 1).
@@ -37,24 +40,24 @@ class ThreadPool {
   [[nodiscard]] std::size_t num_threads() const { return threads_.size(); }
 
   /// Enqueues a task. If the pool was built with one thread, runs inline.
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) RAYSCHED_EXCLUDES(mutex_);
 
   /// Blocks until all submitted tasks finished; rethrows the first captured
   /// task exception, if any.
-  void wait();
+  void wait() RAYSCHED_EXCLUDES(mutex_);
 
  private:
-  void worker_loop();
-  void record_exception();
+  void worker_loop() RAYSCHED_EXCLUDES(mutex_);
+  void record_exception() RAYSCHED_EXCLUDES(mutex_);
 
   std::vector<std::thread> threads_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_task_;
-  std::condition_variable cv_done_;
-  std::size_t in_flight_ = 0;
-  bool stop_ = false;
-  std::exception_ptr first_exception_;
+  util::Mutex mutex_;
+  util::CondVar cv_task_;
+  util::CondVar cv_done_;
+  std::queue<std::function<void()>> queue_ RAYSCHED_GUARDED_BY(mutex_);
+  std::size_t in_flight_ RAYSCHED_GUARDED_BY(mutex_) = 0;
+  bool stop_ RAYSCHED_GUARDED_BY(mutex_) = false;
+  std::exception_ptr first_exception_ RAYSCHED_GUARDED_BY(mutex_);
 };
 
 /// Splits [0, count) into contiguous chunks and runs body(begin, end) on the

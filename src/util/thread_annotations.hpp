@@ -1,0 +1,85 @@
+// raysched: portable Clang Thread Safety Analysis annotations.
+//
+// The repo's determinism contract ("bit-identical results at any thread
+// count") is only as strong as its synchronization discipline, and TSan can
+// only check the interleavings a test happens to provoke. Clang's
+// -Wthread-safety analysis moves that wall to compile time: every mutex is
+// declared as a *capability*, every piece of guarded state names its mutex,
+// and an access without the capability held fails the build (the
+// THREAD_SAFETY_ANALYSIS CMake option promotes the warning to an error;
+// the thread-safety CI job keeps it on).
+//
+// The macros expand to Clang attributes under __clang__ and to nothing
+// everywhere else, so GCC builds are unaffected. Use them through the
+// annotated primitives in util/sync.hpp (util::Mutex, util::MutexLock,
+// util::CondVar) rather than on raw std::mutex: the standard library's
+// types carry no annotations on libstdc++, so the analysis cannot see
+// their lock/unlock pairs.
+//
+// Annotation cheat sheet (see docs/STATIC_ANALYSIS.md for the guide):
+//   RAYSCHED_CAPABILITY("mutex")   a class whose instances are lockable
+//   RAYSCHED_SCOPED_CAPABILITY     an RAII guard acquiring in its ctor
+//   RAYSCHED_GUARDED_BY(mu)        data only touched with mu held
+//   RAYSCHED_PT_GUARDED_BY(mu)     pointee only touched with mu held
+//   RAYSCHED_REQUIRES(mu)          function demands mu already held
+//   RAYSCHED_ACQUIRE(mu)... / RAYSCHED_RELEASE(mu)...
+//                                  function locks / unlocks mu itself
+//   RAYSCHED_TRY_ACQUIRE(true, mu) conditional lock, result convention
+//   RAYSCHED_EXCLUDES(mu)          function must be called with mu NOT held
+//   RAYSCHED_ASSERT_CAPABILITY(mu) runtime-checked "mu is held here"
+//   RAYSCHED_RETURN_CAPABILITY(mu) accessor returning the mutex itself
+//   RAYSCHED_NO_THREAD_SAFETY_ANALYSIS
+//                                  opt a function body out (last resort;
+//                                  justify with a comment)
+#pragma once
+
+#if defined(__clang__)
+#define RAYSCHED_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define RAYSCHED_THREAD_ANNOTATION__(x)  // no-op off Clang
+#endif
+
+#define RAYSCHED_CAPABILITY(x) \
+  RAYSCHED_THREAD_ANNOTATION__(capability(x))
+
+#define RAYSCHED_SCOPED_CAPABILITY \
+  RAYSCHED_THREAD_ANNOTATION__(scoped_lockable)
+
+#define RAYSCHED_GUARDED_BY(x) \
+  RAYSCHED_THREAD_ANNOTATION__(guarded_by(x))
+
+#define RAYSCHED_PT_GUARDED_BY(x) \
+  RAYSCHED_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+#define RAYSCHED_ACQUIRE(...) \
+  RAYSCHED_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+
+#define RAYSCHED_ACQUIRE_SHARED(...) \
+  RAYSCHED_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+
+#define RAYSCHED_RELEASE(...) \
+  RAYSCHED_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+#define RAYSCHED_RELEASE_SHARED(...) \
+  RAYSCHED_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+
+#define RAYSCHED_REQUIRES(...) \
+  RAYSCHED_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+#define RAYSCHED_REQUIRES_SHARED(...) \
+  RAYSCHED_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+#define RAYSCHED_TRY_ACQUIRE(...) \
+  RAYSCHED_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
+#define RAYSCHED_EXCLUDES(...) \
+  RAYSCHED_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+#define RAYSCHED_ASSERT_CAPABILITY(x) \
+  RAYSCHED_THREAD_ANNOTATION__(assert_capability(x))
+
+#define RAYSCHED_RETURN_CAPABILITY(x) \
+  RAYSCHED_THREAD_ANNOTATION__(lock_returned(x))
+
+#define RAYSCHED_NO_THREAD_SAFETY_ANALYSIS \
+  RAYSCHED_THREAD_ANNOTATION__(no_thread_safety_analysis)

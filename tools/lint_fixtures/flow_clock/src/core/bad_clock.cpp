@@ -1,0 +1,12 @@
+// Seeded violation: result-bearing wall-clock read in library code
+// (RS-D2) — this file is not on the CLOCK_WHITELIST.
+#include <chrono>
+
+namespace raysched::core {
+
+double jittered_weight(double base) {
+  const auto now = std::chrono::steady_clock::now();
+  return base + static_cast<double>(now.time_since_epoch().count() % 7);
+}
+
+}  // namespace raysched::core

@@ -1,0 +1,24 @@
+// Seeded violation: a parallel_for body accumulating into shared state
+// captured by reference, with no synchronized publish (RS-D3).
+#include <cstddef>
+
+namespace raysched::sim {
+
+struct Pool {
+  void submit(int) {}
+};
+
+template <typename Body>
+void parallel_for(Pool&, std::size_t, const Body&) {}
+
+double racy_total(Pool& pool, std::size_t n) {
+  double total = 0.0;
+  parallel_for(pool, n, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      total += static_cast<double>(i);
+    }
+  });
+  return total;
+}
+
+}  // namespace raysched::sim

@@ -1,0 +1,12 @@
+// Seeded violation: raw <random> engine in library code (RS-D1).
+#include <random>
+
+namespace raysched::core {
+
+double noisy_gain(double base) {
+  std::mt19937 engine(42);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return base + dist(engine);
+}
+
+}  // namespace raysched::core

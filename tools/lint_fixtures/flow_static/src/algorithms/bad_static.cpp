@@ -1,0 +1,11 @@
+// Seeded violation: function-local mutable static in library code
+// (RS-D4) — hidden cross-call state that breaks replay.
+
+namespace raysched::algorithms {
+
+int next_ticket() {
+  static int counter = 0;
+  return ++counter;
+}
+
+}  // namespace raysched::algorithms

@@ -1,0 +1,16 @@
+// Seeded violation: iterating an unordered container directly into a
+// floating-point accumulation (RS-D5) — the sum depends on hash order.
+#include <string>
+#include <unordered_map>
+
+namespace raysched::core {
+
+double total_gain(const std::unordered_map<std::string, double>& gains_by_id) {
+  double sum = 0.0;
+  for (const auto& entry : gains_by_id) {
+    sum += entry.second;
+  }
+  return sum;
+}
+
+}  // namespace raysched::core

@@ -1,0 +1,14 @@
+// Seeded violation: raw std::mutex / std::lock_guard outside
+// src/util/sync.hpp (RS-L2) — invisible to the thread-safety analysis.
+#include <mutex>
+
+namespace raysched::serve {
+
+int counter_value() {
+  static std::mutex mu;
+  static int counter = 0;
+  std::lock_guard<std::mutex> lock(mu);
+  return ++counter;
+}
+
+}  // namespace raysched::serve

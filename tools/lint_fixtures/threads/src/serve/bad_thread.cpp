@@ -1,0 +1,10 @@
+// Seeded violation: raw std::thread in the serve layer, outside the pool
+// (RS-L2).
+#include <thread>
+
+namespace raysched::serve {
+void fire_and_forget() {
+  std::thread t([] {});
+  t.join();
+}
+}  // namespace raysched::serve
