@@ -17,9 +17,10 @@ Direction is inferred from the counter name:
   higher-is-better:  *per_sec*, speedup_*, served
   lower-is-better:   *_ns, *_us, *ns_per*, *us_per*
 Anything else (checksums, configuration echoes like beta/reps) is
-informational and never gates. Boolean conservation_ok counters are a hard
-gate regardless of tolerance: a candidate that trades throughput for a
-conservation violation must fail.
+informational and never gates. Boolean conservation_ok and
+deterministic_ok counters are a hard gate regardless of tolerance: a
+candidate that trades throughput for a conservation or thread-count
+determinism violation must fail.
 
 Exit codes: 0 within tolerance, 1 regression (or conservation violation),
 2 usage/format error.
@@ -32,7 +33,7 @@ import sys
 
 HIGHER_BETTER = ("per_sec", "speedup", "served")
 LOWER_BETTER = ("_ns", "_us", "ns_per", "us_per")
-HARD_BOOL = "conservation_ok"
+HARD_BOOLS = ("conservation_ok", "deterministic_ok")
 
 
 def flatten(doc, prefix=""):
@@ -82,11 +83,11 @@ def compare(baseline, candidate, tolerance, patterns):
             continue
         base, cand = baseline[key], candidate[key]
         leaf = key.rsplit(".", 1)[-1]
-        if leaf == HARD_BOOL:
+        if leaf in HARD_BOOLS:
             ok = bool(cand)
             rows.append((key, base, cand, 0.0, "ok" if ok else "VIOLATED"))
             if not ok:
-                failures.append(f"{key}: conservation violated")
+                failures.append(f"{key}: {leaf} violated")
             continue
         if isinstance(base, bool) or isinstance(cand, bool):
             continue
@@ -110,7 +111,8 @@ def compare(baseline, candidate, tolerance, patterns):
 
 def self_test():
     baseline = {"n64.speedup_batched": 20.0, "n64.scalar_ns_per_eval": 100.0,
-                "n64.conservation_ok": True, "beta": 2.5}
+                "n64.conservation_ok": True, "n1.deterministic_ok": True,
+                "beta": 2.5}
     checks = [
         # (candidate, tolerance, should_fail, label)
         ({"n64.speedup_batched": 19.0, "n64.scalar_ns_per_eval": 100.0,
@@ -128,6 +130,10 @@ def self_test():
         ({"n64.speedup_batched": 40.0, "n64.scalar_ns_per_eval": 50.0,
           "n64.conservation_ok": True, "beta": 9.9},
          0.10, False, "improvements and config echoes never gate"),
+        ({"n64.speedup_batched": 20.0, "n64.scalar_ns_per_eval": 100.0,
+          "n64.conservation_ok": True, "n1.deterministic_ok": False,
+          "beta": 2.5},
+         0.50, True, "determinism violation fails at any tolerance"),
         ({"n9999.slots_per_sec": 1.0},
          0.10, False, "disjoint keys compare nothing"),
     ]

@@ -10,7 +10,9 @@
 #include "core/utility.hpp"
 #include "model/affectance.hpp"
 #include "model/sinr.hpp"
+#include "util/contracts.hpp"
 #include "util/error.hpp"
+#include "util/fp.hpp"
 
 namespace raysched::algorithms {
 
@@ -91,6 +93,8 @@ namespace {
 /// Unit-power gain g(j,i) = S̄(j,i) / p_j: the channel coefficient a
 /// power-control algorithm scales.
 double unit_gain(const Network& net, LinkId j, LinkId i) {
+  RAYSCHED_EXPECT(net.power(j) > 0.0,
+                  "unit_gain: transmit power must be positive");
   return net.mean_gain(j, i) / net.power(j);
 }
 
@@ -104,7 +108,9 @@ std::optional<std::vector<double>> solve_powers(const Network& net,
   const std::size_t m = set.size();
   std::vector<double> p(m);
   for (std::size_t a = 0; a < m; ++a) {
-    p[a] = beta_eff * net.noise() / unit_gain(net, set[a], set[a]);
+    const double gaa = unit_gain(net, set[a], set[a]);
+    RAYSCHED_EXPECT(gaa > 0.0, "solve_powers: own gain must be positive");
+    p[a] = beta_eff * net.noise() / gaa;
     if (p[a] <= 0.0) p[a] = 1.0;  // zero-noise start
   }
   double prev_norm = std::numeric_limits<double>::infinity();
@@ -132,9 +138,10 @@ std::optional<std::vector<double>> solve_powers(const Network& net,
     if (delta < 1e-12) return p;
     // With nu == 0 the fixed point of the homogeneous system is 0 or
     // diverges; detect convergence of the *direction* via norm ratio.
-    if (net.noise() == 0.0 && it > 10 && norm < prev_norm) {
+    if (util::fp::exact_zero(net.noise()) && it > 10 && norm < prev_norm) {
       // Contracting: feasible. Normalize to max power 1.
       double mx = *std::max_element(p.begin(), p.end());
+      RAYSCHED_EXPECT(mx > 0.0, "solve_powers: power iterate must be > 0");
       for (double& v : p) v = v / mx;
       // One more verification round below settles feasibility.
       return p;
@@ -154,7 +161,7 @@ bool verify_with_powers(const Network& net, const LinkSet& set,
       if (b != a) interference += p[b] * unit_gain(net, set[b], i);
     }
     const double signal = p[a] * unit_gain(net, i, i);
-    if (interference == 0.0) continue;  // infinite SINR
+    if (util::fp::exact_zero(interference)) continue;  // infinite SINR
     if (signal / interference < beta) return false;
   }
   return true;
@@ -190,6 +197,9 @@ CapacityResult power_control_capacity(const Network& net, double beta,
       const double len_w = net.link(w).length();
       const double d_wv = model::distance(net.link(w).sender, net.link(v).receiver);
       const double d_vw = model::distance(net.link(v).sender, net.link(w).receiver);
+      RAYSCHED_EXPECT(len_v > 0.0 && len_w > 0.0 && d_wv > 0.0 && d_vw > 0.0,
+                      "admission control needs positive link lengths and "
+                      "distinct sender/receiver positions");
       load += std::min(1.0, std::pow(len_w / d_wv, alpha)) +
               std::min(1.0, std::pow(len_v / d_vw, alpha));
       if (load > options.admission_budget) {
@@ -270,6 +280,7 @@ RateAssignmentResult rate_cascade(const Network& net, const core::Utility& u,
   const std::size_t end = single_class ? start + 1 : class_betas.size();
   for (std::size_t c = start; c < end; ++c) {
     const double beta_c = class_betas[c];
+    RAYSCHED_EXPECT(beta_c > 0.0, "rate classes must have positive beta");
     for (LinkId i : order) {
       if (selected[i]) continue;
       if (net.signal(i) / beta_c <= net.noise()) continue;
@@ -324,6 +335,7 @@ RateAssignmentResult flexible_rate_capacity_per_link(const Network& net,
   // Geometric rate classes, descending beta.
   std::vector<double> class_betas(classes);
   const double ratio = beta_max / beta_min;
+  RAYSCHED_EXPECT(ratio >= 1.0, "beta ratio must be >= 1");
   for (int c = 0; c < classes; ++c) {
     const double t =
         classes == 1 ? 1.0
@@ -374,6 +386,7 @@ CapacityResult flexible_rate_capacity(const Network& net,
   CapacityResult best;
   best.algorithm = "flexible-rate";
   const double ratio = beta_max / beta_min;
+  RAYSCHED_EXPECT(ratio >= 1.0, "beta ratio must be >= 1");
   for (int k = 0; k < grid_points; ++k) {
     const double t = grid_points == 1
                          ? 0.0

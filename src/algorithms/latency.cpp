@@ -6,6 +6,7 @@
 #include "model/rayleigh.hpp"
 #include "model/sinr.hpp"
 #include "util/error.hpp"
+#include "util/fp.hpp"
 
 namespace raysched::algorithms {
 
@@ -55,7 +56,8 @@ LatencyResult repeated_capacity_schedule(
   // Links that can never succeed alone (signal cannot beat noise at beta)
   // would make the schedule run forever; reject such instances up front.
   for (LinkId i = 0; i < net.size(); ++i) {
-    require(net.noise() == 0.0 || net.signal(i) / beta > net.noise() ||
+    require(util::fp::exact_zero(net.noise()) ||
+                net.signal(i) / beta > net.noise() ||
                 propagation == Propagation::Rayleigh,
             "repeated_capacity_schedule: link cannot reach beta even alone "
             "in the non-fading model");

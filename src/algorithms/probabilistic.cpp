@@ -6,7 +6,9 @@
 #include "core/success_probability.hpp"
 #include "core/success_probability_batch.hpp"
 #include "model/network.hpp"
+#include "util/contracts.hpp"
 #include "util/error.hpp"
+#include "util/fp.hpp"
 #include "util/units.hpp"
 
 namespace raysched::algorithms {
@@ -26,12 +28,30 @@ double attenuation(const Network& net, LinkId k, LinkId i, double beta) {
 /// Q_i(q) with the q_i factor stripped: E_i prod_{j != i} (1 - c(j,i) q_j).
 double success_core(const Network& net, const std::vector<double>& q, LinkId i,
                     double beta) {
+  RAYSCHED_EXPECT(net.signal(i) > 0.0,
+                  "success_core: signal S(i,i) must be positive");
   double p = std::exp(-beta * net.noise() / net.signal(i));
   for (LinkId j = 0; j < net.size(); ++j) {
-    if (j == i || q[j] == 0.0) continue;
+    if (j == i || util::fp::exact_zero(q[j])) continue;
     p *= 1.0 - attenuation(net, j, i, beta) * q[j];
   }
   return p;
+}
+
+/// Log-space companion of success_core: ln E_i + sum log1p(-c(j,i) q_j),
+/// finite where the linear product underflows (n beyond ~40k active
+/// interferers). Used by the gradient to keep cross terms representable
+/// after cores[i] hits exact zero.
+double success_core_log(const Network& net, const std::vector<double>& q,
+                        LinkId i, double beta) {
+  RAYSCHED_EXPECT(net.signal(i) > 0.0,
+                  "success_core_log: signal S(i,i) must be positive");
+  double lp = -beta * net.noise() / net.signal(i);
+  for (LinkId j = 0; j < net.size(); ++j) {
+    if (j == i || util::fp::exact_zero(q[j])) continue;
+    lp += std::log1p(-attenuation(net, j, i, beta) * q[j]);
+  }
+  return lp;
 }
 
 /// Boundary adapter: the optimizer works on raw double vectors (they are
@@ -61,11 +81,24 @@ std::vector<double> expected_capacity_gradient(const Network& net,
     // Cross terms: Q_i = q_i * core_i contains the factor (1 - c(k,i) q_k);
     // its derivative removes that factor and multiplies by -c(k,i).
     for (LinkId i = 0; i < n; ++i) {
-      if (i == k || q[i] == 0.0) continue;
+      if (i == k || util::fp::exact_zero(q[i])) continue;
       const double c = attenuation(net, k, i, beta);
       const double factor = 1.0 - c * q[k];
       // factor is >= 1 - c > 0 since c < 1 and q_k <= 1.
-      g -= q[i] * cores[i] / factor * c;
+      RAYSCHED_EXPECT(factor > 0.0,
+                      "gradient factor 1 - c(k,i) q_k must stay positive");
+      if (util::fp::exact_zero(cores[i])) {
+        // The linear core underflowed to zero: reconstitute the cross term
+        // in log space, where core_i / factor stays representable down to
+        // the subnormal range instead of collapsing to 0 / factor == 0.
+        // The min(0, ·) clamp absorbs the few-ulp overshoot the summed
+        // log1p terms can accumulate; the true value is a log probability.
+        const double log_term = std::min(
+            0.0, success_core_log(net, q, i, beta) - std::log1p(-c * q[k]));
+        g -= q[i] * std::exp(log_term) * c;
+      } else {
+        g -= q[i] * cores[i] / factor * c;
+      }
     }
     grad[k] = g;
   }
@@ -148,7 +181,8 @@ ProbabilityOptResult maximize_capacity_coordinate_ascent(
       std::size_t best_idx = n;
       for (std::size_t k = 0; k < n; ++k) {
         const double old = q[k];
-        kernel.update_link(k, units::Probability(old == 0.0 ? 1.0 : 0.0));
+        kernel.update_link(
+            k, units::Probability(util::fp::exact_zero(old) ? 1.0 : 0.0));
         const double flipped = kernel.expected_successes();
         kernel.update_link(k, units::Probability(old));
         const double gain = flipped - value;
@@ -162,7 +196,7 @@ ProbabilityOptResult maximize_capacity_coordinate_ascent(
         converged = true;
         break;
       }
-      q[best_idx] = q[best_idx] == 0.0 ? 1.0 : 0.0;
+      q[best_idx] = util::fp::exact_zero(q[best_idx]) ? 1.0 : 0.0;
       kernel.update_link(best_idx, units::Probability(q[best_idx]));
       value += best_gain;
     }

@@ -5,6 +5,7 @@
 #include "algorithms/weighted.hpp"
 #include "model/rayleigh.hpp"
 #include "model/sinr.hpp"
+#include "util/contracts.hpp"
 #include "util/error.hpp"
 
 namespace raysched::algorithms {
@@ -90,12 +91,14 @@ QueueSimResult run_max_weight_queueing(const Network& net,
 
   result.final_queue = std::move(queue);
   const double slots = static_cast<double>(options.slots);
+  RAYSCHED_EXPECT(slots > 0.0, "slot count was required positive above");
   result.average_backlog = total_backlog / slots;
   result.served_per_slot = static_cast<double>(total_served) / slots;
   result.arrivals_per_slot = static_cast<double>(total_arrivals) / slots;
   const std::size_t quarter = options.slots / 4;
   if (quarter > 0) {
     const double window = static_cast<double>(quarter);
+    RAYSCHED_EXPECT(window > 0.0, "quarter window is positive here");
     result.backlog_mean_q2 = backlog_q2 / window;
     result.backlog_mean_q4 = backlog_q4 / window;
     // Window centers are 2 quarters apart; the slope is backlog growth in

@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "model/geometry.hpp"
+#include "util/contracts.hpp"
 #include "util/error.hpp"
 
 namespace raysched::algorithms {
@@ -56,6 +57,7 @@ model::Link edge_to_link(const Point& u, const Point& v) {
   const double dx = v.x - u.x;
   const double dy = v.y - u.y;
   const double len = std::sqrt(dx * dx + dy * dy);
+  RAYSCHED_EXPECT(len > 0.0, "edge_to_link: endpoints must be distinct");
   // Unit direction and left normal.
   const double ux = dx / len, uy = dy / len;
   const double nx = -uy, ny = ux;

@@ -6,6 +6,7 @@
 #include "model/affectance.hpp"
 #include "model/sinr.hpp"
 #include "util/error.hpp"
+#include "util/fp.hpp"
 
 namespace raysched::algorithms {
 
@@ -53,7 +54,7 @@ WeightedCapacityResult weighted_greedy_capacity(
   result.algorithm = "weighted-greedy";
   std::vector<double> in(net.size(), 0.0);
   for (LinkId i : order) {
-    if (weights[i] == 0.0) continue;  // worthless links never help
+    if (util::fp::exact_zero(weights[i])) continue;  // worthless links
     if (net.signal(i) / beta <= net.noise()) continue;
     double on_i = 0.0;
     bool ok = true;
@@ -182,7 +183,7 @@ WeightedCapacityResult weighted_local_search(const Network& net, double beta,
     improved = false;
     // Add moves: any feasible extension increases weight (weights >= 0).
     for (LinkId i = 0; i < net.size(); ++i) {
-      if (weights[i] == 0.0 ||
+      if (util::fp::exact_zero(weights[i]) ||
           std::find(current.begin(), current.end(), i) != current.end()) {
         continue;
       }
@@ -200,7 +201,7 @@ WeightedCapacityResult weighted_local_search(const Network& net, double beta,
       LinkSet trial = current;
       trial.erase(trial.begin() + static_cast<std::ptrdiff_t>(out));
       for (LinkId i = 0; i < net.size(); ++i) {
-        if (weights[i] == 0.0 ||
+        if (util::fp::exact_zero(weights[i]) ||
             std::find(trial.begin(), trial.end(), i) != trial.end()) {
           continue;
         }

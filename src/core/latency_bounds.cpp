@@ -42,6 +42,8 @@ units::ProbabilityVector aloha_solo_success_probabilities(
   units::ProbabilityVector out;
   out.reserve(net.size());
   for (LinkId i = 0; i < net.size(); ++i) {
+    RAYSCHED_EXPECT(net.signal(i) > 0.0,
+                    "solo success probability needs a positive signal");
     out.push_back(units::Probability(
         q.value() * std::exp(-beta.value() * net.noise() / net.signal(i))));
   }
@@ -63,7 +65,9 @@ double expected_cover_time(const units::ProbabilityVector& p) {
   for (long t = 0; t < 100000000L; ++t) {
     double all_done = 1.0;
     for (std::size_t i = 0; i < p.size(); ++i) {
-      all_done *= 1.0 - fail_pow[i];
+      // Underflow of this product to exact 0 is the correct limit (the
+      // tail term saturates at 1); no log-space path is needed.
+      all_done *= 1.0 - fail_pow[i];  // raysched-num: allow(RS-N4)
     }
     const double tail = 1.0 - all_done;
     expectation += tail;
@@ -90,7 +94,10 @@ units::ProbabilityVector step_success_probabilities(
             "step_success_probabilities: p_slot must be in [0, q]");
     const double conditional = std::min(1.0, ps / qv);
     double fail = 1.0;
-    for (int r = 0; r < kLatencyRepeats; ++r) fail *= 1.0 - conditional;
+    // kLatencyRepeats is a small fixed constant; the product cannot
+    // underflow and its exact-0 limit would be correct anyway.
+    for (int r = 0; r < kLatencyRepeats; ++r)
+      fail *= 1.0 - conditional;  // raysched-num: allow(RS-N4)
     const double step = qv * (1.0 - fail);
     RAYSCHED_ENSURE(step >= 0.0 && step <= qv,
                     "macro-step success probability must lie in [0, q]");

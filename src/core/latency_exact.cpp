@@ -77,7 +77,9 @@ double exact_aloha_expected_macro_steps(const Network& net,
       double pa = 1.0;
       for (std::size_t i = 0; i < n; ++i) {
         if (!(mask & (1u << i))) continue;
-        pa *= (a & (1u << i)) ? q : 1.0 - q;
+        // Bounded enumeration (n <= kMaxExactLinks): the subset product
+        // cannot meaningfully underflow and exact 0 is its correct limit.
+        pa *= (a & (1u << i)) ? q : 1.0 - q;  // raysched-num: allow(RS-N4)
       }
       if (pa > 0.0) {
         if (a == 0) {
@@ -90,7 +92,10 @@ double exact_aloha_expected_macro_steps(const Network& net,
             for (std::size_t i = 0; i < n; ++i) {
               if (!(a & (1u << i))) continue;
               const double si = success[a][i];
-              ps *= (s & (1u << i)) ? si : 1.0 - si;
+              // Same bounded-enumeration argument as the pa product.
+              ps *= (s & (1u << i))  // raysched-num: allow(RS-N4)
+                        ? si
+                        : 1.0 - si;
             }
             if (ps > 0.0) {
               const unsigned next = mask & ~s;

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "core/success_probability_batch.hpp"
 #include "model/sinr.hpp"
 #include "util/contracts.hpp"
 #include "util/error.hpp"
+#include "util/fp.hpp"
 
 namespace raysched::core {
 
@@ -28,9 +30,10 @@ double detail::rayleigh_success_probability_unchecked(
     units::Threshold beta) {
   const double b = beta.value();
   const double sii = net.signal(i);
+  RAYSCHED_EXPECT(sii > 0.0, "Theorem 1 needs a positive signal S(i,i)");
   double p = q[i].value() * std::exp(-b * net.noise() / sii);
   for (LinkId j = 0; j < net.size(); ++j) {
-    if (j == i || q[j].value() == 0.0) continue;
+    if (j == i || util::fp::exact_zero(q[j].value())) continue;
     // beta / (beta + S(i,i)/S(j,i)) rewritten division-safely as
     // beta*S(j,i) / (beta*S(j,i) + S(i,i)); correct also when S(j,i) == 0.
     const double sji = net.mean_gain(j, i);
@@ -39,6 +42,43 @@ double detail::rayleigh_success_probability_unchecked(
   RAYSCHED_ENSURE(std::isfinite(p) && p >= 0.0 && p <= 1.0,
                   "Theorem-1 product form left [0,1]");
   return p;
+}
+
+double detail::rayleigh_success_log_probability_unchecked(
+    const Network& net, const units::ProbabilityVector& q, LinkId i,
+    units::Threshold beta) {
+  const double b = beta.value();
+  const double sii = net.signal(i);
+  RAYSCHED_EXPECT(sii > 0.0, "Theorem 1 needs a positive signal S(i,i)");
+  if (util::fp::exact_zero(q[i].value())) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  // Same coefficient expression and j-order as the kernel's evaluate_log
+  // (c(j,i) = b S(j,i) / (b S(j,i) + S(i,i)), j ascending); the kernel's
+  // j == i term adds log1p(-0 * q_i) == +0.0, so skipping it here is
+  // bitwise neutral and the two paths stay bit-identical.
+  const double neg_exponent = -b * net.noise() / sii;
+  double lp = std::log(q[i].value()) + neg_exponent;
+  for (LinkId j = 0; j < net.size(); ++j) {
+    if (j == i || util::fp::exact_zero(q[j].value())) continue;
+    const double sji = net.mean_gain(j, i);
+    // c(j,i) < 1 strictly (S(i,i) > 0), so the argument stays > -1 and
+    // log1p is finite even where the linear product would underflow.
+    lp += std::log1p(-(b * sji / (b * sji + sii)) * q[j].value());
+  }
+  RAYSCHED_ENSURE(!(lp > 0.0), "Theorem-1 log probability must be <= 0");
+  return lp;
+}
+
+double rayleigh_success_log_probability(const Network& net,
+                                        const units::ProbabilityVector& q,
+                                        LinkId i, units::Threshold beta) {
+  validate_probabilities(net, q);
+  require(i < net.size(),
+          "rayleigh_success_log_probability: id out of range");
+  require(beta.value() > 0.0,
+          "rayleigh_success_log_probability: beta must be positive");
+  return detail::rayleigh_success_log_probability_unchecked(net, q, i, beta);
 }
 
 units::Probability rayleigh_success_probability(
@@ -61,6 +101,7 @@ units::Probability rayleigh_success_lower_bound(
           "rayleigh_success_lower_bound: beta must be positive");
   const double b = beta.value();
   const double sii = net.signal(i);
+  RAYSCHED_EXPECT(sii > 0.0, "Lemma 1 needs a positive signal S(i,i)");
   double mass = net.noise();
   for (LinkId j = 0; j < net.size(); ++j) {
     if (j != i) mass += net.mean_gain(j, i) * q[j].value();
@@ -80,12 +121,15 @@ units::Probability rayleigh_success_upper_bound(
           "rayleigh_success_upper_bound: beta must be positive");
   const double b = beta.value();
   const double sii = net.signal(i);
+  RAYSCHED_EXPECT(sii > 0.0, "Lemma 1 needs a positive signal S(i,i)");
   double exponent = -b * net.noise() / sii;
   for (LinkId j = 0; j < net.size(); ++j) {
     if (j == i) continue;
     exponent -=
         std::min(0.5, b * net.mean_gain(j, i) / (2.0 * sii)) * q[j].value();
   }
+  RAYSCHED_EXPECT(exponent <= 0.0,
+                  "Lemma-1 upper-bound exponent must be non-positive");
   const double hi = q[i].value() * std::exp(exponent);
   RAYSCHED_ENSURE(std::isfinite(hi) && hi >= 0.0 && hi <= 1.0,
                   "Lemma-1 upper bound left [0,1]");
@@ -100,6 +144,7 @@ double interference_weight(const Network& net,
   require(beta.value() > 0.0, "interference_weight: beta must be positive");
   const double b = beta.value();
   const double sii = net.signal(i);
+  RAYSCHED_EXPECT(sii > 0.0, "Lemma 3 needs a positive signal S(i,i)");
   double a = 0.0;
   for (LinkId j = 0; j < net.size(); ++j) {
     if (j == i) continue;
@@ -126,7 +171,7 @@ units::Probability nonfading_success_probability_exact(
   require(i < net.size(), "nonfading_success_probability_exact: id range");
   require(beta.value() > 0.0,
           "nonfading_success_probability_exact: beta > 0 required");
-  if (q[i].value() == 0.0) return units::Probability(0.0);
+  if (util::fp::exact_zero(q[i].value())) return units::Probability(0.0);
 
   // Links with q == 1 always interfere; links with fractional q are "free";
   // links with q == 0 never interfere.
@@ -171,14 +216,14 @@ units::Probability nonfading_success_probability_mc(
   require(beta.value() > 0.0,
           "nonfading_success_probability_mc: beta > 0 required");
   require(trials > 0, "nonfading_success_probability_mc: trials > 0 required");
-  if (q[i].value() == 0.0) return units::Probability(0.0);
+  if (util::fp::exact_zero(q[i].value())) return units::Probability(0.0);
   const double budget = net.signal(i) / beta.value();
   std::size_t hits = 0;
   for (std::size_t t = 0; t < trials; ++t) {
     if (!rng.bernoulli(q[i].value())) continue;  // i itself must transmit
     double interference = net.noise();
     for (LinkId j = 0; j < net.size(); ++j) {
-      if (j == i || q[j].value() == 0.0) continue;
+      if (j == i || util::fp::exact_zero(q[j].value())) continue;
       if (rng.bernoulli(q[j].value())) interference += net.mean_gain(j, i);
     }
     if (interference <= budget) ++hits;

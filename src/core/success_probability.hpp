@@ -70,6 +70,16 @@ void validate_probabilities(const model::Network& net,
     const model::Network& net, const units::ProbabilityVector& q,
     units::Threshold beta);
 
+/// Theorem 1 in log space: ln Q_i, finite wherever q_i > 0 even when the
+/// linear product underflows to a denormal or to zero (n beyond ~40k links
+/// at typical coefficients), and exactly -inf when q_i == 0. Same term
+/// ordering as SuccessProbabilityKernel::evaluate_log, so the scalar and
+/// batched log paths are bit-identical. Not a units::Probability — the
+/// value lives in (-inf, 0].
+[[nodiscard]] double rayleigh_success_log_probability(
+    const model::Network& net, const units::ProbabilityVector& q,
+    model::LinkId i, units::Threshold beta);
+
 namespace detail {
 
 /// Theorem-1 per-link evaluation with validation stripped: callers (the
@@ -77,6 +87,13 @@ namespace detail {
 /// then loop over this. Same expression and iteration order as the public
 /// function, so results are bit-identical.
 [[nodiscard]] double rayleigh_success_probability_unchecked(
+    const model::Network& net, const units::ProbabilityVector& q,
+    model::LinkId i, units::Threshold beta);
+
+/// Log-space Theorem-1 per-link evaluation with validation stripped: the
+/// log1p companion of rayleigh_success_probability_unchecked (the RS-N4
+/// underflow escape hatch), bit-identical to the kernel's evaluate_log.
+[[nodiscard]] double rayleigh_success_log_probability_unchecked(
     const model::Network& net, const units::ProbabilityVector& q,
     model::LinkId i, units::Threshold beta);
 

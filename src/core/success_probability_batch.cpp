@@ -9,6 +9,7 @@
 #include "model/rayleigh.hpp"
 #include "util/contracts.hpp"
 #include "util/error.hpp"
+#include "util/fp.hpp"
 
 namespace raysched::core {
 
@@ -30,7 +31,12 @@ SuccessProbabilityKernel::SuccessProbabilityKernel(const Network& net,
   neg_exponent_.resize(n_);
   noise_factor_.resize(n_);
   for (LinkId i = 0; i < n_; ++i) {
+    RAYSCHED_EXPECT(net.signal(i) > 0.0,
+                    "SuccessProbabilityKernel: signal S(i,i) must be "
+                    "positive");
     neg_exponent_[i] = -b * net.noise() / net.signal(i);
+    RAYSCHED_EXPECT(neg_exponent_[i] <= 0.0,
+                    "noise exponent must be non-positive");
     noise_factor_[i] = std::exp(neg_exponent_[i]);
   }
   run_chunks(n_, [&](std::size_t lo, std::size_t hi) {
@@ -91,7 +97,7 @@ void SuccessProbabilityKernel::evaluate(const units::ProbabilityVector& q,
     }
     for (LinkId j = 0; j < n_; ++j) {
       const double qj = q[j].value();
-      if (qj == 0.0) continue;
+      if (util::fp::exact_zero(qj)) continue;
       const double* row = c_.data() + j * n_;
       for (LinkId i = lo; i < hi; ++i) {
         out[i] *= 1.0 - row[i] * qj;
@@ -117,7 +123,7 @@ void SuccessProbabilityKernel::evaluate_conditional(
     }
     for (LinkId j = 0; j < n_; ++j) {
       const double qj = q[j].value();
-      if (qj == 0.0) continue;
+      if (util::fp::exact_zero(qj)) continue;
       const double* row = c_.data() + j * n_;
       for (LinkId i = lo; i < hi; ++i) {
         out[i] *= 1.0 - row[i] * qj;
@@ -132,13 +138,13 @@ std::vector<double> SuccessProbabilityKernel::evaluate_log(
   std::vector<double> out(n_);
   run_chunks(n_, [&](std::size_t lo, std::size_t hi) {
     for (LinkId i = lo; i < hi; ++i) {
-      out[i] = q[i].value() == 0.0
+      out[i] = util::fp::exact_zero(q[i].value())
                    ? -std::numeric_limits<double>::infinity()
                    : std::log(q[i].value()) + neg_exponent_[i];
     }
     for (LinkId j = 0; j < n_; ++j) {
       const double qj = q[j].value();
-      if (qj == 0.0) continue;
+      if (util::fp::exact_zero(qj)) continue;
       const double* row = c_.data() + j * n_;
       for (LinkId i = lo; i < hi; ++i) {
         // c(j,i) < 1 strictly (S(i,i) > 0), so the argument stays > -1 and
@@ -276,7 +282,7 @@ std::vector<double> batch_rayleigh_success_probabilities(
   std::vector<double> out(net.size());
   run_chunked(executor, net.size(), [&](std::size_t lo, std::size_t hi) {
     for (LinkId i = lo; i < hi; ++i) {
-      out[i] = q[i].value() == 0.0
+      out[i] = util::fp::exact_zero(q[i].value())
                    ? 0.0
                    : detail::rayleigh_success_probability_unchecked(net, q, i,
                                                                     beta);

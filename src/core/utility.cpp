@@ -5,6 +5,7 @@
 
 #include "model/network.hpp"
 #include "util/contracts.hpp"
+#include "util/fp.hpp"
 
 namespace raysched::core {
 
@@ -91,13 +92,14 @@ bool Utility::is_valid_for(const model::Network& net, model::LinkId i,
                            double c) const {
   require(c > 1.0, "Utility::is_valid_for: c must be > 1");
   require(i < net.size(), "Utility::is_valid_for: link id out of range");
-  if (net.noise() == 0.0) return true;  // interval is (0, inf)
+  if (util::fp::exact_zero(net.noise())) return true;  // (0, inf)
   return concave_from_ <= net.signal(i) / (c * net.noise());
 }
 
 double Utility::max_valid_c(const model::Network& net, model::LinkId i) const {
   require(i < net.size(), "Utility::max_valid_c: link id out of range");
-  if (net.noise() == 0.0 || concave_from_ == 0.0) {
+  if (util::fp::exact_zero(net.noise()) ||
+      util::fp::exact_zero(concave_from_)) {
     return std::numeric_limits<double>::infinity();
   }
   // Need concave_from <= S(i,i)/(c nu), i.e. c <= S(i,i)/(concave_from nu).

@@ -6,6 +6,7 @@
 #include "model/rayleigh.hpp"
 #include "model/sinr.hpp"
 #include "util/error.hpp"
+#include "util/fp.hpp"
 
 namespace raysched::learning {
 
@@ -69,9 +70,9 @@ GameResult run_capacity_game(const Network& net, const GameOptions& options,
           if (j != i) interference += rng.exponential_mean(net.mean_gain(j, i));
         }
         const double own = rng.exponential_mean(net.signal(i));
-        success_if_sent[i] =
-            interference == 0.0 ? own > 0.0
-                                : own / interference >= options.beta;
+        success_if_sent[i] = util::fp::exact_zero(interference)
+                                 ? own > 0.0
+                                 : own / interference >= options.beta;
       }
     }
 

@@ -5,6 +5,7 @@
 
 #include "util/contracts.hpp"
 #include "util/error.hpp"
+#include "util/fp.hpp"
 
 namespace raysched::learning {
 
@@ -19,6 +20,8 @@ Exp3Learner::Exp3Learner(const Exp3Options& options)
 double Exp3Learner::probability_of(Action a) const {
   // Softmax over log-weights with gamma-uniform mixing.
   const double mx = std::max(log_weight_stay_, log_weight_send_);
+  RAYSCHED_EXPECT(log_weight_stay_ <= mx && log_weight_send_ <= mx,
+                  "softmax arguments must be max-shifted non-positive");
   const double ws = std::exp(log_weight_stay_ - mx);
   const double we = std::exp(log_weight_send_ - mx);
   const double base = (a == Action::Send ? we : ws) / (ws + we);
@@ -40,6 +43,7 @@ void Exp3Learner::update_bandit(Action played, double loss) {
   // EXP3 works with rewards in [0,1]; importance-weight the played action.
   const double reward = 1.0 - loss;
   const double p = probability_of(played);
+  RAYSCHED_EXPECT(p > 0.0, "the gamma floor keeps p strictly positive");
   const double estimate = reward / p;
   const double bump = gamma_ / 2.0 * estimate;
   if (played == Action::Send) log_weight_send_ += bump;
@@ -57,7 +61,8 @@ void Exp3Learner::update_bandit(Action played, double loss) {
   }
   RAYSCHED_ENSURE(std::isfinite(log_weight_stay_) &&
                       std::isfinite(log_weight_send_) &&
-                      std::min(log_weight_stay_, log_weight_send_) == 0.0,
+                      util::fp::exact_zero(
+                          std::min(log_weight_stay_, log_weight_send_)),
                   "EXP3 log-weights must stay finite and re-centered at 0");
 }
 

@@ -29,12 +29,14 @@ void RwmLearner::update(const LossPair& losses) {
   require(losses.stay >= 0.0 && losses.stay <= 1.0 && losses.send >= 0.0 &&
               losses.send <= 1.0,
           "RwmLearner::update: losses must be in [0,1]");
+  RAYSCHED_EXPECT(eta_ > 0.0 && eta_ < 1.0,
+                  "RWM base 1 - eta must lie in (0, 1)");
   weight_stay_ *= std::pow(1.0 - eta_, losses.stay);
   weight_send_ *= std::pow(1.0 - eta_, losses.send);
   // Rescale so weights stay in a sane floating-point range over long runs;
   // the distribution only depends on the ratio.
   const double total = weight_stay_ + weight_send_;
-  if (total < 1e-100) {
+  if (total > 0.0 && total < 1e-100) {
     weight_stay_ /= total;
     weight_send_ /= total;
   }

@@ -4,6 +4,7 @@
 
 #include "model/nakagami.hpp"
 #include "util/error.hpp"
+#include "util/fp.hpp"
 
 namespace raysched::model {
 
@@ -49,7 +50,7 @@ std::vector<double> BlockFadingChannel::sinr_all(const LinkSet& active) const {
       if (j == i) own = gain(j, i);
       else interference += gain(j, i);
     }
-    if (interference == 0.0) {
+    if (util::fp::exact_zero(interference)) {
       out[a] = own > 0.0 ? std::numeric_limits<double>::infinity() : 0.0;
     } else {
       out[a] = own / interference;

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/contracts.hpp"
 #include "util/error.hpp"
+#include "util/fp.hpp"
 
 namespace raysched::model {
 
@@ -16,9 +18,15 @@ std::vector<double> interference_matrix(const Network& net, const LinkSet& set,
   const std::size_t m = set.size();
   std::vector<double> M(m * m, 0.0);
   for (std::size_t a = 0; a < m; ++a) {
+    RAYSCHED_EXPECT(net.power(set[a]) > 0.0 &&
+                        net.mean_gain(set[a], set[a]) > 0.0,
+                    "interference_matrix: powers and own gains must be > 0");
     const double gaa = net.mean_gain(set[a], set[a]) / net.power(set[a]);
+    RAYSCHED_EXPECT(gaa > 0.0, "normalized own gain must be positive");
     for (std::size_t b = 0; b < m; ++b) {
       if (a == b) continue;
+      RAYSCHED_EXPECT(net.power(set[b]) > 0.0,
+                      "interference_matrix: powers must be > 0");
       const double gba = net.mean_gain(set[b], set[a]) / net.power(set[b]);
       M[a * m + b] = beta * gba / gaa;
     }
@@ -54,7 +62,7 @@ double interference_spectral_radius(const Network& net, const LinkSet& set,
       w[a] = s;
       norm = std::max(norm, s);
     }
-    if (norm == 0.0) return 0.0;  // no interference at all
+    if (util::fp::exact_zero(norm)) return 0.0;  // no interference
     rho = norm;
     for (std::size_t a = 0; a < m; ++a) v[a] = w[a] / norm;
   }
@@ -87,7 +95,11 @@ std::optional<std::vector<double>> minimal_feasible_powers(const Network& net,
   const std::vector<double> M = interference_matrix(net, set, beta.value());
   std::vector<double> eta(m);
   for (std::size_t a = 0; a < m; ++a) {
+    RAYSCHED_EXPECT(net.power(set[a]) > 0.0 &&
+                        net.mean_gain(set[a], set[a]) > 0.0,
+                    "minimal powers need positive powers and own gains");
     const double gaa = net.mean_gain(set[a], set[a]) / net.power(set[a]);
+    RAYSCHED_EXPECT(gaa > 0.0, "normalized own gain must be positive");
     eta[a] = beta.value() * net.noise() / gaa;
   }
   // p_{t+1} = M p_t + eta converges monotonically from p_0 = eta to the
@@ -99,7 +111,9 @@ std::optional<std::vector<double>> minimal_feasible_powers(const Network& net,
       double s = eta[a];
       for (std::size_t b = 0; b < m; ++b) s += M[a * m + b] * p[b];
       next[a] = s;
-      delta = std::max(delta, std::abs(s - p[a]) / s);
+      // s == 0 forces p[a] == 0 too (monotone iteration from eta >= 0),
+      // so the relative step is only meaningful when s is positive.
+      if (s > 0.0) delta = std::max(delta, std::abs(s - p[a]) / s);
     }
     p.swap(next);
     if (delta < 1e-13) break;

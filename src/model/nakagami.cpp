@@ -3,7 +3,9 @@
 #include <cmath>
 #include <limits>
 
+#include "util/contracts.hpp"
 #include "util/error.hpp"
+#include "util/fp.hpp"
 
 namespace raysched::model {
 
@@ -12,7 +14,9 @@ namespace {
 /// Regularized lower incomplete gamma P(a,x) by its power series; valid and
 /// fast for x < a + 1.
 double gamma_p_series(double a, double x) {
+  RAYSCHED_EXPECT(a > 0.0 && x > 0.0, "gamma_p_series: domain is a, x > 0");
   double ap = a;
+  RAYSCHED_EXPECT(ap > 0.0, "ap starts at a > 0 and only increments");
   double sum = 1.0 / a;
   double del = sum;
   for (int n = 0; n < 500; ++n) {
@@ -27,9 +31,13 @@ double gamma_p_series(double a, double x) {
 /// Regularized upper incomplete gamma Q(a,x) by Lentz continued fraction;
 /// valid and fast for x >= a + 1.
 double gamma_q_cf(double a, double x) {
+  RAYSCHED_EXPECT(a > 0.0 && x > 0.0, "gamma_q_cf: domain is a, x > 0");
   const double tiny = 1e-300;
   double b = x + 1.0 - a;
+  RAYSCHED_EXPECT(b > 0.0, "b = x + 1 - a >= 2 on the CF branch (x >= a+1)");
   double c = 1.0 / tiny;
+  RAYSCHED_EXPECT(std::abs(c) >= tiny,
+                  "Lentz c starts at 1/tiny and is re-clamped every step");
   double d = 1.0 / b;
   double h = d;
   for (int i = 1; i <= 500; ++i) {
@@ -52,7 +60,7 @@ double gamma_q_cf(double a, double x) {
 double regularized_gamma_q(double a, double x) {
   require(a > 0.0, "regularized_gamma_q: a must be positive");
   require(x >= 0.0, "regularized_gamma_q: x must be >= 0");
-  if (x == 0.0) return 1.0;
+  if (util::fp::exact_zero(x)) return 1.0;
   if (x < a + 1.0) return 1.0 - gamma_p_series(a, x);
   return gamma_q_cf(a, x);
 }
@@ -60,7 +68,7 @@ double regularized_gamma_q(double a, double x) {
 double sample_gain_nakagami(double mean, double m, util::RngStream& rng) {
   require(mean >= 0.0, "sample_gain_nakagami: mean must be >= 0");
   require(m > 0.0, "sample_gain_nakagami: m must be positive");
-  if (mean == 0.0) return 0.0;
+  if (util::fp::exact_zero(mean)) return 0.0;
   // Gamma(shape=m, scale=mean/m) = gamma(m) * mean / m.
   return rng.gamma(m) * mean / m;
 }
@@ -81,7 +89,7 @@ std::vector<double> sinr_nakagami_all(const Network& net, const LinkSet& active,
       if (j == i) own = s;
       else interference += s;
     }
-    if (interference == 0.0) {
+    if (util::fp::exact_zero(interference)) {
       out[a] = own > 0.0 ? std::numeric_limits<double>::infinity() : 0.0;
     } else {
       out[a] = own / interference;
@@ -123,7 +131,9 @@ double success_probability_nakagami_mc(const Network& net, const LinkSet& active
       }
     }
     const double own = sample_gain_nakagami(net.signal(i), m, rng);
-    if (interference == 0.0 ? own > 0.0 : own / interference >= beta.value()) {
+    if (util::fp::exact_zero(interference)
+            ? own > 0.0
+            : own / interference >= beta.value()) {
       ++hits;
     }
   }
@@ -150,7 +160,7 @@ units::Probability noise_only_success_probability_nakagami(
           "noise_only_success_probability_nakagami: mean gain must be > 0");
   require(noise.value() >= 0.0 && beta.value() > 0.0 && m > 0.0,
           "noise_only_success_probability_nakagami: bad parameters");
-  if (noise.value() == 0.0) return units::Probability(1.0);
+  if (util::fp::exact_zero(noise.value())) return units::Probability(1.0);
   return units::Probability::clamped(regularized_gamma_q(
       m, m * beta.value() * noise.value() / mean_gain.value()));
 }

@@ -97,6 +97,8 @@ void Network::set_powers(const std::vector<double>& new_powers) {
   require(new_powers.size() == n_, "Network::set_powers: size mismatch");
   for (LinkId j = 0; j < n_; ++j) {
     require(new_powers[j] > 0.0, "Network::set_powers: powers must be > 0");
+    RAYSCHED_EXPECT(powers_[j] > 0.0,
+                    "Network invariant: stored powers are positive");
     const double scale = new_powers[j] / powers_[j];
     for (LinkId i = 0; i < n_; ++i) gains_[j * n_ + i] *= scale;
     powers_[j] = new_powers[j];

@@ -70,8 +70,7 @@ class PathLoss {
       case Kind::PowerLaw:
         return units::LinearGain(std::pow(d, -alpha_));
       case Kind::LogDistance:
-        return units::LinearGain(d <= d0_ ? 1.0
-                                          : std::pow(d / d0_, -alpha_));
+        return units::LinearGain(d <= d0_ ? 1.0 : std::pow(d / d0_, -alpha_));
       case Kind::DualSlope:
         if (d <= d0_) return units::LinearGain(std::pow(d, -alpha_));
         return units::LinearGain(std::pow(d0_, -alpha_) *

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "model/link.hpp"
+#include "util/contracts.hpp"
 #include "util/error.hpp"
 #include "util/units.hpp"
 
@@ -68,6 +69,8 @@ class PowerAssignment {
   /// factories take raw doubles while the result is a typed Power.
   [[nodiscard]] units::Power power(LinkId id, units::Distance length,
                                    double alpha) const {
+    RAYSCHED_EXPECT(length.value() >= 0.0,
+                    "PowerAssignment::power: lengths are non-negative");
     switch (kind_) {
       case Kind::Uniform:
         return units::Power(base_);

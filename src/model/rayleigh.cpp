@@ -3,7 +3,9 @@
 #include <cmath>
 #include <limits>
 
+#include "util/contracts.hpp"
 #include "util/error.hpp"
+#include "util/fp.hpp"
 
 namespace raysched::model {
 
@@ -24,7 +26,7 @@ double sinr_rayleigh(const Network& net, const LinkSet& active, LinkId i,
     }
   }
   require(transmits, "sinr_rayleigh: link i must be in the active set");
-  if (interference == 0.0) {
+  if (util::fp::exact_zero(interference)) {
     return own > 0.0 ? std::numeric_limits<double>::infinity() : 0.0;
   }
   return own / interference;
@@ -48,7 +50,7 @@ std::vector<double> sinr_rayleigh_all(const Network& net, const LinkSet& active,
       if (j == i) own = s;
       else interference += s;
     }
-    if (interference == 0.0) {
+    if (util::fp::exact_zero(interference)) {
       out[a] = own > 0.0 ? std::numeric_limits<double>::infinity() : 0.0;
     } else {
       out[a] = own / interference;
@@ -76,6 +78,7 @@ double detail::success_probability_rayleigh_unchecked(const Network& net,
                                                       units::Threshold beta) {
   const double b = beta.value();
   const double sii = net.signal(i);
+  RAYSCHED_EXPECT(sii > 0.0, "Theorem 1 needs a positive signal S(i,i)");
   double p = std::exp(-b * net.noise() / sii);
   for (LinkId j : active) {
     if (j == i) continue;

@@ -3,7 +3,9 @@
 #include <cmath>
 #include <vector>
 
+#include "util/contracts.hpp"
 #include "util/error.hpp"
+#include "util/fp.hpp"
 
 namespace raysched::model {
 
@@ -16,10 +18,17 @@ Network apply_lognormal_shadowing(const Network& net, units::Decibel sigma,
   std::vector<double> gains(n * n);
   for (LinkId j = 0; j < n; ++j) {
     for (LinkId i = 0; i < n; ++i) {
-      const double factor =
-          sigma_db == 0.0
-              ? 1.0
-              : std::exp(units::kDbToNaturalLog * sigma_db * rng.normal());
+      double factor = 1.0;
+      if (!util::fp::exact_zero(sigma_db)) {
+        // A lognormal draw is unbounded by design; overflow would need
+        // |z| on the order of 700 / (0.23 sigma_db), unreachable for any
+        // physical sigma, and the draw itself is always finite.
+        const double exponent =
+            units::kDbToNaturalLog * sigma_db * rng.normal();
+        RAYSCHED_EXPECT(std::isfinite(exponent),
+                        "shadowing exponent is a finite scaled normal draw");
+        factor = std::exp(exponent);
+      }
       gains[j * n + i] = net.mean_gain(j, i) * factor;
     }
   }
@@ -30,6 +39,7 @@ double lognormal_shadowing_mean(units::Decibel sigma) {
   require(sigma.value() >= 0.0,
           "lognormal_shadowing_mean: sigma must be >= 0 dB");
   const double s = units::kDbToNaturalLog * sigma.value();
+  RAYSCHED_EXPECT(std::isfinite(s), "dB-to-natural scale factor is finite");
   return std::exp(s * s / 2.0);
 }
 

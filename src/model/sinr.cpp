@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "util/error.hpp"
+#include "util/fp.hpp"
 
 namespace raysched::model {
 
@@ -20,7 +21,9 @@ double interference_plus_noise(const Network& net, const LinkSet& active,
 
 double sinr_nonfading(const Network& net, const LinkSet& active, LinkId i) {
   const double denom = interference_plus_noise(net, active, i);
-  if (denom == 0.0) return std::numeric_limits<double>::infinity();
+  if (util::fp::exact_zero(denom)) {
+    return std::numeric_limits<double>::infinity();
+  }
   return net.signal(i) / denom;
 }
 

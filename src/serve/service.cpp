@@ -7,6 +7,7 @@
 
 #include "core/latency_transform.hpp"
 #include "model/rayleigh.hpp"
+#include "util/fp.hpp"
 #include "util/rng.hpp"
 
 namespace raysched::serve {
@@ -85,7 +86,10 @@ void Service::apply_churn(std::uint64_t slot,
                           const std::vector<double>& burst_fracs) {
   const double leave = config_.churn_leave.value();
   const double join = config_.churn_join.value();
-  if (burst_fracs.empty() && leave == 0.0 && join == 0.0) return;
+  if (burst_fracs.empty() && util::fp::exact_zero(leave) &&
+      util::fp::exact_zero(join)) {
+    return;
+  }
   util::RngStream rng = master_.derive(kChurnTag, slot);
 
   for (double frac : burst_fracs) {
@@ -111,7 +115,7 @@ void Service::apply_churn(std::uint64_t slot,
     }
   }
 
-  if (leave == 0.0 && join == 0.0) return;
+  if (util::fp::exact_zero(leave) && util::fp::exact_zero(join)) return;
   for (model::LinkId i = 0; i < net_.size(); ++i) {
     if (active_[i] != 0) {
       if (leave > 0.0 && rng.bernoulli(leave)) {

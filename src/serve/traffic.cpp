@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "util/contracts.hpp"
 #include "util/error.hpp"
 
 namespace raysched::serve {
@@ -43,6 +44,8 @@ std::uint32_t pareto_batch(util::RngStream& rng, double tail_alpha,
                            std::size_t max_batch) {
   // uniform() is in [0, 1); 1 - u is in (0, 1] so the power is finite.
   const double u = 1.0 - rng.uniform();
+  RAYSCHED_EXPECT(tail_alpha > 0.0 && u > 0.0 && u <= 1.0,
+                  "Pareto batch needs alpha > 0 and u in (0, 1]");
   const double raw = std::pow(u, -1.0 / tail_alpha);
   const double capped = std::min(raw, static_cast<double>(max_batch));
   return static_cast<std::uint32_t>(std::ceil(capped));

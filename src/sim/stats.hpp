@@ -7,6 +7,7 @@
 #include <limits>
 #include <vector>
 
+#include "util/contracts.hpp"
 #include "util/error.hpp"
 
 namespace raysched::sim {
@@ -17,6 +18,7 @@ class Accumulator {
  public:
   void add(double x) {
     ++n_;
+    RAYSCHED_EXPECT(n_ > 0, "sample count just incremented past zero");
     const double delta = x - mean_;
     mean_ += delta / static_cast<double>(n_);
     m2_ += delta * (x - mean_);
@@ -36,6 +38,7 @@ class Accumulator {
     const double nb = static_cast<double>(other.n_);
     const double delta = other.mean_ - mean_;
     const double nt = na + nb;
+    RAYSCHED_EXPECT(nt > 0.0, "merge of two non-empty accumulators");
     mean_ += delta * nb / nt;
     m2_ += other.m2_ + delta * delta * na * nb / nt;
     n_ += other.n_;
@@ -83,11 +86,20 @@ class Accumulator {
     return m2_ / static_cast<double>(n_ - 1);
   }
 
-  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+  [[nodiscard]] double stddev() const {
+    // Welford / Chan keep m2_ >= 0 up to rounding; clamp the few-ulp
+    // negative excursions a parallel merge can round into.
+    const double var = std::max(0.0, variance());
+    return std::sqrt(var);
+  }
 
   /// Standard error of the mean.
   [[nodiscard]] double sem() const {
-    return stddev() / std::sqrt(static_cast<double>(count()));
+    const std::size_t n = count();
+    RAYSCHED_EXPECT(n > 0, "Accumulator::sem: no samples");
+    const double root_n = std::sqrt(static_cast<double>(n));
+    RAYSCHED_EXPECT(root_n > 0.0, "sqrt of a positive count is positive");
+    return stddev() / root_n;
   }
 
   /// Half-width of an approximate 95% confidence interval (1.96 sigma).

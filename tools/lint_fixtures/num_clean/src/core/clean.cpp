@@ -1,0 +1,32 @@
+// Fixture: the guarded idioms the analyzer must accept without findings —
+// contract-guarded division and domain calls, util::fp sentinels for exact
+// comparisons, and a log1p companion for the loop-carried product.
+#include <cmath>
+#include <vector>
+
+#include "util/contracts.hpp"
+#include "util/fp.hpp"
+
+double safe_ratio(double num, double den) {
+  RAYSCHED_EXPECT(den > 0.0, "fixture: denominator must be positive");
+  return num / den;
+}
+
+double safe_log(double x) {
+  RAYSCHED_EXPECT(x > 0.0, "fixture: log argument must be positive");
+  return std::log(x);
+}
+
+double sentinel_skip(double q) {
+  if (raysched::util::fp::exact_zero(q)) return 1.0;
+  return q;
+}
+
+double all_idle_probability_log(const std::vector<double>& q) {
+  double lp = 0.0;
+  for (unsigned long i = 0; i < q.size(); ++i) {
+    lp += std::log1p(-q[i]);
+  }
+  RAYSCHED_EXPECT(lp <= 0.0, "fixture: sum of log probabilities");
+  return std::exp(lp);
+}

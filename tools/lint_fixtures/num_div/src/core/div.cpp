@@ -1,0 +1,4 @@
+// Fixture: a division with no visible nonzero guard must fire RS-N2.
+double ratio(double num, double den) {
+  return num / den;
+}

@@ -1,0 +1,6 @@
+// Fixture: std::log on an unvalidated argument must fire RS-N3.
+#include <cmath>
+
+double entropy_term(double p) {
+  return -p * std::log(p);
+}

@@ -1,0 +1,5 @@
+// Fixture: a raw exact float comparison outside util::fp must fire RS-N1.
+double snap_to_grid(double x) {
+  if (x == 0.25) return 0.0;
+  return x;
+}

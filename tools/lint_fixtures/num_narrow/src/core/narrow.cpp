@@ -1,0 +1,5 @@
+// Fixture: float narrowing inside a math layer must fire RS-N5.
+double lossy_scale(double x) {
+  const float half = 0.5f;
+  return x * half;
+}

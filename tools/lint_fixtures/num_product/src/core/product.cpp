@@ -1,0 +1,11 @@
+// Fixture: a loop-carried probability product over a link-indexed loop
+// with no std::log1p fallback anywhere in the TU must fire RS-N4.
+#include <vector>
+
+double all_idle_probability(const std::vector<double>& q) {
+  double p = 1.0;
+  for (unsigned long i = 0; i < q.size(); ++i) {
+    p *= 1.0 - q[i];
+  }
+  return p;
+}
