@@ -1,6 +1,7 @@
 // P6: serving-loop performance harness. Times serve::Service end to end —
 // traffic draw, admission, async recompute management, and draining — and
-// emits machine-readable JSON (BENCH_6.json) for the perf-smoke CI gate.
+// emits machine-readable JSON (currently BENCH_9.json; BENCH_6.json is the
+// pre-allocation-ratchet artifact) for the perf-smoke CI gate.
 //
 // Methodology: each slot is timed individually (service.run(1)), so the
 // per-slot latency distribution is observed directly: p50 is a serve-only
@@ -10,6 +11,15 @@
 //
 // The harness exits nonzero if any throughput is non-finite/non-positive
 // or if the conservation invariant broke, so CI can gate on the exit code.
+//
+// Allocation ratchet: built with -DRAYSCHED_COUNT_ALLOCS, the harness
+// replaces global operator new with a counting forwarder and reports the
+// mean allocations per timed slot ("allocs_per_slot" in the JSON), so the
+// perf pipeline ratchets heap traffic the same way it ratchets speedup
+// ratios (scripts/perf_compare.py treats "allocs" as lower-is-better).
+// The count is inclusive: a slot that submits a recompute pays for it.
+// tests/test_hot_path_allocs.cpp separately pins the quiescent slot loop
+// to exactly zero.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -21,9 +31,56 @@
 
 #include "raysched.hpp"
 
+#if defined(RAYSCHED_COUNT_ALLOCS)
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+// Counting global operator new/delete: passive (forwards to malloc/free),
+// plain + nothrow + array forms only — over-aligned allocations keep the
+// library default, which pairs with the default aligned delete.
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t& tag) noexcept {
+  return ::operator new(size, tag);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+#endif  // RAYSCHED_COUNT_ALLOCS
+
 using namespace raysched;
 
 namespace {
+
+#if defined(RAYSCHED_COUNT_ALLOCS)
+constexpr bool kCountAllocs = true;
+std::uint64_t alloc_count() {
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
+#else
+constexpr bool kCountAllocs = false;
+std::uint64_t alloc_count() { return 0; }
+#endif
 
 using Clock = std::chrono::steady_clock;
 
@@ -75,6 +132,7 @@ struct SizeResult {
   double max_slot_us = 0.0;
   std::uint64_t served = 0;
   bool conservation_ok = false;
+  double allocs_per_slot = 0.0;  // meaningful only when kCountAllocs
 };
 
 SizeResult bench_size(std::size_t n, std::uint64_t slots,
@@ -96,6 +154,7 @@ SizeResult bench_size(std::size_t n, std::uint64_t slots,
   slot_us.reserve(slots);
   double total_ns = 0.0;
   std::uint64_t served = 0;
+  const std::uint64_t alloc_base = alloc_count();
   for (std::uint64_t s = 0; s < slots; ++s) {
     const auto t0 = Clock::now();
     const serve::ServeReport report = service.run(1);
@@ -105,6 +164,7 @@ SizeResult bench_size(std::size_t n, std::uint64_t slots,
     slot_us.push_back(ns * 1e-3);
     served = report.served;
   }
+  const std::uint64_t allocs = alloc_count() - alloc_base;
   std::sort(slot_us.begin(), slot_us.end());
   out.slots_per_sec = static_cast<double>(slots) / (total_ns * 1e-9);
   out.p50_slot_us = percentile(slot_us, 0.50);
@@ -112,6 +172,8 @@ SizeResult bench_size(std::size_t n, std::uint64_t slots,
   out.max_slot_us = slot_us.back();
   out.served = served;
   out.conservation_ok = service.conservation_holds();
+  out.allocs_per_slot =
+      static_cast<double>(allocs) / static_cast<double>(slots);
   return out;
 }
 
@@ -125,7 +187,7 @@ int main(int argc, char** argv) {
   flags.add_int("warmup", 32, "untimed warmup slots per size");
   flags.add_double("rate", 0.1, "mean Poisson arrivals per link per slot");
   flags.add_double("beta", 2.5, "SINR threshold");
-  flags.add_string("out", "BENCH_6.json", "output JSON path");
+  flags.add_string("out", "BENCH_9.json", "output JSON path");
   try {
     flags.parse(argc, argv);
   } catch (const error& e) {
@@ -145,16 +207,23 @@ int main(int argc, char** argv) {
   const double rate = flags.get_double("rate");
   const double beta = flags.get_double("beta");
 
-  util::Table table({"n", "slots/sec", "p50_us", "p99_us", "max_us",
-                     "served"});
+  std::vector<std::string> header = {"n",      "slots/sec", "p50_us",
+                                     "p99_us", "max_us",    "served"};
+  if (kCountAllocs) header.push_back("allocs/slot");
+  util::Table table(std::move(header));
   std::vector<SizeResult> results;
   for (const std::size_t n : sizes) {
     std::cerr << "perf_serve: timing n=" << n << "\n";
     results.push_back(bench_size(n, slots, warmup, rate, beta));
     const SizeResult& r = results.back();
-    table.add_row({static_cast<long long>(r.n), r.slots_per_sec,
-                   r.p50_slot_us, r.p99_slot_us, r.max_slot_us,
-                   static_cast<long long>(r.served)});
+    std::vector<util::Cell> row = {static_cast<long long>(r.n),
+                                   r.slots_per_sec,
+                                   r.p50_slot_us,
+                                   r.p99_slot_us,
+                                   r.max_slot_us,
+                                   static_cast<long long>(r.served)};
+    if (kCountAllocs) row.push_back(r.allocs_per_slot);
+    table.add_row(std::move(row));
   }
   table.print_text(std::cout);
 
@@ -186,8 +255,14 @@ int main(int argc, char** argv) {
          << ", \"p50_slot_us\": " << json_num(r.p50_slot_us)         //
          << ", \"p99_slot_us\": " << json_num(r.p99_slot_us)         //
          << ", \"max_slot_us\": " << json_num(r.max_slot_us)         //
-         << ", \"served\": " << r.served                             //
-         << ", \"conservation_ok\": "
+         << ", \"served\": " << r.served;
+    // Emitted only when measured, so a counting and a plain build's
+    // artifacts compare on their common counters (perf_compare
+    // intersects keys).
+    if (kCountAllocs) {
+      json << ", \"allocs_per_slot\": " << json_num(r.allocs_per_slot);
+    }
+    json << ", \"conservation_ok\": "
          << (r.conservation_ok ? "true" : "false") << "}"
          << (k + 1 < results.size() ? "," : "") << "\n";
   }

@@ -22,6 +22,15 @@ deterministic_ok counters are a hard gate regardless of tolerance: a
 candidate that trades throughput for a conservation or thread-count
 determinism violation must fail.
 
+Artifact sequence: the committed artifacts are BENCH_<N>.json with N the
+PR sequence number, and the sequence has gaps (BENCH_7.json was never
+committed — that PR changed no perf-relevant code). Comparing two
+artifacts whose numbers differ by more than 1 is usually a mistake (it
+silently attributes several PRs' worth of drift to the candidate), so it
+is refused unless the baseline is a *stated choice*: pass it via
+--baseline instead of the first positional to say "yes, I mean to span
+the gap".
+
 Exit codes: 0 within tolerance, 1 regression (or conservation violation),
 2 usage/format error.
 """
@@ -29,11 +38,40 @@ Exit codes: 0 within tolerance, 1 regression (or conservation violation),
 import argparse
 import fnmatch
 import json
+import os
+import re
 import sys
 
 HIGHER_BETTER = ("per_sec", "speedup", "served")
-LOWER_BETTER = ("_ns", "_us", "ns_per", "us_per")
+LOWER_BETTER = ("_ns", "_us", "ns_per", "us_per", "allocs")
 HARD_BOOLS = ("conservation_ok", "deterministic_ok")
+
+BENCH_NAME_RE = re.compile(r"^BENCH_(\d+)\.json$")
+
+
+def bench_number(path):
+    """The N of a BENCH_N.json basename, or None for other filenames."""
+    match = BENCH_NAME_RE.match(os.path.basename(path))
+    return int(match.group(1)) if match else None
+
+
+def adjacency_error(baseline_path, candidate_path, stated):
+    """Error string when the pair spans a gap in the BENCH_N sequence.
+
+    Applies only when BOTH files follow the BENCH_N.json naming scheme;
+    ad-hoc filenames (CI's fresh bench_serve.json, tmp files) carry no
+    sequence position and always compare. Identical numbers (the identity
+    test) and adjacent numbers pass; anything wider needs `stated` (the
+    --baseline flag) to be an explicit choice.
+    """
+    base_n = bench_number(baseline_path)
+    cand_n = bench_number(candidate_path)
+    if base_n is None or cand_n is None or abs(cand_n - base_n) <= 1 or stated:
+        return None
+    return (f"BENCH_{base_n} -> BENCH_{cand_n} spans a gap in the artifact "
+            f"sequence (e.g. BENCH_7.json was never committed); pass the "
+            f"baseline via --baseline to make the non-adjacent comparison "
+            f"a stated choice")
 
 
 def flatten(doc, prefix=""):
@@ -150,6 +188,29 @@ def self_test():
             print(f"self-test FAILURE: {label}: failures={failures}")
             return 1
         print(f"self-test: {label}: behaved")
+    gap_checks = [
+        # (baseline path, candidate path, stated, should_refuse, label)
+        ("BENCH_8.json", "BENCH_9.json", False, False,
+         "adjacent artifacts compare by default"),
+        ("BENCH_5.json", "BENCH_5.json", False, False,
+         "identity comparison is never a gap"),
+        ("BENCH_6.json", "BENCH_9.json", False, True,
+         "non-adjacent artifacts are refused by default"),
+        ("BENCH_6.json", "BENCH_9.json", True, False,
+         "--baseline makes the gap a stated choice"),
+        ("old/BENCH_6.json", "/tmp/bench_serve.json", False, False,
+         "ad-hoc filenames carry no sequence position"),
+    ]
+    for base_path, cand_path, stated, should_refuse, label in gap_checks:
+        refused = adjacency_error(base_path, cand_path, stated) is not None
+        if refused != should_refuse:
+            print(f"self-test FAILURE: {label}: refused={refused}")
+            return 1
+        print(f"self-test: {label}: behaved")
+    if direction("n4096.allocs_per_slot") != "down":
+        print("self-test FAILURE: allocs_per_slot must gate lower-is-better")
+        return 1
+    print("self-test: allocs_per_slot gates lower-is-better: behaved")
     print("self-test: all comparisons behaved")
     return 0
 
@@ -162,6 +223,10 @@ def main():
                         help="baseline BENCH_N.json (the committed artifact)")
     parser.add_argument("candidate", nargs="?",
                         help="freshly produced BENCH_N.json")
+    parser.add_argument("--baseline", dest="stated_baseline", metavar="PATH",
+                        help="baseline as a stated choice: required to "
+                             "compare non-adjacent BENCH_N.json artifacts "
+                             "(the sequence has gaps)")
     parser.add_argument("--tolerance", type=float, default=0.10,
                         help="allowed fractional regression per counter "
                              "(default 0.10 = 10%%)")
@@ -175,12 +240,25 @@ def main():
 
     if args.self_test:
         return self_test()
-    if not args.baseline or not args.candidate:
+    # With --baseline PATH, the single positional is the candidate (argparse
+    # fills positionals left to right, so it lands in args.baseline).
+    if args.stated_baseline:
+        baseline_path = args.stated_baseline
+        candidate_path = args.candidate or args.baseline
+    else:
+        baseline_path, candidate_path = args.baseline, args.candidate
+    if not baseline_path or not candidate_path:
         parser.error("baseline and candidate files are required")
 
+    gap = adjacency_error(baseline_path, candidate_path,
+                          stated=bool(args.stated_baseline))
+    if gap:
+        print(f"perf_compare: {gap}", file=sys.stderr)
+        return 2
+
     try:
-        baseline = load_counters(args.baseline)
-        candidate = load_counters(args.candidate)
+        baseline = load_counters(baseline_path)
+        candidate = load_counters(candidate_path)
     except RuntimeError as e:
         print(f"perf_compare: {e}", file=sys.stderr)
         return 2

@@ -46,12 +46,16 @@ run_preset() {
     "${LAUNCHER_ARGS[@]}"
   cmake --build "$build_dir" -j "$(nproc)"
 
-  local filter='FaultInjection|Engine|ThreadPool|Checkpoint|NetworkIo|cli_sweep|SuccessBatch|ServeSnapshot|ServeFaults'
+  # HotPathAllocs runs under ASan and TSan on purpose: its counting
+  # operator new forwards to malloc (which the sanitizers intercept), so
+  # it proves the zero-alloc slot loop *and* that the counting hook
+  # itself is sanitizer-clean.
+  local filter='FaultInjection|Engine|ThreadPool|Checkpoint|NetworkIo|cli_sweep|SuccessBatch|ServeSnapshot|ServeFaults|HotPathAllocs'
   if [ "$preset" = "thread" ]; then
     # TSan cares about the concurrent paths only; add the parallel_for and
     # stress suites (the serve agent hands results across pool threads),
     # drop the serial I/O-heavy ones for speed.
-    filter='ThreadPool|ParallelFor|DefaultPool|Engine|Checkpoint|FaultInjection|cli_sweep|ServeAgent|ServeFaults'
+    filter='ThreadPool|ParallelFor|DefaultPool|Engine|Checkpoint|FaultInjection|cli_sweep|ServeAgent|ServeFaults|HotPathAllocs'
   elif [ "$preset" = "undefined" ]; then
     # UBSan+float mode is cheap enough to sweep the numeric core, where a
     # division by a zero gain or an overflowing dB cast would hide.

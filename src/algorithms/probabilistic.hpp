@@ -47,9 +47,11 @@ struct GradientAscentOptions {
   double tolerance = 1e-9;  ///< stop when the objective gain per step drops below
 };
 
-/// Projected gradient ascent on [0,1]^n from the given start point.
+/// Projected gradient ascent on [0,1]^n from the given start point. Takes
+/// the start point by value on purpose: the optimizer mutates it in place
+/// and moves it into the result.
 [[nodiscard]] ProbabilityOptResult maximize_capacity_gradient_ascent(
-    const model::Network& net, double beta, std::vector<double> q_start,
+    const model::Network& net, double beta, std::vector<double> q_start,  // raysched-mem: allow(RS-M2): sink parameter, mutated and moved into the result
     const GradientAscentOptions& options = {});
 
 struct CoordinateAscentOptions {

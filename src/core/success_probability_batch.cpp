@@ -77,9 +77,14 @@ void SuccessProbabilityKernel::validate_input(
   }
 }
 
+// raysched:hot
 void SuccessProbabilityKernel::run_chunks(
     std::size_t count,
-    const std::function<void(std::size_t, std::size_t)>& body) const {
+    // The executor hook is the one sanctioned per-iteration dispatch in a hot
+    // region: it fires once per batch (not per element), and the chunk bodies
+    // run as plain lambdas inside it.
+    const std::function<void(std::size_t, std::size_t)>& body  // raysched-mem: allow(RS-M6): per-batch executor hook, not per-element dispatch
+) const {
   if (exec_ && count > 1) {
     exec_(count, body);
   } else {
@@ -87,6 +92,7 @@ void SuccessProbabilityKernel::run_chunks(
   }
 }
 
+// raysched:hot
 void SuccessProbabilityKernel::evaluate(const units::ProbabilityVector& q,
                                         std::vector<double>& out) const {
   validate_input(q);
@@ -113,6 +119,7 @@ std::vector<double> SuccessProbabilityKernel::evaluate(
   return out;
 }
 
+// raysched:hot
 void SuccessProbabilityKernel::evaluate_conditional(
     const units::ProbabilityVector& q, std::vector<double>& out) const {
   validate_input(q);
@@ -134,8 +141,16 @@ void SuccessProbabilityKernel::evaluate_conditional(
 
 std::vector<double> SuccessProbabilityKernel::evaluate_log(
     const units::ProbabilityVector& q) const {
+  std::vector<double> out;
+  evaluate_log(q, out);
+  return out;
+}
+
+// raysched:hot
+void SuccessProbabilityKernel::evaluate_log(const units::ProbabilityVector& q,
+                                            std::vector<double>& out) const {
   validate_input(q);
-  std::vector<double> out(n_);
+  out.resize(n_);
   run_chunks(n_, [&](std::size_t lo, std::size_t hi) {
     for (LinkId i = lo; i < hi; ++i) {
       out[i] = util::fp::exact_zero(q[i].value())
@@ -153,7 +168,6 @@ std::vector<double> SuccessProbabilityKernel::evaluate_log(
       }
     }
   });
-  return out;
 }
 
 void SuccessProbabilityKernel::set_probabilities(
@@ -188,6 +202,7 @@ void SuccessProbabilityKernel::set_probabilities(
   has_state_ = true;
 }
 
+// raysched:hot
 void SuccessProbabilityKernel::rebuild_tree_row(std::size_t node) {
   double* out = tree_.data() + node * n_;
   const double* left = tree_.data() + 2 * node * n_;
@@ -197,6 +212,7 @@ void SuccessProbabilityKernel::rebuild_tree_row(std::size_t node) {
   }
 }
 
+// raysched:hot
 void SuccessProbabilityKernel::refresh_values() {
   const double* root = tree_.data() + n_;  // node 1
   for (LinkId i = 0; i < n_; ++i) {
@@ -204,6 +220,7 @@ void SuccessProbabilityKernel::refresh_values() {
   }
 }
 
+// raysched:hot
 void SuccessProbabilityKernel::update_link(LinkId sender,
                                            units::Probability value) {
   require(has_state_,

@@ -97,7 +97,10 @@ class SuccessProbabilityKernel {
   /// Log-space batch: out[i] = log Q_i(q, beta) accumulated as
   /// log q_i - beta*nu/S(i,i) + sum_j log1p(-c(j,i) q_j), which stays finite
   /// down to Q_i ~ 1e-300000 where the plain product underflows to 0.
-  /// q_i == 0 yields -infinity.
+  /// q_i == 0 yields -infinity. The out-buffer form resizes `out` to n and
+  /// overwrites it, so a reused buffer allocates nothing after warm-up.
+  void evaluate_log(const units::ProbabilityVector& q,
+                    std::vector<double>& out) const;
   [[nodiscard]] std::vector<double> evaluate_log(
       const units::ProbabilityVector& q) const;
 

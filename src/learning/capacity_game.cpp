@@ -37,8 +37,18 @@ GameResult run_capacity_game(const Network& net, const GameOptions& options,
   result.transmitters_per_round.reserve(options.rounds);
 
   std::vector<Action> actions(n);
+  // Round-loop scratch (DESIGN.md "scratch-buffer convention"): reserved to
+  // their maximum sizes up front so steady-state rounds allocate nothing.
+  LinkSet active_scratch;
+  active_scratch.reserve(n);
+  LinkSet with_i_scratch;
+  with_i_scratch.reserve(n + 1);
+  std::vector<char> success_scratch(n, 0);
+
+  // raysched:hot(round-loop)
   for (std::size_t t = 0; t < options.rounds; ++t) {
-    LinkSet active;
+    LinkSet& active = active_scratch;
+    active.clear();
     for (LinkId i = 0; i < n; ++i) {
       actions[i] = learners[i]->sample(rng);
       if (actions[i] == Action::Send) active.push_back(i);
@@ -48,14 +58,16 @@ GameResult run_capacity_game(const Network& net, const GameOptions& options,
     // this round's active set? For senders this is the actual outcome; for
     // non-senders it is the counterfactual with i added (the other senders'
     // realized set is unchanged because gains are independent per receiver).
-    std::vector<bool> success_if_sent(n, false);
+    std::vector<char>& success_if_sent = success_scratch;
+    std::fill(success_if_sent.begin(), success_if_sent.end(), char{0});
     if (options.model == GameModel::NonFading) {
       for (LinkId i = 0; i < n; ++i) {
         if (actions[i] == Action::Send) {
           success_if_sent[i] =
               model::sinr_nonfading(net, active, i) >= options.beta;
         } else {
-          LinkSet with_i = active;
+          LinkSet& with_i = with_i_scratch;
+          with_i.assign(active.begin(), active.end());
           with_i.push_back(i);
           success_if_sent[i] =
               model::sinr_nonfading(net, with_i, i) >= options.beta;

@@ -34,11 +34,19 @@ double sinr_rayleigh(const Network& net, const LinkSet& active, LinkId i,
 
 std::vector<double> sinr_rayleigh_all(const Network& net, const LinkSet& active,
                                       util::RngStream& rng) {
+  std::vector<double> out;
+  sinr_rayleigh_all(net, active, rng, out);
+  return out;
+}
+
+// raysched:hot
+void sinr_rayleigh_all(const Network& net, const LinkSet& active,
+                       util::RngStream& rng, std::vector<double>& out) {
   // Sample the full |active| x |active| realization: gains are independent
   // per (sender, receiver) pair, so each receiver draws its own copy of every
   // sender's signal.
   const std::size_t m = active.size();
-  std::vector<double> out(m, 0.0);
+  out.assign(m, 0.0);
   for (std::size_t a = 0; a < m; ++a) {
     const LinkId i = active[a];
     require(i < net.size(), "sinr_rayleigh_all: active id out of range");
@@ -56,7 +64,6 @@ std::vector<double> sinr_rayleigh_all(const Network& net, const LinkSet& active,
       out[a] = own / interference;
     }
   }
-  return out;
 }
 
 std::size_t count_successes_rayleigh(const Network& net, const LinkSet& active,

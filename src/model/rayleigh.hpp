@@ -35,6 +35,14 @@ namespace raysched::model {
                                                     const LinkSet& active,
                                                     util::RngStream& rng);
 
+/// Out-buffer form of sinr_rayleigh_all for steady-state callers (the serve
+/// slot loop): `out` is resized to |active| and overwritten, so a reused
+/// buffer reaches a fixed capacity and the call allocates nothing after
+/// warm-up. Same draw order as the returning form — results are
+/// bit-identical.
+void sinr_rayleigh_all(const Network& net, const LinkSet& active,
+                       util::RngStream& rng, std::vector<double>& out);
+
 /// Number of links of `active` whose realized SINR is >= beta in one slot.
 [[nodiscard]] std::size_t count_successes_rayleigh(const Network& net,
                                                    const LinkSet& active,

@@ -52,9 +52,11 @@ class FaultScript {
   FaultScript() = default;
 
   /// Validates and sorts the events (stable on equal slots, so the spec
-  /// order breaks ties). Throws raysched::coded_error{Precondition} on
-  /// out-of-domain args or a duplicate (slot, kind) pair.
-  explicit FaultScript(std::vector<FaultEvent> events,
+  /// order breaks ties). Takes them by value on purpose: the script sorts
+  /// in place and moves them into events_. Throws
+  /// raysched::coded_error{Precondition} on out-of-domain args or a
+  /// duplicate (slot, kind) pair.
+  explicit FaultScript(std::vector<FaultEvent> events,  // raysched-mem: allow(RS-M2): sink parameter, sorted in place and moved into events_
                        std::uint64_t period = 0);
 
   /// Parses "slot:kind[:arg]" items separated by commas, e.g.

@@ -69,8 +69,9 @@ class ScheduleAgent {
   }
 
   /// Launches a recompute with the given per-link weights (0 for links that
-  /// must not be scheduled). Throws raysched::error if one is in flight.
-  void submit(std::uint64_t slot, std::vector<double> weights,
+  /// must not be scheduled). Takes the weights by value on purpose: the agent
+  /// moves them into the async task, which must own its input.
+  void submit(std::uint64_t slot, std::vector<double> weights,  // raysched-mem: allow(RS-M2): sink parameter, moved into the async task
               std::uint64_t latency_slots);
 
   /// Blocks until the in-flight recompute finished and returns its outcome

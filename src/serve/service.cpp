@@ -82,6 +82,7 @@ void Service::bump_backoff(std::uint64_t slot) {
   cooldown_until_ = slot + backoff_slots_;
 }
 
+// raysched:hot
 void Service::apply_churn(std::uint64_t slot,
                           const std::vector<double>& burst_fracs) {
   const double leave = config_.churn_leave.value();
@@ -93,7 +94,8 @@ void Service::apply_churn(std::uint64_t slot,
   util::RngStream rng = master_.derive(kChurnTag, slot);
 
   for (double frac : burst_fracs) {
-    std::vector<model::LinkId> ids;
+    std::vector<model::LinkId>& ids = churn_scratch_;
+    ids.clear();
     for (model::LinkId i = 0; i < net_.size(); ++i) {
       if (active_[i] != 0) ids.push_back(i);
     }
@@ -129,6 +131,7 @@ void Service::apply_churn(std::uint64_t slot,
   }
 }
 
+// raysched:hot
 std::uint64_t Service::apply_arrivals(std::uint64_t slot) {
   util::RngStream rng = master_.derive(kTrafficTag, slot);
   traffic_.arrivals(rng, active_, arrivals_scratch_);
@@ -253,6 +256,7 @@ void Service::manage_recompute(std::uint64_t slot) {
   }
 }
 
+// raysched:hot
 std::uint64_t Service::serve_slot(std::uint64_t slot) {
   if (monitor_.state() == HealthState::Quarantined || schedule_.empty()) {
     return 0;
@@ -268,16 +272,16 @@ std::uint64_t Service::serve_slot(std::uint64_t slot) {
       }
     }
   } else {
-    model::LinkSet live;
+    model::LinkSet& live = live_scratch_;
+    live.clear();
     for (model::LinkId i : schedule_) {
       if (active_[i] != 0 && queue_[i] > 0) live.push_back(i);
     }
     if (!live.empty()) {
       util::RngStream rng = master_.derive(kFadingTag, slot);
-      const std::vector<double> sinrs =
-          model::sinr_rayleigh_all(net_, live, rng);
+      model::sinr_rayleigh_all(net_, live, rng, sinr_scratch_);
       for (std::size_t a = 0; a < live.size(); ++a) {
-        if (sinrs[a] >= config_.beta.value()) {
+        if (sinr_scratch_[a] >= config_.beta.value()) {
           --queue_[live[a]];
           ++served;
         }
@@ -306,14 +310,18 @@ void Service::digest_slot(const SlotDigest& digest) {
 
 ServeReport Service::run(std::uint64_t slots) {
   ServeReport report;
-  std::vector<double> burst_fracs;
+  // One up-front reservation per run() segment; the per-slot push_back
+  // below then never reallocates, keeping the slot loop allocation-free.
+  report.digests.reserve(slots);
+  std::vector<double> burst_scratch;
 
+  // raysched:hot(slot-loop)
   for (std::uint64_t step = 0; step < slots; ++step) {
     const std::uint64_t slot = next_slot_;
     const std::uint64_t drops_at_start = drops_.total();
 
     slot_events_.clear();
-    burst_fracs.clear();
+    burst_scratch.clear();
     config_.faults.events_in_slot(slot, slot_events_);
     bool crash = false;
     for (const FaultEvent& event : slot_events_) {
@@ -328,7 +336,7 @@ ServeReport Service::run(std::uint64_t slots) {
           poison_active_ = false;
           break;
         case FaultKind::ChurnBurst:
-          burst_fracs.push_back(event.arg);
+          burst_scratch.push_back(event.arg);
           break;
         case FaultKind::Crash:
           crash = true;
@@ -343,7 +351,7 @@ ServeReport Service::run(std::uint64_t slots) {
       break;
     }
 
-    apply_churn(slot, burst_fracs);
+    apply_churn(slot, burst_scratch);
     const std::uint64_t offered = apply_arrivals(slot);
     manage_recompute(slot);
     const std::uint64_t served = serve_slot(slot);

@@ -149,7 +149,7 @@ class Service {
  public:
   /// Takes the network by value; validates the configuration. Throws
   /// raysched::error on out-of-domain parameters.
-  Service(model::Network net, const ServeConfig& config);
+  Service(model::Network net, const ServeConfig& config);  // raysched-mem: allow(RS-M2): sink parameter, moved into net_
   Service(const Service&) = delete;
   Service& operator=(const Service&) = delete;
 
@@ -223,8 +223,17 @@ class Service {
   bool conservation_violated_ = false;  // latched for reporting, not state
 
   std::uint64_t hash_ = 14695981039346656037ULL;  // FNV-1a offset basis
-  std::vector<FaultEvent> slot_events_;           // scratch, reused per slot
-  std::vector<std::uint32_t> arrivals_scratch_;   // scratch, reused per slot
+
+  // Reusable scratch buffers (DESIGN.md "scratch-buffer convention"): each
+  // reaches a fixed capacity during warm-up, after which the steady-state
+  // slot loop allocates zero bytes (pinned by tests/test_hot_path_allocs).
+  // The `scratch` suffix is load-bearing — raysched_mem exempts these names
+  // from its hot-region allocation rules.
+  std::vector<FaultEvent> slot_events_;             // fault events, per slot
+  std::vector<std::uint32_t> arrivals_scratch_;     // per-link arrivals
+  model::LinkSet live_scratch_;                     // servable schedule subset
+  std::vector<double> sinr_scratch_;                // Rayleigh realizations
+  std::vector<model::LinkId> churn_scratch_;        // burst victim candidates
 };
 
 }  // namespace raysched::serve

@@ -77,6 +77,7 @@ void TrafficGenerator::set_burst_state(std::vector<char> state) {
   burst_state_ = std::move(state);
 }
 
+// raysched:hot
 void TrafficGenerator::arrivals(util::RngStream& slot_rng,
                                 const std::vector<char>& active,
                                 std::vector<std::uint32_t>& out) {

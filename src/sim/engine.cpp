@@ -158,6 +158,7 @@ std::optional<model::Network> build_instance(const RunContext& ctx,
 
 /// Evaluates one (network, trial) cell, honoring the fault policy. Returns
 /// nullopt when the cell was abandoned (a CellFailure was recorded).
+// raysched:hot
 std::optional<std::vector<double>> evaluate_cell(const RunContext& ctx,
                                                  const model::Network& net,
                                                  std::size_t net_idx,
@@ -175,7 +176,9 @@ std::optional<std::vector<double>> evaluate_cell(const RunContext& ctx,
     const auto cell_start = std::chrono::steady_clock::now();
     try {
       CellScope scope(net_idx, trial_idx, attempt);
-      std::vector<double> row = ctx.run_trial(net, rng);
+      // The trial function owns its metric row; one short vector per cell is
+      // the handoff contract, not a hot-loop leak.
+      std::vector<double> row = ctx.run_trial(net, rng);  // raysched-mem: allow(RS-M4): per-cell metric row, trial owns allocation
       fault = validate_row(ctx, row);
       if (!fault && ctx.config.cell_time_limit > 0.0) {
         const double took =

@@ -21,9 +21,21 @@ namespace raysched {
 class error : public std::runtime_error {
  public:
   explicit error(const std::string& what) : std::runtime_error(what) {}
+  explicit error(const char* what) : std::runtime_error(what) {}
 };
 
 /// Throws raysched::error with `message` unless `condition` holds.
+///
+/// The `const char*` overload exists for the hot paths: a string literal
+/// passed to the `std::string` overload materializes (and heap-allocates)
+/// the message on EVERY call, success or not. With this overload the
+/// message stays a pointer until the throw actually happens, so a passing
+/// require() costs one branch and zero allocations
+/// (tests/test_hot_path_allocs.cpp pins this).
+inline void require(bool condition, const char* message) {
+  if (!condition) throw error(message);
+}
+
 inline void require(bool condition, const std::string& message) {
   if (!condition) throw error(message);
 }
@@ -71,6 +83,13 @@ class coded_error : public error {
 };
 
 /// Throws raysched::coded_error with `code` unless `condition` holds.
+/// As with require(), the `const char*` overload keeps the success path
+/// allocation-free; the message string is built only when throwing.
+inline void require_code(bool condition, ErrorCode code,
+                         const char* message) {
+  if (!condition) throw coded_error(code, message);
+}
+
 inline void require_code(bool condition, ErrorCode code,
                          const std::string& message) {
   if (!condition) throw coded_error(code, message);

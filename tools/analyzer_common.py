@@ -1,0 +1,336 @@
+"""analyzer_common: shared machinery for the raysched_* analyzers.
+
+raysched_arch, raysched_flow, raysched_num, and raysched_mem are
+zero-dependency Python analyzers with an identical operational contract:
+
+  * findings carry a stable key; a shrink-only baseline file can park
+    known debt (stale entries are themselves errors, so the file only
+    ever shrinks — new violations cannot hide behind it);
+  * deliberate deviations are suppressed with an inline
+    ``// raysched-<tool>: allow(RS-Xn)`` comment and reported as
+    ``allowed:`` so reviewers see them;
+  * ``--json`` emits a machine-readable report for CI artifacts;
+  * ``--self-test`` replays the analyzer against seeded-violation
+    mini-repos under tools/lint_fixtures/ and verifies each rule fires
+    exactly where expected (and that the *_clean fixture passes).
+
+Before this module each analyzer carried its own copy of that machinery
+(Finding, comment stripping, baseline load/apply/write, JSON report,
+fixture runner); the four copies had already begun to drift in
+formatting details. This module is now the single implementation; the
+analyzers keep only their rules.
+
+Nothing here imports beyond the standard library, preserving the
+zero-dep contract (the analyzers run in CI containers with a bare
+python3).
+"""
+
+import argparse
+import json
+import os
+import re
+
+
+class Finding:
+    """One rule violation. `key` is the stable identity used by the
+    baseline file; `detail` is the human explanation."""
+
+    def __init__(self, rule, key, path, lineno, detail,
+                 suppressed=False, baselined=False):
+        self.rule = rule
+        self.key = key
+        self.path = path
+        self.lineno = lineno
+        self.detail = detail
+        self.suppressed = suppressed
+        self.baselined = baselined
+
+    def __str__(self):
+        if self.suppressed:
+            tag = "allowed"
+        elif self.baselined:
+            tag = "baselined"
+        else:
+            tag = "error"
+        where = f"{self.path}:{self.lineno}" if self.lineno else self.path
+        return f"{tag}: [{self.rule}] {where}: {self.detail}"
+
+    def counts(self):
+        """True when the finding fails the run (not allowed/baselined)."""
+        return not self.suppressed and not self.baselined
+
+    def as_dict(self):
+        return {
+            "rule": self.rule,
+            "key": self.key,
+            "path": self.path,
+            "line": self.lineno,
+            "detail": self.detail,
+            "suppressed": self.suppressed,
+            "baselined": self.baselined,
+        }
+
+    # raysched_arch historically named this as_json; keep the alias so
+    # external consumers of its JSON schema see no change.
+    as_json = as_dict
+
+
+def strip_comments(lines, scrub_strings=False):
+    """Yields (lineno, code) with // and /* */ comment text removed.
+
+    Line-based, same tradeoffs as raysched_lint: string literals holding
+    comment markers may over-strip, which at worst hides a finding inside
+    a string literal. With scrub_strings=True the contents of string
+    literals are emptied as well, so prose like "== 0.0" or a '/' inside
+    a message never looks like arithmetic.
+    """
+    in_block = False
+    for lineno, line in enumerate(lines, start=1):
+        code = line
+        if in_block:
+            end = code.find("*/")
+            if end < 0:
+                yield lineno, ""
+                continue
+            code = code[end + 2:]
+            in_block = False
+        code = re.sub(r"/\*.*?\*/", " ", code)
+        start = code.find("/*")
+        if start >= 0:
+            code = code[:start]
+            in_block = True
+        slash = code.find("//")
+        if slash >= 0:
+            code = code[:slash]
+        if scrub_strings:
+            code = re.sub(r'"(?:[^"\\]|\\.)*"', '""', code)
+        yield lineno, code
+
+
+def iter_source_files(root, rel_dirs, exts=(".cpp", ".hpp", ".h"),
+                      excluded_dirnames=("lint_fixtures",)):
+    """Yields repo-relative, '/'-separated paths of source files under
+    the given top-level directories, fixture mini-repos excluded."""
+    for rel in rel_dirs:
+        top = os.path.join(root, rel)
+        if not os.path.isdir(top):
+            continue
+        for dirpath, dirnames, filenames in os.walk(top):
+            dirnames[:] = [d for d in dirnames
+                           if d not in excluded_dirnames]
+            for name in sorted(filenames):
+                if name.endswith(exts):
+                    rel_file = os.path.relpath(
+                        os.path.join(dirpath, name), root)
+                    yield rel_file.replace(os.sep, "/")
+
+
+def read_file(root, relpath, allow_re=None, scrub_strings=False):
+    """Returns (raw_lines, {lineno: code}, {lineno: allowed_rule}).
+
+    `allow_re` is the tool's suppression-comment pattern whose group 1
+    names the rule (e.g. r"//\\s*raysched-mem:\\s*allow\\((RS-M\\d+)\\)");
+    None disables allow parsing.
+    """
+    with open(os.path.join(root, relpath), encoding="utf-8",
+              errors="replace") as f:
+        raw = f.readlines()
+    allows = {}
+    if allow_re is not None:
+        for lineno, line in enumerate(raw, start=1):
+            m = allow_re.search(line)
+            if m:
+                allows[lineno] = m.group(1)
+    code = dict(strip_comments(raw, scrub_strings=scrub_strings))
+    return raw, code, allows
+
+
+def add_finding(findings, rule, relpath, lineno, detail, allows):
+    """Appends a Finding keyed `relpath:detail`, honoring an allow
+    comment for `rule` on the same line."""
+    key = f"{relpath}:{detail}"
+    suppressed = allows.get(lineno) == rule
+    findings.append(Finding(rule, key, relpath, lineno, detail, suppressed))
+
+
+# --- baseline (one `RS-Xn<TAB>key` per line, '#' comments) -----------------
+
+
+def load_baseline(path, rules):
+    """Parses the baseline file; unknown rules or malformed lines raise
+    RuntimeError (a broken baseline must fail loudly, not skip silently).
+    """
+    entries = []
+    if not os.path.exists(path):
+        return entries
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split(None, 1)
+            if len(parts) != 2 or parts[0] not in rules:
+                raise RuntimeError(
+                    f"{path}:{lineno}: malformed baseline entry {line!r} "
+                    "(expected: <rule> <finding key>)")
+            entries.append((parts[0], parts[1]))
+    return entries
+
+
+def apply_baseline(findings, entries, baseline_path):
+    """Marks baselined findings; stale baseline entries become errors."""
+    matched = {(f.rule, f.key) for f in findings}
+    entry_set = set(entries)
+    for f in findings:
+        if (f.rule, f.key) in entry_set:
+            f.baselined = True
+    for rule, key in entries:
+        if (rule, key) not in matched:
+            findings.append(Finding(
+                rule, key, baseline_path, 0,
+                f"stale baseline entry (no longer matches a finding): "
+                f"{key!r} — delete it so the baseline only ever shrinks"))
+    return findings
+
+
+def write_baseline(findings, path, prog, debt_name):
+    """Rewrites the baseline from the current unbaselined, unsuppressed
+    findings, with the standard shrink-only header."""
+    lines = [
+        f"# {prog} baseline: known {debt_name} debt, burned down",
+        f"# incrementally. One `<rule><TAB>key` per line. Stale entries",
+        "# fail the run, so this file can only shrink. Regenerate with",
+        f"#   python3 tools/{prog} --write-baseline",
+        "# The committed baseline is empty: the repo holds zero debt.",
+    ]
+    count = 0
+    for f in sorted(findings, key=lambda f: (f.rule, f.key)):
+        if not f.baselined and not f.suppressed:
+            lines.append(f"{f.rule}\t{f.key}")
+            count += 1
+    with open(path, "w", encoding="utf-8") as out:
+        out.write("\n".join(lines) + "\n")
+    print(f"wrote {path} ({count} entries)")
+
+
+# --- reports ---------------------------------------------------------------
+
+
+def emit_json(findings, stream, rules, extra=None):
+    doc = {
+        "rules": rules,
+        "findings": [f.as_dict() for f in findings],
+        "errors": sum(1 for f in findings if f.counts()),
+        "suppressed": sum(1 for f in findings if f.suppressed),
+        "baselined": sum(1 for f in findings if f.baselined),
+    }
+    if extra:
+        doc.update(extra)
+    json.dump(doc, stream, indent=2, sort_keys=True)
+    stream.write("\n")
+
+
+def write_json_report(findings, json_arg, rules, extra=None):
+    """Honors the --json argument: '-' means stdout, otherwise a path."""
+    import sys
+    if json_arg == "-":
+        emit_json(findings, sys.stdout, rules, extra)
+    else:
+        with open(json_arg, "w", encoding="utf-8") as out:
+            emit_json(findings, out, rules, extra)
+
+
+def report(findings, prog):
+    """Prints findings sorted by location and the summary line; returns
+    the process exit code (0 clean, 1 findings)."""
+    errors = 0
+    for f in sorted(findings, key=lambda f: (f.path, f.lineno, f.rule)):
+        print(f)
+        if f.counts():
+            errors += 1
+    suppressed = sum(1 for f in findings if f.suppressed)
+    baselined = sum(1 for f in findings if f.baselined)
+    print(f"{prog}: {errors} error(s), {suppressed} suppression(s), "
+          f"{baselined} baselined")
+    return 1 if errors else 0
+
+
+# --- fixture self-test -----------------------------------------------------
+
+
+def fixture_self_test(fixture_root, expectations, run_checks,
+                      clean_name=None, exact=False):
+    """Replays run_checks against the seeded-violation mini-repos.
+
+    expectations: {fixture_dir: rule} (or {fixture_dir: set_of_rules}
+    with exact=True, where the fired set must match exactly — the
+    raysched_arch convention). clean_name (if given) must produce zero
+    countable findings. Returns the process exit code.
+    """
+    failures = []
+    for name in sorted(expectations):
+        expected = expectations[name]
+        root = os.path.join(fixture_root, name)
+        if not os.path.isdir(root):
+            failures.append(f"{name}: fixture directory missing")
+            continue
+        findings = run_checks(root)
+        fired = {f.rule for f in findings if f.counts()}
+        if exact:
+            want = set(expected)
+            if fired != want:
+                failures.append(
+                    f"{name}: expected exactly {sorted(want)} to fire, "
+                    f"got {sorted(fired)}")
+            else:
+                label = ", ".join(sorted(want)) or "no findings"
+                print(f"self-test: {name}: {label}, as expected")
+        else:
+            if expected not in fired:
+                failures.append(
+                    f"{name}: expected {expected} to fire, "
+                    f"got {sorted(fired)}")
+            else:
+                print(f"self-test: {name}: {expected} fired as expected")
+    if clean_name is not None:
+        root = os.path.join(fixture_root, clean_name)
+        if not os.path.isdir(root):
+            failures.append(f"{clean_name}: fixture directory missing")
+        else:
+            bad = [f for f in run_checks(root) if f.counts()]
+            if bad:
+                failures.append(
+                    f"{clean_name}: expected no findings, got: "
+                    + "; ".join(str(f) for f in bad))
+            else:
+                print(f"self-test: {clean_name}: no findings, as expected")
+    if failures:
+        for f in failures:
+            print("self-test FAILURE:", f)
+        return 1
+    print("self-test: all fixtures behaved")
+    return 0
+
+
+# --- shared CLI ------------------------------------------------------------
+
+
+def make_parser(prog, doc, baseline_default, fixture_glob):
+    """The analyzers' common argument surface. Callers may add
+    tool-specific options (e.g. raysched_arch's --dot) afterwards."""
+    parser = argparse.ArgumentParser(
+        prog=prog, description=doc,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: parent of this script)")
+    parser.add_argument("--baseline", default=None,
+                        help=f"baseline file (default: {baseline_default})")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="rewrite the baseline from current findings")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="emit findings as JSON to PATH ('-' = stdout)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the analyzer fires on the seeded "
+                             f"violations in tools/lint_fixtures/"
+                             f"{fixture_glob}")
+    return parser

@@ -1,0 +1,15 @@
+// Seeded RS-M1 violations: heap allocation inside a hot region.
+#include <vector>
+
+namespace raysched::core {
+
+// raysched:hot
+void evaluate(int n, double& total) {
+  std::vector<double> tmp(n, 0.0);  // RS-M1: sized construction per call
+  double* p = new double[n];        // RS-M1: raw operator new
+  for (int i = 0; i < n; ++i) tmp[i] = i * 0.5;
+  for (int i = 0; i < n; ++i) total += tmp[i] + p[i];
+  delete[] p;
+}
+
+}  // namespace raysched::core

@@ -1,0 +1,16 @@
+// Seeded RS-M5 violation: array-of-structs member chasing in a hot loop.
+namespace raysched::core {
+
+struct Link {
+  double gain;
+  double weight;
+};
+
+// raysched:hot
+void sum_gains(const Link* links, int n, double& total) {
+  for (int i = 0; i < n; ++i) {
+    total += links[i].gain;  // RS-M5: strides sizeof(Link) per element
+  }
+}
+
+}  // namespace raysched::core

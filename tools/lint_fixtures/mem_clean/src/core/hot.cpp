@@ -1,0 +1,29 @@
+// A hot region that follows the memory discipline, plus a cold function
+// whose allocations are legitimately outside any region.
+#include <vector>
+
+namespace raysched::core {
+
+class Evaluator {
+ public:
+  // raysched:hot
+  void evaluate(int n, std::vector<double>& out) {
+    out.assign(n, 0.0);  // out-parameter: the caller owns the capacity
+    sums_scratch_.resize(n);  // scratch buffer: fixed capacity after warm-up
+    for (int i = 0; i < n; ++i) {
+      std::vector<double>& sums = sums_scratch_;
+      sums[i] = i * 0.5;
+      out[i] = sums[i];
+    }
+  }
+
+ private:
+  std::vector<double> sums_scratch_;
+};
+
+void cold_setup(int n, std::vector<double>& out) {
+  std::vector<double> tmp(n, 1.0);  // outside any hot region: fine
+  out = tmp;
+}
+
+}  // namespace raysched::core

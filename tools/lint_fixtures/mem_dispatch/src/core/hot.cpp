@@ -1,0 +1,11 @@
+// Seeded RS-M6 violation: std::function dispatch in a hot region.
+#include <functional>
+
+namespace raysched::core {
+
+// raysched:hot
+void apply(int n, const std::function<double(int)>& f, double& total) {
+  for (int i = 0; i < n; ++i) total += f(i);
+}
+
+}  // namespace raysched::core

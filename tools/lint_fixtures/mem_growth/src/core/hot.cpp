@@ -1,0 +1,15 @@
+// Seeded RS-M3 violation: growth loop with no reserve.
+#include <vector>
+
+namespace raysched::core {
+
+// raysched:hot
+void collect(int n, std::vector<int>& sink) {
+  std::vector<int> items;
+  for (int i = 0; i < n; ++i) {
+    items.push_back(i);  // RS-M3: reallocates log(n) times
+  }
+  sink.swap(items);
+}
+
+}  // namespace raysched::core

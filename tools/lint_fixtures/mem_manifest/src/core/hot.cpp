@@ -1,0 +1,10 @@
+// Seeded RS-M0 violations: the manifest and the annotations disagree in
+// both directions (an entry with no annotation, an annotation unlisted).
+namespace raysched::core {
+
+// raysched:hot
+void present(int n, double& total) {
+  for (int i = 0; i < n; ++i) total += i;
+}
+
+}  // namespace raysched::core

@@ -1,0 +1,14 @@
+// Seeded RS-M4 violation: materializing a callee's returned container.
+#include <vector>
+
+namespace raysched::core {
+
+std::vector<double> make_row(int n);
+
+// raysched:hot
+void consume(int n, double& total) {
+  std::vector<double> row = make_row(n);  // RS-M4: fresh vector per call
+  for (double v : row) total += v;
+}
+
+}  // namespace raysched::core

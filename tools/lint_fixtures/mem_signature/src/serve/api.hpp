@@ -1,0 +1,10 @@
+// Seeded RS-M2 violation: heavy type crossing a serve signature by value.
+#pragma once
+
+#include <vector>
+
+namespace raysched::serve {
+
+void ingest(std::vector<double> weights);  // RS-M2: copies per call
+
+}  // namespace raysched::serve
