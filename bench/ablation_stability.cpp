@@ -1,0 +1,166 @@
+// Ablation A17: AHM adaptive-probability scheduling vs centralized
+// max-weight — the stability frontier through the serving loop.
+//
+// Ásgeirsson–Halldórsson–Mitra ("Wireless Network Stability in the SINR
+// Model") keep queues stable with no weight feedback at all: each link
+// transmits with an adaptive probability nudged up on success and down on
+// failure. This harness drives both policies through serve::Service — the
+// same loop, queues, and admission control — sweeping a uniform per-link
+// arrival rate under the non-fading and Rayleigh propagation models, and
+// reports where each policy's backlog stops growing. Max-weight buys its
+// wider frontier with a centralized recompute; AHM's frontier sits lower
+// but needs only per-link success feedback.
+#include <cstdint>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "raysched.hpp"
+
+using namespace raysched;
+
+namespace {
+
+struct RunSummary {
+  double served_per_slot = 0.0;
+  double avg_backlog = 0.0;
+  double backlog_slope = 0.0;  ///< packets per slot over the second half
+  bool looks_stable = false;
+};
+
+RunSummary run_once(const model::Network& net, serve::PolicyKind policy,
+                    core::Propagation prop, double rate, double beta,
+                    std::uint64_t seed, std::uint64_t slots) {
+  serve::ServeConfig config;
+  config.master_seed = seed;
+  config.beta = units::Threshold(beta);
+  config.propagation = prop;
+  config.policy = policy;
+  config.traffic.model = serve::TrafficModel::Poisson;
+  config.traffic.mean_rate = rate;
+  serve::Service service(model::Network(net), config);
+  const serve::ServeReport report = service.run(slots);
+  require(report.conservation_ok, "ablation_stability: conservation broke");
+
+  RunSummary out;
+  out.served_per_slot =
+      static_cast<double>(report.served) / static_cast<double>(slots);
+  // Backlog trend from the digests: mean over the second and fourth
+  // quarters; the slope between them is the drift in packets per slot.
+  double q2 = 0.0, q4 = 0.0, total = 0.0;
+  const std::size_t quarter = report.digests.size() / 4;
+  for (std::size_t i = 0; i < report.digests.size(); ++i) {
+    const auto b = static_cast<double>(report.digests[i].backlog);
+    total += b;
+    if (i >= quarter && i < 2 * quarter) q2 += b;
+    if (i >= 3 * quarter) q4 += b;
+  }
+  const double denom = static_cast<double>(
+      report.digests.size() - 3 * quarter > 0
+          ? report.digests.size() - 3 * quarter
+          : 1);
+  const double mean_q2 = quarter > 0 ? q2 / static_cast<double>(quarter) : 0.0;
+  const double mean_q4 = q4 / denom;
+  out.avg_backlog = total / static_cast<double>(report.digests.size());
+  out.backlog_slope = (mean_q4 - mean_q2) /
+                      (2.0 * static_cast<double>(quarter > 0 ? quarter : 1));
+  // Stable: the drift is under one packet per 20 slots across the whole
+  // network — queues oscillate instead of growing.
+  out.looks_stable = out.backlog_slope < 0.05;
+  return out;
+}
+
+std::vector<double> parse_rates(const std::string& csv) {
+  std::vector<double> rates;
+  std::stringstream ss(csv);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    if (tok.empty()) continue;
+    rates.push_back(std::stod(tok));
+    require(rates.back() > 0.0,
+            "ablation_stability: --rates entries must be positive");
+  }
+  require(!rates.empty(),
+          "ablation_stability: --rates must name at least one rate");
+  return rates;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags;
+  flags.add_int("networks", 3, "number of random networks");
+  flags.add_int("links", 24, "links per network");
+  flags.add_int("slots", 2000, "served slots per run");
+  flags.add_double("beta", 2.5, "SINR threshold");
+  flags.add_int("seed", 23, "master seed");
+  flags.add_string("rates", "0.05,0.1,0.2,0.3,0.45,0.6",
+                   "comma-separated per-link arrival rates");
+  try {
+    flags.parse(argc, argv);
+  } catch (const error& e) {
+    std::cerr << e.what() << "\n" << flags.usage(argv[0]);
+    return 1;
+  }
+  if (flags.help_requested()) {
+    std::cout << flags.usage(argv[0]);
+    return 0;
+  }
+
+  const auto networks = static_cast<std::size_t>(flags.get_int("networks"));
+  const auto slots = static_cast<std::uint64_t>(flags.get_int("slots"));
+  const double beta = flags.get_double("beta");
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  const std::vector<double> rates = parse_rates(flags.get_string("rates"));
+  const util::RngStream master(seed);
+  model::RandomPlaneParams params;
+  params.num_links = static_cast<std::size_t>(flags.get_int("links"));
+
+  std::cout << "# Ablation A17: AHM vs max-weight stability frontier "
+               "(beta=" << beta << ", " << slots << " slots, "
+            << params.num_links << " links)\n";
+  util::Table table({"lambda", "model", "policy", "served/slot",
+                     "avg_backlog", "slope", "stable_runs"});
+
+  for (const double rate : rates) {
+    for (auto prop :
+         {core::Propagation::NonFading, core::Propagation::Rayleigh}) {
+      for (auto policy :
+           {serve::PolicyKind::MaxWeight, serve::PolicyKind::Ahm}) {
+        sim::Accumulator served, backlog, slope;
+        long long stable = 0;
+        for (std::size_t net_idx = 0; net_idx < networks; ++net_idx) {
+          util::RngStream net_rng = master.derive(net_idx, 0xA17);
+          auto links = model::random_plane_links(params, net_rng);
+          const model::Network net(std::move(links),
+                                   model::PowerAssignment::uniform(2.0), 2.2,
+                                   units::Power(4e-7));
+          const RunSummary r = run_once(
+              net, policy, prop, rate, beta,
+              seed + 1000 * net_idx + static_cast<std::uint64_t>(prop),
+              slots);
+          served.add(r.served_per_slot);
+          backlog.add(r.avg_backlog);
+          slope.add(r.backlog_slope);
+          stable += r.looks_stable ? 1 : 0;
+        }
+        table.add_row(
+            {rate,
+             std::string(prop == core::Propagation::Rayleigh ? "rayleigh"
+                                                             : "non-fading"),
+             std::string(serve::to_string(policy)), served.mean(),
+             backlog.mean(), slope.mean(), stable});
+      }
+    }
+  }
+  table.print_text(std::cout);
+  std::cout << "\nexpected: at small lambda every row serves the offered "
+               "load (lambda * n) and stays stable. Max-weight holds the "
+               "wider frontier — it schedules a feasibility-certified "
+               "max-weight set each period — while AHM, with only per-link "
+               "success feedback, destabilizes at a lower lambda; under "
+               "Rayleigh both frontiers shift left by roughly the Lemma-2 "
+               "service-success factor.\n";
+  return 0;
+}

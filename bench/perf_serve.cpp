@@ -1,13 +1,20 @@
 // P6: serving-loop performance harness. Times serve::Service end to end —
 // traffic draw, admission, async recompute management, and draining — and
-// emits machine-readable JSON (currently BENCH_9.json; BENCH_6.json is the
-// pre-allocation-ratchet artifact) for the perf-smoke CI gate.
+// emits machine-readable JSON (currently BENCH_10.json; BENCH_9.json is the
+// pre-policy artifact) for the perf-smoke CI gate.
 //
 // Methodology: each slot is timed individually (service.run(1)), so the
 // per-slot latency distribution is observed directly: p50 is a serve-only
 // slot, p99 captures the slots that also submit an inline recompute
 // (weighted greedy over the full network). The first --warmup slots are
 // excluded — they fill the queues and adopt the first schedule.
+//
+// Every size is timed once per schedule policy (max-weight,
+// max-weight-incremental, ahm), and each row carries p99_over_p50 — the
+// recompute-tail-to-serve-floor ratio the CI gate ratchets for the
+// incremental policy. The two max-weight policies must serve identical
+// packet counts (they adopt bit-identical schedules by construction), and
+// every row re-runs untimed to prove deterministic_ok.
 //
 // The harness exits nonzero if any throughput is non-finite/non-positive
 // or if the conservation invariant broke, so CI can gate on the exit code.
@@ -21,6 +28,7 @@
 // tests/test_hot_path_allocs.cpp separately pins the quiescent slot loop
 // to exactly zero.
 #include <algorithm>
+#include <charconv>
 #include <chrono>
 #include <cmath>
 #include <fstream>
@@ -114,6 +122,17 @@ std::string json_num(double v) {
   return os.str();
 }
 
+// Shortest round-trip representation for *configuration* metadata: 0.1
+// stays "0.1", not the max_digits10 noise "0.10000000000000001" that used
+// to make every artifact diff touch the header. Measured results keep the
+// full json_num precision.
+std::string json_num_meta(double v) {
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  require(ec == std::errc(), "perf_serve: metadata double formatting failed");
+  return std::string(buf, ptr);
+}
+
 double percentile(std::vector<double>& sorted, double p) {
   if (sorted.empty()) return 0.0;
   const double idx = p * static_cast<double>(sorted.size() - 1);
@@ -125,35 +144,42 @@ double percentile(std::vector<double>& sorted, double p) {
 
 struct SizeResult {
   std::size_t n = 0;
+  serve::PolicyKind policy = serve::PolicyKind::MaxWeight;
   std::uint64_t slots = 0;
   double slots_per_sec = 0.0;
   double p50_slot_us = 0.0;
   double p99_slot_us = 0.0;
   double max_slot_us = 0.0;
+  double p99_over_p50 = 0.0;
   std::uint64_t served = 0;
   bool conservation_ok = false;
+  bool deterministic_ok = false;
   double allocs_per_slot = 0.0;  // meaningful only when kCountAllocs
 };
 
-SizeResult bench_size(std::size_t n, std::uint64_t slots,
-                      std::uint64_t warmup, double rate, double beta) {
+SizeResult bench_size(std::size_t n, serve::PolicyKind policy,
+                      std::uint64_t slots, std::uint64_t warmup, double rate,
+                      double beta) {
   serve::ServeConfig config;
   config.master_seed = 0xBE6C + n;
   config.beta = units::Threshold(beta);
   config.traffic.model = serve::TrafficModel::Poisson;
   config.traffic.mean_rate = rate;
   config.agent_threads = 1;  // inline recompute: its cost lands in the slot
+  config.policy = policy;
 
   serve::Service service(make_network(n, 0x5E47E + n), config);
   (void)service.run(warmup);
 
   SizeResult out;
   out.n = n;
+  out.policy = policy;
   out.slots = slots;
   std::vector<double> slot_us;
   slot_us.reserve(slots);
   double total_ns = 0.0;
   std::uint64_t served = 0;
+  std::uint64_t trajectory = 0;
   const std::uint64_t alloc_base = alloc_count();
   for (std::uint64_t s = 0; s < slots; ++s) {
     const auto t0 = Clock::now();
@@ -163,6 +189,7 @@ SizeResult bench_size(std::size_t n, std::uint64_t slots,
     total_ns += ns;
     slot_us.push_back(ns * 1e-3);
     served = report.served;
+    trajectory = report.trajectory_hash;
   }
   const std::uint64_t allocs = alloc_count() - alloc_base;
   std::sort(slot_us.begin(), slot_us.end());
@@ -170,10 +197,18 @@ SizeResult bench_size(std::size_t n, std::uint64_t slots,
   out.p50_slot_us = percentile(slot_us, 0.50);
   out.p99_slot_us = percentile(slot_us, 0.99);
   out.max_slot_us = slot_us.back();
+  out.p99_over_p50 =
+      out.p50_slot_us > 0.0 ? out.p99_slot_us / out.p50_slot_us : 0.0;
   out.served = served;
   out.conservation_ok = service.conservation_holds();
   out.allocs_per_slot =
       static_cast<double>(allocs) / static_cast<double>(slots);
+
+  // Untimed determinism re-run: a fresh service over the same horizon must
+  // reproduce the timed run's trajectory hash bit-for-bit.
+  serve::Service rerun(make_network(n, 0x5E47E + n), config);
+  const serve::ServeReport replay = rerun.run(warmup + slots);
+  out.deterministic_ok = replay.trajectory_hash == trajectory;
   return out;
 }
 
@@ -187,7 +222,7 @@ int main(int argc, char** argv) {
   flags.add_int("warmup", 32, "untimed warmup slots per size");
   flags.add_double("rate", 0.1, "mean Poisson arrivals per link per slot");
   flags.add_double("beta", 2.5, "SINR threshold");
-  flags.add_string("out", "BENCH_9.json", "output JSON path");
+  flags.add_string("out", "BENCH_10.json", "output JSON path");
   try {
     flags.parse(argc, argv);
   } catch (const error& e) {
@@ -207,23 +242,33 @@ int main(int argc, char** argv) {
   const double rate = flags.get_double("rate");
   const double beta = flags.get_double("beta");
 
-  std::vector<std::string> header = {"n",      "slots/sec", "p50_us",
-                                     "p99_us", "max_us",    "served"};
+  const serve::PolicyKind kPolicies[] = {
+      serve::PolicyKind::MaxWeight, serve::PolicyKind::MaxWeightIncremental,
+      serve::PolicyKind::Ahm};
+
+  std::vector<std::string> header = {"n",      "policy",  "slots/sec",
+                                     "p50_us", "p99_us",  "max_us",
+                                     "p99/p50", "served"};
   if (kCountAllocs) header.push_back("allocs/slot");
   util::Table table(std::move(header));
   std::vector<SizeResult> results;
   for (const std::size_t n : sizes) {
-    std::cerr << "perf_serve: timing n=" << n << "\n";
-    results.push_back(bench_size(n, slots, warmup, rate, beta));
-    const SizeResult& r = results.back();
-    std::vector<util::Cell> row = {static_cast<long long>(r.n),
-                                   r.slots_per_sec,
-                                   r.p50_slot_us,
-                                   r.p99_slot_us,
-                                   r.max_slot_us,
-                                   static_cast<long long>(r.served)};
-    if (kCountAllocs) row.push_back(r.allocs_per_slot);
-    table.add_row(std::move(row));
+    for (const serve::PolicyKind policy : kPolicies) {
+      std::cerr << "perf_serve: timing n=" << n << " policy="
+                << serve::to_string(policy) << "\n";
+      results.push_back(bench_size(n, policy, slots, warmup, rate, beta));
+      const SizeResult& r = results.back();
+      std::vector<util::Cell> row = {static_cast<long long>(r.n),
+                                     std::string(serve::to_string(r.policy)),
+                                     r.slots_per_sec,
+                                     r.p50_slot_us,
+                                     r.p99_slot_us,
+                                     r.max_slot_us,
+                                     r.p99_over_p50,
+                                     static_cast<long long>(r.served)};
+      if (kCountAllocs) row.push_back(r.allocs_per_slot);
+      table.add_row(std::move(row));
+    }
   }
   table.print_text(std::cout);
 
@@ -232,29 +277,44 @@ int main(int argc, char** argv) {
   for (const SizeResult& r : results) {
     ok = ok && std::isfinite(r.slots_per_sec) && r.slots_per_sec > 0.0 &&
          std::isfinite(r.p99_slot_us) && r.p99_slot_us > 0.0 &&
-         r.conservation_ok;
+         r.conservation_ok && r.deterministic_ok;
+  }
+  // The incremental policy replays the from-scratch comparator, so per
+  // size the two max-weight rows must serve the exact same packet count —
+  // a mismatch means the bit-identity contract broke.
+  for (std::size_t k = 0; k + 1 < results.size(); ++k) {
+    if (results[k].policy == serve::PolicyKind::MaxWeight &&
+        results[k + 1].policy == serve::PolicyKind::MaxWeightIncremental &&
+        results[k].served != results[k + 1].served) {
+      std::cerr << "perf_serve: max-weight policies diverged at n="
+                << results[k].n << " (" << results[k].served << " vs "
+                << results[k + 1].served << " served)\n";
+      ok = false;
+    }
   }
   if (!ok) {
-    std::cerr << "perf_serve: non-finite measurement or conservation "
-                 "violation\n";
+    std::cerr << "perf_serve: non-finite measurement, determinism failure, "
+                 "or conservation violation\n";
     return 1;
   }
 
   std::ostringstream json;
   json << "{\n"
        << "  \"bench\": \"perf_serve\",\n"
-       << "  \"beta\": " << json_num(beta) << ",\n"
-       << "  \"rate\": " << json_num(rate) << ",\n"
+       << "  \"beta\": " << json_num_meta(beta) << ",\n"
+       << "  \"rate\": " << json_num_meta(rate) << ",\n"
        << "  \"slots\": " << slots << ",\n"
        << "  \"warmup\": " << warmup << ",\n"
        << "  \"sizes\": [\n";
   for (std::size_t k = 0; k < results.size(); ++k) {
     const SizeResult& r = results[k];
     json << "    {\"n\": " << r.n                                    //
+         << ", \"policy\": \"" << serve::to_string(r.policy) << "\""  //
          << ", \"slots_per_sec\": " << json_num(r.slots_per_sec)     //
          << ", \"p50_slot_us\": " << json_num(r.p50_slot_us)         //
          << ", \"p99_slot_us\": " << json_num(r.p99_slot_us)         //
          << ", \"max_slot_us\": " << json_num(r.max_slot_us)         //
+         << ", \"p99_over_p50\": " << json_num(r.p99_over_p50)       //
          << ", \"served\": " << r.served;
     // Emitted only when measured, so a counting and a plain build's
     // artifacts compare on their common counters (perf_compare
@@ -263,7 +323,9 @@ int main(int argc, char** argv) {
       json << ", \"allocs_per_slot\": " << json_num(r.allocs_per_slot);
     }
     json << ", \"conservation_ok\": "
-         << (r.conservation_ok ? "true" : "false") << "}"
+         << (r.conservation_ok ? "true" : "false")
+         << ", \"deterministic_ok\": "
+         << (r.deterministic_ok ? "true" : "false") << "}"
          << (k + 1 < results.size() ? "," : "") << "\n";
   }
   json << "  ]\n}\n";

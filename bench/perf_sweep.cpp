@@ -19,6 +19,7 @@
 // non-positive, or if determinism across thread counts broke, so CI can
 // gate on the exit code alone.
 #include <bit>
+#include <charconv>
 #include <chrono>
 #include <cmath>
 #include <cstdint>
@@ -61,6 +62,16 @@ std::string json_num(double v) {
   os.precision(17);
   os << v;
   return os.str();
+}
+
+/// Shortest round-trip double for *configuration* metadata, so "0.1" does
+/// not become max_digits10 noise in the artifact header. Results keep the
+/// full json_num precision.
+std::string json_num_meta(double v) {
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  require(ec == std::errc(), "perf_sweep: metadata double formatting failed");
+  return std::string(buf, ptr);
 }
 
 struct ThreadResult {
@@ -190,7 +201,7 @@ int main(int argc, char** argv) {
        << "  \"networks\": " << networks << ",\n"
        << "  \"trials\": " << trials << ",\n"
        << "  \"links\": " << links << ",\n"
-       << "  \"beta\": " << json_num(beta) << ",\n"
+       << "  \"beta\": " << json_num_meta(beta) << ",\n"
        << "  \"reps\": " << reps << ",\n"
        << "  \"deterministic_ok\": " << (deterministic ? "true" : "false")
        << ",\n"

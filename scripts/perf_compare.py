@@ -8,10 +8,12 @@ regression gates"): CI runs the reduced perf sweep, then holds the fresh
 numbers against the committed artifact.
 
 Counter flattening: each entry of the top-level "sizes" array becomes
-"n<n>.<counter>" (e.g. "n256.speedup_batched"); nested objects such as
-"rwm" become "rwm.<counter>"; top-level numeric fields keep their name.
-Only counters present in BOTH files are compared (CI runs reduced size
-sweeps, so the intersection is the contract).
+"n<n>.<counter>" (e.g. "n256.speedup_batched"); entries that also carry a
+"policy" string (perf_serve emits one row per schedule policy) become
+"n<n>.<policy>.<counter>" (e.g. "n256.max-weight-incremental.p99_slot_us");
+nested objects such as "rwm" become "rwm.<counter>"; top-level numeric
+fields keep their name. Only counters present in BOTH files are compared
+(CI runs reduced size sweeps, so the intersection is the contract).
 
 Direction is inferred from the counter name:
   higher-is-better:  *per_sec*, speedup_*, served
@@ -43,7 +45,7 @@ import re
 import sys
 
 HIGHER_BETTER = ("per_sec", "speedup", "served")
-LOWER_BETTER = ("_ns", "_us", "ns_per", "us_per", "allocs")
+LOWER_BETTER = ("_ns", "_us", "ns_per", "us_per", "allocs", "p99_over_p50")
 HARD_BOOLS = ("conservation_ok", "deterministic_ok")
 
 BENCH_NAME_RE = re.compile(r"^BENCH_(\d+)\.json$")
@@ -82,6 +84,11 @@ def flatten(doc, prefix=""):
                 for entry in value:
                     n = entry.get("n")
                     sub = f"n{n}." if n is not None else ""
+                    # Per-policy rows (perf_serve): the policy joins the
+                    # prefix so the same counter gates per policy.
+                    policy = entry.get("policy")
+                    if isinstance(policy, str) and policy:
+                        sub += f"{policy}."
                     for key, leaf in flatten(entry, prefix + sub):
                         if key != prefix + sub + "n":
                             yield key, leaf
@@ -182,6 +189,19 @@ def self_test():
     if flat != expect:
         print(f"self-test FAILURE: flatten produced {flat}, expected {expect}")
         return 1
+    # Per-policy rows: the same n appears once per policy, and the policy
+    # string joins the key so the counters gate independently.
+    policy_sample = {"sizes": [
+        {"n": 64, "policy": "max-weight", "p99_over_p50": 3.0},
+        {"n": 64, "policy": "ahm", "p99_over_p50": 2.0}]}
+    flat = dict(flatten(policy_sample))
+    expect = {"n64.max-weight.p99_over_p50": 3.0, "n64.ahm.p99_over_p50": 2.0}
+    if flat != expect:
+        print(f"self-test FAILURE: policy flatten produced {flat}, "
+              f"expected {expect}")
+        return 1
+    print("self-test: policy rows flatten with the policy in the key: "
+          "behaved")
     for candidate, tol, should_fail, label in checks:
         _, failures = compare(baseline, candidate, tol, [])
         if bool(failures) != should_fail:
@@ -211,6 +231,20 @@ def self_test():
         print("self-test FAILURE: allocs_per_slot must gate lower-is-better")
         return 1
     print("self-test: allocs_per_slot gates lower-is-better: behaved")
+    if direction("n4096.max-weight-incremental.p99_over_p50") != "down":
+        print("self-test FAILURE: p99_over_p50 must gate lower-is-better")
+        return 1
+    print("self-test: p99_over_p50 gates lower-is-better: behaved")
+    # Configuration metadata switched to shortest round-trip formatting
+    # ("rate": 0.1, not 0.10000000000000001). Both spellings parse to the
+    # same float when exact, and metadata never gates even when the
+    # representation (or the value) changes.
+    _, failures = compare({"rate": 0.10000000000000001, "beta": 2.5},
+                          {"rate": 0.1, "beta": 2.5}, 0.0, [])
+    if failures:
+        print(f"self-test FAILURE: metadata representation gated: {failures}")
+        return 1
+    print("self-test: metadata double representation never gates: behaved")
     print("self-test: all comparisons behaved")
     return 0
 

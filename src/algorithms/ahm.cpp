@@ -1,0 +1,62 @@
+#include "algorithms/ahm.hpp"
+
+#include <algorithm>
+
+#include "model/network.hpp"
+#include "util/error.hpp"
+
+namespace raysched::algorithms {
+
+using model::LinkId;
+using model::LinkSet;
+
+AhmScheduler::AhmScheduler(std::size_t n, const AhmConfig& config)
+    : n_(n), config_(config) {
+  require(config.p_min.value() > 0.0,
+          "AhmScheduler: p_min must be positive (links must keep trying)");
+  require(config.p_min.value() <= config.p_init.value() &&
+              config.p_init.value() <= config.p_max.value(),
+          "AhmScheduler: need p_min <= p_init <= p_max");
+  require(config.up >= 1.0, "AhmScheduler: up factor must be >= 1");
+  require(config.down > 0.0 && config.down <= 1.0,
+          "AhmScheduler: down factor must be in (0, 1]");
+  p_.assign(n_, config.p_init.value());
+}
+
+// raysched:hot
+void AhmScheduler::sample(util::RngStream& rng,
+                          const std::vector<char>& backlogged, LinkSet& out) {
+  require(backlogged.size() == n_,
+          "AhmScheduler::sample: backlog mask size must equal n");
+  out.clear();
+  for (LinkId i = 0; i < n_; ++i) {
+    if (backlogged[i] == 0) continue;  // idle links consume no randomness
+    if (rng.bernoulli(p_[i])) out.push_back(i);
+  }
+}
+
+void AhmScheduler::feedback(const LinkSet& scheduled,
+                            const std::vector<char>& success) {
+  require(success.size() == scheduled.size(),
+          "AhmScheduler::feedback: success flags must align with the "
+          "scheduled set");
+  for (std::size_t k = 0; k < scheduled.size(); ++k) {
+    const LinkId i = scheduled[k];
+    require(i < n_, "AhmScheduler::feedback: id out of range");
+    const double factor = success[k] != 0 ? config_.up : config_.down;
+    p_[i] = std::clamp(p_[i] * factor, config_.p_min.value(),
+                       config_.p_max.value());
+  }
+}
+
+void AhmScheduler::restore(const std::vector<double>& p) {
+  require(p.size() == n_,
+          "AhmScheduler::restore: probability vector size must equal n");
+  for (double v : p) {
+    require(v >= config_.p_min.value() && v <= config_.p_max.value(),
+            "AhmScheduler::restore: probability outside [p_min, p_max]");
+  }
+  p_ = p;
+}
+
+}  // namespace raysched::algorithms

@@ -1,0 +1,89 @@
+// raysched: the Ásgeirsson–Halldórsson–Mitra stability algorithm.
+//
+// "Wireless Network Stability in the SINR Model" (arXiv:1210.4446) gives a
+// distributed scheduling algorithm for stochastic packet arrivals: every
+// backlogged link transmits independently with its own probability p_i, and
+// adapts p_i multiplicatively from per-slot feedback — a successful
+// transmission raises p_i (the medium has room), a failed one lowers it
+// (back off under interference). No link needs global knowledge; the
+// transmission probabilities self-organize toward a feasible rate point,
+// which is what yields the paper's stability region guarantee.
+//
+// This module implements the probability state machine and the per-slot
+// candidate sampling. It is deliberately decoupled from queues, traffic,
+// and the SINR evaluation itself: the serving loop (serve/schedule_policy)
+// and the ablation harness (bench/ablation_stability) both drive it by
+// passing backlog indicators in and success/failure feedback back. The
+// whole state is the probability vector, exposed for snapshot/restore —
+// unlike max-weight, AHM is history-dependent, so a crash-safe replay must
+// persist p.
+//
+// Determinism contract: sample() consumes one Bernoulli draw per backlogged
+// link, in ascending link order, from the caller-provided stream; feedback
+// application is a pure function of (scheduled set, success flags). Same
+// stream + same feedback sequence -> bit-identical probabilities forever.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "model/network.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace raysched::algorithms {
+
+struct AhmConfig {
+  /// Starting transmission probability for every link.
+  units::Probability p_init = units::Probability(0.25);
+  /// Clamp bounds: p_i stays in [p_min, p_max] forever. p_min > 0 keeps
+  /// every backlogged link live (the paper's guarantee needs persistent
+  /// attempts); p_max <= 1.
+  units::Probability p_min = units::Probability(1.0 / 64.0);
+  units::Probability p_max = units::Probability(1.0);
+  /// Multiplicative feedback: success multiplies p_i by up, failure by
+  /// down. The paper's analysis uses constant-factor adaptation; 2 and 1/2
+  /// are the canonical choices.
+  double up = 2.0;
+  double down = 0.5;
+};
+
+/// Per-link adaptive transmission probabilities with multiplicative
+/// increase / decrease feedback. Copyable; holds no network reference.
+class AhmScheduler {
+ public:
+  /// Throws raysched::error unless 0 < p_min <= p_init <= p_max <= 1,
+  /// up >= 1, and 0 < down <= 1.
+  AhmScheduler(std::size_t n, const AhmConfig& config);
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+  [[nodiscard]] const AhmConfig& config() const { return config_; }
+
+  /// Draws this slot's transmission set: every link with backlogged[i] != 0
+  /// joins independently with probability p_i. Consumes exactly one
+  /// Bernoulli draw per backlogged link, ascending order; out is overwritten
+  /// (ascending ids) and allocates nothing once its capacity covers n.
+  void sample(util::RngStream& rng, const std::vector<char>& backlogged,
+              model::LinkSet& out);
+
+  /// Applies one slot of feedback: for each scheduled[k], success[k] != 0
+  /// multiplies its probability by up, otherwise by down, clamped to
+  /// [p_min, p_max]. Links outside the scheduled set are untouched.
+  void feedback(const model::LinkSet& scheduled,
+                const std::vector<char>& success);
+
+  /// The adaptive state — everything a snapshot must persist.
+  [[nodiscard]] const std::vector<double>& probabilities() const {
+    return p_;
+  }
+  /// Restores state saved from probabilities(). Throws raysched::error if
+  /// the size mismatches or any value falls outside [p_min, p_max].
+  void restore(const std::vector<double>& p);
+
+ private:
+  std::size_t n_ = 0;
+  AhmConfig config_;
+  std::vector<double> p_;
+};
+
+}  // namespace raysched::algorithms

@@ -1,5 +1,6 @@
 #include "core/success_probability_batch.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <limits>
@@ -173,48 +174,184 @@ void SuccessProbabilityKernel::evaluate_log(const units::ProbabilityVector& q,
 void SuccessProbabilityKernel::set_probabilities(
     const units::ProbabilityVector& q) {
   validate_input(q);
-  if (tree_.empty()) {
-    // Rows [leaves_+n_, 2*leaves_) are padding leaves of links that do not
-    // exist; initializing the whole forest to 1.0 makes them permanent
-    // identity factors.
-    tree_.assign(2 * leaves_ * n_, 1.0);
-    values_.resize(n_);
-  }
   q_ = q;
+  values_.resize(n_);
+  nz_count_ = 0;
+  for (LinkId j = 0; j < n_; ++j) {
+    if (!util::fp::exact_zero(q_[j].value())) ++nz_count_;
+  }
+  if (sparse_eligible()) {
+    sparse_refresh_values();
+    tree_dirty_ = true;
+  } else {
+    rebuild_tree();
+  }
+  has_state_ = true;
+}
+
+bool SuccessProbabilityKernel::sparse_eligible() const {
+  // Value-only refresh costs O(nz) row sweeps; the eager walk costs O(path
+  // merges) but keeps the whole O(n^2) forest warm. Stay sparse while nz is
+  // far below n — schedules are (|S| << n), probability vectors are not.
+  return nz_count_ <= 32 || nz_count_ * 32 <= leaves_;
+}
+
+void SuccessProbabilityKernel::rebuild_tree() {
+  if (tree_.empty()) {
+    // Rows are materialized on demand (rep_ tracks which); the backing
+    // store is sized once so update paths never allocate. Rows
+    // [leaves_+n_, 2*leaves_) are padding leaves of links that do not
+    // exist; their rep_ entry stays 0 (permanent identity factors).
+    tree_.resize(2 * leaves_ * n_);
+    rep_.resize(2 * leaves_);
+  }
   run_chunks(n_, [&](std::size_t lo, std::size_t hi) {
     for (LinkId j = lo; j < hi; ++j) {
-      double* leaf = tree_.data() + (leaves_ + j) * n_;
-      const double* row = c_.data() + j * n_;
+      const std::size_t node = leaves_ + j;
       const double qj = q_[j].value();
+      if (util::fp::exact_zero(qj)) {
+        // Leaf row would be exactly all-ones (1 - c*0); never materialize.
+        rep_[node] = 0;
+        continue;
+      }
+      double* leaf = tree_.data() + node * n_;
+      const double* row = c_.data() + j * n_;
       for (LinkId i = 0; i < n_; ++i) {
         leaf[i] = 1.0 - row[i] * qj;
       }
+      rep_[node] = node;
     }
   });
+  for (std::size_t j = n_; j < leaves_; ++j) rep_[leaves_ + j] = 0;
   for (std::size_t half = leaves_ / 2; half >= 1; half /= 2) {
     run_chunks(half, [&](std::size_t lo, std::size_t hi) {
       for (std::size_t k = half + lo; k < half + hi; ++k) {
-        rebuild_tree_row(k);
+        refresh_interior(k);
       }
     });
   }
   refresh_values();
-  has_state_ = true;
+  tree_dirty_ = false;
+}
+
+namespace {
+// Column-block width for combine_sparse: the whole fold runs block by block
+// so every stack row segment stays cache-resident and DRAM traffic reduces
+// to one streaming read of each nonzero leaf's c_ row. Per-element
+// arithmetic is independent of the blocking, so results are bit-identical
+// for any width.
+constexpr std::size_t kSparseBlock = 512;
+}  // namespace
+
+// raysched:hot
+void SuccessProbabilityKernel::sparse_refresh_values() {
+  nz_scratch_.clear();
+  for (LinkId j = 0; j < n_; ++j) {
+    if (!util::fp::exact_zero(q_[j].value())) nz_scratch_.push_back(j);
+  }
+  // One live row per recursion level, plus one for the merge in flight.
+  const std::size_t depth =
+      static_cast<std::size_t>(std::bit_width(leaves_)) + 1;
+  if (stack_scratch_.size() < depth * kSparseBlock) {
+    stack_scratch_.resize(depth * kSparseBlock);
+  }
+  for (std::size_t b0 = 0; b0 < n_; b0 += kSparseBlock) {
+    const std::size_t b1 = std::min(b0 + kSparseBlock, n_);
+    std::size_t top = 0;
+    const double* root =
+        combine_sparse(0, leaves_, 0, nz_scratch_.size(), top, b0, b1);
+    if (root == nullptr) {
+      // Every q is exactly 0: values are q_i * noise * 1.0 == 0.0, the
+      // same bits the materialized all-ones root would give.
+      for (LinkId i = b0; i < b1; ++i) {
+        values_[i] = q_[i].value() * noise_factor_[i];
+      }
+      continue;
+    }
+    for (LinkId i = b0; i < b1; ++i) {
+      values_[i] = q_[i].value() * noise_factor_[i] * root[i - b0];
+    }
+  }
+}
+
+// Folds the nonzero leaves inside leaf-index range [lo, hi) — they are
+// nz_scratch_[a, b), ascending — into a single product-row segment over
+// columns [col0, col1), using the exact association of the rep_ tree: split
+// at the leaf midpoint, fold each half, then multiply the halves. Identity
+// subtrees return nullptr and are skipped, and a subtree holding exactly
+// one nonzero leaf returns that leaf's row directly — both are bitwise
+// neutral (1.0 * x == x, and every interior node above a lone leaf is an
+// alias in the rep_ tree). Returns the topmost live stack row; each
+// non-null return leaves exactly one net row on the stack, so the live
+// depth never exceeds the recursion depth.
+// raysched:hot
+double* SuccessProbabilityKernel::combine_sparse(std::size_t lo,
+                                                 std::size_t hi,
+                                                 std::size_t a, std::size_t b,
+                                                 std::size_t& top,
+                                                 std::size_t col0,
+                                                 std::size_t col1) {
+  if (a == b) return nullptr;
+  const std::size_t w = col1 - col0;
+  if (b - a == 1) {
+    const LinkId j = nz_scratch_[a];
+    const double qj = q_[j].value();
+    double* out = stack_scratch_.data() + top * kSparseBlock;
+    ++top;
+    const double* row = c_.data() + j * n_ + col0;
+    for (std::size_t i = 0; i < w; ++i) {
+      out[i] = 1.0 - row[i] * qj;
+    }
+    return out;
+  }
+  const std::size_t mid = lo + (hi - lo) / 2;
+  const std::size_t m = static_cast<std::size_t>(
+      std::lower_bound(nz_scratch_.begin() + a, nz_scratch_.begin() + b,
+                       mid) -
+      nz_scratch_.begin());
+  double* left = combine_sparse(lo, mid, a, m, top, col0, col1);
+  double* right = combine_sparse(mid, hi, m, b, top, col0, col1);
+  if (left == nullptr) return right;
+  if (right == nullptr) return left;
+  for (std::size_t i = 0; i < w; ++i) {
+    left[i] = left[i] * right[i];
+  }
+  --top;  // the right row is the topmost; its product now lives in left
+  return left;
 }
 
 // raysched:hot
-void SuccessProbabilityKernel::rebuild_tree_row(std::size_t node) {
-  double* out = tree_.data() + node * n_;
-  const double* left = tree_.data() + 2 * node * n_;
-  const double* right = tree_.data() + (2 * node + 1) * n_;
-  for (LinkId i = 0; i < n_; ++i) {
-    out[i] = left[i] * right[i];
+void SuccessProbabilityKernel::refresh_interior(std::size_t node) {
+  const std::size_t left = rep_[2 * node];
+  const std::size_t right = rep_[2 * node + 1];
+  if (left == 0) {
+    rep_[node] = right;  // 1 * x == x bitwise; alias instead of copying
+    return;
   }
+  if (right == 0) {
+    rep_[node] = left;
+    return;
+  }
+  double* out = tree_.data() + node * n_;
+  const double* l = tree_.data() + left * n_;
+  const double* r = tree_.data() + right * n_;
+  for (LinkId i = 0; i < n_; ++i) {
+    out[i] = l[i] * r[i];
+  }
+  rep_[node] = node;
 }
 
 // raysched:hot
 void SuccessProbabilityKernel::refresh_values() {
-  const double* root = tree_.data() + n_;  // node 1
+  if (rep_[1] == 0) {
+    // Root is an identity product: every q is exactly 0, so every value is
+    // q_i * noise * 1.0 == 0.0 — the same bits the materialized root gives.
+    for (LinkId i = 0; i < n_; ++i) {
+      values_[i] = q_[i].value() * noise_factor_[i];
+    }
+    return;
+  }
+  const double* root = tree_.data() + rep_[1] * n_;
   for (LinkId i = 0; i < n_; ++i) {
     values_[i] = q_[i].value() * noise_factor_[i] * root[i];
   }
@@ -231,17 +368,127 @@ void SuccessProbabilityKernel::update_link(LinkId sender,
   require(value.value() >= 0.0 && value.value() <= 1.0,
           "SuccessProbabilityKernel::update_link: probability must be in "
           "[0,1]");
+  const bool was_nz = !util::fp::exact_zero(q_[sender].value());
+  const bool now_nz = !util::fp::exact_zero(value.value());
+  // size_t arithmetic: a 0 -> 1 transition adds one, 1 -> 0 wraps to -1.
+  nz_count_ +=
+      static_cast<std::size_t>(now_nz) - static_cast<std::size_t>(was_nz);
   q_[sender] = value;
-  const double qj = value.value();
-  double* leaf = tree_.data() + (leaves_ + sender) * n_;
-  const double* row = c_.data() + sender * n_;
-  for (LinkId i = 0; i < n_; ++i) {
-    leaf[i] = 1.0 - row[i] * qj;
+  if (sparse_eligible()) {
+    sparse_refresh_values();
+    tree_dirty_ = true;
+    return;
   }
-  for (std::size_t k = (leaves_ + sender) / 2; k >= 1; k /= 2) {
-    rebuild_tree_row(k);
+  if (tree_dirty_) {
+    // First dense update after a sparse phase: the interior rows are stale,
+    // so rebuild the forest from q_ (cost scales with the current nonzero
+    // count thanks to rep_, not with n).
+    rebuild_tree();
+    return;
+  }
+  const double qj = value.value();
+  const std::size_t node = leaves_ + sender;
+  if (util::fp::exact_zero(qj)) {
+    rep_[node] = 0;
+  } else {
+    double* leaf = tree_.data() + node * n_;
+    const double* row = c_.data() + sender * n_;
+    for (LinkId i = 0; i < n_; ++i) {
+      leaf[i] = 1.0 - row[i] * qj;
+    }
+    rep_[node] = node;
+  }
+  for (std::size_t k = node / 2; k >= 1; k /= 2) {
+    refresh_interior(k);
   }
   refresh_values();
+}
+
+// raysched:hot
+void SuccessProbabilityKernel::update_links(
+    const std::vector<std::pair<LinkId, units::Probability>>& updates) {
+  require(has_state_,
+          "SuccessProbabilityKernel::update_links: call set_probabilities "
+          "first");
+  if (updates.empty()) return;
+  for (const auto& [sender, value] : updates) {
+    require(sender < n_,
+            "SuccessProbabilityKernel::update_links: id out of range");
+    require(value.value() >= 0.0 && value.value() <= 1.0,
+            "SuccessProbabilityKernel::update_links: probability must be in "
+            "[0,1]");
+    const bool was_nz = !util::fp::exact_zero(q_[sender].value());
+    const bool now_nz = !util::fp::exact_zero(value.value());
+    nz_count_ +=
+        static_cast<std::size_t>(now_nz) - static_cast<std::size_t>(was_nz);
+    q_[sender] = value;
+  }
+  if (sparse_eligible()) {
+    sparse_refresh_values();
+    tree_dirty_ = true;
+    return;
+  }
+  if (tree_dirty_) {
+    rebuild_tree();
+    return;
+  }
+  // Rebuild each touched leaf row once, from the final q (duplicate senders
+  // collapse to their last value, exactly as sequential update_link would).
+  touched_scratch_.clear();
+  for (const auto& [sender, value] : updates) {
+    const double qj = q_[sender].value();
+    const std::size_t node = leaves_ + sender;
+    if (util::fp::exact_zero(qj)) {
+      rep_[node] = 0;
+    } else {
+      double* leaf = tree_.data() + node * n_;
+      const double* row = c_.data() + sender * n_;
+      for (LinkId i = 0; i < n_; ++i) {
+        leaf[i] = 1.0 - row[i] * qj;
+      }
+      rep_[node] = node;
+    }
+    touched_scratch_.push_back(node / 2);
+  }
+  // Walk the union of ancestor paths one level at a time. Within a level the
+  // rows are disjoint, and every row is rebuilt strictly after both of its
+  // children reached their final state — so each row's final content matches
+  // the sequential update_link order bit for bit.
+  std::sort(touched_scratch_.begin(), touched_scratch_.end());
+  touched_scratch_.erase(
+      std::unique(touched_scratch_.begin(), touched_scratch_.end()),
+      touched_scratch_.end());
+  // front() == 0 only when leaves_ == 1 (node 1 is both root and leaf), in
+  // which case there are no interior rows to rebuild — same as the empty
+  // path loop in update_link.
+  while (touched_scratch_.front() >= 1) {
+    for (const std::size_t node : touched_scratch_) {
+      refresh_interior(node);
+    }
+    if (touched_scratch_.front() == 1) break;  // rebuilt the root row
+    for (std::size_t& node : touched_scratch_) node /= 2;
+    touched_scratch_.erase(
+        std::unique(touched_scratch_.begin(), touched_scratch_.end()),
+        touched_scratch_.end());
+  }
+  refresh_values();
+}
+
+void SuccessProbabilityKernel::remove_link(LinkId id) {
+  require(has_state_,
+          "SuccessProbabilityKernel::remove_link: call set_probabilities "
+          "first");
+  update_link(id, units::Probability(0.0));
+}
+
+void SuccessProbabilityKernel::reset() {
+  has_state_ = false;
+  q_.clear();
+  nz_count_ = 0;
+  tree_dirty_ = true;
+  // tree_ / values_ keep their capacity (and size) so the next
+  // set_probabilities re-enters incremental mode without reallocating;
+  // set_probabilities overwrites every row it reads.
 }
 
 const std::vector<double>& SuccessProbabilityKernel::success_probabilities()

@@ -31,6 +31,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "model/network.hpp"
@@ -109,11 +110,41 @@ class SuccessProbabilityKernel {
   void set_probabilities(const units::ProbabilityVector& q);
 
   /// Incremental single-link change: sets q[sender] = value and refreshes
-  /// every cached success probability in O(n log n) by recomputing one leaf
-  /// row and the log2(n) tree rows above it. Bit-for-bit equal to calling
-  /// set_probabilities with the updated vector. Requires set_probabilities
-  /// to have been called.
+  /// every cached success probability in O(n log n) worst case by
+  /// recomputing one leaf row and the log2(n) ancestors above it. Ancestors
+  /// whose sibling subtree holds no nonzero q are aliased instead of
+  /// multiplied out (see rep_), so with a sparse q the real cost is O(n)
+  /// times the number of merge nodes on the path. Bit-for-bit equal to
+  /// calling set_probabilities with the updated vector. Requires
+  /// set_probabilities to have been called.
   void update_link(model::LinkId sender, units::Probability value);
+
+  /// One batched incremental change: applies every (sender, value) pair
+  /// (later entries win on duplicate senders), rebuilds each touched leaf
+  /// row once, then walks the union of ancestor paths level by level so a
+  /// tree row shared by several senders is rebuilt once per level instead
+  /// of once per sender. Bit-for-bit equal to applying the same updates
+  /// through update_link one at a time: refresh_interior recomputes a row
+  /// purely from its children, so only the final refresh of a row is
+  /// observable. Cost O((k + log n) * n) worst case for k updates instead
+  /// of O(k * n log n), and less when q is sparse (identity subtrees are
+  /// never materialized). Requires set_probabilities to have been called.
+  void update_links(
+      const std::vector<std::pair<model::LinkId, units::Probability>>&
+          updates);
+
+  /// Link departure: equivalent to update_link(id, 0) — the departed link
+  /// stops transmitting (its value drops to exact 0) and stops interfering
+  /// with every other link (its factor becomes an exact 1.0). The kernel
+  /// keeps the link's affectance row so a later rejoin is just another
+  /// update_link. Requires set_probabilities to have been called.
+  void remove_link(model::LinkId id);
+
+  /// Leaves incremental mode: discards q and the cached values but keeps
+  /// the affectance matrix and the (already-sized) product forest, so the
+  /// next set_probabilities pays no allocation. One-shot evaluation is
+  /// unaffected. Safe to call in any state.
+  void reset();
 
   /// True once set_probabilities has been called.
   [[nodiscard]] bool has_state() const { return has_state_; }
@@ -133,8 +164,14 @@ class SuccessProbabilityKernel {
   void run_chunks(
       std::size_t count,
       const std::function<void(std::size_t, std::size_t)>& body) const;
-  void rebuild_tree_row(std::size_t node);
+  [[nodiscard]] bool sparse_eligible() const;
+  void rebuild_tree();
+  void refresh_interior(std::size_t node);
   void refresh_values();
+  void sparse_refresh_values();
+  double* combine_sparse(std::size_t lo, std::size_t hi, std::size_t a,
+                         std::size_t b, std::size_t& top, std::size_t col0,
+                         std::size_t col1);
 
   std::size_t n_ = 0;
   std::size_t leaves_ = 1;  // bit_ceil(n): power-of-two leaf count per tree
@@ -148,11 +185,42 @@ class SuccessProbabilityKernel {
   // every link's tree contiguously, so leaf and path refreshes are linear
   // sweeps. Row k = n_ doubles at tree_[k*n_]. Allocated lazily by
   // set_probabilities; one-shot evaluation never pays for it.
+  //
+  // Sparse representation: rep_[k] names the node whose materialized row
+  // holds node k's product — 0 when the whole subtree is an identity (all
+  // q in it are exactly 0, so the product row is exactly all-ones), the id
+  // of the single non-identity child's representative when only one side
+  // contributes, and k itself when both children contribute and the row at
+  // tree_[k*n_] was multiplied out. Because 1.0 * x == x exactly in IEEE
+  // arithmetic, skipping identity factors and aliasing through single
+  // contributors yields the same bits as materializing every row, while a
+  // sparse q (the serving loop's schedule indicator) touches O(#nonzero)
+  // rows instead of O(n).
   std::vector<double> tree_;
+  std::vector<std::size_t> rep_;
   std::vector<double> values_;
   units::ProbabilityVector q_;
   bool has_state_ = false;
+  // Number of links with a nonzero q. When it is small (sparse_eligible),
+  // the update paths skip interior maintenance entirely and recompute the
+  // cached values by folding the nonzero leaves in the exact tree
+  // association via a log-depth scratch stack (combine_sparse) — the same
+  // multiplication tree, so the same bits, at O(#nonzero * n) per refresh
+  // with no O(n^2) tree allocation. tree_dirty_ records that the interior
+  // rows are stale; the first dense update after a sparse phase rebuilds
+  // them from q_ (rebuild_tree).
+  std::size_t nz_count_ = 0;
+  bool tree_dirty_ = true;
   BatchExecutor exec_;
+  // Scratch for update_links' level-by-level ancestor walk (sorted unique
+  // node ids of the current tree level); reused across calls so the batched
+  // path allocates nothing after warm-up.
+  std::vector<std::size_t> touched_scratch_;
+  // combine_sparse scratch: the ascending ids of nonzero-q links, and a
+  // stack pool of ceil(log2(leaves_))+1 rows (one live row per recursion
+  // level). Reused across refreshes — zero-alloc after warm-up.
+  std::vector<model::LinkId> nz_scratch_;
+  std::vector<double> stack_scratch_;
 };
 
 /// Fused batch form of the scalar Theorem-1 per-link values: validates q

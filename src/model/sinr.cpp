@@ -30,9 +30,16 @@ double sinr_nonfading(const Network& net, const LinkSet& active, LinkId i) {
 std::vector<double> sinr_nonfading_all(const Network& net,
                                        const LinkSet& active) {
   std::vector<double> out;
-  out.reserve(active.size());
-  for (LinkId i : active) out.push_back(sinr_nonfading(net, active, i));
+  sinr_nonfading_all(net, active, out);
   return out;
+}
+
+void sinr_nonfading_all(const Network& net, const LinkSet& active,
+                        std::vector<double>& out) {
+  out.resize(active.size());
+  for (std::size_t a = 0; a < active.size(); ++a) {
+    out[a] = sinr_nonfading(net, active, active[a]);
+  }
 }
 
 bool is_feasible(const Network& net, const LinkSet& active,

@@ -25,6 +25,13 @@ namespace raysched::model {
 [[nodiscard]] std::vector<double> sinr_nonfading_all(const Network& net,
                                                      const LinkSet& active);
 
+/// Out-buffer form of sinr_nonfading_all for steady-state callers (the
+/// serve loop's AHM branch): `out` is resized to |active| and overwritten,
+/// so a reused buffer allocates nothing after warm-up. Values are
+/// bit-identical to the returning form.
+void sinr_nonfading_all(const Network& net, const LinkSet& active,
+                        std::vector<double>& out);
+
 /// True iff every link in `active` reaches SINR >= beta when all of `active`
 /// transmit simultaneously (a "feasible set" in the paper's sense).
 [[nodiscard]] bool is_feasible(const Network& net, const LinkSet& active,

@@ -1,18 +1,21 @@
-// raysched: asynchronous max-weight schedule recomputation with a slot
-// deadline.
+// raysched: asynchronous schedule recomputation with a slot deadline.
 //
 // The serving loop must keep draining queues while a schedule recompute
-// (weighted greedy capacity with queue lengths as weights) runs. The agent
-// executes the recompute on its own sim::ThreadPool and hands the result
-// back under a *slot-deterministic* protocol:
+// runs. The agent executes the recompute — delegated to a pluggable
+// SchedulePolicy (serve/schedule_policy.hpp): from-scratch max-weight,
+// incremental max-weight, or the AHM stability algorithm — on its own
+// sim::ThreadPool and hands the result back under a *slot-deterministic*
+// protocol:
 //
-//   * submit(slot, weights, latency_slots) launches the recompute. The
+//   * submit(slot, request, latency_slots) launches the recompute. The
 //     caller adopts the result exactly at slot submit + latency_slots —
 //     never earlier — by calling reap(), which blocks on the pool if the
 //     computation is still running. latency_slots models (and, via the
 //     fault script, inflates) the recompute's service time in slot units,
 //     so adoption timing is independent of wall-clock scheduling and thread
-//     count: trajectories replay bit-identically.
+//     count: trajectories replay bit-identically. Slot sums saturate at
+//     UINT64_MAX (util/saturate.hpp), so scripted delay pile-ups can push a
+//     due slot to "never" but can never wrap it into the past.
 //
 //   * If latency_slots exceeds the service's deadline, the loop declares a
 //     timeout at submit + deadline without reaping, keeps serving from the
@@ -22,8 +25,14 @@
 //
 //   * Input validation is the agent's contract boundary: non-finite or
 //     negative weights (the poisoned-gain injection surface) throw
-//     coded_error{PoisonedInput} *before* the greedy runs, which reap()
+//     coded_error{PoisonedInput} *before* any policy runs, which reap()
 //     converts into a structured failure outcome.
+//
+// The policy object is touched only inside the worker task; tasks are
+// strictly serialized (one in flight, reap() joins the pool), so stateful
+// policies (incremental kernel, AHM probabilities) need no locking. The
+// serving loop reads policy state for snapshots only while nothing is in
+// flight.
 //
 // With threads == 1 the pool runs the task inline in submit() — the
 // degraded synchronous mode for single-core hosts — and by the protocol
@@ -31,12 +40,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
-#include "algorithms/weighted.hpp"
 #include "model/network.hpp"
+#include "serve/schedule_policy.hpp"
 #include "sim/thread_pool.hpp"
 #include "util/error.hpp"
+#include "util/saturate.hpp"
 #include "util/sync.hpp"
 #include "util/thread_annotations.hpp"
 #include "util/units.hpp"
@@ -49,6 +60,7 @@ struct RecomputeOutcome {
   ErrorCode code = ErrorCode::Internal;  ///< meaningful when !ok
   std::string what;                      ///< failure message when !ok
   model::LinkSet schedule;               ///< feasible set when ok
+  double expected_rate = 0.0;  ///< policy diagnostic (reporting only)
   double wall_seconds = 0.0;  ///< measured compute time (reporting only)
 };
 
@@ -57,21 +69,35 @@ class ScheduleAgent {
   /// The agent keeps a reference to `net`; the caller must keep it alive.
   /// threads == 0 selects 2 (one worker + headroom so submit returns
   /// immediately); threads == 1 degrades to inline synchronous execution.
+  /// The policy is built here via make_schedule_policy.
   ScheduleAgent(const model::Network& net, units::Threshold beta,
-                std::size_t threads);
+                std::size_t threads,
+                PolicyKind policy = PolicyKind::MaxWeight,
+                const PolicyOptions& options = {});
 
   [[nodiscard]] bool in_flight() const { return in_flight_; }
   [[nodiscard]] std::uint64_t submit_slot() const { return submit_slot_; }
   [[nodiscard]] std::uint64_t latency_slots() const { return latency_slots_; }
-  /// The slot at which reap() is due: submit_slot + latency_slots.
+  /// The slot at which reap() is due: submit_slot + latency_slots,
+  /// saturating (a delay-fault pile-up means "never", not "already").
   [[nodiscard]] std::uint64_t due_slot() const {
-    return submit_slot_ + latency_slots_;
+    return util::sat_add(submit_slot_, latency_slots_);
   }
 
-  /// Launches a recompute with the given per-link weights (0 for links that
-  /// must not be scheduled). Takes the weights by value on purpose: the agent
-  /// moves them into the async task, which must own its input.
-  void submit(std::uint64_t slot, std::vector<double> weights,  // raysched-mem: allow(RS-M2): sink parameter, moved into the async task
+  /// The policy executing the recomputes. Mutating calls
+  /// (restore_state) are legal only while nothing is in flight.
+  [[nodiscard]] SchedulePolicy& policy() { return *policy_; }
+  [[nodiscard]] const SchedulePolicy& policy() const { return *policy_; }
+
+  /// Launches a recompute. Takes the request by value on purpose: the agent
+  /// moves it into the async task, which must own its input. request.slot
+  /// is overwritten with `slot`.
+  void submit(std::uint64_t slot, ScheduleRequest request,
+              std::uint64_t latency_slots);
+
+  /// Weights-only convenience form (tests, simple drivers): wraps the
+  /// weights in a request with no churn or feedback payload.
+  void submit(std::uint64_t slot, std::vector<double> weights,  // raysched-mem: allow(RS-M2): sink parameter, moved into the request
               std::uint64_t latency_slots);
 
   /// Blocks until the in-flight recompute finished and returns its outcome
@@ -79,19 +105,23 @@ class ScheduleAgent {
   /// outcomes). Throws raysched::error if none is in flight.
   [[nodiscard]] RecomputeOutcome reap();
 
-  /// The in-flight request's inputs, for snapshotting a mid-flight service.
+  /// The in-flight request, for snapshotting a mid-flight service.
+  [[nodiscard]] const ScheduleRequest& pending_request() const;
+  /// The in-flight request's weights (shorthand kept for callers that only
+  /// care about the weight payload).
   [[nodiscard]] const std::vector<double>& pending_weights() const;
 
  private:
   const model::Network& net_;
   units::Threshold beta_;
+  std::unique_ptr<SchedulePolicy> policy_;  // worker-task confined in flight
   sim::ThreadPool pool_;
   // Loop-thread-only bookkeeping: submit()/reap()/accessors are called from
   // the single serving-loop thread, never from the worker task.
   bool in_flight_ = false;
   std::uint64_t submit_slot_ = 0;
   std::uint64_t latency_slots_ = 0;
-  std::vector<double> weights_;  // loop-owned; the task computes on a copy
+  ScheduleRequest request_;  // loop-owned; the task computes on a copy
   // The result is the only loop/worker shared state: the task publishes it
   // under mutex_, reap() consumes it under mutex_ after pool_.wait().
   util::Mutex mutex_;

@@ -1,0 +1,144 @@
+// raysched: pluggable schedule-recompute policies for the serving loop.
+//
+// The ScheduleAgent used to be hard-wired to from-scratch weighted greedy
+// capacity; this header makes the recompute step a strategy object so the
+// serving loop can host the paper-adjacent scheduling algorithms side by
+// side:
+//
+//   max-weight              The exactness fallback: weighted_greedy_capacity
+//                           evaluated from scratch on every request. O(n^2)
+//                           affectance work per recompute — the latency
+//                           pathology BENCH_9 documented (p99/p50 ~ 52x at
+//                           n=4096).
+//   max-weight-incremental  Bit-identical schedules (pinned by
+//                           tests/test_schedule_policy.cpp) from a
+//                           persistent WeightedGreedyOracle that caches the
+//                           affectance matrix once, plus a persistent
+//                           SuccessProbabilityKernel in set_probabilities
+//                           mode that absorbs churn and schedule deltas
+//                           through remove_link/update_links (O((k+log n)n)
+//                           per recompute instead of O(n^2)) and prices each
+//                           adopted schedule as a Theorem-1 expected service
+//                           rate (RecomputeOutcome::expected_rate).
+//   ahm                     The Ásgeirsson–Halldórsson–Mitra stability
+//                           algorithm (algorithms/ahm.hpp): per-link
+//                           adaptive transmission probabilities driven by
+//                           served/failed feedback. History-dependent, so
+//                           its probability vector is the one policy state
+//                           a snapshot must persist.
+//
+// Concurrency contract: a policy instance is owned by one ScheduleAgent and
+// is touched only inside the agent's strictly-serialized worker task (one
+// recompute in flight at a time; reap() joins the pool before the next
+// submit). persisted_state()/restore_state() are loop-thread calls and the
+// serving loop guarantees they never overlap a running task: the service
+// captures persisted_state() *before* submitting, never while in flight.
+//
+// Determinism contract: compute() is a pure function of (request, policy
+// state); the AHM policy's sampling stream is derived from (policy seed,
+// request slot), never from wall clock or call count — so resubmitting the
+// same request after a crash/restore reproduces the same schedule and the
+// same post-compute state, bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algorithms/ahm.hpp"
+#include "algorithms/weighted.hpp"
+#include "core/success_probability_batch.hpp"
+#include "model/network.hpp"
+#include "util/units.hpp"
+
+namespace raysched::serve {
+
+enum class PolicyKind : std::uint8_t {
+  MaxWeight = 0,
+  MaxWeightIncremental = 1,
+  Ahm = 2,
+};
+
+/// Stable lowercase name (snapshot fingerprint + CLI flag values).
+[[nodiscard]] const char* to_string(PolicyKind kind);
+
+/// Parses the names produced by to_string. Throws raysched::error on an
+/// unknown name.
+[[nodiscard]] PolicyKind policy_kind_from_string(const std::string& name);
+
+/// One recompute request. The serving loop owns the accounting that feeds
+/// it; the policy only ever sees this value snapshot, which is also what a
+/// mid-flight snapshot persists so a restore can resubmit it verbatim.
+struct ScheduleRequest {
+  /// The submitting slot; the AHM policy derives its sampling stream from
+  /// it. Filled in by ScheduleAgent::submit.
+  std::uint64_t slot = 0;
+  /// Per-link weights: queue lengths, 0 for links that must not be
+  /// scheduled (inactive, shed, or worthless).
+  std::vector<double> weights;
+  /// Links that went inactive since the previous submit, ascending ids.
+  /// The incremental policy retires them from its kernel state.
+  std::vector<model::LinkId> departed;
+  /// Feedback for the AHM policy: the links of the previously adopted
+  /// schedule that attempted service since the last submit, with a parallel
+  /// flag vector (1 = served at least one packet). Empty for the max-weight
+  /// policies.
+  model::LinkSet feedback_schedule;
+  std::vector<char> feedback_success;
+};
+
+/// What a policy hands back to the agent.
+struct PolicyResult {
+  model::LinkSet schedule;  ///< ascending link ids
+  /// Theorem-1 expected number of successful links if exactly `schedule`
+  /// transmits (incremental policy only; 0 elsewhere). Reporting-only.
+  double expected_rate = 0.0;
+};
+
+/// Strategy interface: one recompute request in, one schedule out.
+class SchedulePolicy {
+ public:
+  virtual ~SchedulePolicy() = default;
+  [[nodiscard]] virtual PolicyKind kind() const = 0;
+
+  /// Computes a schedule. Weights are pre-validated by the agent (finite,
+  /// >= 0). May mutate internal policy state; called only from the agent's
+  /// serialized worker task.
+  [[nodiscard]] virtual PolicyResult compute(const ScheduleRequest& request) = 0;
+
+  /// History-dependent state a snapshot must persist (the AHM probability
+  /// vector); empty when compute() is a pure function of the request (both
+  /// max-weight policies, whose caches are rebuilt deterministically).
+  [[nodiscard]] virtual std::vector<double> persisted_state() const {
+    return {};
+  }
+
+  /// Restores policy state on a freshly constructed policy: `state` is a
+  /// persisted_state() value and `adopted_schedule` the schedule the
+  /// restoring service adopted last (the incremental policy re-seeds its
+  /// kernel from it). Throws raysched::error on a malformed state.
+  virtual void restore_state(const std::vector<double>& state,
+                             const model::LinkSet& adopted_schedule) {
+    (void)state;
+    (void)adopted_schedule;
+  }
+};
+
+/// Policy-construction knobs beyond the kind itself.
+struct PolicyOptions {
+  algorithms::AhmConfig ahm;
+  /// Seed for the AHM sampling streams (the service passes its master
+  /// seed; each request's stream is derived from (seed, request slot)).
+  std::uint64_t seed = 1;
+};
+
+/// Builds a policy bound to (net, beta). The policy copies what it needs;
+/// it does not hold a reference to `net`... except the from-scratch
+/// max-weight policy, which evaluates the network directly — its caller
+/// (the agent) already guarantees the network outlives it.
+[[nodiscard]] std::unique_ptr<SchedulePolicy> make_schedule_policy(
+    PolicyKind kind, const model::Network& net, units::Threshold beta,
+    const PolicyOptions& options = {});
+
+}  // namespace raysched::serve

@@ -7,8 +7,10 @@
 
 #include "core/latency_transform.hpp"
 #include "model/rayleigh.hpp"
+#include "model/sinr.hpp"
 #include "util/fp.hpp"
 #include "util/rng.hpp"
+#include "util/saturate.hpp"
 
 namespace raysched::serve {
 
@@ -41,7 +43,8 @@ Service::Service(model::Network net, const ServeConfig& config)
       config_(config),
       master_(config.master_seed),
       traffic_(config.traffic, net_.size()),
-      agent_(net_, config.beta, config.agent_threads),
+      agent_(net_, config.beta, config.agent_threads, config.policy,
+             PolicyOptions{config.ahm, config.master_seed}),
       monitor_(config.health) {
   require(config_.queue_cap >= 1, "Service: queue_cap must be >= 1");
   require(config_.recompute_period >= 1,
@@ -62,6 +65,9 @@ Service::Service(model::Network net, const ServeConfig& config)
           "Service: snapshot_period needs a snapshot_path");
   queue_.assign(net_.size(), 0);
   active_.assign(net_.size(), 1);  // every link starts joined
+  departed_flags_.assign(net_.size(), 0);
+  feedback_attempt_.assign(net_.size(), 0);
+  feedback_success_.assign(net_.size(), 0);
 }
 
 std::uint64_t Service::total_backlog() const {
@@ -76,10 +82,14 @@ bool Service::conservation_holds() const {
 }
 
 void Service::bump_backoff(std::uint64_t slot) {
-  backoff_slots_ = backoff_slots_ == 0
-                       ? config_.backoff_initial
-                       : std::min(backoff_slots_ * 2, config_.backoff_max);
-  cooldown_until_ = slot + backoff_slots_;
+  // Saturating slot algebra: plain `backoff * 2` wraps to 0 after enough
+  // consecutive timeout windows and a wrapped `slot + backoff` lands in the
+  // past, so the retry loop would spin every slot instead of backing off.
+  backoff_slots_ =
+      backoff_slots_ == 0
+          ? config_.backoff_initial
+          : std::min(util::sat_mul(backoff_slots_, 2), config_.backoff_max);
+  cooldown_until_ = util::sat_add(slot, backoff_slots_);
 }
 
 // raysched:hot
@@ -112,6 +122,7 @@ void Service::apply_churn(std::uint64_t slot,
       std::swap(ids[j], ids[pick]);
       const model::LinkId gone = ids[j];
       active_[gone] = 0;
+      departed_flags_[gone] = 1;
       drops_.churn += queue_[gone];
       queue_[gone] = 0;
     }
@@ -122,6 +133,7 @@ void Service::apply_churn(std::uint64_t slot,
     if (active_[i] != 0) {
       if (leave > 0.0 && rng.bernoulli(leave)) {
         active_[i] = 0;
+        departed_flags_[i] = 1;
         drops_.churn += queue_[i];
         queue_[i] = 0;
       }
@@ -170,7 +182,9 @@ std::uint64_t Service::apply_arrivals(std::uint64_t slot) {
 
 void Service::submit_recompute(std::uint64_t slot) {
   const std::size_t n = net_.size();
-  std::vector<double> weights(n, 0.0);
+  ScheduleRequest request;
+  std::vector<double>& weights = request.weights;
+  weights.assign(n, 0.0);
   std::size_t active_count = 0;
   for (std::size_t i = 0; i < n; ++i) {
     if (active_[i] != 0) {
@@ -186,25 +200,54 @@ void Service::submit_recompute(std::uint64_t slot) {
         1, static_cast<std::size_t>(
                std::ceil(config_.overload_schedule_frac *
                          static_cast<double>(active_count))));
-    std::vector<model::LinkId> heavy;
+    heavy_scratch_.clear();
     for (model::LinkId i = 0; i < n; ++i) {
-      if (active_[i] != 0 && queue_[i] > 0) heavy.push_back(i);
+      if (active_[i] != 0 && queue_[i] > 0) heavy_scratch_.push_back(i);
     }
-    std::sort(heavy.begin(), heavy.end(),
-              [this](model::LinkId a, model::LinkId b) {
-                if (queue_[a] != queue_[b]) return queue_[a] > queue_[b];
-                return a < b;
-              });
-    for (std::size_t r = keep; r < heavy.size(); ++r) {
-      weights[heavy[r]] = 0.0;
+    if (heavy_scratch_.size() > keep) {
+      // Only membership in the top-`keep` matters, not its internal order,
+      // and the comparator is a strict total order — so an O(active)
+      // nth_element partition keeps exactly the set a full sort would.
+      std::nth_element(heavy_scratch_.begin(), heavy_scratch_.begin() + keep,
+                       heavy_scratch_.end(),
+                       [this](model::LinkId a, model::LinkId b) {
+                         if (queue_[a] != queue_[b]) {
+                           return queue_[a] > queue_[b];
+                         }
+                         return a < b;
+                       });
+      for (std::size_t r = keep; r < heavy_scratch_.size(); ++r) {
+        weights[heavy_scratch_[r]] = 0.0;
+      }
     }
   }
+
+  // Churn payload: links gone inactive since the previous submit. The
+  // flags reset here to start tracking the new window — while this request
+  // is in flight they double as the adoption-time pruning set.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (departed_flags_[i] != 0) request.departed.push_back(i);
+  }
+  std::fill(departed_flags_.begin(), departed_flags_.end(), 0);
+  // AHM feedback payload: (id, succeeded) for every link that attempted
+  // service since the previous submit.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (feedback_attempt_[i] != 0) {
+      request.feedback_schedule.push_back(i);
+      request.feedback_success.push_back(feedback_success_[i]);
+    }
+  }
+  std::fill(feedback_attempt_.begin(), feedback_attempt_.end(), 0);
+  std::fill(feedback_success_.begin(), feedback_success_.end(), 0);
 
   inflight_clean_weights_ = weights;
   inflight_poisoned_ = poison_active_;
   inflight_timed_out_ = false;
+  // Captured *before* submit: the exact policy state a kill/restore must
+  // replay the resubmitted request onto. Legal here — nothing in flight.
+  inflight_policy_state_ = agent_.policy().persisted_state();
   const std::uint64_t latency =
-      config_.recompute_latency + pending_extra_latency_;
+      util::sat_add(config_.recompute_latency, pending_extra_latency_);
   pending_extra_latency_ = 0;
   if (inflight_poisoned_) {
     // The scripted poisoned-gain fault: the recompute's weight inputs are
@@ -212,7 +255,7 @@ void Service::submit_recompute(std::uint64_t slot) {
     std::fill(weights.begin(), weights.end(),
               std::numeric_limits<double>::quiet_NaN());
   }
-  agent_.submit(slot, std::move(weights), latency);
+  agent_.submit(slot, std::move(request), latency);
 }
 
 void Service::manage_recompute(std::uint64_t slot) {
@@ -223,7 +266,22 @@ void Service::manage_recompute(std::uint64_t slot) {
         // The deadline already passed and was accounted; the overdue result
         // is discarded no matter what it says.
       } else if (outcome.ok) {
+        // Stale-weights churn fix: links that departed while the recompute
+        // was in flight were weighted by a queue that no longer exists.
+        // Prune them from the adopted schedule instead of serving ghosts
+        // (or re-serving a rejoined link its stale weight earned).
+        std::size_t kept = 0;
+        for (std::size_t a = 0; a < outcome.schedule.size(); ++a) {
+          const model::LinkId id = outcome.schedule[a];
+          if (departed_flags_[id] != 0) {
+            ++drops_.stale_pruned;
+          } else {
+            outcome.schedule[kept++] = id;
+          }
+        }
+        outcome.schedule.resize(kept);
         schedule_ = std::move(outcome.schedule);
+        expected_rate_ = outcome.expected_rate;
         ++schedule_epoch_;
         schedule_stale_ = false;
         monitor_.on_recompute_ok(slot);
@@ -239,8 +297,10 @@ void Service::manage_recompute(std::uint64_t slot) {
       inflight_timed_out_ = false;
       inflight_poisoned_ = false;
       inflight_clean_weights_.clear();
+      inflight_policy_state_.clear();
     } else if (!inflight_timed_out_ &&
-               slot >= agent_.submit_slot() + config_.recompute_deadline) {
+               slot >= util::sat_add(agent_.submit_slot(),
+                                     config_.recompute_deadline)) {
       // Deadline overrun: keep serving from the last good schedule, marked
       // stale, and back off before the next attempt.
       inflight_timed_out_ = true;
@@ -262,13 +322,36 @@ std::uint64_t Service::serve_slot(std::uint64_t slot) {
     return 0;
   }
   std::uint64_t served = 0;
-  if (config_.propagation == core::Propagation::NonFading) {
-    // Scheduled sets are feasibility-certified: every live service
-    // succeeds. Links that left after adoption are skipped.
+  const bool certified = agent_.policy().kind() != PolicyKind::Ahm;
+  if (config_.propagation == core::Propagation::NonFading && certified) {
+    // Max-weight scheduled sets are feasibility-certified: every live
+    // service succeeds. Links that left after adoption are skipped.
     for (model::LinkId i : schedule_) {
       if (active_[i] != 0 && queue_[i] > 0) {
+        feedback_attempt_[i] = 1;
+        feedback_success_[i] = 1;
         --queue_[i];
         ++served;
+      }
+    }
+  } else if (config_.propagation == core::Propagation::NonFading) {
+    // AHM samples sets that carry no feasibility certificate: evaluate the
+    // deterministic SINR of the live subset and serve only links that
+    // clear beta — the success/failure signal the probabilities feed on.
+    model::LinkSet& live = live_scratch_;
+    live.clear();
+    for (model::LinkId i : schedule_) {
+      if (active_[i] != 0 && queue_[i] > 0) live.push_back(i);
+    }
+    if (!live.empty()) {
+      model::sinr_nonfading_all(net_, live, sinr_scratch_);
+      for (std::size_t a = 0; a < live.size(); ++a) {
+        feedback_attempt_[live[a]] = 1;
+        if (sinr_scratch_[a] >= config_.beta.value()) {
+          feedback_success_[live[a]] = 1;
+          --queue_[live[a]];
+          ++served;
+        }
       }
     }
   } else {
@@ -281,7 +364,9 @@ std::uint64_t Service::serve_slot(std::uint64_t slot) {
       util::RngStream rng = master_.derive(kFadingTag, slot);
       model::sinr_rayleigh_all(net_, live, rng, sinr_scratch_);
       for (std::size_t a = 0; a < live.size(); ++a) {
+        feedback_attempt_[live[a]] = 1;
         if (sinr_scratch_[a] >= config_.beta.value()) {
+          feedback_success_[live[a]] = 1;
           --queue_[live[a]];
           ++served;
         }
@@ -327,7 +412,10 @@ ServeReport Service::run(std::uint64_t slots) {
     for (const FaultEvent& event : slot_events_) {
       switch (event.kind) {
         case FaultKind::RecomputeDelay:
-          pending_extra_latency_ += static_cast<std::uint64_t>(event.arg);
+          // Saturating: a scripted pile-up of delay faults must push the
+          // next submit's latency toward "never", not wrap it into "now".
+          pending_extra_latency_ = util::sat_add(
+              pending_extra_latency_, static_cast<std::uint64_t>(event.arg));
           break;
         case FaultKind::PoisonOn:
           poison_active_ = true;
@@ -389,6 +477,7 @@ ServeReport Service::run(std::uint64_t slots) {
   report.recompute_failures = recompute_failures_;
   report.recompute_adoptions = recompute_adoptions_;
   report.schedule_epoch = schedule_epoch_;
+  report.expected_rate = expected_rate_;
   report.health = monitor_.state();
   report.transitions = monitor_.transitions();
   report.trajectory_hash = hash_;
@@ -403,6 +492,7 @@ ServeSnapshot Service::snapshot() const {
   snap.beta = config_.beta.value();
   snap.propagation = to_string(config_.propagation);
   snap.traffic_model = to_string(config_.traffic.model);
+  snap.policy = to_string(agent_.policy().kind());
   snap.next_slot = next_slot_;
   snap.health = monitor_.persisted();
   snap.arrivals_total = arrivals_total_;
@@ -412,6 +502,7 @@ ServeSnapshot Service::snapshot() const {
   snap.dropped_shed = drops_.shed;
   snap.dropped_churn = drops_.churn;
   snap.dropped_quarantine = drops_.quarantine;
+  snap.stale_pruned = drops_.stale_pruned;
   snap.recompute_timeouts = recompute_timeouts_;
   snap.recompute_failures = recompute_failures_;
   snap.recompute_adoptions = recompute_adoptions_;
@@ -421,6 +512,9 @@ ServeSnapshot Service::snapshot() const {
   snap.queues = queue_;
   snap.active = active_;
   snap.burst_state = traffic_.burst_state();
+  snap.departed_flags = departed_flags_;
+  snap.feedback_attempt = feedback_attempt_;
+  snap.feedback_success = feedback_success_;
   if (agent_.in_flight()) {
     snap.recompute.in_flight = true;
     snap.recompute.submit_slot = agent_.submit_slot();
@@ -429,6 +523,16 @@ ServeSnapshot Service::snapshot() const {
     snap.recompute.poisoned = inflight_poisoned_;
     // Always the *clean* copy: the agent's own input may hold NaNs.
     snap.recompute.weights = inflight_clean_weights_;
+    // The loop-owned request copy is safe to read mid-flight; the worker
+    // task computes on its own copy.
+    const ScheduleRequest& pending = agent_.pending_request();
+    snap.recompute.departed = pending.departed;
+    snap.recompute.feedback_schedule = pending.feedback_schedule;
+    snap.recompute.feedback_success = pending.feedback_success;
+    // Pre-submit capture: restore replays the resubmission onto it.
+    snap.policy_state = inflight_policy_state_;
+  } else {
+    snap.policy_state = agent_.policy().persisted_state();
   }
   snap.backoff_slots = backoff_slots_;
   snap.cooldown_until = cooldown_until_;
@@ -453,6 +557,14 @@ void Service::restore(const ServeSnapshot& snap) {
   require_code(snap.traffic_model == to_string(config_.traffic.model),
                ErrorCode::SnapshotFormat,
                "Service::restore: traffic model mismatch");
+  require_code(snap.policy == to_string(agent_.policy().kind()),
+               ErrorCode::SnapshotFormat,
+               "Service::restore: schedule policy mismatch");
+  require_code(snap.departed_flags.size() == net_.size() &&
+                   snap.feedback_attempt.size() == net_.size() &&
+                   snap.feedback_success.size() == net_.size(),
+               ErrorCode::SnapshotFormat,
+               "Service::restore: flag vector size mismatch");
 
   next_slot_ = snap.next_slot;
   monitor_.restore(snap.health);
@@ -463,6 +575,7 @@ void Service::restore(const ServeSnapshot& snap) {
   drops_.shed = snap.dropped_shed;
   drops_.churn = snap.dropped_churn;
   drops_.quarantine = snap.dropped_quarantine;
+  drops_.stale_pruned = snap.stale_pruned;
   recompute_timeouts_ = snap.recompute_timeouts;
   recompute_failures_ = snap.recompute_failures;
   recompute_adoptions_ = snap.recompute_adoptions;
@@ -472,24 +585,41 @@ void Service::restore(const ServeSnapshot& snap) {
   queue_ = snap.queues;
   active_ = snap.active;
   traffic_.set_burst_state(snap.burst_state);
+  departed_flags_ = snap.departed_flags;
+  feedback_attempt_ = snap.feedback_attempt;
+  feedback_success_ = snap.feedback_success;
   backoff_slots_ = snap.backoff_slots;
   cooldown_until_ = snap.cooldown_until;
   pending_extra_latency_ = snap.pending_extra_latency;
   poison_active_ = snap.poison_active;
+
+  // Rehydrate the policy before any resubmission: the persisted state is
+  // the pre-submit capture, so replaying the request below reproduces the
+  // exact post-submit policy state of the killed service.
+  try {
+    agent_.policy().restore_state(snap.policy_state, snap.schedule);
+  } catch (const error& e) {
+    throw coded_error(ErrorCode::SnapshotFormat, e.what());
+  }
 
   if (snap.recompute.in_flight) {
     // Resubmit the interrupted recompute with its original submit slot and
     // latency, so the adoption slot — and thus the trajectory — is
     // preserved. A poisoned request is re-corrupted before submission.
     inflight_clean_weights_ = snap.recompute.weights;
+    inflight_policy_state_ = snap.policy_state;
     inflight_timed_out_ = snap.recompute.timed_out;
     inflight_poisoned_ = snap.recompute.poisoned;
-    std::vector<double> weights = snap.recompute.weights;
+    ScheduleRequest request;
+    request.weights = snap.recompute.weights;
+    request.departed = snap.recompute.departed;
+    request.feedback_schedule = snap.recompute.feedback_schedule;
+    request.feedback_success = snap.recompute.feedback_success;
     if (inflight_poisoned_) {
-      std::fill(weights.begin(), weights.end(),
+      std::fill(request.weights.begin(), request.weights.end(),
                 std::numeric_limits<double>::quiet_NaN());
     }
-    agent_.submit(snap.recompute.submit_slot, std::move(weights),
+    agent_.submit(snap.recompute.submit_slot, std::move(request),
                   snap.recompute.latency_slots);
   }
 }

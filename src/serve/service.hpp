@@ -8,6 +8,12 @@
 //     deadline. On overrun or failure (poisoned gains, contract violation)
 //     the loop keeps serving from the last good schedule — marked stale —
 //     and retries with exponential backoff in slots.
+//   * Recomputes are delegated to a pluggable SchedulePolicy
+//     (serve/schedule_policy.hpp): from-scratch max-weight, incremental
+//     max-weight (bit-identical schedules, persistent kernel), or the AHM
+//     stability algorithm. Links that depart while a recompute is in
+//     flight are pruned from the result at adoption (stale-weight fix),
+//     counted per link in DropStats::stale_pruned.
 //   * Queues are bounded with explicit admission control. Every lost packet
 //     is counted in a DropStats bucket (capacity / shed / churn /
 //     quarantine); the conservation invariant
@@ -39,6 +45,7 @@
 #include <string>
 #include <vector>
 
+#include "algorithms/ahm.hpp"
 #include "core/latency_transform.hpp"
 #include "model/network.hpp"
 #include "serve/fault_script.hpp"
@@ -78,6 +85,11 @@ struct ServeConfig {
   /// Threads for the ScheduleAgent pool; 1 = inline synchronous recompute.
   std::size_t agent_threads = 1;
 
+  /// Schedule policy executing the recomputes (serve/schedule_policy.hpp).
+  PolicyKind policy = PolicyKind::MaxWeight;
+  /// AHM parameters; consulted only when policy == PolicyKind::Ahm.
+  algorithms::AhmConfig ahm;
+
   /// Per-slot membership churn: an active link leaves with churn_leave, an
   /// inactive link rejoins with churn_join. A leaving link's backlog is
   /// dropped and counted (churn drops).
@@ -103,6 +115,11 @@ struct DropStats {
   std::uint64_t shed = 0;        ///< overload admission threshold
   std::uint64_t churn = 0;       ///< backlog of links that left
   std::uint64_t quarantine = 0;  ///< arrivals refused while quarantined
+  /// Schedule entries pruned at adoption because the link departed while
+  /// the recompute was in flight (the stale-weights churn bug). Counts
+  /// pruned *links*, not packets — their backlog was already booked under
+  /// `churn` when the link left — so it is deliberately NOT in total().
+  std::uint64_t stale_pruned = 0;
   [[nodiscard]] std::uint64_t total() const {
     return capacity + shed + churn + quarantine;
   }
@@ -133,6 +150,9 @@ struct ServeReport {
   std::uint64_t recompute_failures = 0;
   std::uint64_t recompute_adoptions = 0;
   std::uint64_t schedule_epoch = 0;
+  /// Policy diagnostic from the last adopted schedule (reporting only;
+  /// not part of the bit-identity contract and reset by restore()).
+  double expected_rate = 0.0;
   HealthState health = HealthState::Healthy;
   std::vector<HealthTransition> transitions;  ///< since construction/restore
   std::vector<SlotDigest> digests;            ///< this run() call only
@@ -200,10 +220,24 @@ class Service {
   std::uint64_t schedule_epoch_ = 0;
   bool schedule_stale_ = false;
 
+  // Churn/feedback accumulators since the last submit (size n). departed_
+  // flags_ doubles as the next request's churn payload and — while a
+  // recompute is in flight — the adoption-time stale-schedule pruning set.
+  std::vector<char> departed_flags_;
+  std::vector<char> feedback_attempt_;  // scheduled with demand this window
+  std::vector<char> feedback_success_;  // served at least one packet
+  double expected_rate_ = 0.0;  // last adopted schedule's diagnostic
+  // submit_recompute scratch for the overload shed partition, reused across
+  // submits (zero-alloc after warm-up).
+  std::vector<model::LinkId> heavy_scratch_;
+
   // Recompute bookkeeping mirrored into snapshots.
   bool inflight_timed_out_ = false;
   bool inflight_poisoned_ = false;
   std::vector<double> inflight_clean_weights_;
+  /// Policy state captured immediately *before* the in-flight submit, so a
+  /// snapshot + restore can replay the resubmitted request onto it.
+  std::vector<double> inflight_policy_state_;
   std::uint64_t backoff_slots_ = 0;
   std::uint64_t cooldown_until_ = 0;
 

@@ -14,7 +14,10 @@ namespace raysched::serve {
 
 namespace {
 
-constexpr int kVersion = 1;
+// Version 2 (PR 10): policy fingerprint line, the stale_pruned drop
+// counter, the departed/attempt/success flag vectors, the in-flight
+// request's departed + feedback payloads, and the policy-state vector.
+constexpr int kVersion = 2;
 
 // Bound every size field against corrupted/hostile input: no deployment
 // serves more links than this, and schedules/weights are <= n.
@@ -63,8 +66,15 @@ void write_snapshot(std::ostream& os, const ServeSnapshot& snap) {
   require_code(snap.burst_state.empty() || snap.burst_state.size() == n,
                ErrorCode::SnapshotFormat,
                "write_snapshot: burst state must be empty or size n");
+  require_code(snap.departed_flags.size() == n &&
+                   snap.feedback_attempt.size() == n &&
+                   snap.feedback_success.size() == n,
+               ErrorCode::SnapshotFormat,
+               "write_snapshot: flag vectors must have size n");
   require_code(std::isfinite(snap.beta), ErrorCode::SnapshotFormat,
                "write_snapshot: beta must be finite");
+  require_code(!snap.policy.empty(), ErrorCode::SnapshotFormat,
+               "write_snapshot: policy name must be set");
 
   os << std::setprecision(std::numeric_limits<double>::max_digits10);
   os << "raysched-serve-snapshot " << kVersion << "\n";
@@ -73,6 +83,7 @@ void write_snapshot(std::ostream& os, const ServeSnapshot& snap) {
   os << "beta " << snap.beta << "\n";
   os << "propagation " << snap.propagation << "\n";
   os << "traffic " << snap.traffic_model << "\n";
+  os << "policy " << snap.policy << "\n";
   os << "slot " << snap.next_slot << "\n";
   os << "health " << to_string(snap.health.state) << " "
      << snap.health.poison_streak << " " << snap.health.clean_slots << " "
@@ -81,7 +92,8 @@ void write_snapshot(std::ostream& os, const ServeSnapshot& snap) {
   os << "counters " << snap.arrivals_total << " " << snap.admitted_total
      << " " << snap.served_total << "\n";
   os << "drops " << snap.dropped_capacity << " " << snap.dropped_shed << " "
-     << snap.dropped_churn << " " << snap.dropped_quarantine << "\n";
+     << snap.dropped_churn << " " << snap.dropped_quarantine << " "
+     << snap.stale_pruned << "\n";
   os << "recompute-stats " << snap.recompute_timeouts << " "
      << snap.recompute_failures << " " << snap.recompute_adoptions << "\n";
   os << "epoch " << snap.schedule_epoch << " stale "
@@ -99,6 +111,15 @@ void write_snapshot(std::ostream& os, const ServeSnapshot& snap) {
   os << "active " << n << " :";
   for (char a : snap.active) os << " " << (a ? 1 : 0);
   os << "\n";
+  os << "departed " << n << " :";
+  for (char d : snap.departed_flags) os << " " << (d ? 1 : 0);
+  os << "\n";
+  os << "attempt " << n << " :";
+  for (char a : snap.feedback_attempt) os << " " << (a ? 1 : 0);
+  os << "\n";
+  os << "success " << n << " :";
+  for (char s : snap.feedback_success) os << " " << (s ? 1 : 0);
+  os << "\n";
   os << "burst " << snap.burst_state.size() << " :";
   for (char b : snap.burst_state) os << " " << (b ? 1 : 0);
   os << "\n";
@@ -106,6 +127,10 @@ void write_snapshot(std::ostream& os, const ServeSnapshot& snap) {
     require_code(snap.recompute.weights.size() == n,
                  ErrorCode::SnapshotFormat,
                  "write_snapshot: in-flight weights must have size n");
+    require_code(snap.recompute.feedback_success.size() ==
+                     snap.recompute.feedback_schedule.size(),
+                 ErrorCode::SnapshotFormat,
+                 "write_snapshot: in-flight feedback flags must align");
     os << "inflight 1 " << snap.recompute.submit_slot << " "
        << snap.recompute.latency_slots << " "
        << (snap.recompute.timed_out ? 1 : 0) << " "
@@ -119,6 +144,24 @@ void write_snapshot(std::ostream& os, const ServeSnapshot& snap) {
       os << " " << w;
     }
     os << "\n";
+    os << "inflight-departed " << snap.recompute.departed.size() << " :";
+    for (std::size_t id : snap.recompute.departed) {
+      require_code(id < n, ErrorCode::SnapshotFormat,
+                   "write_snapshot: in-flight departed id out of range");
+      os << " " << id;
+    }
+    os << "\n";
+    // Feedback as (id, success) pairs, aligned by construction.
+    os << "inflight-feedback " << snap.recompute.feedback_schedule.size()
+       << " :";
+    for (std::size_t k = 0; k < snap.recompute.feedback_schedule.size();
+         ++k) {
+      const std::size_t id = snap.recompute.feedback_schedule[k];
+      require_code(id < n, ErrorCode::SnapshotFormat,
+                   "write_snapshot: in-flight feedback id out of range");
+      os << " " << id << " " << (snap.recompute.feedback_success[k] ? 1 : 0);
+    }
+    os << "\n";
   } else {
     os << "inflight 0\n";
   }
@@ -126,6 +169,13 @@ void write_snapshot(std::ostream& os, const ServeSnapshot& snap) {
      << "\n";
   os << "faultstate " << snap.pending_extra_latency << " "
      << (snap.poison_active ? 1 : 0) << "\n";
+  os << "policy-state " << snap.policy_state.size() << " :";
+  for (double v : snap.policy_state) {
+    require_code(std::isfinite(v), ErrorCode::SnapshotFormat,
+                 "write_snapshot: policy state must be finite");
+    os << " " << v;
+  }
+  os << "\n";
   os << "end\n";
   require_code(static_cast<bool>(os), ErrorCode::SnapshotIo,
                "write_snapshot: stream write failed");
@@ -157,6 +207,10 @@ ServeSnapshot read_snapshot(std::istream& is) {
   is >> snap.traffic_model;
   require_code(static_cast<bool>(is) && !snap.traffic_model.empty(),
                ErrorCode::SnapshotFormat, "read_snapshot: bad traffic model");
+  expect_token(is, "policy");
+  is >> snap.policy;
+  require_code(static_cast<bool>(is) && !snap.policy.empty(),
+               ErrorCode::SnapshotFormat, "read_snapshot: bad policy name");
   expect_token(is, "slot");
   snap.next_slot = read_u64(is, "slot");
   expect_token(is, "health");
@@ -185,6 +239,7 @@ ServeSnapshot read_snapshot(std::istream& is) {
   snap.dropped_shed = read_u64(is, "shed drops");
   snap.dropped_churn = read_u64(is, "churn drops");
   snap.dropped_quarantine = read_u64(is, "quarantine drops");
+  snap.stale_pruned = read_u64(is, "stale-pruned count");
   expect_token(is, "recompute-stats");
   snap.recompute_timeouts = read_u64(is, "recompute timeouts");
   snap.recompute_failures = read_u64(is, "recompute failures");
@@ -223,6 +278,31 @@ ServeSnapshot read_snapshot(std::istream& is) {
   for (std::size_t i = 0; i < n; ++i) {
     snap.active.push_back(read_flag(is, "active flag") ? 1 : 0);
   }
+  expect_token(is, "departed");
+  require_code(read_u64(is, "departed count") == n,
+               ErrorCode::SnapshotFormat,
+               "read_snapshot: departed count != n");
+  expect_token(is, ":");
+  snap.departed_flags.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    snap.departed_flags.push_back(read_flag(is, "departed flag") ? 1 : 0);
+  }
+  expect_token(is, "attempt");
+  require_code(read_u64(is, "attempt count") == n, ErrorCode::SnapshotFormat,
+               "read_snapshot: attempt count != n");
+  expect_token(is, ":");
+  snap.feedback_attempt.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    snap.feedback_attempt.push_back(read_flag(is, "attempt flag") ? 1 : 0);
+  }
+  expect_token(is, "success");
+  require_code(read_u64(is, "success count") == n, ErrorCode::SnapshotFormat,
+               "read_snapshot: success count != n");
+  expect_token(is, ":");
+  snap.feedback_success.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    snap.feedback_success.push_back(read_flag(is, "success flag") ? 1 : 0);
+  }
   expect_token(is, "burst");
   {
     const std::uint64_t m = read_u64(is, "burst count");
@@ -256,6 +336,38 @@ ServeSnapshot read_snapshot(std::istream& is) {
                    "read_snapshot: weights must be non-negative");
       snap.recompute.weights.push_back(w);
     }
+    expect_token(is, "inflight-departed");
+    {
+      const std::uint64_t k = read_u64(is, "inflight departed count");
+      require_code(k <= n, ErrorCode::SnapshotFormat,
+                   "read_snapshot: inflight departed larger than n");
+      expect_token(is, ":");
+      snap.recompute.departed.reserve(static_cast<std::size_t>(k));
+      for (std::uint64_t i = 0; i < k; ++i) {
+        const std::uint64_t id = read_u64(is, "inflight departed id");
+        require_code(id < n, ErrorCode::SnapshotFormat,
+                     "read_snapshot: inflight departed id out of range");
+        snap.recompute.departed.push_back(static_cast<std::size_t>(id));
+      }
+    }
+    expect_token(is, "inflight-feedback");
+    {
+      const std::uint64_t k = read_u64(is, "inflight feedback count");
+      require_code(k <= n, ErrorCode::SnapshotFormat,
+                   "read_snapshot: inflight feedback larger than n");
+      expect_token(is, ":");
+      snap.recompute.feedback_schedule.reserve(static_cast<std::size_t>(k));
+      snap.recompute.feedback_success.reserve(static_cast<std::size_t>(k));
+      for (std::uint64_t i = 0; i < k; ++i) {
+        const std::uint64_t id = read_u64(is, "inflight feedback id");
+        require_code(id < n, ErrorCode::SnapshotFormat,
+                     "read_snapshot: inflight feedback id out of range");
+        snap.recompute.feedback_schedule.push_back(
+            static_cast<std::size_t>(id));
+        snap.recompute.feedback_success.push_back(
+            read_flag(is, "inflight feedback flag") ? 1 : 0);
+      }
+    }
   }
   expect_token(is, "backoff");
   snap.backoff_slots = read_u64(is, "backoff slots");
@@ -263,6 +375,17 @@ ServeSnapshot read_snapshot(std::istream& is) {
   expect_token(is, "faultstate");
   snap.pending_extra_latency = read_u64(is, "pending extra latency");
   snap.poison_active = read_flag(is, "poison active flag");
+  expect_token(is, "policy-state");
+  {
+    const std::uint64_t m = read_u64(is, "policy state size");
+    require_code(m <= kMaxLinks, ErrorCode::SnapshotFormat,
+                 "read_snapshot: implausible policy state size");
+    expect_token(is, ":");
+    snap.policy_state.reserve(static_cast<std::size_t>(m));
+    for (std::uint64_t i = 0; i < m; ++i) {
+      snap.policy_state.push_back(read_double(is, "policy state value"));
+    }
+  }
   expect_token(is, "end");
   return snap;
 }

@@ -48,6 +48,13 @@ struct RecomputeSnapshot {
   bool poisoned = false;
   /// Clean (pre-poison) weight inputs; always finite, so they serialize.
   std::vector<double> weights;
+  /// The request's churn payload: links that had departed since the submit
+  /// before this one (ScheduleRequest::departed), resubmitted verbatim.
+  std::vector<std::size_t> departed;
+  /// The request's AHM feedback payload (ScheduleRequest::feedback_*):
+  /// parallel id/flag vectors, resubmitted verbatim.
+  std::vector<std::size_t> feedback_schedule;
+  std::vector<char> feedback_success;
 };
 
 /// Complete behavior-bearing service state between two slots.
@@ -58,6 +65,9 @@ struct ServeSnapshot {
   double beta = 0.0;
   std::string propagation;
   std::string traffic_model;
+  /// Schedule policy name (serve/schedule_policy.hpp); part of the
+  /// fingerprint because policy state is not portable across policies.
+  std::string policy;
 
   /// The next slot the restored service will execute.
   std::uint64_t next_slot = 0;
@@ -74,6 +84,10 @@ struct ServeSnapshot {
   std::uint64_t dropped_shed = 0;
   std::uint64_t dropped_churn = 0;
   std::uint64_t dropped_quarantine = 0;
+  /// Schedule entries pruned at adoption because their link departed while
+  /// the recompute was in flight. Counts links, not packets — excluded from
+  /// the packet-conservation total (see DropStats::stale_pruned).
+  std::uint64_t stale_pruned = 0;
   std::uint64_t recompute_timeouts = 0;
   std::uint64_t recompute_failures = 0;
   std::uint64_t recompute_adoptions = 0;
@@ -87,6 +101,20 @@ struct ServeSnapshot {
   std::vector<std::uint64_t> queues;  ///< per-link backlog, size n
   std::vector<char> active;           ///< per-link membership, size n
   std::vector<char> burst_state;      ///< traffic modulator (may be empty)
+
+  /// Links that went inactive since the last submit (size n flags): the
+  /// source of the next request's departed list, and — while a recompute is
+  /// in flight — the adoption-time stale-schedule pruning set.
+  std::vector<char> departed_flags;
+  /// AHM feedback accumulators since the last submit (size n flags):
+  /// attempted = scheduled with demand; succeeded = served >= 1 packet.
+  std::vector<char> feedback_attempt;
+  std::vector<char> feedback_success;
+  /// History-dependent policy state (SchedulePolicy::persisted_state): the
+  /// AHM probability vector; empty for the max-weight policies. When a
+  /// recompute is in flight this is the *pre-submit* state, so restore can
+  /// replay the resubmitted request onto it.
+  std::vector<double> policy_state;
 
   RecomputeSnapshot recompute;
 

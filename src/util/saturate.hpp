@@ -1,0 +1,38 @@
+// raysched: saturating unsigned arithmetic for slot counters.
+//
+// The serving loop measures time in 64-bit slot units and composes them
+// arithmetically: exponential backoff doubles a delay, scripted delay
+// faults add latency on top of latency, and every deadline is
+// `base + offset`. Plain uint64 arithmetic wraps on overflow — a backoff
+// of 2^63 slots doubled becomes 0, turning "wait practically forever"
+// into "retry immediately", and a wrapped deadline `slot + delay` lies in
+// the past, so the retry loop spins every slot (the bug fixed in PR 10).
+// Slot quantities never need the top of the range to mean anything other
+// than "beyond the end of time", so saturation at UINT64_MAX is the
+// correct algebra: once a delay or deadline pins to the maximum it stays
+// there, and every comparison against it behaves like +infinity.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace raysched::util {
+
+/// a + b, clamped to UINT64_MAX on overflow.
+[[nodiscard]] constexpr std::uint64_t sat_add(std::uint64_t a,
+                                              std::uint64_t b) {
+  const std::uint64_t sum = a + b;
+  return sum < a ? std::numeric_limits<std::uint64_t>::max() : sum;
+}
+
+/// a * b, clamped to UINT64_MAX on overflow.
+[[nodiscard]] constexpr std::uint64_t sat_mul(std::uint64_t a,
+                                              std::uint64_t b) {
+  if (a == 0 || b == 0) return 0;
+  if (a > std::numeric_limits<std::uint64_t>::max() / b) {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  return a * b;
+}
+
+}  // namespace raysched::util

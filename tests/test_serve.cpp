@@ -298,6 +298,7 @@ ServeSnapshot sample_snapshot() {
   snap.beta = 2.5;
   snap.propagation = "nonfading";
   snap.traffic_model = "bursty";
+  snap.policy = "ahm";
   snap.next_slot = 1234;
   snap.health.state = HealthState::Degraded;
   snap.health.poison_streak = 1;
@@ -309,6 +310,7 @@ ServeSnapshot sample_snapshot() {
   snap.dropped_shed = 3;
   snap.dropped_churn = 2;
   snap.dropped_quarantine = 1;
+  snap.stale_pruned = 9;
   snap.recompute_timeouts = 5;
   snap.recompute_failures = 6;
   snap.recompute_adoptions = 70;
@@ -318,12 +320,19 @@ ServeSnapshot sample_snapshot() {
   snap.queues = {50, 30, 10};
   snap.active = {1, 0, 1};
   snap.burst_state = {0, 1, 0};
+  snap.departed_flags = {0, 1, 0};
+  snap.feedback_attempt = {1, 0, 1};
+  snap.feedback_success = {1, 0, 0};
+  snap.policy_state = {0.25, 0.5, 0.015625};
   snap.recompute.in_flight = true;
   snap.recompute.submit_slot = 1230;
   snap.recompute.latency_slots = 12;
   snap.recompute.timed_out = true;
   snap.recompute.poisoned = true;
   snap.recompute.weights = {50.0, 0.0, 10.0};
+  snap.recompute.departed = {1};
+  snap.recompute.feedback_schedule = {0, 2};
+  snap.recompute.feedback_success = {1, 0};
   snap.backoff_slots = 8;
   snap.cooldown_until = 1240;
   snap.pending_extra_latency = 3;
@@ -341,6 +350,7 @@ TEST(ServeSnapshot, RoundTripsEveryField) {
   EXPECT_DOUBLE_EQ(back.beta, snap.beta);
   EXPECT_EQ(back.propagation, snap.propagation);
   EXPECT_EQ(back.traffic_model, snap.traffic_model);
+  EXPECT_EQ(back.policy, snap.policy);
   EXPECT_EQ(back.next_slot, snap.next_slot);
   EXPECT_EQ(back.health.state, snap.health.state);
   EXPECT_EQ(back.health.poison_streak, snap.health.poison_streak);
@@ -351,18 +361,28 @@ TEST(ServeSnapshot, RoundTripsEveryField) {
   EXPECT_EQ(back.dropped_shed, snap.dropped_shed);
   EXPECT_EQ(back.dropped_churn, snap.dropped_churn);
   EXPECT_EQ(back.dropped_quarantine, snap.dropped_quarantine);
+  EXPECT_EQ(back.stale_pruned, snap.stale_pruned);
   EXPECT_EQ(back.schedule_epoch, snap.schedule_epoch);
   EXPECT_EQ(back.schedule_stale, snap.schedule_stale);
   EXPECT_EQ(back.schedule, snap.schedule);
   EXPECT_EQ(back.queues, snap.queues);
   EXPECT_EQ(back.active, snap.active);
   EXPECT_EQ(back.burst_state, snap.burst_state);
+  EXPECT_EQ(back.departed_flags, snap.departed_flags);
+  EXPECT_EQ(back.feedback_attempt, snap.feedback_attempt);
+  EXPECT_EQ(back.feedback_success, snap.feedback_success);
+  EXPECT_EQ(back.policy_state, snap.policy_state);
   EXPECT_TRUE(back.recompute.in_flight);
   EXPECT_EQ(back.recompute.submit_slot, snap.recompute.submit_slot);
   EXPECT_EQ(back.recompute.latency_slots, snap.recompute.latency_slots);
   EXPECT_EQ(back.recompute.timed_out, snap.recompute.timed_out);
   EXPECT_EQ(back.recompute.poisoned, snap.recompute.poisoned);
   EXPECT_EQ(back.recompute.weights, snap.recompute.weights);
+  EXPECT_EQ(back.recompute.departed, snap.recompute.departed);
+  EXPECT_EQ(back.recompute.feedback_schedule,
+            snap.recompute.feedback_schedule);
+  EXPECT_EQ(back.recompute.feedback_success,
+            snap.recompute.feedback_success);
   EXPECT_EQ(back.backoff_slots, snap.backoff_slots);
   EXPECT_EQ(back.cooldown_until, snap.cooldown_until);
   EXPECT_EQ(back.pending_extra_latency, snap.pending_extra_latency);
@@ -394,10 +414,20 @@ TEST(ServeSnapshot, RejectsCorruptedInput) {
     std::istringstream is(bad);
     EXPECT_THROW((void)read_snapshot(is), coded_error);
   }
-  // Version bumps are refused rather than misparsed.
+  // Version bumps are refused rather than misparsed. The header is the
+  // first line, so its " 2\n" is the first occurrence in the text.
   {
     std::string bad = text;
-    bad.replace(bad.find(" 1\n"), 3, " 9\n");
+    bad.replace(bad.find(" 2\n"), 3, " 9\n");
+    std::istringstream is(bad);
+    EXPECT_THROW((void)read_snapshot(is), coded_error);
+  }
+  // An in-flight departed id >= n must be rejected.
+  {
+    std::string bad = text;
+    const auto pos = bad.find("inflight-departed 1 : 1");
+    ASSERT_NE(pos, std::string::npos);
+    bad.replace(pos, 23, "inflight-departed 1 : 7");
     std::istringstream is(bad);
     EXPECT_THROW((void)read_snapshot(is), coded_error);
   }

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -306,6 +307,196 @@ TEST(ServeFaults, RayleighServiceIsDeterministicToo) {
   EXPECT_EQ(ra.trajectory_hash, rb.trajectory_hash);
   EXPECT_TRUE(ra.conservation_ok);
   EXPECT_GT(ra.served, 0u);
+}
+
+TEST(ServeFaults, MaxWeightPoliciesServeBitIdenticalTrajectories) {
+  // The incremental policy replays the from-scratch comparator over cached
+  // affectance, so the two max-weight variants must adopt byte-identical
+  // schedules — and therefore serve byte-identical trajectories — through
+  // the full fault gauntlet (delay, poison, churn burst).
+  ServeConfig config = base_config();
+  config.faults = FaultScript::parse(kFaultSpec);
+  config.policy = PolicyKind::MaxWeight;
+  Service scratch(serve_network(), config);
+  const ServeReport rs = scratch.run(400);
+  config.policy = PolicyKind::MaxWeightIncremental;
+  Service incremental(serve_network(), config);
+  const ServeReport ri = incremental.run(400);
+  EXPECT_EQ(ri.trajectory_hash, rs.trajectory_hash);
+  EXPECT_EQ(ri.served, rs.served);
+  EXPECT_EQ(ri.arrivals, rs.arrivals);
+  EXPECT_EQ(ri.drops.total(), rs.drops.total());
+  expect_same_digests(ri.digests, rs.digests);
+  EXPECT_TRUE(ri.conservation_ok);
+  // Only the incremental policy carries the kernel diagnostic; the
+  // from-scratch policy reports none. The diagnostic never enters the
+  // digests, so the hashes above still match.
+  EXPECT_GT(ri.expected_rate, 0.0);
+  EXPECT_EQ(rs.expected_rate, 0.0);
+}
+
+TEST(ServeFaults, IncrementalKillRestoreReplaysBitIdentically) {
+  // The kill/restore scenario again, with the incremental policy holding
+  // live kernel state across the crash — at every agent thread count. The
+  // restore rebuilds the kernel from the adopted schedule and replays the
+  // resubmitted request, so the trajectory must stay byte-identical.
+  const std::string path =
+      ::testing::TempDir() + "raysched_serve_inc_kill_restore.snap";
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    SCOPED_TRACE(::testing::Message() << "threads=" << threads);
+    ServeConfig clean = base_config();
+    clean.faults = FaultScript::parse(kFaultSpec);
+    clean.policy = PolicyKind::MaxWeightIncremental;
+    clean.agent_threads = threads;
+
+    Service a(serve_network(), clean);
+    const ServeReport full = a.run(420);
+    ASSERT_FALSE(full.crashed);
+
+    ServeConfig crashing = clean;
+    crashing.faults =
+        FaultScript::parse(std::string(kFaultSpec) + ",301:crash");
+    crashing.snapshot_path = path;
+    crashing.snapshot_period = 149;
+    Service b(serve_network(), crashing);
+    const ServeReport until_crash = b.run(420);
+    ASSERT_TRUE(until_crash.crashed);
+
+    const ServeSnapshot snap = load_snapshot(path);
+    ASSERT_EQ(snap.next_slot, 298u);
+    ASSERT_TRUE(snap.recompute.in_flight);
+    EXPECT_EQ(snap.policy, "max-weight-incremental");
+    // Incremental persisted state is empty by design: the kernel rebuilds
+    // deterministically from the adopted schedule on restore.
+    EXPECT_TRUE(snap.policy_state.empty());
+    Service c(serve_network(), clean);
+    c.restore(snap);
+    const ServeReport replay = c.run(420 - 298);
+
+    ASSERT_EQ(full.digests.size(), 420u);
+    const std::vector<SlotDigest> tail(full.digests.begin() + 298,
+                                       full.digests.end());
+    expect_same_digests(replay.digests, tail);
+    EXPECT_EQ(replay.served, full.served);
+    EXPECT_EQ(replay.drops.stale_pruned, full.drops.stale_pruned);
+    EXPECT_TRUE(replay.conservation_ok);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ServeFaults, AhmKillRestoreReplaysBitIdentically) {
+  // AHM's transmission probabilities are the whole policy state; the
+  // snapshot persists the pre-submit capture and the restore replays the
+  // resubmitted feedback onto it, so the sampled trajectory must match.
+  const std::string path =
+      ::testing::TempDir() + "raysched_serve_ahm_kill_restore.snap";
+  ServeConfig clean = base_config();
+  clean.faults = FaultScript::parse(kFaultSpec);
+  clean.policy = PolicyKind::Ahm;
+
+  Service a(serve_network(), clean);
+  const ServeReport full = a.run(420);
+  ASSERT_FALSE(full.crashed);
+  EXPECT_GT(full.served, 0u);
+
+  ServeConfig crashing = clean;
+  crashing.faults =
+      FaultScript::parse(std::string(kFaultSpec) + ",301:crash");
+  crashing.snapshot_path = path;
+  crashing.snapshot_period = 149;
+  Service b(serve_network(), crashing);
+  const ServeReport until_crash = b.run(420);
+  ASSERT_TRUE(until_crash.crashed);
+
+  const ServeSnapshot snap = load_snapshot(path);
+  ASSERT_EQ(snap.next_slot, 298u);
+  EXPECT_EQ(snap.policy, "ahm");
+  ASSERT_EQ(snap.policy_state.size(), serve_network().size());
+  Service c(serve_network(), clean);
+  c.restore(snap);
+  const ServeReport replay = c.run(420 - 298);
+
+  const std::vector<SlotDigest> tail(full.digests.begin() + 298,
+                                     full.digests.end());
+  expect_same_digests(replay.digests, tail);
+  EXPECT_EQ(replay.served, full.served);
+  EXPECT_TRUE(replay.conservation_ok);
+  std::remove(path.c_str());
+}
+
+TEST(ServeFaults, ChurnDuringInflightRecomputePrunesStaleLinks) {
+  // Satellite-1 regression: a delay fault stretches the slot-40 recompute
+  // to latency 5 (due slot 45, inside the 6-slot deadline), and a churn
+  // burst at slot 42 removes half the links mid-flight. The adopted
+  // schedule was weighted against queues that no longer exist; adoption
+  // must prune the departed links and account each in the drop taxonomy.
+  ServeConfig config = base_config();
+  config.traffic.mean_rate = 0.8;  // backlog everywhere → wide schedule
+  config.faults = FaultScript::parse("40:delay:3,42:churn-burst:0.5");
+  std::uint64_t reference_hash = 0;
+  std::uint64_t reference_pruned = 0;
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2}}) {
+    config.agent_threads = threads;
+    Service service(serve_network(), config);
+    const ServeReport report = service.run(200);
+    EXPECT_TRUE(report.conservation_ok) << "threads=" << threads;
+    EXPECT_GT(report.drops.stale_pruned, 0u);
+    // Pruned entries count links, not packets: conservation stays exact
+    // without them.
+    EXPECT_EQ(report.arrivals,
+              report.served + report.backlog + report.drops.total());
+    if (threads == 1) {
+      reference_hash = report.trajectory_hash;
+      reference_pruned = report.drops.stale_pruned;
+      continue;
+    }
+    EXPECT_EQ(report.trajectory_hash, reference_hash);
+    EXPECT_EQ(report.drops.stale_pruned, reference_pruned);
+  }
+}
+
+TEST(ServeFaults, DelayPileUpSaturatesInsteadOfWrapping) {
+  // Satellite-2 regression: two scripted 1e19-slot delays sum past 2^64.
+  // Wrapping arithmetic would alias the pile-up to a *small* latency and
+  // quietly adopt the result; saturation pins it at the "never" horizon,
+  // where the deadline machinery takes over.
+  ServeConfig config = base_config();
+  config.faults = FaultScript::parse("9:delay:1e19,10:delay:1e19");
+  Service service(serve_network(), config);
+  (void)service.run(15);  // both delay events applied, next submit at 16
+  const std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  ServeSnapshot snap = service.snapshot();
+  EXPECT_EQ(snap.pending_extra_latency, kMax);
+
+  // Slot 16 submits with saturated latency; the deadline trips at 22 and
+  // the loop keeps serving the stale schedule indefinitely.
+  const ServeReport report = service.run(185);
+  EXPECT_EQ(report.recompute_timeouts, 1u);
+  EXPECT_TRUE(report.conservation_ok);
+  std::uint64_t late_served = 0;
+  for (const SlotDigest& d : report.digests) {
+    if (d.slot >= 100) late_served += d.served;
+  }
+  EXPECT_GT(late_served, 0u);
+
+  // The saturated in-flight request survives a snapshot roundtrip: codec
+  // and restore handle the UINT64_MAX latency, and the restored service
+  // replays the stale-serving trajectory byte-for-byte.
+  snap = service.snapshot();
+  ASSERT_TRUE(snap.recompute.in_flight);
+  EXPECT_EQ(snap.recompute.latency_slots, kMax);
+  const std::string path =
+      ::testing::TempDir() + "raysched_serve_saturated.snap";
+  save_snapshot_atomic(path, snap);
+  const ServeSnapshot loaded = load_snapshot(path);
+  EXPECT_EQ(loaded.recompute.latency_slots, kMax);
+  Service restored(serve_network(), config);
+  restored.restore(loaded);
+  const ServeReport ra = service.run(50);
+  const ServeReport rb = restored.run(50);
+  expect_same_digests(rb.digests, ra.digests);
+  EXPECT_EQ(rb.served, ra.served);
+  std::remove(path.c_str());
 }
 
 TEST(ServeFaults, RunResumesAcrossCalls) {

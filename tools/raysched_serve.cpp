@@ -41,6 +41,8 @@ int run_serve(int argc, char** argv) {
   flags.add_int("recompute-latency", 2, "nominal recompute service slots");
   flags.add_int("recompute-deadline", 6, "slots before a recompute times out");
   flags.add_int("threads", 1, "schedule-agent pool threads (1 = inline)");
+  flags.add_string("policy", "max-weight",
+                   "max-weight|max-weight-incremental|ahm");
   flags.add_int("overload-enter", 4096, "backlog entering Overloaded");
   flags.add_int("overload-exit", 1024, "backlog leaving Overloaded");
   flags.add_string("faults", "", "fault script, e.g. '120:delay:10,900:crash'");
@@ -77,6 +79,7 @@ int run_serve(int argc, char** argv) {
   config.recompute_deadline =
       static_cast<std::uint64_t>(flags.get_int("recompute-deadline"));
   config.agent_threads = static_cast<std::size_t>(flags.get_int("threads"));
+  config.policy = serve::policy_kind_from_string(flags.get_string("policy"));
   config.health.overload_enter_backlog =
       static_cast<std::uint64_t>(flags.get_int("overload-enter"));
   config.health.overload_exit_backlog =
@@ -139,6 +142,9 @@ int run_serve(int argc, char** argv) {
             << " timeouts " << report.recompute_timeouts << " failures "
             << report.recompute_failures << " epoch "
             << report.schedule_epoch << "\n";
+  std::cout << "policy " << flags.get_string("policy")
+            << " stale-pruned " << report.drops.stale_pruned
+            << " expected-rate " << report.expected_rate << "\n";
   std::cout << "trajectory-hash " << report.trajectory_hash << "\n";
 
   if (!report.conservation_ok) {
